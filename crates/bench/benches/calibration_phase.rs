@@ -1,0 +1,77 @@
+//! Calibration-phase benchmark (§IV-D item 2).
+//!
+//! Claims verified: Algorithm 2's binary search costs
+//! `⌊log₂(1/ε)⌋ + 1` derivative evaluations (so runtime grows only
+//! logarithmically as ε shrinks), the conformal quantile is the
+//! `O(N log N)` sort, and the whole calibration phase is
+//! `O(N_cali (k + log N_cali))`.
+
+use conformal::SplitConformal;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use rdrp::{find_roi_star, DrpConfig, Rdrp, RdrpConfig};
+
+fn bench_binary_search(c: &mut Criterion) {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(0);
+    let data = gen.sample(5_000, Population::Base, &mut rng);
+    let mut group = c.benchmark_group("binary_search");
+    for &eps_exp in &[3i32, 6, 9] {
+        let eps = 10f64.powi(-eps_exp);
+        group.bench_with_input(BenchmarkId::new("eps", eps_exp), &eps, |b, &eps| {
+            b.iter(|| find_roi_star(&data.t, &data.y_r, &data.y_c, eps).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conformal_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformal_quantile");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = Prng::seed_from_u64(1);
+        let truths: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let preds: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let scales = vec![0.1; n];
+        group.bench_with_input(BenchmarkId::new("n_cali", n), &n, |b, _| {
+            b.iter(|| SplitConformal::calibrate(&truths, &preds, &scales, 0.1, 1e-9).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_calibration(c: &mut Criterion) {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(2);
+    let train = gen.sample(4_000, Population::Base, &mut rng);
+    let mut group = c.benchmark_group("rdrp_calibration_phase");
+    group.sample_size(10);
+    for &n_cali in &[1_000usize, 4_000] {
+        let cal = gen.sample(n_cali, Population::Base, &mut rng);
+        group.bench_with_input(BenchmarkId::new("n_cali", n_cali), &n_cali, |b, _| {
+            b.iter(|| {
+                let mut m = Rdrp::new(RdrpConfig {
+                    drp: DrpConfig {
+                        epochs: 2,
+                        ..DrpConfig::default()
+                    },
+                    mc_passes: 20,
+                    ..RdrpConfig::default()
+                });
+                let mut rng = Prng::seed_from_u64(3);
+                m.fit_with_calibration(&train, &cal, &mut rng);
+                m.diagnostics().qhat
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binary_search,
+    bench_conformal_quantile,
+    bench_full_calibration
+);
+criterion_main!(benches);

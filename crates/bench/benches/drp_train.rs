@@ -1,0 +1,34 @@
+//! Training-phase benchmark (§IV-D item 1: rDRP's training phase is
+//! exactly DRP's — same model, same loss).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use rdrp::{DrpConfig, DrpModel};
+use uplift::RoiModel;
+
+fn bench_drp_training(c: &mut Criterion) {
+    let gen = CriteoLike::new();
+    let mut group = c.benchmark_group("drp_train");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let mut rng = Prng::seed_from_u64(0);
+        let data = gen.sample(n, Population::Base, &mut rng);
+        group.bench_with_input(BenchmarkId::new("fit_5_epochs", n), &data, |b, data| {
+            b.iter(|| {
+                let mut m = DrpModel::new(DrpConfig {
+                    epochs: 5,
+                    ..DrpConfig::default()
+                });
+                let mut rng = Prng::seed_from_u64(1);
+                m.fit(data, &mut rng);
+                m.final_loss()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drp_training);
+criterion_main!(benches);

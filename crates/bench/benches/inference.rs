@@ -1,0 +1,50 @@
+//! Inference-phase benchmark (§IV-D item 3).
+//!
+//! The paper's claim: DRP inference costs one Δ_infer; rDRP costs
+//! 10–100 × Δ_infer for the MC passes, but the passes parallelize, so the
+//! wall-clock gap is far below the work gap. The `mc_dropout/K` series
+//! demonstrates both: total work scales with K while wall-clock scales
+//! sub-linearly (rayon spreads passes across cores).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use rdrp::{DrpConfig, DrpModel};
+use uplift::RoiModel;
+
+fn fitted_model(n: usize) -> (DrpModel, datasets::RctDataset) {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(0);
+    let train = gen.sample(n, Population::Base, &mut rng);
+    let test = gen.sample(2_000, Population::Base, &mut rng);
+    let mut m = DrpModel::new(DrpConfig {
+        epochs: 5,
+        ..DrpConfig::default()
+    });
+    m.fit(&train, &mut rng);
+    (m, test)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (model, test) = fitted_model(4_000);
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(20);
+    // Single deterministic pass: Δ_infer.
+    group.bench_function("drp_single_pass", |b| {
+        b.iter(|| model.predict_roi(&test.x))
+    });
+    // MC dropout with K passes: rDRP's inference cost.
+    for &k in &[10usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("mc_dropout", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut rng = Prng::seed_from_u64(1);
+                model.mc_roi(&test.x, k, 1e-6, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Metric and allocator benchmarks: AUCC (the evaluation bottleneck of
+//! the experiment harness) and the greedy C-BTAP solver (Algorithm 1,
+//! dominated by the `O(M log M)` sort).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use rdrp::greedy_allocate;
+
+fn bench_aucc(c: &mut Criterion) {
+    let gen = CriteoLike::new();
+    let mut group = c.benchmark_group("aucc");
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = Prng::seed_from_u64(0);
+        let data = gen.sample(n, Population::Base, &mut rng);
+        let scores = data.true_roi().unwrap();
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| metrics::aucc_from_labels(&data, &scores, 20))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_allocate");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = Prng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+        let costs: Vec<f64> = (0..n).map(|_| 0.05 + 0.2 * rng.uniform()).collect();
+        let budget = costs.iter().sum::<f64>() * 0.3;
+        group.bench_with_input(BenchmarkId::new("m", n), &n, |b, _| {
+            b.iter(|| greedy_allocate(&scores, &costs, budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aucc, bench_greedy_allocation);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Ablation studies for rDRP's design choices.
+//!
+//! Five sweeps, each pinned to a claim in the paper:
+//!
+//! 1. **α sweep** — §VI's caveat: with conformalized *scalar* uncertainty,
+//!    shrinking α "might not proportionately adjust the length of the
+//!    prediction interval". We measure coverage and width at several α.
+//! 2. **MC passes** — §IV-D says 10–100 passes; how does the std estimate
+//!    (and downstream AUCC) stabilize with K?
+//! 3. **Calibration size** — §IV-D says N_cali of 1 000–10 000 is
+//!    typical; how do q̂ stability and coverage react?
+//! 4. **MC dropout vs bootstrap ensemble** — §IV-C2's efficiency argument:
+//!    similar uncertainty quality at a fraction of the training cost.
+//! 5. **Greedy vs exact knapsack** — §III-B's approximation-ratio claim on
+//!    solvable instances.
+//!
+//! Run with `cargo run -p bench --release --bin ablations`.
+
+use bench::report::write_json;
+use conformal::{empirical_coverage, mean_width, SplitConformal};
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use rdrp::{
+    allocator::allocation_value, find_roi_star, greedy_allocate, optimal_allocate_dp,
+    BootstrapDrp, DrpConfig, DrpModel,
+};
+use serde_json::json;
+use std::time::Instant;
+use uplift::RoiModel;
+
+fn main() {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(7);
+    let train = gen.sample(10_000, Population::Base, &mut rng);
+    let calibration = gen.sample(5_000, Population::Base, &mut rng);
+    let test = gen.sample(10_000, Population::Base, &mut rng);
+    let mut drp = DrpModel::new(DrpConfig {
+        epochs: 30,
+        dropout: 0.2,
+        ..DrpConfig::default()
+    });
+    drp.fit(&train, &mut rng);
+    let mut results = serde_json::Map::new();
+
+    // Shared calibration quantities.
+    let cal_preds = drp.predict_roi(&calibration.x);
+    let cal_mc = drp.mc_roi_with_rate(&calibration.x, 50, 0.5, 1e-6, &mut rng);
+    let roi_star = find_roi_star(&calibration.t, &calibration.y_r, &calibration.y_c, 1e-6)
+        .expect("healthy calibration RCT");
+    let test_preds = drp.predict_roi(&test.x);
+    let test_mc = drp.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng);
+    let roi_star_test =
+        find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).expect("healthy test RCT");
+
+    // ---- 1. alpha sweep --------------------------------------------------
+    println!("\n## 1. alpha sweep (paper §VI: widths may not scale with alpha)\n");
+    println!("  alpha | q̂        | coverage of test roi* | mean width (clipped)");
+    let mut alpha_rows = Vec::new();
+    for &alpha in &[0.01, 0.05, 0.1, 0.2, 0.3] {
+        let truths = vec![roi_star; calibration.len()];
+        let cp = SplitConformal::calibrate(&truths, &cal_preds, &cal_mc.std, alpha, 1e-6)
+            .expect("valid alpha");
+        let ivs: Vec<_> = cp
+            .intervals(&test_preds, &test_mc.std)
+            .into_iter()
+            .map(|iv| iv.clamp_to(0.0, 1.0))
+            .collect();
+        let cov = empirical_coverage(&ivs, &vec![roi_star_test; ivs.len()]);
+        let width = mean_width(&ivs);
+        println!(
+            "  {alpha:>5.2} | {:>8.2} | {:>21.3} | {width:>8.3}",
+            cp.qhat(),
+            cov
+        );
+        alpha_rows.push(json!({"alpha": alpha, "qhat": cp.qhat(), "coverage": cov, "width": width}));
+    }
+    results.insert("alpha_sweep".into(), json!(alpha_rows));
+
+    // ---- 2. MC passes ----------------------------------------------------
+    println!("\n## 2. MC passes (paper: 10-100)\n");
+    println!("  K   | mean std  | corr(std_K, std_200)");
+    let reference = drp.mc_roi_with_rate(&test.x, 200, 0.5, 1e-6, &mut rng);
+    let mut mc_rows = Vec::new();
+    for &k in &[5usize, 10, 25, 50, 100] {
+        let stats = drp.mc_roi_with_rate(&test.x, k, 0.5, 1e-6, &mut rng);
+        let corr = linalg::stats::pearson(&stats.std, &reference.std);
+        let mean_std = linalg::stats::mean(&stats.std);
+        println!("  {k:>3} | {mean_std:>8.4} | {corr:>8.3}");
+        mc_rows.push(json!({"passes": k, "mean_std": mean_std, "corr_vs_200": corr}));
+    }
+    results.insert("mc_passes".into(), json!(mc_rows));
+
+    // ---- 3. calibration size ----------------------------------------------
+    println!("\n## 3. calibration-set size (paper: 1 000-10 000 typical)\n");
+    println!("  N_cali | q̂        | coverage of test roi*");
+    let mut cal_rows = Vec::new();
+    for &n in &[250usize, 1_000, 2_500, 5_000] {
+        let idx: Vec<usize> = (0..n).collect();
+        let sub_preds: Vec<f64> = idx.iter().map(|&i| cal_preds[i]).collect();
+        let sub_std: Vec<f64> = idx.iter().map(|&i| cal_mc.std[i]).collect();
+        let truths = vec![roi_star; n];
+        let cp = SplitConformal::calibrate(&truths, &sub_preds, &sub_std, 0.1, 1e-6)
+            .expect("valid alpha");
+        let ivs = cp.intervals(&test_preds, &test_mc.std);
+        let cov = empirical_coverage(&ivs, &vec![roi_star_test; ivs.len()]);
+        println!("  {n:>6} | {:>8.2} | {cov:>8.3}", cp.qhat());
+        cal_rows.push(json!({"n_cali": n, "qhat": cp.qhat(), "coverage": cov}));
+    }
+    results.insert("calibration_size".into(), json!(cal_rows));
+
+    // ---- 4. MC dropout vs bootstrap ensemble ------------------------------
+    println!("\n## 4. MC dropout vs bootstrap ensemble (paper §IV-C2 efficiency claim)\n");
+    let small_train = gen.sample(4_000, Population::Base, &mut rng);
+    let t0 = Instant::now();
+    let mut single = DrpModel::new(DrpConfig {
+        epochs: 15,
+        dropout: 0.2,
+        ..DrpConfig::default()
+    });
+    single.fit(&small_train, &mut rng);
+    let fit_one = t0.elapsed();
+    let t1 = Instant::now();
+    let mc = single.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng);
+    let mc_time = t1.elapsed();
+    let t2 = Instant::now();
+    let mut ensemble = BootstrapDrp::new(
+        DrpConfig {
+            epochs: 15,
+            dropout: 0.2,
+            ..DrpConfig::default()
+        },
+        10,
+    );
+    ensemble.fit(&small_train, &mut rng);
+    let boot_fit = t2.elapsed();
+    let t3 = Instant::now();
+    let boot = ensemble.ensemble_roi(&test.x, 1e-6);
+    let boot_time = t3.elapsed();
+    let std_corr = linalg::stats::pearson(&mc.std, &boot.std);
+    println!("  single DRP fit:            {fit_one:?}");
+    println!("  MC-dropout inference x50:  {mc_time:?}  (no retraining)");
+    println!("  bootstrap fit x10:         {boot_fit:?}  ({}x one fit)", 10);
+    println!("  bootstrap inference:       {boot_time:?}");
+    println!("  corr(MC std, bootstrap std): {std_corr:.3}");
+    results.insert(
+        "uq_efficiency".into(),
+        json!({
+            "single_fit_ms": fit_one.as_millis() as u64,
+            "mc_infer_ms": mc_time.as_millis() as u64,
+            "bootstrap_fit_ms": boot_fit.as_millis() as u64,
+            "bootstrap_infer_ms": boot_time.as_millis() as u64,
+            "std_corr": std_corr,
+        }),
+    );
+
+    // ---- 5. greedy vs exact knapsack --------------------------------------
+    println!("\n## 5. greedy vs exact knapsack (paper §III-B approximation ratio)\n");
+    println!("  n   | budget frac | greedy/OPT | bound 1 - max tau/OPT");
+    let mut knap_rows = Vec::new();
+    for &(n, frac) in &[(50usize, 0.2), (100, 0.3), (200, 0.5)] {
+        let sub = gen.sample(n, Population::Base, &mut rng);
+        let values = sub.true_tau_r.clone().expect("synthetic");
+        let costs = sub.true_tau_c.clone().expect("synthetic");
+        let rois: Vec<f64> = values.iter().zip(&costs).map(|(v, c)| v / c).collect();
+        let budget = frac * costs.iter().sum::<f64>();
+        let gv = allocation_value(&greedy_allocate(&rois, &costs, budget), &values);
+        let ov = allocation_value(&optimal_allocate_dp(&values, &costs, budget, 4000), &values);
+        let ratio = gv / ov.max(1e-12);
+        let bound = 1.0 - values.iter().cloned().fold(0.0, f64::max) / ov.max(1e-12);
+        println!("  {n:>3} | {frac:>11.1} | {ratio:>10.4} | {bound:>10.4}");
+        knap_rows.push(json!({"n": n, "budget_frac": frac, "ratio": ratio, "bound": bound}));
+    }
+    results.insert("knapsack".into(), json!(knap_rows));
+
+    match write_json("ablations", &results) {
+        Ok(path) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

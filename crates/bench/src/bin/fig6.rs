@@ -1,0 +1,90 @@
+//! Fig. 6: simulated online A/B tests in the four settings.
+//!
+//! Each test runs three arms (Random control, DRP, rDRP) with equal
+//! budgets for five simulated days on the incentivized-advertising
+//! platform simulator; the reported quantity is each model arm's
+//! percentage revenue lift over the random arm — the same bars the paper
+//! plots.
+//!
+//! Run with `cargo run -p bench --release --bin fig6 [--seeds N]`.
+
+use abtest::{run_ab_test, AbTestConfig};
+use bench::harness::{seeds_from_args, table_rdrp_config};
+use bench::report::write_json;
+use datasets::{CriteoLike, Setting};
+use linalg::random::Prng;
+use serde::Serialize;
+
+/// Paper Fig. 6 reference lifts (%, eyeballed from the bar charts):
+/// (setting, DRP lift, rDRP lift).
+const PAPER: [(&str, f64, f64); 4] = [
+    ("SuNo", 30.0, 31.0),
+    ("SuCo", 18.0, 24.0),
+    ("InNo", 12.0, 17.0),
+    ("InCo", 6.0, 13.0),
+];
+
+#[derive(Serialize)]
+struct FigSixCell {
+    setting: String,
+    drp_lift_pct: f64,
+    rdrp_lift_pct: f64,
+    per_seed: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let seeds = seeds_from_args(3);
+    let gen = CriteoLike::new();
+    let config = AbTestConfig {
+        rdrp: table_rdrp_config(),
+        users_per_day: 20_000,
+        ..AbTestConfig::default()
+    };
+    println!(
+        "Fig. 6 reproduction — {} seed(s), {} users/day/arm, {} days, budget {}%",
+        seeds.len(),
+        config.users_per_day,
+        config.days,
+        (config.budget_fraction * 100.0) as u32
+    );
+    let mut cells = Vec::new();
+    for (si, setting) in Setting::ALL.iter().enumerate() {
+        eprintln!("running online test {setting} ...");
+        let mut per_seed = Vec::new();
+        for &seed in &seeds {
+            let mut rng = Prng::seed_from_u64(seed);
+            let result = run_ab_test(gen.model(), *setting, &config, &mut rng);
+            per_seed.push((result.drp_lift_pct, result.rdrp_lift_pct));
+        }
+        let mean_drp =
+            per_seed.iter().map(|p| p.0).sum::<f64>() / per_seed.len() as f64;
+        let mean_rdrp =
+            per_seed.iter().map(|p| p.1).sum::<f64>() / per_seed.len() as f64;
+        let (label, paper_drp, paper_rdrp) = PAPER[si];
+        println!("\n{setting}:");
+        println!(
+            "  DRP  lift over random: measured {mean_drp:>6.2}%   paper ~{paper_drp:>5.1}% [{label}]"
+        );
+        println!(
+            "  rDRP lift over random: measured {mean_rdrp:>6.2}%   paper ~{paper_rdrp:>5.1}% [{label}]"
+        );
+        cells.push(FigSixCell {
+            setting: setting.label().to_string(),
+            drp_lift_pct: mean_drp,
+            rdrp_lift_pct: mean_rdrp,
+            per_seed,
+        });
+    }
+    println!("\nShape check (paper: rDRP ≥ DRP, gap widest under shift/scarcity):");
+    for c in &cells {
+        println!(
+            "  {}: rDRP - DRP = {:+.2} pp",
+            c.setting,
+            c.rdrp_lift_pct - c.drp_lift_pct
+        );
+    }
+    match write_json("fig6", &cells) {
+        Ok(path) => println!("\nresults written to {path}"),
+        Err(e) => eprintln!("could not persist results: {e}"),
+    }
+}

@@ -1,0 +1,282 @@
+//! Fitting and scoring every method of the paper's evaluation.
+
+use datasets::generator::RctGenerator;
+use datasets::{ExperimentData, Setting, SettingSizes};
+use linalg::random::Prng;
+use rdrp::{DrpConfig, DrpModel, Rdrp, RdrpConfig};
+use serde::{Deserialize, Serialize};
+use uplift::{DirectRank, NetConfig, RoiModel, Tpm};
+
+/// Percentile bins used for all reported AUCCs.
+pub const AUCC_BINS: usize = 20;
+
+/// Every method evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// TPM with S-learners.
+    TpmSl,
+    /// TPM with X-learners.
+    TpmXl,
+    /// TPM with causal forests.
+    TpmCf,
+    /// TPM with DragonNets.
+    TpmDragonNet,
+    /// TPM with TARNets.
+    TpmTarNet,
+    /// TPM with OffsetNets.
+    TpmOffsetNet,
+    /// TPM with SNets.
+    TpmSnet,
+    /// Direct Rank.
+    Dr,
+    /// Direct Rank + MC-dropout combination (Table II ablation).
+    DrWithMc,
+    /// Direct ROI Prediction.
+    Drp,
+    /// DRP + MC-dropout combination (Table II ablation).
+    DrpWithMc,
+    /// Robust DRP (= DRP w/ MC w/ CP).
+    Rdrp,
+}
+
+impl MethodKind {
+    /// The ten Table-I methods, in the paper's row order.
+    pub const TABLE1: [MethodKind; 10] = [
+        MethodKind::TpmSl,
+        MethodKind::TpmXl,
+        MethodKind::TpmCf,
+        MethodKind::TpmDragonNet,
+        MethodKind::TpmTarNet,
+        MethodKind::TpmOffsetNet,
+        MethodKind::TpmSnet,
+        MethodKind::Dr,
+        MethodKind::Drp,
+        MethodKind::Rdrp,
+    ];
+
+    /// The five Table-II ablation methods, in the paper's row order.
+    pub const TABLE2: [MethodKind; 5] = [
+        MethodKind::Dr,
+        MethodKind::DrWithMc,
+        MethodKind::Drp,
+        MethodKind::DrpWithMc,
+        MethodKind::Rdrp,
+    ];
+
+    /// Paper-style row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::TpmSl => "TPM-SL",
+            MethodKind::TpmXl => "TPM-XL",
+            MethodKind::TpmCf => "TPM-CF",
+            MethodKind::TpmDragonNet => "TPM-DragonNet",
+            MethodKind::TpmTarNet => "TPM-TARNet",
+            MethodKind::TpmOffsetNet => "TPM-OffsetNet",
+            MethodKind::TpmSnet => "TPM-SNet",
+            MethodKind::Dr => "DR",
+            MethodKind::DrWithMc => "DR w/ MC",
+            MethodKind::Drp => "DRP",
+            MethodKind::DrpWithMc => "DRP w/ MC",
+            MethodKind::Rdrp => "rDRP",
+        }
+    }
+}
+
+/// Shared network hyperparameters for the neural baselines.
+pub fn table_net_config() -> NetConfig {
+    NetConfig {
+        epochs: 40,
+        ..NetConfig::default()
+    }
+}
+
+/// Shared rDRP/DRP hyperparameters (paper: same for DRP and rDRP).
+pub fn table_rdrp_config() -> RdrpConfig {
+    RdrpConfig {
+        drp: DrpConfig {
+            epochs: 40,
+            dropout: 0.2,
+            ..DrpConfig::default()
+        },
+        mc_passes: 50,
+        ..RdrpConfig::default()
+    }
+}
+
+/// Default sizes for the offline tables (scaled from the paper's
+/// millions to laptop scale; see DESIGN.md §4).
+pub fn table_sizes() -> SettingSizes {
+    SettingSizes {
+        train_sufficient: 16_000,
+        insufficient_fraction: 0.15,
+        calibration: 10_000,
+        test: 20_000,
+    }
+}
+
+/// Fits `kind` on `data` and returns its test-set ranking scores.
+pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
+    let net = table_net_config();
+    match kind {
+        MethodKind::TpmSl => fit_tpm(Tpm::slearner(), data, rng),
+        MethodKind::TpmXl => fit_tpm(Tpm::xlearner(), data, rng),
+        MethodKind::TpmCf => fit_tpm(Tpm::causal_forest(), data, rng),
+        MethodKind::TpmDragonNet => fit_tpm(Tpm::dragonnet(net), data, rng),
+        MethodKind::TpmTarNet => fit_tpm(Tpm::tarnet(net), data, rng),
+        MethodKind::TpmOffsetNet => fit_tpm(Tpm::offsetnet(net), data, rng),
+        MethodKind::TpmSnet => fit_tpm(Tpm::snet(net), data, rng),
+        MethodKind::Dr => {
+            let mut m = DirectRank::new(net);
+            m.fit(&data.train, rng);
+            m.predict_roi(&data.test.x)
+        }
+        MethodKind::DrWithMc => {
+            // Ablation: combine the DR point estimate with its MC std
+            // (the paper: "derived by combining the DR's point estimate
+            // and std"); the MC mean is the dropout-ensemble point
+            // estimate and the std is added as the optimism term.
+            let mut m = DirectRank::new(net);
+            m.fit(&data.train, rng);
+            let stats = m.mc_scores(&data.test.x, 50, rng);
+            stats
+                .mean
+                .iter()
+                .zip(&stats.std)
+                .map(|(m, s)| m + s)
+                .collect()
+        }
+        MethodKind::Drp => {
+            let mut m = DrpModel::new(table_rdrp_config().drp);
+            m.fit(&data.train, rng);
+            m.predict_roi(&data.test.x)
+        }
+        MethodKind::DrpWithMc => {
+            let mut m = DrpModel::new(table_rdrp_config().drp);
+            m.fit(&data.train, rng);
+            let stats = m.mc_roi(&data.test.x, 50, 1e-6, rng);
+            stats
+                .mean
+                .iter()
+                .zip(&stats.std)
+                .map(|(m, s)| m + s)
+                .collect()
+        }
+        MethodKind::Rdrp => {
+            let mut m = Rdrp::new(table_rdrp_config());
+            m.fit_with_calibration(&data.train, &data.calibration, rng);
+            m.predict_scores(&data.test.x, rng)
+        }
+    }
+}
+
+fn fit_tpm(mut tpm: Tpm, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
+    tpm.fit(&data.train, rng);
+    tpm.predict_roi(&data.test.x)
+}
+
+/// One method's result on one (dataset, setting) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Which method.
+    pub method: String,
+    /// Mean test AUCC across seeds.
+    pub aucc: f64,
+    /// Per-seed AUCCs.
+    pub per_seed: Vec<f64>,
+}
+
+/// Runs `methods` on `(generator, setting)` for `seeds` replicates and
+/// returns each method's mean AUCC.
+pub fn run_setting(
+    generator: &dyn RctGenerator,
+    setting: Setting,
+    sizes: &SettingSizes,
+    methods: &[MethodKind],
+    seeds: &[u64],
+) -> Vec<MethodResult> {
+    assert!(!seeds.is_empty(), "run_setting: need at least one seed");
+    let mut results: Vec<MethodResult> = methods
+        .iter()
+        .map(|m| MethodResult {
+            method: m.label().to_string(),
+            aucc: 0.0,
+            per_seed: Vec::with_capacity(seeds.len()),
+        })
+        .collect();
+    for &seed in seeds {
+        let mut rng = Prng::seed_from_u64(seed);
+        let data = ExperimentData::build(generator, setting, sizes, &mut rng);
+        for (mi, &method) in methods.iter().enumerate() {
+            let mut mrng = rng.fork();
+            let scores = score_method(method, &data, &mut mrng);
+            let aucc = metrics::aucc_from_labels(&data.test, &scores, AUCC_BINS);
+            results[mi].per_seed.push(aucc);
+        }
+    }
+    for r in &mut results {
+        r.aucc = linalg::stats::mean(&r.per_seed);
+    }
+    results
+}
+
+/// Parses an optional `--seeds N` / positional integer CLI argument into
+/// a seed list (defaults to `default_n` seeds).
+pub fn seeds_from_args(default_n: usize) -> Vec<u64> {
+    let mut n = default_n;
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--seeds" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                n = v.max(1);
+            }
+        } else if let Ok(v) = a.parse::<usize>() {
+            if i > 0 {
+                n = v.max(1);
+            }
+        }
+    }
+    (0..n as u64).map(|i| 1000 + i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::CriteoLike;
+
+    #[test]
+    fn labels_cover_table_rows() {
+        assert_eq!(MethodKind::TABLE1.len(), 10);
+        assert_eq!(MethodKind::TABLE2.len(), 5);
+        assert_eq!(MethodKind::Rdrp.label(), "rDRP");
+        assert_eq!(MethodKind::TpmSnet.label(), "TPM-SNet");
+    }
+
+    #[test]
+    fn run_setting_produces_sane_auccs() {
+        let gen = CriteoLike::new();
+        let sizes = SettingSizes {
+            train_sufficient: 3_000,
+            insufficient_fraction: 0.15,
+            calibration: 1_500,
+            test: 3_000,
+        };
+        // Cheap subset: one classical and one neural method, one seed.
+        let results = run_setting(
+            &gen,
+            Setting::SuNo,
+            &sizes,
+            &[MethodKind::TpmSl, MethodKind::Drp],
+            &[7],
+        );
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(
+                (0.2..0.95).contains(&r.aucc),
+                "{}: aucc {} out of range",
+                r.method,
+                r.aucc
+            );
+            assert_eq!(r.per_seed.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment harness: the code behind every table and figure.
+//!
+//! Each paper artifact has a binary (`table1`, `table2`, `fig1`, `fig5`,
+//! `fig6`) that regenerates it on the dataset lookalikes and prints a
+//! paper-vs-measured comparison; the Criterion benches under `benches/`
+//! check the §IV-D time-complexity claims. Shared machinery lives here:
+//!
+//! * [`harness::MethodKind`] — the ten Table-I methods (and the ablation
+//!   variants of Table II) behind one interface,
+//! * [`harness::run_setting`] — fit + score + AUCC for a set of methods
+//!   on one (dataset, setting) cell, averaged over seeds,
+//! * [`report`] — markdown table printing and JSON result persistence.
+
+pub mod harness;
+pub mod report;

@@ -1,0 +1,105 @@
+//! Result presentation and persistence.
+
+use crate::harness::MethodResult;
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Prints a markdown table: one row per method, one column per cell
+/// label (e.g. "SuNo", "SuCo", ...). `cells[c][m]` is method `m`'s result
+/// in column `c`.
+///
+/// # Panics
+/// Panics if the cells are ragged or method orders differ between
+/// columns.
+pub fn print_markdown_table(title: &str, columns: &[String], cells: &[Vec<MethodResult>]) {
+    assert_eq!(columns.len(), cells.len(), "column/cell count mismatch");
+    assert!(!cells.is_empty(), "no cells to print");
+    let methods: Vec<&str> = cells[0].iter().map(|r| r.method.as_str()).collect();
+    for col in cells {
+        assert_eq!(col.len(), methods.len(), "ragged cells");
+        for (r, m) in col.iter().zip(&methods) {
+            assert_eq!(&r.method, m, "method order mismatch between columns");
+        }
+    }
+    println!("\n### {title}\n");
+    print!("| Method |");
+    for c in columns {
+        print!(" {c} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in columns {
+        print!("---|");
+    }
+    println!();
+    for (mi, m) in methods.iter().enumerate() {
+        print!("| {m} |");
+        for col in cells {
+            print!(" {:.4} |", col[mi].aucc);
+        }
+        println!();
+    }
+}
+
+/// Writes any serializable result to `results/<name>.json` under the
+/// workspace root (creating the directory), and returns the path written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path.display().to_string())
+}
+
+/// A paper-vs-measured comparison row for EXPERIMENTS.md-style output.
+pub fn print_paper_vs_measured(label: &str, paper: f64, measured: f64) {
+    let agree = (paper > 0.5) == (measured > 0.5);
+    println!(
+        "  {label:<42} paper {paper:>8.4}   measured {measured:>8.4}   {}",
+        if agree { "" } else { "(level differs; see EXPERIMENTS.md)" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(method: &str, aucc: f64) -> MethodResult {
+        MethodResult {
+            method: method.to_string(),
+            aucc,
+            per_seed: vec![aucc],
+        }
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let cols = vec!["A".to_string(), "B".to_string()];
+        let cells = vec![
+            vec![mk("DRP", 0.7), mk("rDRP", 0.72)],
+            vec![mk("DRP", 0.6), mk("rDRP", 0.65)],
+        ];
+        print_markdown_table("test", &cols, &cells);
+    }
+
+    #[test]
+    #[should_panic(expected = "method order mismatch")]
+    fn ragged_method_order_panics() {
+        let cols = vec!["A".to_string(), "B".to_string()];
+        let cells = vec![
+            vec![mk("DRP", 0.7), mk("rDRP", 0.72)],
+            vec![mk("rDRP", 0.6), mk("DRP", 0.65)],
+        ];
+        print_markdown_table("test", &cols, &cells);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let path = write_json("unit_test_artifact", &vec![1, 2, 3]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,141 @@
+//! Tiny flag parser (`--name value` pairs plus one subcommand).
+//!
+//! Hand-rolled on purpose: the CLI's surface is a handful of string and
+//! numeric flags, and keeping the workspace's dependency set to the
+//! offline-vendored crates matters more than clap's ergonomics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing and lookup.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A required flag was absent.
+    MissingFlag(String),
+    /// A flag's value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+    },
+    /// An argument did not look like `--flag`.
+    Unexpected(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no subcommand given"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "flag --{flag}: cannot parse '{value}'")
+            }
+            ArgError::Unexpected(arg) => write!(f, "unexpected argument '{arg}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::NoCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::NoCommand);
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::Unexpected(arg.clone()))?
+                .to_string();
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.clone()))?;
+            flags.insert(name, value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(strings(&["train", "--epochs", "30", "--model", "m.json"])).unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require("model").unwrap(), "m.json");
+        assert_eq!(a.get_or("epochs", 10usize).unwrap(), 30);
+        assert_eq!(a.get_or("alpha", 0.1f64).unwrap(), 0.1);
+        assert_eq!(a.get("nope"), None);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(Args::parse(strings(&[])).unwrap_err(), ArgError::NoCommand);
+        assert_eq!(
+            Args::parse(strings(&["--flag", "v"])).unwrap_err(),
+            ArgError::NoCommand
+        );
+        assert_eq!(
+            Args::parse(strings(&["train", "--epochs"])).unwrap_err(),
+            ArgError::MissingValue("epochs".into())
+        );
+        assert_eq!(
+            Args::parse(strings(&["train", "stray"])).unwrap_err(),
+            ArgError::Unexpected("stray".into())
+        );
+        let a = Args::parse(strings(&["train", "--epochs", "abc"])).unwrap();
+        assert!(matches!(
+            a.get_or("epochs", 1usize),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(a.require("model"), Err(ArgError::MissingFlag(_))));
+    }
+}

@@ -1,0 +1,86 @@
+//! Coverage diagnostics for prediction intervals.
+
+use crate::split::Interval;
+
+/// Summary statistics of a batch of intervals against realized values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalStats {
+    /// Fraction of values inside their interval.
+    pub coverage: f64,
+    /// Mean interval width (infinite widths propagate).
+    pub mean_width: f64,
+    /// Number of evaluated pairs.
+    pub n: usize,
+}
+
+/// Fraction of `truths[i]` covered by `intervals[i]`.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn empirical_coverage(intervals: &[Interval], truths: &[f64]) -> f64 {
+    assert_eq!(intervals.len(), truths.len(), "coverage: length mismatch");
+    assert!(!intervals.is_empty(), "coverage: empty input");
+    let hits = intervals
+        .iter()
+        .zip(truths)
+        .filter(|(iv, &t)| iv.contains(t))
+        .count();
+    hits as f64 / intervals.len() as f64
+}
+
+/// Mean width of a batch of intervals.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn mean_width(intervals: &[Interval]) -> f64 {
+    assert!(!intervals.is_empty(), "mean_width: empty input");
+    intervals.iter().map(Interval::width).sum::<f64>() / intervals.len() as f64
+}
+
+/// Computes both coverage and width in one pass.
+pub fn interval_stats(intervals: &[Interval], truths: &[f64]) -> IntervalStats {
+    IntervalStats {
+        coverage: empirical_coverage(intervals, truths),
+        mean_width: mean_width(intervals),
+        n: intervals.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
+    #[test]
+    fn coverage_counts_hits() {
+        let ivs = [iv(0.0, 1.0), iv(0.0, 1.0), iv(2.0, 3.0)];
+        let truths = [0.5, 1.5, 2.5];
+        assert!((empirical_coverage(&ivs, &truths) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_values_count_as_covered() {
+        let ivs = [iv(0.0, 1.0)];
+        assert_eq!(empirical_coverage(&ivs, &[1.0]), 1.0);
+        assert_eq!(empirical_coverage(&ivs, &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn width_statistics() {
+        let ivs = [iv(0.0, 1.0), iv(0.0, 3.0)];
+        assert_eq!(mean_width(&ivs), 2.0);
+        let stats = interval_stats(&ivs, &[0.5, 10.0]);
+        assert_eq!(stats.coverage, 0.5);
+        assert_eq!(stats.mean_width, 2.0);
+        assert_eq!(stats.n, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn empty_coverage_panics() {
+        let _ = empirical_coverage(&[], &[]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Nonconformity scores.
+
+/// The scaled-residual nonconformity score `|truth − pred| / scale`
+/// (paper Eq. 3). `scale` is floored at `scale_floor` to keep the score
+/// finite when the uncertainty estimate collapses to zero.
+///
+/// # Panics
+/// Panics if `scale_floor <= 0`.
+pub fn scaled_score(truth: f64, pred: f64, scale: f64, scale_floor: f64) -> f64 {
+    assert!(scale_floor > 0.0, "scaled_score: scale_floor must be positive");
+    (truth - pred).abs() / scale.max(scale_floor)
+}
+
+/// Vectorized [`scaled_score`] over a calibration set.
+///
+/// `truths[i]` is the reference value for sample `i` (rDRP uses the same
+/// `roi*` from the loss convergence point for every calibration sample;
+/// passing a full slice keeps the API general).
+///
+/// # Panics
+/// Panics on length mismatches.
+pub fn scaled_scores(
+    truths: &[f64],
+    preds: &[f64],
+    scales: &[f64],
+    scale_floor: f64,
+) -> Vec<f64> {
+    assert_eq!(truths.len(), preds.len(), "scaled_scores: truths/preds mismatch");
+    assert_eq!(preds.len(), scales.len(), "scaled_scores: preds/scales mismatch");
+    truths
+        .iter()
+        .zip(preds)
+        .zip(scales)
+        .map(|((&t, &p), &s)| scaled_score(t, p, s, scale_floor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_value() {
+        assert_eq!(scaled_score(1.0, 0.5, 0.25, 1e-9), 2.0);
+        assert_eq!(scaled_score(0.5, 1.0, 0.25, 1e-9), 2.0); // symmetric
+        assert_eq!(scaled_score(1.0, 1.0, 0.25, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn floor_guards_zero_scale() {
+        let s = scaled_score(1.0, 0.0, 0.0, 1e-3);
+        assert_eq!(s, 1000.0);
+        // Negative scales are also floored (they are invalid inputs from
+        // e.g. a numerically noisy std estimate).
+        let s = scaled_score(1.0, 0.0, -5.0, 1e-3);
+        assert_eq!(s, 1000.0);
+    }
+
+    #[test]
+    fn vectorized_matches_scalar() {
+        let got = scaled_scores(&[1.0, 2.0], &[0.5, 2.5], &[0.5, 0.25], 1e-9);
+        assert_eq!(got, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale_floor")]
+    fn nonpositive_floor_panics() {
+        scaled_score(1.0, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        scaled_scores(&[1.0], &[1.0, 2.0], &[1.0, 1.0], 1e-9);
+    }
+}

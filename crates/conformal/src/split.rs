@@ -1,0 +1,207 @@
+//! Split conformal prediction: calibrate once, predict intervals forever.
+
+use crate::score::scaled_scores;
+use linalg::stats::conformal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// A prediction interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Interval width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `value` lies inside the closed interval.
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Intersects the interval with `[lo, hi]` (used to clip ROI intervals
+    /// to the paper's (0, 1) range). If the clip empties the interval it
+    /// collapses to the nearest clip endpoint.
+    pub fn clamp_to(&self, lo: f64, hi: f64) -> Interval {
+        let a = self.lo.clamp(lo, hi);
+        let b = self.hi.clamp(lo, hi);
+        Interval { lo: a.min(b), hi: b.max(a) }
+    }
+}
+
+/// A calibrated split-conformal predictor built from scaled-residual
+/// scores (paper Algorithm 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SplitConformal {
+    qhat: f64,
+    alpha: f64,
+    n_calibration: usize,
+    scale_floor: f64,
+}
+
+impl SplitConformal {
+    /// Calibrates on `(truths, preds, scales)` from the calibration set at
+    /// miscoverage level `alpha`.
+    ///
+    /// Returns an error if the calibration set is empty or `alpha` is
+    /// outside `(0, 1)`. A calibration set too small for the requested
+    /// coverage produces an *infinite* `q̂` (intervals cover everything) —
+    /// conservative, per the standard conformal convention.
+    pub fn calibrate(
+        truths: &[f64],
+        preds: &[f64],
+        scales: &[f64],
+        alpha: f64,
+        scale_floor: f64,
+    ) -> Result<Self, linalg::Error> {
+        let scores = scaled_scores(truths, preds, scales, scale_floor);
+        let qhat = conformal_quantile(&scores, alpha)?;
+        Ok(SplitConformal {
+            qhat,
+            alpha,
+            n_calibration: scores.len(),
+            scale_floor,
+        })
+    }
+
+    /// Builds a predictor directly from a known quantile (used in tests
+    /// and by callers that compute scores themselves).
+    pub fn from_quantile(qhat: f64, alpha: f64, n_calibration: usize, scale_floor: f64) -> Self {
+        SplitConformal {
+            qhat,
+            alpha,
+            n_calibration,
+            scale_floor,
+        }
+    }
+
+    /// The calibrated score quantile `q̂`.
+    pub fn qhat(&self) -> f64 {
+        self.qhat
+    }
+
+    /// The miscoverage level `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Size of the calibration set used.
+    pub fn n_calibration(&self) -> usize {
+        self.n_calibration
+    }
+
+    /// Interval for one test point: `[pred − scale·q̂, pred + scale·q̂]`.
+    pub fn interval(&self, pred: f64, scale: f64) -> Interval {
+        let half = scale.max(self.scale_floor) * self.qhat;
+        Interval {
+            lo: pred - half,
+            hi: pred + half,
+        }
+    }
+
+    /// Intervals for a batch of test points.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn intervals(&self, preds: &[f64], scales: &[f64]) -> Vec<Interval> {
+        assert_eq!(preds.len(), scales.len(), "intervals: preds/scales mismatch");
+        preds
+            .iter()
+            .zip(scales)
+            .map(|(&p, &s)| self.interval(p, s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::random::Prng;
+
+    #[test]
+    fn interval_geometry() {
+        let cp = SplitConformal::from_quantile(2.0, 0.1, 100, 1e-9);
+        let iv = cp.interval(0.5, 0.1);
+        assert!((iv.lo - 0.3).abs() < 1e-12);
+        assert!((iv.hi - 0.7).abs() < 1e-12);
+        assert!((iv.width() - 0.4).abs() < 1e-12);
+        assert!(iv.contains(0.5));
+        assert!(!iv.contains(0.71));
+    }
+
+    #[test]
+    fn clamp_to_unit_range() {
+        let iv = Interval { lo: -0.2, hi: 0.4 };
+        let c = iv.clamp_to(0.0, 1.0);
+        assert_eq!(c, Interval { lo: 0.0, hi: 0.4 });
+        let out = Interval { lo: 1.5, hi: 2.0 }.clamp_to(0.0, 1.0);
+        assert_eq!(out, Interval { lo: 1.0, hi: 1.0 });
+    }
+
+    #[test]
+    fn calibrate_then_cover_exchangeable_data() {
+        // Model: truth = pred + scale * noise, noise ~ N(0,1); the scaled
+        // residuals are exchangeable, so coverage must be >= 90%.
+        let mut rng = Prng::seed_from_u64(0);
+        let n_cal = 500;
+        let n_test = 4000;
+        let gen = |rng: &mut Prng, n: usize| {
+            let mut truths = Vec::with_capacity(n);
+            let mut preds = Vec::with_capacity(n);
+            let mut scales = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = rng.uniform();
+                let s = 0.05 + 0.1 * rng.uniform();
+                truths.push(p + s * rng.gaussian());
+                preds.push(p);
+                scales.push(s);
+            }
+            (truths, preds, scales)
+        };
+        let (ct, cp_, cs) = gen(&mut rng, n_cal);
+        let cp = SplitConformal::calibrate(&ct, &cp_, &cs, 0.1, 1e-9).unwrap();
+        let (tt, tp, ts) = gen(&mut rng, n_test);
+        let ivs = cp.intervals(&tp, &ts);
+        let covered = ivs
+            .iter()
+            .zip(&tt)
+            .filter(|(iv, &t)| iv.contains(t))
+            .count();
+        let rate = covered as f64 / n_test as f64;
+        assert!(rate >= 0.88, "coverage {rate}");
+        // And not absurdly conservative for Gaussian noise at alpha=0.1.
+        assert!(rate <= 0.95, "coverage {rate}");
+    }
+
+    #[test]
+    fn tiny_calibration_set_gives_infinite_quantile() {
+        let cp = SplitConformal::calibrate(&[1.0], &[0.9], &[0.1], 0.1, 1e-9).unwrap();
+        assert!(cp.qhat().is_infinite());
+        let iv = cp.interval(0.5, 0.1);
+        assert!(iv.lo.is_infinite() && iv.lo < 0.0);
+        assert!(iv.hi.is_infinite() && iv.hi > 0.0);
+    }
+
+    #[test]
+    fn smaller_alpha_wider_intervals() {
+        let mut rng = Prng::seed_from_u64(1);
+        let truths: Vec<f64> = (0..200).map(|_| rng.gaussian()).collect();
+        let preds = vec![0.0; 200];
+        let scales = vec![1.0; 200];
+        let tight = SplitConformal::calibrate(&truths, &preds, &scales, 0.2, 1e-9).unwrap();
+        let loose = SplitConformal::calibrate(&truths, &preds, &scales, 0.05, 1e-9).unwrap();
+        assert!(loose.qhat() > tight.qhat());
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 0.0, 1e-9).is_err());
+        assert!(SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 1.0, 1e-9).is_err());
+        assert!(SplitConformal::calibrate(&[], &[], &[], 0.1, 1e-9).is_err());
+    }
+}

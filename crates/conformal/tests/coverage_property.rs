@@ -1,0 +1,72 @@
+//! Property test: the split-conformal coverage guarantee (paper Eq. 4)
+//! holds empirically across noise shapes and alphas on exchangeable data.
+
+use conformal::{empirical_coverage, SplitConformal};
+use linalg::random::Prng;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Noise {
+    Gaussian,
+    Uniform,
+    HeavyTail,
+}
+
+fn draw_noise(kind: Noise, rng: &mut Prng) -> f64 {
+    match kind {
+        Noise::Gaussian => rng.gaussian(),
+        Noise::Uniform => rng.uniform_in(-1.7, 1.7),
+        // A crude heavy tail: Gaussian with occasional 5x bursts.
+        Noise::HeavyTail => {
+            let z = rng.gaussian();
+            if rng.bernoulli(0.05) {
+                5.0 * z
+            } else {
+                z
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn coverage_holds_for_any_noise_and_alpha(
+        seed in 0u64..10_000,
+        alpha_pct in 5u32..30,
+        kind_idx in 0usize..3,
+    ) {
+        let alpha = alpha_pct as f64 / 100.0;
+        let kind = [Noise::Gaussian, Noise::Uniform, Noise::HeavyTail][kind_idx];
+        let mut rng = Prng::seed_from_u64(seed);
+        let n_cal = 400;
+        let n_test = 2000;
+        let mut gen = |n: usize, rng: &mut Prng| {
+            let mut truths = Vec::with_capacity(n);
+            let mut preds = Vec::with_capacity(n);
+            let mut scales = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = rng.uniform();
+                let s = 0.02 + 0.08 * rng.uniform();
+                truths.push(p + s * draw_noise(kind, rng));
+                preds.push(p);
+                scales.push(s);
+            }
+            (truths, preds, scales)
+        };
+        let (ct, cp_, cs) = gen(n_cal, &mut rng);
+        let cp = SplitConformal::calibrate(&ct, &cp_, &cs, alpha, 1e-9).unwrap();
+        let (tt, tp, ts) = gen(n_test, &mut rng);
+        let ivs = cp.intervals(&tp, &ts);
+        let cov = empirical_coverage(&ivs, &tt);
+        // Allow binomial sampling slack below the nominal level:
+        // sd ≈ sqrt(a(1-a)/n_test) ≤ 0.011, plus calibration-quantile
+        // variability ~ 1/sqrt(n_cal). Use a 4-sigma-ish margin.
+        let slack = 4.0 * (alpha * (1.0 - alpha) / n_test as f64).sqrt()
+            + 1.5 / (n_cal as f64).sqrt();
+        prop_assert!(
+            cov >= 1.0 - alpha - slack,
+            "coverage {cov} below 1 - {alpha} - {slack} ({kind:?})"
+        );
+    }
+}

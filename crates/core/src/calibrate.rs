@@ -1,0 +1,143 @@
+//! Heuristic point-estimate calibration with interval information
+//! (paper Eq. 5a–5c, inspired by the M4 competition's interval
+//! aggregation methods).
+//!
+//! Given the DRP point estimate `r̂oi`, the MC std `r̂(x)`, and the
+//! conformal quantile `q̂`, each form produces a re-ranked score:
+//!
+//! * **5a** `r̂oi · (r̂oi + r̂(x)q̂)` — point estimate weighted by its own
+//!   interval upper bound,
+//! * **5b** `r̂oi / (r̂(x)q̂)` — point estimate discounted by interval
+//!   width (penalizes uncertain predictions),
+//! * **5c** `r̂oi + r̂(x)q̂` — the interval upper bound (optimism under
+//!   uncertainty).
+//!
+//! Algorithm 4 line 8: the form is *selected on the calibration set* by
+//! AUCC, so the choice adapts to whichever failure mode (covariate shift
+//! vs undertraining) the deployment data exhibits.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's calibration forms, plus the identity for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CalibrationForm {
+    /// No calibration: the raw DRP point estimate (ablation baseline).
+    Identity,
+    /// Eq. (5a): `r̂oi (r̂oi + r̂ q̂)`.
+    WeightedUpperBound,
+    /// Eq. (5b): `r̂oi / (r̂ q̂)`.
+    InverseWidth,
+    /// Eq. (5c): `r̂oi + r̂ q̂`.
+    UpperBound,
+}
+
+impl CalibrationForm {
+    /// The candidate forms Algorithm 4 selects among (Eq. 5a–5c).
+    pub const CANDIDATES: [CalibrationForm; 3] = [
+        CalibrationForm::WeightedUpperBound,
+        CalibrationForm::InverseWidth,
+        CalibrationForm::UpperBound,
+    ];
+
+    /// Applies the form to one sample. `half_width = r̂(x)·q̂` is the
+    /// conformal interval's half width, floored at `width_floor` where a
+    /// division needs it.
+    pub fn apply(self, roi_hat: f64, half_width: f64, width_floor: f64) -> f64 {
+        debug_assert!(width_floor > 0.0);
+        match self {
+            CalibrationForm::Identity => roi_hat,
+            CalibrationForm::WeightedUpperBound => roi_hat * (roi_hat + half_width),
+            CalibrationForm::InverseWidth => roi_hat / half_width.max(width_floor),
+            CalibrationForm::UpperBound => roi_hat + half_width,
+        }
+    }
+
+    /// Vectorized [`CalibrationForm::apply`].
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn apply_all(self, roi_hat: &[f64], half_widths: &[f64], width_floor: f64) -> Vec<f64> {
+        assert_eq!(
+            roi_hat.len(),
+            half_widths.len(),
+            "CalibrationForm: length mismatch"
+        );
+        roi_hat
+            .iter()
+            .zip(half_widths)
+            .map(|(&r, &w)| self.apply(r, w, width_floor))
+            .collect()
+    }
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalibrationForm::Identity => "identity",
+            CalibrationForm::WeightedUpperBound => "5a: roi*(roi+rq)",
+            CalibrationForm::InverseWidth => "5b: roi/(rq)",
+            CalibrationForm::UpperBound => "5c: roi+rq",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forms_match_equations() {
+        let (roi, hw) = (0.4, 0.1);
+        assert_eq!(
+            CalibrationForm::WeightedUpperBound.apply(roi, hw, 1e-9),
+            0.4 * 0.5
+        );
+        assert_eq!(CalibrationForm::InverseWidth.apply(roi, hw, 1e-9), 4.0);
+        assert!((CalibrationForm::UpperBound.apply(roi, hw, 1e-9) - 0.5).abs() < 1e-15);
+        assert_eq!(CalibrationForm::Identity.apply(roi, hw, 1e-9), roi);
+    }
+
+    #[test]
+    fn inverse_width_is_floored() {
+        let v = CalibrationForm::InverseWidth.apply(0.5, 0.0, 1e-3);
+        assert_eq!(v, 500.0);
+    }
+
+    #[test]
+    fn equal_widths_preserve_ranking() {
+        // With identical half widths, every form is monotone in roi_hat,
+        // so rankings are unchanged.
+        let rois = [0.1, 0.5, 0.3, 0.9];
+        let hw = [0.2; 4];
+        for form in CalibrationForm::CANDIDATES {
+            let out = form.apply_all(&rois, &hw, 1e-9);
+            let order_in = linalg::vector::argsort_desc(&rois);
+            let order_out = linalg::vector::argsort_desc(&out);
+            assert_eq!(order_in, order_out, "{}", form.label());
+        }
+    }
+
+    #[test]
+    fn upper_bound_promotes_uncertain_points() {
+        // 5c ranks a low-estimate/high-uncertainty point above a
+        // high-estimate/certain point when the widths dominate.
+        let rois = [0.5, 0.4];
+        let hw = [0.0, 0.3];
+        let out = CalibrationForm::UpperBound.apply_all(&rois, &hw, 1e-9);
+        assert!(out[1] > out[0]);
+        // 5b does the opposite: penalizes width.
+        let out = CalibrationForm::InverseWidth.apply_all(&rois, &hw, 1e-3);
+        assert!(out[0] > out[1]);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = CalibrationForm::CANDIDATES
+            .iter()
+            .map(|f| f.label())
+            .collect();
+        labels.push(CalibrationForm::Identity.label());
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,71 @@
+//! DRP and rDRP: direct and robust direct ROI prediction.
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates:
+//!
+//! * [`DrpModel`] — the AAAI'23 Direct ROI Prediction baseline: a
+//!   one-hidden-layer network trained with the convex loss of Eq. (2)
+//!   ([`loss::DrpObjective`]), whose sigmoid output is an unbiased ROI
+//!   point estimate at convergence.
+//! * [`search::find_roi_star`] — Algorithm 2: binary search for the loss
+//!   convergence point on the calibration set (Assumption 5 treats
+//!   `σ(s*)` as the reference "true" ROI).
+//! * MC-dropout uncertainty ([`DrpModel::mc_roi`]) — the `r̂(x)` scalar.
+//! * Conformal calibration (Algorithm 3) via the `conformal` crate:
+//!   score `|roi* − r̂oi|/r̂(x)`, quantile `q̂`, interval
+//!   `[r̂oi ± r̂(x)q̂]`.
+//! * [`calibrate::CalibrationForm`] — the heuristic point-estimate
+//!   re-ranking forms of Eq. (5a)–(5c), selected on the calibration set.
+//! * [`Rdrp`] — Algorithm 4, tying everything together.
+//! * [`allocator::greedy_allocate`] — Algorithm 1, the budgeted greedy
+//!   C-BTAP solver that consumes the ROI ranking.
+//!
+//! # Example
+//!
+//! ```
+//! use datasets::generator::{Population, RctGenerator};
+//! use datasets::CriteoLike;
+//! use linalg::random::Prng;
+//! use rdrp::{greedy_allocate, DrpConfig, Rdrp, RdrpConfig};
+//!
+//! let mut rng = Prng::seed_from_u64(7);
+//! let gen = CriteoLike::new();
+//! let train = gen.sample(2_000, Population::Base, &mut rng);
+//! let calibration = gen.sample(800, Population::Base, &mut rng);
+//!
+//! let mut model = Rdrp::new(RdrpConfig {
+//!     drp: DrpConfig { epochs: 3, ..DrpConfig::default() },
+//!     mc_passes: 5,
+//!     ..RdrpConfig::default()
+//! });
+//! model.fit_with_calibration(&train, &calibration, &mut rng);
+//!
+//! let customers = gen.sample(500, Population::Base, &mut rng);
+//! let scores = model.predict_scores(&customers.x, &mut rng);
+//! let costs = customers.true_tau_c.clone().unwrap();
+//! let budget = 0.3 * costs.iter().sum::<f64>();
+//! let allocation = greedy_allocate(&scores, &costs, budget);
+//! assert!(allocation.spent <= budget);
+//! ```
+
+pub mod allocator;
+pub mod bootstrap_uq;
+pub mod calibrate;
+pub mod config;
+pub mod drp;
+pub mod loss;
+pub mod multi;
+pub mod persist;
+pub mod rdrp;
+pub mod search;
+
+pub use allocator::{greedy_allocate, optimal_allocate_dp, Allocation};
+pub use bootstrap_uq::BootstrapDrp;
+pub use calibrate::CalibrationForm;
+pub use config::{DrpConfig, RdrpConfig};
+pub use drp::DrpModel;
+pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
+pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp, PersistError};
+pub use loss::DrpObjective;
+pub use rdrp::{Rdrp, RdrpDiagnostics};
+pub use search::find_roi_star;

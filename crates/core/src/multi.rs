@@ -1,0 +1,327 @@
+//! Multi-treatment rDRP via Divide and Conquer (paper §VI).
+//!
+//! The paper: "Divide and Conquer method can be adopted for multiple
+//! treatment, which decomposes the multiple treatment problem into
+//! several binary treatment problems. Then each binary treatment problem
+//! can use the rDRP method." This module implements exactly that, plus
+//! the multiple-choice knapsack greedy that spends one budget across
+//! arms (each individual receives at most one treatment).
+
+use crate::config::RdrpConfig;
+use crate::rdrp::Rdrp;
+use datasets::multi::MultiRctDataset;
+use linalg::random::Prng;
+use linalg::Matrix;
+
+/// One rDRP per treatment arm, trained on that arm's binarized RCT.
+#[derive(Debug, Clone)]
+pub struct DivideAndConquerRdrp {
+    models: Vec<Rdrp>,
+    n_levels: u8,
+}
+
+impl DivideAndConquerRdrp {
+    /// Creates `n_levels` unfitted rDRP models sharing one configuration.
+    ///
+    /// # Panics
+    /// Panics when `n_levels` is 0 or the config is invalid.
+    pub fn new(config: RdrpConfig, n_levels: u8) -> Self {
+        assert!(n_levels >= 1, "need at least one treatment arm");
+        DivideAndConquerRdrp {
+            models: (0..n_levels).map(|_| Rdrp::new(config.clone())).collect(),
+            n_levels,
+        }
+    }
+
+    /// Number of treatment arms.
+    pub fn n_levels(&self) -> u8 {
+        self.n_levels
+    }
+
+    /// Fits each arm's rDRP on the binarized train/calibration pair.
+    ///
+    /// # Panics
+    /// Panics if the datasets have a different number of arms than this
+    /// model.
+    pub fn fit(
+        &mut self,
+        train: &MultiRctDataset,
+        calibration: &MultiRctDataset,
+        rng: &mut Prng,
+    ) {
+        assert_eq!(train.n_levels, self.n_levels, "train arm-count mismatch");
+        assert_eq!(
+            calibration.n_levels, self.n_levels,
+            "calibration arm-count mismatch"
+        );
+        for k in 1..=self.n_levels {
+            let bt = train.to_binary(k);
+            let bc = calibration.to_binary(k);
+            self.models[(k - 1) as usize].fit_with_calibration(&bt, &bc, rng);
+        }
+    }
+
+    /// Per-arm ranking scores for every row of `x`:
+    /// `scores[k][i]` is arm `k+1`'s score for individual `i`.
+    ///
+    /// # Panics
+    /// Panics before [`DivideAndConquerRdrp::fit`].
+    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<Vec<f64>> {
+        self.models
+            .iter()
+            .map(|m| m.predict_scores(x, rng))
+            .collect()
+    }
+
+    /// Access to an individual arm's model (1-based arm index).
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn arm(&self, k: u8) -> &Rdrp {
+        assert!(k >= 1 && k <= self.n_levels, "arm {k} out of range");
+        &self.models[(k - 1) as usize]
+    }
+
+    /// Cross-arm **comparable** scores for the multiple-choice allocator.
+    ///
+    /// Each arm's calibrated rDRP score is only rank-valid *within* that
+    /// arm (different arms may select different Eq. 5 forms with very
+    /// different magnitudes — e.g. `roi + r̂q̂` vs raw `roi`). Comparing
+    /// raw calibrated scores across arms would let one arm's scale
+    /// monopolize the budget. This method quantile-matches: within each
+    /// arm, individuals are ordered by the calibrated score but *valued*
+    /// by the arm's own sorted DRP point-ROI estimates, putting every arm
+    /// on the common (0, 1) ROI scale while preserving rDRP's ranking.
+    ///
+    /// # Panics
+    /// Panics before [`DivideAndConquerRdrp::fit`].
+    pub fn predict_comparable_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<Vec<f64>> {
+        use linalg::vector::argsort_desc;
+        use uplift::RoiModel;
+        self.models
+            .iter()
+            .map(|m| {
+                let calibrated = m.predict_scores(x, rng);
+                let mut roi_values = m.drp().predict_roi(x);
+                roi_values
+                    .sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                let order = argsort_desc(&calibrated);
+                let mut out = vec![0.0; calibrated.len()];
+                for (rank, &i) in order.iter().enumerate() {
+                    out[i] = roi_values[rank];
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// An assignment of at most one treatment arm per individual.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiAllocation {
+    /// `Some(k)` = individual receives arm `k` (1-based); `None` = control.
+    pub assigned: Vec<Option<u8>>,
+    /// Total expected incremental cost.
+    pub spent: f64,
+    /// Number of treated individuals.
+    pub n_treated: usize,
+}
+
+/// Greedy multiple-choice knapsack: rank all `(individual, arm)` pairs by
+/// score descending; take a pair when the individual is still untreated
+/// and its cost fits the remaining budget (pairs that do not fit are
+/// skipped, not a hard stop — with per-arm costs a hard stop would strand
+/// budget on the most expensive arm).
+///
+/// `scores[k][i]` and `costs[k][i]` are arm `k+1`'s score and expected
+/// incremental cost for individual `i`.
+///
+/// # Panics
+/// Panics on ragged inputs, non-positive costs, or a negative budget.
+pub fn greedy_allocate_multi(
+    scores: &[Vec<f64>],
+    costs: &[Vec<f64>],
+    budget: f64,
+) -> MultiAllocation {
+    assert!(!scores.is_empty(), "greedy_allocate_multi: no arms");
+    assert_eq!(scores.len(), costs.len(), "arms mismatch");
+    let n = scores[0].len();
+    for (k, (s, c)) in scores.iter().zip(costs).enumerate() {
+        assert_eq!(s.len(), n, "ragged scores at arm {k}");
+        assert_eq!(c.len(), n, "ragged costs at arm {k}");
+        assert!(
+            c.iter().all(|&v| v > 0.0),
+            "costs must be positive (Assumption 4)"
+        );
+    }
+    assert!(budget >= 0.0, "negative budget");
+    // Flatten and sort (arm, individual) pairs by score.
+    let mut pairs: Vec<(usize, usize)> = (0..scores.len())
+        .flat_map(|k| (0..n).map(move |i| (k, i)))
+        .collect();
+    pairs.sort_by(|a, b| {
+        scores[b.0][b.1]
+            .partial_cmp(&scores[a.0][a.1])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut assigned: Vec<Option<u8>> = vec![None; n];
+    let mut spent = 0.0;
+    let mut n_treated = 0usize;
+    for (k, i) in pairs {
+        if assigned[i].is_some() {
+            continue;
+        }
+        let cost = costs[k][i];
+        if spent + cost > budget {
+            continue;
+        }
+        assigned[i] = Some(k as u8 + 1);
+        spent += cost;
+        n_treated += 1;
+    }
+    MultiAllocation {
+        assigned,
+        spent,
+        n_treated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrpConfig;
+    use datasets::generator::Population;
+    use datasets::multi::MultiCouponGenerator;
+
+    #[test]
+    fn greedy_multi_prefers_higher_scores_and_respects_budget() {
+        // Two arms, three individuals.
+        let scores = vec![vec![0.9, 0.1, 0.5], vec![0.8, 0.7, 0.2]];
+        let costs = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let alloc = greedy_allocate_multi(&scores, &costs, 3.0);
+        // Best pair: (arm1, ind0, 0.9, cost 1). Next (arm2, ind0) skipped
+        // (ind0 taken). Then (arm2, ind1, 0.7, cost 2) fits.
+        assert_eq!(alloc.assigned[0], Some(1));
+        assert_eq!(alloc.assigned[1], Some(2));
+        assert_eq!(alloc.assigned[2], None);
+        assert_eq!(alloc.spent, 3.0);
+        assert_eq!(alloc.n_treated, 2);
+    }
+
+    #[test]
+    fn skip_rule_fills_budget_past_expensive_pairs() {
+        let scores = vec![vec![0.9, 0.5]];
+        let costs = vec![vec![10.0, 1.0]];
+        // The best pair does not fit; the next one does.
+        let alloc = greedy_allocate_multi(&scores, &costs, 1.5);
+        assert_eq!(alloc.assigned[0], None);
+        assert_eq!(alloc.assigned[1], Some(1));
+    }
+
+    #[test]
+    fn each_individual_gets_at_most_one_arm() {
+        let scores = vec![vec![0.9; 5], vec![0.8; 5], vec![0.7; 5]];
+        let costs = vec![vec![0.1; 5]; 3];
+        let alloc = greedy_allocate_multi(&scores, &costs, 100.0);
+        assert_eq!(alloc.n_treated, 5);
+        assert!(alloc.assigned.iter().all(|a| a.is_some()));
+    }
+
+    #[test]
+    fn divide_and_conquer_end_to_end() {
+        let gen = MultiCouponGenerator::new(2);
+        let mut rng = Prng::seed_from_u64(0);
+        let train = gen.sample(6000, Population::Base, &mut rng);
+        let calib = gen.sample(2500, Population::Base, &mut rng);
+        let test = gen.sample(2000, Population::Base, &mut rng);
+        let config = RdrpConfig {
+            drp: DrpConfig {
+                epochs: 10,
+                ..DrpConfig::default()
+            },
+            mc_passes: 15,
+            ..RdrpConfig::default()
+        };
+        let mut dc = DivideAndConquerRdrp::new(config, 2);
+        dc.fit(&train, &calib, &mut rng);
+        let scores = dc.predict_scores(&test.x, &mut rng);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].len(), test.len());
+        assert!(scores.iter().flatten().all(|s| s.is_finite()));
+
+        // Allocate against ground-truth costs and check value vs random.
+        let costs = test.true_tau_c.clone().unwrap();
+        let values = test.true_tau_r.clone().unwrap();
+        let budget = 0.2 * costs[0].iter().sum::<f64>();
+        let alloc = greedy_allocate_multi(&scores, &costs, budget);
+        assert!(alloc.spent <= budget);
+        let captured: f64 = alloc
+            .assigned
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|k| values[(k - 1) as usize][i]))
+            .sum();
+        // Random multi-assignment baseline.
+        let rand_scores: Vec<Vec<f64>> = (0..2)
+            .map(|_| (0..test.len()).map(|_| rng.uniform()).collect())
+            .collect();
+        let rand_alloc = greedy_allocate_multi(&rand_scores, &costs, budget);
+        let rand_captured: f64 = rand_alloc
+            .assigned
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|k| values[(k - 1) as usize][i]))
+            .sum();
+        assert!(
+            captured > rand_captured * 0.9,
+            "D&C {captured} vs random {rand_captured}"
+        );
+    }
+
+    #[test]
+    fn comparable_scores_live_on_common_roi_scale() {
+        let gen = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(9);
+        let train = gen.sample(5000, Population::Base, &mut rng);
+        let calib = gen.sample(2000, Population::Base, &mut rng);
+        let test = gen.sample(1000, Population::Base, &mut rng);
+        let config = RdrpConfig {
+            drp: DrpConfig {
+                epochs: 8,
+                ..DrpConfig::default()
+            },
+            mc_passes: 10,
+            ..RdrpConfig::default()
+        };
+        let mut dc = DivideAndConquerRdrp::new(config, 3);
+        dc.fit(&train, &calib, &mut rng);
+        let comparable = dc.predict_comparable_scores(&test.x, &mut rng);
+        // All arms' scores live in (0, 1) — the common ROI scale.
+        for (k, arm_scores) in comparable.iter().enumerate() {
+            assert!(
+                arm_scores.iter().all(|&s| (0.0..=1.0).contains(&s)),
+                "arm {k} escaped (0,1)"
+            );
+        }
+        // Quantile matching preserves each arm's calibrated ranking.
+        let raw = dc.predict_scores(&test.x, &mut Prng::seed_from_u64(0x5C0BE));
+        let comparable2 = dc.predict_comparable_scores(&test.x, &mut Prng::seed_from_u64(0x5C0BE));
+        for k in 0..3 {
+            let a = linalg::vector::argsort_desc(&raw[k]);
+            let b = linalg::vector::argsort_desc(&comparable2[k]);
+            assert_eq!(a, b, "arm {k} ranking changed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arm-count mismatch")]
+    fn mismatched_arms_panic() {
+        let gen2 = MultiCouponGenerator::new(2);
+        let gen3 = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(1);
+        let train = gen3.sample(500, Population::Base, &mut rng);
+        let calib = gen2.sample(500, Population::Base, &mut rng);
+        let mut dc = DivideAndConquerRdrp::new(RdrpConfig::default(), 3);
+        dc.fit(&train, &calib, &mut rng);
+    }
+}

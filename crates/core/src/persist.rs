@@ -1,0 +1,147 @@
+//! Model persistence.
+//!
+//! Trained DRP/rDRP models serialize to JSON (weights, scaler, conformal
+//! quantile, selected calibration form — everything needed to reproduce
+//! predictions bit-for-bit; optimizer state and forward caches are
+//! transient and excluded). The deployment story the paper describes —
+//! train offline, calibrate on a fresh RCT, then serve — needs exactly
+//! this boundary.
+
+use crate::drp::DrpModel;
+use crate::rdrp::Rdrp;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors from saving/loading models.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Saves an rDRP model (trained or not) as pretty JSON.
+pub fn save_rdrp(model: &Rdrp, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::write(path, serde_json::to_string_pretty(model)?)?;
+    Ok(())
+}
+
+/// Loads an rDRP model saved by [`save_rdrp`].
+pub fn load_rdrp(path: impl AsRef<Path>) -> Result<Rdrp, PersistError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+/// Saves a DRP model as pretty JSON.
+pub fn save_drp(model: &DrpModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    fs::write(path, serde_json::to_string_pretty(model)?)?;
+    Ok(())
+}
+
+/// Loads a DRP model saved by [`save_drp`].
+pub fn load_drp(path: impl AsRef<Path>) -> Result<DrpModel, PersistError> {
+    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DrpConfig, RdrpConfig};
+    use datasets::generator::{Population, RctGenerator};
+    use datasets::CriteoLike;
+    use linalg::random::Prng;
+    use uplift::RoiModel;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rdrp_persist_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn drp_roundtrips_with_identical_predictions() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(0);
+        let train = gen.sample(1500, Population::Base, &mut rng);
+        let test = gen.sample(200, Population::Base, &mut rng);
+        let mut model = DrpModel::new(DrpConfig {
+            epochs: 5,
+            ..DrpConfig::default()
+        });
+        model.fit(&train, &mut rng);
+        let path = tmp("drp");
+        save_drp(&model, &path).unwrap();
+        let loaded = load_drp(&path).unwrap();
+        assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rdrp_roundtrips_with_identical_scores_and_diagnostics() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(1);
+        let train = gen.sample(2500, Population::Base, &mut rng);
+        let cal = gen.sample(1200, Population::Base, &mut rng);
+        let test = gen.sample(200, Population::Base, &mut rng);
+        let mut model = Rdrp::new(RdrpConfig {
+            drp: DrpConfig {
+                epochs: 5,
+                ..DrpConfig::default()
+            },
+            mc_passes: 10,
+            ..RdrpConfig::default()
+        });
+        model.fit_with_calibration(&train, &cal, &mut rng);
+        let path = tmp("rdrp");
+        save_rdrp(&model, &path).unwrap();
+        let loaded = load_rdrp(&path).unwrap();
+        assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
+        assert_eq!(
+            model.diagnostics().qhat,
+            loaded.diagnostics().qhat
+        );
+        assert_eq!(
+            model.diagnostics().selected_form,
+            loaded.diagnostics().selected_form
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            load_drp("/nonexistent/rdrp_model.json"),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load_rdrp(&path), Err(PersistError::Serde(_))));
+        let _ = std::fs::remove_file(path);
+    }
+}

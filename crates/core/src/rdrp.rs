@@ -1,0 +1,510 @@
+//! Algorithm 4: the robust DRP pipeline.
+//!
+//! ```text
+//! 1. Train DRP on the training set.
+//! 2. On the calibration set (a fresh pre-deployment RCT):
+//!      (i)   infer DRP point estimates r̂oi,
+//!      (ii)  find roi* by binary search (Algorithm 2),
+//!      (iii) infer MC-dropout stds r̂(x),
+//!      (iv)  compute the conformal quantile q̂ (Algorithm 3),
+//!      (v)   select the calibration form among Eq. 5a–5c by AUCC.
+//! 3. On the test set: infer r̂oi and r̂(x), apply the selected form with
+//!    q̂ to obtain the calibrated ranking scores.
+//! ```
+
+use crate::calibrate::CalibrationForm;
+use crate::config::RdrpConfig;
+use crate::drp::DrpModel;
+use crate::search::{find_roi_star, SearchError};
+use conformal::{Interval, SplitConformal};
+use datasets::RctDataset;
+use linalg::random::Prng;
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use uplift::RoiModel;
+
+/// What the calibration phase produced (inspectable diagnostics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RdrpDiagnostics {
+    /// The convergence-point ROI from Algorithm 2 (`None` when the search
+    /// failed and rDRP fell back to uncalibrated DRP).
+    pub roi_star: Option<f64>,
+    /// The conformal score quantile `q̂`.
+    pub qhat: f64,
+    /// The calibration form selected on the calibration set.
+    pub selected_form: CalibrationForm,
+    /// Mean paired-bootstrap AUCC improvement over the uncalibrated
+    /// point estimate for each candidate form `(form, mean_improvement)`,
+    /// in candidate order (empty when the search fell back).
+    pub form_auccs: Vec<(CalibrationForm, f64)>,
+    /// Calibration-set size.
+    pub n_calibration: usize,
+}
+
+/// Bootstrap resamples used by the form-selection significance test.
+const SELECTION_BOOTSTRAPS: usize = 16;
+/// One-sided t-statistic threshold a form must clear to replace the
+/// uncalibrated point estimate. Deliberately strict: the bootstrap only
+/// measures resampling variance, not the calibration sample's own bias,
+/// so adopting a form on weak evidence risks degrading deployment — the
+/// opposite of "robust".
+const SELECTION_T_THRESHOLD: f64 = 2.5;
+/// Minimum mean paired AUCC improvement a form must show besides
+/// statistical significance.
+const SELECTION_MIN_GAIN: f64 = 0.005;
+/// Percentile bins used for calibration-set AUCC during selection.
+const SELECTION_AUCC_BINS: usize = 20;
+
+/// Paired-bootstrap form selection with split confirmation (Algorithm 4
+/// line 8, with sampling noise accounted for).
+///
+/// Two noise sources threaten the selection: *resampling variance*
+/// (handled by the paired bootstrap's t-test on one half of the
+/// calibration set) and the *label-realization noise of the calibration
+/// sample itself*, which the bootstrap cannot see — a form can look
+/// consistently better on one particular sample and be worthless on the
+/// population. The held-out half guards against the latter: a form is
+/// adopted only if it also improves on calibration data it was not
+/// selected on. Returns the selected form and each candidate's mean
+/// paired AUCC improvement on the selection half.
+fn select_form_bootstrap(
+    calibration: &RctDataset,
+    preds: &[f64],
+    half_widths: &[f64],
+    width_floor: f64,
+    bootstraps: usize,
+    rng: &mut Prng,
+) -> (CalibrationForm, Vec<(CalibrationForm, f64)>) {
+    let forms = CalibrationForm::CANDIDATES;
+    // Split the calibration set into a selection half and a confirm half.
+    let order = rng.permutation(calibration.len());
+    let mid = calibration.len() / 2;
+    let select_idx = &order[..mid];
+    let confirm_idx = &order[mid..];
+    let confirm = calibration.subset(confirm_idx);
+
+    let mut diffs: Vec<Vec<f64>> = vec![Vec::with_capacity(bootstraps); forms.len()];
+    for _ in 0..bootstraps {
+        let pick = rng.sample_with_replacement(select_idx.len(), select_idx.len());
+        let idx: Vec<usize> = pick.iter().map(|&k| select_idx[k]).collect();
+        let sub = calibration.subset(&idx);
+        let id_scores: Vec<f64> = idx.iter().map(|&i| preds[i]).collect();
+        // Degenerate resamples (missing group / non-positive uplift
+        // totals) carry no ranking information; skip the whole draw.
+        let Some(a_id) = metrics::aucc_checked(&sub, &id_scores, SELECTION_AUCC_BINS) else {
+            continue;
+        };
+        for (fi, form) in forms.iter().enumerate() {
+            let scores: Vec<f64> = idx
+                .iter()
+                .map(|&i| form.apply(preds[i], half_widths[i], width_floor))
+                .collect();
+            if let Some(a) = metrics::aucc_checked(&sub, &scores, SELECTION_AUCC_BINS) {
+                diffs[fi].push(a - a_id);
+            }
+        }
+    }
+    // Confirm-half identity baseline.
+    let confirm_id: Vec<f64> = confirm_idx.iter().map(|&i| preds[i]).collect();
+    let confirm_base = metrics::aucc_checked(&confirm, &confirm_id, SELECTION_AUCC_BINS);
+
+    let mut best = CalibrationForm::Identity;
+    let mut best_t = 0.0f64;
+    let mut report = Vec::with_capacity(forms.len());
+    for (fi, form) in forms.iter().enumerate() {
+        if diffs[fi].len() < 2 {
+            report.push((*form, 0.0));
+            continue;
+        }
+        let mean = linalg::stats::mean(&diffs[fi]);
+        let se = linalg::stats::sample_std_dev(&diffs[fi]) / (diffs[fi].len() as f64).sqrt();
+        let t = if se > 0.0 { mean / se } else { 0.0 };
+        report.push((*form, mean));
+        if mean > SELECTION_MIN_GAIN && t > SELECTION_T_THRESHOLD && t > best_t {
+            // Held-out confirmation against the sample's own label noise.
+            let confirmed = match confirm_base {
+                Some(base) => {
+                    let scores: Vec<f64> = confirm_idx
+                        .iter()
+                        .map(|&i| form.apply(preds[i], half_widths[i], width_floor))
+                        .collect();
+                    metrics::aucc_checked(&confirm, &scores, SELECTION_AUCC_BINS)
+                        .is_some_and(|a| a > base + SELECTION_MIN_GAIN)
+                }
+                None => false,
+            };
+            if confirmed {
+                best = *form;
+                best_t = t;
+            }
+        }
+    }
+    (best, report)
+}
+
+/// The robust DRP model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rdrp {
+    config: RdrpConfig,
+    drp: DrpModel,
+    state: Option<Calibrated>,
+    /// Internal calibration fraction used by the [`RoiModel::fit`]
+    /// convenience path (which has no separate calibration set).
+    internal_calib_fraction: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Calibrated {
+    conformal: SplitConformal,
+    form: CalibrationForm,
+    diagnostics: RdrpDiagnostics,
+}
+
+impl Rdrp {
+    /// Creates an unfitted rDRP model.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(config: RdrpConfig) -> Self {
+        if let Some(problem) = config.validate() {
+            panic!("Rdrp::new: invalid config: {problem}");
+        }
+        let drp = DrpModel::new(config.drp.clone());
+        Rdrp {
+            config,
+            drp,
+            state: None,
+            internal_calib_fraction: 0.2,
+        }
+    }
+
+    /// The underlying (trained) DRP model.
+    pub fn drp(&self) -> &DrpModel {
+        &self.drp
+    }
+
+    /// Calibration diagnostics.
+    ///
+    /// # Panics
+    /// Panics before fitting.
+    pub fn diagnostics(&self) -> &RdrpDiagnostics {
+        &self
+            .state
+            .as_ref()
+            .expect("Rdrp: fit before reading diagnostics")
+            .diagnostics
+    }
+
+    /// The full Algorithm 4: trains DRP on `train` and calibrates the
+    /// conformal interval + form selection on `calibration` (the fresh
+    /// pre-deployment RCT whose distribution matches the test population,
+    /// Assumption 6).
+    pub fn fit_with_calibration(
+        &mut self,
+        train: &RctDataset,
+        calibration: &RctDataset,
+        rng: &mut Prng,
+    ) {
+        assert!(!calibration.is_empty(), "Rdrp: empty calibration set");
+        // Step 1: train DRP.
+        self.drp.fit(train, rng);
+        // Step 2 on the calibration set.
+        let preds = self.drp.predict_roi(&calibration.x);
+        let mc = self.drp.mc_roi_with_rate(
+            &calibration.x,
+            self.config.mc_passes,
+            self.config.mc_dropout,
+            self.config.std_floor,
+            rng,
+        );
+        let roi_star = match find_roi_star(
+            &calibration.t,
+            &calibration.y_r,
+            &calibration.y_c,
+            self.config.search_eps,
+        ) {
+            Ok(v) => v,
+            Err(e @ (SearchError::MissingGroup | SearchError::NonPositiveCostUplift { .. })) => {
+                // Degenerate calibration sample: fall back to plain DRP
+                // (q̂ = 0 makes every form reduce to a monotone transform
+                // of the point estimate — Identity keeps it exact).
+                let diagnostics = RdrpDiagnostics {
+                    roi_star: None,
+                    qhat: 0.0,
+                    selected_form: CalibrationForm::Identity,
+                    form_auccs: Vec::new(),
+                    n_calibration: calibration.len(),
+                };
+                // A q̂ = 0 conformal object keeps predict_intervals usable.
+                let _ = e; // the reason is recorded via roi_star = None
+                self.state = Some(Calibrated {
+                    conformal: SplitConformal::from_quantile(
+                        0.0,
+                        self.config.alpha,
+                        calibration.len(),
+                        self.config.std_floor,
+                    ),
+                    form: CalibrationForm::Identity,
+                    diagnostics,
+                });
+                return;
+            }
+        };
+        let truths = vec![roi_star; calibration.len()];
+        let conformal = SplitConformal::calibrate(
+            &truths,
+            &preds,
+            &mc.std,
+            self.config.alpha,
+            self.config.std_floor,
+        )
+        .expect("non-empty calibration set and validated alpha");
+        // Step 2(v): select the form by calibration-set AUCC. Calibration
+        // labels are noisy (AUCC on a few thousand RCT rows has sampling
+        // error comparable to the form effects), so the selection is a
+        // *paired bootstrap*: each resample of the calibration set scores
+        // every form against the uncalibrated point estimate, and a form
+        // is adopted only when its mean paired improvement is positive and
+        // statistically significant. Otherwise rDRP declines to calibrate
+        // — the "validate on the calibration set which form is best" step
+        // of Algorithm 4, taken with the noise accounted for.
+        let qhat = conformal.qhat();
+        let half_widths: Vec<f64> = mc.std.iter().map(|&s| s * qhat).collect();
+        let (selected, form_auccs) = select_form_bootstrap(
+            calibration,
+            &preds,
+            &half_widths,
+            self.config.std_floor,
+            SELECTION_BOOTSTRAPS,
+            rng,
+        );
+        let diagnostics = RdrpDiagnostics {
+            roi_star: Some(roi_star),
+            qhat,
+            selected_form: selected,
+            form_auccs,
+            n_calibration: calibration.len(),
+        };
+        self.state = Some(Calibrated {
+            conformal,
+            form: selected,
+            diagnostics,
+        });
+    }
+
+    /// Conformal prediction intervals `C(x)` for test points, clipped to
+    /// the ROI range (0, 1) (Assumption 3).
+    ///
+    /// # Panics
+    /// Panics before fitting.
+    pub fn predict_intervals(&self, x: &Matrix, rng: &mut Prng) -> Vec<Interval> {
+        let state = self.state.as_ref().expect("Rdrp: fit before predict");
+        let preds = self.drp.predict_roi(x);
+        let mc = self.drp.mc_roi_with_rate(
+            x,
+            self.config.mc_passes,
+            self.config.mc_dropout,
+            self.config.std_floor,
+            rng,
+        );
+        state
+            .conformal
+            .intervals(&preds, &mc.std)
+            .into_iter()
+            .map(|iv| iv.clamp_to(0.0, 1.0))
+            .collect()
+    }
+
+    /// Calibrated ranking scores on test points — Algorithm 4 line 12.
+    ///
+    /// Takes an explicit RNG so the MC-dropout passes are reproducible;
+    /// [`RoiModel::predict_roi`] wraps this with a fixed internal seed.
+    ///
+    /// # Panics
+    /// Panics before fitting.
+    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<f64> {
+        let state = self.state.as_ref().expect("Rdrp: fit before predict");
+        let preds = self.drp.predict_roi(x);
+        if state.form == CalibrationForm::Identity {
+            return preds;
+        }
+        let mc = self.drp.mc_roi_with_rate(
+            x,
+            self.config.mc_passes,
+            self.config.mc_dropout,
+            self.config.std_floor,
+            rng,
+        );
+        let qhat = state.conformal.qhat();
+        let half_widths: Vec<f64> = mc.std.iter().map(|&s| s * qhat).collect();
+        state.form.apply_all(&preds, &half_widths, self.config.std_floor)
+    }
+}
+
+impl RoiModel for Rdrp {
+    fn name(&self) -> String {
+        "rDRP".to_string()
+    }
+
+    /// Convenience fit when no separate calibration RCT exists: holds out
+    /// `internal_calib_fraction` of `data` (default 20%) as the
+    /// calibration set. Production deployments should prefer
+    /// [`Rdrp::fit_with_calibration`] with a *fresh* RCT matching the
+    /// deployment distribution — that freshness is the entire point of
+    /// the method under covariate shift.
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
+        assert!(data.len() >= 10, "Rdrp::fit: dataset too small to split");
+        let order = rng.permutation(data.len());
+        let n_cal = ((data.len() as f64 * self.internal_calib_fraction).round() as usize)
+            .clamp(1, data.len() - 1);
+        let calibration = data.subset(&order[..n_cal]);
+        let train = data.subset(&order[n_cal..]);
+        self.fit_with_calibration(&train, &calibration, rng);
+    }
+
+    fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
+        // Fixed seed: scoring must be deterministic for a fitted model.
+        let mut rng = Prng::seed_from_u64(0x5C0BE);
+        self.predict_scores(x, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::generator::{Population, RctGenerator};
+    use datasets::{CriteoLike, ExperimentData, Setting, SettingSizes};
+
+    fn small_config() -> RdrpConfig {
+        RdrpConfig {
+            drp: crate::DrpConfig {
+                epochs: 20,
+                ..crate::DrpConfig::default()
+            },
+            mc_passes: 25,
+            ..RdrpConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs_and_reports_diagnostics() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(0);
+        let train = gen.sample(6000, Population::Base, &mut rng);
+        let cal = gen.sample(2000, Population::Base, &mut rng);
+        let test = gen.sample(2000, Population::Base, &mut rng);
+        let mut m = Rdrp::new(small_config());
+        m.fit_with_calibration(&train, &cal, &mut rng);
+        let d = m.diagnostics();
+        assert!(d.roi_star.is_some());
+        let roi_star = d.roi_star.unwrap();
+        assert!((0.0..1.0).contains(&roi_star), "roi* = {roi_star}");
+        assert!(d.qhat > 0.0 && d.qhat.is_finite());
+        assert_eq!(d.form_auccs.len(), 3); // paired improvements for 5a/5b/5c
+        assert_eq!(d.n_calibration, 2000);
+        let scores = m.predict_roi(&test.x);
+        assert_eq!(scores.len(), 2000);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn intervals_cover_roi_star_at_nominal_rate() {
+        // The conformal guarantee (Eq. 4) is about covering roi*_test; on
+        // an exchangeable calibration/test pair the empirical coverage of
+        // the *test-set* roi* must be >= 1 - alpha (up to noise).
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(1);
+        let train = gen.sample(6000, Population::Base, &mut rng);
+        let cal = gen.sample(3000, Population::Base, &mut rng);
+        let test = gen.sample(3000, Population::Base, &mut rng);
+        let mut m = Rdrp::new(small_config());
+        m.fit_with_calibration(&train, &cal, &mut rng);
+        let ivs = m.predict_intervals(&test.x, &mut rng);
+        let roi_star_test =
+            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).unwrap();
+        let covered = ivs.iter().filter(|iv| iv.contains(roi_star_test)).count();
+        let rate = covered as f64 / ivs.len() as f64;
+        assert!(rate >= 0.80, "coverage of test roi* = {rate}");
+        // Intervals are clipped to (0,1).
+        assert!(ivs.iter().all(|iv| iv.lo >= 0.0 && iv.hi <= 1.0));
+    }
+
+    #[test]
+    fn rdrp_not_worse_than_drp_under_shift_and_scarcity() {
+        // The headline claim (Table I, InCo cell): with insufficient data
+        // and covariate shift, rDRP outperforms raw DRP.
+        let gen = CriteoLike::new();
+        let sizes = SettingSizes {
+            train_sufficient: 12_000,
+            insufficient_fraction: 0.15,
+            calibration: 3_000,
+            test: 6_000,
+        };
+        let mut diffs = Vec::new();
+        for seed in 0..3u64 {
+            let mut rng = Prng::seed_from_u64(100 + seed);
+            let data = ExperimentData::build(&gen, Setting::InCo, &sizes, &mut rng);
+            let mut m = Rdrp::new(small_config());
+            m.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+            let rdrp_scores = m.predict_roi(&data.test.x);
+            let drp_scores = m.drp().predict_roi(&data.test.x);
+            let a_rdrp = metrics::aucc_from_labels(&data.test, &rdrp_scores, 50);
+            let a_drp = metrics::aucc_from_labels(&data.test, &drp_scores, 50);
+            diffs.push(a_rdrp - a_drp);
+        }
+        let mean_diff: f64 = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        assert!(
+            mean_diff > -0.01,
+            "rDRP should not lose to DRP under InCo (mean diff {mean_diff}, {diffs:?})"
+        );
+    }
+
+    #[test]
+    fn degenerate_calibration_falls_back_to_identity() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(2);
+        let train = gen.sample(3000, Population::Base, &mut rng);
+        let mut cal = gen.sample(500, Population::Base, &mut rng);
+        // Destroy the calibration cost labels: zero cost uplift.
+        cal.y_c = vec![0.0; cal.len()];
+        let mut m = Rdrp::new(small_config());
+        m.fit_with_calibration(&train, &cal, &mut rng);
+        let d = m.diagnostics();
+        assert_eq!(d.roi_star, None);
+        assert_eq!(d.selected_form, CalibrationForm::Identity);
+        // Predictions equal plain DRP.
+        let test = gen.sample(200, Population::Base, &mut rng);
+        assert_eq!(m.predict_roi(&test.x), m.drp().predict_roi(&test.x));
+    }
+
+    #[test]
+    fn roimodel_fit_splits_internally() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(3);
+        let data = gen.sample(4000, Population::Base, &mut rng);
+        let mut m = Rdrp::new(small_config());
+        m.fit(&data, &mut rng);
+        assert_eq!(m.diagnostics().n_calibration, 800); // 20%
+        let scores = m.predict_roi(&data.x);
+        assert_eq!(scores.len(), 4000);
+    }
+
+    #[test]
+    fn predictions_are_deterministic_after_fit() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(4);
+        let data = gen.sample(2000, Population::Base, &mut rng);
+        let mut m = Rdrp::new(small_config());
+        m.fit(&data, &mut rng);
+        let test = gen.sample(300, Population::Base, &mut rng);
+        assert_eq!(m.predict_roi(&test.x), m.predict_roi(&test.x));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid config")]
+    fn invalid_config_panics() {
+        let mut c = RdrpConfig::default();
+        c.alpha = 2.0;
+        let _ = Rdrp::new(c);
+    }
+}

@@ -1,0 +1,199 @@
+//! Algorithm 2: binary search for the loss convergence point `roi*`.
+//!
+//! The shared-score DRP loss derivative `L'(s) = τ̄^c σ(s) − τ̄^r` is
+//! increasing in `s` (convexity, given `τ̄^c > 0`), so its root — the
+//! convergence point — is found by bisection over `roi = σ(s) ∈ (0, 1)`.
+//! Assumption 5 then treats `roi* = σ(s*)` as the reference true ROI for
+//! the conformal score.
+
+use crate::loss::{mean_uplifts, shared_score_derivative};
+use linalg::vector::logit;
+use std::fmt;
+
+/// Why the search could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// One of the treatment groups is missing from the calibration set.
+    MissingGroup,
+    /// The mean cost uplift is not positive, so the loss is not strictly
+    /// convex and no interior convergence point exists (Assumption 4
+    /// violated by this sample).
+    NonPositiveCostUplift {
+        /// The offending estimate.
+        tau_c: f64,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::MissingGroup => {
+                write!(f, "calibration set lacks a treatment group")
+            }
+            SearchError::NonPositiveCostUplift { tau_c } => write!(
+                f,
+                "mean cost uplift {tau_c} is not positive; loss has no interior minimum"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Binary search for `roi*` on calibration labels (paper Algorithm 2).
+///
+/// `eps` bounds both the bracket width and the derivative magnitude at
+/// early exit. The result is clamped to `(eps, 1 − eps)`: when the
+/// empirical ratio `τ̄^r/τ̄^c` falls outside (0, 1) — possible in small
+/// noisy samples even though Assumption 3 bounds the population value —
+/// the search saturates at the nearest boundary.
+pub fn find_roi_star(
+    t: &[u8],
+    y_r: &[f64],
+    y_c: &[f64],
+    eps: f64,
+) -> Result<f64, SearchError> {
+    assert!(eps > 0.0 && eps < 0.5, "find_roi_star: eps must be in (0, 0.5)");
+    let n1 = t.iter().filter(|&&v| v == 1).count();
+    if n1 == 0 || n1 == t.len() {
+        return Err(SearchError::MissingGroup);
+    }
+    let (_, tau_c) = mean_uplifts(t, y_r, y_c);
+    if tau_c <= 0.0 {
+        return Err(SearchError::NonPositiveCostUplift { tau_c });
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut roi = 0.5;
+    // |log2(1/eps)| + 1 iterations suffice (paper §IV-D); the loop guard
+    // below mirrors Algorithm 2's `while |roi_r - roi_l| > eps`.
+    while hi - lo > eps {
+        let d = shared_score_derivative(logit(roi), t, y_r, y_c);
+        if d.abs() < eps {
+            break;
+        }
+        if d > 0.0 {
+            hi = roi;
+        } else {
+            lo = roi;
+        }
+        roi = 0.5 * (lo + hi);
+    }
+    Ok(roi.clamp(eps, 1.0 - eps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::random::Prng;
+
+    /// Labels whose empirical ratio is exactly `ratio` (by construction).
+    fn labels_with_ratio(ratio: f64, n: usize) -> (Vec<u8>, Vec<f64>, Vec<f64>) {
+        // treated: y_c = 1 always, y_r = ratio (deterministic values are
+        // fine; the derivative only uses group means).
+        let mut t = Vec::new();
+        let mut y_r = Vec::new();
+        let mut y_c = Vec::new();
+        for i in 0..n {
+            let treated = i % 2 == 0;
+            t.push(u8::from(treated));
+            if treated {
+                y_r.push(ratio);
+                y_c.push(1.0);
+            } else {
+                y_r.push(0.0);
+                y_c.push(0.0);
+            }
+        }
+        (t, y_r, y_c)
+    }
+
+    #[test]
+    fn recovers_known_ratio() {
+        for &ratio in &[0.1, 0.25, 0.5, 0.73, 0.9] {
+            let (t, y_r, y_c) = labels_with_ratio(ratio, 100);
+            let roi = find_roi_star(&t, &y_r, &y_c, 1e-6).unwrap();
+            assert!((roi - ratio).abs() < 1e-4, "ratio {ratio}: got {roi}");
+        }
+    }
+
+    #[test]
+    fn saturates_outside_unit_interval() {
+        // Empirical ratio > 1: revenue uplift exceeds cost uplift.
+        let (t, mut y_r, y_c) = labels_with_ratio(0.5, 100);
+        for (i, v) in y_r.iter_mut().enumerate() {
+            if t[i] == 1 {
+                *v = 2.0;
+            }
+        }
+        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4).unwrap();
+        assert!(roi > 0.99, "got {roi}");
+        // Negative revenue uplift: saturates near 0.
+        for (i, v) in y_r.iter_mut().enumerate() {
+            if t[i] == 1 {
+                *v = -1.0;
+            }
+        }
+        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4).unwrap();
+        assert!(roi < 0.01, "got {roi}");
+    }
+
+    #[test]
+    fn matches_closed_form_on_random_rct() {
+        let mut rng = Prng::seed_from_u64(0);
+        for trial in 0..20 {
+            let n = 500;
+            let mut t = Vec::new();
+            let mut y_r = Vec::new();
+            let mut y_c = Vec::new();
+            for _ in 0..n {
+                let ti = u8::from(rng.bernoulli(0.5));
+                t.push(ti);
+                y_c.push(f64::from(rng.bernoulli(0.1 + 0.3 * f64::from(ti))));
+                y_r.push(f64::from(rng.bernoulli(0.05 + 0.1 * f64::from(ti))));
+            }
+            let (tr, tc) = crate::loss::mean_uplifts(&t, &y_r, &y_c);
+            if tc <= 0.0 {
+                continue;
+            }
+            let closed = (tr / tc).clamp(1e-6, 1.0 - 1e-6);
+            let roi = find_roi_star(&t, &y_r, &y_c, 1e-7).unwrap();
+            assert!(
+                (roi - closed).abs() < 1e-4,
+                "trial {trial}: search {roi} vs closed form {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        let (t, y_r, y_c) = labels_with_ratio(0.5, 10);
+        let all_treated = vec![1u8; 10];
+        assert_eq!(
+            find_roi_star(&all_treated, &y_r, &y_c, 1e-4),
+            Err(SearchError::MissingGroup)
+        );
+        // Zero cost uplift.
+        let zero_c = vec![0.0; 10];
+        assert!(matches!(
+            find_roi_star(&t, &y_r, &zero_c, 1e-4),
+            Err(SearchError::NonPositiveCostUplift { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic() {
+        // eps = 2^-20 needs at most ~21 halvings; verify convergence is
+        // still exact to tolerance (indirect check on the loop bound).
+        let (t, y_r, y_c) = labels_with_ratio(0.37, 64);
+        let roi = find_roi_star(&t, &y_r, &y_c, 2f64.powi(-20)).unwrap();
+        assert!((roi - 0.37).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn bad_eps_panics() {
+        let (t, y_r, y_c) = labels_with_ratio(0.5, 10);
+        let _ = find_roi_star(&t, &y_r, &y_c, 0.7);
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic RCT datasets for the rDRP reproduction.
+//!
+//! The paper evaluates on CRITEO-UPLIFT v2, Meituan-LIFT, and Alibaba-LIFT
+//! — multi-gigabyte external downloads. This crate substitutes *lookalike
+//! generators* that preserve everything the evaluation consumes:
+//!
+//! * RCT structure: `(x, t, y^r, y^c)` tuples with a randomized binary
+//!   treatment,
+//! * positive heterogeneous treatment effects on both outcomes
+//!   (Assumption 4) with per-individual ROI in (0, 1) (Assumption 3),
+//! * dataset "personalities" (feature count, treatment ratio, outcome base
+//!   rates, signal-to-noise) matched to each original's documentation,
+//! * ground-truth `τ^r(x)`, `τ^c(x)` — unavailable in the real data but
+//!   invaluable here for oracle baselines and the online A/B simulator.
+//!
+//! Covariate shift follows the paper's definition exactly (§IV-B1): the
+//! *feature* distribution of the calibration/test population changes (the
+//! workday→holiday "office worker vs tourist" mixture), while the outcome
+//! law `P(Y | X)` is untouched — outcomes are always generated from the
+//! same structural functions of `x`.
+
+pub mod alibaba;
+pub mod criteo;
+pub mod csv;
+pub mod generator;
+pub mod meituan;
+pub mod multi;
+pub mod schema;
+pub mod settings;
+pub mod shift;
+pub mod split;
+
+pub use alibaba::AlibabaLike;
+pub use criteo::CriteoLike;
+pub use csv::{read_rct_csv, write_rct_csv, CsvSchema};
+pub use generator::{Population, RctGenerator};
+pub use meituan::MeituanLike;
+pub use schema::RctDataset;
+pub use settings::{ExperimentData, Setting, SettingSizes};
+pub use split::train_calib_test_split;

@@ -1,0 +1,231 @@
+//! Multi-treatment RCT data (paper §VI: Divide and Conquer).
+//!
+//! The paper's rDRP handles binary treatments and suggests decomposing a
+//! multi-treatment problem (e.g. coupon values ¥5/¥10/¥20) into several
+//! binary problems against the shared control group. This module supplies
+//! the data side: a multi-level RCT record, per-level binarization, and a
+//! synthetic multi-coupon generator with ground truth.
+
+use crate::generator::Population;
+use crate::schema::RctDataset;
+use crate::{CriteoLike, RctGenerator};
+use linalg::random::Prng;
+use linalg::Matrix;
+
+/// An RCT with `n_levels` treatment arms plus control (level 0).
+#[derive(Debug, Clone)]
+pub struct MultiRctDataset {
+    /// Feature matrix.
+    pub x: Matrix,
+    /// Assigned arm per individual: 0 = control, 1..=n_levels = treatment.
+    pub level: Vec<u8>,
+    /// Revenue outcome.
+    pub y_r: Vec<f64>,
+    /// Cost outcome.
+    pub y_c: Vec<f64>,
+    /// Number of treatment arms (excluding control).
+    pub n_levels: u8,
+    /// Ground-truth revenue uplift per individual per arm
+    /// (`true_tau_r[k][i]` for arm `k+1`).
+    pub true_tau_r: Option<Vec<Vec<f64>>>,
+    /// Ground-truth cost uplift per individual per arm.
+    pub true_tau_c: Option<Vec<Vec<f64>>>,
+}
+
+impl MultiRctDataset {
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.level.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.level.is_empty()
+    }
+
+    /// The Divide-and-Conquer binarization: control rows plus arm-`k`
+    /// rows, with `t = 1` on the arm rows. Ground truth is restricted to
+    /// arm `k`'s columns.
+    ///
+    /// # Panics
+    /// Panics if `k` is 0 or exceeds `n_levels`.
+    pub fn to_binary(&self, k: u8) -> RctDataset {
+        assert!(
+            k >= 1 && k <= self.n_levels,
+            "to_binary: arm {k} out of 1..={}",
+            self.n_levels
+        );
+        let rows: Vec<usize> = (0..self.len())
+            .filter(|&i| self.level[i] == 0 || self.level[i] == k)
+            .collect();
+        let pick = |v: &[f64]| rows.iter().map(|&i| v[i]).collect::<Vec<f64>>();
+        let arm = (k - 1) as usize;
+        RctDataset {
+            x: self.x.select_rows(&rows),
+            t: rows
+                .iter()
+                .map(|&i| u8::from(self.level[i] == k))
+                .collect(),
+            y_r: pick(&self.y_r),
+            y_c: pick(&self.y_c),
+            true_tau_r: self.true_tau_r.as_ref().map(|t| pick(&t[arm])),
+            true_tau_c: self.true_tau_c.as_ref().map(|t| pick(&t[arm])),
+        }
+    }
+}
+
+/// A synthetic multi-coupon RCT: arm `k` is a coupon of increasing face
+/// value, so its cost uplift scales with `k` while its ROI profile
+/// differs per arm (higher-value coupons convert price-sensitive users
+/// better but cost proportionally more).
+#[derive(Debug, Clone)]
+pub struct MultiCouponGenerator {
+    base: CriteoLike,
+    n_levels: u8,
+}
+
+impl MultiCouponGenerator {
+    /// Creates a generator with `n_levels` coupon arms.
+    ///
+    /// # Panics
+    /// Panics when `n_levels` is 0.
+    pub fn new(n_levels: u8) -> Self {
+        assert!(n_levels >= 1, "need at least one treatment arm");
+        MultiCouponGenerator {
+            base: CriteoLike::new(),
+            n_levels,
+        }
+    }
+
+    /// Arm-`k` cost multiplier (face value grows with the arm index).
+    fn cost_scale(k: u8) -> f64 {
+        0.6 + 0.4 * f64::from(k)
+    }
+
+    /// Arm-`k` ROI multiplier: a mild concavity — mid-value coupons are
+    /// the most cost-effective, mirroring common marketing findings.
+    fn roi_scale(k: u8, n_levels: u8) -> f64 {
+        let mid = (f64::from(n_levels) + 1.0) / 2.0;
+        1.0 - 0.15 * (f64::from(k) - mid).abs() / mid
+    }
+
+    /// Samples a multi-arm RCT of `n` individuals with uniform arm
+    /// assignment (control included).
+    pub fn sample(&self, n: usize, population: Population, rng: &mut Prng) -> MultiRctDataset {
+        assert!(n > 0, "cannot sample 0 individuals");
+        let model = self.base.model();
+        let arms = self.n_levels as usize + 1; // + control
+        let mut xs: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut level = Vec::with_capacity(n);
+        let mut y_r = Vec::with_capacity(n);
+        let mut y_c = Vec::with_capacity(n);
+        let mut tau_r = vec![Vec::with_capacity(n); self.n_levels as usize];
+        let mut tau_c = vec![Vec::with_capacity(n); self.n_levels as usize];
+        // Borrow the single-treatment structural model's feature law via
+        // a binary sample of matching size, then re-draw outcomes per arm.
+        let features = self.base.sample(n, population, rng);
+        for i in 0..n {
+            let row = features.x.row(i).to_vec();
+            let lv = rng.below(arms) as u8;
+            let base_tau_c = features.true_tau_c.as_ref().expect("synthetic")[i];
+            let base_tau_r = features.true_tau_r.as_ref().expect("synthetic")[i];
+            // Per-arm ground truth.
+            for k in 1..=self.n_levels {
+                let tc = base_tau_c * Self::cost_scale(k);
+                let tr = base_tau_r * Self::cost_scale(k) * Self::roi_scale(k, self.n_levels);
+                tau_c[(k - 1) as usize].push(tc);
+                tau_r[(k - 1) as usize].push(tr);
+            }
+            // Realized outcomes under the assigned arm.
+            let (p_r, p_c) = if lv == 0 {
+                (model.revenue_prob(&row, false), model.cost_prob(&row, false))
+            } else {
+                let tc = base_tau_c * Self::cost_scale(lv);
+                let tr = base_tau_r * Self::cost_scale(lv) * Self::roi_scale(lv, self.n_levels);
+                (
+                    (model.revenue_prob(&row, false) + tr).clamp(0.0, 1.0),
+                    (model.cost_prob(&row, false) + tc).clamp(0.0, 1.0),
+                )
+            };
+            y_r.push(f64::from(rng.bernoulli(p_r)));
+            y_c.push(f64::from(rng.bernoulli(p_c)));
+            level.push(lv);
+            xs.push(row);
+        }
+        MultiRctDataset {
+            x: Matrix::from_rows(&xs),
+            level,
+            y_r,
+            y_c,
+            n_levels: self.n_levels,
+            true_tau_r: Some(tau_r),
+            true_tau_c: Some(tau_c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arms_are_uniformly_assigned() {
+        let gen = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(0);
+        let d = gen.sample(8000, Population::Base, &mut rng);
+        assert_eq!(d.n_levels, 3);
+        for lv in 0..=3u8 {
+            let frac = d.level.iter().filter(|&&l| l == lv).count() as f64 / d.len() as f64;
+            assert!((frac - 0.25).abs() < 0.03, "arm {lv}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn binarization_keeps_control_and_one_arm() {
+        let gen = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(1);
+        let d = gen.sample(4000, Population::Base, &mut rng);
+        let b = d.to_binary(2);
+        assert_eq!(b.validate(), None);
+        // About half the rows survive (control + one of three arms).
+        assert!((b.len() as f64 / d.len() as f64 - 0.5).abs() < 0.05);
+        // Treated fraction is about half of the survivors.
+        let frac = b.n_treated() as f64 / b.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn higher_arms_cost_more() {
+        let gen = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(2);
+        let d = gen.sample(2000, Population::Base, &mut rng);
+        let tau_c = d.true_tau_c.as_ref().unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&tau_c[0]) < mean(&tau_c[1]));
+        assert!(mean(&tau_c[1]) < mean(&tau_c[2]));
+    }
+
+    #[test]
+    fn per_arm_roi_stays_in_unit_interval() {
+        let gen = MultiCouponGenerator::new(4);
+        let mut rng = Prng::seed_from_u64(3);
+        let d = gen.sample(2000, Population::Base, &mut rng);
+        let tau_r = d.true_tau_r.as_ref().unwrap();
+        let tau_c = d.true_tau_c.as_ref().unwrap();
+        for k in 0..4 {
+            for (r, c) in tau_r[k].iter().zip(&tau_c[k]) {
+                let roi = r / c;
+                assert!(roi > 0.0 && roi < 1.0, "arm {k}: roi {roi}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn binarize_arm_zero_panics() {
+        let gen = MultiCouponGenerator::new(2);
+        let mut rng = Prng::seed_from_u64(4);
+        let d = gen.sample(100, Population::Base, &mut rng);
+        let _ = d.to_binary(0);
+    }
+}

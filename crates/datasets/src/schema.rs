@@ -1,0 +1,177 @@
+//! The RCT dataset record.
+
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A randomized-controlled-trial dataset: features, binary treatment, and
+/// two outcomes (revenue `y^r` and cost `y^c`), plus the generator's
+/// ground-truth uplift functions when available.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RctDataset {
+    /// Feature matrix, one row per individual.
+    pub x: Matrix,
+    /// Treatment indicator (0 control, 1 treated).
+    pub t: Vec<u8>,
+    /// Revenue outcome (e.g. conversion).
+    pub y_r: Vec<f64>,
+    /// Cost outcome (e.g. visit / click / exposure).
+    pub y_c: Vec<f64>,
+    /// Ground-truth revenue uplift `τ^r(x_i)` (synthetic data only).
+    pub true_tau_r: Option<Vec<f64>>,
+    /// Ground-truth cost uplift `τ^c(x_i)` (synthetic data only).
+    pub true_tau_c: Option<Vec<f64>>,
+}
+
+impl RctDataset {
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Count of treated individuals (`N_1` in the paper).
+    pub fn n_treated(&self) -> usize {
+        self.t.iter().filter(|&&t| t == 1).count()
+    }
+
+    /// Count of control individuals (`N_0`).
+    pub fn n_control(&self) -> usize {
+        self.len() - self.n_treated()
+    }
+
+    /// Ground-truth per-individual ROI `τ^r/τ^c`, when the generator
+    /// recorded the truth.
+    pub fn true_roi(&self) -> Option<Vec<f64>> {
+        match (&self.true_tau_r, &self.true_tau_c) {
+            (Some(r), Some(c)) => Some(
+                r.iter()
+                    .zip(c)
+                    .map(|(&tr, &tc)| if tc > 0.0 { tr / tc } else { 0.0 })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Extracts the rows at `indices` into a new dataset.
+    pub fn subset(&self, indices: &[usize]) -> RctDataset {
+        let pick = |v: &[f64]| indices.iter().map(|&i| v[i]).collect::<Vec<f64>>();
+        RctDataset {
+            x: self.x.select_rows(indices),
+            t: indices.iter().map(|&i| self.t[i]).collect(),
+            y_r: pick(&self.y_r),
+            y_c: pick(&self.y_c),
+            true_tau_r: self.true_tau_r.as_deref().map(pick),
+            true_tau_c: self.true_tau_c.as_deref().map(pick),
+        }
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found, or `None` when the dataset is well-formed RCT data
+    /// under the paper's assumptions.
+    pub fn validate(&self) -> Option<String> {
+        let n = self.len();
+        if self.x.rows() != n {
+            return Some(format!("x has {} rows but t has {}", self.x.rows(), n));
+        }
+        if self.y_r.len() != n || self.y_c.len() != n {
+            return Some("outcome length mismatch".to_string());
+        }
+        if let Some(tr) = &self.true_tau_r {
+            if tr.len() != n {
+                return Some("true_tau_r length mismatch".to_string());
+            }
+            if tr.iter().any(|&v| v <= 0.0) {
+                return Some("true_tau_r violates Assumption 4 (positive effects)".to_string());
+            }
+        }
+        if let Some(tc) = &self.true_tau_c {
+            if tc.len() != n {
+                return Some("true_tau_c length mismatch".to_string());
+            }
+            if tc.iter().any(|&v| v <= 0.0) {
+                return Some("true_tau_c violates Assumption 4 (positive effects)".to_string());
+            }
+        }
+        if let Some(rois) = self.true_roi() {
+            if rois.iter().any(|&v| !(0.0..=1.0).contains(&v)) {
+                return Some("true ROI escapes (0,1) (Assumption 3)".to_string());
+            }
+        }
+        if !self.x.is_finite() {
+            return Some("x contains non-finite values".to_string());
+        }
+        if self.t.iter().any(|&t| t > 1) {
+            return Some("treatment is not binary".to_string());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RctDataset {
+        RctDataset {
+            x: Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]),
+            t: vec![1, 0, 1],
+            y_r: vec![1.0, 0.0, 0.0],
+            y_c: vec![1.0, 1.0, 0.0],
+            true_tau_r: Some(vec![0.1, 0.2, 0.3]),
+            true_tau_c: Some(vec![0.5, 0.5, 0.5]),
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_treated(), 2);
+        assert_eq!(d.n_control(), 1);
+        assert_eq!(d.n_features(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn true_roi_ratio() {
+        let d = tiny();
+        let roi = d.true_roi().unwrap();
+        assert!((roi[0] - 0.2).abs() < 1e-12);
+        assert!((roi[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.t, vec![1, 1]);
+        assert_eq!(s.x.get(0, 0), 3.0);
+        assert_eq!(s.true_tau_r.as_ref().unwrap()[0], 0.3);
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let good = tiny();
+        assert_eq!(good.validate(), None);
+        let mut bad = tiny();
+        bad.true_tau_r = Some(vec![0.1, -0.2, 0.3]);
+        assert!(bad.validate().unwrap().contains("Assumption 4"));
+        let mut bad = tiny();
+        bad.true_tau_r = Some(vec![0.9, 0.9, 0.9]); // roi > 1
+        assert!(bad.validate().unwrap().contains("Assumption 3"));
+        let mut bad = tiny();
+        bad.t = vec![0, 1, 2];
+        assert!(bad.validate().unwrap().contains("binary"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The paper's four experimental settings.
+//!
+//! Table I/II and the online tests all cross two axes:
+//!
+//! * **Su**fficient vs **In**sufficient training data — insufficient is a
+//!   0.15 random subsample of the sufficient training set;
+//! * **No** vs **Co**variate shift — shift affects *only* the calibration
+//!   and test populations (the paper alters calibration/test features and
+//!   leaves the training set untouched), matching the deployment story:
+//!   train on historical workday traffic, calibrate on a fresh 1–2 day RCT
+//!   from the deployment population, test on that same population.
+
+use crate::generator::{Population, RctGenerator};
+use crate::schema::RctDataset;
+use crate::split::subsample;
+use linalg::random::Prng;
+
+/// One of the paper's four settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Setting {
+    /// Sufficient data, no covariate shift.
+    SuNo,
+    /// Sufficient data, covariate shift.
+    SuCo,
+    /// Insufficient data, no covariate shift.
+    InNo,
+    /// Insufficient data, covariate shift.
+    InCo,
+}
+
+impl Setting {
+    /// All four settings in the paper's presentation order.
+    pub const ALL: [Setting; 4] = [Setting::SuNo, Setting::SuCo, Setting::InNo, Setting::InCo];
+
+    /// Whether training data is sufficient.
+    pub fn sufficient(self) -> bool {
+        matches!(self, Setting::SuNo | Setting::SuCo)
+    }
+
+    /// Whether the deployment population is covariate-shifted.
+    pub fn shifted(self) -> bool {
+        matches!(self, Setting::SuCo | Setting::InCo)
+    }
+
+    /// Paper-style short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Setting::SuNo => "SuNo",
+            Setting::SuCo => "SuCo",
+            Setting::InNo => "InNo",
+            Setting::InCo => "InCo",
+        }
+    }
+}
+
+impl std::fmt::Display for Setting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Sample sizes for building a setting.
+#[derive(Debug, Clone, Copy)]
+pub struct SettingSizes {
+    /// Training rows in the *sufficient* regime (insufficient uses
+    /// `insufficient_fraction` of this).
+    pub train_sufficient: usize,
+    /// Fraction kept in the insufficient regime (the paper uses 0.15).
+    pub insufficient_fraction: f64,
+    /// Calibration rows (the fresh pre-deployment RCT; the paper says
+    /// 1 000–10 000 is typical).
+    pub calibration: usize,
+    /// Test rows.
+    pub test: usize,
+}
+
+impl Default for SettingSizes {
+    fn default() -> Self {
+        SettingSizes {
+            train_sufficient: 20_000,
+            insufficient_fraction: 0.15,
+            calibration: 4_000,
+            test: 10_000,
+        }
+    }
+}
+
+/// Train/calibration/test data realizing one setting.
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// Which setting this is.
+    pub setting: Setting,
+    /// Training set (always the base population).
+    pub train: RctDataset,
+    /// Calibration set (deployment population: shifted iff the setting is).
+    pub calibration: RctDataset,
+    /// Test set (same population as calibration).
+    pub test: RctDataset,
+}
+
+impl ExperimentData {
+    /// Builds the data for `setting` from `generator`.
+    ///
+    /// The training set is drawn from the base population; calibration and
+    /// test are drawn from the base or shifted population according to the
+    /// setting. In the insufficient regime the training set is a
+    /// `insufficient_fraction` subsample of a sufficient draw (mirroring
+    /// the paper's construction rather than just drawing fewer points).
+    pub fn build(
+        generator: &dyn RctGenerator,
+        setting: Setting,
+        sizes: &SettingSizes,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(sizes.train_sufficient > 0, "train size must be positive");
+        assert!(
+            sizes.insufficient_fraction > 0.0 && sizes.insufficient_fraction <= 1.0,
+            "insufficient_fraction must be in (0, 1]"
+        );
+        let full_train = generator.sample(sizes.train_sufficient, Population::Base, rng);
+        let train = if setting.sufficient() {
+            full_train
+        } else {
+            subsample(&full_train, sizes.insufficient_fraction, rng)
+        };
+        let deploy_pop = if setting.shifted() {
+            Population::Shifted
+        } else {
+            Population::Base
+        };
+        let calibration = generator.sample(sizes.calibration, deploy_pop, rng);
+        let test = generator.sample(sizes.test, deploy_pop, rng);
+        ExperimentData {
+            setting,
+            train,
+            calibration,
+            test,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteo::CriteoLike;
+    use crate::shift::shift_magnitude;
+
+    #[test]
+    fn labels_and_axes() {
+        assert_eq!(Setting::SuNo.label(), "SuNo");
+        assert!(Setting::SuCo.sufficient() && Setting::SuCo.shifted());
+        assert!(!Setting::InNo.shifted() && !Setting::InNo.sufficient());
+        assert_eq!(Setting::ALL.len(), 4);
+        assert_eq!(format!("{}", Setting::InCo), "InCo");
+    }
+
+    #[test]
+    fn sizes_respect_regime() {
+        let g = CriteoLike::new();
+        let sizes = SettingSizes {
+            train_sufficient: 2000,
+            insufficient_fraction: 0.15,
+            calibration: 300,
+            test: 500,
+        };
+        let mut rng = Prng::seed_from_u64(0);
+        let su = ExperimentData::build(&g, Setting::SuNo, &sizes, &mut rng);
+        assert_eq!(su.train.len(), 2000);
+        assert_eq!(su.calibration.len(), 300);
+        assert_eq!(su.test.len(), 500);
+        let ins = ExperimentData::build(&g, Setting::InNo, &sizes, &mut rng);
+        assert_eq!(ins.train.len(), 300); // 0.15 * 2000
+    }
+
+    #[test]
+    fn shift_applies_to_deployment_sets_only() {
+        let g = CriteoLike::new();
+        let sizes = SettingSizes {
+            train_sufficient: 4000,
+            insufficient_fraction: 0.15,
+            calibration: 3000,
+            test: 3000,
+        };
+        let mut rng = Prng::seed_from_u64(1);
+        let co = ExperimentData::build(&g, Setting::SuCo, &sizes, &mut rng);
+        // Calibration and test match each other (Assumption 6)...
+        assert!(shift_magnitude(&co.calibration, &co.test) < 0.12);
+        // ...but both differ from training.
+        assert!(shift_magnitude(&co.train, &co.test) > 0.2);
+        assert!(shift_magnitude(&co.train, &co.calibration) > 0.2);
+
+        let no = ExperimentData::build(&g, Setting::SuNo, &sizes, &mut rng);
+        assert!(shift_magnitude(&no.train, &no.test) < 0.12);
+    }
+}

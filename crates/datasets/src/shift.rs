@@ -1,0 +1,83 @@
+//! Covariate-shift diagnostics.
+//!
+//! Shift *generation* lives inside the structural models (segment
+//! reweighting + mean offsets, which leave `P(Y|X)` untouched). This module
+//! provides the measurement side: quantifying how far apart two feature
+//! distributions are, which the experiments use to verify that the SuCo and
+//! InCo settings actually shift and the SuNo/InNo settings actually don't.
+
+use crate::schema::RctDataset;
+use linalg::stats::{mean, std_dev};
+
+/// Per-feature standardized mean difference between two datasets:
+/// `|mean_a − mean_b| / pooled_std` (Cohen's d, per column).
+///
+/// # Panics
+/// Panics if the datasets have different feature counts or either is empty.
+pub fn standardized_mean_differences(a: &RctDataset, b: &RctDataset) -> Vec<f64> {
+    assert_eq!(
+        a.n_features(),
+        b.n_features(),
+        "SMD: feature count mismatch"
+    );
+    assert!(!a.is_empty() && !b.is_empty(), "SMD: empty dataset");
+    (0..a.n_features())
+        .map(|j| {
+            let ca = a.x.col(j);
+            let cb = b.x.col(j);
+            let sa = std_dev(&ca);
+            let sb = std_dev(&cb);
+            let pooled = ((sa * sa + sb * sb) / 2.0).sqrt();
+            if pooled < 1e-12 {
+                0.0
+            } else {
+                (mean(&ca) - mean(&cb)).abs() / pooled
+            }
+        })
+        .collect()
+}
+
+/// A single scalar shift magnitude: the maximum per-feature standardized
+/// mean difference. Values ≳ 0.1 are conventionally "shifted".
+pub fn shift_magnitude(a: &RctDataset, b: &RctDataset) -> f64 {
+    standardized_mean_differences(a, b)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteo::CriteoLike;
+    use crate::generator::{Population, RctGenerator};
+    use linalg::random::Prng;
+
+    #[test]
+    fn same_population_small_smd() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(0);
+        let a = g.sample(4000, Population::Base, &mut rng);
+        let b = g.sample(4000, Population::Base, &mut rng);
+        assert!(shift_magnitude(&a, &b) < 0.1);
+    }
+
+    #[test]
+    fn shifted_population_large_smd() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(1);
+        let a = g.sample(4000, Population::Base, &mut rng);
+        let b = g.sample(4000, Population::Shifted, &mut rng);
+        assert!(shift_magnitude(&a, &b) > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn mismatched_features_panic() {
+        let g = CriteoLike::new();
+        let m = crate::meituan::MeituanLike::new();
+        let mut rng = Prng::seed_from_u64(2);
+        let a = g.sample(10, Population::Base, &mut rng);
+        let b = m.sample(10, Population::Base, &mut rng);
+        let _ = standardized_mean_differences(&a, &b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dataset splitting utilities.
+
+use crate::schema::RctDataset;
+use linalg::random::Prng;
+
+/// Randomly splits a dataset into train/calibration/test parts with the
+/// given fractions (which must sum to at most 1; any remainder is dropped,
+/// mirroring subsampled real-data experiments).
+///
+/// # Panics
+/// Panics if any fraction is negative, the sum exceeds 1 + 1e-9, or any
+/// part would be empty.
+pub fn train_calib_test_split(
+    data: &RctDataset,
+    f_train: f64,
+    f_calib: f64,
+    f_test: f64,
+    rng: &mut Prng,
+) -> (RctDataset, RctDataset, RctDataset) {
+    assert!(
+        f_train >= 0.0 && f_calib >= 0.0 && f_test >= 0.0,
+        "split fractions must be non-negative"
+    );
+    assert!(
+        f_train + f_calib + f_test <= 1.0 + 1e-9,
+        "split fractions sum to more than 1"
+    );
+    let n = data.len();
+    let order = rng.permutation(n);
+    let n_train = (n as f64 * f_train).round() as usize;
+    let n_calib = (n as f64 * f_calib).round() as usize;
+    let n_test = (n as f64 * f_test).round() as usize;
+    assert!(
+        n_train > 0 && n_calib > 0 && n_test > 0,
+        "split would produce an empty part (n = {n})"
+    );
+    assert!(n_train + n_calib + n_test <= n, "split exceeds dataset size");
+    let train = data.subset(&order[..n_train]);
+    let calib = data.subset(&order[n_train..n_train + n_calib]);
+    let test = data.subset(&order[n_train + n_calib..n_train + n_calib + n_test]);
+    (train, calib, test)
+}
+
+/// Uniformly subsamples `fraction` of the dataset (the paper's
+/// "insufficient data" regime takes a 0.15 sample of the sufficient one).
+///
+/// # Panics
+/// Panics unless `0 < fraction <= 1` and the result is non-empty.
+pub fn subsample(data: &RctDataset, fraction: f64, rng: &mut Prng) -> RctDataset {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "subsample fraction must be in (0, 1]"
+    );
+    let k = ((data.len() as f64) * fraction).round() as usize;
+    assert!(k > 0, "subsample would be empty");
+    let idx = rng.sample_without_replacement(data.len(), k);
+    data.subset(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteo::CriteoLike;
+    use crate::generator::{Population, RctGenerator};
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(0);
+        let data = g.sample(1000, Population::Base, &mut rng);
+        let (tr, ca, te) = train_calib_test_split(&data, 0.6, 0.2, 0.2, &mut rng);
+        assert_eq!(tr.len(), 600);
+        assert_eq!(ca.len(), 200);
+        assert_eq!(te.len(), 200);
+        // Disjoint: total outcome sums add up to the full dataset's.
+        let total: f64 = data.y_c.iter().sum();
+        let parts: f64 =
+            tr.y_c.iter().sum::<f64>() + ca.y_c.iter().sum::<f64>() + te.y_c.iter().sum::<f64>();
+        assert!((total - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsample_fraction() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(1);
+        let data = g.sample(1000, Population::Base, &mut rng);
+        let s = subsample(&data, 0.15, &mut rng);
+        assert_eq!(s.len(), 150);
+        assert_eq!(s.validate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to more than 1")]
+    fn overfull_split_panics() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(2);
+        let data = g.sample(100, Population::Base, &mut rng);
+        let _ = train_calib_test_split(&data, 0.8, 0.3, 0.2, &mut rng);
+    }
+}

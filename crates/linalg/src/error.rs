@@ -1,0 +1,66 @@
+//! Error type shared by fallible numeric routines.
+
+use std::fmt;
+
+/// Errors produced by numeric routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Index of the pivot that went non-positive.
+        pivot: usize,
+    },
+    /// An input that must be non-empty was empty.
+    Empty {
+        /// Which input was empty.
+        what: &'static str,
+    },
+    /// A probability/level parameter fell outside its valid open interval.
+    InvalidLevel {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            Error::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            Error::Empty { what } => write!(f, "{what} must be non-empty"),
+            Error::InvalidLevel { value } => {
+                write!(f, "level must lie in (0, 1), got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

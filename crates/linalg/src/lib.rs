@@ -1,0 +1,26 @@
+//! Dense linear algebra, statistics, and random-number substrate.
+//!
+//! The rDRP reproduction builds every model (neural networks, tree
+//! ensembles, meta-learners) from scratch; this crate provides the shared
+//! numeric kernels they stand on:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the operations the
+//!   model crates need (matmul, transpose, row views, elementwise maps).
+//! * [`solve`] — Cholesky factorization and SPD solves (ridge regression).
+//! * [`stats`] — means, variances, quantiles (including the finite-sample
+//!   conformal quantile), standardization.
+//! * [`random`] — seedable RNG helpers (Gaussian sampling via Box–Muller,
+//!   permutations, subsampling) so every experiment is reproducible.
+//!
+//! All routines are deterministic given a seed and panic loudly on shape
+//! mismatches — silent broadcasting is a bug factory in numeric code.
+
+pub mod error;
+pub mod matrix;
+pub mod random;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use error::{Error, Result};
+pub use matrix::Matrix;

@@ -1,0 +1,250 @@
+//! Seedable randomness helpers.
+//!
+//! Every stochastic component in the reproduction (weight initialization,
+//! minibatch shuffling, dropout masks, dataset generation, bootstrap
+//! resampling) goes through this module so experiments are reproducible
+//! from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable RNG with the sampling primitives the reproduction needs.
+///
+/// Wraps [`StdRng`]; a thin newtype keeps the rest of the workspace
+/// independent of the `rand` API surface.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    rng: StdRng,
+    // Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+impl Prng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng {
+            rng: StdRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child RNG (useful for handing out per-model
+    /// streams without correlating their draws).
+    pub fn fork(&mut self) -> Prng {
+        Prng::seed_from_u64(self.rng.gen())
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: n must be positive");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Box-Muller: u1 in (0,1] to keep ln finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    #[inline]
+    pub fn gaussian_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+
+    /// Vector of `n` standard normal samples.
+    pub fn gaussian_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.gaussian()).collect()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// Samples `k` distinct indices from `0..n` (order arbitrary).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        // Partial Fisher-Yates: only the first k positions are needed.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Samples `k` indices from `0..n` with replacement (bootstrap).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` and `k > 0`.
+    pub fn sample_with_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        if k == 0 {
+            return Vec::new();
+        }
+        assert!(n > 0, "cannot bootstrap from an empty set");
+        (0..k).map(|_| self.rng.gen_range(0..n)).collect()
+    }
+
+    /// Draws an index in `0..weights.len()` with probability proportional
+    /// to `weights` (negative weights are treated as zero).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index: empty weights");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weighted_index: weights sum to zero");
+        let mut u = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w.max(0.0);
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut child = a.fork();
+        let x: Vec<f64> = (0..16).map(|_| a.uniform()).collect();
+        let y: Vec<f64> = (0..16).map(|_| child.uniform()).collect();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Prng::seed_from_u64(42);
+        let samples = rng.gaussian_vec(50_000);
+        assert!(mean(&samples).abs() < 0.02, "mean = {}", mean(&samples));
+        assert!((std_dev(&samples) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Prng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Prng::seed_from_u64(3);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = Prng::seed_from_u64(4);
+        let s = rng.sample_without_replacement(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_without_replacement_overdraw_panics() {
+        Prng::seed_from_u64(0).sample_without_replacement(3, 4);
+    }
+
+    #[test]
+    fn bootstrap_covers_range() {
+        let mut rng = Prng::seed_from_u64(5);
+        let s = rng.sample_with_replacement(10, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&i| i < 10));
+        assert!(rng.sample_with_replacement(0, 0).is_empty());
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Prng::seed_from_u64(6);
+        let hits = (0..20_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Prng::seed_from_u64(8);
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio = {ratio}");
+    }
+}

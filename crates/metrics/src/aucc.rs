@@ -1,0 +1,263 @@
+//! Area Under the Cost Curve.
+
+use datasets::RctDataset;
+use linalg::vector::argsort_desc;
+use serde::{Deserialize, Serialize};
+
+/// One point of the cost curve: cumulative incremental cost and benefit
+/// (normalized so the final point is (1, 1)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostCurvePoint {
+    /// Normalized cumulative incremental cost at this cutoff.
+    pub cost: f64,
+    /// Normalized cumulative incremental benefit at this cutoff.
+    pub benefit: f64,
+}
+
+/// Estimated incremental outcome totals for treating the top-`k` set,
+/// computed from RCT labels by difference-in-means scaled to the set size.
+fn incremental(data: &RctDataset, order: &[usize], k: usize) -> (f64, f64) {
+    let (mut n1, mut n0) = (0usize, 0usize);
+    let (mut r1, mut r0, mut c1, mut c0) = (0.0, 0.0, 0.0, 0.0);
+    for &i in &order[..k] {
+        if data.t[i] == 1 {
+            n1 += 1;
+            r1 += data.y_r[i];
+            c1 += data.y_c[i];
+        } else {
+            n0 += 1;
+            r0 += data.y_r[i];
+            c0 += data.y_c[i];
+        }
+    }
+    if n1 == 0 || n0 == 0 {
+        return (0.0, 0.0);
+    }
+    let scale = k as f64;
+    let d_r = (r1 / n1 as f64 - r0 / n0 as f64) * scale;
+    let d_c = (c1 / n1 as f64 - c0 / n0 as f64) * scale;
+    (d_c, d_r)
+}
+
+/// Computes the cost curve of ranking `data` by `scores` (descending),
+/// evaluated at `bins` evenly spaced cutoffs.
+///
+/// The curve starts at (0, 0) and is normalized by the full-population
+/// incremental totals, so it ends at (1, 1). Intermediate points can
+/// exceed 1 or dip below 0 — that is real (finite-sample uplift estimates
+/// are noisy and a good ranking front-loads benefit).
+///
+/// # Panics
+/// Panics on length mismatch, empty data, fewer than 2 bins, or when the
+/// full-population incremental cost/benefit is not positive (the paper's
+/// Assumption 4 guarantees positivity in expectation; a non-positive total
+/// means the sample is too degenerate to rank).
+pub fn cost_curve(data: &RctDataset, scores: &[f64], bins: usize) -> Vec<CostCurvePoint> {
+    assert_eq!(data.len(), scores.len(), "cost_curve: scores length mismatch");
+    assert!(!data.is_empty(), "cost_curve: empty dataset");
+    assert!(bins >= 2, "cost_curve: need at least 2 bins");
+    let order = argsort_desc(scores);
+    let n = data.len();
+    let (total_c, total_r) = incremental(data, &order, n);
+    assert!(
+        total_c > 0.0 && total_r > 0.0,
+        "cost_curve: non-positive total incremental cost ({total_c}) or benefit ({total_r})"
+    );
+    let mut points = Vec::with_capacity(bins + 1);
+    points.push(CostCurvePoint {
+        cost: 0.0,
+        benefit: 0.0,
+    });
+    for b in 1..=bins {
+        let k = (n * b / bins).max(1);
+        let (d_c, d_r) = incremental(data, &order, k);
+        points.push(CostCurvePoint {
+            cost: d_c / total_c,
+            benefit: d_r / total_r,
+        });
+    }
+    // Exactness at the endpoint (the loop's last k == n).
+    let last = points.last_mut().expect("non-empty by construction");
+    last.cost = 1.0;
+    last.benefit = 1.0;
+    points
+}
+
+/// Area under a cost curve via the trapezoid rule over the cost axis.
+///
+/// Non-monotone cost segments (possible with noisy finite-sample
+/// estimates) contribute signed area, which keeps the metric consistent:
+/// a random ranking still averages 0.5.
+pub fn area_under(points: &[CostCurvePoint]) -> f64 {
+    assert!(points.len() >= 2, "area_under: need at least 2 points");
+    let mut area = 0.0;
+    for w in points.windows(2) {
+        let dx = w[1].cost - w[0].cost;
+        area += dx * 0.5 * (w[0].benefit + w[1].benefit);
+    }
+    area
+}
+
+/// AUCC of ranking `data` by `scores`, estimated from RCT labels with
+/// `bins` cutoffs (the paper uses percentiles; 100 bins is the default
+/// choice in the experiments).
+pub fn aucc_from_labels(data: &RctDataset, scores: &[f64], bins: usize) -> f64 {
+    area_under(&cost_curve(data, scores, bins))
+}
+
+/// Non-panicking [`aucc_from_labels`]: returns `None` when the sample is
+/// too degenerate to rank (a treatment group is missing, or the total
+/// incremental cost/benefit is non-positive). Bootstrap resamples of
+/// small calibration sets hit these cases routinely.
+pub fn aucc_checked(data: &RctDataset, scores: &[f64], bins: usize) -> Option<f64> {
+    if data.is_empty() || data.len() != scores.len() || bins < 2 {
+        return None;
+    }
+    let order = argsort_desc(scores);
+    let (total_c, total_r) = incremental(data, &order, data.len());
+    if total_c <= 0.0 || total_r <= 0.0 {
+        return None;
+    }
+    Some(area_under(&cost_curve(data, scores, bins)))
+}
+
+/// Oracle AUCC: uses the generator's ground-truth `τ^r`, `τ^c` instead of
+/// label-based estimates. Only available on synthetic data; useful as the
+/// noise-free upper-bound diagnostic.
+///
+/// # Panics
+/// Panics if the dataset carries no ground truth.
+pub fn aucc_oracle(data: &RctDataset, scores: &[f64], bins: usize) -> f64 {
+    let tau_r = data
+        .true_tau_r
+        .as_ref()
+        .expect("aucc_oracle: dataset has no ground-truth tau_r");
+    let tau_c = data
+        .true_tau_c
+        .as_ref()
+        .expect("aucc_oracle: dataset has no ground-truth tau_c");
+    assert_eq!(data.len(), scores.len(), "aucc_oracle: scores length mismatch");
+    assert!(bins >= 2, "aucc_oracle: need at least 2 bins");
+    let order = argsort_desc(scores);
+    let n = data.len();
+    let total_r: f64 = tau_r.iter().sum();
+    let total_c: f64 = tau_c.iter().sum();
+    assert!(total_r > 0.0 && total_c > 0.0);
+    let mut points = vec![CostCurvePoint {
+        cost: 0.0,
+        benefit: 0.0,
+    }];
+    let mut cum_r = 0.0;
+    let mut cum_c = 0.0;
+    let mut next_idx = 0usize;
+    for b in 1..=bins {
+        let k = (n * b / bins).max(1);
+        while next_idx < k {
+            let i = order[next_idx];
+            cum_r += tau_r[i];
+            cum_c += tau_c[i];
+            next_idx += 1;
+        }
+        points.push(CostCurvePoint {
+            cost: cum_c / total_c,
+            benefit: cum_r / total_r,
+        });
+    }
+    area_under(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::generator::{Population, RctGenerator};
+    use datasets::CriteoLike;
+    use linalg::random::Prng;
+
+    fn test_data(n: usize, seed: u64) -> RctDataset {
+        CriteoLike::new().sample(n, Population::Base, &mut Prng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn oracle_ranking_beats_random_beats_antioracle() {
+        let data = test_data(20_000, 0);
+        let true_roi = data.true_roi().unwrap();
+        let mut rng = Prng::seed_from_u64(1);
+        let random: Vec<f64> = (0..data.len()).map(|_| rng.uniform()).collect();
+        let anti: Vec<f64> = true_roi.iter().map(|&v| -v).collect();
+
+        let on_labels = |s: &[f64]| aucc_from_labels(&data, s, 100);
+        let good = on_labels(&true_roi);
+        let rand = on_labels(&random);
+        let bad = on_labels(&anti);
+        assert!(good > rand + 0.05, "good {good} rand {rand}");
+        assert!(rand > bad + 0.05, "rand {rand} bad {bad}");
+        assert!((rand - 0.5).abs() < 0.08, "random AUCC {rand}");
+    }
+
+    #[test]
+    fn oracle_metric_is_cleaner_than_label_metric() {
+        let data = test_data(5_000, 2);
+        let true_roi = data.true_roi().unwrap();
+        let o = aucc_oracle(&data, &true_roi, 100);
+        assert!(o > 0.55, "oracle-sorted oracle AUCC {o}");
+        // Oracle AUCC of a random ranking is ~0.5.
+        let mut rng = Prng::seed_from_u64(3);
+        let random: Vec<f64> = (0..data.len()).map(|_| rng.uniform()).collect();
+        let r = aucc_oracle(&data, &random, 100);
+        assert!((r - 0.5).abs() < 0.03, "random oracle AUCC {r}");
+    }
+
+    #[test]
+    fn curve_endpoints_are_normalized() {
+        let data = test_data(3_000, 4);
+        let scores = data.true_roi().unwrap();
+        let curve = cost_curve(&data, &scores, 20);
+        assert_eq!(curve.len(), 21);
+        assert_eq!(curve[0].cost, 0.0);
+        assert_eq!(curve[0].benefit, 0.0);
+        assert_eq!(curve.last().unwrap().cost, 1.0);
+        assert_eq!(curve.last().unwrap().benefit, 1.0);
+    }
+
+    #[test]
+    fn aucc_invariant_to_monotone_transform_of_scores() {
+        let data = test_data(4_000, 5);
+        let scores = data.true_roi().unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|&s| (5.0 * s).exp() + 3.0).collect();
+        let a = aucc_from_labels(&data, &scores, 50);
+        let b = aucc_from_labels(&data, &transformed, 50);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_curve_has_half_area() {
+        let points: Vec<CostCurvePoint> = (0..=10)
+            .map(|i| CostCurvePoint {
+                cost: i as f64 / 10.0,
+                benefit: i as f64 / 10.0,
+            })
+            .collect();
+        assert!((area_under(&points) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concave_curve_has_more_than_half_area() {
+        let points: Vec<CostCurvePoint> = (0..=10)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                CostCurvePoint {
+                    cost: x,
+                    benefit: x.sqrt(),
+                }
+            })
+            .collect();
+        assert!(area_under(&points) > 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scores length mismatch")]
+    fn mismatch_panics() {
+        let data = test_data(100, 6);
+        let _ = aucc_from_labels(&data, &[1.0], 10);
+    }
+}

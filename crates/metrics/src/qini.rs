@@ -1,0 +1,156 @@
+//! Qini coefficient and uplift-at-k.
+//!
+//! These target *revenue uplift ranking* (a single outcome), complementing
+//! AUCC's cost-aware ROI ranking; the ablation studies use them to see
+//! whether a method ranks benefit well even when its ROI ranking is poor.
+
+use datasets::RctDataset;
+use linalg::vector::argsort_desc;
+
+/// Qini coefficient of ranking `data` by `scores`, on the revenue outcome.
+///
+/// The Qini curve at cutoff `k` is the incremental number of responders
+/// `R_t(k) − R_c(k)·N_t(k)/N_c(k)`; the coefficient is the area between
+/// the model's curve and the random diagonal, normalized by the total
+/// incremental responders. Positive = better than random.
+///
+/// # Panics
+/// Panics on length mismatch, empty data, or fewer than 2 bins.
+pub fn qini(data: &RctDataset, scores: &[f64], bins: usize) -> f64 {
+    assert_eq!(data.len(), scores.len(), "qini: scores length mismatch");
+    assert!(!data.is_empty(), "qini: empty dataset");
+    assert!(bins >= 2, "qini: need at least 2 bins");
+    let order = argsort_desc(scores);
+    let n = data.len();
+    let mut curve = Vec::with_capacity(bins + 1);
+    curve.push(0.0);
+    for b in 1..=bins {
+        let k = (n * b / bins).max(1);
+        let (mut n1, mut n0) = (0usize, 0usize);
+        let (mut r1, mut r0) = (0.0, 0.0);
+        for &i in &order[..k] {
+            if data.t[i] == 1 {
+                n1 += 1;
+                r1 += data.y_r[i];
+            } else {
+                n0 += 1;
+                r0 += data.y_r[i];
+            }
+        }
+        let q = if n0 == 0 {
+            r1
+        } else {
+            r1 - r0 * n1 as f64 / n0 as f64
+        };
+        curve.push(q);
+    }
+    let total = *curve.last().expect("non-empty");
+    if total.abs() < 1e-12 {
+        return 0.0;
+    }
+    // Area between curve and the straight line to (1, total), x-spaced
+    // uniformly in treated fraction.
+    let mut area = 0.0;
+    let dx = 1.0 / bins as f64;
+    for (b, w) in curve.windows(2).enumerate() {
+        let x0 = b as f64 * dx;
+        let x1 = x0 + dx;
+        let model = 0.5 * (w[0] + w[1]);
+        let diag = 0.5 * total * (x0 + x1);
+        area += dx * (model - diag);
+    }
+    area / total.abs()
+}
+
+/// Estimated revenue uplift among the top `k_fraction` of individuals by
+/// score, from RCT labels (difference in means within the top set).
+///
+/// # Panics
+/// Panics if `k_fraction` is outside `(0, 1]` or lengths mismatch.
+pub fn uplift_at_k(data: &RctDataset, scores: &[f64], k_fraction: f64) -> f64 {
+    assert!(
+        k_fraction > 0.0 && k_fraction <= 1.0,
+        "uplift_at_k: fraction must be in (0, 1]"
+    );
+    assert_eq!(data.len(), scores.len(), "uplift_at_k: scores length mismatch");
+    let order = argsort_desc(scores);
+    let k = ((data.len() as f64 * k_fraction).round() as usize).clamp(1, data.len());
+    let (mut n1, mut n0) = (0usize, 0usize);
+    let (mut r1, mut r0) = (0.0, 0.0);
+    for &i in &order[..k] {
+        if data.t[i] == 1 {
+            n1 += 1;
+            r1 += data.y_r[i];
+        } else {
+            n0 += 1;
+            r0 += data.y_r[i];
+        }
+    }
+    if n1 == 0 || n0 == 0 {
+        return 0.0;
+    }
+    r1 / n1 as f64 - r0 / n0 as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::generator::{Population, RctGenerator};
+    use datasets::CriteoLike;
+    use linalg::random::Prng;
+
+    fn data(n: usize, seed: u64) -> RctDataset {
+        CriteoLike::new().sample(n, Population::Base, &mut Prng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn qini_positive_for_good_ranking() {
+        let d = data(20_000, 0);
+        let tau_r = d.true_tau_r.clone().unwrap();
+        let q = qini(&d, &tau_r, 50);
+        assert!(q > 0.02, "qini {q}");
+        let mut rng = Prng::seed_from_u64(1);
+        let random: Vec<f64> = (0..d.len()).map(|_| rng.uniform()).collect();
+        let qr = qini(&d, &random, 50);
+        assert!(q > qr, "good {q} vs random {qr}");
+        assert!(qr.abs() < 0.05, "random qini {qr}");
+    }
+
+    #[test]
+    fn uplift_at_k_decreasing_in_k_for_good_ranking() {
+        let d = data(30_000, 2);
+        let tau_r = d.true_tau_r.clone().unwrap();
+        let top10 = uplift_at_k(&d, &tau_r, 0.1);
+        let all = uplift_at_k(&d, &tau_r, 1.0);
+        assert!(top10 > all, "top10 {top10} vs all {all}");
+        assert!(all > 0.0);
+    }
+
+    #[test]
+    fn uplift_at_full_fraction_is_ate() {
+        let d = data(10_000, 3);
+        let scores = vec![0.0; d.len()];
+        let full = uplift_at_k(&d, &scores, 1.0);
+        // Direct ATE computation.
+        let (mut n1, mut n0, mut r1, mut r0) = (0usize, 0usize, 0.0, 0.0);
+        for i in 0..d.len() {
+            if d.t[i] == 1 {
+                n1 += 1;
+                r1 += d.y_r[i];
+            } else {
+                n0 += 1;
+                r0 += d.y_r[i];
+            }
+        }
+        let ate = r1 / n1 as f64 - r0 / n0 as f64;
+        assert!((full - ate).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn bad_fraction_panics() {
+        let d = data(100, 4);
+        let scores = vec![0.0; d.len()];
+        let _ = uplift_at_k(&d, &scores, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Rank-based diagnostics.
+
+use linalg::vector::argsort_asc;
+
+/// Spearman rank correlation between two score vectors.
+///
+/// Ties are broken by index (deterministic), which is adequate for the
+/// continuous scores this crate sees; exact tie handling (midranks) is not
+/// needed for diagnostics.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 2 items.
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank_correlation: length mismatch");
+    assert!(a.len() >= 2, "rank_correlation: need at least 2 items");
+    let ranks = |v: &[f64]| {
+        let order = argsort_asc(v);
+        let mut r = vec![0.0; v.len()];
+        for (rank, &idx) in order.iter().enumerate() {
+            r[idx] = rank as f64;
+        }
+        r
+    };
+    linalg::stats::pearson(&ranks(a), &ranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((rank_correlation(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invariant_to_monotone_transform() {
+        let a = [0.3f64, 0.1, 0.9, 0.5];
+        let b: Vec<f64> = a.iter().map(|&v| v.exp() * 7.0).collect();
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let mut rng = linalg::random::Prng::seed_from_u64(0);
+        let a: Vec<f64> = (0..2000).map(|_| rng.uniform()).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.uniform()).collect();
+        assert!(rank_correlation(&a, &b).abs() < 0.05);
+    }
+}

@@ -1,0 +1,117 @@
+//! Activation functions with analytic derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Elementwise activation applied after a dense layer's affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Exponential linear unit with `alpha = 1`.
+    Elu,
+    /// `ln(1 + e^x)` — smooth, strictly positive.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => linalg::vector::sigmoid(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Elu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+            Activation::Softplus => linalg::vector::softplus(x),
+        }
+    }
+
+    /// Derivative `f'(x)` expressed in terms of the pre-activation `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Sigmoid => {
+                let s = linalg::vector::sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Elu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+            Activation::Softplus => linalg::vector::sigmoid(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 6] = [
+        Activation::Identity,
+        Activation::Sigmoid,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Elu,
+        Activation::Softplus,
+    ];
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in ALL {
+            for &x in &[-2.0, -0.5, 0.3, 1.7, 4.0] {
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x);
+                assert!(
+                    (numeric - analytic).abs() < 1e-5,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_values() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
+        assert!((Activation::Elu.apply(-30.0) + 1.0).abs() < 1e-10);
+        assert!(Activation::Softplus.apply(-50.0) > 0.0);
+    }
+
+    #[test]
+    fn relu_derivative_is_subgradient_zero_at_origin() {
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1e-9), 1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Inverted dropout with a Monte-Carlo inference mode.
+//!
+//! Standard dropout is a training-time regularizer. rDRP additionally
+//! exploits it at *inference* time: running the trained network many times
+//! with dropout still active ("MC dropout", Gal & Ghahramani 2016) yields a
+//! distribution of predictions whose standard deviation `r̂(x)` feeds the
+//! conformal score of Eq. (3).
+
+use linalg::random::Prng;
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Execution mode for a network pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Training: dropout masks are sampled, caches are kept for backprop.
+    Train,
+    /// Deterministic inference: dropout is the identity.
+    Eval,
+    /// Monte-Carlo inference: dropout masks are sampled (like training)
+    /// but no caches are kept. Used by [`crate::mc::mc_predict`].
+    McDropout,
+}
+
+impl Mode {
+    /// Whether dropout masks are sampled in this mode.
+    #[inline]
+    pub fn stochastic(self) -> bool {
+        matches!(self, Mode::Train | Mode::McDropout)
+    }
+}
+
+/// Inverted dropout: each unit is dropped with probability `p`, survivors
+/// are scaled by `1/(1-p)` so activations keep their expectation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "f64", into = "f64")]
+pub struct Dropout {
+    p: f64,
+    mask: Option<Matrix>,
+}
+
+impl From<f64> for Dropout {
+    fn from(p: f64) -> Self {
+        Dropout::new(p)
+    }
+}
+
+impl From<Dropout> for f64 {
+    fn from(d: Dropout) -> Self {
+        d.p
+    }
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1), got {p}"
+        );
+        Dropout { p, mask: None }
+    }
+
+    /// The configured drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Forward pass. In stochastic modes a fresh mask is sampled; in
+    /// [`Mode::Eval`] the layer is the identity.
+    pub fn forward(&mut self, x: &Matrix, mode: Mode, rng: &mut Prng) -> Matrix {
+        if !mode.stochastic() || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Matrix::from_vec(
+            x.rows(),
+            x.cols(),
+            (0..x.rows() * x.cols())
+                .map(|_| if rng.bernoulli(keep) { scale } else { 0.0 })
+                .collect(),
+        );
+        let out = x.hadamard(&mask).expect("mask shaped like input");
+        self.mask = if mode == Mode::Train { Some(mask) } else { None };
+        out
+    }
+
+    /// Backward pass: re-applies the training mask to the gradient.
+    ///
+    /// # Panics
+    /// Panics if the latest forward pass was not in [`Mode::Train`]
+    /// (no mask is retained in other modes).
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => grad_out
+                .hadamard(mask)
+                .expect("gradient shaped like forward input"),
+            // With p == 0 the forward pass was the identity even in Train
+            // mode, so the gradient passes through unchanged.
+            None if self.p == 0.0 => grad_out.clone(),
+            None => panic!("Dropout::backward: no training mask (was forward run in Train mode?)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = Prng::seed_from_u64(0);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(d.forward(&x, Mode::Eval, &mut rng), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_everywhere() {
+        let mut d = Dropout::new(0.0);
+        let mut rng = Prng::seed_from_u64(0);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(d.forward(&x, Mode::Train, &mut rng), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn train_mode_preserves_expectation() {
+        let mut d = Dropout::new(0.3);
+        let mut rng = Prng::seed_from_u64(7);
+        let x = Matrix::full(1, 10_000, 1.0);
+        let y = d.forward(&x, Mode::Train, &mut rng);
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+        // Survivors are scaled by 1/(1-p).
+        let survivors: Vec<f64> = y.as_slice().iter().cloned().filter(|&v| v != 0.0).collect();
+        assert!(survivors.iter().all(|&v| (v - 1.0 / 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = Prng::seed_from_u64(1);
+        let x = Matrix::full(2, 8, 1.0);
+        let y = d.forward(&x, Mode::Train, &mut rng);
+        let g = d.backward(&Matrix::full(2, 8, 1.0));
+        // Gradient is zero exactly where the forward output is zero.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn mc_mode_randomizes_but_keeps_no_mask() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = Prng::seed_from_u64(2);
+        let x = Matrix::full(1, 64, 1.0);
+        let a = d.forward(&x, Mode::McDropout, &mut rng);
+        let b = d.forward(&x, Mode::McDropout, &mut rng);
+        assert_ne!(a, b, "two MC passes should use different masks");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training mask")]
+    fn backward_after_mc_panics() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = Prng::seed_from_u64(3);
+        let x = Matrix::full(1, 4, 1.0);
+        let _ = d.forward(&x, Mode::McDropout, &mut rng);
+        let _ = d.backward(&x);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_probability_panics() {
+        Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! A minimal feed-forward neural-network framework.
+//!
+//! The rDRP paper's models (DRP itself, Direct Rank, TARNet, DragonNet,
+//! OffsetNet, SNet) are all small multilayer perceptrons — one hidden layer
+//! with 10–100 units in the paper's setup. This crate implements exactly
+//! what those models need and nothing more:
+//!
+//! * [`Dense`] layers with manual backprop (no autograd — the
+//!   computation graphs here are static chains).
+//! * [`Dropout`] with three execution modes, including the
+//!   **Monte-Carlo-active** mode that rDRP uses at *inference* time to
+//!   estimate the standard deviation of its point predictions
+//!   ([`mc::mc_predict`]).
+//! * Custom training objectives via the [`Objective`] trait: the DRP loss
+//!   (Eq. 2 of the paper) and the Direct Rank loss need per-sample
+//!   gradients that depend on treatment labels and batch-level
+//!   normalization, so objectives receive the batch's dataset row indices.
+//! * [`Sgd`]/[`Adam`] optimizers and a minibatch [`trainer`].
+//! * [`MultiHeadNet`] — a shared trunk with several heads, for the
+//!   TARNet/DragonNet/OffsetNet/SNet baselines.
+//!
+//! Everything is deterministic given a [`linalg::random::Prng`] seed.
+
+pub mod activation;
+pub mod dense;
+pub mod dropout;
+pub mod init;
+pub mod mc;
+pub mod mlp;
+pub mod multihead;
+pub mod objective;
+pub mod optimizer;
+pub mod trainer;
+
+pub use activation::Activation;
+pub use dense::Dense;
+pub use dropout::{Dropout, Mode};
+pub use mc::{mc_predict, mc_predict_map, McStats};
+pub use mlp::Mlp;
+pub use multihead::MultiHeadNet;
+pub use objective::{BceObjective, MseObjective, Objective, PinballObjective};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use trainer::{train, TrainConfig, TrainReport};

@@ -1,0 +1,205 @@
+//! Monte-Carlo dropout inference.
+//!
+//! Section IV-C2 of the paper: running the trained DRP network `K` times
+//! with dropout active yields `K` point estimates per sample; their mean is
+//! an (optionally smoothed) point prediction and their standard deviation
+//! is the uncertainty scalar `r̂(x)` that the conformal score (Eq. 3)
+//! normalizes by. Section IV-D notes the passes are embarrassingly
+//! parallel — we parallelize over passes with rayon.
+
+use crate::mlp::Mlp;
+use crate::Mode;
+use linalg::random::Prng;
+use linalg::Matrix;
+use rayon::prelude::*;
+
+/// Per-sample mean and standard deviation across MC-dropout passes.
+#[derive(Debug, Clone)]
+pub struct McStats {
+    /// Mean prediction per sample.
+    pub mean: Vec<f64>,
+    /// Population standard deviation per sample.
+    pub std: Vec<f64>,
+    /// Number of passes used.
+    pub passes: usize,
+}
+
+/// Runs `passes` stochastic forward passes of `net` on `x` and returns the
+/// per-sample mean and standard deviation of the scalar output.
+///
+/// Each pass clones the (small) network so the passes can run in parallel;
+/// the per-pass RNGs are forked from `rng`, so results are deterministic
+/// given the seed *and* independent of rayon's scheduling.
+///
+/// A zero standard deviation can occur (e.g. a ReLU network that drops the
+/// same dead units every pass); callers that divide by the std — the
+/// conformal score — should apply their own floor. `std_floor` here only
+/// guards the returned values against exact zeros.
+///
+/// # Panics
+/// Panics if `passes == 0` or the network output is not scalar.
+pub fn mc_predict(
+    net: &Mlp,
+    x: &Matrix,
+    passes: usize,
+    std_floor: f64,
+    rng: &mut Prng,
+) -> McStats {
+    mc_predict_map(net, x, passes, std_floor, rng, |v| v)
+}
+
+/// Like [`mc_predict`] but applies `transform` to each pass's raw outputs
+/// before aggregating. DRP uses this with the sigmoid: the paper's `r̂(x)`
+/// is the standard deviation of the *ROI* point estimate `σ(ŝ)`, not of
+/// the raw score `ŝ`.
+pub fn mc_predict_map(
+    net: &Mlp,
+    x: &Matrix,
+    passes: usize,
+    std_floor: f64,
+    rng: &mut Prng,
+    transform: impl Fn(f64) -> f64 + Sync,
+) -> McStats {
+    assert!(passes > 0, "mc_predict: need at least one pass");
+    assert_eq!(net.output_dim(), 1, "mc_predict: scalar output expected");
+    let n = x.rows();
+    // Fork one RNG per pass up front (deterministic order).
+    let mut pass_rngs: Vec<Prng> = (0..passes).map(|_| rng.fork()).collect();
+
+    let outputs: Vec<Vec<f64>> = pass_rngs
+        .par_iter_mut()
+        .map(|pass_rng| {
+            let mut local = net.clone();
+            let mut out = local.forward(x, Mode::McDropout, pass_rng).col(0);
+            for v in &mut out {
+                *v = transform(*v);
+            }
+            out
+        })
+        .collect();
+
+    let mut mean = vec![0.0; n];
+    for pass in &outputs {
+        for (m, &v) in mean.iter_mut().zip(pass) {
+            *m += v;
+        }
+    }
+    let inv = 1.0 / passes as f64;
+    for m in &mut mean {
+        *m *= inv;
+    }
+    let mut var = vec![0.0; n];
+    for pass in &outputs {
+        for ((s, &v), &m) in var.iter_mut().zip(pass).zip(&mean) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    let std = var
+        .into_iter()
+        .map(|v| (v * inv).sqrt().max(std_floor))
+        .collect();
+    McStats { mean, std, passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::Mlp;
+
+    fn net_with_dropout(seed: u64, p: f64) -> Mlp {
+        let mut rng = Prng::seed_from_u64(seed);
+        Mlp::builder(3)
+            .dense(16, Activation::Tanh)
+            .dropout(p)
+            .dense(1, Activation::Identity)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn no_dropout_means_zero_std() {
+        let net = net_with_dropout(0, 0.0);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0, 0.5]]);
+        let mut rng = Prng::seed_from_u64(1);
+        let stats = mc_predict(&net, &x, 20, 0.0, &mut rng);
+        // All passes are identical; only accumulation rounding remains.
+        assert!(stats.std[0] < 1e-12, "std = {}", stats.std[0]);
+        // The MC mean equals the deterministic prediction.
+        let det = net.clone().predict_scalar(&x)[0];
+        assert!((stats.mean[0] - det).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_produces_positive_std() {
+        let net = net_with_dropout(2, 0.3);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0, 0.5], vec![0.2, 0.4, -2.0]]);
+        let mut rng = Prng::seed_from_u64(3);
+        let stats = mc_predict(&net, &x, 50, 0.0, &mut rng);
+        assert!(stats.std.iter().all(|&s| s > 0.0));
+        assert_eq!(stats.passes, 50);
+        assert_eq!(stats.mean.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed_despite_parallelism() {
+        let net = net_with_dropout(4, 0.2);
+        let x = Matrix::from_rows(&vec![vec![0.1, 0.2, 0.3]; 8]);
+        let run = |seed| {
+            let mut rng = Prng::seed_from_u64(seed);
+            mc_predict(&net, &x, 32, 0.0, &mut rng)
+        };
+        let a = run(10);
+        let b = run(10);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std, b.std);
+        let c = run(11);
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn std_floor_is_applied() {
+        let net = net_with_dropout(5, 0.0);
+        let x = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let mut rng = Prng::seed_from_u64(6);
+        let stats = mc_predict(&net, &x, 10, 1e-4, &mut rng);
+        assert_eq!(stats.std[0], 1e-4);
+    }
+
+    #[test]
+    fn more_dropout_more_uncertainty() {
+        let x = Matrix::from_rows(&vec![vec![1.0, 1.0, 1.0]; 4]);
+        let avg_std = |p: f64| {
+            let net = net_with_dropout(7, p);
+            let mut rng = Prng::seed_from_u64(8);
+            let stats = mc_predict(&net, &x, 200, 0.0, &mut rng);
+            stats.std.iter().sum::<f64>() / stats.std.len() as f64
+        };
+        assert!(avg_std(0.5) > avg_std(0.05));
+    }
+
+    #[test]
+    fn transform_applied_before_aggregation() {
+        let net = net_with_dropout(10, 0.3);
+        let x = Matrix::from_rows(&[vec![0.4, -0.2, 1.0]]);
+        // std of sigmoid(outputs) differs from sigmoid of std in general;
+        // verify the mapped mean equals manually transformed pass outputs.
+        let mut r1 = Prng::seed_from_u64(20);
+        let mapped = mc_predict_map(&net, &x, 40, 0.0, &mut r1, linalg::vector::sigmoid);
+        assert!(mapped.mean[0] > 0.0 && mapped.mean[0] < 1.0);
+        let mut r2 = Prng::seed_from_u64(20);
+        let raw = mc_predict(&net, &x, 40, 0.0, &mut r2);
+        // Jensen: sigmoid of the mean differs from mean of sigmoids, but
+        // both should be in (0,1) and close for small spread.
+        assert!((linalg::vector::sigmoid(raw.mean[0]) - mapped.mean[0]).abs() < 0.2);
+        assert!(mapped.std[0] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_panics() {
+        let net = net_with_dropout(9, 0.1);
+        let x = Matrix::zeros(1, 3);
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = mc_predict(&net, &x, 0, 0.0, &mut rng);
+    }
+}

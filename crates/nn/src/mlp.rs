@@ -1,0 +1,314 @@
+//! Sequential multilayer perceptron.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::dropout::{Dropout, Mode};
+use crate::init::Init;
+use linalg::random::Prng;
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One layer of an [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully connected layer.
+    Dense(Dense),
+    /// Dropout layer.
+    Dropout(Dropout),
+}
+
+/// A sequential stack of dense and dropout layers.
+///
+/// This is the shape of every network in the paper: DRP is
+/// `Dense(d, h, elu) -> Dropout(p) -> Dense(h, 1, identity)` with the final
+/// sigmoid folded into the DRP loss (the loss consumes the raw score `ŝ`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    input_dim: usize,
+    layers: Vec<Layer>,
+}
+
+/// Builder for [`Mlp`].
+pub struct MlpBuilder {
+    input_dim: usize,
+    plan: Vec<PlanItem>,
+}
+
+enum PlanItem {
+    Dense {
+        units: usize,
+        activation: Activation,
+        init: Init,
+    },
+    Dropout(f64),
+}
+
+impl MlpBuilder {
+    /// Adds a dense layer with Xavier-uniform initialization.
+    pub fn dense(mut self, units: usize, activation: Activation) -> Self {
+        self.plan.push(PlanItem::Dense {
+            units,
+            activation,
+            init: Init::XavierUniform,
+        });
+        self
+    }
+
+    /// Adds a dense layer with an explicit initialization scheme.
+    pub fn dense_init(mut self, units: usize, activation: Activation, init: Init) -> Self {
+        self.plan.push(PlanItem::Dense {
+            units,
+            activation,
+            init,
+        });
+        self
+    }
+
+    /// Adds a dropout layer with drop probability `p`.
+    pub fn dropout(mut self, p: f64) -> Self {
+        self.plan.push(PlanItem::Dropout(p));
+        self
+    }
+
+    /// Materializes the network, sampling initial weights from `rng`.
+    ///
+    /// # Panics
+    /// Panics if the plan contains no dense layer.
+    pub fn build(self, rng: &mut Prng) -> Mlp {
+        let mut layers = Vec::with_capacity(self.plan.len());
+        let mut current_dim = self.input_dim;
+        let mut has_dense = false;
+        for item in self.plan {
+            match item {
+                PlanItem::Dense {
+                    units,
+                    activation,
+                    init,
+                } => {
+                    layers.push(Layer::Dense(Dense::new(
+                        current_dim,
+                        units,
+                        activation,
+                        init,
+                        rng,
+                    )));
+                    current_dim = units;
+                    has_dense = true;
+                }
+                PlanItem::Dropout(p) => layers.push(Layer::Dropout(Dropout::new(p))),
+            }
+        }
+        assert!(has_dense, "an Mlp needs at least one dense layer");
+        Mlp {
+            input_dim: self.input_dim,
+            layers,
+        }
+    }
+}
+
+impl Mlp {
+    /// Starts building a network that consumes `input_dim` features.
+    pub fn builder(input_dim: usize) -> MlpBuilder {
+        MlpBuilder {
+            input_dim,
+            plan: Vec::new(),
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension (fan-out of the last dense layer).
+    pub fn output_dim(&self) -> usize {
+        self.layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                Layer::Dense(d) => Some(d.fan_out()),
+                Layer::Dropout(_) => None,
+            })
+            .expect("built Mlp always has a dense layer")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.param_count(),
+                Layer::Dropout(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Forward pass on a batch (rows are samples).
+    ///
+    /// In [`Mode::Train`] every layer caches what backprop needs; in the
+    /// other modes no caches are written.
+    pub fn forward(&mut self, x: &Matrix, mode: Mode, rng: &mut Prng) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "Mlp::forward: expected {} features, got {}",
+            self.input_dim,
+            x.cols()
+        );
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = match layer {
+                Layer::Dense(d) => d.forward(&h, mode == Mode::Train),
+                Layer::Dropout(d) => d.forward(&h, mode, rng),
+            };
+        }
+        h
+    }
+
+    /// Convenience: forward in [`Mode::Eval`] returning the first output
+    /// column as a vector (all networks in this reproduction that feed
+    /// scalar losses have a single output unit).
+    pub fn predict_scalar(&mut self, x: &Matrix) -> Vec<f64> {
+        let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
+        let out = self.forward(x, Mode::Eval, &mut rng);
+        out.col(0)
+    }
+
+    /// Backward pass through the whole stack. `grad_out` is `dL/d(output)`
+    /// for the latest [`Mode::Train`] forward batch. Returns `dL/d(input)`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = match layer {
+                Layer::Dense(d) => d.backward(&g),
+                Layer::Dropout(d) => d.backward(&g),
+            };
+        }
+        g
+    }
+
+    /// Clears accumulated gradients in every dense layer.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            if let Layer::Dense(d) = layer {
+                d.zero_grad();
+            }
+        }
+    }
+
+    /// Visits `(params, grads)` slices of every dense layer in a stable
+    /// order (used by optimizers).
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut [f64], &[f64])) {
+        for layer in &mut self.layers {
+            if let Layer::Dense(d) = layer {
+                d.visit_params(&mut f);
+            }
+        }
+    }
+
+    /// Read-only access to the layer stack (diagnostics and tests).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Returns a copy of the network with every dropout layer's rate set
+    /// to `p`. Used for MC-dropout inference at a rate different from the
+    /// training rate (the rDRP paper *adds* a dropout layer at inference,
+    /// so the MC rate is a free parameter).
+    pub fn with_dropout_rate(&self, p: f64) -> Mlp {
+        let mut out = self.clone();
+        for layer in &mut out.layers {
+            if let Layer::Dropout(d) = layer {
+                *d = Dropout::new(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(rng_seed: u64) -> Mlp {
+        let mut rng = Prng::seed_from_u64(rng_seed);
+        Mlp::builder(2)
+            .dense(4, Activation::Tanh)
+            .dropout(0.2)
+            .dense(1, Activation::Identity)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let m = tiny(0);
+        assert_eq!(m.input_dim(), 2);
+        assert_eq!(m.output_dim(), 1);
+        assert_eq!(m.param_count(), (2 * 4 + 4) + (4 * 1 + 1));
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let mut m = tiny(1);
+        let x = Matrix::from_rows(&[vec![0.5, -0.3], vec![1.0, 2.0]]);
+        let a = m.predict_scalar(&x);
+        let b = m.predict_scalar(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_forward_differs_across_calls_with_dropout() {
+        let mut m = tiny(2);
+        let mut rng = Prng::seed_from_u64(99);
+        let x = Matrix::full(8, 2, 1.0);
+        let a = m.forward(&x, Mode::Train, &mut rng);
+        let b = m.forward(&x, Mode::Train, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_network_gradient_check() {
+        // Build without dropout so the function is deterministic.
+        let mut rng = Prng::seed_from_u64(5);
+        let mut m = Mlp::builder(3)
+            .dense(5, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let x = Matrix::from_rows(&[vec![0.2, -0.4, 1.0], vec![1.3, 0.7, -0.9]]);
+        // L = sum of outputs.
+        let mut r = Prng::seed_from_u64(0);
+        m.zero_grad();
+        let _ = m.forward(&x, Mode::Train, &mut r);
+        let grad_x = m.backward(&Matrix::full(2, 1, 1.0));
+
+        let eps = 1e-6;
+        let mut xp = x.clone();
+        xp.set(1, 2, x.get(1, 2) + eps);
+        let mut xm = x.clone();
+        xm.set(1, 2, x.get(1, 2) - eps);
+        let fp: f64 = m.predict_scalar(&xp).iter().sum();
+        let fm: f64 = m.predict_scalar(&xm).iter().sum();
+        let numeric = (fp - fm) / (2.0 * eps);
+        assert!(
+            (numeric - grad_x.get(1, 2)).abs() < 1e-5,
+            "numeric {numeric} vs analytic {}",
+            grad_x.get(1, 2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 features")]
+    fn wrong_input_width_panics() {
+        let mut m = tiny(3);
+        let mut rng = Prng::seed_from_u64(0);
+        let x = Matrix::zeros(1, 5);
+        let _ = m.forward(&x, Mode::Eval, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dense layer")]
+    fn empty_plan_panics() {
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = Mlp::builder(2).dropout(0.1).build(&mut rng);
+    }
+}

@@ -1,0 +1,471 @@
+//! Honest causal trees and causal forests (Wager & Athey 2018 style).
+//!
+//! A causal tree predicts the Conditional Average Treatment Effect
+//! `τ(x) = E[Y(1) − Y(0) | X = x]` from RCT data. Two departures from CART:
+//!
+//! * **Split criterion** — instead of variance reduction on `y`, a split is
+//!   scored by the heterogeneity of the children's effect estimates,
+//!   `n_L · τ̂_L² + n_R · τ̂_R²` (the Athey–Imbens proxy for CATE MSE
+//!   improvement under an RCT).
+//! * **Honesty** — each tree's training rows are split in half: the *split*
+//!   half chooses the structure, the *estimation* half supplies the leaf
+//!   effect estimates `ȳ₁ − ȳ₀`. This removes the adaptive bias of
+//!   estimating effects on the same data that chose the splits.
+
+use crate::split::{candidate_thresholds, feature_subset, gather_feature, partition, Split};
+use linalg::random::Prng;
+use linalg::Matrix;
+use rayon::prelude::*;
+
+/// Hyperparameters for a causal tree.
+#[derive(Debug, Clone)]
+pub struct CausalTreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum *treated and control* samples in each child (ensures every
+    /// leaf can estimate an effect).
+    pub min_group_leaf: usize,
+    /// Features considered per split (`usize::MAX` = all).
+    pub max_features: usize,
+    /// Candidate thresholds per feature.
+    pub max_thresholds: usize,
+    /// Honest estimation: reserve half the rows for leaf estimates.
+    pub honest: bool,
+}
+
+impl Default for CausalTreeConfig {
+    fn default() -> Self {
+        CausalTreeConfig {
+            max_depth: 6,
+            min_group_leaf: 10,
+            max_features: usize::MAX,
+            max_thresholds: 16,
+            honest: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        tau: f64,
+    },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted honest causal tree.
+#[derive(Debug, Clone)]
+pub struct CausalTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+struct Ctx<'a> {
+    x: &'a Matrix,
+    t: &'a [u8],
+    y: &'a [f64],
+    config: &'a CausalTreeConfig,
+}
+
+/// Difference-in-means effect estimate over `rows`; `None` when either
+/// group is empty.
+fn tau_hat(t: &[u8], y: &[f64], rows: &[usize]) -> Option<f64> {
+    let (mut n1, mut n0) = (0usize, 0usize);
+    let (mut s1, mut s0) = (0.0, 0.0);
+    for &r in rows {
+        if t[r] == 1 {
+            n1 += 1;
+            s1 += y[r];
+        } else {
+            n0 += 1;
+            s0 += y[r];
+        }
+    }
+    if n1 == 0 || n0 == 0 {
+        None
+    } else {
+        Some(s1 / n1 as f64 - s0 / n0 as f64)
+    }
+}
+
+fn group_counts(t: &[u8], rows: &[usize]) -> (usize, usize) {
+    let n1 = rows.iter().filter(|&&r| t[r] == 1).count();
+    (n1, rows.len() - n1)
+}
+
+impl CausalTree {
+    /// Fits an honest causal tree on rows `rows` of RCT data `(x, t, y)`.
+    ///
+    /// # Panics
+    /// Panics on length mismatches or an empty/one-group sample.
+    pub fn fit(
+        x: &Matrix,
+        t: &[u8],
+        y: &[f64],
+        rows: &[usize],
+        config: &CausalTreeConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "CausalTree::fit: x/y length mismatch");
+        assert_eq!(t.len(), y.len(), "CausalTree::fit: t/y length mismatch");
+        assert!(!rows.is_empty(), "CausalTree::fit: empty sample");
+        let overall = tau_hat(t, y, rows)
+            .expect("CausalTree::fit: need both treated and control samples");
+
+        // Honest split: half the rows choose structure, half estimate.
+        let (split_rows, est_rows): (Vec<usize>, Vec<usize>) = if config.honest {
+            let mut shuffled = rows.to_vec();
+            rng.shuffle(&mut shuffled);
+            let mid = shuffled.len() / 2;
+            let est = shuffled.split_off(mid);
+            (shuffled, est)
+        } else {
+            (rows.to_vec(), rows.to_vec())
+        };
+
+        let mut tree = CausalTree {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
+        let ctx = Ctx { x, t, y, config };
+        tree.grow(&ctx, &split_rows, &est_rows, overall, 0, rng);
+        tree
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        ctx: &Ctx<'_>,
+        split_rows: &[usize],
+        est_rows: &[usize],
+        parent_tau: f64,
+        depth: usize,
+        rng: &mut Prng,
+    ) -> usize {
+        // Leaf estimate always comes from the estimation half; fall back to
+        // the parent's estimate when the leaf lacks one of the groups.
+        let leaf_tau = tau_hat(ctx.t, ctx.y, est_rows).unwrap_or(parent_tau);
+        if depth >= ctx.config.max_depth {
+            return self.push_leaf(leaf_tau);
+        }
+        let (n1, n0) = group_counts(ctx.t, split_rows);
+        if n1 < 2 * ctx.config.min_group_leaf || n0 < 2 * ctx.config.min_group_leaf {
+            return self.push_leaf(leaf_tau);
+        }
+        match self.best_split(ctx, split_rows, rng) {
+            None => self.push_leaf(leaf_tau),
+            Some(split) => {
+                let (sl, sr) = partition(ctx.x, split_rows, &split);
+                let (el, er) = partition(ctx.x, est_rows, &split);
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { tau: leaf_tau }); // placeholder
+                let left = self.grow(ctx, &sl, &el, leaf_tau, depth + 1, rng);
+                let right = self.grow(ctx, &sr, &er, leaf_tau, depth + 1, rng);
+                self.nodes[id] = Node::Internal {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, tau: f64) -> usize {
+        self.nodes.push(Node::Leaf { tau });
+        self.nodes.len() - 1
+    }
+
+    /// Best heterogeneity split on the split half, or `None`.
+    fn best_split(&self, ctx: &Ctx<'_>, rows: &[usize], rng: &mut Prng) -> Option<Split> {
+        let parent = tau_hat(ctx.t, ctx.y, rows)?;
+        let parent_score = rows.len() as f64 * parent * parent;
+        let min_g = ctx.config.min_group_leaf;
+        let mut best: Option<Split> = None;
+        for feature in feature_subset(ctx.x.cols(), ctx.config.max_features, rng) {
+            let values = gather_feature(ctx.x, rows, feature);
+            for threshold in candidate_thresholds(&values, ctx.config.max_thresholds) {
+                // One pass: per-side, per-group counts and sums.
+                let (mut n1l, mut n0l) = (0usize, 0usize);
+                let (mut s1l, mut s0l) = (0.0, 0.0);
+                let (mut n1r, mut n0r) = (0usize, 0usize);
+                let (mut s1r, mut s0r) = (0.0, 0.0);
+                for (&v, &r) in values.iter().zip(rows) {
+                    let treated = ctx.t[r] == 1;
+                    let y = ctx.y[r];
+                    if v <= threshold {
+                        if treated {
+                            n1l += 1;
+                            s1l += y;
+                        } else {
+                            n0l += 1;
+                            s0l += y;
+                        }
+                    } else if treated {
+                        n1r += 1;
+                        s1r += y;
+                    } else {
+                        n0r += 1;
+                        s0r += y;
+                    }
+                }
+                if n1l < min_g || n0l < min_g || n1r < min_g || n0r < min_g {
+                    continue;
+                }
+                let tau_l = s1l / n1l as f64 - s0l / n0l as f64;
+                let tau_r = s1r / n1r as f64 - s0r / n0r as f64;
+                let nl = (n1l + n0l) as f64;
+                let nr = (n1r + n0r) as f64;
+                let gain = nl * tau_l * tau_l + nr * tau_r * tau_r - parent_score;
+                if gain > 1e-12 && best.is_none_or(|b| gain > b.gain) {
+                    best = Some(Split {
+                        feature,
+                        threshold,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// CATE prediction for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.n_features, "predict_one: feature mismatch");
+        let mut id = 0usize;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { tau } => return *tau,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// CATE predictions for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Hyperparameters for a causal forest.
+#[derive(Debug, Clone)]
+pub struct CausalForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree settings.
+    pub tree: CausalTreeConfig,
+    /// Subsample fraction per tree (without replacement — the causal-forest
+    /// convention, which the jackknife variance theory assumes).
+    pub subsample: f64,
+}
+
+impl Default for CausalForestConfig {
+    fn default() -> Self {
+        CausalForestConfig {
+            n_trees: 50,
+            tree: CausalTreeConfig::default(),
+            subsample: 0.5,
+        }
+    }
+}
+
+/// A bagged ensemble of honest causal trees predicting CATE.
+#[derive(Debug, Clone)]
+pub struct CausalForest {
+    trees: Vec<CausalTree>,
+}
+
+impl CausalForest {
+    /// Fits the forest on RCT data. Per-tree feature subsampling defaults
+    /// to `ceil(sqrt(d))` when the config leaves `max_features` at max.
+    pub fn fit(
+        x: &Matrix,
+        t: &[u8],
+        y: &[f64],
+        config: &CausalForestConfig,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(config.n_trees > 0, "CausalForest::fit: need at least one tree");
+        assert!(
+            (0.0..=1.0).contains(&config.subsample) && config.subsample > 0.0,
+            "CausalForest::fit: subsample must be in (0, 1]"
+        );
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.max_features == usize::MAX {
+            tree_cfg.max_features = (x.cols() as f64).sqrt().ceil() as usize;
+        }
+        let n = x.rows();
+        let k = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
+        let mut seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
+        let trees: Vec<CausalTree> = seeds
+            .par_iter_mut()
+            .map(|tree_rng| {
+                // Resample until the subsample has both groups (cheap: RCT
+                // data has both in abundance).
+                let rows = loop {
+                    let rows = tree_rng.sample_without_replacement(n, k);
+                    let (n1, n0) = group_counts(t, &rows);
+                    if n1 > 0 && n0 > 0 {
+                        break rows;
+                    }
+                };
+                CausalTree::fit(x, t, y, &rows, &tree_cfg, tree_rng)
+            })
+            .collect();
+        CausalForest { trees }
+    }
+
+    /// CATE prediction (tree average) for one sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// CATE predictions for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Per-tree predictions (spread = jackknife-style variance proxy).
+    pub fn tree_predictions(&self, row: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict_one(row)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest is empty (never after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RCT with heterogeneous effect tau(x) = 2 x0 (x0 in [0,1]) and noise.
+    fn rct(n: usize, seed: u64) -> (Matrix, Vec<u8>, Vec<f64>, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ts = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut taus = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x0 = rng.uniform();
+            let x1 = rng.uniform();
+            let t = u8::from(rng.bernoulli(0.5));
+            let tau = 2.0 * x0;
+            let base = x1; // prognostic effect independent of tau
+            let y = base + tau * t as f64 + 0.1 * rng.gaussian();
+            xs.push(vec![x0, x1]);
+            ts.push(t);
+            ys.push(y);
+            taus.push(tau);
+        }
+        (Matrix::from_rows(&xs), ts, ys, taus)
+    }
+
+    #[test]
+    fn single_tree_recovers_effect_direction() {
+        let (x, t, y, _) = rct(2000, 0);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = Prng::seed_from_u64(1);
+        let tree = CausalTree::fit(&x, &t, &y, &rows, &CausalTreeConfig::default(), &mut rng);
+        // tau(0.9) ~ 1.8 should exceed tau(0.1) ~ 0.2.
+        let hi = tree.predict_one(&[0.9, 0.5]);
+        let lo = tree.predict_one(&[0.1, 0.5]);
+        assert!(hi > lo + 0.5, "hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn forest_estimates_cate_pointwise() {
+        let (x, t, y, taus) = rct(4000, 2);
+        let mut rng = Prng::seed_from_u64(3);
+        let forest = CausalForest::fit(&x, &t, &y, &CausalForestConfig::default(), &mut rng);
+        let preds = forest.predict(&x);
+        // Correlation with the true tau should be strong.
+        let corr = linalg::stats::pearson(&preds, &taus);
+        assert!(corr > 0.8, "corr = {corr}");
+        // Mean effect roughly 1.0 (E[2 x0] = 1).
+        let mean_pred: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean_pred - 1.0).abs() < 0.15, "mean = {mean_pred}");
+    }
+
+    #[test]
+    fn honest_tree_differs_from_adaptive() {
+        let (x, t, y, _) = rct(1000, 4);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        let honest_cfg = CausalTreeConfig::default();
+        let adaptive_cfg = CausalTreeConfig {
+            honest: false,
+            ..CausalTreeConfig::default()
+        };
+        let mut r1 = Prng::seed_from_u64(5);
+        let mut r2 = Prng::seed_from_u64(5);
+        let honest = CausalTree::fit(&x, &t, &y, &rows, &honest_cfg, &mut r1);
+        let adaptive = CausalTree::fit(&x, &t, &y, &rows, &adaptive_cfg, &mut r2);
+        assert_ne!(honest.predict(&x), adaptive.predict(&x));
+    }
+
+    #[test]
+    fn homogeneous_effect_yields_flat_predictions() {
+        // tau(x) = 1 for everyone; splits should find little heterogeneity.
+        let mut rng = Prng::seed_from_u64(6);
+        let n = 2000;
+        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let ts: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(&ts)
+            .map(|(_x, &t)| 1.0 * t as f64 + 0.05 * rng.gaussian())
+            .collect();
+        let x = Matrix::from_rows(&xs);
+        let forest = CausalForest::fit(&x, &ts, &ys, &CausalForestConfig::default(), &mut rng);
+        let preds = forest.predict(&x);
+        let spread = linalg::stats::std_dev(&preds);
+        let mean: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean - 1.0).abs() < 0.1, "mean = {mean}");
+        assert!(spread < 0.15, "spread = {spread}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, t, y, _) = rct(500, 7);
+        let run = |seed| {
+            let mut rng = Prng::seed_from_u64(seed);
+            CausalForest::fit(&x, &t, &y, &CausalForestConfig::default(), &mut rng).predict(&x)
+        };
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "both treated and control")]
+    fn single_group_panics() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let t = vec![1u8, 1];
+        let y = vec![1.0, 2.0];
+        let rows = vec![0, 1];
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = CausalTree::fit(&x, &t, &y, &rows, &CausalTreeConfig::default(), &mut rng);
+    }
+}

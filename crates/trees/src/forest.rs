@@ -1,0 +1,185 @@
+//! Bagged random-forest regressor.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use linalg::random::Prng;
+use linalg::Matrix;
+use rayon::prelude::*;
+
+/// Hyperparameters for a random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree settings.
+    pub tree: TreeConfig,
+    /// Bootstrap-resample the training rows per tree.
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            n_trees: 50,
+            tree: TreeConfig {
+                // sqrt-like feature subsampling is set at fit time when
+                // max_features is usize::MAX.
+                ..TreeConfig::default()
+            },
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted random forest (average of bagged CART trees).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest. When the per-tree `max_features` is `usize::MAX`,
+    /// it is replaced with `ceil(sqrt(n_features))` — the standard forest
+    /// default that decorrelates trees.
+    ///
+    /// Trees are fitted in parallel; per-tree RNGs are forked from `rng`
+    /// up front so results do not depend on thread scheduling.
+    pub fn fit(x: &Matrix, y: &[f64], config: &RandomForestConfig, rng: &mut Prng) -> Self {
+        assert_eq!(x.rows(), y.len(), "RandomForest::fit: x/y length mismatch");
+        assert!(x.rows() > 0, "RandomForest::fit: empty dataset");
+        assert!(config.n_trees > 0, "RandomForest::fit: need at least one tree");
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.max_features == usize::MAX {
+            tree_cfg.max_features = (x.cols() as f64).sqrt().ceil() as usize;
+        }
+        let mut seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
+        let trees: Vec<RegressionTree> = seeds
+            .par_iter_mut()
+            .map(|tree_rng| {
+                let rows: Vec<usize> = if config.bootstrap {
+                    tree_rng.sample_with_replacement(x.rows(), x.rows())
+                } else {
+                    (0..x.rows()).collect()
+                };
+                RegressionTree::fit(x, y, &rows, &tree_cfg, tree_rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Predicts a single sample (tree average).
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Per-tree predictions for a sample — the spread across trees is a
+    /// cheap uncertainty proxy (infinitesimal-jackknife-style diagnostics).
+    pub fn tree_predictions(&self, row: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict_one(row)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friedmanish(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.uniform()).collect())
+            .collect();
+        let y = rows
+            .iter()
+            .map(|r| 10.0 * r[0] * r[1] + 5.0 * (r[2] - 0.5).powi(2) + r[3])
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn mse(preds: &[f64], y: &[f64]) -> f64 {
+        preds
+            .iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64
+    }
+
+    #[test]
+    fn forest_beats_single_tree_out_of_sample() {
+        let (x, y) = friedmanish(600, 0);
+        let (xt, yt) = friedmanish(200, 1);
+        let mut rng = Prng::seed_from_u64(2);
+        let forest = RandomForest::fit(&x, &y, &RandomForestConfig::default(), &mut rng);
+        let single_cfg = RandomForestConfig {
+            n_trees: 1,
+            bootstrap: false,
+            ..RandomForestConfig::default()
+        };
+        let single = RandomForest::fit(&x, &y, &single_cfg, &mut rng);
+        let forest_mse = mse(&forest.predict(&xt), &yt);
+        let single_mse = mse(&single.predict(&xt), &yt);
+        assert!(
+            forest_mse < single_mse,
+            "forest {forest_mse} vs single {single_mse}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = friedmanish(200, 3);
+        let fit = |seed| {
+            let mut rng = Prng::seed_from_u64(seed);
+            RandomForest::fit(&x, &y, &RandomForestConfig::default(), &mut rng).predict(&x)
+        };
+        assert_eq!(fit(7), fit(7));
+    }
+
+    #[test]
+    fn tree_predictions_length() {
+        let (x, y) = friedmanish(100, 4);
+        let cfg = RandomForestConfig {
+            n_trees: 13,
+            ..RandomForestConfig::default()
+        };
+        let mut rng = Prng::seed_from_u64(5);
+        let forest = RandomForest::fit(&x, &y, &cfg, &mut rng);
+        assert_eq!(forest.len(), 13);
+        assert_eq!(forest.tree_predictions(x.row(0)).len(), 13);
+    }
+
+    #[test]
+    fn predicts_roughly_unbiased_mean() {
+        let (x, y) = friedmanish(400, 6);
+        let mut rng = Prng::seed_from_u64(7);
+        let forest = RandomForest::fit(&x, &y, &RandomForestConfig::default(), &mut rng);
+        let preds = forest.predict(&x);
+        let mean_y: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        let mean_p: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean_y - mean_p).abs() < 0.2, "{mean_y} vs {mean_p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let (x, y) = friedmanish(10, 8);
+        let cfg = RandomForestConfig {
+            n_trees: 0,
+            ..RandomForestConfig::default()
+        };
+        let _ = RandomForest::fit(&x, &y, &cfg, &mut Prng::seed_from_u64(0));
+    }
+}

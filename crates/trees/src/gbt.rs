@@ -1,0 +1,186 @@
+//! Gradient-boosted regression trees (least-squares boosting).
+//!
+//! A standard strong base learner for meta-learners: each stage fits a
+//! shallow CART tree to the current residuals and is added with a
+//! shrinkage factor.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use linalg::random::Prng;
+use linalg::Matrix;
+
+/// Hyperparameters for gradient boosting.
+#[derive(Debug, Clone)]
+pub struct GbtConfig {
+    /// Number of boosting stages.
+    pub n_stages: usize,
+    /// Shrinkage (learning rate) applied to each stage.
+    pub shrinkage: f64,
+    /// Row subsample fraction per stage (stochastic gradient boosting).
+    pub subsample: f64,
+    /// Per-stage tree settings (depth 3 by default — boosting wants
+    /// weak learners).
+    pub tree: TreeConfig,
+}
+
+impl Default for GbtConfig {
+    fn default() -> Self {
+        GbtConfig {
+            n_stages: 100,
+            shrinkage: 0.1,
+            subsample: 0.8,
+            tree: TreeConfig {
+                max_depth: 3,
+                min_samples_split: 10,
+                min_samples_leaf: 5,
+                max_features: usize::MAX,
+                max_thresholds: 16,
+            },
+        }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct GradientBoostedTrees {
+    base: f64,
+    shrinkage: f64,
+    stages: Vec<RegressionTree>,
+}
+
+impl GradientBoostedTrees {
+    /// Fits least-squares boosting on `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics on empty data, length mismatch, or invalid config.
+    pub fn fit(x: &Matrix, y: &[f64], config: &GbtConfig, rng: &mut Prng) -> Self {
+        assert_eq!(x.rows(), y.len(), "GBT::fit: x/y length mismatch");
+        assert!(x.rows() > 0, "GBT::fit: empty dataset");
+        assert!(config.n_stages > 0, "GBT::fit: need at least one stage");
+        assert!(
+            config.subsample > 0.0 && config.subsample <= 1.0,
+            "GBT::fit: subsample must be in (0, 1]"
+        );
+        assert!(config.shrinkage > 0.0, "GBT::fit: shrinkage must be positive");
+        let n = x.rows();
+        let base = y.iter().sum::<f64>() / n as f64;
+        let mut residuals: Vec<f64> = y.iter().map(|v| v - base).collect();
+        let mut stages = Vec::with_capacity(config.n_stages);
+        let k = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
+        for _ in 0..config.n_stages {
+            let rows = if k == n {
+                (0..n).collect::<Vec<_>>()
+            } else {
+                rng.sample_without_replacement(n, k)
+            };
+            let tree = RegressionTree::fit(x, &residuals, &rows, &config.tree, rng);
+            // Update residuals on ALL rows (not just the subsample).
+            for (i, r) in residuals.iter_mut().enumerate() {
+                *r -= config.shrinkage * tree.predict_one(x.row(i));
+            }
+            stages.push(tree);
+        }
+        GradientBoostedTrees {
+            base,
+            shrinkage: config.shrinkage,
+            stages,
+        }
+    }
+
+    /// Predicts a single sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        self.base
+            + self.shrinkage
+                * self
+                    .stages
+                    .iter()
+                    .map(|t| t.predict_one(row))
+                    .sum::<f64>()
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Number of boosting stages.
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nonlinear(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let y = rows
+            .iter()
+            .map(|r| (6.0 * r[0]).sin() + 2.0 * (r[1] - 0.5).powi(2))
+            .collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    fn mse(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+    }
+
+    #[test]
+    fn boosting_fits_nonlinear_surface() {
+        let (x, y) = nonlinear(800, 0);
+        let mut rng = Prng::seed_from_u64(1);
+        let model = GradientBoostedTrees::fit(&x, &y, &GbtConfig::default(), &mut rng);
+        let train_mse = mse(&model.predict(&x), &y);
+        assert!(train_mse < 0.02, "train MSE {train_mse}");
+        // Generalizes out of sample.
+        let (xt, yt) = nonlinear(400, 2);
+        let test_mse = mse(&model.predict(&xt), &yt);
+        assert!(test_mse < 0.05, "test MSE {test_mse}");
+    }
+
+    #[test]
+    fn more_stages_fit_better() {
+        let (x, y) = nonlinear(500, 3);
+        let fit_with = |stages: usize| {
+            let cfg = GbtConfig {
+                n_stages: stages,
+                ..GbtConfig::default()
+            };
+            let mut rng = Prng::seed_from_u64(4);
+            let m = GradientBoostedTrees::fit(&x, &y, &cfg, &mut rng);
+            mse(&m.predict(&x), &y)
+        };
+        assert!(fit_with(100) < fit_with(5));
+    }
+
+    #[test]
+    fn single_stage_with_no_shrinkage_is_mean_plus_tree() {
+        let (x, y) = nonlinear(200, 5);
+        let cfg = GbtConfig {
+            n_stages: 1,
+            shrinkage: 1.0,
+            subsample: 1.0,
+            ..GbtConfig::default()
+        };
+        let mut rng = Prng::seed_from_u64(6);
+        let m = GradientBoostedTrees::fit(&x, &y, &cfg, &mut rng);
+        assert_eq!(m.n_stages(), 1);
+        // Prediction mean equals target mean up to tree granularity.
+        let mean_y = y.iter().sum::<f64>() / y.len() as f64;
+        let preds = m.predict(&x);
+        let mean_p = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean_p - mean_y).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let (x, y) = nonlinear(50, 7);
+        let cfg = GbtConfig {
+            n_stages: 0,
+            ..GbtConfig::default()
+        };
+        let _ = GradientBoostedTrees::fit(&x, &y, &cfg, &mut Prng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Tree ensembles: CART regression trees, bagged random forests, and
+//! honest causal forests.
+//!
+//! These serve two roles in the reproduction:
+//!
+//! * base regressors for the meta-learner baselines (S-/T-/X-learner need
+//!   an outcome model; we offer ridge and forests),
+//! * the TPM-CF baseline of Table I, which ranks individuals by the ratio
+//!   of two causal-forest CATE estimates (revenue uplift / cost uplift).
+//!
+//! The causal tree follows Athey & Imbens' *honest* recipe: the training
+//! split is divided into a split half (chooses the tree structure by
+//! maximizing effect heterogeneity) and an estimation half (provides the
+//! leaf-level treatment-effect estimates), which removes the adaptive
+//! overfitting bias of reusing the same data for both.
+
+pub mod causal;
+pub mod forest;
+pub mod gbt;
+pub mod split;
+pub mod tree;
+
+pub use causal::{CausalForest, CausalForestConfig, CausalTree};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use gbt::{GbtConfig, GradientBoostedTrees};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,121 @@
+//! Shared split-search machinery for regression and causal trees.
+
+use linalg::random::Prng;
+use linalg::Matrix;
+
+/// A candidate axis-aligned split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Feature (column) index.
+    pub feature: usize,
+    /// Samples with `x[feature] <= threshold` go left.
+    pub threshold: f64,
+    /// The criterion gain of this split (higher is better).
+    pub gain: f64,
+}
+
+/// Picks up to `max_candidates` distinct threshold candidates for a feature
+/// from the node's sample values: the midpoints between consecutive
+/// distinct quantile values. Returns an empty vector for constant features.
+pub fn candidate_thresholds(values: &[f64], max_candidates: usize) -> Vec<f64> {
+    if values.len() < 2 || max_candidates == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    if sorted.len() < 2 {
+        return Vec::new();
+    }
+    // Midpoints between consecutive distinct values, subsampled evenly.
+    let gaps = sorted.len() - 1;
+    let take = gaps.min(max_candidates);
+    (0..take)
+        .map(|i| {
+            // Spread the picks across the gap range.
+            let g = if take == gaps { i } else { i * gaps / take };
+            0.5 * (sorted[g] + sorted[g + 1])
+        })
+        .collect()
+}
+
+/// Chooses which features to consider at a node: all of them when
+/// `max_features >= n_features`, otherwise a uniform subsample.
+pub fn feature_subset(n_features: usize, max_features: usize, rng: &mut Prng) -> Vec<usize> {
+    if max_features >= n_features {
+        (0..n_features).collect()
+    } else {
+        rng.sample_without_replacement(n_features, max_features.max(1))
+    }
+}
+
+/// Column values of `x[rows, feature]`.
+pub fn gather_feature(x: &Matrix, rows: &[usize], feature: usize) -> Vec<f64> {
+    rows.iter().map(|&r| x.get(r, feature)).collect()
+}
+
+/// Partitions `rows` by a split, preserving order.
+pub fn partition(x: &Matrix, rows: &[usize], split: &Split) -> (Vec<usize>, Vec<usize>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &r in rows {
+        if x.get(r, split.feature) <= split.threshold {
+            left.push(r);
+        } else {
+            right.push(r);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_between_distinct_values() {
+        let t = candidate_thresholds(&[1.0, 2.0, 3.0], 10);
+        assert_eq!(t, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn constant_feature_yields_nothing() {
+        assert!(candidate_thresholds(&[5.0, 5.0, 5.0], 10).is_empty());
+        assert!(candidate_thresholds(&[5.0], 10).is_empty());
+        assert!(candidate_thresholds(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = candidate_thresholds(&values, 8);
+        assert_eq!(t.len(), 8);
+        // Monotone increasing and within range.
+        for w in t.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(t[0] > 0.0 && *t.last().unwrap() < 99.0);
+    }
+
+    #[test]
+    fn feature_subset_full_and_partial() {
+        let mut rng = Prng::seed_from_u64(0);
+        assert_eq!(feature_subset(4, 10, &mut rng), vec![0, 1, 2, 3]);
+        let sub = feature_subset(10, 3, &mut rng);
+        assert_eq!(sub.len(), 3);
+        assert!(sub.iter().all(|&f| f < 10));
+    }
+
+    #[test]
+    fn partition_respects_threshold() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let split = Split {
+            feature: 0,
+            threshold: 2.0,
+            gain: 0.0,
+        };
+        let (l, r) = partition(&x, &[0, 1, 2], &split);
+        assert_eq!(l, vec![0, 1]);
+        assert_eq!(r, vec![2]);
+    }
+}

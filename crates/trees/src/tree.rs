@@ -1,0 +1,335 @@
+//! CART regression tree (variance-reduction splitting).
+
+use crate::split::{candidate_thresholds, feature_subset, gather_feature, partition, Split};
+use linalg::random::Prng;
+use linalg::Matrix;
+
+/// Hyperparameters for a single regression tree.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split (`usize::MAX` = all).
+    pub max_features: usize,
+    /// Candidate thresholds evaluated per feature.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 10,
+            min_samples_leaf: 5,
+            max_features: usize::MAX,
+            max_thresholds: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree (arena-allocated nodes).
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+struct FitCtx<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    config: &'a TreeConfig,
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `rows` of `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or `y.len() != x.rows()`.
+    pub fn fit(x: &Matrix, y: &[f64], rows: &[usize], config: &TreeConfig, rng: &mut Prng) -> Self {
+        assert_eq!(x.rows(), y.len(), "RegressionTree::fit: x/y length mismatch");
+        assert!(!rows.is_empty(), "RegressionTree::fit: empty sample");
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: x.cols(),
+        };
+        let ctx = FitCtx { x, y, config };
+        tree.grow(&ctx, rows, 0, rng);
+        tree
+    }
+
+    /// Fits on all rows.
+    pub fn fit_all(x: &Matrix, y: &[f64], config: &TreeConfig, rng: &mut Prng) -> Self {
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        Self::fit(x, y, &rows, config, rng)
+    }
+
+    fn grow(&mut self, ctx: &FitCtx<'_>, rows: &[usize], depth: usize, rng: &mut Prng) -> usize {
+        let mean = mean_of(ctx.y, rows);
+        if depth >= ctx.config.max_depth || rows.len() < ctx.config.min_samples_split {
+            return self.push_leaf(mean);
+        }
+        match self.best_split(ctx, rows, rng) {
+            None => self.push_leaf(mean),
+            Some(split) => {
+                let (left_rows, right_rows) = partition(ctx.x, rows, &split);
+                if left_rows.len() < ctx.config.min_samples_leaf
+                    || right_rows.len() < ctx.config.min_samples_leaf
+                {
+                    return self.push_leaf(mean);
+                }
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.grow(ctx, &left_rows, depth + 1, rng);
+                let right = self.grow(ctx, &right_rows, depth + 1, rng);
+                self.nodes[id] = Node::Internal {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                id
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, value: f64) -> usize {
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+
+    /// Best variance-reduction split, or `None` if nothing beats the parent.
+    fn best_split(&self, ctx: &FitCtx<'_>, rows: &[usize], rng: &mut Prng) -> Option<Split> {
+        let parent_sse = sse_of(ctx.y, rows);
+        let mut best: Option<Split> = None;
+        for feature in feature_subset(ctx.x.cols(), ctx.config.max_features, rng) {
+            let values = gather_feature(ctx.x, rows, feature);
+            for threshold in candidate_thresholds(&values, ctx.config.max_thresholds) {
+                // Single pass: accumulate left stats.
+                let mut n_l = 0usize;
+                let mut sum_l = 0.0;
+                let mut sq_l = 0.0;
+                let mut sum_r = 0.0;
+                let mut sq_r = 0.0;
+                for (&v, &r) in values.iter().zip(rows) {
+                    let y = ctx.y[r];
+                    if v <= threshold {
+                        n_l += 1;
+                        sum_l += y;
+                        sq_l += y * y;
+                    } else {
+                        sum_r += y;
+                        sq_r += y * y;
+                    }
+                }
+                let n_r = rows.len() - n_l;
+                if n_l < ctx.config.min_samples_leaf || n_r < ctx.config.min_samples_leaf {
+                    continue;
+                }
+                let sse_l = sq_l - sum_l * sum_l / n_l as f64;
+                let sse_r = sq_r - sum_r * sum_r / n_r as f64;
+                let gain = parent_sse - sse_l - sse_r;
+                if gain > 1e-12 && best.is_none_or(|b| gain > b.gain) {
+                    best = Some(Split {
+                        feature,
+                        threshold,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts a single sample.
+    pub fn predict_one(&self, row: &[f64]) -> f64 {
+        assert_eq!(
+            row.len(),
+            self.n_features,
+            "predict_one: expected {} features, got {}",
+            self.n_features,
+            row.len()
+        );
+        let mut id = 0usize;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value } => return *value,
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.row_iter().map(|row| self.predict_one(row)).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => {
+                    1 + walk(nodes, *left).max(walk(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+}
+
+fn mean_of(y: &[f64], rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64
+}
+
+fn sse_of(y: &[f64], rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let (mut sum, mut sq) = (0.0, 0.0);
+    for &r in rows {
+        sum += y[r];
+        sq += y[r] * y[r];
+    }
+    sq - sum * sum / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A step function is exactly representable by a depth-1 tree.
+    #[test]
+    fn fits_step_function_exactly() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
+        let mut rng = Prng::seed_from_u64(0);
+        let tree = RegressionTree::fit_all(&x, &y, &TreeConfig::default(), &mut rng);
+        assert!((tree.predict_one(&[0.2]) - 1.0).abs() < 1e-12);
+        assert!((tree.predict_one(&[0.8]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = Prng::seed_from_u64(1);
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gaussian(), rng.gaussian()]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let tree = RegressionTree::fit_all(&x, &y, &cfg, &mut rng);
+        assert!(tree.depth() <= 3, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y = vec![3.0; 20];
+        let mut rng = Prng::seed_from_u64(2);
+        let tree = RegressionTree::fit_all(&x, &y, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_one(&[7.0]), 3.0);
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        let mut rng = Prng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.uniform()]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| (r[0] * 10.0).sin()).collect();
+        let mse = |depth: usize| {
+            let cfg = TreeConfig {
+                max_depth: depth,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+                ..TreeConfig::default()
+            };
+            let mut rng = Prng::seed_from_u64(4);
+            let tree = RegressionTree::fit_all(&x, &y, &cfg, &mut rng);
+            let preds = tree.predict(&x);
+            preds
+                .iter()
+                .zip(&y)
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / y.len() as f64
+        };
+        assert!(mse(6) < mse(2));
+        assert!(mse(2) < mse(0) + 1e-12);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let x = Matrix::from_rows(&(0..10).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        };
+        let mut rng = Prng::seed_from_u64(5);
+        let tree = RegressionTree::fit_all(&x, &y, &cfg, &mut rng);
+        // With 10 samples and min 5 per leaf, at most one split is possible.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn prediction_mean_matches_sample_mean_at_root_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]);
+        let y = vec![1.0, 2.0, 6.0];
+        let mut rng = Prng::seed_from_u64(6);
+        let tree = RegressionTree::fit_all(&x, &y, &TreeConfig::default(), &mut rng);
+        assert!((tree.predict_one(&[0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rows_panics() {
+        let x = Matrix::zeros(3, 1);
+        let y = vec![0.0; 3];
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = RegressionTree::fit(&x, &y, &[], &TreeConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,81 @@
+//! Causal-forest uplift model (wraps `trees::CausalForest`).
+
+use crate::UpliftModel;
+use linalg::random::Prng;
+use linalg::Matrix;
+use trees::{CausalForest, CausalForestConfig};
+
+/// Causal forest as an [`UpliftModel`] (the "CF" of TPM-CF in Table I).
+#[derive(Debug, Clone)]
+pub struct CausalForestUplift {
+    config: CausalForestConfig,
+    forest: Option<CausalForest>,
+}
+
+impl CausalForestUplift {
+    /// Creates an unfitted causal-forest uplift model.
+    pub fn new(config: CausalForestConfig) -> Self {
+        CausalForestUplift {
+            config,
+            forest: None,
+        }
+    }
+
+    /// Default configuration (50 honest trees, 50% subsampling).
+    pub fn default_config() -> Self {
+        Self::new(CausalForestConfig::default())
+    }
+}
+
+impl UpliftModel for CausalForestUplift {
+    fn name(&self) -> String {
+        "Causal Forest".to_string()
+    }
+
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+        self.forest = Some(CausalForest::fit(x, t, y, &self.config, rng));
+    }
+
+    fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
+        self.forest
+            .as_ref()
+            .expect("CausalForestUplift: fit before predict")
+            .predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_heterogeneous_effect() {
+        let mut rng = Prng::seed_from_u64(0);
+        let n = 3000;
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        let mut ys = Vec::new();
+        let mut taus = Vec::new();
+        for _ in 0..n {
+            let x0 = rng.uniform();
+            let t = u8::from(rng.bernoulli(0.5));
+            let tau = 3.0 * x0;
+            xs.push(vec![x0, rng.gaussian()]);
+            taus.push(tau);
+            ys.push(tau * f64::from(t) + 0.3 * rng.gaussian());
+            ts.push(t);
+        }
+        let x = Matrix::from_rows(&xs);
+        let mut m = CausalForestUplift::default_config();
+        m.fit(&x, &ts, &ys, &mut rng);
+        let preds = m.predict_uplift(&x);
+        assert!(linalg::stats::pearson(&preds, &taus) > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_before_fit_panics() {
+        let m = CausalForestUplift::default_config();
+        let _ = m.predict_uplift(&Matrix::zeros(1, 2));
+    }
+}

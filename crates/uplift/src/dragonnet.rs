@@ -1,0 +1,165 @@
+//! DragonNet (Shi, Blei & Veitch 2019).
+//!
+//! TARNet plus a propensity head `g(Φ(x))` trained with cross-entropy on
+//! the treatment label. Forcing the shared representation to predict
+//! treatment sufficiency-regularizes `Φ` toward the confounding-relevant
+//! subspace. We implement the main architecture; the optional targeted
+//! regularization term (an epsilon-perturbation layer) is omitted — under
+//! RCT data the propensity is constant, so the term's fluctuation
+//! correction is a no-op in expectation (noted in DESIGN.md).
+
+use crate::nnutil::{masked_mse_grad, minibatches, standardize, NetConfig};
+use crate::UpliftModel;
+use linalg::random::Prng;
+use linalg::stats::Standardizer;
+use linalg::vector::sigmoid;
+use linalg::Matrix;
+use nn::multihead::clipped_step;
+use nn::{Adam, Mode, MultiHeadNet};
+
+/// DragonNet uplift model.
+#[derive(Debug, Clone)]
+pub struct DragonNet {
+    config: NetConfig,
+    /// Weight of the propensity cross-entropy term.
+    alpha: f64,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: Standardizer,
+    net: MultiHeadNet,
+}
+
+impl DragonNet {
+    /// Creates an unfitted DragonNet with propensity-loss weight `alpha`
+    /// (the original paper uses 1.0).
+    pub fn new(config: NetConfig, alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "DragonNet: alpha must be non-negative");
+        DragonNet {
+            config,
+            alpha,
+            state: None,
+        }
+    }
+}
+
+impl UpliftModel for DragonNet {
+    fn name(&self) -> String {
+        "DragonNet".to_string()
+    }
+
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+        assert_eq!(x.rows(), t.len(), "DragonNet::fit: x/t length mismatch");
+        assert_eq!(x.rows(), y.len(), "DragonNet::fit: x/y length mismatch");
+        let (scaler, z) = standardize(x);
+        let trunk = self.config.build_trunk(z.cols(), rng);
+        let h0 = self.config.build_head(self.config.rep_dim, rng);
+        let h1 = self.config.build_head(self.config.rep_dim, rng);
+        let prop = self.config.build_head(self.config.rep_dim, rng);
+        let mut net = MultiHeadNet::new(trunk, vec![h0, h1, prop]);
+        let mut opt = Adam::new(self.config.lr);
+        for _ in 0..self.config.epochs {
+            for batch in minibatches(z.rows(), self.config.batch_size, rng) {
+                let xb = z.select_rows(&batch);
+                net.zero_grad();
+                let outs = net.forward(&xb, Mode::Train, rng);
+                let p0 = outs[0].col(0);
+                let p1 = outs[1].col(0);
+                let logits = outs[2].col(0);
+                let (g0, _) = masked_mse_grad(&p0, &batch, t, y, 0);
+                let (g1, _) = masked_mse_grad(&p1, &batch, t, y, 1);
+                // BCE-on-logits gradient for the propensity head.
+                let inv = self.alpha / batch.len() as f64;
+                let gp: Vec<f64> = logits
+                    .iter()
+                    .zip(&batch)
+                    .map(|(&s, &i)| (sigmoid(s) - f64::from(t[i])) * inv)
+                    .collect();
+                net.backward(&[
+                    Matrix::column(&g0),
+                    Matrix::column(&g1),
+                    Matrix::column(&gp),
+                ]);
+                clipped_step(
+                    &mut net,
+                    &mut opt,
+                    self.config.grad_clip,
+                    self.config.weight_decay,
+                );
+            }
+        }
+        self.state = Some(Fitted { scaler, net });
+    }
+
+    fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DragonNet: fit before predict");
+        let z = state.scaler.transform(x);
+        let mut net = state.net.clone();
+        let outs = net.predict_scalars(&z);
+        outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
+    }
+}
+
+/// Fitted propensity predictions (diagnostic; useful to verify the RCT
+/// assumption — on RCT data these should hover near the treated fraction).
+impl DragonNet {
+    /// Predicted treatment propensities `σ(g(Φ(x)))`.
+    ///
+    /// # Panics
+    /// Panics before [`UpliftModel::fit`].
+    pub fn predict_propensity(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DragonNet: fit before predict");
+        let z = state.scaler.transform(x);
+        let mut net = state.net.clone();
+        let outs = net.predict_scalars(&z);
+        outs[2].iter().map(|&s| sigmoid(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::rct;
+
+    #[test]
+    fn recovers_heterogeneous_effect() {
+        let (x, t, y, taus) = rct(3000, 10);
+        let cfg = NetConfig {
+            epochs: 60,
+            ..NetConfig::default()
+        };
+        let mut m = DragonNet::new(cfg, 1.0);
+        let mut rng = Prng::seed_from_u64(11);
+        m.fit(&x, &t, &y, &mut rng);
+        let preds = m.predict_uplift(&x);
+        let corr = linalg::stats::pearson(&preds, &taus);
+        assert!(corr > 0.6, "corr {corr}");
+    }
+
+    #[test]
+    fn propensity_near_constant_on_rct() {
+        let (x, t, y, _) = rct(2000, 12);
+        let mut m = DragonNet::new(
+            NetConfig {
+                epochs: 30,
+                ..NetConfig::default()
+            },
+            1.0,
+        );
+        let mut rng = Prng::seed_from_u64(13);
+        m.fit(&x, &t, &y, &mut rng);
+        let props = m.predict_propensity(&x);
+        let mean = linalg::stats::mean(&props);
+        assert!((mean - 0.5).abs() < 0.1, "mean propensity {mean}");
+        // Low spread: nothing predicts treatment in an RCT.
+        assert!(linalg::stats::std_dev(&props) < 0.15);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be non-negative")]
+    fn negative_alpha_panics() {
+        let _ = DragonNet::new(NetConfig::default(), -1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The uplift-model zoo: every baseline in the paper's Table I except DRP
+//! and rDRP (which are the `rdrp` crate's subject).
+//!
+//! Two model notions:
+//!
+//! * [`UpliftModel`] predicts a *single outcome's* CATE `τ(x)` — the
+//!   building block: S-/T-/X-learners, causal forests, and the
+//!   representation-learning networks (TARNet, DragonNet, OffsetNet,
+//!   SNet).
+//! * [`RoiModel`] predicts per-individual ROI directly. The Two-Phase
+//!   Method ([`Tpm`]) implements it as the ratio of two [`UpliftModel`]s
+//!   (revenue uplift / cost uplift), exactly the combination whose error
+//!   amplification the paper criticizes; [`DirectRank`] learns an ROI
+//!   *ranking* score with a non-convex loss. DRP/rDRP implement the same
+//!   trait in the `rdrp` crate, so the experiment harness treats all ten
+//!   methods uniformly.
+
+pub mod causal_forest;
+pub mod direct_rank;
+pub mod dragonnet;
+pub mod meta;
+pub mod nnutil;
+pub mod offsetnet;
+pub mod regressor;
+pub mod rlearner;
+pub mod snet;
+pub mod tarnet;
+pub mod tpm;
+
+use datasets::RctDataset;
+use linalg::random::Prng;
+use linalg::Matrix;
+
+pub use causal_forest::CausalForestUplift;
+pub use direct_rank::DirectRank;
+pub use dragonnet::DragonNet;
+pub use meta::{SLearner, TLearner, XLearner};
+pub use nnutil::NetConfig;
+pub use offsetnet::OffsetNet;
+pub use regressor::BaseLearner;
+pub use rlearner::RLearner;
+pub use snet::SNet;
+pub use tarnet::TarNet;
+pub use tpm::Tpm;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use linalg::random::Prng;
+    use linalg::Matrix;
+
+    /// RCT fixture with tau(x) = 0.5 + 2 x0, a nonlinear prognostic term,
+    /// and mild noise — shared by the neural uplift model tests.
+    pub(crate) fn rct(n: usize, seed: u64) -> (Matrix, Vec<u8>, Vec<f64>, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        let mut ys = Vec::new();
+        let mut taus = Vec::new();
+        for _ in 0..n {
+            let x0 = rng.uniform();
+            let x1 = rng.gaussian();
+            let t = u8::from(rng.bernoulli(0.5));
+            let tau = 0.5 + 2.0 * x0;
+            let y = x1.sin() + tau * f64::from(t) + 0.2 * rng.gaussian();
+            xs.push(vec![x0, x1]);
+            ts.push(t);
+            ys.push(y);
+            taus.push(tau);
+        }
+        (Matrix::from_rows(&xs), ts, ys, taus)
+    }
+}
+
+/// A model of a single outcome's conditional average treatment effect.
+pub trait UpliftModel {
+    /// Human-readable model name.
+    fn name(&self) -> String;
+
+    /// Fits the model on RCT data `(x, t, y)` for one outcome.
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng);
+
+    /// Predicts `τ̂(x)` for every row of `x`.
+    ///
+    /// # Panics
+    /// Implementations panic if called before [`UpliftModel::fit`].
+    fn predict_uplift(&self, x: &Matrix) -> Vec<f64>;
+}
+
+/// A model of per-individual ROI (the C-BTAP ranking score).
+pub trait RoiModel {
+    /// Human-readable model name.
+    fn name(&self) -> String;
+
+    /// Fits the model on a full RCT dataset (both outcomes).
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng);
+
+    /// Predicts the ROI score for every row of `x`. Scores only need to
+    /// *rank* correctly; TPM produces actual ratio estimates, DirectRank
+    /// produces uncalibrated scores, DRP produces unbiased ROI in (0, 1).
+    fn predict_roi(&self, x: &Matrix) -> Vec<f64>;
+}

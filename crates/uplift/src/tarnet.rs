@@ -1,0 +1,130 @@
+//! TARNet (Shalit, Johansson & Sontag 2017).
+//!
+//! Treatment-Agnostic Representation Network: a shared representation
+//! `Φ(x)` feeds two outcome heads, `h₀` fitted on control rows and `h₁` on
+//! treated rows (each minibatch contributes a masked MSE gradient to the
+//! head matching each sample's factual treatment). The uplift estimate is
+//! `h₁(Φ(x)) − h₀(Φ(x))`. The original adds an IPM balancing penalty on
+//! `Φ` (making it CFR); under RCT data the treated/control representation
+//! distributions already match, so TARNet (penalty-free) is the right
+//! variant — as in the paper's baseline list.
+
+use crate::nnutil::{masked_mse_grad, minibatches, standardize, NetConfig};
+use crate::UpliftModel;
+use linalg::random::Prng;
+use linalg::stats::Standardizer;
+use linalg::Matrix;
+use nn::multihead::clipped_step;
+use nn::{Adam, Mode, MultiHeadNet};
+
+/// TARNet uplift model.
+#[derive(Debug, Clone)]
+pub struct TarNet {
+    config: NetConfig,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    scaler: Standardizer,
+    net: MultiHeadNet,
+}
+
+impl TarNet {
+    /// Creates an unfitted TARNet.
+    pub fn new(config: NetConfig) -> Self {
+        TarNet {
+            config,
+            state: None,
+        }
+    }
+}
+
+impl UpliftModel for TarNet {
+    fn name(&self) -> String {
+        "TARNet".to_string()
+    }
+
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+        assert_eq!(x.rows(), t.len(), "TarNet::fit: x/t length mismatch");
+        assert_eq!(x.rows(), y.len(), "TarNet::fit: x/y length mismatch");
+        let (scaler, z) = standardize(x);
+        let trunk = self.config.build_trunk(z.cols(), rng);
+        let h0 = self.config.build_head(self.config.rep_dim, rng);
+        let h1 = self.config.build_head(self.config.rep_dim, rng);
+        let mut net = MultiHeadNet::new(trunk, vec![h0, h1]);
+        let mut opt = Adam::new(self.config.lr);
+        for _ in 0..self.config.epochs {
+            for batch in minibatches(z.rows(), self.config.batch_size, rng) {
+                let xb = z.select_rows(&batch);
+                net.zero_grad();
+                let outs = net.forward(&xb, Mode::Train, rng);
+                let p0 = outs[0].col(0);
+                let p1 = outs[1].col(0);
+                let (g0, _) = masked_mse_grad(&p0, &batch, t, y, 0);
+                let (g1, _) = masked_mse_grad(&p1, &batch, t, y, 1);
+                net.backward(&[Matrix::column(&g0), Matrix::column(&g1)]);
+                clipped_step(
+                    &mut net,
+                    &mut opt,
+                    self.config.grad_clip,
+                    self.config.weight_decay,
+                );
+            }
+        }
+        self.state = Some(Fitted { scaler, net });
+    }
+
+    fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("TarNet: fit before predict");
+        let z = state.scaler.transform(x);
+        let mut net = state.net.clone();
+        let outs = net.predict_scalars(&z);
+        outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::rct;
+
+    #[test]
+    fn recovers_heterogeneous_effect() {
+        let (x, t, y, taus) = rct(3000, 0);
+        let cfg = NetConfig {
+            epochs: 60,
+            ..NetConfig::default()
+        };
+        let mut m = TarNet::new(cfg);
+        let mut rng = Prng::seed_from_u64(1);
+        m.fit(&x, &t, &y, &mut rng);
+        let preds = m.predict_uplift(&x);
+        let corr = linalg::stats::pearson(&preds, &taus);
+        assert!(corr > 0.6, "corr {corr}");
+        let mean: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
+        assert!((mean - 1.5).abs() < 0.35, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, t, y, _) = rct(400, 2);
+        let run = |seed| {
+            let mut m = TarNet::new(NetConfig {
+                epochs: 5,
+                ..NetConfig::default()
+            });
+            let mut rng = Prng::seed_from_u64(seed);
+            m.fit(&x, &t, &y, &mut rng);
+            m.predict_uplift(&x)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before predict")]
+    fn predict_before_fit_panics() {
+        let m = TarNet::new(NetConfig::default());
+        let _ = m.predict_uplift(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,64 @@
+//! Incentivized-advertising budget allocation with a live A/B test
+//! (Alibaba-LIFT lookalike + the Fig. 6 simulator).
+//!
+//! ```sh
+//! cargo run -p rdrp-examples --release --example ad_budget_allocation
+//! ```
+//!
+//! Simulates the paper's online deployment: a platform rewards viewers
+//! for watching ads, budget is finite, and three arms (random / DRP /
+//! rDRP) allocate it for five days. Realized ad revenue is drawn from the
+//! true potential-outcome law, so arm differences are causal.
+
+use abtest::{run_ab_test, AbTestConfig};
+use datasets::{AlibabaLike, Setting};
+use linalg::random::Prng;
+use rdrp::{DrpConfig, RdrpConfig};
+
+fn main() {
+    let generator = AlibabaLike::new();
+    let config = AbTestConfig {
+        train_sufficient: 12_000,
+        insufficient_fraction: 0.1,
+        calibration: 4_000,
+        users_per_day: 6_000,
+        days: 5,
+        budget_fraction: 0.3,
+        rdrp: RdrpConfig {
+            drp: DrpConfig {
+                epochs: 30,
+                dropout: 0.2,
+                ..DrpConfig::default()
+            },
+            ..RdrpConfig::default()
+        },
+        ..AbTestConfig::default()
+    };
+    println!(
+        "incentivized-advertising A/B test: {} viewers/day/arm, {} days",
+        config.users_per_day, config.days
+    );
+    for setting in [Setting::SuNo, Setting::InCo] {
+        let mut rng = Prng::seed_from_u64(11);
+        let result = run_ab_test(generator.model(), setting, &config, &mut rng);
+        println!("\nsetting {setting} — realized daily ad revenue:");
+        println!("  day | random |    DRP |   rDRP");
+        for (d, day) in result.daily.iter().enumerate() {
+            println!(
+                "   {:>2} | {:>6.0} | {:>6.0} | {:>6.0}",
+                d + 1,
+                day.random,
+                day.drp,
+                day.rdrp
+            );
+        }
+        println!(
+            "  lift over random: DRP {:+.2}%, rDRP {:+.2}%",
+            result.drp_lift_pct, result.rdrp_lift_pct
+        );
+    }
+    println!(
+        "\n(the paper's Fig. 6 shape: both arms beat random; rDRP's edge \
+         over DRP grows when training data is scarce or shifted)"
+    );
+}

@@ -1,0 +1,78 @@
+//! Covariate-shift anatomy: what actually happens to DRP when the
+//! deployment population drifts, and how rDRP's conformal machinery
+//! reacts.
+//!
+//! ```sh
+//! cargo run -p rdrp-examples --release --example covariate_shift_study
+//! ```
+//!
+//! Demonstrates three diagnostics the library exposes:
+//!  * the standardized-mean-difference shift meter,
+//!  * conformal interval widths growing under uncertainty,
+//!  * empirical coverage of the conformal guarantee (paper Eq. 4).
+
+use conformal::empirical_coverage;
+use datasets::generator::{Population, RctGenerator};
+use datasets::shift::shift_magnitude;
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use metrics::aucc_from_labels;
+use rdrp::{find_roi_star, Rdrp, RdrpConfig};
+use uplift::RoiModel;
+
+fn main() {
+    let mut rng = Prng::seed_from_u64(5);
+    let generator = CriteoLike::new();
+    let train = generator.sample(12_000, Population::Base, &mut rng);
+
+    println!("1. Measuring the shift");
+    let base_sample = generator.sample(5_000, Population::Base, &mut rng);
+    let shifted_sample = generator.sample(5_000, Population::Shifted, &mut rng);
+    println!(
+        "   base vs base    SMD: {:.3} (no shift)",
+        shift_magnitude(&train, &base_sample)
+    );
+    println!(
+        "   base vs holiday SMD: {:.3} (covariate shift)",
+        shift_magnitude(&train, &shifted_sample)
+    );
+
+    println!("\n2. Fitting rDRP against each deployment population");
+    for (label, population) in [("matched", Population::Base), ("shifted", Population::Shifted)] {
+        let calibration = generator.sample(4_000, population, &mut rng);
+        let test = generator.sample(8_000, population, &mut rng);
+        let mut model = Rdrp::new(RdrpConfig::default());
+        model.fit_with_calibration(&train, &calibration, &mut rng);
+        let diag = model.diagnostics();
+
+        let rdrp_scores = model.predict_scores(&test.x, &mut rng);
+        let drp_scores = model.drp().predict_roi(&test.x);
+        let intervals = model.predict_intervals(&test.x, &mut rng);
+        let mean_width: f64 =
+            intervals.iter().map(|iv| iv.width()).sum::<f64>() / intervals.len() as f64;
+
+        // Eq. 4's guarantee is about covering the test population's loss
+        // convergence point roi*.
+        let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6)
+            .expect("test RCT has both groups");
+        let coverage = empirical_coverage(&intervals, &vec![roi_star_test; intervals.len()]);
+
+        println!(
+            "   {label:<8} q̂ = {:>7.2}  form = {:<16} mean C(x) width = {mean_width:.3}",
+            diag.qhat,
+            diag.selected_form.label()
+        );
+        println!(
+            "            AUCC: DRP {:.4} vs rDRP {:.4}   coverage of roi* ({:.3}): {:.1}%",
+            aucc_from_labels(&test, &drp_scores, 20),
+            aucc_from_labels(&test, &rdrp_scores, 20),
+            roi_star_test,
+            100.0 * coverage
+        );
+    }
+    println!(
+        "\n(the conformal coverage stays ≥ 90% in both columns because the \
+         calibration RCT always matches the deployment population — the \
+         deployment recipe the paper prescribes)"
+    );
+}

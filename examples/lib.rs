@@ -1,0 +1,1 @@
+//! Placeholder library target; the examples live alongside as `[[example]]` binaries.

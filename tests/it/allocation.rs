@@ -1,0 +1,98 @@
+//! Budget allocation and the online A/B simulator across crates.
+
+use abtest::{run_ab_test, AbTestConfig};
+use datasets::generator::{Population, RctGenerator};
+use datasets::{CriteoLike, Setting};
+use integration::quick_rdrp_config;
+use linalg::random::Prng;
+use rdrp::greedy_allocate;
+
+fn quick_ab_config() -> AbTestConfig {
+    AbTestConfig {
+        train_sufficient: 5_000,
+        insufficient_fraction: 0.15,
+        calibration: 2_000,
+        users_per_day: 2_500,
+        days: 3,
+        budget_fraction: 0.3,
+        rdrp: quick_rdrp_config(),
+        stochastic_outcomes: true,
+    }
+}
+
+#[test]
+fn allocation_budget_is_binding_and_respected() {
+    let generator = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(0);
+    let data = generator.sample(5_000, Population::Base, &mut rng);
+    let scores = data.true_roi().unwrap();
+    let costs = data.true_tau_c.clone().unwrap();
+    for frac in [0.1, 0.3, 0.7] {
+        let budget = frac * costs.iter().sum::<f64>();
+        let alloc = greedy_allocate(&scores, &costs, budget);
+        assert!(alloc.spent <= budget + 1e-9);
+        // The budget should be nearly exhausted (costs are small relative
+        // to the budget, so the stop-at-overflow rule wastes little).
+        assert!(
+            alloc.spent > 0.98 * budget,
+            "frac {frac}: spent {} of {budget}",
+            alloc.spent
+        );
+    }
+}
+
+#[test]
+fn larger_budget_treats_more_people() {
+    let generator = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(1);
+    let data = generator.sample(3_000, Population::Base, &mut rng);
+    let scores = data.true_roi().unwrap();
+    let costs = data.true_tau_c.clone().unwrap();
+    let total: f64 = costs.iter().sum();
+    let small = greedy_allocate(&scores, &costs, 0.1 * total);
+    let large = greedy_allocate(&scores, &costs, 0.5 * total);
+    assert!(large.n_treated > small.n_treated);
+    // Monotone inclusion: everyone treated at the small budget is also
+    // treated at the large one (greedy order is budget-independent).
+    for i in 0..data.len() {
+        if small.treated[i] {
+            assert!(large.treated[i], "greedy inclusion violated at {i}");
+        }
+    }
+}
+
+#[test]
+fn ab_test_runs_all_settings_and_is_deterministic() {
+    let generator = CriteoLike::new();
+    for (i, setting) in Setting::ALL.iter().enumerate() {
+        let run = |seed: u64| {
+            let mut rng = Prng::seed_from_u64(seed);
+            run_ab_test(generator.model(), *setting, &quick_ab_config(), &mut rng)
+        };
+        let a = run(10 + i as u64);
+        let b = run(10 + i as u64);
+        assert_eq!(a.rdrp_lift_pct, b.rdrp_lift_pct, "{setting}");
+        assert_eq!(a.daily.len(), 3);
+    }
+}
+
+#[test]
+fn trained_arms_beat_random_on_average_suno() {
+    // Averaged over three seeds to damp daily Bernoulli noise.
+    let generator = CriteoLike::new();
+    let mut drp_sum = 0.0;
+    let mut rdrp_sum = 0.0;
+    let n = 3;
+    for seed in 0..n {
+        let mut rng = Prng::seed_from_u64(77 + seed);
+        let r = run_ab_test(generator.model(), Setting::SuNo, &quick_ab_config(), &mut rng);
+        drp_sum += r.drp_lift_pct;
+        rdrp_sum += r.rdrp_lift_pct;
+    }
+    assert!(drp_sum / n as f64 > 0.0, "DRP mean lift {}", drp_sum / n as f64);
+    assert!(
+        rdrp_sum / n as f64 > 0.0,
+        "rDRP mean lift {}",
+        rdrp_sum / n as f64
+    );
+}

@@ -1,0 +1,81 @@
+//! Oracle sanity: with ground-truth uplift available, the evaluation
+//! stack must rank the oracle at the top and the anti-oracle at the
+//! bottom — this pins down the *sign conventions* of the whole pipeline
+//! (scores, AUCC, allocator) in one place.
+
+use datasets::generator::{Population, RctGenerator};
+use datasets::{AlibabaLike, CriteoLike, MeituanLike};
+use linalg::random::Prng;
+use metrics::{aucc_from_labels, aucc_oracle, qini};
+use rdrp::greedy_allocate;
+
+fn oracle_dominance(generator: &dyn RctGenerator, seed: u64) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let data = generator.sample(20_000, Population::Base, &mut rng);
+    let oracle = data.true_roi().expect("synthetic ground truth");
+    let anti: Vec<f64> = oracle.iter().map(|v| -v).collect();
+    let random: Vec<f64> = (0..data.len()).map(|_| rng.uniform()).collect();
+
+    let a_oracle = aucc_from_labels(&data, &oracle, 20);
+    let a_random = aucc_from_labels(&data, &random, 20);
+    let a_anti = aucc_from_labels(&data, &anti, 20);
+    assert!(
+        a_oracle > a_random && a_random > a_anti,
+        "{}: oracle {a_oracle}, random {a_random}, anti {a_anti}",
+        generator.name()
+    );
+    // Random hovers around 1/2 under both metrics.
+    assert!((a_random - 0.5).abs() < 0.08, "label-AUCC random {a_random}");
+    let o_random = aucc_oracle(&data, &random, 20);
+    assert!((o_random - 0.5).abs() < 0.03, "oracle-AUCC random {o_random}");
+}
+
+#[test]
+fn criteo_oracle_dominance() {
+    oracle_dominance(&CriteoLike::new(), 1);
+}
+
+#[test]
+fn meituan_oracle_dominance() {
+    oracle_dominance(&MeituanLike::new(), 2);
+}
+
+#[test]
+fn alibaba_oracle_dominance() {
+    oracle_dominance(&AlibabaLike::new(), 3);
+}
+
+#[test]
+fn oracle_allocation_captures_more_value_per_cost() {
+    let generator = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(4);
+    let data = generator.sample(10_000, Population::Base, &mut rng);
+    let oracle = data.true_roi().unwrap();
+    let random: Vec<f64> = (0..data.len()).map(|_| rng.uniform()).collect();
+    let costs = data.true_tau_c.clone().unwrap();
+    let values = data.true_tau_r.clone().unwrap();
+    let budget = 0.3 * costs.iter().sum::<f64>();
+    let capture = |scores: &[f64]| {
+        let alloc = greedy_allocate(scores, &costs, budget);
+        (0..data.len())
+            .filter(|&i| alloc.treated[i])
+            .map(|i| values[i])
+            .sum::<f64>()
+    };
+    let v_oracle = capture(&oracle);
+    let v_random = capture(&random);
+    assert!(
+        v_oracle > v_random * 1.15,
+        "oracle {v_oracle} vs random {v_random}"
+    );
+}
+
+#[test]
+fn qini_agrees_with_revenue_uplift_oracle() {
+    let generator = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(5);
+    let data = generator.sample(20_000, Population::Base, &mut rng);
+    let tau_r = data.true_tau_r.clone().unwrap();
+    let random: Vec<f64> = (0..data.len()).map(|_| rng.uniform()).collect();
+    assert!(qini(&data, &tau_r, 20) > qini(&data, &random, 20));
+}

@@ -1,0 +1,38 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use datasets::{ExperimentData, Setting, SettingSizes};
+use linalg::random::Prng;
+use rdrp::{DrpConfig, RdrpConfig};
+
+/// Small-but-meaningful sizes so the whole suite stays fast.
+pub fn quick_sizes() -> SettingSizes {
+    SettingSizes {
+        train_sufficient: 6_000,
+        insufficient_fraction: 0.15,
+        calibration: 2_500,
+        test: 5_000,
+    }
+}
+
+/// A fast rDRP configuration for integration tests.
+pub fn quick_rdrp_config() -> RdrpConfig {
+    RdrpConfig {
+        drp: DrpConfig {
+            epochs: 15,
+            ..DrpConfig::default()
+        },
+        mc_passes: 20,
+        ..RdrpConfig::default()
+    }
+}
+
+/// Builds experiment data for a generator/setting pair with a fixed seed.
+pub fn quick_data(
+    generator: &dyn datasets::generator::RctGenerator,
+    setting: Setting,
+    seed: u64,
+) -> (ExperimentData, Prng) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let data = ExperimentData::build(generator, setting, &quick_sizes(), &mut rng);
+    (data, rng)
+}
