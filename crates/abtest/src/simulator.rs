@@ -4,11 +4,10 @@ use datasets::generator::{Population, RctGenerator, StructuralModel};
 use datasets::{RctDataset, Setting};
 use linalg::random::Prng;
 use rdrp::{greedy_allocate, Rdrp, RdrpConfig};
-use serde::{Deserialize, Serialize};
 use uplift::RoiModel;
 
 /// Configuration of one online A/B test.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AbTestConfig {
     /// Training rows in the sufficient regime (the paper uses 15M for Su
     /// and 1.5M for In; scale to taste).
@@ -34,6 +33,17 @@ pub struct AbTestConfig {
     pub stochastic_outcomes: bool,
 }
 
+tinyjson::json_struct!(AbTestConfig {
+    train_sufficient,
+    insufficient_fraction,
+    calibration,
+    users_per_day,
+    days,
+    budget_fraction,
+    rdrp,
+    stochastic_outcomes
+});
+
 impl Default for AbTestConfig {
     fn default() -> Self {
         AbTestConfig {
@@ -50,7 +60,7 @@ impl Default for AbTestConfig {
 }
 
 /// Realized revenue of each arm on one day.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DayResult {
     /// Realized total revenue of the random-allocation arm.
     pub random: f64,
@@ -60,8 +70,10 @@ pub struct DayResult {
     pub rdrp: f64,
 }
 
+tinyjson::json_struct!(DayResult { random, drp, rdrp });
+
 /// Aggregate outcome of one A/B test.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AbTestResult {
     /// The setting simulated (SuNo/SuCo/InNo/InCo).
     pub setting: String,
@@ -72,6 +84,13 @@ pub struct AbTestResult {
     /// rDRP's percentage revenue lift over the random arm.
     pub rdrp_lift_pct: f64,
 }
+
+tinyjson::json_struct!(AbTestResult {
+    setting,
+    daily,
+    drp_lift_pct,
+    rdrp_lift_pct
+});
 
 /// Realized campaign revenue of an arm. In incentivized advertising the
 /// platform's rewarded-ad revenue comes from the viewers who opted in —

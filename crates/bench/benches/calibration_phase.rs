@@ -7,10 +7,10 @@
 //! `O(N_cali (k + log N_cali))`.
 
 use conformal::SplitConformal;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;
 use linalg::random::Prng;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::{find_roi_star, DrpConfig, Rdrp, RdrpConfig};
 
 fn bench_binary_search(c: &mut Criterion) {

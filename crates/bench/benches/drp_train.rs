@@ -1,10 +1,10 @@
 //! Training-phase benchmark (§IV-D item 1: rDRP's training phase is
 //! exactly DRP's — same model, same loss).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;
 use linalg::random::Prng;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::{DrpConfig, DrpModel};
 use uplift::RoiModel;
 

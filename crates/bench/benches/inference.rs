@@ -6,10 +6,10 @@
 //! demonstrates both: total work scales with K while wall-clock scales
 //! sub-linearly (rayon spreads passes across cores).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;
 use linalg::random::Prng;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::{DrpConfig, DrpModel};
 use uplift::RoiModel;
 
@@ -31,9 +31,7 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(20);
     // Single deterministic pass: Δ_infer.
-    group.bench_function("drp_single_pass", |b| {
-        b.iter(|| model.predict_roi(&test.x))
-    });
+    group.bench_function("drp_single_pass", |b| b.iter(|| model.predict_roi(&test.x)));
     // MC dropout with K passes: rDRP's inference cost.
     for &k in &[10usize, 50, 100] {
         group.bench_with_input(BenchmarkId::new("mc_dropout", k), &k, |b, &k| {

@@ -2,10 +2,10 @@
 //! the experiment harness) and the greedy C-BTAP solver (Algorithm 1,
 //! dominated by the `O(M log M)` sort).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;
 use linalg::random::Prng;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::greedy_allocate;
 
 fn bench_aucc(c: &mut Criterion) {

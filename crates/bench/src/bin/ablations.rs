@@ -22,11 +22,11 @@ use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;
 use linalg::random::Prng;
 use rdrp::{
-    allocator::allocation_value, find_roi_star, greedy_allocate, optimal_allocate_dp,
-    BootstrapDrp, DrpConfig, DrpModel,
+    allocator::allocation_value, find_roi_star, greedy_allocate, optimal_allocate_dp, BootstrapDrp,
+    DrpConfig, DrpModel,
 };
-use serde_json::json;
 use std::time::Instant;
+use tinyjson::json;
 use uplift::RoiModel;
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
         ..DrpConfig::default()
     });
     drp.fit(&train, &mut rng);
-    let mut results = serde_json::Map::new();
+    let mut results: Vec<(String, tinyjson::Value)> = Vec::new();
 
     // Shared calibration quantities.
     let cal_preds = drp.predict_roi(&calibration.x);
@@ -73,9 +73,10 @@ fn main() {
             cp.qhat(),
             cov
         );
-        alpha_rows.push(json!({"alpha": alpha, "qhat": cp.qhat(), "coverage": cov, "width": width}));
+        alpha_rows
+            .push(json!({"alpha": alpha, "qhat": cp.qhat(), "coverage": cov, "width": width}));
     }
-    results.insert("alpha_sweep".into(), json!(alpha_rows));
+    results.push(("alpha_sweep".to_string(), json!(alpha_rows)));
 
     // ---- 2. MC passes ----------------------------------------------------
     println!("\n## 2. MC passes (paper: 10-100)\n");
@@ -89,7 +90,7 @@ fn main() {
         println!("  {k:>3} | {mean_std:>8.4} | {corr:>8.3}");
         mc_rows.push(json!({"passes": k, "mean_std": mean_std, "corr_vs_200": corr}));
     }
-    results.insert("mc_passes".into(), json!(mc_rows));
+    results.push(("mc_passes".to_string(), json!(mc_rows)));
 
     // ---- 3. calibration size ----------------------------------------------
     println!("\n## 3. calibration-set size (paper: 1 000-10 000 typical)\n");
@@ -107,7 +108,7 @@ fn main() {
         println!("  {n:>6} | {:>8.2} | {cov:>8.3}", cp.qhat());
         cal_rows.push(json!({"n_cali": n, "qhat": cp.qhat(), "coverage": cov}));
     }
-    results.insert("calibration_size".into(), json!(cal_rows));
+    results.push(("calibration_size".to_string(), json!(cal_rows)));
 
     // ---- 4. MC dropout vs bootstrap ensemble ------------------------------
     println!("\n## 4. MC dropout vs bootstrap ensemble (paper §IV-C2 efficiency claim)\n");
@@ -140,11 +141,14 @@ fn main() {
     let std_corr = linalg::stats::pearson(&mc.std, &boot.std);
     println!("  single DRP fit:            {fit_one:?}");
     println!("  MC-dropout inference x50:  {mc_time:?}  (no retraining)");
-    println!("  bootstrap fit x10:         {boot_fit:?}  ({}x one fit)", 10);
+    println!(
+        "  bootstrap fit x10:         {boot_fit:?}  ({}x one fit)",
+        10
+    );
     println!("  bootstrap inference:       {boot_time:?}");
     println!("  corr(MC std, bootstrap std): {std_corr:.3}");
-    results.insert(
-        "uq_efficiency".into(),
+    results.push((
+        "uq_efficiency".to_string(),
         json!({
             "single_fit_ms": fit_one.as_millis() as u64,
             "mc_infer_ms": mc_time.as_millis() as u64,
@@ -152,7 +156,7 @@ fn main() {
             "bootstrap_infer_ms": boot_time.as_millis() as u64,
             "std_corr": std_corr,
         }),
-    );
+    ));
 
     // ---- 5. greedy vs exact knapsack --------------------------------------
     println!("\n## 5. greedy vs exact knapsack (paper §III-B approximation ratio)\n");
@@ -171,9 +175,9 @@ fn main() {
         println!("  {n:>3} | {frac:>11.1} | {ratio:>10.4} | {bound:>10.4}");
         knap_rows.push(json!({"n": n, "budget_frac": frac, "ratio": ratio, "bound": bound}));
     }
-    results.insert("knapsack".into(), json!(knap_rows));
+    results.push(("knapsack".to_string(), json!(knap_rows)));
 
-    match write_json("ablations", &results) {
+    match write_json("ablations", &tinyjson::Value::Obj(results)) {
         Ok(path) => println!("\nresults written to {path}"),
         Err(e) => eprintln!("could not persist results: {e}"),
     }

@@ -19,6 +19,7 @@ use datasets::{CriteoLike, RctDataset};
 use linalg::random::Prng;
 use metrics::{aucc_oracle, cost_curve, CostCurvePoint};
 use rdrp::DrpModel;
+use tinyjson::ToJson;
 use uplift::RoiModel;
 
 /// Oracle-AUCC gap of the DRP scores to the true-ROI ceiling, plus the
@@ -95,12 +96,15 @@ fn main() {
             "NOTE: no widening at these seeds"
         }
     );
-    let artifact = (
-        ("matched_gap", m_gap),
-        ("shifted_gap", s_gap),
-        ("insufficient_gap", i_gap),
-        ("curves_matched_shifted_insufficient", curves),
-    );
+    let artifact = tinyjson::Value::Obj(vec![
+        ("matched_gap".to_string(), m_gap.to_json()),
+        ("shifted_gap".to_string(), s_gap.to_json()),
+        ("insufficient_gap".to_string(), i_gap.to_json()),
+        (
+            "curves_matched_shifted_insufficient".to_string(),
+            curves.to_json(),
+        ),
+    ]);
     match write_json("fig1", &artifact) {
         Ok(path) => println!("\nresults written to {path}"),
         Err(e) => eprintln!("could not persist results: {e}"),

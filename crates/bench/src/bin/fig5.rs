@@ -9,13 +9,13 @@ use bench::report::write_json;
 use datasets::{CriteoLike, ExperimentData, Setting};
 use linalg::random::Prng;
 use metrics::{aucc_from_labels, cost_curve, CostCurvePoint};
-use serde::Serialize;
-
-#[derive(Serialize)]
+#[allow(dead_code)]
 struct Panel {
     setting: String,
     curves: Vec<(String, f64, Vec<CostCurvePoint>)>,
 }
+
+tinyjson::json_struct!(Panel { setting, curves });
 
 fn main() {
     let gen = CriteoLike::new();

@@ -13,8 +13,6 @@ use bench::harness::{seeds_from_args, table_rdrp_config};
 use bench::report::write_json;
 use datasets::{CriteoLike, Setting};
 use linalg::random::Prng;
-use serde::Serialize;
-
 /// Paper Fig. 6 reference lifts (%, eyeballed from the bar charts):
 /// (setting, DRP lift, rDRP lift).
 const PAPER: [(&str, f64, f64); 4] = [
@@ -24,13 +22,20 @@ const PAPER: [(&str, f64, f64); 4] = [
     ("InCo", 6.0, 13.0),
 ];
 
-#[derive(Serialize)]
+#[allow(dead_code)]
 struct FigSixCell {
     setting: String,
     drp_lift_pct: f64,
     rdrp_lift_pct: f64,
     per_seed: Vec<(f64, f64)>,
 }
+
+tinyjson::json_struct!(FigSixCell {
+    setting,
+    drp_lift_pct,
+    rdrp_lift_pct,
+    per_seed
+});
 
 fn main() {
     let seeds = seeds_from_args(3);
@@ -56,10 +61,8 @@ fn main() {
             let result = run_ab_test(gen.model(), *setting, &config, &mut rng);
             per_seed.push((result.drp_lift_pct, result.rdrp_lift_pct));
         }
-        let mean_drp =
-            per_seed.iter().map(|p| p.0).sum::<f64>() / per_seed.len() as f64;
-        let mean_rdrp =
-            per_seed.iter().map(|p| p.1).sum::<f64>() / per_seed.len() as f64;
+        let mean_drp = per_seed.iter().map(|p| p.0).sum::<f64>() / per_seed.len() as f64;
+        let mean_rdrp = per_seed.iter().map(|p| p.1).sum::<f64>() / per_seed.len() as f64;
         let (label, paper_drp, paper_rdrp) = PAPER[si];
         println!("\n{setting}:");
         println!(

@@ -11,31 +11,57 @@ use datasets::{AlibabaLike, CriteoLike, MeituanLike, Setting};
 
 /// Paper Table I reference values, rows in `MethodKind::TABLE1` order,
 /// columns: (dataset, sufficient?, shifted?) as iterated below.
+// Literal AUCC values quoted from the paper; 0.6366 is not 2/pi.
+#[allow(clippy::approx_constant)]
 const PAPER: [[f64; 10]; 12] = [
     // CRITEO SuNo
-    [0.6983, 0.5965, 0.7034, 0.6497, 0.7359, 0.7115, 0.6953, 0.7474, 0.7714, 0.7717],
+    [
+        0.6983, 0.5965, 0.7034, 0.6497, 0.7359, 0.7115, 0.6953, 0.7474, 0.7714, 0.7717,
+    ],
     // CRITEO SuCo
-    [0.6824, 0.6108, 0.6817, 0.6712, 0.6500, 0.5433, 0.6411, 0.6757, 0.7263, 0.7382],
+    [
+        0.6824, 0.6108, 0.6817, 0.6712, 0.6500, 0.5433, 0.6411, 0.6757, 0.7263, 0.7382,
+    ],
     // CRITEO InNo
-    [0.5772, 0.5797, 0.5875, 0.6203, 0.6190, 0.5373, 0.6287, 0.6155, 0.6222, 0.6509],
+    [
+        0.5772, 0.5797, 0.5875, 0.6203, 0.6190, 0.5373, 0.6287, 0.6155, 0.6222, 0.6509,
+    ],
     // CRITEO InCo
-    [0.5851, 0.4215, 0.5358, 0.5374, 0.5371, 0.5196, 0.5504, 0.4465, 0.5411, 0.6087],
+    [
+        0.5851, 0.4215, 0.5358, 0.5374, 0.5371, 0.5196, 0.5504, 0.4465, 0.5411, 0.6087,
+    ],
     // Meituan SuNo
-    [0.6890, 0.7213, 0.5841, 0.5478, 0.5147, 0.5164, 0.5392, 0.6067, 0.7223, 0.7290],
+    [
+        0.6890, 0.7213, 0.5841, 0.5478, 0.5147, 0.5164, 0.5392, 0.6067, 0.7223, 0.7290,
+    ],
     // Meituan SuCo
-    [0.5938, 0.6494, 0.5202, 0.5844, 0.5683, 0.5038, 0.4766, 0.6421, 0.6580, 0.6611],
+    [
+        0.5938, 0.6494, 0.5202, 0.5844, 0.5683, 0.5038, 0.4766, 0.6421, 0.6580, 0.6611,
+    ],
     // Meituan InNo
-    [0.6248, 0.6494, 0.5935, 0.6118, 0.6959, 0.6088, 0.6209, 0.6041, 0.6881, 0.7005],
+    [
+        0.6248, 0.6494, 0.5935, 0.6118, 0.6959, 0.6088, 0.6209, 0.6041, 0.6881, 0.7005,
+    ],
     // Meituan InCo
-    [0.5747, 0.5807, 0.5720, 0.5807, 0.5646, 0.6692, 0.6210, 0.5736, 0.6489, 0.6753],
+    [
+        0.5747, 0.5807, 0.5720, 0.5807, 0.5646, 0.6692, 0.6210, 0.5736, 0.6489, 0.6753,
+    ],
     // Alibaba SuNo
-    [0.7213, 0.7234, 0.7177, 0.7079, 0.7264, 0.7275, 0.6392, 0.6214, 0.7281, 0.7476],
+    [
+        0.7213, 0.7234, 0.7177, 0.7079, 0.7264, 0.7275, 0.6392, 0.6214, 0.7281, 0.7476,
+    ],
     // Alibaba SuCo
-    [0.6975, 0.6950, 0.6241, 0.6846, 0.6509, 0.6215, 0.6390, 0.5422, 0.6867, 0.7042],
+    [
+        0.6975, 0.6950, 0.6241, 0.6846, 0.6509, 0.6215, 0.6390, 0.5422, 0.6867, 0.7042,
+    ],
     // Alibaba InNo
-    [0.7082, 0.7035, 0.6134, 0.6998, 0.6570, 0.6651, 0.6686, 0.5888, 0.7121, 0.7214],
+    [
+        0.7082, 0.7035, 0.6134, 0.6998, 0.6570, 0.6651, 0.6686, 0.5888, 0.7121, 0.7214,
+    ],
     // Alibaba InCo
-    [0.6204, 0.6541, 0.6518, 0.6402, 0.6360, 0.6366, 0.6637, 0.5888, 0.6475, 0.6823],
+    [
+        0.6204, 0.6541, 0.6518, 0.6402, 0.6360, 0.6366, 0.6637, 0.5888, 0.6475, 0.6823,
+    ],
 ];
 
 fn main() {
@@ -46,7 +72,10 @@ fn main() {
         ("Meituan-LIFT", Box::new(MeituanLike::new())),
         ("Alibaba-LIFT", Box::new(AlibabaLike::new())),
     ];
-    println!("Table I reproduction — {} seed(s) per cell, sizes {sizes:?}", seeds.len());
+    println!(
+        "Table I reproduction — {} seed(s) per cell, sizes {sizes:?}",
+        seeds.len()
+    );
 
     let mut all_cells = Vec::new();
     let mut columns = Vec::new();

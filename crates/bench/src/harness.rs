@@ -4,14 +4,13 @@ use datasets::generator::RctGenerator;
 use datasets::{ExperimentData, Setting, SettingSizes};
 use linalg::random::Prng;
 use rdrp::{DrpConfig, DrpModel, Rdrp, RdrpConfig};
-use serde::{Deserialize, Serialize};
 use uplift::{DirectRank, NetConfig, RoiModel, Tpm};
 
 /// Percentile bins used for all reported AUCCs.
 pub const AUCC_BINS: usize = 20;
 
 /// Every method evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MethodKind {
     /// TPM with S-learners.
     TpmSl,
@@ -38,6 +37,21 @@ pub enum MethodKind {
     /// Robust DRP (= DRP w/ MC w/ CP).
     Rdrp,
 }
+
+tinyjson::json_unit_enum!(MethodKind {
+    TpmSl,
+    TpmXl,
+    TpmCf,
+    TpmDragonNet,
+    TpmTarNet,
+    TpmOffsetNet,
+    TpmSnet,
+    Dr,
+    DrWithMc,
+    Drp,
+    DrpWithMc,
+    Rdrp
+});
 
 impl MethodKind {
     /// The ten Table-I methods, in the paper's row order.
@@ -175,7 +189,7 @@ fn fit_tpm(mut tpm: Tpm, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
 }
 
 /// One method's result on one (dataset, setting) cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     /// Which method.
     pub method: String,
@@ -184,6 +198,12 @@ pub struct MethodResult {
     /// Per-seed AUCCs.
     pub per_seed: Vec<f64>,
 }
+
+tinyjson::json_struct!(MethodResult {
+    method,
+    aucc,
+    per_seed
+});
 
 /// Runs `methods` on `(generator, setting)` for `seeds` replicates and
 /// returns each method's mean AUCC.

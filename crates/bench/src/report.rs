@@ -1,9 +1,9 @@
 //! Result presentation and persistence.
 
 use crate::harness::MethodResult;
-use serde::Serialize;
 use std::fs;
 use std::path::Path;
+use tinyjson::ToJson;
 
 /// Prints a markdown table: one row per method, one column per cell
 /// label (e.g. "SuNo", "SuCo", ...). `cells[c][m]` is method `m`'s result
@@ -44,12 +44,11 @@ pub fn print_markdown_table(title: &str, columns: &[String], cells: &[Vec<Method
 
 /// Writes any serializable result to `results/<name>.json` under the
 /// workspace root (creating the directory), and returns the path written.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<String> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+pub fn write_json<T: ToJson>(name: &str, value: &T) -> std::io::Result<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    fs::write(&path, tinyjson::to_string_pretty(&value.to_json()))?;
     Ok(path.display().to_string())
 }
 
@@ -58,7 +57,11 @@ pub fn print_paper_vs_measured(label: &str, paper: f64, measured: f64) {
     let agree = (paper > 0.5) == (measured > 0.5);
     println!(
         "  {label:<42} paper {paper:>8.4}   measured {measured:>8.4}   {}",
-        if agree { "" } else { "(level differs; see EXPERIMENTS.md)" }
+        if agree {
+            ""
+        } else {
+            "(level differs; see EXPERIMENTS.md)"
+        }
     );
 }
 
@@ -97,7 +100,7 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let path = write_json("unit_test_artifact", &vec![1, 2, 3]).unwrap();
+        let path = write_json("unit_test_artifact", &vec![1u32, 2, 3]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains('1'));
         let _ = std::fs::remove_file(path);

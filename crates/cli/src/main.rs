@@ -79,7 +79,11 @@ fn generate(args: &Args) -> Result<(), String> {
         "criteo" => Box::new(CriteoLike::new()),
         "meituan" => Box::new(MeituanLike::new()),
         "alibaba" => Box::new(AlibabaLike::new()),
-        other => return Err(format!("unknown dataset '{other}' (criteo|meituan|alibaba)")),
+        other => {
+            return Err(format!(
+                "unknown dataset '{other}' (criteo|meituan|alibaba)"
+            ))
+        }
     };
     let population = if shifted {
         Population::Shifted
@@ -209,30 +213,71 @@ mod tests {
         let model_json = tmp("model.json");
         let scores_csv = tmp("scores.csv");
         run(strings(&[
-            "generate", "--dataset", "criteo", "--rows", "3000", "--out", &train_csv,
+            "generate",
+            "--dataset",
+            "criteo",
+            "--rows",
+            "3000",
+            "--out",
+            &train_csv,
         ]))
         .unwrap();
         run(strings(&[
-            "generate", "--dataset", "criteo", "--rows", "1200", "--out", &cal_csv, "--seed", "43",
+            "generate",
+            "--dataset",
+            "criteo",
+            "--rows",
+            "1200",
+            "--out",
+            &cal_csv,
+            "--seed",
+            "43",
         ]))
         .unwrap();
         run(strings(&[
-            "generate", "--dataset", "criteo", "--rows", "1500", "--out", &test_csv, "--seed", "44",
+            "generate",
+            "--dataset",
+            "criteo",
+            "--rows",
+            "1500",
+            "--out",
+            &test_csv,
+            "--seed",
+            "44",
         ]))
         .unwrap();
         run(strings(&[
-            "train", "--train", &train_csv, "--calibration", &cal_csv, "--model", &model_json,
-            "--epochs", "5", "--mc-passes", "10",
+            "train",
+            "--train",
+            &train_csv,
+            "--calibration",
+            &cal_csv,
+            "--model",
+            &model_json,
+            "--epochs",
+            "5",
+            "--mc-passes",
+            "10",
         ]))
         .unwrap();
         run(strings(&[
-            "score", "--model", &model_json, "--data", &test_csv, "--out", &scores_csv,
+            "score",
+            "--model",
+            &model_json,
+            "--data",
+            &test_csv,
+            "--out",
+            &scores_csv,
         ]))
         .unwrap();
         let scored = std::fs::read_to_string(&scores_csv).unwrap();
         assert_eq!(scored.lines().count(), 1501); // header + rows
         run(strings(&[
-            "evaluate", "--model", &model_json, "--data", &test_csv,
+            "evaluate",
+            "--model",
+            &model_json,
+            "--data",
+            &test_csv,
         ]))
         .unwrap();
         for f in [train_csv, cal_csv, test_csv, model_json, scores_csv] {
@@ -243,8 +288,15 @@ mod tests {
     #[test]
     fn train_rejects_invalid_alpha() {
         let err = run(strings(&[
-            "train", "--train", "x.csv", "--calibration", "y.csv", "--model", "m.json",
-            "--alpha", "2.0",
+            "train",
+            "--train",
+            "x.csv",
+            "--calibration",
+            "y.csv",
+            "--model",
+            "m.json",
+            "--alpha",
+            "2.0",
         ]))
         .unwrap_err();
         assert!(err.contains("alpha"), "{err}");

@@ -7,7 +7,10 @@
 /// # Panics
 /// Panics if `scale_floor <= 0`.
 pub fn scaled_score(truth: f64, pred: f64, scale: f64, scale_floor: f64) -> f64 {
-    assert!(scale_floor > 0.0, "scaled_score: scale_floor must be positive");
+    assert!(
+        scale_floor > 0.0,
+        "scaled_score: scale_floor must be positive"
+    );
     (truth - pred).abs() / scale.max(scale_floor)
 }
 
@@ -19,14 +22,17 @@ pub fn scaled_score(truth: f64, pred: f64, scale: f64, scale_floor: f64) -> f64 
 ///
 /// # Panics
 /// Panics on length mismatches.
-pub fn scaled_scores(
-    truths: &[f64],
-    preds: &[f64],
-    scales: &[f64],
-    scale_floor: f64,
-) -> Vec<f64> {
-    assert_eq!(truths.len(), preds.len(), "scaled_scores: truths/preds mismatch");
-    assert_eq!(preds.len(), scales.len(), "scaled_scores: preds/scales mismatch");
+pub fn scaled_scores(truths: &[f64], preds: &[f64], scales: &[f64], scale_floor: f64) -> Vec<f64> {
+    assert_eq!(
+        truths.len(),
+        preds.len(),
+        "scaled_scores: truths/preds mismatch"
+    );
+    assert_eq!(
+        preds.len(),
+        scales.len(),
+        "scaled_scores: preds/scales mismatch"
+    );
     truths
         .iter()
         .zip(preds)

@@ -2,16 +2,17 @@
 
 use crate::score::scaled_scores;
 use linalg::stats::conformal_quantile;
-use serde::{Deserialize, Serialize};
 
 /// A prediction interval `[lo, hi]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Lower endpoint.
     pub lo: f64,
     /// Upper endpoint.
     pub hi: f64,
 }
+
+tinyjson::json_struct!(Interval { lo, hi });
 
 impl Interval {
     /// Interval width `hi - lo`.
@@ -30,19 +31,29 @@ impl Interval {
     pub fn clamp_to(&self, lo: f64, hi: f64) -> Interval {
         let a = self.lo.clamp(lo, hi);
         let b = self.hi.clamp(lo, hi);
-        Interval { lo: a.min(b), hi: b.max(a) }
+        Interval {
+            lo: a.min(b),
+            hi: b.max(a),
+        }
     }
 }
 
 /// A calibrated split-conformal predictor built from scaled-residual
 /// scores (paper Algorithm 3).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SplitConformal {
     qhat: f64,
     alpha: f64,
     n_calibration: usize,
     scale_floor: f64,
 }
+
+tinyjson::json_struct!(SplitConformal {
+    qhat,
+    alpha,
+    n_calibration,
+    scale_floor
+});
 
 impl SplitConformal {
     /// Calibrates on `(truths, preds, scales)` from the calibration set at
@@ -109,7 +120,11 @@ impl SplitConformal {
     /// # Panics
     /// Panics on length mismatch.
     pub fn intervals(&self, preds: &[f64], scales: &[f64]) -> Vec<Interval> {
-        assert_eq!(preds.len(), scales.len(), "intervals: preds/scales mismatch");
+        assert_eq!(
+            preds.len(),
+            scales.len(),
+            "intervals: preds/scales mismatch"
+        );
         preds
             .iter()
             .zip(scales)

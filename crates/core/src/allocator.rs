@@ -93,7 +93,11 @@ pub fn optimal_allocate_dp(
     budget: f64,
     resolution: usize,
 ) -> Allocation {
-    assert_eq!(values.len(), costs.len(), "optimal_allocate_dp: length mismatch");
+    assert_eq!(
+        values.len(),
+        costs.len(),
+        "optimal_allocate_dp: length mismatch"
+    );
     assert!(budget >= 0.0, "optimal_allocate_dp: negative budget");
     assert!(resolution >= 2, "optimal_allocate_dp: resolution too small");
     assert!(
@@ -262,12 +266,9 @@ mod tests {
             let costs: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.05, 0.5)).collect();
             let rois: Vec<f64> = values.iter().zip(&costs).map(|(v, c)| v / c).collect();
             let budget = 0.4 * costs.iter().sum::<f64>();
-            let greedy_value =
-                allocation_value(&greedy_allocate(&rois, &costs, budget), &values);
-            let opt = allocation_value(
-                &optimal_allocate_dp(&values, &costs, budget, 4000),
-                &values,
-            );
+            let greedy_value = allocation_value(&greedy_allocate(&rois, &costs, budget), &values);
+            let opt =
+                allocation_value(&optimal_allocate_dp(&values, &costs, budget, 4000), &values);
             let max_v = values.iter().cloned().fold(0.0, f64::max);
             let bound = 1.0 - max_v / opt.max(1e-12);
             assert!(

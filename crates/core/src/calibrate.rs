@@ -16,10 +16,8 @@
 //! AUCC, so the choice adapts to whichever failure mode (covariate shift
 //! vs undertraining) the deployment data exhibits.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the paper's calibration forms, plus the identity for ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CalibrationForm {
     /// No calibration: the raw DRP point estimate (ablation baseline).
     Identity,
@@ -30,6 +28,13 @@ pub enum CalibrationForm {
     /// Eq. (5c): `r̂oi + r̂ q̂`.
     UpperBound,
 }
+
+tinyjson::json_unit_enum!(CalibrationForm {
+    Identity,
+    WeightedUpperBound,
+    InverseWidth,
+    UpperBound
+});
 
 impl CalibrationForm {
     /// The candidate forms Algorithm 4 selects among (Eq. 5a–5c).

@@ -6,10 +6,8 @@
 //! points, binary-search tolerance around 1e-3 (we use 1e-4), and a
 //! conformal error rate α = 0.1.
 
-use serde::{Deserialize, Serialize};
-
 /// DRP training hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DrpConfig {
     /// Hidden layer width (paper: 10–100).
     pub hidden: usize,
@@ -27,6 +25,16 @@ pub struct DrpConfig {
     pub weight_decay: f64,
 }
 
+tinyjson::json_struct!(DrpConfig {
+    hidden,
+    epochs,
+    batch_size,
+    lr,
+    dropout,
+    grad_clip,
+    weight_decay
+});
+
 impl Default for DrpConfig {
     fn default() -> Self {
         DrpConfig {
@@ -42,7 +50,7 @@ impl Default for DrpConfig {
 }
 
 /// rDRP post-processing hyperparameters (on top of [`DrpConfig`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RdrpConfig {
     /// Underlying DRP configuration.
     pub drp: DrpConfig,
@@ -59,6 +67,15 @@ pub struct RdrpConfig {
     /// Floor for the MC std before dividing (keeps Eq. 3 finite).
     pub std_floor: f64,
 }
+
+tinyjson::json_struct!(RdrpConfig {
+    drp,
+    mc_passes,
+    mc_dropout,
+    alpha,
+    search_eps,
+    std_floor
+});
 
 impl Default for RdrpConfig {
     fn default() -> Self {
@@ -116,25 +133,32 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = RdrpConfig::default();
-        c.alpha = 1.0;
+        let c = RdrpConfig {
+            alpha: 1.0,
+            ..RdrpConfig::default()
+        };
         assert!(c.validate().unwrap().contains("alpha"));
-        let mut c = RdrpConfig::default();
-        c.mc_passes = 0;
+        let c = RdrpConfig {
+            mc_passes: 0,
+            ..RdrpConfig::default()
+        };
         assert!(c.validate().unwrap().contains("mc_passes"));
         let mut c = RdrpConfig::default();
         c.drp.dropout = 1.0;
         assert!(c.validate().unwrap().contains("dropout"));
-        let mut c = RdrpConfig::default();
-        c.search_eps = 0.0;
+        let c = RdrpConfig {
+            search_eps: 0.0,
+            ..RdrpConfig::default()
+        };
         assert!(c.validate().unwrap().contains("search_eps"));
     }
 
     #[test]
     fn serde_roundtrip() {
+        use tinyjson::{FromJson, ToJson};
         let c = RdrpConfig::default();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: RdrpConfig = serde_json::from_str(&json).unwrap();
+        let json = tinyjson::to_string(&c.to_json());
+        let back = RdrpConfig::from_json(&tinyjson::from_str(&json).unwrap()).unwrap();
         assert_eq!(back.mc_passes, c.mc_passes);
         assert_eq!(back.drp.hidden, c.drp.hidden);
     }

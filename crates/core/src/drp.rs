@@ -8,23 +8,30 @@ use linalg::stats::Standardizer;
 use linalg::vector::sigmoid;
 use linalg::Matrix;
 use nn::{mc_predict_map, Activation, McStats, Mlp, TrainConfig};
-use serde::{Deserialize, Serialize};
 use uplift::RoiModel;
 
 /// Direct ROI Prediction: a one-hidden-layer network scoring `ŝ(x)` whose
 /// sigmoid is an unbiased ROI estimate when the Eq. (2) loss converges.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DrpModel {
     config: DrpConfig,
     state: Option<Fitted>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+tinyjson::json_struct!(DrpModel { config, state });
+
+#[derive(Debug, Clone)]
 struct Fitted {
     scaler: Standardizer,
     net: Mlp,
     final_loss: f64,
 }
+
+tinyjson::json_struct!(Fitted {
+    scaler,
+    net,
+    final_loss
+});
 
 impl DrpModel {
     /// Creates an unfitted DRP model.
@@ -47,7 +54,7 @@ impl DrpModel {
     pub fn predict_score(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
-        state.net.clone().predict_scalar(&z)
+        state.net.predict_scalar(&z)
     }
 
     /// MC-dropout statistics of the *ROI* estimate `σ(ŝ)` — the mean is a
@@ -85,10 +92,7 @@ impl DrpModel {
     /// # Panics
     /// Panics before [`RoiModel::fit`].
     pub fn final_loss(&self) -> f64 {
-        self.state
-            .as_ref()
-            .expect("DrpModel: fit first")
-            .final_loss
+        self.state.as_ref().expect("DrpModel: fit first").final_loss
     }
 }
 

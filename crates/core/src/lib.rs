@@ -64,8 +64,8 @@ pub use bootstrap_uq::BootstrapDrp;
 pub use calibrate::CalibrationForm;
 pub use config::{DrpConfig, RdrpConfig};
 pub use drp::DrpModel;
+pub use loss::DrpObjective;
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
 pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp, PersistError};
-pub use loss::DrpObjective;
 pub use rdrp::{Rdrp, RdrpDiagnostics};
 pub use search::find_roi_star;

@@ -43,12 +43,7 @@ impl DivideAndConquerRdrp {
     /// # Panics
     /// Panics if the datasets have a different number of arms than this
     /// model.
-    pub fn fit(
-        &mut self,
-        train: &MultiRctDataset,
-        calibration: &MultiRctDataset,
-        rng: &mut Prng,
-    ) {
+    pub fn fit(&mut self, train: &MultiRctDataset, calibration: &MultiRctDataset, rng: &mut Prng) {
         assert_eq!(train.n_levels, self.n_levels, "train arm-count mismatch");
         assert_eq!(
             calibration.n_levels, self.n_levels,
@@ -103,8 +98,7 @@ impl DivideAndConquerRdrp {
             .map(|m| {
                 let calibrated = m.predict_scores(x, rng);
                 let mut roi_values = m.drp().predict_roi(x);
-                roi_values
-                    .sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                roi_values.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
                 let order = argsort_desc(&calibrated);
                 let mut out = vec![0.0; calibrated.len()];
                 for (rank, &i) in order.iter().enumerate() {

@@ -12,6 +12,7 @@ use crate::rdrp::Rdrp;
 use std::fmt;
 use std::fs;
 use std::path::Path;
+use tinyjson::{FromJson, ToJson};
 
 /// Errors from saving/loading models.
 #[derive(Debug)]
@@ -19,7 +20,7 @@ pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// Serialization/deserialization failure.
-    Serde(serde_json::Error),
+    Serde(tinyjson::JsonError),
 }
 
 impl fmt::Display for PersistError {
@@ -39,32 +40,36 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<tinyjson::JsonError> for PersistError {
+    fn from(e: tinyjson::JsonError) -> Self {
         PersistError::Serde(e)
     }
 }
 
 /// Saves an rDRP model (trained or not) as pretty JSON.
 pub fn save_rdrp(model: &Rdrp, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, serde_json::to_string_pretty(model)?)?;
+    fs::write(path, tinyjson::to_string_pretty(&model.to_json()))?;
     Ok(())
 }
 
 /// Loads an rDRP model saved by [`save_rdrp`].
 pub fn load_rdrp(path: impl AsRef<Path>) -> Result<Rdrp, PersistError> {
-    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    Ok(Rdrp::from_json(&tinyjson::from_str(&fs::read_to_string(
+        path,
+    )?)?)?)
 }
 
 /// Saves a DRP model as pretty JSON.
 pub fn save_drp(model: &DrpModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, serde_json::to_string_pretty(model)?)?;
+    fs::write(path, tinyjson::to_string_pretty(&model.to_json()))?;
     Ok(())
 }
 
 /// Loads a DRP model saved by [`save_drp`].
 pub fn load_drp(path: impl AsRef<Path>) -> Result<DrpModel, PersistError> {
-    Ok(serde_json::from_str(&fs::read_to_string(path)?)?)
+    Ok(DrpModel::from_json(&tinyjson::from_str(
+        &fs::read_to_string(path)?,
+    )?)?)
 }
 
 #[cfg(test)]
@@ -118,10 +123,7 @@ mod tests {
         save_rdrp(&model, &path).unwrap();
         let loaded = load_rdrp(&path).unwrap();
         assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
-        assert_eq!(
-            model.diagnostics().qhat,
-            loaded.diagnostics().qhat
-        );
+        assert_eq!(model.diagnostics().qhat, loaded.diagnostics().qhat);
         assert_eq!(
             model.diagnostics().selected_form,
             loaded.diagnostics().selected_form

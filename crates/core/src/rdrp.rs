@@ -20,11 +20,10 @@ use conformal::{Interval, SplitConformal};
 use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
 use uplift::RoiModel;
 
 /// What the calibration phase produced (inspectable diagnostics).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RdrpDiagnostics {
     /// The convergence-point ROI from Algorithm 2 (`None` when the search
     /// failed and rDRP fell back to uncalibrated DRP).
@@ -40,6 +39,14 @@ pub struct RdrpDiagnostics {
     /// Calibration-set size.
     pub n_calibration: usize,
 }
+
+tinyjson::json_struct!(RdrpDiagnostics {
+    roi_star,
+    qhat,
+    selected_form,
+    form_auccs,
+    n_calibration
+});
 
 /// Bootstrap resamples used by the form-selection significance test.
 const SELECTION_BOOTSTRAPS: usize = 16;
@@ -76,6 +83,13 @@ fn select_form_bootstrap(
     rng: &mut Prng,
 ) -> (CalibrationForm, Vec<(CalibrationForm, f64)>) {
     let forms = CalibrationForm::CANDIDATES;
+    // A split + paired bootstrap needs at least two points on each half;
+    // smaller calibration sets carry no ranking signal (and an empty
+    // selection half would panic inside the bootstrap resampler). Decline
+    // to calibrate and keep the raw point estimate.
+    if calibration.len() < 4 {
+        return (CalibrationForm::Identity, Vec::new());
+    }
     // Split the calibration set into a selection half and a confirm half.
     let order = rng.permutation(calibration.len());
     let mid = calibration.len() / 2;
@@ -143,7 +157,7 @@ fn select_form_bootstrap(
 }
 
 /// The robust DRP model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Rdrp {
     config: RdrpConfig,
     drp: DrpModel,
@@ -153,12 +167,25 @@ pub struct Rdrp {
     internal_calib_fraction: f64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+tinyjson::json_struct!(Rdrp {
+    config,
+    drp,
+    state,
+    internal_calib_fraction
+});
+
+#[derive(Debug, Clone)]
 struct Calibrated {
     conformal: SplitConformal,
     form: CalibrationForm,
     diagnostics: RdrpDiagnostics,
 }
+
+tinyjson::json_struct!(Calibrated {
+    conformal,
+    form,
+    diagnostics
+});
 
 impl Rdrp {
     /// Creates an unfitted rDRP model.
@@ -337,7 +364,9 @@ impl Rdrp {
         );
         let qhat = state.conformal.qhat();
         let half_widths: Vec<f64> = mc.std.iter().map(|&s| s * qhat).collect();
-        state.form.apply_all(&preds, &half_widths, self.config.std_floor)
+        state
+            .form
+            .apply_all(&preds, &half_widths, self.config.std_floor)
     }
 }
 
@@ -420,8 +449,7 @@ mod tests {
         let mut m = Rdrp::new(small_config());
         m.fit_with_calibration(&train, &cal, &mut rng);
         let ivs = m.predict_intervals(&test.x, &mut rng);
-        let roi_star_test =
-            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).unwrap();
+        let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).unwrap();
         let covered = ivs.iter().filter(|iv| iv.contains(roi_star_test)).count();
         let rate = covered as f64 / ivs.len() as f64;
         assert!(rate >= 0.80, "coverage of test roi* = {rate}");
@@ -501,10 +529,38 @@ mod tests {
     }
 
     #[test]
+    fn form_selection_degenerately_small_calibration_falls_back() {
+        // Regression: select_form_bootstrap used to bootstrap-resample an
+        // empty or singleton selection half for calibration sets smaller
+        // than 4 rows, panicking inside the resampler. It must instead
+        // decline to calibrate.
+        for n in 1usize..=3 {
+            let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+            let cal = RctDataset {
+                x: Matrix::from_rows(&rows),
+                t: (0..n).map(|i| (i % 2) as u8).collect(),
+                y_r: vec![1.0; n],
+                y_c: vec![1.0; n],
+                true_tau_r: None,
+                true_tau_c: None,
+            };
+            let preds = vec![0.5; n];
+            let half_widths = vec![0.1; n];
+            let mut rng = Prng::seed_from_u64(n as u64);
+            let (form, report) =
+                select_form_bootstrap(&cal, &preds, &half_widths, 1e-3, 8, &mut rng);
+            assert_eq!(form, CalibrationForm::Identity, "n = {n}");
+            assert!(report.is_empty(), "n = {n}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "invalid config")]
     fn invalid_config_panics() {
-        let mut c = RdrpConfig::default();
-        c.alpha = 2.0;
+        let c = RdrpConfig {
+            alpha: 2.0,
+            ..RdrpConfig::default()
+        };
         let _ = Rdrp::new(c);
     }
 }

@@ -47,13 +47,11 @@ impl std::error::Error for SearchError {}
 /// empirical ratio `τ̄^r/τ̄^c` falls outside (0, 1) — possible in small
 /// noisy samples even though Assumption 3 bounds the population value —
 /// the search saturates at the nearest boundary.
-pub fn find_roi_star(
-    t: &[u8],
-    y_r: &[f64],
-    y_c: &[f64],
-    eps: f64,
-) -> Result<f64, SearchError> {
-    assert!(eps > 0.0 && eps < 0.5, "find_roi_star: eps must be in (0, 0.5)");
+pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64, SearchError> {
+    assert!(
+        eps > 0.0 && eps < 0.5,
+        "find_roi_star: eps must be in (0, 0.5)"
+    );
     let n1 = t.iter().filter(|&&v| v == 1).count();
     if n1 == 0 || n1 == t.len() {
         return Err(SearchError::MissingGroup);

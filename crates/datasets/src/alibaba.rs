@@ -8,7 +8,9 @@
 //! strong uplift signal — Table I shows Alibaba supports the highest
 //! baseline AUCCs of the three datasets.
 
-use crate::generator::{sparse_weights, FeatureKind, Population, RctGenerator, Segment, StructuralModel};
+use crate::generator::{
+    sparse_weights, FeatureKind, Population, RctGenerator, Segment, StructuralModel,
+};
 use crate::schema::RctDataset;
 use linalg::random::Prng;
 
@@ -107,13 +109,17 @@ mod tests {
         assert_eq!(d.validate(), None);
         for j in 0..25 {
             assert!(
-                d.x.col(j).iter().all(|&v| (0.0..12.0).contains(&v) && v.fract() == 0.0),
+                d.x.col(j)
+                    .iter()
+                    .all(|&v| (0.0..12.0).contains(&v) && v.fract() == 0.0),
                 "discrete col {j}"
             );
         }
         for j in 25..34 {
             assert!(
-                d.x.col(j).iter().all(|&v| (0.0..20.0).contains(&v) && v.fract() == 0.0),
+                d.x.col(j)
+                    .iter()
+                    .all(|&v| (0.0..20.0).contains(&v) && v.fract() == 0.0),
                 "count col {j}"
             );
         }
@@ -135,8 +141,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(2);
         let base = g.sample(5000, Population::Base, &mut rng);
         let shifted = g.sample(5000, Population::Shifted, &mut rng);
-        let delta =
-            linalg::stats::mean(&shifted.x.col(0)) - linalg::stats::mean(&base.x.col(0));
+        let delta = linalg::stats::mean(&shifted.x.col(0)) - linalg::stats::mean(&base.x.col(0));
         assert!(delta > 0.3, "delta {delta}");
     }
 }

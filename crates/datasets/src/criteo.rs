@@ -10,7 +10,9 @@
 //! two-segment population whose reweighting produces the workday→holiday
 //! covariate shift.
 
-use crate::generator::{sparse_weights, FeatureKind, GatedRoi, Population, RctGenerator, Segment, StructuralModel};
+use crate::generator::{
+    sparse_weights, FeatureKind, GatedRoi, Population, RctGenerator, Segment, StructuralModel,
+};
 use crate::schema::RctDataset;
 use linalg::random::Prng;
 

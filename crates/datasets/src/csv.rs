@@ -66,10 +66,18 @@ impl fmt::Display for CsvError {
             CsvError::Io(e) => write!(f, "io error: {e}"),
             CsvError::Empty => write!(f, "csv has no data rows"),
             CsvError::MissingColumn(c) => write!(f, "column '{c}' not found in header"),
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
-            CsvError::BadField { line, column, value } => {
+            CsvError::BadField {
+                line,
+                column,
+                value,
+            } => {
                 write!(f, "line {line}, column '{column}': cannot parse '{value}'")
             }
         }
@@ -250,22 +258,13 @@ visit,f0,treatment,conversion
         let missing = parse_rct_csv("a,b\n1,2\n", &schema());
         assert!(matches!(missing, Err(CsvError::MissingColumn(_))));
 
-        let ragged = parse_rct_csv(
-            "f0,treatment,conversion,visit\n0.5,1,0\n",
-            &schema(),
-        );
+        let ragged = parse_rct_csv("f0,treatment,conversion,visit\n0.5,1,0\n", &schema());
         assert!(matches!(ragged, Err(CsvError::RaggedRow { line: 2, .. })));
 
-        let bad = parse_rct_csv(
-            "f0,treatment,conversion,visit\nx,1,0,1\n",
-            &schema(),
-        );
+        let bad = parse_rct_csv("f0,treatment,conversion,visit\nx,1,0,1\n", &schema());
         assert!(matches!(bad, Err(CsvError::BadField { line: 2, .. })));
 
-        let bad_t = parse_rct_csv(
-            "f0,treatment,conversion,visit\n0.5,2,0,1\n",
-            &schema(),
-        );
+        let bad_t = parse_rct_csv("f0,treatment,conversion,visit\n0.5,2,0,1\n", &schema());
         assert!(matches!(bad_t, Err(CsvError::BadField { .. })));
 
         assert!(matches!(

@@ -198,7 +198,12 @@ impl StructuralModel {
         for s in &self.segments {
             assert_eq!(s.mean.len(), d, "{}: segment mean dim", self.name);
         }
-        assert_eq!(self.shift_offset.len(), d, "{}: shift_offset dim", self.name);
+        assert_eq!(
+            self.shift_offset.len(),
+            d,
+            "{}: shift_offset dim",
+            self.name
+        );
         assert_eq!(self.w_cost.len(), d, "{}: w_cost dim", self.name);
         assert_eq!(self.w_roi.len(), d, "{}: w_roi dim", self.name);
         assert_eq!(self.w_base.len(), d, "{}: w_base dim", self.name);
@@ -212,7 +217,9 @@ impl StructuralModel {
             self.name
         );
         assert!(
-            self.roi_range.0 > 0.0 && self.roi_range.1 < 1.0 && self.roi_range.1 >= self.roi_range.0,
+            self.roi_range.0 > 0.0
+                && self.roi_range.1 < 1.0
+                && self.roi_range.1 >= self.roi_range.0,
             "{}: roi_range must lie inside (0,1)",
             self.name
         );
@@ -352,7 +359,11 @@ mod tests {
         assert!(d.y_c.iter().all(|&v| v == 0.0 || v == 1.0));
         // Binary feature really is binary; discrete in 0..5.
         assert!(d.x.col(1).iter().all(|&v| v == 0.0 || v == 1.0));
-        assert!(d.x.col(2).iter().all(|&v| (0.0..5.0).contains(&v) && v.fract() == 0.0));
+        assert!(d
+            .x
+            .col(2)
+            .iter()
+            .all(|&v| (0.0..5.0).contains(&v) && v.fract() == 0.0));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! both with 99 mixed features of which only a few carry signal, plus a
 //! lower signal-to-noise ratio in the uplift functions.
 
-use crate::generator::{sparse_weights, FeatureKind, Population, RctGenerator, Segment, StructuralModel};
+use crate::generator::{
+    sparse_weights, FeatureKind, Population, RctGenerator, Segment, StructuralModel,
+};
 use crate::schema::RctDataset;
 use linalg::random::Prng;
 
@@ -131,7 +133,9 @@ mod tests {
         // Discrete block in 0..7.
         for j in 90..99 {
             assert!(
-                d.x.col(j).iter().all(|&v| (0.0..7.0).contains(&v) && v.fract() == 0.0),
+                d.x.col(j)
+                    .iter()
+                    .all(|&v| (0.0..7.0).contains(&v) && v.fract() == 0.0),
                 "col {j}"
             );
         }

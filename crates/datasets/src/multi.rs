@@ -62,10 +62,7 @@ impl MultiRctDataset {
         let arm = (k - 1) as usize;
         RctDataset {
             x: self.x.select_rows(&rows),
-            t: rows
-                .iter()
-                .map(|&i| u8::from(self.level[i] == k))
-                .collect(),
+            t: rows.iter().map(|&i| u8::from(self.level[i] == k)).collect(),
             y_r: pick(&self.y_r),
             y_c: pick(&self.y_c),
             true_tau_r: self.true_tau_r.as_ref().map(|t| pick(&t[arm])),
@@ -138,7 +135,10 @@ impl MultiCouponGenerator {
             }
             // Realized outcomes under the assigned arm.
             let (p_r, p_c) = if lv == 0 {
-                (model.revenue_prob(&row, false), model.cost_prob(&row, false))
+                (
+                    model.revenue_prob(&row, false),
+                    model.cost_prob(&row, false),
+                )
             } else {
                 let tc = base_tau_c * Self::cost_scale(lv);
                 let tr = base_tau_r * Self::cost_scale(lv) * Self::roi_scale(lv, self.n_levels);

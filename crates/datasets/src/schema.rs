@@ -1,12 +1,11 @@
 //! The RCT dataset record.
 
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A randomized-controlled-trial dataset: features, binary treatment, and
 /// two outcomes (revenue `y^r` and cost `y^c`), plus the generator's
 /// ground-truth uplift functions when available.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RctDataset {
     /// Feature matrix, one row per individual.
     pub x: Matrix,
@@ -21,6 +20,15 @@ pub struct RctDataset {
     /// Ground-truth cost uplift `τ^c(x_i)` (synthetic data only).
     pub true_tau_c: Option<Vec<f64>>,
 }
+
+tinyjson::json_struct!(RctDataset {
+    x,
+    t,
+    y_r,
+    y_c,
+    true_tau_r,
+    true_tau_c
+});
 
 impl RctDataset {
     /// Number of individuals.

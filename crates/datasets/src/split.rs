@@ -34,7 +34,10 @@ pub fn train_calib_test_split(
         n_train > 0 && n_calib > 0 && n_test > 0,
         "split would produce an empty part (n = {n})"
     );
-    assert!(n_train + n_calib + n_test <= n, "split exceeds dataset size");
+    assert!(
+        n_train + n_calib + n_test <= n,
+        "split exceeds dataset size"
+    );
     let train = data.subset(&order[..n_train]);
     let calib = data.subset(&order[n_train..n_train + n_calib]);
     let test = data.subset(&order[n_train + n_calib..n_train + n_calib + n_test]);

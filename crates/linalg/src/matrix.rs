@@ -6,10 +6,10 @@
 //! from user data.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// A dense row-major matrix of `f64` values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -278,6 +278,41 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * rhs` written into `out`, which is reshaped
+    /// as needed (its allocation is reused when already large enough).
+    ///
+    /// Performs the exact floating-point operations of [`Matrix::matmul`]
+    /// in the same order, so results are bitwise identical — the
+    /// allocation-free inference path depends on that.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
+        if self.cols != rhs.rows {
+            return Err(Error::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.rows = self.rows;
+        out.cols = rhs.cols;
+        out.data.clear();
+        out.data.resize(self.rows * rhs.cols, 0.0);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
@@ -366,6 +401,13 @@ impl Matrix {
 
     /// Adds `rhs` (interpreted as a row vector) to every row.
     pub fn add_row_vector(&self, rhs: &[f64]) -> Result<Matrix> {
+        let mut out = self.clone();
+        out.add_row_vector_mut(rhs)?;
+        Ok(out)
+    }
+
+    /// Adds `rhs` (interpreted as a row vector) to every row in place.
+    pub fn add_row_vector_mut(&mut self, rhs: &[f64]) -> Result<()> {
         if rhs.len() != self.cols {
             return Err(Error::ShapeMismatch {
                 op: "add_row_vector",
@@ -373,13 +415,12 @@ impl Matrix {
                 rhs: (1, rhs.len()),
             });
         }
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (v, b) in out.row_mut(r).iter_mut().zip(rhs) {
+        for r in 0..self.rows {
+            for (v, b) in self.row_mut(r).iter_mut().zip(rhs) {
                 *v += b;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Column-wise sums (length `cols`).
@@ -413,6 +454,31 @@ impl Matrix {
     /// True when every element is finite (no NaN/inf).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl ToJson for Matrix {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("rows".to_string(), self.rows.to_json()),
+            ("cols".to_string(), self.cols.to_json()),
+            ("data".to_string(), self.data.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Matrix {
+    fn from_json(v: &Value) -> std::result::Result<Self, JsonError> {
+        let rows = usize::from_json(v.fetch("rows"))?;
+        let cols = usize::from_json(v.fetch("cols"))?;
+        let data = Vec::<f64>::from_json(v.fetch("data"))?;
+        if data.len() != rows * cols {
+            return Err(JsonError::msg(format!(
+                "Matrix: {} values do not fill a {rows}x{cols} shape",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
     }
 }
 
@@ -528,6 +594,27 @@ mod tests {
         assert_eq!(with1.row(0), &[1.0, 1.0]);
         let shifted = a.add_row_vector(&[10.0]).unwrap();
         assert_eq!(shifted.col(0), vec![11.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_bitwise() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, -2.5], vec![0.25, 3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![0.0, 8.0], vec![-1.5, 2.0]]);
+        let want = a.matmul(&b).unwrap();
+        // Start from a stale, differently-shaped scratch buffer.
+        let mut out = Matrix::full(7, 1, f64::NAN);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, want);
+        assert!(a.matmul_into(&Matrix::zeros(2, 2), &mut out).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let m = Matrix::from_rows(&[vec![0.1, 1.0 / 3.0], vec![-2.5e-17, 4.0]]);
+        let text = tinyjson::to_string_pretty(&m);
+        let back: Matrix = tinyjson::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert!(tinyjson::from_str::<Matrix>("{\"rows\":2,\"cols\":2,\"data\":[1]}").is_err());
     }
 
     #[test]

@@ -4,40 +4,70 @@
 //! minibatch shuffling, dropout masks, dataset generation, bootstrap
 //! resampling) goes through this module so experiments are reproducible
 //! from a single seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-crate xoshiro256++ (Blackman & Vigna), seeded
+//! through SplitMix64 so any 64-bit seed expands to a well-mixed 256-bit
+//! state. No external RNG crate is involved, so streams are stable across
+//! toolchains and platforms.
 
 /// A seedable RNG with the sampling primitives the reproduction needs.
-///
-/// Wraps [`StdRng`]; a thin newtype keeps the rest of the workspace
-/// independent of the `rand` API surface.
 #[derive(Debug, Clone)]
 pub struct Prng {
-    rng: StdRng,
+    state: [u64; 4],
     // Cached second output of the Box-Muller transform.
     gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Prng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         Prng {
-            rng: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             gauss_spare: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child RNG (useful for handing out per-model
     /// streams without correlating their draws).
     pub fn fork(&mut self) -> Prng {
-        Prng::seed_from_u64(self.rng.gen())
+        Prng::seed_from_u64(self.next_u64())
     }
 
     /// Uniform sample in `[0, 1)`.
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits; exact multiples of 2^-53 in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -54,7 +84,9 @@ impl Prng {
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below: n must be positive");
-        self.rng.gen_range(0..n)
+        // Lemire's multiply-shift; the bias is < n / 2^64, far below any
+        // statistical test's resolution at our sample counts.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
@@ -91,7 +123,7 @@ impl Prng {
     /// In-place Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -112,7 +144,7 @@ impl Prng {
         // Partial Fisher-Yates: only the first k positions are needed.
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.rng.gen_range(i..n);
+            let j = i + self.below(n - i);
             idx.swap(i, j);
         }
         idx.truncate(k);
@@ -128,7 +160,7 @@ impl Prng {
             return Vec::new();
         }
         assert!(n > 0, "cannot bootstrap from an empty set");
-        (0..k).map(|_| self.rng.gen_range(0..n)).collect()
+        (0..k).map(|_| self.below(n)).collect()
     }
 
     /// Draws an index in `0..weights.len()` with probability proportional
@@ -192,6 +224,14 @@ mod tests {
     }
 
     #[test]
+    fn uniform_moments() {
+        let mut rng = Prng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| rng.uniform()).collect();
+        assert!((mean(&samples) - 0.5).abs() < 0.01);
+        assert!(samples.iter().all(|&u| (0.0..1.0).contains(&u)));
+    }
+
+    #[test]
     fn permutation_is_a_permutation() {
         let mut rng = Prng::seed_from_u64(3);
         let p = rng.permutation(100);
@@ -233,6 +273,21 @@ mod tests {
         let hits = (0..20_000).filter(|_| rng.bernoulli(0.3)).count();
         let rate = hits as f64 / 20_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = Prng::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 / 10_000.0 - 1.0).abs() < 0.06,
+                "counts = {counts:?}"
+            );
+        }
     }
 
     #[test]

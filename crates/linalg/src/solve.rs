@@ -85,7 +85,9 @@ pub fn ridge_fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>> {
         });
     }
     if x.rows() == 0 {
-        return Err(Error::Empty { what: "design matrix" });
+        return Err(Error::Empty {
+            what: "design matrix",
+        });
     }
     let xt = x.transpose();
     let mut gram = xt.matmul(x)?;
@@ -103,12 +105,7 @@ pub fn ridge_fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>> {
 ///
 /// Used by the R-learner, whose final stage minimizes
 /// `Σ w_i (ỹ_i − β·x_i)²` with `w_i = (t_i − e)²`.
-pub fn ridge_fit_weighted(
-    x: &Matrix,
-    y: &[f64],
-    weights: &[f64],
-    ridge: f64,
-) -> Result<Vec<f64>> {
+pub fn ridge_fit_weighted(x: &Matrix, y: &[f64], weights: &[f64], ridge: f64) -> Result<Vec<f64>> {
     if x.rows() != y.len() || x.rows() != weights.len() {
         return Err(Error::ShapeMismatch {
             op: "ridge_fit_weighted",
@@ -117,7 +114,9 @@ pub fn ridge_fit_weighted(
         });
     }
     if x.rows() == 0 {
-        return Err(Error::Empty { what: "design matrix" });
+        return Err(Error::Empty {
+            what: "design matrix",
+        });
     }
     // Scale rows by sqrt(w): X' = sqrt(W) X, y' = sqrt(W) y reduces the
     // problem to ordinary ridge.
@@ -144,13 +143,7 @@ mod tests {
     #[test]
     fn weighted_ridge_ignores_zero_weight_rows() {
         // Rows 0..3 follow y = 2x; row 4 is an outlier with weight 0.
-        let x = Matrix::from_rows(&[
-            vec![1.0],
-            vec![2.0],
-            vec![3.0],
-            vec![4.0],
-            vec![5.0],
-        ]);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]]);
         let y = [2.0, 4.0, 6.0, 8.0, -100.0];
         let w = [1.0, 1.0, 1.0, 1.0, 0.0];
         let beta = ridge_fit_weighted(&x, &y, &w, 1e-9).unwrap();

@@ -49,7 +49,9 @@ pub fn sample_std_dev(values: &[f64]) -> f64 {
 /// `level` must lie in `[0, 1]`; values outside are errors.
 pub fn quantile_higher(values: &[f64], level: f64) -> Result<f64> {
     if values.is_empty() {
-        return Err(Error::Empty { what: "quantile input" });
+        return Err(Error::Empty {
+            what: "quantile input",
+        });
     }
     if !(0.0..=1.0).contains(&level) {
         return Err(Error::InvalidLevel { value: level });
@@ -72,7 +74,9 @@ pub fn quantile_higher(values: &[f64], level: f64) -> Result<f64> {
 /// `alpha` must lie in `(0, 1)`.
 pub fn conformal_quantile(scores: &[f64], alpha: f64) -> Result<f64> {
     if scores.is_empty() {
-        return Err(Error::Empty { what: "conformal scores" });
+        return Err(Error::Empty {
+            what: "conformal scores",
+        });
     }
     if !(0.0 < alpha && alpha < 1.0) {
         return Err(Error::InvalidLevel { value: alpha });
@@ -115,11 +119,13 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Per-column standardization parameters.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
 }
+
+tinyjson::json_struct!(Standardizer { means, stds });
 
 impl Standardizer {
     /// Fits per-column mean/std on `x` (columns with zero variance get

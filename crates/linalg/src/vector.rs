@@ -5,7 +5,13 @@
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -14,7 +20,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, &xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }
@@ -27,7 +39,13 @@ pub fn norm2(a: &[f64]) -> f64 {
 
 /// Elementwise difference `a - b`.
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "sub: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "sub: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x - y).collect()
 }
 
@@ -43,7 +61,11 @@ pub fn safe_div(a: &[f64], b: &[f64], floor: f64) -> Vec<f64> {
     a.iter()
         .zip(b)
         .map(|(&x, &y)| {
-            let denom = if y.abs() < floor { floor.copysign(if y < 0.0 { -1.0 } else { 1.0 }) } else { y };
+            let denom = if y.abs() < floor {
+                floor.copysign(if y < 0.0 { -1.0 } else { 1.0 })
+            } else {
+                y
+            };
             x / denom
         })
         .collect()

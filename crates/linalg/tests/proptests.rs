@@ -1,110 +1,162 @@
-//! Property-based tests for the numeric substrate.
+//! Property-based tests for the numeric substrate, driven by seeded
+//! random sampling (no external property-testing framework).
 
 use linalg::stats::{conformal_quantile, mean, quantile_higher, std_dev};
 use linalg::vector::{argsort_desc, dot, logit, sigmoid, softmax};
 use linalg::{random::Prng, solve, Matrix};
-use proptest::prelude::*;
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-100.0..100.0f64, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+const CASES: u64 = 64;
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut Prng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.uniform_in(-100.0, 100.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
-proptest! {
-    #[test]
-    fn matmul_associative(
-        a in small_matrix(3, 4),
-        b in small_matrix(4, 2),
-        c in small_matrix(2, 5),
-    ) {
+fn random_vec(n: usize, lo: f64, hi: f64, rng: &mut Prng) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform_in(lo, hi)).collect()
+}
+
+#[test]
+fn matmul_associative() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = random_matrix(3, 4, &mut rng);
+        let b = random_matrix(4, 2, &mut rng);
+        let c = random_matrix(2, 5, &mut rng);
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
         let diff = left.sub(&right).unwrap().frobenius_norm();
         let scale = left.frobenius_norm().max(1.0);
-        prop_assert!(diff / scale < 1e-9);
+        assert!(diff / scale < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_of_product_is_reversed_product(
-        a in small_matrix(3, 4),
-        b in small_matrix(4, 2),
-    ) {
+#[test]
+fn transpose_of_product_is_reversed_product() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = random_matrix(3, 4, &mut rng);
+        let b = random_matrix(4, 2, &mut rng);
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-        prop_assert!(lhs.sub(&rhs).unwrap().frobenius_norm() < 1e-9);
+        assert!(
+            lhs.sub(&rhs).unwrap().frobenius_norm() < 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn addition_commutes(a in small_matrix(4, 3), b in small_matrix(4, 3)) {
-        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+#[test]
+fn addition_commutes() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = random_matrix(4, 3, &mut rng);
+        let b = random_matrix(4, 3, &mut rng);
+        assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn dot_is_bilinear(
-        x in prop::collection::vec(-10.0..10.0f64, 8),
-        y in prop::collection::vec(-10.0..10.0f64, 8),
-        k in -5.0..5.0f64,
-    ) {
+#[test]
+fn dot_is_bilinear() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let x = random_vec(8, -10.0, 10.0, &mut rng);
+        let y = random_vec(8, -10.0, 10.0, &mut rng);
+        let k = rng.uniform_in(-5.0, 5.0);
         let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
-        prop_assert!((dot(&scaled, &y) - k * dot(&x, &y)).abs() < 1e-8);
+        assert!(
+            (dot(&scaled, &y) - k * dot(&x, &y)).abs() < 1e-8,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn sigmoid_monotone_and_bounded(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+#[test]
+fn sigmoid_monotone_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = rng.uniform_in(-50.0, 50.0);
+        let b = rng.uniform_in(-50.0, 50.0);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        prop_assert!(sigmoid(lo) <= sigmoid(hi));
-        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
+        assert!(sigmoid(lo) <= sigmoid(hi), "seed {seed}");
+        assert!((0.0..=1.0).contains(&sigmoid(a)), "seed {seed}");
     }
+}
 
-    #[test]
-    fn logit_sigmoid_roundtrip(p in 1e-6..(1.0 - 1e-6)) {
-        prop_assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+#[test]
+fn logit_sigmoid_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let p = rng.uniform_in(1e-6, 1.0 - 1e-6);
+        assert!((sigmoid(logit(p)) - p).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn softmax_is_distribution(x in prop::collection::vec(-50.0..50.0f64, 1..16)) {
+#[test]
+fn softmax_is_distribution() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = 1 + rng.below(15);
+        let x = random_vec(n, -50.0, 50.0, &mut rng);
         let s = softmax(&x);
-        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(s.iter().all(|&v| v >= 0.0));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9, "seed {seed}");
+        assert!(s.iter().all(|&v| v >= 0.0), "seed {seed}");
     }
+}
 
-    #[test]
-    fn argsort_desc_sorts(v in prop::collection::vec(-100.0..100.0f64, 1..32)) {
+#[test]
+fn argsort_desc_sorts() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = 1 + rng.below(31);
+        let v = random_vec(n, -100.0, 100.0, &mut rng);
         let idx = argsort_desc(&v);
         for w in idx.windows(2) {
-            prop_assert!(v[w[0]] >= v[w[1]]);
+            assert!(v[w[0]] >= v[w[1]], "seed {seed}");
         }
         let mut seen = idx.clone();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..v.len()).collect::<Vec<_>>());
+        assert_eq!(seen, (0..v.len()).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn quantile_monotone_in_level(
-        v in prop::collection::vec(-100.0..100.0f64, 1..64),
-        l1 in 0.0..1.0f64,
-        l2 in 0.0..1.0f64,
-    ) {
+#[test]
+fn quantile_monotone_in_level() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = 1 + rng.below(63);
+        let v = random_vec(n, -100.0, 100.0, &mut rng);
+        let l1 = rng.uniform();
+        let l2 = rng.uniform();
         let (lo, hi) = if l1 < l2 { (l1, l2) } else { (l2, l1) };
-        prop_assert!(quantile_higher(&v, lo).unwrap() <= quantile_higher(&v, hi).unwrap());
+        assert!(
+            quantile_higher(&v, lo).unwrap() <= quantile_higher(&v, hi).unwrap(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn conformal_quantile_at_least_median_level(
-        v in prop::collection::vec(0.0..100.0f64, 3..64),
-        alpha in 0.05..0.5f64,
-    ) {
-        // The conformal quantile at level alpha never falls below the
-        // plain (1 - alpha) empirical quantile: the (n+1) correction is
-        // conservative.
+#[test]
+fn conformal_quantile_at_least_median_level() {
+    // The conformal quantile at level alpha never falls below the plain
+    // (1 - alpha) empirical quantile: the (n+1) correction is conservative.
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = 3 + rng.below(61);
+        let v = random_vec(n, 0.0, 100.0, &mut rng);
+        let alpha = rng.uniform_in(0.05, 0.5);
         let q = conformal_quantile(&v, alpha).unwrap();
         let plain = quantile_higher(&v, 1.0 - alpha).unwrap();
-        prop_assert!(q >= plain);
+        assert!(q >= plain, "seed {seed}");
     }
+}
 
-    #[test]
-    fn spd_solve_inverts(seed in 0u64..1000) {
-        // Build an SPD matrix A = B B^T + I and check the solver.
+#[test]
+fn spd_solve_inverts() {
+    // Build an SPD matrix A = B B^T + I and check the solver.
+    for seed in 0..CASES {
         let mut rng = Prng::seed_from_u64(seed);
         let n = 5;
         let b = Matrix::from_vec(n, n, rng.gaussian_vec(n * n));
@@ -116,16 +168,21 @@ proptest! {
         let rhs = a.matvec(&x_true).unwrap();
         let x = solve::solve_spd(&a, &rhs).unwrap();
         for (got, want) in x.iter().zip(&x_true) {
-            prop_assert!((got - want).abs() < 1e-7);
+            assert!((got - want).abs() < 1e-7, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn mean_bounded_by_extremes(v in prop::collection::vec(-100.0..100.0f64, 1..64)) {
+#[test]
+fn mean_bounded_by_extremes() {
+    for seed in 0..CASES {
+        let mut rng = Prng::seed_from_u64(seed);
+        let n = 1 + rng.below(63);
+        let v = random_vec(n, -100.0, 100.0, &mut rng);
         let m = mean(&v);
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(m >= lo - 1e-12 && m <= hi + 1e-12);
-        prop_assert!(std_dev(&v) >= 0.0);
+        assert!(m >= lo - 1e-12 && m <= hi + 1e-12, "seed {seed}");
+        assert!(std_dev(&v) >= 0.0, "seed {seed}");
     }
 }

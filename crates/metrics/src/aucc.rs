@@ -2,17 +2,18 @@
 
 use datasets::RctDataset;
 use linalg::vector::argsort_desc;
-use serde::{Deserialize, Serialize};
 
 /// One point of the cost curve: cumulative incremental cost and benefit
 /// (normalized so the final point is (1, 1)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostCurvePoint {
     /// Normalized cumulative incremental cost at this cutoff.
     pub cost: f64,
     /// Normalized cumulative incremental benefit at this cutoff.
     pub benefit: f64,
 }
+
+tinyjson::json_struct!(CostCurvePoint { cost, benefit });
 
 /// Estimated incremental outcome totals for treating the top-`k` set,
 /// computed from RCT labels by difference-in-means scaled to the set size.
@@ -53,7 +54,11 @@ fn incremental(data: &RctDataset, order: &[usize], k: usize) -> (f64, f64) {
 /// Assumption 4 guarantees positivity in expectation; a non-positive total
 /// means the sample is too degenerate to rank).
 pub fn cost_curve(data: &RctDataset, scores: &[f64], bins: usize) -> Vec<CostCurvePoint> {
-    assert_eq!(data.len(), scores.len(), "cost_curve: scores length mismatch");
+    assert_eq!(
+        data.len(),
+        scores.len(),
+        "cost_curve: scores length mismatch"
+    );
     assert!(!data.is_empty(), "cost_curve: empty dataset");
     assert!(bins >= 2, "cost_curve: need at least 2 bins");
     let order = argsort_desc(scores);
@@ -136,7 +141,11 @@ pub fn aucc_oracle(data: &RctDataset, scores: &[f64], bins: usize) -> f64 {
         .true_tau_c
         .as_ref()
         .expect("aucc_oracle: dataset has no ground-truth tau_c");
-    assert_eq!(data.len(), scores.len(), "aucc_oracle: scores length mismatch");
+    assert_eq!(
+        data.len(),
+        scores.len(),
+        "aucc_oracle: scores length mismatch"
+    );
     assert!(bins >= 2, "aucc_oracle: need at least 2 bins");
     let order = argsort_desc(scores);
     let n = data.len();

@@ -72,7 +72,11 @@ pub fn uplift_at_k(data: &RctDataset, scores: &[f64], k_fraction: f64) -> f64 {
         k_fraction > 0.0 && k_fraction <= 1.0,
         "uplift_at_k: fraction must be in (0, 1]"
     );
-    assert_eq!(data.len(), scores.len(), "uplift_at_k: scores length mismatch");
+    assert_eq!(
+        data.len(),
+        scores.len(),
+        "uplift_at_k: scores length mismatch"
+    );
     let order = argsort_desc(scores);
     let k = ((data.len() as f64 * k_fraction).round() as usize).clamp(1, data.len());
     let (mut n1, mut n0) = (0usize, 0usize);

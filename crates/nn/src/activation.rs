@@ -1,9 +1,7 @@
 //! Activation functions with analytic derivatives.
 
-use serde::{Deserialize, Serialize};
-
 /// Elementwise activation applied after a dense layer's affine map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// `f(x) = x`.
     Identity,
@@ -18,6 +16,15 @@ pub enum Activation {
     /// `ln(1 + e^x)` — smooth, strictly positive.
     Softplus,
 }
+
+tinyjson::json_unit_enum!(Activation {
+    Identity,
+    Sigmoid,
+    Relu,
+    Tanh,
+    Elu,
+    Softplus
+});
 
 impl Activation {
     /// Applies the activation to a pre-activation value.

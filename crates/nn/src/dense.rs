@@ -4,7 +4,7 @@ use crate::activation::Activation;
 use crate::init::Init;
 use linalg::random::Prng;
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// A dense (fully connected) layer `y = f(x W + b)`.
 ///
@@ -13,8 +13,11 @@ use serde::{Deserialize, Serialize};
 /// Gradients are *accumulated* into `grad_w`/`grad_b` and cleared by
 /// [`Dense::zero_grad`], which lets multi-head networks sum gradient
 /// contributions from several heads before an optimizer step.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "DenseSpec", into = "DenseSpec")]
+///
+/// Inference never touches the caches: [`Dense::infer_into`] is `&self`
+/// and writes into a caller-provided buffer, so a trained layer can be
+/// shared across threads without cloning.
+#[derive(Debug, Clone)]
 pub struct Dense {
     /// Weight matrix, `fan_in x fan_out`.
     w: Matrix,
@@ -30,11 +33,29 @@ pub struct Dense {
 
 /// Serialized form of a [`Dense`] layer: weights, biases, activation —
 /// gradients and forward caches are transient training state.
-#[derive(Serialize, Deserialize)]
 struct DenseSpec {
     w: Matrix,
     b: Vec<f64>,
     activation: Activation,
+}
+
+tinyjson::json_struct!(DenseSpec { w, b, activation });
+
+impl ToJson for Dense {
+    fn to_json(&self) -> Value {
+        DenseSpec {
+            w: self.w.clone(),
+            b: self.b.clone(),
+            activation: self.activation,
+        }
+        .to_json()
+    }
+}
+
+impl FromJson for Dense {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(DenseSpec::from_json(v)?.into())
+    }
 }
 
 impl From<DenseSpec> for Dense {
@@ -116,6 +137,19 @@ impl Dense {
             self.cache_z = Some(z);
         }
         a
+    }
+
+    /// Immutable inference pass: computes `f(x W + b)` into `out`,
+    /// reusing `out`'s allocation. Performs the same floating-point
+    /// operations in the same order as [`Dense::forward`], so results are
+    /// bitwise identical; unlike `forward` it never writes caches, which
+    /// makes it safe to call concurrently from many threads.
+    pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out)
+            .expect("Dense::infer_into: input width must equal fan_in");
+        out.add_row_vector_mut(&self.b)
+            .expect("bias length matches fan_out by construction");
+        out.map_mut(|v| self.activation.apply(v));
     }
 
     /// Backward pass: given `dL/dy` for the batch of the latest cached
@@ -244,10 +278,7 @@ mod tests {
             Activation::Softplus,
         ] {
             let mut l = layer(4, 3, act);
-            let x = Matrix::from_rows(&[
-                vec![0.5, -1.0, 2.0, 0.1],
-                vec![1.5, 0.3, -0.7, -0.2],
-            ]);
+            let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0, 0.1], vec![1.5, 0.3, -0.7, -0.2]]);
             // Scalar objective: L = sum(y). So dL/dy = ones.
             let ones = Matrix::full(2, 3, 1.0);
             l.zero_grad();
@@ -278,11 +309,18 @@ mod tests {
             let fp: f64 = l.clone().forward(&xp, false).as_slice().iter().sum();
             let fm: f64 = l.clone().forward(&xm, false).as_slice().iter().sum();
             let numeric = (fp - fm) / (2.0 * eps);
-            assert!(
-                (numeric - grad_x.get(0, 1)).abs() < 1e-4,
-                "{act:?} dX[0,1]"
-            );
+            assert!((numeric - grad_x.get(0, 1)).abs() < 1e-4, "{act:?} dX[0,1]");
         }
+    }
+
+    #[test]
+    fn infer_into_matches_forward_bitwise() {
+        let mut l = layer(4, 3, Activation::Elu);
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0, 0.1], vec![1.5, 0.3, -0.7, -0.2]]);
+        let want = l.forward(&x, false);
+        let mut out = Matrix::full(1, 1, f64::NAN); // stale scratch
+        l.infer_into(&x, &mut out);
+        assert_eq!(out, want);
     }
 
     #[test]

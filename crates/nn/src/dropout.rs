@@ -8,10 +8,10 @@
 
 use linalg::random::Prng;
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// Execution mode for a network pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Training: dropout masks are sampled, caches are kept for backprop.
     Train,
@@ -32,11 +32,29 @@ impl Mode {
 
 /// Inverted dropout: each unit is dropped with probability `p`, survivors
 /// are scaled by `1/(1-p)` so activations keep their expectation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(from = "f64", into = "f64")]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f64,
     mask: Option<Matrix>,
+}
+
+impl ToJson for Dropout {
+    fn to_json(&self) -> Value {
+        Value::Num(self.p)
+    }
+}
+
+impl FromJson for Dropout {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let p = v.as_f64()?;
+        if (0.0..1.0).contains(&p) {
+            Ok(Dropout::new(p))
+        } else {
+            Err(JsonError::msg(format!(
+                "dropout probability must be in [0, 1), got {p}"
+            )))
+        }
+    }
 }
 
 impl From<f64> for Dropout {
@@ -86,8 +104,40 @@ impl Dropout {
                 .collect(),
         );
         let out = x.hadamard(&mask).expect("mask shaped like input");
-        self.mask = if mode == Mode::Train { Some(mask) } else { None };
+        self.mask = if mode == Mode::Train {
+            Some(mask)
+        } else {
+            None
+        };
         out
+    }
+
+    /// Immutable inference pass: applies a freshly sampled mask to `x` in
+    /// place (or leaves it untouched in [`Mode::Eval`] / at `p == 0`,
+    /// consuming no RNG draws — the same draw-count contract as
+    /// [`Dropout::forward`], so the two stay stream-compatible).
+    ///
+    /// Mask elements are sampled in row-major order and applied with the
+    /// same multiplication as `forward`, so for an identical RNG state
+    /// the result is bitwise identical. No training mask is retained.
+    ///
+    /// # Panics
+    /// Panics in [`Mode::Train`]: training needs the cached mask, which
+    /// an immutable pass cannot store.
+    pub fn infer_inplace(&self, x: &mut Matrix, mode: Mode, rng: &mut Prng) {
+        assert!(
+            mode != Mode::Train,
+            "Dropout::infer_inplace: Train mode requires forward"
+        );
+        if !mode.stochastic() || self.p == 0.0 {
+            return;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        for v in x.as_mut_slice() {
+            let m = if rng.bernoulli(keep) { scale } else { 0.0 };
+            *v *= m;
+        }
     }
 
     /// Backward pass: re-applies the training mask to the gradient.
@@ -163,6 +213,31 @@ mod tests {
         let a = d.forward(&x, Mode::McDropout, &mut rng);
         let b = d.forward(&x, Mode::McDropout, &mut rng);
         assert_ne!(a, b, "two MC passes should use different masks");
+    }
+
+    #[test]
+    fn infer_inplace_matches_forward_bitwise() {
+        let d = Dropout::new(0.4);
+        let x = Matrix::from_rows(&[vec![1.0, -2.0, 3.0], vec![-4.0, 5.0, -6.0]]);
+        let mut fwd_rng = Prng::seed_from_u64(17);
+        let want = d.clone().forward(&x, Mode::McDropout, &mut fwd_rng);
+        let mut inf_rng = Prng::seed_from_u64(17);
+        let mut got = x.clone();
+        d.infer_inplace(&mut got, Mode::McDropout, &mut inf_rng);
+        assert_eq!(got, want);
+        // Both paths consumed the same number of draws.
+        assert_eq!(fwd_rng.uniform(), inf_rng.uniform());
+    }
+
+    #[test]
+    fn infer_inplace_eval_is_identity_without_draws() {
+        let d = Dropout::new(0.5);
+        let mut rng = Prng::seed_from_u64(4);
+        let mut untouched = Prng::seed_from_u64(4);
+        let mut x = Matrix::full(2, 3, 2.0);
+        d.infer_inplace(&mut x, Mode::Eval, &mut rng);
+        assert_eq!(x, Matrix::full(2, 3, 2.0));
+        assert_eq!(rng.uniform(), untouched.uniform());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub use activation::Activation;
 pub use dense::Dense;
 pub use dropout::{Dropout, Mode};
 pub use mc::{mc_predict, mc_predict_map, McStats};
-pub use mlp::Mlp;
+pub use mlp::{Mlp, Workspace};
 pub use multihead::MultiHeadNet;
 pub use objective::{BceObjective, MseObjective, Objective, PinballObjective};
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -5,13 +5,13 @@
 //! an (optionally smoothed) point prediction and their standard deviation
 //! is the uncertainty scalar `r̂(x)` that the conformal score (Eq. 3)
 //! normalizes by. Section IV-D notes the passes are embarrassingly
-//! parallel — we parallelize over passes with rayon.
+//! parallel — we parallelize over passes with scoped worker threads,
+//! each reusing one scratch [`Workspace`] across all of its passes.
 
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, Workspace};
 use crate::Mode;
 use linalg::random::Prng;
 use linalg::Matrix;
-use rayon::prelude::*;
 
 /// Per-sample mean and standard deviation across MC-dropout passes.
 #[derive(Debug, Clone)]
@@ -27,9 +27,11 @@ pub struct McStats {
 /// Runs `passes` stochastic forward passes of `net` on `x` and returns the
 /// per-sample mean and standard deviation of the scalar output.
 ///
-/// Each pass clones the (small) network so the passes can run in parallel;
-/// the per-pass RNGs are forked from `rng`, so results are deterministic
-/// given the seed *and* independent of rayon's scheduling.
+/// Passes run in parallel against the shared `&Mlp` — no per-pass network
+/// clone. Each worker thread owns one reusable [`Workspace`] for all of
+/// its passes; the per-pass RNGs are forked from `rng` up front, so
+/// results are deterministic given the seed *and* independent of thread
+/// scheduling.
 ///
 /// A zero standard deviation can occur (e.g. a ReLU network that drops the
 /// same dead units every pass); callers that divide by the std — the
@@ -38,13 +40,7 @@ pub struct McStats {
 ///
 /// # Panics
 /// Panics if `passes == 0` or the network output is not scalar.
-pub fn mc_predict(
-    net: &Mlp,
-    x: &Matrix,
-    passes: usize,
-    std_floor: f64,
-    rng: &mut Prng,
-) -> McStats {
+pub fn mc_predict(net: &Mlp, x: &Matrix, passes: usize, std_floor: f64, rng: &mut Prng) -> McStats {
     mc_predict_map(net, x, passes, std_floor, rng, |v| v)
 }
 
@@ -64,19 +60,16 @@ pub fn mc_predict_map(
     assert_eq!(net.output_dim(), 1, "mc_predict: scalar output expected");
     let n = x.rows();
     // Fork one RNG per pass up front (deterministic order).
-    let mut pass_rngs: Vec<Prng> = (0..passes).map(|_| rng.fork()).collect();
+    let pass_rngs: Vec<Prng> = (0..passes).map(|_| rng.fork()).collect();
 
-    let outputs: Vec<Vec<f64>> = pass_rngs
-        .par_iter_mut()
-        .map(|pass_rng| {
-            let mut local = net.clone();
-            let mut out = local.forward(x, Mode::McDropout, pass_rng).col(0);
+    let outputs: Vec<Vec<f64>> =
+        par::par_map_init(pass_rngs, Workspace::new, |ws, mut pass_rng| {
+            let mut out = net.infer(x, Mode::McDropout, &mut pass_rng, ws).col(0);
             for v in &mut out {
                 *v = transform(*v);
             }
             out
-        })
-        .collect();
+        });
 
     let mut mean = vec![0.0; n];
     for pass in &outputs {
@@ -125,7 +118,7 @@ mod tests {
         // All passes are identical; only accumulation rounding remains.
         assert!(stats.std[0] < 1e-12, "std = {}", stats.std[0]);
         // The MC mean equals the deterministic prediction.
-        let det = net.clone().predict_scalar(&x)[0];
+        let det = net.predict_scalar(&x)[0];
         assert!((stats.mean[0] - det).abs() < 1e-12);
     }
 
@@ -154,6 +147,44 @@ mod tests {
         assert_eq!(a.std, b.std);
         let c = run(11);
         assert_ne!(a.mean, c.mean);
+    }
+
+    /// Reference implementation of the pre-workspace design: clone the
+    /// network for every pass and run the mutable training-style forward.
+    fn mc_clone_per_pass(net: &Mlp, x: &Matrix, passes: usize, rng: &mut Prng) -> Vec<Vec<f64>> {
+        let pass_rngs: Vec<Prng> = (0..passes).map(|_| rng.fork()).collect();
+        pass_rngs
+            .into_iter()
+            .map(|mut pass_rng| {
+                let mut local = Mlp::clone(net);
+                local.forward(x, Mode::McDropout, &mut pass_rng).col(0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_clone_path_matches_clone_per_pass_bitwise() {
+        let net = net_with_dropout(21, 0.25);
+        let x = Matrix::from_rows(&vec![vec![0.3, -0.7, 1.2]; 5]);
+        for seed in [0u64, 1, 42, 0x5C0BE] {
+            let mut ref_rng = Prng::seed_from_u64(seed);
+            let reference = mc_clone_per_pass(&net, &x, 16, &mut ref_rng);
+            let mut mean = vec![0.0; x.rows()];
+            for pass in &reference {
+                for (m, &v) in mean.iter_mut().zip(pass) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= 16.0;
+            }
+
+            let mut rng = Prng::seed_from_u64(seed);
+            let stats = mc_predict(&net, &x, 16, 0.0, &mut rng);
+            assert_eq!(stats.mean, mean, "seed {seed}");
+            // The caller-visible RNG advanced identically on both paths.
+            assert_eq!(ref_rng.uniform(), rng.uniform(), "seed {seed}");
+        }
     }
 
     #[test]

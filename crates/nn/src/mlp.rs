@@ -6,10 +6,10 @@ use crate::dropout::{Dropout, Mode};
 use crate::init::Init;
 use linalg::random::Prng;
 use linalg::Matrix;
-use serde::{Deserialize, Serialize};
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// One layer of an [`Mlp`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Layer {
     /// Fully connected layer.
     Dense(Dense),
@@ -17,16 +17,72 @@ pub enum Layer {
     Dropout(Dropout),
 }
 
+impl ToJson for Layer {
+    fn to_json(&self) -> Value {
+        let (tag, inner) = match self {
+            Layer::Dense(d) => ("Dense", d.to_json()),
+            Layer::Dropout(d) => ("Dropout", d.to_json()),
+        };
+        Value::Obj(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl FromJson for Layer {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_obj()? {
+            [(tag, inner)] if tag == "Dense" => Ok(Layer::Dense(Dense::from_json(inner)?)),
+            [(tag, inner)] if tag == "Dropout" => Ok(Layer::Dropout(Dropout::from_json(inner)?)),
+            _ => Err(JsonError::msg(
+                "Layer: expected {\"Dense\": ...} or {\"Dropout\": ...}",
+            )),
+        }
+    }
+}
+
+/// Reusable scratch buffers for the allocation-free inference path.
+///
+/// [`Mlp::infer`] ping-pongs layer activations between two internal
+/// matrices, growing them on first use and reusing the allocations on
+/// every later call. Keep one workspace per thread (they are cheap when
+/// empty) and pass it to every inference call on that thread.
+#[derive(Debug)]
+pub struct Workspace {
+    bufs: [Matrix; 2],
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace {
+            bufs: [Matrix::zeros(0, 0), Matrix::zeros(0, 0)],
+        }
+    }
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace::new()
+    }
+}
+
 /// A sequential stack of dense and dropout layers.
 ///
 /// This is the shape of every network in the paper: DRP is
 /// `Dense(d, h, elu) -> Dropout(p) -> Dense(h, 1, identity)` with the final
 /// sigmoid folded into the DRP loss (the loss consumes the raw score `ŝ`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Training state (backprop caches, gradients) lives inside the layers
+/// and is only touched by [`Mlp::forward`]/[`Mlp::backward`]. Scoring
+/// goes through the immutable [`Mlp::infer`] path, which writes into a
+/// caller-provided [`Workspace`] instead — so a trained network is shared
+/// freely across threads with zero clones.
+#[derive(Debug, Clone)]
 pub struct Mlp {
     input_dim: usize,
     layers: Vec<Layer>,
 }
+
+tinyjson::json_struct!(Mlp { input_dim, layers });
 
 /// Builder for [`Mlp`].
 pub struct MlpBuilder {
@@ -165,13 +221,92 @@ impl Mlp {
         h
     }
 
-    /// Convenience: forward in [`Mode::Eval`] returning the first output
-    /// column as a vector (all networks in this reproduction that feed
-    /// scalar losses have a single output unit).
-    pub fn predict_scalar(&mut self, x: &Matrix) -> Vec<f64> {
-        let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
-        let out = self.forward(x, Mode::Eval, &mut rng);
-        out.col(0)
+    /// Immutable inference pass on a batch, writing every intermediate
+    /// activation into `ws` instead of allocating or mutating layer
+    /// caches. Returns a reference to the output batch inside `ws`.
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// [`Mlp::forward`] and consumes RNG draws identically, so for equal
+    /// inputs and RNG state the result is bitwise identical.
+    ///
+    /// # Panics
+    /// Panics in [`Mode::Train`] (training must cache activations — use
+    /// `forward`) or when `x` has the wrong number of features.
+    pub fn infer<'ws>(
+        &self,
+        x: &Matrix,
+        mode: Mode,
+        rng: &mut Prng,
+        ws: &'ws mut Workspace,
+    ) -> &'ws Matrix {
+        assert!(
+            mode != Mode::Train,
+            "Mlp::infer: Train mode requires forward"
+        );
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "Mlp::forward: expected {} features, got {}",
+            self.input_dim,
+            x.cols()
+        );
+        let (left, right) = ws.bufs.split_at_mut(1);
+        let mut cur: &mut Matrix = &mut left[0];
+        let mut nxt: &mut Matrix = &mut right[0];
+        // `cur` holds the running activations once the first dense layer
+        // has written them; before that the input batch is read directly.
+        let mut started = false;
+        for layer in &self.layers {
+            match layer {
+                Layer::Dense(d) => {
+                    let input: &Matrix = if started { cur } else { x };
+                    d.infer_into(input, nxt);
+                    std::mem::swap(&mut cur, &mut nxt);
+                    started = true;
+                }
+                Layer::Dropout(d) => {
+                    if !started {
+                        cur.clone_from(x);
+                        started = true;
+                    }
+                    d.infer_inplace(cur, mode, rng);
+                }
+            }
+        }
+        assert!(started, "built Mlp always has a dense layer");
+        cur
+    }
+
+    /// Convenience: immutable [`Mode::Eval`] inference returning the first
+    /// output column as a vector (all networks in this reproduction that
+    /// feed scalar losses have a single output unit).
+    ///
+    /// Large batches are scored in parallel row chunks — each worker runs
+    /// the same per-row arithmetic on its slice of rows, so the result is
+    /// bitwise identical to the serial pass (Eval mode consumes no RNG).
+    pub fn predict_scalar(&self, x: &Matrix) -> Vec<f64> {
+        // Below this many rows, thread spawn overhead beats the win.
+        const PAR_MIN_ROWS: usize = 256;
+        let n = x.rows();
+        let workers = par::workers_for(n);
+        if n < PAR_MIN_ROWS || workers <= 1 {
+            let mut ws = Workspace::new();
+            let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
+            return self.infer(x, Mode::Eval, &mut rng, &mut ws).col(0);
+        }
+        let mut out = vec![0.0; n];
+        let chunk_rows = n.div_ceil(workers);
+        par::par_chunks_mut(&mut out, chunk_rows, |start, chunk| {
+            let rows: Vec<usize> = (start..start + chunk.len()).collect();
+            let sub = x.select_rows(&rows);
+            let mut ws = Workspace::new();
+            let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
+            let y = self.infer(&sub, Mode::Eval, &mut rng, &mut ws);
+            for (i, o) in chunk.iter_mut().enumerate() {
+                *o = y.get(i, 0);
+            }
+        });
+        out
     }
 
     /// Backward pass through the whole stack. `grad_out` is `dL/d(output)`
@@ -244,16 +379,62 @@ mod tests {
         let m = tiny(0);
         assert_eq!(m.input_dim(), 2);
         assert_eq!(m.output_dim(), 1);
-        assert_eq!(m.param_count(), (2 * 4 + 4) + (4 * 1 + 1));
+        assert_eq!(m.param_count(), (2 * 4 + 4) + (4 + 1));
     }
 
     #[test]
     fn eval_forward_is_deterministic() {
-        let mut m = tiny(1);
+        let m = tiny(1);
         let x = Matrix::from_rows(&[vec![0.5, -0.3], vec![1.0, 2.0]]);
         let a = m.predict_scalar(&x);
         let b = m.predict_scalar(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn infer_matches_forward_bitwise() {
+        let mut m = tiny(4);
+        let x = Matrix::from_rows(&[vec![0.5, -0.3], vec![1.0, 2.0], vec![-1.5, 0.25]]);
+        let mut ws = Workspace::new();
+        for mode in [Mode::Eval, Mode::McDropout] {
+            let mut fwd_rng = Prng::seed_from_u64(123);
+            let want = m.forward(&x, mode, &mut fwd_rng);
+            let mut inf_rng = Prng::seed_from_u64(123);
+            let got = m.infer(&x, mode, &mut inf_rng, &mut ws);
+            assert_eq!(*got, want, "{mode:?}");
+            assert_eq!(fwd_rng.uniform(), inf_rng.uniform(), "{mode:?} draw counts");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_leak_state_between_calls() {
+        let m = tiny(5);
+        let mut ws = Workspace::new();
+        let mut rng = Prng::seed_from_u64(0);
+        let a = Matrix::from_rows(&[vec![0.1, 0.2], vec![3.0, -4.0]]);
+        let b = Matrix::from_rows(&[vec![9.0, -9.0]]);
+        let first = m.infer(&a, Mode::Eval, &mut rng, &mut ws).clone();
+        let _ = m.infer(&b, Mode::Eval, &mut rng, &mut ws);
+        let again = m.infer(&a, Mode::Eval, &mut rng, &mut ws);
+        assert_eq!(*again, first);
+    }
+
+    #[test]
+    fn parallel_row_chunked_prediction_is_bitwise_serial() {
+        // Large enough to cross the parallel threshold.
+        let mut rng = Prng::seed_from_u64(21);
+        let m = Mlp::builder(6)
+            .dense(16, Activation::Elu)
+            .dropout(0.1)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let n = 1537; // odd size: uneven final chunk
+        let x = Matrix::from_vec(n, 6, rng.gaussian_vec(n * 6));
+        let parallel = m.predict_scalar(&x);
+        let mut ws = Workspace::new();
+        let mut eval_rng = Prng::seed_from_u64(0);
+        let serial = m.infer(&x, Mode::Eval, &mut eval_rng, &mut ws).col(0);
+        assert_eq!(parallel, serial);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! treated-outcome head. This module provides the generic machinery; the
 //! model-specific head wiring and losses live in the `uplift` crate.
 
-use crate::mlp::Mlp;
+use crate::mlp::{Mlp, Workspace};
 use crate::optimizer::Optimizer;
 use crate::Mode;
 use linalg::random::Prng;
@@ -111,13 +111,18 @@ impl MultiHeadNet {
             .collect()
     }
 
-    /// Convenience: eval-mode forward returning each head's first output
-    /// column.
-    pub fn predict_scalars(&mut self, x: &Matrix) -> Vec<Vec<f64>> {
+    /// Convenience: eval-mode inference returning each head's first output
+    /// column. Runs the trunk once through an immutable [`Mlp::infer`]
+    /// pass and feeds the shared representation to every head, reusing
+    /// one head-side scratch workspace — no layer caches are touched.
+    pub fn predict_scalars(&self, x: &Matrix) -> Vec<Vec<f64>> {
         let mut rng = Prng::seed_from_u64(0);
-        self.forward(x, Mode::Eval, &mut rng)
-            .into_iter()
-            .map(|m| m.col(0))
+        let mut ws_trunk = Workspace::new();
+        let mut ws_head = Workspace::new();
+        let rep = self.trunk.infer(x, Mode::Eval, &mut rng, &mut ws_trunk);
+        self.heads
+            .iter()
+            .map(|h| h.infer(rep, Mode::Eval, &mut rng, &mut ws_head).col(0))
             .collect()
     }
 
@@ -174,9 +179,7 @@ mod tests {
 
     fn two_head(seed: u64) -> MultiHeadNet {
         let mut rng = Prng::seed_from_u64(seed);
-        let trunk = Mlp::builder(3)
-            .dense(6, Activation::Tanh)
-            .build(&mut rng);
+        let trunk = Mlp::builder(3).dense(6, Activation::Tanh).build(&mut rng);
         let h0 = Mlp::builder(6)
             .dense(1, Activation::Identity)
             .build(&mut rng);
@@ -188,7 +191,7 @@ mod tests {
 
     #[test]
     fn shapes() {
-        let mut net = two_head(0);
+        let net = two_head(0);
         assert_eq!(net.head_count(), 2);
         assert_eq!(net.input_dim(), 3);
         let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, -1.0, 0.5]]);
@@ -202,7 +205,9 @@ mod tests {
     fn mismatched_head_input_panics() {
         let mut rng = Prng::seed_from_u64(1);
         let trunk = Mlp::builder(3).dense(6, Activation::Tanh).build(&mut rng);
-        let bad = Mlp::builder(5).dense(1, Activation::Identity).build(&mut rng);
+        let bad = Mlp::builder(5)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
         let _ = MultiHeadNet::new(trunk, vec![bad]);
     }
 
@@ -267,7 +272,7 @@ mod tests {
                 analytic = Some(g[0]);
             }
         });
-        let objective = |net: &mut MultiHeadNet| {
+        let objective = |net: &MultiHeadNet| {
             let outs = net.predict_scalars(&x);
             outs[0][0] + 2.0 * outs[1][0]
         };
@@ -287,7 +292,7 @@ mod tests {
                 first = false;
             }
         });
-        let numeric = (objective(&mut plus) - objective(&mut minus)) / (2.0 * eps);
+        let numeric = (objective(&plus) - objective(&minus)) / (2.0 * eps);
         let analytic = analytic.unwrap();
         assert!(
             (numeric - analytic).abs() < 1e-5,

@@ -111,7 +111,11 @@ impl PinballObjective {
 
 impl Objective for PinballObjective {
     fn loss_and_grad(&self, preds: &[f64], rows: &[usize]) -> (f64, Vec<f64>) {
-        assert_eq!(preds.len(), rows.len(), "pinball: preds/rows length mismatch");
+        assert_eq!(
+            preds.len(),
+            rows.len(),
+            "pinball: preds/rows length mismatch"
+        );
         let n = preds.len().max(1) as f64;
         let q = self.quantile;
         let mut loss = 0.0;
@@ -176,8 +180,7 @@ mod tests {
         let rows = [0, 1];
         let (loss, _) = obj.loss_and_grad(&preds, &rows);
         // Manual: softplus(2) - 2 + softplus(-1) over 2.
-        let want =
-            (linalg::vector::softplus(2.0) - 2.0 + linalg::vector::softplus(-1.0)) / 2.0;
+        let want = (linalg::vector::softplus(2.0) - 2.0 + linalg::vector::softplus(-1.0)) / 2.0;
         assert!((loss - want).abs() < 1e-12);
         finite_diff_check(&obj, &preds, &rows);
     }

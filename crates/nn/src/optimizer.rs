@@ -117,7 +117,11 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn update(&mut self, tensor_id: usize, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), grads.len(), "Adam: param/grad length mismatch");
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "Adam: param/grad length mismatch"
+        );
         // `t` is advanced in end_step; during the first step t == 0, so use
         // t + 1 for bias correction.
         let t = (self.t + 1) as f64;
@@ -127,7 +131,11 @@ impl Optimizer for Adam {
         let m = Self::state(&mut self.m, tensor_id, params.len());
         // Borrow v after m: separate stores, so no aliasing.
         let v = Self::state(&mut self.v, tensor_id, params.len());
-        for (((p, &g), mi), vi) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut())
+        for (((p, &g), mi), vi) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
         {
             *mi = beta1 * *mi + (1.0 - beta1) * g;
             *vi = beta2 * *vi + (1.0 - beta2) * g * g;

@@ -15,7 +15,6 @@
 use crate::split::{candidate_thresholds, feature_subset, gather_feature, partition, Split};
 use linalg::random::Prng;
 use linalg::Matrix;
-use rayon::prelude::*;
 
 /// Hyperparameters for a causal tree.
 #[derive(Debug, Clone)]
@@ -114,8 +113,8 @@ impl CausalTree {
         assert_eq!(x.rows(), y.len(), "CausalTree::fit: x/y length mismatch");
         assert_eq!(t.len(), y.len(), "CausalTree::fit: t/y length mismatch");
         assert!(!rows.is_empty(), "CausalTree::fit: empty sample");
-        let overall = tau_hat(t, y, rows)
-            .expect("CausalTree::fit: need both treated and control samples");
+        let overall =
+            tau_hat(t, y, rows).expect("CausalTree::fit: need both treated and control samples");
 
         // Honest split: half the rows choose structure, half estimate.
         let (split_rows, est_rows): (Vec<usize>, Vec<usize>) = if config.honest {
@@ -248,7 +247,11 @@ impl CausalTree {
                     left,
                     right,
                 } => {
-                    id = if row[*feature] <= *threshold { *left } else { *right };
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -303,7 +306,10 @@ impl CausalForest {
         config: &CausalForestConfig,
         rng: &mut Prng,
     ) -> Self {
-        assert!(config.n_trees > 0, "CausalForest::fit: need at least one tree");
+        assert!(
+            config.n_trees > 0,
+            "CausalForest::fit: need at least one tree"
+        );
         assert!(
             (0.0..=1.0).contains(&config.subsample) && config.subsample > 0.0,
             "CausalForest::fit: subsample must be in (0, 1]"
@@ -314,22 +320,19 @@ impl CausalForest {
         }
         let n = x.rows();
         let k = ((n as f64 * config.subsample).round() as usize).clamp(1, n);
-        let mut seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
-        let trees: Vec<CausalTree> = seeds
-            .par_iter_mut()
-            .map(|tree_rng| {
-                // Resample until the subsample has both groups (cheap: RCT
-                // data has both in abundance).
-                let rows = loop {
-                    let rows = tree_rng.sample_without_replacement(n, k);
-                    let (n1, n0) = group_counts(t, &rows);
-                    if n1 > 0 && n0 > 0 {
-                        break rows;
-                    }
-                };
-                CausalTree::fit(x, t, y, &rows, &tree_cfg, tree_rng)
-            })
-            .collect();
+        let seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
+        let trees: Vec<CausalTree> = par::par_map(seeds, |mut tree_rng| {
+            // Resample until the subsample has both groups (cheap: RCT
+            // data has both in abundance).
+            let rows = loop {
+                let rows = tree_rng.sample_without_replacement(n, k);
+                let (n1, n0) = group_counts(t, &rows);
+                if n1 > 0 && n0 > 0 {
+                    break rows;
+                }
+            };
+            CausalTree::fit(x, t, y, &rows, &tree_cfg, &mut tree_rng)
+        });
         CausalForest { trees }
     }
 

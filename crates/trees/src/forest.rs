@@ -3,7 +3,6 @@
 use crate::tree::{RegressionTree, TreeConfig};
 use linalg::random::Prng;
 use linalg::Matrix;
-use rayon::prelude::*;
 
 /// Hyperparameters for a random forest.
 #[derive(Debug, Clone)]
@@ -46,23 +45,23 @@ impl RandomForest {
     pub fn fit(x: &Matrix, y: &[f64], config: &RandomForestConfig, rng: &mut Prng) -> Self {
         assert_eq!(x.rows(), y.len(), "RandomForest::fit: x/y length mismatch");
         assert!(x.rows() > 0, "RandomForest::fit: empty dataset");
-        assert!(config.n_trees > 0, "RandomForest::fit: need at least one tree");
+        assert!(
+            config.n_trees > 0,
+            "RandomForest::fit: need at least one tree"
+        );
         let mut tree_cfg = config.tree.clone();
         if tree_cfg.max_features == usize::MAX {
             tree_cfg.max_features = (x.cols() as f64).sqrt().ceil() as usize;
         }
-        let mut seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
-        let trees: Vec<RegressionTree> = seeds
-            .par_iter_mut()
-            .map(|tree_rng| {
-                let rows: Vec<usize> = if config.bootstrap {
-                    tree_rng.sample_with_replacement(x.rows(), x.rows())
-                } else {
-                    (0..x.rows()).collect()
-                };
-                RegressionTree::fit(x, y, &rows, &tree_cfg, tree_rng)
-            })
-            .collect();
+        let seeds: Vec<Prng> = (0..config.n_trees).map(|_| rng.fork()).collect();
+        let trees: Vec<RegressionTree> = par::par_map(seeds, |mut tree_rng| {
+            let rows: Vec<usize> = if config.bootstrap {
+                tree_rng.sample_with_replacement(x.rows(), x.rows())
+            } else {
+                (0..x.rows()).collect()
+            };
+            RegressionTree::fit(x, y, &rows, &tree_cfg, &mut tree_rng)
+        });
         RandomForest { trees }
     }
 

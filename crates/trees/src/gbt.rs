@@ -60,7 +60,10 @@ impl GradientBoostedTrees {
             config.subsample > 0.0 && config.subsample <= 1.0,
             "GBT::fit: subsample must be in (0, 1]"
         );
-        assert!(config.shrinkage > 0.0, "GBT::fit: shrinkage must be positive");
+        assert!(
+            config.shrinkage > 0.0,
+            "GBT::fit: shrinkage must be positive"
+        );
         let n = x.rows();
         let base = y.iter().sum::<f64>() / n as f64;
         let mut residuals: Vec<f64> = y.iter().map(|v| v - base).collect();
@@ -88,13 +91,7 @@ impl GradientBoostedTrees {
 
     /// Predicts a single sample.
     pub fn predict_one(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.shrinkage
-                * self
-                    .stages
-                    .iter()
-                    .map(|t| t.predict_one(row))
-                    .sum::<f64>()
+        self.base + self.shrinkage * self.stages.iter().map(|t| t.predict_one(row)).sum::<f64>()
     }
 
     /// Predicts every row of `x`.

@@ -63,7 +63,11 @@ impl RegressionTree {
     /// # Panics
     /// Panics if `rows` is empty or `y.len() != x.rows()`.
     pub fn fit(x: &Matrix, y: &[f64], rows: &[usize], config: &TreeConfig, rng: &mut Prng) -> Self {
-        assert_eq!(x.rows(), y.len(), "RegressionTree::fit: x/y length mismatch");
+        assert_eq!(
+            x.rows(),
+            y.len(),
+            "RegressionTree::fit: x/y length mismatch"
+        );
         assert!(!rows.is_empty(), "RegressionTree::fit: empty sample");
         let mut tree = RegressionTree {
             nodes: Vec::new(),
@@ -176,7 +180,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    id = if row[*feature] <= *threshold { *left } else { *right };
+                    id = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -251,7 +259,9 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let mut rng = Prng::seed_from_u64(1);
-        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gaussian(), rng.gaussian()]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gaussian(), rng.gaussian()])
+            .collect();
         let x = Matrix::from_rows(&rows);
         let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
         let cfg = TreeConfig {

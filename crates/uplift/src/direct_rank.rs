@@ -86,7 +86,11 @@ impl Objective for DrObjective {
             .map(|(j, &i)| {
                 let w = self.weight(i);
                 let da = p[j] * (w * self.y_r[i] - a);
-                let db = if clamped { 0.0 } else { p[j] * (w * self.y_c[i] - b) };
+                let db = if clamped {
+                    0.0
+                } else {
+                    p[j] * (w * self.y_c[i] - b)
+                };
                 -(da * b_eff - a * db) / (b_eff * b_eff)
             })
             .collect();
@@ -167,7 +171,7 @@ impl RoiModel for DirectRank {
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DirectRank: fit before predict");
         let z = state.scaler.transform(x);
-        state.net.clone().predict_scalar(&z)
+        state.net.predict_scalar(&z)
     }
 }
 

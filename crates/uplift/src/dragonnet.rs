@@ -96,8 +96,7 @@ impl UpliftModel for DragonNet {
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DragonNet: fit before predict");
         let z = state.scaler.transform(x);
-        let mut net = state.net.clone();
-        let outs = net.predict_scalars(&z);
+        let outs = state.net.predict_scalars(&z);
         outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
     }
 }
@@ -112,8 +111,7 @@ impl DragonNet {
     pub fn predict_propensity(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DragonNet: fit before predict");
         let z = state.scaler.transform(x);
-        let mut net = state.net.clone();
-        let outs = net.predict_scalars(&z);
+        let outs = state.net.predict_scalars(&z);
         outs[2].iter().map(|&s| sigmoid(s)).collect()
     }
 }

@@ -43,34 +43,6 @@ pub use snet::SNet;
 pub use tarnet::TarNet;
 pub use tpm::Tpm;
 
-#[cfg(test)]
-pub(crate) mod testutil {
-    use linalg::random::Prng;
-    use linalg::Matrix;
-
-    /// RCT fixture with tau(x) = 0.5 + 2 x0, a nonlinear prognostic term,
-    /// and mild noise — shared by the neural uplift model tests.
-    pub(crate) fn rct(n: usize, seed: u64) -> (Matrix, Vec<u8>, Vec<f64>, Vec<f64>) {
-        let mut rng = Prng::seed_from_u64(seed);
-        let mut xs = Vec::new();
-        let mut ts = Vec::new();
-        let mut ys = Vec::new();
-        let mut taus = Vec::new();
-        for _ in 0..n {
-            let x0 = rng.uniform();
-            let x1 = rng.gaussian();
-            let t = u8::from(rng.bernoulli(0.5));
-            let tau = 0.5 + 2.0 * x0;
-            let y = x1.sin() + tau * f64::from(t) + 0.2 * rng.gaussian();
-            xs.push(vec![x0, x1]);
-            ts.push(t);
-            ys.push(y);
-            taus.push(tau);
-        }
-        (Matrix::from_rows(&xs), ts, ys, taus)
-    }
-}
-
 /// A model of a single outcome's conditional average treatment effect.
 pub trait UpliftModel {
     /// Human-readable model name.
@@ -98,4 +70,32 @@ pub trait RoiModel {
     /// *rank* correctly; TPM produces actual ratio estimates, DirectRank
     /// produces uncalibrated scores, DRP produces unbiased ROI in (0, 1).
     fn predict_roi(&self, x: &Matrix) -> Vec<f64>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use linalg::random::Prng;
+    use linalg::Matrix;
+
+    /// RCT fixture with tau(x) = 0.5 + 2 x0, a nonlinear prognostic term,
+    /// and mild noise — shared by the neural uplift model tests.
+    pub(crate) fn rct(n: usize, seed: u64) -> (Matrix, Vec<u8>, Vec<f64>, Vec<f64>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ts = Vec::new();
+        let mut ys = Vec::new();
+        let mut taus = Vec::new();
+        for _ in 0..n {
+            let x0 = rng.uniform();
+            let x1 = rng.gaussian();
+            let t = u8::from(rng.bernoulli(0.5));
+            let tau = 0.5 + 2.0 * x0;
+            let y = x1.sin() + tau * f64::from(t) + 0.2 * rng.gaussian();
+            xs.push(vec![x0, x1]);
+            ts.push(t);
+            ys.push(y);
+            taus.push(tau);
+        }
+        (Matrix::from_rows(&xs), ts, ys, taus)
+    }
 }

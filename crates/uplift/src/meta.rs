@@ -239,7 +239,11 @@ mod tests {
     fn xlearner_recovers_heterogeneity() {
         // Ridge second stage gives X-learner a smooth tau model, which is
         // exactly right for the linear tau here.
-        check_recovers(&mut XLearner::new(BaseLearner::Ridge { lambda: 1.0 }), 4, 0.8);
+        check_recovers(
+            &mut XLearner::new(BaseLearner::Ridge { lambda: 1.0 }),
+            4,
+            0.8,
+        );
     }
 
     #[test]

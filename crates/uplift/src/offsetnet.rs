@@ -86,8 +86,7 @@ impl UpliftModel for OffsetNet {
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("OffsetNet: fit before predict");
         let z = state.scaler.transform(x);
-        let mut net = state.net.clone();
-        net.predict_scalars(&z).swap_remove(1)
+        state.net.predict_scalars(&z).swap_remove(1)
     }
 }
 
@@ -117,7 +116,9 @@ mod tests {
         // Prognostic-only data: the offset head should stay near zero.
         let mut rng = Prng::seed_from_u64(22);
         let n = 1500;
-        let xs: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.uniform(), rng.gaussian()]).collect();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.uniform(), rng.gaussian()])
+            .collect();
         let t: Vec<u8> = (0..n).map(|_| u8::from(rng.bernoulli(0.5))).collect();
         let y: Vec<f64> = xs.iter().map(|r| r[1] + 0.1 * rng.gaussian()).collect();
         let x = Matrix::from_rows(&xs);

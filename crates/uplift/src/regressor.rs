@@ -99,7 +99,9 @@ mod tests {
 
     fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
         let mut rng = Prng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gaussian(), rng.gaussian()]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gaussian(), rng.gaussian()])
+            .collect();
         let y = rows.iter().map(|r| 3.0 * r[0] - r[1] + 2.0).collect();
         (Matrix::from_rows(&rows), y)
     }
@@ -118,9 +120,14 @@ mod tests {
     #[test]
     fn forest_learns_nonlinear_target() {
         let mut rng = Prng::seed_from_u64(2);
-        let rows: Vec<Vec<f64>> = (0..600).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|_| vec![rng.uniform(), rng.uniform()])
+            .collect();
         let x = Matrix::from_rows(&rows);
-        let y: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 2.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 2.0 } else { 0.0 })
+            .collect();
         let model = BaseLearner::default_forest().fit(&x, &y, &mut rng);
         let preds = model.predict(&x);
         let mse: f64 = preds
@@ -135,7 +142,9 @@ mod tests {
     #[test]
     fn boosted_learns_nonlinear_target() {
         let mut rng = Prng::seed_from_u64(4);
-        let rows: Vec<Vec<f64>> = (0..600).map(|_| vec![rng.uniform(), rng.uniform()]).collect();
+        let rows: Vec<Vec<f64>> = (0..600)
+            .map(|_| vec![rng.uniform(), rng.uniform()])
+            .collect();
         let x = Matrix::from_rows(&rows);
         let y: Vec<f64> = rows.iter().map(|r| (r[0] * 8.0).sin()).collect();
         let model = BaseLearner::default_boosted().fit(&x, &y, &mut rng);

@@ -24,7 +24,7 @@ use linalg::random::Prng;
 use linalg::stats::Standardizer;
 use linalg::Matrix;
 use nn::multihead::{clipped_step, Parameterized};
-use nn::{Adam, Mlp, Mode};
+use nn::{Adam, Mlp, Mode, Workspace};
 
 /// SNet uplift model with disentangled representations.
 #[derive(Debug, Clone)]
@@ -160,15 +160,19 @@ impl UpliftModel for SNet {
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("SNet: fit before predict");
         let z = state.scaler.transform(x);
-        let mut nets = state.nets.clone();
+        let nets = &state.nets;
         let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
-        let rep_s = nets.phi_shared.forward(&z, Mode::Eval, &mut rng);
-        let rep_c = nets.phi_control.forward(&z, Mode::Eval, &mut rng);
-        let rep_t = nets.phi_treated.forward(&z, Mode::Eval, &mut rng);
-        let in0 = rep_s.hstack(&rep_c).expect("same batch");
-        let in1 = rep_s.hstack(&rep_t).expect("same batch");
-        let out0 = nets.h0.forward(&in0, Mode::Eval, &mut rng).col(0);
-        let out1 = nets.h1.forward(&in1, Mode::Eval, &mut rng).col(0);
+        let mut ws_s = Workspace::new();
+        let mut ws_c = Workspace::new();
+        let mut ws_t = Workspace::new();
+        let mut ws_h = Workspace::new();
+        let rep_s = nets.phi_shared.infer(&z, Mode::Eval, &mut rng, &mut ws_s);
+        let rep_c = nets.phi_control.infer(&z, Mode::Eval, &mut rng, &mut ws_c);
+        let rep_t = nets.phi_treated.infer(&z, Mode::Eval, &mut rng, &mut ws_t);
+        let in0 = rep_s.hstack(rep_c).expect("same batch");
+        let in1 = rep_s.hstack(rep_t).expect("same batch");
+        let out0 = nets.h0.infer(&in0, Mode::Eval, &mut rng, &mut ws_h).col(0);
+        let out1 = nets.h1.infer(&in1, Mode::Eval, &mut rng, &mut ws_h).col(0);
         out1.iter().zip(&out0).map(|(a, b)| a - b).collect()
     }
 }

@@ -78,8 +78,7 @@ impl UpliftModel for TarNet {
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("TarNet: fit before predict");
         let z = state.scaler.transform(x);
-        let mut net = state.net.clone();
-        let outs = net.predict_scalars(&z);
+        let outs = state.net.predict_scalars(&z);
         outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
     }
 }

@@ -38,7 +38,10 @@ fn main() {
     );
 
     println!("\n2. Fitting rDRP against each deployment population");
-    for (label, population) in [("matched", Population::Base), ("shifted", Population::Shifted)] {
+    for (label, population) in [
+        ("matched", Population::Base),
+        ("shifted", Population::Shifted),
+    ] {
         let calibration = generator.sample(4_000, population, &mut rng);
         let test = generator.sample(8_000, population, &mut rng);
         let mut model = Rdrp::new(RdrpConfig::default());
@@ -53,8 +56,8 @@ fn main() {
 
         // Eq. 4's guarantee is about covering the test population's loss
         // convergence point roi*.
-        let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6)
-            .expect("test RCT has both groups");
+        let roi_star_test =
+            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).expect("test RCT has both groups");
         let coverage = empirical_coverage(&intervals, &vec![roi_star_test; intervals.len()]);
 
         println!(

@@ -57,18 +57,31 @@ fn main() {
     let before = dc.arm(2).predict_roi(&customers.x);
     let after = reloaded.predict_roi(&customers.x);
     assert_eq!(before, after, "persistence must be bit-exact");
-    println!("\narm-2 model saved to {} and reloaded bit-exactly", path.display());
+    println!(
+        "\narm-2 model saved to {} and reloaded bit-exactly",
+        path.display()
+    );
     let _ = std::fs::remove_file(path);
 
     // Allocate one budget across all arms. Comparable (quantile-matched)
     // scores put every arm on the common ROI scale — raw calibrated
     // scores would let the largest-magnitude form monopolize the budget.
     let scores = dc.predict_comparable_scores(&customers.x, &mut rng);
-    let costs = customers.true_tau_c.clone().expect("synthetic ground truth");
-    let values = customers.true_tau_r.clone().expect("synthetic ground truth");
+    let costs = customers
+        .true_tau_c
+        .clone()
+        .expect("synthetic ground truth");
+    let values = customers
+        .true_tau_r
+        .clone()
+        .expect("synthetic ground truth");
     let budget = 0.25 * costs[0].iter().sum::<f64>();
     let alloc = greedy_allocate_multi(&scores, &costs, budget);
-    println!("\nbudget {budget:.1}: treated {} of {} customers", alloc.n_treated, customers.len());
+    println!(
+        "\nbudget {budget:.1}: treated {} of {} customers",
+        alloc.n_treated,
+        customers.len()
+    );
     for k in 1..=3u8 {
         let n = alloc.assigned.iter().filter(|a| **a == Some(k)).count();
         println!("  coupon arm {k}: {n} customers");

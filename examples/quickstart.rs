@@ -53,7 +53,10 @@ fn main() {
     }
 
     // 4. Spend 30% of the total expected incremental cost.
-    let costs = customers.true_tau_c.clone().expect("synthetic ground truth");
+    let costs = customers
+        .true_tau_c
+        .clone()
+        .expect("synthetic ground truth");
     let budget = 0.3 * costs.iter().sum::<f64>();
     let allocation = greedy_allocate(&scores, &costs, budget);
     println!(

@@ -85,11 +85,20 @@ fn trained_arms_beat_random_on_average_suno() {
     let n = 3;
     for seed in 0..n {
         let mut rng = Prng::seed_from_u64(77 + seed);
-        let r = run_ab_test(generator.model(), Setting::SuNo, &quick_ab_config(), &mut rng);
+        let r = run_ab_test(
+            generator.model(),
+            Setting::SuNo,
+            &quick_ab_config(),
+            &mut rng,
+        );
         drp_sum += r.drp_lift_pct;
         rdrp_sum += r.rdrp_lift_pct;
     }
-    assert!(drp_sum / n as f64 > 0.0, "DRP mean lift {}", drp_sum / n as f64);
+    assert!(
+        drp_sum / n as f64 > 0.0,
+        "DRP mean lift {}",
+        drp_sum / n as f64
+    );
     assert!(
         rdrp_sum / n as f64 > 0.0,
         "rDRP mean lift {}",

@@ -25,9 +25,15 @@ fn oracle_dominance(generator: &dyn RctGenerator, seed: u64) {
         generator.name()
     );
     // Random hovers around 1/2 under both metrics.
-    assert!((a_random - 0.5).abs() < 0.08, "label-AUCC random {a_random}");
+    assert!(
+        (a_random - 0.5).abs() < 0.08,
+        "label-AUCC random {a_random}"
+    );
     let o_random = aucc_oracle(&data, &random, 20);
-    assert!((o_random - 0.5).abs() < 0.03, "oracle-AUCC random {o_random}");
+    assert!(
+        (o_random - 0.5).abs() < 0.03,
+        "oracle-AUCC random {o_random}"
+    );
 }
 
 #[test]
