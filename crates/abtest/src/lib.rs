@@ -17,4 +17,4 @@
 
 pub mod simulator;
 
-pub use simulator::{run_ab_test, AbTestConfig, AbTestResult, DayResult};
+pub use simulator::{run_ab_test, AbTestConfig, AbTestResult, DayResult, FaultInjection};

@@ -3,8 +3,51 @@
 use datasets::generator::{Population, RctGenerator, StructuralModel};
 use datasets::{RctDataset, Setting};
 use linalg::random::Prng;
-use rdrp::{greedy_allocate, Rdrp, RdrpConfig};
+use rdrp::{greedy_allocate, PipelineError, Rdrp, RdrpConfig};
 use uplift::RoiModel;
+
+/// Fault-injection hook for robustness testing: before the model arms
+/// train, a configurable fraction of the training/calibration rows is
+/// corrupted to NaN — simulating upstream logging failures (dropped
+/// feature joins, broken label attribution). The pipeline is expected to
+/// reject or survive the corruption with a typed error, never to panic
+/// or silently train on poison.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    /// Fraction of rows whose *features* are overwritten with NaN.
+    pub feature_nan_fraction: f64,
+    /// Fraction of rows whose *labels* (both outcomes) become NaN.
+    pub label_nan_fraction: f64,
+}
+
+tinyjson::json_struct!(FaultInjection {
+    feature_nan_fraction,
+    label_nan_fraction
+});
+
+impl FaultInjection {
+    /// Whether the hook would corrupt anything at all.
+    pub fn is_active(&self) -> bool {
+        self.feature_nan_fraction > 0.0 || self.label_nan_fraction > 0.0
+    }
+
+    /// Corrupts `data` in place: independently samples the configured
+    /// fractions of rows and sets their features / labels to NaN.
+    pub fn corrupt(&self, data: &mut RctDataset, rng: &mut Prng) {
+        let n = data.len();
+        let n_feat = ((n as f64) * self.feature_nan_fraction).round() as usize;
+        for &i in rng.permutation(n).iter().take(n_feat.min(n)) {
+            for v in data.x.row_mut(i) {
+                *v = f64::NAN;
+            }
+        }
+        let n_lab = ((n as f64) * self.label_nan_fraction).round() as usize;
+        for &i in rng.permutation(n).iter().take(n_lab.min(n)) {
+            data.y_r[i] = f64::NAN;
+            data.y_c[i] = f64::NAN;
+        }
+    }
+}
 
 /// Configuration of one online A/B test.
 #[derive(Debug, Clone)]
@@ -31,6 +74,9 @@ pub struct AbTestConfig {
     /// (false — the infinite-population limit, useful when isolating the
     /// allocation effect from outcome noise).
     pub stochastic_outcomes: bool,
+    /// Optional fault injection applied to the training and calibration
+    /// data before the model arms fit.
+    pub fault: Option<FaultInjection>,
 }
 
 tinyjson::json_struct!(AbTestConfig {
@@ -41,7 +87,8 @@ tinyjson::json_struct!(AbTestConfig {
     days,
     budget_fraction,
     rdrp,
-    stochastic_outcomes
+    stochastic_outcomes,
+    fault
 });
 
 impl Default for AbTestConfig {
@@ -55,6 +102,7 @@ impl Default for AbTestConfig {
             budget_fraction: 0.3,
             rdrp: RdrpConfig::default(),
             stochastic_outcomes: true,
+            fault: None,
         }
     }
 }
@@ -124,24 +172,35 @@ fn realize_revenue(
 /// Runs one A/B test for `setting` on the population described by
 /// `model`. Returns per-day revenues and the aggregate lifts.
 ///
-/// # Panics
-/// Panics on nonsensical configuration (zero days/users, budget fraction
-/// outside (0, 1]).
+/// # Errors
+/// Returns [`PipelineError::Config`] on nonsensical configuration (zero
+/// days/users, budget fraction outside (0, 1], invalid model config) and
+/// [`PipelineError::Fit`] when the model arms cannot train — e.g. when
+/// [`AbTestConfig::fault`] corrupted the data beyond what the pipeline
+/// validates. A degraded (but trained) rDRP arm is *not* an error; it is
+/// reported through the model's own diagnostics.
 pub fn run_ab_test(
     model: &StructuralModel,
     setting: Setting,
     config: &AbTestConfig,
     rng: &mut Prng,
-) -> AbTestResult {
-    assert!(config.days > 0, "run_ab_test: need at least one day");
-    assert!(config.users_per_day > 0, "run_ab_test: need users");
-    assert!(
-        config.budget_fraction > 0.0 && config.budget_fraction <= 1.0,
-        "run_ab_test: budget_fraction must be in (0, 1]"
-    );
+) -> Result<AbTestResult, PipelineError> {
+    if config.days == 0 {
+        return Err(PipelineError::Config(
+            "run_ab_test: need at least one day".to_string(),
+        ));
+    }
+    if config.users_per_day == 0 {
+        return Err(PipelineError::Config("run_ab_test: need users".to_string()));
+    }
+    if !(config.budget_fraction > 0.0 && config.budget_fraction <= 1.0) {
+        return Err(PipelineError::Config(
+            "run_ab_test: budget_fraction must be in (0, 1]".to_string(),
+        ));
+    }
     // Train both model arms once, before the test (as online).
     let train_full = model.sample(config.train_sufficient, Population::Base, rng);
-    let train = if setting.sufficient() {
+    let mut train = if setting.sufficient() {
         train_full
     } else {
         datasets::split::subsample(&train_full, config.insufficient_fraction, rng)
@@ -151,9 +210,13 @@ pub fn run_ab_test(
     } else {
         Population::Base
     };
-    let calibration = model.sample(config.calibration, deploy_pop, rng);
-    let mut rdrp_model = Rdrp::new(config.rdrp.clone());
-    rdrp_model.fit_with_calibration(&train, &calibration, rng);
+    let mut calibration = model.sample(config.calibration, deploy_pop, rng);
+    if let Some(fault) = &config.fault {
+        fault.corrupt(&mut train, rng);
+        fault.corrupt(&mut calibration, rng);
+    }
+    let mut rdrp_model = Rdrp::new(config.rdrp.clone())?;
+    rdrp_model.fit_with_calibration(&train, &calibration, rng)?;
 
     let mut daily = Vec::with_capacity(config.days);
     let (mut sum_rand, mut sum_drp, mut sum_rdrp) = (0.0, 0.0, 0.0);
@@ -204,12 +267,12 @@ pub fn run_ab_test(
             0.0
         }
     };
-    AbTestResult {
+    Ok(AbTestResult {
         setting: setting.label().to_string(),
         daily,
         drp_lift_pct: lift(sum_drp),
         rdrp_lift_pct: lift(sum_rdrp),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -235,6 +298,7 @@ mod tests {
                 ..RdrpConfig::default()
             },
             stochastic_outcomes: true,
+            fault: None,
         }
     }
 
@@ -242,7 +306,7 @@ mod tests {
     fn model_arms_beat_random_on_suno() {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(0);
-        let result = run_ab_test(gen.model(), Setting::SuNo, &quick_config(), &mut rng);
+        let result = run_ab_test(gen.model(), Setting::SuNo, &quick_config(), &mut rng).unwrap();
         assert_eq!(result.daily.len(), 3);
         assert_eq!(result.setting, "SuNo");
         // A trained ROI ranker must beat a random ranking on realized
@@ -263,7 +327,7 @@ mod tests {
     fn all_days_have_positive_revenue() {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(1);
-        let result = run_ab_test(gen.model(), Setting::InCo, &quick_config(), &mut rng);
+        let result = run_ab_test(gen.model(), Setting::InCo, &quick_config(), &mut rng).unwrap();
         for day in &result.daily {
             assert!(day.random > 0.0);
             assert!(day.drp > 0.0);
@@ -276,18 +340,68 @@ mod tests {
         let gen = CriteoLike::new();
         let run = |seed| {
             let mut rng = Prng::seed_from_u64(seed);
-            run_ab_test(gen.model(), Setting::SuCo, &quick_config(), &mut rng).rdrp_lift_pct
+            run_ab_test(gen.model(), Setting::SuCo, &quick_config(), &mut rng)
+                .unwrap()
+                .rdrp_lift_pct
         };
         assert_eq!(run(2), run(2));
     }
 
     #[test]
-    #[should_panic(expected = "budget_fraction")]
-    fn bad_budget_panics() {
+    fn bad_budget_is_a_typed_error() {
         let gen = CriteoLike::new();
         let mut cfg = quick_config();
         cfg.budget_fraction = 0.0;
         let mut rng = Prng::seed_from_u64(3);
-        let _ = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng);
+        let err = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, rdrp::PipelineError::Config(_)));
+        assert!(err.to_string().contains("budget_fraction"));
+    }
+
+    #[test]
+    fn fault_injection_corrupts_the_requested_fraction() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(4);
+        let mut data = gen.sample(1000, datasets::generator::Population::Base, &mut rng);
+        let fault = FaultInjection {
+            feature_nan_fraction: 0.1,
+            label_nan_fraction: 0.05,
+        };
+        assert!(fault.is_active());
+        fault.corrupt(&mut data, &mut rng);
+        let bad_rows = (0..data.len())
+            .filter(|&i| data.x.row(i).iter().any(|v| v.is_nan()))
+            .count();
+        assert_eq!(bad_rows, 100);
+        let bad_labels = data.y_r.iter().filter(|v| v.is_nan()).count();
+        assert_eq!(bad_labels, 50);
+        assert!(data.validate().is_some(), "corruption must be detectable");
+    }
+
+    #[test]
+    fn faulted_run_fails_with_a_typed_error_not_a_panic() {
+        let gen = CriteoLike::new();
+        let mut cfg = quick_config();
+        cfg.fault = Some(FaultInjection {
+            feature_nan_fraction: 0.02,
+            label_nan_fraction: 0.0,
+        });
+        let mut rng = Prng::seed_from_u64(5);
+        let err = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            rdrp::PipelineError::Fit(uplift::FitError::InvalidData(_))
+        ));
+    }
+
+    #[test]
+    fn inactive_fault_hook_changes_nothing_semantically() {
+        let gen = CriteoLike::new();
+        let mut cfg = quick_config();
+        cfg.fault = Some(FaultInjection::default());
+        assert!(!cfg.fault.as_ref().unwrap().is_active());
+        let mut rng = Prng::seed_from_u64(6);
+        let result = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap();
+        assert_eq!(result.daily.len(), 3);
     }
 }

@@ -58,9 +58,11 @@ fn bench_full_calibration(c: &mut Criterion) {
                     },
                     mc_passes: 20,
                     ..RdrpConfig::default()
-                });
+                })
+                .expect("bench config is valid");
                 let mut rng = Prng::seed_from_u64(3);
-                m.fit_with_calibration(&train, &cal, &mut rng);
+                m.fit_with_calibration(&train, &cal, &mut rng)
+                    .expect("bench data is well-formed");
                 m.diagnostics().qhat
             })
         });

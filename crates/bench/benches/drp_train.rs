@@ -22,7 +22,7 @@ fn bench_drp_training(c: &mut Criterion) {
                     ..DrpConfig::default()
                 });
                 let mut rng = Prng::seed_from_u64(1);
-                m.fit(data, &mut rng);
+                m.fit(data, &mut rng).expect("bench data is well-formed");
                 m.final_loss()
             })
         });

@@ -22,7 +22,7 @@ fn fitted_model(n: usize) -> (DrpModel, datasets::RctDataset) {
         epochs: 5,
         ..DrpConfig::default()
     });
-    m.fit(&train, &mut rng);
+    m.fit(&train, &mut rng).expect("bench data is well-formed");
     (m, test)
 }
 

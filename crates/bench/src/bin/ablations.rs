@@ -40,7 +40,8 @@ fn main() {
         dropout: 0.2,
         ..DrpConfig::default()
     });
-    drp.fit(&train, &mut rng);
+    drp.fit(&train, &mut rng)
+        .expect("bench data is well-formed");
     let mut results: Vec<(String, tinyjson::Value)> = Vec::new();
 
     // Shared calibration quantities.
@@ -119,7 +120,9 @@ fn main() {
         dropout: 0.2,
         ..DrpConfig::default()
     });
-    single.fit(&small_train, &mut rng);
+    single
+        .fit(&small_train, &mut rng)
+        .expect("bench data is well-formed");
     let fit_one = t0.elapsed();
     let t1 = Instant::now();
     let mc = single.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng);
@@ -133,7 +136,9 @@ fn main() {
         },
         10,
     );
-    ensemble.fit(&small_train, &mut rng);
+    ensemble
+        .fit(&small_train, &mut rng)
+        .expect("bench data is well-formed");
     let boot_fit = t2.elapsed();
     let t3 = Instant::now();
     let boot = ensemble.ensemble_roi(&test.x, 1e-6);

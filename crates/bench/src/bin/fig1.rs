@@ -44,10 +44,13 @@ fn main() {
         let mut rng = Prng::seed_from_u64(seed);
         let train = gen.sample(sizes.train_sufficient, Population::Base, &mut rng);
         let mut drp = DrpModel::new(table_rdrp_config().drp);
-        drp.fit(&train, &mut rng);
+        drp.fit(&train, &mut rng)
+            .expect("bench data is well-formed");
         let small = datasets::split::subsample(&train, sizes.insufficient_fraction, &mut rng);
         let mut drp_small = DrpModel::new(table_rdrp_config().drp);
-        drp_small.fit(&small, &mut rng);
+        drp_small
+            .fit(&small, &mut rng)
+            .expect("bench data is well-formed");
 
         let test_matched = gen.sample(sizes.test, Population::Base, &mut rng);
         let test_shifted = gen.sample(sizes.test, Population::Shifted, &mut rng);

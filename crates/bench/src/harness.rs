@@ -141,7 +141,7 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
         MethodKind::TpmSnet => fit_tpm(Tpm::snet(net), data, rng),
         MethodKind::Dr => {
             let mut m = DirectRank::new(net);
-            m.fit(&data.train, rng);
+            m.fit(&data.train, rng).expect("bench data is well-formed");
             m.predict_roi(&data.test.x)
         }
         MethodKind::DrWithMc => {
@@ -150,7 +150,7 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
             // and std"); the MC mean is the dropout-ensemble point
             // estimate and the std is added as the optimism term.
             let mut m = DirectRank::new(net);
-            m.fit(&data.train, rng);
+            m.fit(&data.train, rng).expect("bench data is well-formed");
             let stats = m.mc_scores(&data.test.x, 50, rng);
             stats
                 .mean
@@ -161,12 +161,12 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
         }
         MethodKind::Drp => {
             let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng);
+            m.fit(&data.train, rng).expect("bench data is well-formed");
             m.predict_roi(&data.test.x)
         }
         MethodKind::DrpWithMc => {
             let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng);
+            m.fit(&data.train, rng).expect("bench data is well-formed");
             let stats = m.mc_roi(&data.test.x, 50, 1e-6, rng);
             stats
                 .mean
@@ -176,15 +176,17 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
                 .collect()
         }
         MethodKind::Rdrp => {
-            let mut m = Rdrp::new(table_rdrp_config());
-            m.fit_with_calibration(&data.train, &data.calibration, rng);
+            let mut m = Rdrp::new(table_rdrp_config()).expect("bench config is valid");
+            m.fit_with_calibration(&data.train, &data.calibration, rng)
+                .expect("bench data is well-formed");
             m.predict_scores(&data.test.x, rng)
         }
     }
 }
 
 fn fit_tpm(mut tpm: Tpm, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
-    tpm.fit(&data.train, rng);
+    tpm.fit(&data.train, rng)
+        .expect("bench data is well-formed");
     tpm.predict_roi(&data.test.x)
 }
 

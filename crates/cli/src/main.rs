@@ -21,18 +21,55 @@ use datasets::generator::{Population, RctGenerator};
 use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, MeituanLike};
 use linalg::random::Prng;
 use rdrp::{load_rdrp, save_rdrp, DrpConfig, Rdrp, RdrpConfig};
+use std::fmt;
 use std::io::Write as _;
 use std::process::ExitCode;
 use uplift::RoiModel;
+
+/// A CLI failure, bucketed so scripts can branch on the exit code:
+/// `2` = usage/configuration, `3` = data/IO, `4` = training/calibration.
+/// A *degraded* (but successful) calibration is a warning on stderr and
+/// exit 0 — the scores are still usable.
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments or an out-of-range configuration (exit 2).
+    Usage(String),
+    /// Unreadable/unwritable files or malformed data (exit 3).
+    Data(String),
+    /// Model training or calibration failed (exit 4).
+    Train(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Data(_) => 3,
+            CliError::Train(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Data(m) => write!(f, "{m}"),
+            CliError::Train(m) => write!(f, "{m}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("run with no arguments for usage");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("run with no arguments for usage");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -54,35 +91,47 @@ fn schema_from(args: &Args) -> CsvSchema {
     }
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+fn run(argv: Vec<String>) -> Result<(), CliError> {
     if argv.is_empty() {
         println!("{}", usage());
         return Ok(());
     }
-    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    let args = Args::parse(argv).map_err(|e| CliError::Usage(e.to_string()))?;
     match args.command.as_str() {
         "generate" => generate(&args),
         "train" => train(&args),
         "score" => score(&args),
         "evaluate" => evaluate(&args),
-        other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand '{other}'\n{}",
+            usage()
+        ))),
     }
 }
 
-fn generate(args: &Args) -> Result<(), String> {
-    let dataset = args.require("dataset").map_err(|e| e.to_string())?;
-    let rows: usize = args.get_or("rows", 10_000).map_err(|e| e.to_string())?;
-    let out = args.require("out").map_err(|e| e.to_string())?;
-    let shifted: bool = args.get_or("shifted", false).map_err(|e| e.to_string())?;
-    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+/// Shorthand converters for the three failure buckets.
+fn usage_err(e: impl fmt::Display) -> CliError {
+    CliError::Usage(e.to_string())
+}
+
+fn data_err(e: impl fmt::Display) -> CliError {
+    CliError::Data(e.to_string())
+}
+
+fn generate(args: &Args) -> Result<(), CliError> {
+    let dataset = args.require("dataset").map_err(usage_err)?;
+    let rows: usize = args.get_or("rows", 10_000).map_err(usage_err)?;
+    let out = args.require("out").map_err(usage_err)?;
+    let shifted: bool = args.get_or("shifted", false).map_err(usage_err)?;
+    let seed: u64 = args.get_or("seed", 42).map_err(usage_err)?;
     let generator: Box<dyn RctGenerator> = match dataset {
         "criteo" => Box::new(CriteoLike::new()),
         "meituan" => Box::new(MeituanLike::new()),
         "alibaba" => Box::new(AlibabaLike::new()),
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown dataset '{other}' (criteo|meituan|alibaba)"
-            ))
+            )))
         }
     };
     let population = if shifted {
@@ -92,7 +141,7 @@ fn generate(args: &Args) -> Result<(), String> {
     };
     let mut rng = Prng::seed_from_u64(seed);
     let data = generator.sample(rows, population, &mut rng);
-    write_rct_csv(&data, out, &schema_from(args)).map_err(|e| e.to_string())?;
+    write_rct_csv(&data, out, &schema_from(args)).map_err(data_err)?;
     println!(
         "wrote {} rows x {} features of {} ({}) to {out}",
         data.len(),
@@ -103,35 +152,40 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn train(args: &Args) -> Result<(), String> {
+fn train(args: &Args) -> Result<(), CliError> {
     let schema = schema_from(args);
-    let train_path = args.require("train").map_err(|e| e.to_string())?;
-    let cal_path = args.require("calibration").map_err(|e| e.to_string())?;
-    let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let seed: u64 = args.get_or("seed", 42).map_err(|e| e.to_string())?;
+    let train_path = args.require("train").map_err(usage_err)?;
+    let cal_path = args.require("calibration").map_err(usage_err)?;
+    let model_path = args.require("model").map_err(usage_err)?;
+    let seed: u64 = args.get_or("seed", 42).map_err(usage_err)?;
     let config = RdrpConfig {
         drp: DrpConfig {
-            epochs: args.get_or("epochs", 40).map_err(|e| e.to_string())?,
-            hidden: args.get_or("hidden", 64).map_err(|e| e.to_string())?,
+            epochs: args.get_or("epochs", 40).map_err(usage_err)?,
+            hidden: args.get_or("hidden", 64).map_err(usage_err)?,
             ..DrpConfig::default()
         },
-        alpha: args.get_or("alpha", 0.1).map_err(|e| e.to_string())?,
-        mc_passes: args.get_or("mc-passes", 50).map_err(|e| e.to_string())?,
+        alpha: args.get_or("alpha", 0.1).map_err(usage_err)?,
+        mc_passes: args.get_or("mc-passes", 50).map_err(usage_err)?,
         ..RdrpConfig::default()
     };
-    if let Some(problem) = config.validate() {
-        return Err(format!("invalid configuration: {problem}"));
-    }
-    let train_data = read_rct_csv(train_path, &schema).map_err(|e| e.to_string())?;
-    let cal_data = read_rct_csv(cal_path, &schema).map_err(|e| e.to_string())?;
+    // An invalid config is a usage error (exit 2), surfaced before any
+    // file is touched ...
+    let mut model = Rdrp::new(config).map_err(usage_err)?;
+    let train_data = read_rct_csv(train_path, &schema).map_err(data_err)?;
+    let cal_data = read_rct_csv(cal_path, &schema).map_err(data_err)?;
     println!(
         "training on {} rows, calibrating on {} rows ...",
         train_data.len(),
         cal_data.len()
     );
-    let mut model = Rdrp::new(config);
     let mut rng = Prng::seed_from_u64(seed);
-    model.fit_with_calibration(&train_data, &cal_data, &mut rng);
+    // ... while a failed fit is a training error (exit 4). Malformed
+    // *contents* of an otherwise readable CSV (NaN features, single-group
+    // data) surface here too: the pipeline's own validation is the
+    // authority on what it can train on.
+    model
+        .fit_with_calibration(&train_data, &cal_data, &mut rng)
+        .map_err(|e| CliError::Train(e.to_string()))?;
     let d = model.diagnostics();
     println!(
         "calibrated: roi* = {:?}, q̂ = {:.4}, form = {}",
@@ -139,40 +193,58 @@ fn train(args: &Args) -> Result<(), String> {
         d.qhat,
         d.selected_form.label()
     );
-    save_rdrp(&model, model_path).map_err(|e| e.to_string())?;
+    // Degradation is a warning, not an error: the model still serves a
+    // usable (plain-DRP) ranking, and the flag is persisted in the model
+    // JSON for machine consumption.
+    if let Some(mode) = model.degraded() {
+        eprintln!(
+            "warning: calibration degraded ({mode:?}): {}",
+            mode.reason()
+        );
+    }
+    save_rdrp(&model, model_path).map_err(data_err)?;
     println!("model saved to {model_path}");
     Ok(())
 }
 
-fn score(args: &Args) -> Result<(), String> {
+fn score(args: &Args) -> Result<(), CliError> {
     let schema = schema_from(args);
-    let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let data_path = args.require("data").map_err(|e| e.to_string())?;
-    let out_path = args.require("out").map_err(|e| e.to_string())?;
-    let model = load_rdrp(model_path).map_err(|e| e.to_string())?;
-    let data = read_rct_csv(data_path, &schema).map_err(|e| e.to_string())?;
+    let model_path = args.require("model").map_err(usage_err)?;
+    let data_path = args.require("data").map_err(usage_err)?;
+    let out_path = args.require("out").map_err(usage_err)?;
+    let model = load_rdrp(model_path).map_err(data_err)?;
+    let data = read_rct_csv(data_path, &schema).map_err(data_err)?;
+    if let Some(mode) = model.degraded() {
+        eprintln!(
+            "warning: model was calibrated in degraded mode ({mode:?}): {}",
+            mode.reason()
+        );
+    }
     let scores = model.predict_roi(&data.x);
     let mut rng = Prng::seed_from_u64(0x5C0BE);
     let intervals = model.predict_intervals(&data.x, &mut rng);
-    let mut out = std::fs::File::create(out_path).map_err(|e| e.to_string())?;
-    writeln!(out, "score,interval_lo,interval_hi").map_err(|e| e.to_string())?;
+    let mut out = std::fs::File::create(out_path).map_err(data_err)?;
+    writeln!(out, "score,interval_lo,interval_hi").map_err(data_err)?;
     for (s, iv) in scores.iter().zip(&intervals) {
-        writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(|e| e.to_string())?;
+        writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(data_err)?;
     }
     println!("wrote {} scores to {out_path}", scores.len());
     Ok(())
 }
 
-fn evaluate(args: &Args) -> Result<(), String> {
+fn evaluate(args: &Args) -> Result<(), CliError> {
     let schema = schema_from(args);
-    let model_path = args.require("model").map_err(|e| e.to_string())?;
-    let data_path = args.require("data").map_err(|e| e.to_string())?;
-    let bins: usize = args.get_or("bins", 20).map_err(|e| e.to_string())?;
-    let model = load_rdrp(model_path).map_err(|e| e.to_string())?;
-    let data = read_rct_csv(data_path, &schema).map_err(|e| e.to_string())?;
+    let model_path = args.require("model").map_err(usage_err)?;
+    let data_path = args.require("data").map_err(usage_err)?;
+    let bins: usize = args.get_or("bins", 20).map_err(usage_err)?;
+    let model = load_rdrp(model_path).map_err(data_err)?;
+    let data = read_rct_csv(data_path, &schema).map_err(data_err)?;
     let scores = model.predict_roi(&data.x);
-    let aucc = metrics::aucc_checked(&data, &scores, bins)
-        .ok_or("dataset too degenerate to rank (missing group or non-positive uplift)")?;
+    let aucc = metrics::aucc_checked(&data, &scores, bins).ok_or_else(|| {
+        CliError::Data(
+            "dataset too degenerate to rank (missing group or non-positive uplift)".to_string(),
+        )
+    })?;
     let qini = metrics::qini(&data, &scores, bins);
     println!("rows:  {}", data.len());
     println!("AUCC:  {aucc:.4}  (random = 0.5)");
@@ -299,6 +371,51 @@ mod tests {
             "2.0",
         ]))
         .unwrap_err();
-        assert!(err.contains("alpha"), "{err}");
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn missing_data_file_is_a_data_error() {
+        let err = run(strings(&[
+            "train",
+            "--train",
+            "/nonexistent/train.csv",
+            "--calibration",
+            "/nonexistent/cal.csv",
+            "--model",
+            &tmp("never.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Data(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn corrupt_training_data_is_a_training_error() {
+        // A readable, well-formed CSV whose contents the pipeline must
+        // reject: every row is treated, so no uplift is identifiable.
+        let train_csv = tmp("single_group.csv");
+        let mut body = String::from("f0,treatment,conversion,visit\n");
+        for i in 0..200 {
+            body.push_str(&format!("{}.0,1,1,1\n", i % 7));
+        }
+        std::fs::write(&train_csv, &body).unwrap();
+        let err = run(strings(&[
+            "train",
+            "--train",
+            &train_csv,
+            "--calibration",
+            &train_csv,
+            "--model",
+            &tmp("never2.json"),
+            "--epochs",
+            "2",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Train(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
+        let _ = std::fs::remove_file(train_csv);
     }
 }

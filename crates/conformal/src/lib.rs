@@ -21,6 +21,9 @@
 //! exchangeable (paper Eq. 4, which is why rDRP collects a *fresh* 1–2 day
 //! RCT as the calibration set right before deployment).
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coverage;
 pub mod cqr;
 pub mod score;

@@ -15,7 +15,8 @@ use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
 use nn::McStats;
-use uplift::RoiModel;
+use uplift::error::check_both_groups;
+use uplift::{FitError, RoiModel};
 
 /// A bootstrap ensemble of DRP models.
 #[derive(Debug, Clone)]
@@ -41,11 +42,22 @@ impl BootstrapDrp {
 
     /// Trains every replica on an independent bootstrap resample. This is
     /// the `B × train-time` cost the paper's complexity argument is about.
-    pub fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
-        assert!(!data.is_empty(), "BootstrapDrp::fit: empty dataset");
+    ///
+    /// # Errors
+    /// Returns [`FitError`] when the data is empty or single-group (the
+    /// resample-until-both-groups loop below would otherwise never
+    /// terminate), or when any replica's training fails.
+    pub fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        if data.is_empty() {
+            return Err(FitError::InvalidData(
+                "BootstrapDrp: empty dataset".to_string(),
+            ));
+        }
+        check_both_groups("BootstrapDrp", &data.t)?;
         self.models.clear();
         for _ in 0..self.n_models {
-            // Resample until both groups are present (cheap for RCT data).
+            // Resample until both groups are present (cheap for RCT data;
+            // guaranteed to terminate by the check above).
             let rows = loop {
                 let rows = rng.sample_with_replacement(data.len(), data.len());
                 let treated = rows.iter().filter(|&&i| data.t[i] == 1).count();
@@ -55,9 +67,10 @@ impl BootstrapDrp {
             };
             let resampled = data.subset(&rows);
             let mut model = DrpModel::new(self.config.clone());
-            model.fit(&resampled, rng);
+            model.fit(&resampled, rng)?;
             self.models.push(model);
         }
+        Ok(())
     }
 
     /// Number of fitted replicas.
@@ -127,7 +140,7 @@ mod tests {
         let train = gen.sample(2000, Population::Base, &mut rng);
         let test = gen.sample(300, Population::Base, &mut rng);
         let mut ens = BootstrapDrp::new(quick_config(), 5);
-        ens.fit(&train, &mut rng);
+        ens.fit(&train, &mut rng).unwrap();
         assert_eq!(ens.len(), 5);
         let stats = ens.ensemble_roi(&test.x, 1e-9);
         assert_eq!(stats.mean.len(), 300);
@@ -142,7 +155,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(1);
         let train = gen.sample(1000, Population::Base, &mut rng);
         let mut ens = BootstrapDrp::new(quick_config(), 1);
-        ens.fit(&train, &mut rng);
+        ens.fit(&train, &mut rng).unwrap();
         let stats = ens.ensemble_roi(&train.x, 1e-6);
         assert!(stats.std.iter().all(|&s| s == 1e-6));
     }
@@ -152,5 +165,18 @@ mod tests {
     fn predict_before_fit_panics() {
         let ens = BootstrapDrp::new(quick_config(), 3);
         let _ = ens.ensemble_roi(&Matrix::zeros(1, 12), 1e-9);
+    }
+
+    #[test]
+    fn single_group_data_is_a_typed_error_not_a_hang() {
+        // Regression: the resample loop used to spin forever on
+        // single-group data because no resample could contain both arms.
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(2);
+        let mut train = gen.sample(200, Population::Base, &mut rng);
+        train.t = vec![1; train.len()];
+        let mut ens = BootstrapDrp::new(quick_config(), 2);
+        let err = ens.fit(&train, &mut rng).unwrap_err();
+        assert!(matches!(err, uplift::FitError::InvalidData(_)));
     }
 }

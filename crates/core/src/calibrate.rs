@@ -16,6 +16,50 @@
 //! AUCC, so the choice adapts to whichever failure mode (covariate shift
 //! vs undertraining) the deployment data exhibits.
 
+/// How a fitted rDRP degraded when its calibration inputs were unusable.
+///
+/// Degradation is a *warning*, not an error: the model still serves
+/// finite, usable scores — it just falls down the ladder
+/// `rDRP → plain DRP ranking` and records why, so operators (and the
+/// CLI) can surface the condition instead of silently shipping an
+/// uncalibrated model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Algorithm 2 could not find `roi*` on the calibration labels
+    /// (missing treatment group or non-positive mean cost uplift).
+    DegenerateLabels,
+    /// The calibration-set MC-dropout stds were near-constant, so the
+    /// conformal score carries no per-individual information and every
+    /// Eq. 5 form collapses to a monotone transform of the point
+    /// estimate.
+    DegenerateUncertainty,
+}
+
+tinyjson::json_unit_enum!(DegradedMode {
+    DegenerateLabels,
+    DegenerateUncertainty
+});
+
+impl DegradedMode {
+    /// Human-readable explanation for warnings.
+    pub fn reason(self) -> &'static str {
+        match self {
+            DegradedMode::DegenerateLabels => {
+                "roi* search failed on the calibration labels; serving plain DRP ranking"
+            }
+            DegradedMode::DegenerateUncertainty => {
+                "calibration MC-dropout std is near-constant; serving plain DRP ranking"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DegradedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.reason())
+    }
+}
+
 /// One of the paper's calibration forms, plus the identity for ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CalibrationForm {

@@ -66,6 +66,12 @@ pub struct RdrpConfig {
     pub search_eps: f64,
     /// Floor for the MC std before dividing (keeps Eq. 3 finite).
     pub std_floor: f64,
+    /// Spread threshold below which the calibration-set MC stds are
+    /// declared degenerate (near-constant uncertainty): when
+    /// `max(std) − min(std)` on the calibration set is at most this
+    /// value, rDRP falls back to plain DRP ranking in
+    /// [`crate::calibrate::DegradedMode::DegenerateUncertainty`].
+    pub std_degeneracy_eps: f64,
 }
 
 tinyjson::json_struct!(RdrpConfig {
@@ -74,7 +80,8 @@ tinyjson::json_struct!(RdrpConfig {
     mc_dropout,
     alpha,
     search_eps,
-    std_floor
+    std_floor,
+    std_degeneracy_eps
 });
 
 impl Default for RdrpConfig {
@@ -90,6 +97,9 @@ impl Default for RdrpConfig {
             // score (and hence q̂) up by orders of magnitude; 1e-3 is
             // ~1% of a typical MC std.
             std_floor: 1e-3,
+            // A healthy MC-dropout pass spreads stds by ~1e-2; a spread
+            // at the floor's own scale means the stds are all the floor.
+            std_degeneracy_eps: 1e-6,
         }
     }
 }
@@ -117,6 +127,9 @@ impl RdrpConfig {
         }
         if self.std_floor <= 0.0 {
             return Some("std_floor must be positive".into());
+        }
+        if self.std_degeneracy_eps < 0.0 {
+            return Some("std_degeneracy_eps must be non-negative".into());
         }
         None
     }

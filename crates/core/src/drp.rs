@@ -8,7 +8,8 @@ use linalg::stats::Standardizer;
 use linalg::vector::sigmoid;
 use linalg::Matrix;
 use nn::{mc_predict_map, Activation, McStats, Mlp, TrainConfig};
-use uplift::RoiModel;
+use uplift::error::{check_both_groups, check_xty};
+use uplift::{FitError, RoiModel};
 
 /// Direct ROI Prediction: a one-hidden-layer network scoring `ŝ(x)` whose
 /// sigmoid is an unbiased ROI estimate when the Eq. (2) loss converges.
@@ -24,7 +25,7 @@ tinyjson::json_struct!(DrpModel { config, state });
 struct Fitted {
     scaler: Standardizer,
     net: Mlp,
-    final_loss: f64,
+    final_loss: Option<f64>,
 }
 
 tinyjson::json_struct!(Fitted {
@@ -51,6 +52,7 @@ impl DrpModel {
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`].
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_score(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
@@ -62,6 +64,7 @@ impl DrpModel {
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`] or when `passes == 0`.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn mc_roi(&self, x: &Matrix, passes: usize, std_floor: f64, rng: &mut Prng) -> McStats {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
@@ -72,6 +75,10 @@ impl DrpModel {
     /// overridden to `rate` for the MC passes (the paper adds the MC
     /// dropout layer at inference, so its rate is independent of
     /// training).
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`] or when `passes == 0`.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn mc_roi_with_rate(
         &self,
         x: &Matrix,
@@ -87,11 +94,13 @@ impl DrpModel {
     }
 
     /// Final training loss (diagnostic; the paper's Fig. 3 is about this
-    /// value failing to reach the convergence point).
+    /// value failing to reach the convergence point). `None` when the
+    /// trainer ran for zero epochs.
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`].
-    pub fn final_loss(&self) -> f64 {
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn final_loss(&self) -> Option<f64> {
         self.state.as_ref().expect("DrpModel: fit first").final_loss
     }
 }
@@ -101,13 +110,10 @@ impl RoiModel for DrpModel {
         "DRP".to_string()
     }
 
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
-        assert!(!data.is_empty(), "DrpModel::fit: empty dataset");
-        let n1 = data.n_treated();
-        assert!(
-            n1 > 0 && n1 < data.len(),
-            "DrpModel::fit: need both treated and control samples"
-        );
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("DRP", &data.x, &data.t, &data.y_r)?;
+        check_xty("DRP", &data.x, &data.t, &data.y_c)?;
+        check_both_groups("DRP", &data.t)?;
         let (scaler, z) = {
             let s = Standardizer::fit(&data.x);
             let z = s.transform(&data.x);
@@ -127,12 +133,13 @@ impl RoiModel for DrpModel {
             weight_decay: self.config.weight_decay,
             ..TrainConfig::default()
         };
-        let report = nn::train(&mut net, &z, &objective, &cfg, rng);
+        let report = nn::train(&mut net, &z, &objective, &cfg, rng)?;
         self.state = Some(Fitted {
             scaler,
             net,
             final_loss: report.final_loss(),
         });
+        Ok(())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
@@ -155,7 +162,7 @@ mod tests {
             epochs,
             ..DrpConfig::default()
         });
-        m.fit(&train, &mut rng);
+        m.fit(&train, &mut rng).unwrap();
         (m, train, test)
     }
 
@@ -205,7 +212,7 @@ mod tests {
     fn more_training_lowers_loss() {
         let (short, _, _) = fitted(4000, 3, 6);
         let (long, _, _) = fitted(4000, 40, 6);
-        assert!(long.final_loss() < short.final_loss());
+        assert!(long.final_loss().unwrap() < short.final_loss().unwrap());
     }
 
     #[test]

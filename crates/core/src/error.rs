@@ -1,0 +1,85 @@
+//! Typed pipeline failures.
+//!
+//! [`PipelineError`] is the outermost layer of the error hierarchy:
+//!
+//! ```text
+//! nn::TrainError  →  uplift::FitError  →  rdrp::PipelineError
+//! ```
+//!
+//! Construction-time problems (a bad [`crate::RdrpConfig`], zero
+//! treatment arms) are [`PipelineError::Config`]; malformed allocator
+//! inputs are [`PipelineError::Data`]; everything that goes wrong while
+//! fitting arrives as [`PipelineError::Fit`] via the `From` chain.
+
+use std::fmt;
+use uplift::FitError;
+
+/// Why an rDRP pipeline stage could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A configuration value is out of range (caught at construction).
+    Config(String),
+    /// Non-fit inputs (allocation scores, costs, budget) are malformed.
+    Data(String),
+    /// Training or calibration failed (see [`uplift::FitError`]).
+    Fit(FitError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::Data(msg) => write!(f, "invalid input data: {msg}"),
+            PipelineError::Fit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FitError> for PipelineError {
+    fn from(e: FitError) -> Self {
+        PipelineError::Fit(e)
+    }
+}
+
+impl From<nn::TrainError> for PipelineError {
+    fn from(e: nn::TrainError) -> Self {
+        PipelineError::Fit(FitError::Train(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_chain_reaches_train_errors() {
+        let e: PipelineError = nn::TrainError::EmptyDataset.into();
+        assert!(matches!(
+            e,
+            PipelineError::Fit(FitError::Train(nn::TrainError::EmptyDataset))
+        ));
+        // source() walks back down the chain.
+        use std::error::Error;
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("training failed"));
+    }
+
+    #[test]
+    fn config_and_data_render_their_message() {
+        assert!(PipelineError::Config("alpha out of range".into())
+            .to_string()
+            .contains("alpha"));
+        assert!(PipelineError::Data("ragged costs".into())
+            .to_string()
+            .contains("ragged"));
+    }
+}

@@ -20,6 +20,11 @@
 //! * [`allocator::greedy_allocate`] — Algorithm 1, the budgeted greedy
 //!   C-BTAP solver that consumes the ROI ranking.
 //!
+//! Every fitting path is fallible: construction-time problems surface as
+//! [`PipelineError`], fitting problems as [`uplift::FitError`] (which
+//! wraps [`nn::TrainError`]), and recoverable calibration degeneracies as
+//! [`calibrate::DegradedMode`] diagnostics rather than errors.
+//!
 //! # Example
 //!
 //! ```
@@ -37,8 +42,8 @@
 //!     drp: DrpConfig { epochs: 3, ..DrpConfig::default() },
 //!     mc_passes: 5,
 //!     ..RdrpConfig::default()
-//! });
-//! model.fit_with_calibration(&train, &calibration, &mut rng);
+//! }).unwrap();
+//! model.fit_with_calibration(&train, &calibration, &mut rng).unwrap();
 //!
 //! let customers = gen.sample(500, Population::Base, &mut rng);
 //! let scores = model.predict_scores(&customers.x, &mut rng);
@@ -48,11 +53,15 @@
 //! assert!(allocation.spent <= budget);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod allocator;
 pub mod bootstrap_uq;
 pub mod calibrate;
 pub mod config;
 pub mod drp;
+pub mod error;
 pub mod loss;
 pub mod multi;
 pub mod persist;
@@ -61,11 +70,12 @@ pub mod search;
 
 pub use allocator::{greedy_allocate, optimal_allocate_dp, Allocation};
 pub use bootstrap_uq::BootstrapDrp;
-pub use calibrate::CalibrationForm;
+pub use calibrate::{CalibrationForm, DegradedMode};
 pub use config::{DrpConfig, RdrpConfig};
 pub use drp::DrpModel;
+pub use error::PipelineError;
 pub use loss::DrpObjective;
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
 pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp, PersistError};
 pub use rdrp::{Rdrp, RdrpDiagnostics};
-pub use search::find_roi_star;
+pub use search::{find_roi_star, SearchError};

@@ -8,10 +8,12 @@
 //! arms (each individual receives at most one treatment).
 
 use crate::config::RdrpConfig;
+use crate::error::PipelineError;
 use crate::rdrp::Rdrp;
 use datasets::multi::MultiRctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
+use uplift::FitError;
 
 /// One rDRP per treatment arm, trained on that arm's binarized RCT.
 #[derive(Debug, Clone)]
@@ -23,14 +25,19 @@ pub struct DivideAndConquerRdrp {
 impl DivideAndConquerRdrp {
     /// Creates `n_levels` unfitted rDRP models sharing one configuration.
     ///
-    /// # Panics
-    /// Panics when `n_levels` is 0 or the config is invalid.
-    pub fn new(config: RdrpConfig, n_levels: u8) -> Self {
-        assert!(n_levels >= 1, "need at least one treatment arm");
-        DivideAndConquerRdrp {
-            models: (0..n_levels).map(|_| Rdrp::new(config.clone())).collect(),
-            n_levels,
+    /// # Errors
+    /// Returns [`PipelineError::Config`] when `n_levels` is 0 or the
+    /// configuration is invalid.
+    pub fn new(config: RdrpConfig, n_levels: u8) -> Result<Self, PipelineError> {
+        if n_levels == 0 {
+            return Err(PipelineError::Config(
+                "need at least one treatment arm".to_string(),
+            ));
         }
+        let models = (0..n_levels)
+            .map(|_| Rdrp::new(config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DivideAndConquerRdrp { models, n_levels })
     }
 
     /// Number of treatment arms.
@@ -40,20 +47,34 @@ impl DivideAndConquerRdrp {
 
     /// Fits each arm's rDRP on the binarized train/calibration pair.
     ///
-    /// # Panics
-    /// Panics if the datasets have a different number of arms than this
-    /// model.
-    pub fn fit(&mut self, train: &MultiRctDataset, calibration: &MultiRctDataset, rng: &mut Prng) {
-        assert_eq!(train.n_levels, self.n_levels, "train arm-count mismatch");
-        assert_eq!(
-            calibration.n_levels, self.n_levels,
-            "calibration arm-count mismatch"
-        );
+    /// # Errors
+    /// Returns [`FitError::InvalidData`] when the datasets have a
+    /// different number of arms than this model, and propagates any
+    /// per-arm fitting failure.
+    pub fn fit(
+        &mut self,
+        train: &MultiRctDataset,
+        calibration: &MultiRctDataset,
+        rng: &mut Prng,
+    ) -> Result<(), FitError> {
+        if train.n_levels != self.n_levels {
+            return Err(FitError::InvalidData(format!(
+                "train arm-count mismatch: {} vs {}",
+                train.n_levels, self.n_levels
+            )));
+        }
+        if calibration.n_levels != self.n_levels {
+            return Err(FitError::InvalidData(format!(
+                "calibration arm-count mismatch: {} vs {}",
+                calibration.n_levels, self.n_levels
+            )));
+        }
         for k in 1..=self.n_levels {
             let bt = train.to_binary(k);
             let bc = calibration.to_binary(k);
-            self.models[(k - 1) as usize].fit_with_calibration(&bt, &bc, rng);
+            self.models[(k - 1) as usize].fit_with_calibration(&bt, &bc, rng)?;
         }
+        Ok(())
     }
 
     /// Per-arm ranking scores for every row of `x`:
@@ -130,25 +151,45 @@ pub struct MultiAllocation {
 /// `scores[k][i]` and `costs[k][i]` are arm `k+1`'s score and expected
 /// incremental cost for individual `i`.
 ///
-/// # Panics
-/// Panics on ragged inputs, non-positive costs, or a negative budget.
+/// # Errors
+/// Returns [`PipelineError::Data`] on ragged inputs, non-positive costs,
+/// or a budget that is negative or NaN.
 pub fn greedy_allocate_multi(
     scores: &[Vec<f64>],
     costs: &[Vec<f64>],
     budget: f64,
-) -> MultiAllocation {
-    assert!(!scores.is_empty(), "greedy_allocate_multi: no arms");
-    assert_eq!(scores.len(), costs.len(), "arms mismatch");
+) -> Result<MultiAllocation, PipelineError> {
+    if scores.is_empty() {
+        return Err(PipelineError::Data(
+            "greedy_allocate_multi: no arms".to_string(),
+        ));
+    }
+    if scores.len() != costs.len() {
+        return Err(PipelineError::Data(format!(
+            "greedy_allocate_multi: {} score arms but {} cost arms",
+            scores.len(),
+            costs.len()
+        )));
+    }
     let n = scores[0].len();
     for (k, (s, c)) in scores.iter().zip(costs).enumerate() {
-        assert_eq!(s.len(), n, "ragged scores at arm {k}");
-        assert_eq!(c.len(), n, "ragged costs at arm {k}");
-        assert!(
-            c.iter().all(|&v| v > 0.0),
-            "costs must be positive (Assumption 4)"
-        );
+        if s.len() != n {
+            return Err(PipelineError::Data(format!("ragged scores at arm {k}")));
+        }
+        if c.len() != n {
+            return Err(PipelineError::Data(format!("ragged costs at arm {k}")));
+        }
+        if !c.iter().all(|&v| v > 0.0) {
+            return Err(PipelineError::Data(format!(
+                "arm {k}: costs must be positive (Assumption 4)"
+            )));
+        }
     }
-    assert!(budget >= 0.0, "negative budget");
+    if budget.is_nan() || budget < 0.0 {
+        return Err(PipelineError::Data(format!(
+            "budget {budget} must be non-negative"
+        )));
+    }
     // Flatten and sort (arm, individual) pairs by score.
     let mut pairs: Vec<(usize, usize)> = (0..scores.len())
         .flat_map(|k| (0..n).map(move |i| (k, i)))
@@ -173,11 +214,11 @@ pub fn greedy_allocate_multi(
         spent += cost;
         n_treated += 1;
     }
-    MultiAllocation {
+    Ok(MultiAllocation {
         assigned,
         spent,
         n_treated,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -192,7 +233,7 @@ mod tests {
         // Two arms, three individuals.
         let scores = vec![vec![0.9, 0.1, 0.5], vec![0.8, 0.7, 0.2]];
         let costs = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
-        let alloc = greedy_allocate_multi(&scores, &costs, 3.0);
+        let alloc = greedy_allocate_multi(&scores, &costs, 3.0).unwrap();
         // Best pair: (arm1, ind0, 0.9, cost 1). Next (arm2, ind0) skipped
         // (ind0 taken). Then (arm2, ind1, 0.7, cost 2) fits.
         assert_eq!(alloc.assigned[0], Some(1));
@@ -207,7 +248,7 @@ mod tests {
         let scores = vec![vec![0.9, 0.5]];
         let costs = vec![vec![10.0, 1.0]];
         // The best pair does not fit; the next one does.
-        let alloc = greedy_allocate_multi(&scores, &costs, 1.5);
+        let alloc = greedy_allocate_multi(&scores, &costs, 1.5).unwrap();
         assert_eq!(alloc.assigned[0], None);
         assert_eq!(alloc.assigned[1], Some(1));
     }
@@ -216,7 +257,7 @@ mod tests {
     fn each_individual_gets_at_most_one_arm() {
         let scores = vec![vec![0.9; 5], vec![0.8; 5], vec![0.7; 5]];
         let costs = vec![vec![0.1; 5]; 3];
-        let alloc = greedy_allocate_multi(&scores, &costs, 100.0);
+        let alloc = greedy_allocate_multi(&scores, &costs, 100.0).unwrap();
         assert_eq!(alloc.n_treated, 5);
         assert!(alloc.assigned.iter().all(|a| a.is_some()));
     }
@@ -236,8 +277,8 @@ mod tests {
             mc_passes: 15,
             ..RdrpConfig::default()
         };
-        let mut dc = DivideAndConquerRdrp::new(config, 2);
-        dc.fit(&train, &calib, &mut rng);
+        let mut dc = DivideAndConquerRdrp::new(config, 2).unwrap();
+        dc.fit(&train, &calib, &mut rng).unwrap();
         let scores = dc.predict_scores(&test.x, &mut rng);
         assert_eq!(scores.len(), 2);
         assert_eq!(scores[0].len(), test.len());
@@ -247,7 +288,7 @@ mod tests {
         let costs = test.true_tau_c.clone().unwrap();
         let values = test.true_tau_r.clone().unwrap();
         let budget = 0.2 * costs[0].iter().sum::<f64>();
-        let alloc = greedy_allocate_multi(&scores, &costs, budget);
+        let alloc = greedy_allocate_multi(&scores, &costs, budget).unwrap();
         assert!(alloc.spent <= budget);
         let captured: f64 = alloc
             .assigned
@@ -259,7 +300,7 @@ mod tests {
         let rand_scores: Vec<Vec<f64>> = (0..2)
             .map(|_| (0..test.len()).map(|_| rng.uniform()).collect())
             .collect();
-        let rand_alloc = greedy_allocate_multi(&rand_scores, &costs, budget);
+        let rand_alloc = greedy_allocate_multi(&rand_scores, &costs, budget).unwrap();
         let rand_captured: f64 = rand_alloc
             .assigned
             .iter()
@@ -287,8 +328,8 @@ mod tests {
             mc_passes: 10,
             ..RdrpConfig::default()
         };
-        let mut dc = DivideAndConquerRdrp::new(config, 3);
-        dc.fit(&train, &calib, &mut rng);
+        let mut dc = DivideAndConquerRdrp::new(config, 3).unwrap();
+        dc.fit(&train, &calib, &mut rng).unwrap();
         let comparable = dc.predict_comparable_scores(&test.x, &mut rng);
         // All arms' scores live in (0, 1) — the common ROI scale.
         for (k, arm_scores) in comparable.iter().enumerate() {
@@ -308,14 +349,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "arm-count mismatch")]
-    fn mismatched_arms_panic() {
+    fn mismatched_arms_is_a_typed_error() {
         let gen2 = MultiCouponGenerator::new(2);
         let gen3 = MultiCouponGenerator::new(3);
         let mut rng = Prng::seed_from_u64(1);
         let train = gen3.sample(500, Population::Base, &mut rng);
         let calib = gen2.sample(500, Population::Base, &mut rng);
-        let mut dc = DivideAndConquerRdrp::new(RdrpConfig::default(), 3);
-        dc.fit(&train, &calib, &mut rng);
+        let mut dc = DivideAndConquerRdrp::new(RdrpConfig::default(), 3).unwrap();
+        let err = dc.fit(&train, &calib, &mut rng).unwrap_err();
+        assert!(matches!(err, FitError::InvalidData(_)));
+        assert!(err.to_string().contains("arm-count mismatch"));
+    }
+
+    #[test]
+    fn zero_arms_is_a_config_error() {
+        assert!(matches!(
+            DivideAndConquerRdrp::new(RdrpConfig::default(), 0),
+            Err(PipelineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn allocator_rejects_malformed_inputs() {
+        let scores = vec![vec![0.5, 0.5]];
+        let costs = vec![vec![1.0, 1.0]];
+        assert!(matches!(
+            greedy_allocate_multi(&[], &[], 1.0),
+            Err(PipelineError::Data(_))
+        ));
+        assert!(greedy_allocate_multi(&scores, &[vec![1.0]], 1.0).is_err());
+        assert!(greedy_allocate_multi(&scores, &[vec![0.0, 1.0]], 1.0).is_err());
+        assert!(greedy_allocate_multi(&scores, &costs, -1.0).is_err());
+        assert!(greedy_allocate_multi(&scores, &costs, f64::NAN).is_err());
     }
 }

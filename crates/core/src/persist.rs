@@ -95,7 +95,7 @@ mod tests {
             epochs: 5,
             ..DrpConfig::default()
         });
-        model.fit(&train, &mut rng);
+        model.fit(&train, &mut rng).unwrap();
         let path = tmp("drp");
         save_drp(&model, &path).unwrap();
         let loaded = load_drp(&path).unwrap();
@@ -117,8 +117,9 @@ mod tests {
             },
             mc_passes: 10,
             ..RdrpConfig::default()
-        });
-        model.fit_with_calibration(&train, &cal, &mut rng);
+        })
+        .unwrap();
+        model.fit_with_calibration(&train, &cal, &mut rng).unwrap();
         let path = tmp("rdrp");
         save_rdrp(&model, &path).unwrap();
         let loaded = load_rdrp(&path).unwrap();

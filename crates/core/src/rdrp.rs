@@ -12,15 +12,16 @@
 //!    q̂ to obtain the calibrated ranking scores.
 //! ```
 
-use crate::calibrate::CalibrationForm;
+use crate::calibrate::{CalibrationForm, DegradedMode};
 use crate::config::RdrpConfig;
 use crate::drp::DrpModel;
+use crate::error::PipelineError;
 use crate::search::{find_roi_star, SearchError};
 use conformal::{Interval, SplitConformal};
 use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
-use uplift::RoiModel;
+use uplift::{FitError, RoiModel};
 
 /// What the calibration phase produced (inspectable diagnostics).
 #[derive(Debug, Clone)]
@@ -38,6 +39,9 @@ pub struct RdrpDiagnostics {
     pub form_auccs: Vec<(CalibrationForm, f64)>,
     /// Calibration-set size.
     pub n_calibration: usize,
+    /// Set when the pipeline could not calibrate and degraded to plain
+    /// DRP ranking (a warning, not an error — scores stay usable).
+    pub degraded: Option<DegradedMode>,
 }
 
 tinyjson::json_struct!(RdrpDiagnostics {
@@ -45,7 +49,8 @@ tinyjson::json_struct!(RdrpDiagnostics {
     qhat,
     selected_form,
     form_auccs,
-    n_calibration
+    n_calibration,
+    degraded
 });
 
 /// Bootstrap resamples used by the form-selection significance test.
@@ -190,19 +195,20 @@ tinyjson::json_struct!(Calibrated {
 impl Rdrp {
     /// Creates an unfitted rDRP model.
     ///
-    /// # Panics
-    /// Panics if the configuration is invalid.
-    pub fn new(config: RdrpConfig) -> Self {
+    /// # Errors
+    /// Returns [`PipelineError::Config`] when the configuration is
+    /// invalid (e.g. `alpha` outside (0, 1)).
+    pub fn new(config: RdrpConfig) -> Result<Self, PipelineError> {
         if let Some(problem) = config.validate() {
-            panic!("Rdrp::new: invalid config: {problem}");
+            return Err(PipelineError::Config(problem));
         }
         let drp = DrpModel::new(config.drp.clone());
-        Rdrp {
+        Ok(Rdrp {
             config,
             drp,
             state: None,
             internal_calib_fraction: 0.2,
-        }
+        })
     }
 
     /// The underlying (trained) DRP model.
@@ -214,6 +220,7 @@ impl Rdrp {
     ///
     /// # Panics
     /// Panics before fitting.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn diagnostics(&self) -> &RdrpDiagnostics {
         &self
             .state
@@ -222,19 +229,53 @@ impl Rdrp {
             .diagnostics
     }
 
+    /// Whether (and how) the last fit degraded to plain DRP ranking.
+    /// `None` before fitting or when calibration succeeded.
+    pub fn degraded(&self) -> Option<DegradedMode> {
+        self.state.as_ref().and_then(|s| s.diagnostics.degraded)
+    }
+
     /// The full Algorithm 4: trains DRP on `train` and calibrates the
     /// conformal interval + form selection on `calibration` (the fresh
     /// pre-deployment RCT whose distribution matches the test population,
     /// Assumption 6).
+    ///
+    /// Degenerate calibration inputs do **not** fail the fit: when the
+    /// `roi*` search cannot run on the calibration labels, or when the
+    /// MC-dropout uncertainty is near-constant across the calibration
+    /// set (so the conformal score carries no ranking information), the
+    /// model degrades to plain DRP ranking and records why in
+    /// [`RdrpDiagnostics::degraded`].
+    ///
+    /// # Errors
+    /// Returns [`FitError`] when the training data is malformed, DRP
+    /// training diverges beyond its retry budget, or conformal
+    /// calibration itself fails.
     pub fn fit_with_calibration(
         &mut self,
         train: &RctDataset,
         calibration: &RctDataset,
         rng: &mut Prng,
-    ) {
-        assert!(!calibration.is_empty(), "Rdrp: empty calibration set");
+    ) -> Result<(), FitError> {
+        if calibration.is_empty() {
+            return Err(FitError::InvalidData(
+                "rDRP: empty calibration set".to_string(),
+            ));
+        }
+        uplift::error::check_xty(
+            "rDRP calibration",
+            &calibration.x,
+            &calibration.t,
+            &calibration.y_r,
+        )?;
+        uplift::error::check_xty(
+            "rDRP calibration",
+            &calibration.x,
+            &calibration.t,
+            &calibration.y_c,
+        )?;
         // Step 1: train DRP.
-        self.drp.fit(train, rng);
+        self.drp.fit(train, rng)?;
         // Step 2 on the calibration set.
         let preds = self.drp.predict_roi(&calibration.x);
         let mc = self.drp.mc_roi_with_rate(
@@ -251,19 +292,11 @@ impl Rdrp {
             self.config.search_eps,
         ) {
             Ok(v) => v,
-            Err(e @ (SearchError::MissingGroup | SearchError::NonPositiveCostUplift { .. })) => {
+            Err(SearchError::MissingGroup | SearchError::NonPositiveCostUplift { .. }) => {
                 // Degenerate calibration sample: fall back to plain DRP
                 // (q̂ = 0 makes every form reduce to a monotone transform
                 // of the point estimate — Identity keeps it exact).
-                let diagnostics = RdrpDiagnostics {
-                    roi_star: None,
-                    qhat: 0.0,
-                    selected_form: CalibrationForm::Identity,
-                    form_auccs: Vec::new(),
-                    n_calibration: calibration.len(),
-                };
                 // A q̂ = 0 conformal object keeps predict_intervals usable.
-                let _ = e; // the reason is recorded via roi_star = None
                 self.state = Some(Calibrated {
                     conformal: SplitConformal::from_quantile(
                         0.0,
@@ -272,9 +305,22 @@ impl Rdrp {
                         self.config.std_floor,
                     ),
                     form: CalibrationForm::Identity,
-                    diagnostics,
+                    diagnostics: RdrpDiagnostics {
+                        roi_star: None,
+                        qhat: 0.0,
+                        selected_form: CalibrationForm::Identity,
+                        form_auccs: Vec::new(),
+                        n_calibration: calibration.len(),
+                        degraded: Some(DegradedMode::DegenerateLabels),
+                    },
                 });
-                return;
+                return Ok(());
+            }
+            // The tolerance is config-validated, but keep the error typed
+            // rather than unreachable!() — a future config path may skip
+            // validation.
+            Err(e @ SearchError::InvalidTolerance { .. }) => {
+                return Err(FitError::Calibration(e.to_string()));
             }
         };
         let truths = vec![roi_star; calibration.len()];
@@ -285,7 +331,38 @@ impl Rdrp {
             self.config.alpha,
             self.config.std_floor,
         )
-        .expect("non-empty calibration set and validated alpha");
+        .map_err(|e| FitError::Calibration(e.to_string()))?;
+        // Degenerate-uncertainty guard: when the calibration-set MC stds
+        // are (near-)constant — e.g. dropout disabled, or every pass
+        // floored at `std_floor` — the conformal score `|roi* − r̂oi|/r̂`
+        // is a monotone transform of the point estimate and the interval
+        // widths carry no per-individual information. Form selection on
+        // such scores is noise-chasing; degrade to plain DRP ranking and
+        // say so.
+        let spread = {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &s in &mc.std {
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+            hi - lo
+        };
+        if spread <= self.config.std_degeneracy_eps {
+            self.state = Some(Calibrated {
+                form: CalibrationForm::Identity,
+                diagnostics: RdrpDiagnostics {
+                    roi_star: Some(roi_star),
+                    qhat: conformal.qhat(),
+                    selected_form: CalibrationForm::Identity,
+                    form_auccs: Vec::new(),
+                    n_calibration: calibration.len(),
+                    degraded: Some(DegradedMode::DegenerateUncertainty),
+                },
+                conformal,
+            });
+            return Ok(());
+        }
         // Step 2(v): select the form by calibration-set AUCC. Calibration
         // labels are noisy (AUCC on a few thousand RCT rows has sampling
         // error comparable to the form effects), so the selection is a
@@ -311,12 +388,14 @@ impl Rdrp {
             selected_form: selected,
             form_auccs,
             n_calibration: calibration.len(),
+            degraded: None,
         };
         self.state = Some(Calibrated {
             conformal,
             form: selected,
             diagnostics,
         });
+        Ok(())
     }
 
     /// Conformal prediction intervals `C(x)` for test points, clipped to
@@ -324,6 +403,7 @@ impl Rdrp {
     ///
     /// # Panics
     /// Panics before fitting.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_intervals(&self, x: &Matrix, rng: &mut Prng) -> Vec<Interval> {
         let state = self.state.as_ref().expect("Rdrp: fit before predict");
         let preds = self.drp.predict_roi(x);
@@ -349,6 +429,7 @@ impl Rdrp {
     ///
     /// # Panics
     /// Panics before fitting.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<f64> {
         let state = self.state.as_ref().expect("Rdrp: fit before predict");
         let preds = self.drp.predict_roi(x);
@@ -381,14 +462,19 @@ impl RoiModel for Rdrp {
     /// [`Rdrp::fit_with_calibration`] with a *fresh* RCT matching the
     /// deployment distribution — that freshness is the entire point of
     /// the method under covariate shift.
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
-        assert!(data.len() >= 10, "Rdrp::fit: dataset too small to split");
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        if data.len() < 10 {
+            return Err(FitError::InvalidData(format!(
+                "rDRP: dataset of {} rows is too small to split for internal calibration",
+                data.len()
+            )));
+        }
         let order = rng.permutation(data.len());
         let n_cal = ((data.len() as f64 * self.internal_calib_fraction).round() as usize)
             .clamp(1, data.len() - 1);
         let calibration = data.subset(&order[..n_cal]);
         let train = data.subset(&order[n_cal..]);
-        self.fit_with_calibration(&train, &calibration, rng);
+        self.fit_with_calibration(&train, &calibration, rng)
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
@@ -422,10 +508,12 @@ mod tests {
         let train = gen.sample(6000, Population::Base, &mut rng);
         let cal = gen.sample(2000, Population::Base, &mut rng);
         let test = gen.sample(2000, Population::Base, &mut rng);
-        let mut m = Rdrp::new(small_config());
-        m.fit_with_calibration(&train, &cal, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
         let d = m.diagnostics();
         assert!(d.roi_star.is_some());
+        assert_eq!(d.degraded, None);
+        assert_eq!(m.degraded(), None);
         let roi_star = d.roi_star.unwrap();
         assert!((0.0..1.0).contains(&roi_star), "roi* = {roi_star}");
         assert!(d.qhat > 0.0 && d.qhat.is_finite());
@@ -446,8 +534,8 @@ mod tests {
         let train = gen.sample(6000, Population::Base, &mut rng);
         let cal = gen.sample(3000, Population::Base, &mut rng);
         let test = gen.sample(3000, Population::Base, &mut rng);
-        let mut m = Rdrp::new(small_config());
-        m.fit_with_calibration(&train, &cal, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
         let ivs = m.predict_intervals(&test.x, &mut rng);
         let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).unwrap();
         let covered = ivs.iter().filter(|iv| iv.contains(roi_star_test)).count();
@@ -472,8 +560,9 @@ mod tests {
         for seed in 0..3u64 {
             let mut rng = Prng::seed_from_u64(100 + seed);
             let data = ExperimentData::build(&gen, Setting::InCo, &sizes, &mut rng);
-            let mut m = Rdrp::new(small_config());
-            m.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+            let mut m = Rdrp::new(small_config()).unwrap();
+            m.fit_with_calibration(&data.train, &data.calibration, &mut rng)
+                .unwrap();
             let rdrp_scores = m.predict_roi(&data.test.x);
             let drp_scores = m.drp().predict_roi(&data.test.x);
             let a_rdrp = metrics::aucc_from_labels(&data.test, &rdrp_scores, 50);
@@ -495,14 +584,49 @@ mod tests {
         let mut cal = gen.sample(500, Population::Base, &mut rng);
         // Destroy the calibration cost labels: zero cost uplift.
         cal.y_c = vec![0.0; cal.len()];
-        let mut m = Rdrp::new(small_config());
-        m.fit_with_calibration(&train, &cal, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
         let d = m.diagnostics();
         assert_eq!(d.roi_star, None);
         assert_eq!(d.selected_form, CalibrationForm::Identity);
+        assert_eq!(d.degraded, Some(DegradedMode::DegenerateLabels));
+        assert_eq!(m.degraded(), Some(DegradedMode::DegenerateLabels));
         // Predictions equal plain DRP.
         let test = gen.sample(200, Population::Base, &mut rng);
         assert_eq!(m.predict_roi(&test.x), m.drp().predict_roi(&test.x));
+    }
+
+    #[test]
+    fn degenerate_uncertainty_falls_back_to_drp_ranking() {
+        // MC dropout disabled: every MC pass is identical, every std is
+        // floored to the same constant, and the spread hits 0 — the
+        // conformal score carries no per-individual information. The
+        // pipeline must flag DegenerateUncertainty, keep all scores
+        // finite, and rank exactly like plain DRP.
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(7);
+        let train = gen.sample(3000, Population::Base, &mut rng);
+        let cal = gen.sample(800, Population::Base, &mut rng);
+        let test = gen.sample(300, Population::Base, &mut rng);
+        let mut m = Rdrp::new(RdrpConfig {
+            mc_dropout: 0.0,
+            ..small_config()
+        })
+        .unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        let d = m.diagnostics();
+        assert_eq!(d.degraded, Some(DegradedMode::DegenerateUncertainty));
+        assert_eq!(d.selected_form, CalibrationForm::Identity);
+        assert!(d.form_auccs.is_empty());
+        // roi* and q̂ are still real — only the form degraded.
+        assert!(d.roi_star.is_some());
+        assert!(d.qhat.is_finite());
+        let scores = m.predict_roi(&test.x);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert_eq!(scores, m.drp().predict_roi(&test.x));
+        // Intervals stay usable (constant width, clipped to (0,1)).
+        let ivs = m.predict_intervals(&test.x, &mut rng);
+        assert!(ivs.iter().all(|iv| iv.lo.is_finite() && iv.hi.is_finite()));
     }
 
     #[test]
@@ -510,8 +634,8 @@ mod tests {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(3);
         let data = gen.sample(4000, Population::Base, &mut rng);
-        let mut m = Rdrp::new(small_config());
-        m.fit(&data, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        m.fit(&data, &mut rng).unwrap();
         assert_eq!(m.diagnostics().n_calibration, 800); // 20%
         let scores = m.predict_roi(&data.x);
         assert_eq!(scores.len(), 4000);
@@ -522,8 +646,8 @@ mod tests {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(4);
         let data = gen.sample(2000, Population::Base, &mut rng);
-        let mut m = Rdrp::new(small_config());
-        m.fit(&data, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        m.fit(&data, &mut rng).unwrap();
         let test = gen.sample(300, Population::Base, &mut rng);
         assert_eq!(m.predict_roi(&test.x), m.predict_roi(&test.x));
     }
@@ -555,12 +679,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid config")]
-    fn invalid_config_panics() {
+    fn invalid_config_is_a_typed_error() {
         let c = RdrpConfig {
             alpha: 2.0,
             ..RdrpConfig::default()
         };
-        let _ = Rdrp::new(c);
+        let err = Rdrp::new(c).unwrap_err();
+        assert!(matches!(err, PipelineError::Config(_)));
+        assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn too_small_dataset_is_a_typed_error() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(8);
+        let data = gen.sample(5, Population::Base, &mut rng);
+        let mut m = Rdrp::new(small_config()).unwrap();
+        let err = m.fit(&data, &mut rng).unwrap_err();
+        assert!(matches!(err, FitError::InvalidData(_)));
     }
 }

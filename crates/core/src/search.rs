@@ -22,6 +22,11 @@ pub enum SearchError {
         /// The offending estimate.
         tau_c: f64,
     },
+    /// The bisection tolerance is outside `(0, 0.5)`.
+    InvalidTolerance {
+        /// The offending tolerance.
+        eps: f64,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -34,6 +39,9 @@ impl fmt::Display for SearchError {
                 f,
                 "mean cost uplift {tau_c} is not positive; loss has no interior minimum"
             ),
+            SearchError::InvalidTolerance { eps } => {
+                write!(f, "search tolerance {eps} is outside (0, 0.5)")
+            }
         }
     }
 }
@@ -48,10 +56,9 @@ impl std::error::Error for SearchError {}
 /// noisy samples even though Assumption 3 bounds the population value —
 /// the search saturates at the nearest boundary.
 pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64, SearchError> {
-    assert!(
-        eps > 0.0 && eps < 0.5,
-        "find_roi_star: eps must be in (0, 0.5)"
-    );
+    if !(eps > 0.0 && eps < 0.5) {
+        return Err(SearchError::InvalidTolerance { eps });
+    }
     let n1 = t.iter().filter(|&&v| v == 1).count();
     if n1 == 0 || n1 == t.len() {
         return Err(SearchError::MissingGroup);
@@ -189,9 +196,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "eps must be in")]
-    fn bad_eps_panics() {
+    fn bad_eps_is_a_typed_error() {
         let (t, y_r, y_c) = labels_with_ratio(0.5, 10);
-        let _ = find_roi_star(&t, &y_r, &y_c, 0.7);
+        for bad in [0.7, 0.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                find_roi_star(&t, &y_r, &y_c, bad),
+                Err(SearchError::InvalidTolerance { .. })
+            ));
+        }
     }
 }

@@ -19,6 +19,9 @@
 //! law `P(Y | X)` is untouched — outcomes are always generated from the
 //! same structural functions of `x`.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod alibaba;
 pub mod criteo;
 pub mod csv;

@@ -108,6 +108,7 @@ impl MultiCouponGenerator {
 
     /// Samples a multi-arm RCT of `n` individuals with uniform arm
     /// assignment (control included).
+    #[allow(clippy::expect_used)] // the generators always record ground truth
     pub fn sample(&self, n: usize, population: Population, rng: &mut Prng) -> MultiRctDataset {
         assert!(n > 0, "cannot sample 0 individuals");
         let model = self.base.model();

@@ -118,6 +118,12 @@ impl RctDataset {
         if !self.x.is_finite() {
             return Some("x contains non-finite values".to_string());
         }
+        if self.y_r.iter().any(|v| !v.is_finite()) {
+            return Some("y_r contains non-finite values".to_string());
+        }
+        if self.y_c.iter().any(|v| !v.is_finite()) {
+            return Some("y_c contains non-finite values".to_string());
+        }
         if self.t.iter().any(|&t| t > 1) {
             return Some("treatment is not binary".to_string());
         }
@@ -181,5 +187,11 @@ mod tests {
         let mut bad = tiny();
         bad.t = vec![0, 1, 2];
         assert!(bad.validate().unwrap().contains("binary"));
+        let mut bad = tiny();
+        bad.y_r[1] = f64::NAN;
+        assert!(bad.validate().unwrap().contains("y_r"));
+        let mut bad = tiny();
+        bad.y_c[0] = f64::INFINITY;
+        assert!(bad.validate().unwrap().contains("y_c"));
     }
 }

@@ -125,6 +125,7 @@ impl Dense {
     /// When `cache` is true the inputs and pre-activations are retained
     /// for [`Dense::backward`]; inference passes should use `cache = false`
     /// to avoid the allocation.
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn forward(&mut self, x: &Matrix, cache: bool) -> Matrix {
         let z = x
             .matmul(&self.w)
@@ -144,6 +145,7 @@ impl Dense {
     /// operations in the same order as [`Dense::forward`], so results are
     /// bitwise identical; unlike `forward` it never writes caches, which
     /// makes it safe to call concurrently from many threads.
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn infer_into(&self, x: &Matrix, out: &mut Matrix) {
         x.matmul_into(&self.w, out)
             .expect("Dense::infer_into: input width must equal fan_in");
@@ -157,6 +159,7 @@ impl Dense {
     ///
     /// # Panics
     /// Panics if no cached forward pass is available.
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self
             .cache_x

@@ -89,6 +89,7 @@ impl Dropout {
 
     /// Forward pass. In stochastic modes a fresh mask is sampled; in
     /// [`Mode::Eval`] the layer is the identity.
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn forward(&mut self, x: &Matrix, mode: Mode, rng: &mut Prng) -> Matrix {
         if !mode.stochastic() || self.p == 0.0 {
             self.mask = None;
@@ -145,6 +146,7 @@ impl Dropout {
     /// # Panics
     /// Panics if the latest forward pass was not in [`Mode::Train`]
     /// (no mask is retained in other modes).
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         match &self.mask {
             Some(mask) => grad_out

@@ -1,0 +1,112 @@
+//! Typed training failures.
+//!
+//! The trainer is the innermost fallible layer of the pipeline: bad data
+//! (NaN features, empty sets) and bad hyperparameters (a learning rate
+//! that diverges) both surface here first. Every condition that used to
+//! panic is now a [`TrainError`] so callers can distinguish "your input
+//! is broken" from "training ran but blew up" and react — the `uplift`
+//! and `rdrp` crates wrap these in their own error types via `From`.
+
+use std::fmt;
+
+/// Why a training run could not produce a usable network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The training set has no rows.
+    EmptyDataset,
+    /// The scalar-objective trainer requires a 1-unit output layer.
+    NonScalarOutput {
+        /// The network's actual output dimension.
+        output_dim: usize,
+    },
+    /// Training diverged (non-finite loss or gradient) and every
+    /// rollback-and-halve-LR retry was exhausted.
+    Diverged {
+        /// Epoch (0-based) at which the final divergence was detected.
+        epoch: usize,
+        /// Number of rollback retries that were attempted before giving up.
+        attempts: usize,
+        /// What tripped the sentinel on the final attempt.
+        cause: DivergenceCause,
+    },
+}
+
+/// What the per-batch divergence sentinel observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivergenceCause {
+    /// The batch loss was NaN or infinite (bad labels/features, or the
+    /// optimizer stepped the weights into a non-finite region).
+    NonFiniteLoss {
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// The global gradient norm was NaN or infinite.
+    NonFiniteGradient,
+    /// The global gradient norm exceeded the configured hard limit
+    /// (an order of magnitude beyond the clip threshold — clipping keeps
+    /// the step bounded, but a norm this size means the loss surface has
+    /// been left behind and continuing wastes epochs).
+    ExplodingGradient {
+        /// The observed global gradient norm.
+        norm: f64,
+    },
+}
+
+impl fmt::Display for DivergenceCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceCause::NonFiniteLoss { loss } => {
+                write!(f, "non-finite batch loss ({loss})")
+            }
+            DivergenceCause::NonFiniteGradient => write!(f, "non-finite gradient norm"),
+            DivergenceCause::ExplodingGradient { norm } => {
+                write!(f, "gradient norm {norm:.3e} exceeded the divergence limit")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "training set is empty"),
+            TrainError::NonScalarOutput { output_dim } => write!(
+                f,
+                "scalar-objective trainer requires a 1-unit output layer, got {output_dim}"
+            ),
+            TrainError::Diverged {
+                epoch,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} ({cause}) after {attempts} rollback \
+                 retr{}",
+                if *attempts == 1 { "y" } else { "ies" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_facts() {
+        let e = TrainError::Diverged {
+            epoch: 7,
+            attempts: 3,
+            cause: DivergenceCause::NonFiniteLoss { loss: f64::NAN },
+        };
+        let s = e.to_string();
+        assert!(s.contains("epoch 7"), "{s}");
+        assert!(s.contains("3 rollback"), "{s}");
+        assert!(s.contains("non-finite batch loss"), "{s}");
+        assert!(TrainError::EmptyDataset.to_string().contains("empty"));
+        let g = DivergenceCause::ExplodingGradient { norm: 1e9 }.to_string();
+        assert!(g.contains("1.000e9"), "{g}");
+    }
+}

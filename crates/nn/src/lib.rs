@@ -20,10 +20,18 @@
 //!   TARNet/DragonNet/OffsetNet/SNet baselines.
 //!
 //! Everything is deterministic given a [`linalg::random::Prng`] seed.
+//!
+//! Fallibility: the [`trainer`] returns typed [`TrainError`]s instead of
+//! panicking, and guards every epoch with divergence sentinels plus a
+//! checkpoint-rollback/LR-halving retry loop (see [`trainer::train`]).
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod activation;
 pub mod dense;
 pub mod dropout;
+pub mod error;
 pub mod init;
 pub mod mc;
 pub mod mlp;
@@ -35,9 +43,10 @@ pub mod trainer;
 pub use activation::Activation;
 pub use dense::Dense;
 pub use dropout::{Dropout, Mode};
+pub use error::{DivergenceCause, TrainError};
 pub use mc::{mc_predict, mc_predict_map, McStats};
 pub use mlp::{Mlp, Workspace};
 pub use multihead::MultiHeadNet;
 pub use objective::{BceObjective, MseObjective, Objective, PinballObjective};
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use trainer::{train, TrainConfig, TrainReport};
+pub use trainer::{train, Recovery, TrainConfig, TrainReport};

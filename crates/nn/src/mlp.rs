@@ -177,6 +177,7 @@ impl Mlp {
     }
 
     /// Output dimension (fan-out of the last dense layer).
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn output_dim(&self) -> usize {
         self.layers
             .iter()

@@ -133,6 +133,7 @@ impl MultiHeadNet {
     /// # Panics
     /// Panics if the number of gradient matrices differs from the number
     /// of heads.
+    #[allow(clippy::expect_used)] // shape invariants upheld by construction
     pub fn backward(&mut self, head_grads: &[Matrix]) {
         assert_eq!(
             head_grads.len(),

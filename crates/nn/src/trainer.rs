@@ -1,5 +1,16 @@
-//! Minibatch training loop.
+//! Minibatch training loop with divergence guardrails.
+//!
+//! Training failure is a *data* problem as much as an optimization
+//! problem: a NaN feature, a corrupted label, or an over-eager learning
+//! rate all surface here first, as a non-finite batch loss or an
+//! exploding gradient. The loop therefore keeps a checkpoint of the best
+//! weights seen so far and, when a divergence sentinel trips, rolls the
+//! network back to that checkpoint, halves the learning rate, and
+//! retries — a bounded number of times, with every recovery recorded in
+//! the [`TrainReport`]. Only when the retries are exhausted does the run
+//! return a typed [`TrainError`].
 
+use crate::error::{DivergenceCause, TrainError};
 use crate::mlp::Mlp;
 use crate::objective::Objective;
 use crate::optimizer::{Adam, Optimizer, Sgd};
@@ -41,6 +52,14 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Minimum improvement that resets the patience counter.
     pub min_delta: f64,
+    /// How many times a diverged run may roll back to the best checkpoint
+    /// and retry at half the learning rate before giving up with
+    /// [`TrainError::Diverged`] (0 = fail on the first divergence).
+    pub max_divergence_retries: usize,
+    /// Pre-clip global gradient norm beyond which the run is declared
+    /// diverged (0 disables the magnitude sentinel; non-finite norms
+    /// always trip).
+    pub grad_norm_limit: f64,
 }
 
 impl Default for TrainConfig {
@@ -55,8 +74,23 @@ impl Default for TrainConfig {
             grad_clip: 5.0,
             patience: 0,
             min_delta: 1e-6,
+            max_divergence_retries: 3,
+            grad_norm_limit: 1e6,
         }
     }
+}
+
+/// One divergence-recovery event: the sentinel tripped, the network was
+/// rolled back to the best checkpoint, and training resumed at `lr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovery {
+    /// Epoch (0-based, counting completed epochs) being attempted when
+    /// the sentinel tripped.
+    pub epoch: usize,
+    /// What tripped the sentinel.
+    pub cause: DivergenceCause,
+    /// The halved learning rate used after the rollback.
+    pub lr: f64,
 }
 
 /// What a training run produced.
@@ -66,13 +100,46 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f64>,
     /// Whether early stopping fired before `epochs` finished.
     pub stopped_early: bool,
+    /// Every checkpoint-rollback the divergence guard performed, in
+    /// order. Empty for a clean run.
+    pub recoveries: Vec<Recovery>,
 }
 
 impl TrainReport {
-    /// Loss of the final completed epoch.
-    pub fn final_loss(&self) -> f64 {
-        *self.epoch_losses.last().unwrap_or(&f64::NAN)
+    /// Loss of the final completed epoch, or `None` when no epoch
+    /// completed (`epochs == 0`).
+    pub fn final_loss(&self) -> Option<f64> {
+        self.epoch_losses.last().copied()
     }
+
+    /// Whether the divergence guard had to intervene at least once.
+    pub fn recovered(&self) -> bool {
+        !self.recoveries.is_empty()
+    }
+}
+
+fn make_optimizer(kind: OptimizerKind, lr: f64) -> Box<dyn Optimizer> {
+    match kind {
+        OptimizerKind::Sgd => Box::new(Sgd::new(lr)),
+        OptimizerKind::Momentum => Box::new(Sgd::with_momentum(lr, 0.9)),
+        OptimizerKind::Adam => Box::new(Adam::new(lr)),
+    }
+}
+
+/// Checks the accumulated gradients for divergence: a non-finite global
+/// norm always trips; a finite norm trips when it exceeds `limit`
+/// (`limit <= 0` disables the magnitude check).
+fn gradient_sentinel(net: &mut Mlp, limit: f64) -> Option<DivergenceCause> {
+    let mut sq = 0.0;
+    net.visit_params(|_p, g| sq += g.iter().map(|v| v * v).sum::<f64>());
+    let norm = sq.sqrt();
+    if !norm.is_finite() {
+        return Some(DivergenceCause::NonFiniteGradient);
+    }
+    if limit > 0.0 && norm > limit {
+        return Some(DivergenceCause::ExplodingGradient { norm });
+    }
+    None
 }
 
 /// Trains `net` on the rows of `x` under `objective`.
@@ -81,57 +148,97 @@ impl TrainReport {
 /// minibatch, so it can look up labels and apply batch-level normalization
 /// (as the DRP and Direct Rank losses require).
 ///
-/// # Panics
-/// Panics if `x` is empty or the network's output is not 1-dimensional
-/// (scalar-objective trainer).
+/// # Errors
+/// [`TrainError::EmptyDataset`] when `x` has no rows,
+/// [`TrainError::NonScalarOutput`] when the network's output is not
+/// 1-dimensional, and [`TrainError::Diverged`] when a non-finite loss or
+/// exploding gradient persists through every rollback retry.
 pub fn train(
     net: &mut Mlp,
     x: &Matrix,
     objective: &dyn Objective,
     config: &TrainConfig,
     rng: &mut Prng,
-) -> TrainReport {
-    assert!(x.rows() > 0, "train: empty dataset");
-    assert_eq!(
-        net.output_dim(),
-        1,
-        "train: scalar-objective trainer requires a 1-unit output layer"
-    );
-    let mut opt: Box<dyn Optimizer> = match config.optimizer {
-        OptimizerKind::Sgd => Box::new(Sgd::new(config.lr)),
-        OptimizerKind::Momentum => Box::new(Sgd::with_momentum(config.lr, 0.9)),
-        OptimizerKind::Adam => Box::new(Adam::new(config.lr)),
-    };
+) -> Result<TrainReport, TrainError> {
+    if x.rows() == 0 {
+        return Err(TrainError::EmptyDataset);
+    }
+    if net.output_dim() != 1 {
+        return Err(TrainError::NonScalarOutput {
+            output_dim: net.output_dim(),
+        });
+    }
+    let mut lr = config.lr;
+    let mut opt = make_optimizer(config.optimizer, lr);
     let n = x.rows();
     let batch = config.batch_size.clamp(1, n);
     let mut order: Vec<usize> = (0..n).collect();
     let mut report = TrainReport {
         epoch_losses: Vec::with_capacity(config.epochs),
         stopped_early: false,
+        recoveries: Vec::new(),
     };
     let mut best = f64::INFINITY;
     let mut stale = 0usize;
+    // Rollback target: the weights of the best epoch so far (the initial
+    // weights until an epoch completes).
+    let mut checkpoint = net.clone();
+    let mut best_checkpoint_loss = f64::INFINITY;
+    let mut attempts = 0usize;
 
-    for _epoch in 0..config.epochs {
+    let mut epoch = 0usize;
+    while epoch < config.epochs {
         if config.shuffle {
             rng.shuffle(&mut order);
         }
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
+        let mut tripped: Option<DivergenceCause> = None;
         for chunk in order.chunks(batch) {
             let xb = x.select_rows(chunk);
             net.zero_grad();
             let out = net.forward(&xb, Mode::Train, rng);
             let preds = out.col(0);
             let (loss, grad) = objective.loss_and_grad(&preds, chunk);
+            if !loss.is_finite() {
+                tripped = Some(DivergenceCause::NonFiniteLoss { loss });
+                break;
+            }
             epoch_loss += loss;
             batches += 1;
             let grad_mat = Matrix::column(&grad);
             net.backward(&grad_mat);
+            if let Some(cause) = gradient_sentinel(net, config.grad_norm_limit) {
+                tripped = Some(cause);
+                break;
+            }
             apply_step(net, opt.as_mut(), config);
+        }
+        if let Some(cause) = tripped {
+            attempts += 1;
+            if attempts > config.max_divergence_retries {
+                return Err(TrainError::Diverged {
+                    epoch,
+                    attempts: attempts - 1,
+                    cause,
+                });
+            }
+            // Roll back to the best weights and retry this epoch at half
+            // the learning rate. The optimizer is rebuilt from scratch:
+            // its moment estimates were accumulated along the diverged
+            // trajectory and would re-poison the restored weights.
+            net.clone_from(&checkpoint);
+            lr *= 0.5;
+            opt = make_optimizer(config.optimizer, lr);
+            report.recoveries.push(Recovery { epoch, cause, lr });
+            continue;
         }
         let mean_loss = epoch_loss / batches.max(1) as f64;
         report.epoch_losses.push(mean_loss);
+        if mean_loss < best_checkpoint_loss {
+            best_checkpoint_loss = mean_loss;
+            checkpoint.clone_from(net);
+        }
         if config.patience > 0 {
             if mean_loss < best - config.min_delta {
                 best = mean_loss;
@@ -144,8 +251,9 @@ pub fn train(
                 }
             }
         }
+        epoch += 1;
     }
-    report
+    Ok(report)
 }
 
 /// One optimizer step over every parameter tensor of `net`, applying
@@ -155,10 +263,12 @@ pub fn apply_step(net: &mut Mlp, opt: &mut dyn Optimizer, config: &TrainConfig) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::activation::Activation;
     use crate::objective::{BceObjective, MseObjective};
+    use std::cell::Cell;
 
     /// y = 0.5 x0 - 1.5 x1 + 0.3, learnable by a linear model.
     fn linear_problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -185,14 +295,12 @@ mod tests {
             lr: 0.01,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng);
-        assert!(
-            report.final_loss() < 0.01,
-            "final loss {}",
-            report.final_loss()
-        );
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let final_loss = report.final_loss().unwrap();
+        assert!(final_loss < 0.01, "final loss {final_loss}");
         // Loss decreased substantially from the first epoch.
-        assert!(report.final_loss() < report.epoch_losses[0] / 10.0);
+        assert!(final_loss < report.epoch_losses[0] / 10.0);
+        assert!(!report.recovered());
     }
 
     #[test]
@@ -217,7 +325,7 @@ mod tests {
             lr: 0.02,
             ..TrainConfig::default()
         };
-        let _ = train(&mut net, &x, &obj, &cfg, &mut rng);
+        let _ = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
         // Training accuracy should be high on this separable problem.
         let preds = net.predict_scalar(&x);
         let correct = preds
@@ -246,7 +354,7 @@ mod tests {
             min_delta: 1e-9,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng);
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
         assert!(report.stopped_early, "expected early stop");
         assert!(report.epoch_losses.len() < 10_000);
     }
@@ -266,7 +374,7 @@ mod tests {
                 weight_decay: wd,
                 ..TrainConfig::default()
             };
-            let _ = train(&mut net, &x, &obj, &cfg, &mut rng);
+            let _ = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
             let mut sq = 0.0;
             net.visit_params(|p, _| sq += p.iter().map(|v| v * v).sum::<f64>());
             sq
@@ -288,25 +396,185 @@ mod tests {
                 epochs: 20,
                 ..TrainConfig::default()
             };
-            train(&mut net, &x, &obj, &cfg, &mut rng).epoch_losses
+            train(&mut net, &x, &obj, &cfg, &mut rng)
+                .unwrap()
+                .epoch_losses
         };
         assert_eq!(run(), run());
     }
 
     #[test]
-    #[should_panic(expected = "empty dataset")]
-    fn empty_dataset_panics() {
+    fn empty_dataset_is_a_typed_error() {
         let mut rng = Prng::seed_from_u64(0);
         let mut net = Mlp::builder(2)
             .dense(1, Activation::Identity)
             .build(&mut rng);
         let obj = MseObjective::new(vec![]);
-        let _ = train(
+        let err = train(
             &mut net,
             &Matrix::zeros(0, 2),
             &obj,
             &TrainConfig::default(),
             &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, TrainError::EmptyDataset);
+    }
+
+    #[test]
+    fn non_scalar_output_is_a_typed_error() {
+        let mut rng = Prng::seed_from_u64(0);
+        let mut net = Mlp::builder(2)
+            .dense(3, Activation::Identity)
+            .build(&mut rng);
+        let (x, y) = linear_problem(8, 1);
+        let obj = MseObjective::new(y);
+        let err = train(&mut net, &x, &obj, &TrainConfig::default(), &mut rng).unwrap_err();
+        assert_eq!(err, TrainError::NonScalarOutput { output_dim: 3 });
+    }
+
+    #[test]
+    fn zero_epochs_reports_no_final_loss() {
+        let (x, y) = linear_problem(8, 2);
+        let mut rng = Prng::seed_from_u64(1);
+        let mut net = Mlp::builder(2)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let obj = MseObjective::new(y);
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        assert_eq!(report.final_loss(), None);
+    }
+
+    #[test]
+    fn nan_labels_exhaust_retries_into_typed_error() {
+        let (x, mut y) = linear_problem(64, 3);
+        y[10] = f64::NAN;
+        let mut rng = Prng::seed_from_u64(4);
+        let mut net = Mlp::builder(2)
+            .dense(4, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let obj = MseObjective::new(y);
+        let cfg = TrainConfig {
+            epochs: 10,
+            shuffle: false,
+            batch_size: 64, // one batch: the NaN label poisons every epoch
+            ..TrainConfig::default()
+        };
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        match err {
+            TrainError::Diverged {
+                epoch,
+                attempts,
+                cause,
+            } => {
+                assert_eq!(epoch, 0, "NaN data diverges immediately");
+                assert_eq!(attempts, cfg.max_divergence_retries);
+                assert!(matches!(cause, DivergenceCause::NonFiniteLoss { .. }));
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exploding_lr_without_clipping_is_a_typed_error_not_a_panic() {
+        // Feature scale x10 makes the MSE Hessian stiff; an absurd SGD
+        // step with clipping disabled must explode, trip the sentinel on
+        // every retry, and come back as a typed error.
+        let (x, y) = linear_problem(128, 5);
+        let x = x.scale(10.0);
+        let mut rng = Prng::seed_from_u64(6);
+        let mut net = Mlp::builder(2)
+            .dense(4, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let obj = MseObjective::new(y);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            lr: 1e9,
+            optimizer: OptimizerKind::Sgd,
+            grad_clip: 0.0,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        assert!(matches!(err, TrainError::Diverged { .. }), "{err:?}");
+    }
+
+    /// Objective that reports a NaN loss for its first `poisoned` calls,
+    /// then delegates to MSE — a deterministic transient divergence.
+    struct TransientNan {
+        inner: MseObjective,
+        remaining: Cell<usize>,
+    }
+
+    impl Objective for TransientNan {
+        fn loss_and_grad(&self, preds: &[f64], rows: &[usize]) -> (f64, Vec<f64>) {
+            if self.remaining.get() > 0 {
+                self.remaining.set(self.remaining.get() - 1);
+                return (f64::NAN, vec![0.0; preds.len()]);
+            }
+            self.inner.loss_and_grad(preds, rows)
+        }
+    }
+
+    #[test]
+    fn transient_divergence_rolls_back_and_recovers() {
+        let (x, y) = linear_problem(128, 10);
+        let mut rng = Prng::seed_from_u64(11);
+        let mut net = Mlp::builder(2)
+            .dense(8, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let obj = TransientNan {
+            inner: MseObjective::new(y),
+            remaining: Cell::new(2),
+        };
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            lr: 0.02,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        // Two poisoned calls => two rollbacks, each halving the LR.
+        assert_eq!(report.recoveries.len(), 2);
+        assert!(report.recovered());
+        assert!((report.recoveries[0].lr - 0.01).abs() < 1e-12);
+        assert!((report.recoveries[1].lr - 0.005).abs() < 1e-12);
+        assert!(report
+            .recoveries
+            .iter()
+            .all(|r| matches!(r.cause, DivergenceCause::NonFiniteLoss { .. })));
+        // All attempted epochs still completed and training converged.
+        assert_eq!(report.epoch_losses.len(), 200);
+        assert!(report.final_loss().unwrap() < 0.05);
+    }
+
+    #[test]
+    fn retry_budget_zero_fails_on_first_divergence() {
+        let (x, y) = linear_problem(32, 12);
+        let mut rng = Prng::seed_from_u64(13);
+        let mut net = Mlp::builder(2)
+            .dense(4, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let obj = TransientNan {
+            inner: MseObjective::new(y),
+            remaining: Cell::new(1),
+        };
+        let cfg = TrainConfig {
+            max_divergence_retries: 0,
+            ..TrainConfig::default()
+        };
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, TrainError::Diverged { attempts: 0, .. }),
+            "{err:?}"
         );
     }
 }

@@ -1,5 +1,6 @@
 //! Causal-forest uplift model (wraps `trees::CausalForest`).
 
+use crate::error::{check_both_groups, check_xty, FitError};
 use crate::UpliftModel;
 use linalg::random::Prng;
 use linalg::Matrix;
@@ -32,8 +33,11 @@ impl UpliftModel for CausalForestUplift {
         "Causal Forest".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("CausalForestUplift::fit", x, t, y)?;
+        check_both_groups("CausalForestUplift::fit", t)?;
         self.forest = Some(CausalForest::fit(x, t, y, &self.config, rng));
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -67,7 +71,7 @@ mod tests {
         }
         let x = Matrix::from_rows(&xs);
         let mut m = CausalForestUplift::default_config();
-        m.fit(&x, &ts, &ys, &mut rng);
+        m.fit(&x, &ts, &ys, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         assert!(linalg::stats::pearson(&preds, &taus) > 0.7);
     }

@@ -17,6 +17,7 @@
 //! but does not restate this loss; the reconstruction above is documented
 //! in DESIGN.md (substitution 6).
 
+use crate::error::{check_both_groups, check_xty, FitError};
 use crate::nnutil::{standardize, NetConfig};
 use crate::RoiModel;
 use datasets::RctDataset;
@@ -137,13 +138,11 @@ impl RoiModel for DirectRank {
         "DR".to_string()
     }
 
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
-        assert!(!data.is_empty(), "DirectRank::fit: empty dataset");
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("DirectRank::fit", &data.x, &data.t, &data.y_r)?;
+        check_xty("DirectRank::fit", &data.x, &data.t, &data.y_c)?;
+        check_both_groups("DirectRank::fit", &data.t)?;
         let n1 = data.n_treated();
-        assert!(
-            n1 > 0 && n1 < data.len(),
-            "DirectRank::fit: need both treated and control samples"
-        );
         let (scaler, z) = standardize(&data.x);
         let mut net = Mlp::builder(z.cols())
             .dense(self.config.hidden, nn::Activation::Elu)
@@ -164,8 +163,9 @@ impl RoiModel for DirectRank {
             weight_decay: self.config.weight_decay,
             ..TrainConfig::default()
         };
-        let _ = nn::train(&mut net, &z, &objective, &cfg, rng);
+        nn::train(&mut net, &z, &objective, &cfg, rng)?;
         self.state = Some(Fitted { scaler, net });
+        Ok(())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
@@ -226,7 +226,7 @@ mod tests {
             lr: 5e-3,
             ..NetConfig::default()
         });
-        dr.fit(&data, &mut rng);
+        dr.fit(&data, &mut rng).unwrap();
         let scores = dr.predict_roi(&data.x);
         let aucc = metrics::aucc_from_labels(&data, &scores, 50);
         assert!(aucc > 0.52, "DR AUCC {aucc}");
@@ -241,7 +241,7 @@ mod tests {
             epochs: 5,
             ..NetConfig::default()
         });
-        dr.fit(&data, &mut rng);
+        dr.fit(&data, &mut rng).unwrap();
         let stats = dr.mc_scores(&data.x, 20, &mut rng);
         assert_eq!(stats.mean.len(), data.len());
         assert!(stats.std.iter().any(|&s| s > 0.0));

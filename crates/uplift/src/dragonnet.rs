@@ -8,6 +8,7 @@
 //! RCT data the propensity is constant, so the term's fluctuation
 //! correction is a no-op in expectation (noted in DESIGN.md).
 
+use crate::error::{check_finite_params, check_xty, FitError};
 use crate::nnutil::{masked_mse_grad, minibatches, standardize, NetConfig};
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -50,9 +51,8 @@ impl UpliftModel for DragonNet {
         "DragonNet".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "DragonNet::fit: x/t length mismatch");
-        assert_eq!(x.rows(), y.len(), "DragonNet::fit: x/y length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("DragonNet::fit", x, t, y)?;
         let (scaler, z) = standardize(x);
         let trunk = self.config.build_trunk(z.cols(), rng);
         let h0 = self.config.build_head(self.config.rep_dim, rng);
@@ -90,7 +90,9 @@ impl UpliftModel for DragonNet {
                 );
             }
         }
+        check_finite_params("DragonNet", &mut net)?;
         self.state = Some(Fitted { scaler, net });
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -130,7 +132,7 @@ mod tests {
         };
         let mut m = DragonNet::new(cfg, 1.0);
         let mut rng = Prng::seed_from_u64(11);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > 0.6, "corr {corr}");
@@ -147,7 +149,7 @@ mod tests {
             1.0,
         );
         let mut rng = Prng::seed_from_u64(13);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let props = m.predict_propensity(&x);
         let mean = linalg::stats::mean(&props);
         assert!((mean - 0.5).abs() < 0.1, "mean propensity {mean}");

@@ -18,6 +18,7 @@
 pub mod causal_forest;
 pub mod direct_rank;
 pub mod dragonnet;
+pub mod error;
 pub mod meta;
 pub mod nnutil;
 pub mod offsetnet;
@@ -34,6 +35,7 @@ use linalg::Matrix;
 pub use causal_forest::CausalForestUplift;
 pub use direct_rank::DirectRank;
 pub use dragonnet::DragonNet;
+pub use error::FitError;
 pub use meta::{SLearner, TLearner, XLearner};
 pub use nnutil::NetConfig;
 pub use offsetnet::OffsetNet;
@@ -49,7 +51,14 @@ pub trait UpliftModel {
     fn name(&self) -> String;
 
     /// Fits the model on RCT data `(x, t, y)` for one outcome.
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng);
+    ///
+    /// # Errors
+    /// [`FitError::InvalidData`] when the inputs are malformed (empty,
+    /// misaligned, non-finite, or missing a treatment group where the
+    /// estimator needs both), [`FitError::Train`] /
+    /// [`FitError::NonFiniteModel`] when the underlying optimization
+    /// diverged beyond recovery.
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError>;
 
     /// Predicts `τ̂(x)` for every row of `x`.
     ///
@@ -64,7 +73,13 @@ pub trait RoiModel {
     fn name(&self) -> String;
 
     /// Fits the model on a full RCT dataset (both outcomes).
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng);
+    ///
+    /// # Errors
+    /// [`FitError::InvalidData`] for malformed inputs, [`FitError::Train`]
+    /// for unrecoverable training divergence, and
+    /// [`FitError::Calibration`] when a conformal calibration stage
+    /// (rDRP) cannot complete.
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError>;
 
     /// Predicts the ROI score for every row of `x`. Scores only need to
     /// *rank* correctly; TPM produces actual ratio estimates, DirectRank

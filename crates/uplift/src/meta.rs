@@ -1,5 +1,6 @@
 //! Meta-learners: S-, T-, and X-learner (Künzel et al. 2019).
 
+use crate::error::{check_both_groups, check_xty, FitError};
 use crate::regressor::{BaseLearner, FittedRegressor};
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -25,11 +26,12 @@ impl UpliftModel for SLearner {
         "S-Learner".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "SLearner::fit: x/t length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("SLearner::fit", x, t, y)?;
         let t_col = Matrix::column(&t.iter().map(|&v| f64::from(v)).collect::<Vec<_>>());
         let design = x.hstack(&t_col).expect("row counts match");
         self.model = Some(self.base.fit(&design, y, rng));
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -75,13 +77,11 @@ impl UpliftModel for TLearner {
         "T-Learner".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("TLearner::fit", x, t, y)?;
+        check_both_groups("TLearner::fit", t)?;
         let treated = group_rows(t, 1);
         let control = group_rows(t, 0);
-        assert!(
-            !treated.is_empty() && !control.is_empty(),
-            "TLearner::fit: need both groups"
-        );
         self.mu1 = Some(
             self.base
                 .fit(&x.select_rows(&treated), &select(y, &treated), rng),
@@ -90,6 +90,7 @@ impl UpliftModel for TLearner {
             self.base
                 .fit(&x.select_rows(&control), &select(y, &control), rng),
         );
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -132,13 +133,11 @@ impl UpliftModel for XLearner {
         "X-Learner".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("XLearner::fit", x, t, y)?;
+        check_both_groups("XLearner::fit", t)?;
         let treated = group_rows(t, 1);
         let control = group_rows(t, 0);
-        assert!(
-            !treated.is_empty() && !control.is_empty(),
-            "XLearner::fit: need both groups"
-        );
         // Stage 1: group outcome models.
         let x1 = x.select_rows(&treated);
         let x0 = x.select_rows(&control);
@@ -161,6 +160,7 @@ impl UpliftModel for XLearner {
         self.tau1 = Some(self.base.fit(&x1, &d1, rng));
         self.tau0 = Some(self.base.fit(&x0, &d0, rng));
         self.propensity = treated.len() as f64 / t.len() as f64;
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -203,7 +203,7 @@ mod tests {
     fn check_recovers(model: &mut dyn UpliftModel, seed: u64, tol_corr: f64) {
         let (x, t, y, taus) = rct(3000, seed);
         let mut rng = Prng::seed_from_u64(seed + 100);
-        model.fit(&x, &t, &y, &mut rng);
+        model.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = model.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > tol_corr, "{}: corr {corr}", model.name());
@@ -219,7 +219,7 @@ mod tests {
         let (x, t, y, _) = rct(3000, 0);
         let mut m = SLearner::new(BaseLearner::Ridge { lambda: 1e-3 });
         let mut rng = Prng::seed_from_u64(1);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let mean: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
@@ -253,7 +253,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(6);
         let t: Vec<u8> = (0..1000).map(|_| u8::from(rng.bernoulli(0.8))).collect();
         let mut m = XLearner::new(BaseLearner::default_ridge());
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         assert!((m.propensity - 0.8).abs() < 0.05);
     }
 
@@ -265,12 +265,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need both groups")]
-    fn tlearner_single_group_panics() {
+    fn tlearner_single_group_is_a_typed_error() {
         let (x, _, y, _) = rct(100, 7);
         let t = vec![1u8; 100];
         let mut m = TLearner::new(BaseLearner::default_ridge());
         let mut rng = Prng::seed_from_u64(8);
-        m.fit(&x, &t, &y, &mut rng);
+        let err = m.fit(&x, &t, &y, &mut rng).unwrap_err();
+        assert!(matches!(err, crate::FitError::InvalidData(_)), "{err:?}");
     }
 }

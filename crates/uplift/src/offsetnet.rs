@@ -7,6 +7,7 @@
 //! right inductive bias when treatment effects are weaker than prognostic
 //! variation (exactly the regime of marketing coupons).
 
+use crate::error::{check_finite_params, check_xty, FitError};
 use crate::nnutil::{minibatches, standardize, NetConfig};
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -43,9 +44,8 @@ impl UpliftModel for OffsetNet {
         "OffsetNet".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "OffsetNet::fit: x/t length mismatch");
-        assert_eq!(x.rows(), y.len(), "OffsetNet::fit: x/y length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("OffsetNet::fit", x, t, y)?;
         let (scaler, z) = standardize(x);
         let trunk = self.config.build_trunk(z.cols(), rng);
         let base = self.config.build_head(self.config.rep_dim, rng);
@@ -80,7 +80,9 @@ impl UpliftModel for OffsetNet {
                 );
             }
         }
+        check_finite_params("OffsetNet", &mut net)?;
         self.state = Some(Fitted { scaler, net });
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -103,7 +105,7 @@ mod tests {
             ..NetConfig::default()
         });
         let mut rng = Prng::seed_from_u64(21);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > 0.6, "corr {corr}");
@@ -126,7 +128,7 @@ mod tests {
             epochs: 40,
             ..NetConfig::default()
         });
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let mean_abs: f64 = preds.iter().map(|v| v.abs()).sum::<f64>() / preds.len() as f64;
         assert!(mean_abs < 0.15, "mean |offset| = {mean_abs}");

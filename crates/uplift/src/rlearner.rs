@@ -11,6 +11,7 @@
 //! The final stage here is weighted ridge: fast, convex, and exactly the
 //! quasi-oracle setup of the original paper for linear τ.
 
+use crate::error::{check_both_groups, check_xty, FitError};
 use crate::regressor::BaseLearner;
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -43,14 +44,10 @@ impl UpliftModel for RLearner {
         "R-Learner".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "RLearner::fit: x/t length mismatch");
-        assert_eq!(x.rows(), y.len(), "RLearner::fit: x/y length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("RLearner::fit", x, t, y)?;
+        check_both_groups("RLearner::fit", t)?;
         let n1 = t.iter().filter(|&&v| v == 1).count();
-        assert!(
-            n1 > 0 && n1 < t.len(),
-            "RLearner::fit: need both treatment groups"
-        );
         let e = n1 as f64 / t.len() as f64;
         // Stage 1: marginal outcome model.
         let m = self.outcome_base.fit(x, y, rng);
@@ -68,6 +65,7 @@ impl UpliftModel for RLearner {
         let beta = solve::ridge_fit_weighted(&design, &pseudo, &weights, self.tau_ridge.max(1e-9))
             .expect("weighted ridge on validated shapes");
         self.beta = Some(beta);
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -110,7 +108,7 @@ mod tests {
         let (x, t, y, taus) = rct(4000, 0);
         let mut m = RLearner::new(BaseLearner::default_forest(), 1.0);
         let mut rng = Prng::seed_from_u64(1);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > 0.85, "corr {corr}");
@@ -126,10 +124,10 @@ mod tests {
         let (x, t, y, taus) = rct(4000, 2);
         let mut rng = Prng::seed_from_u64(3);
         let mut r = RLearner::new(BaseLearner::default_forest(), 1.0);
-        r.fit(&x, &t, &y, &mut rng);
+        r.fit(&x, &t, &y, &mut rng).unwrap();
         let corr_r = linalg::stats::pearson(&r.predict_uplift(&x), &taus);
         let mut s = crate::meta::SLearner::new(BaseLearner::default_ridge());
-        s.fit(&x, &t, &y, &mut rng);
+        s.fit(&x, &t, &y, &mut rng).unwrap();
         let corr_s = linalg::stats::pearson(&s.predict_uplift(&x), &taus);
         assert!(corr_r > corr_s + 0.3, "R {corr_r} vs S {corr_s}");
     }

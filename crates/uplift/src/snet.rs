@@ -18,6 +18,7 @@
 //! head gradients are split at the concat boundary and routed to the
 //! factor trunks, with the shared trunk receiving the sum.
 
+use crate::error::{check_finite_params, check_xty, FitError};
 use crate::nnutil::{masked_mse_grad, minibatches, standardize, NetConfig};
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -112,9 +113,8 @@ impl UpliftModel for SNet {
         "SNet".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "SNet::fit: x/t length mismatch");
-        assert_eq!(x.rows(), y.len(), "SNet::fit: x/y length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("SNet::fit", x, t, y)?;
         let (scaler, z) = standardize(x);
         let mut nets = self.build(z.cols(), rng);
         let mut opt = Adam::new(self.config.lr);
@@ -154,7 +154,9 @@ impl UpliftModel for SNet {
                 );
             }
         }
+        check_finite_params("SNet", &mut nets)?;
         self.state = Some(Fitted { scaler, nets });
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -198,7 +200,7 @@ mod tests {
             ..NetConfig::default()
         });
         let mut rng = Prng::seed_from_u64(31);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > 0.55, "corr {corr}");
@@ -213,7 +215,7 @@ mod tests {
                 ..NetConfig::default()
             });
             let mut rng = Prng::seed_from_u64(seed);
-            m.fit(&x, &t, &y, &mut rng);
+            m.fit(&x, &t, &y, &mut rng).unwrap();
             m.predict_uplift(&x)
         };
         assert_eq!(run(33), run(33));

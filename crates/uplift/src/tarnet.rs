@@ -9,6 +9,7 @@
 //! distributions already match, so TARNet (penalty-free) is the right
 //! variant — as in the paper's baseline list.
 
+use crate::error::{check_finite_params, check_xty, FitError};
 use crate::nnutil::{masked_mse_grad, minibatches, standardize, NetConfig};
 use crate::UpliftModel;
 use linalg::random::Prng;
@@ -45,9 +46,8 @@ impl UpliftModel for TarNet {
         "TARNet".to_string()
     }
 
-    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) {
-        assert_eq!(x.rows(), t.len(), "TarNet::fit: x/t length mismatch");
-        assert_eq!(x.rows(), y.len(), "TarNet::fit: x/y length mismatch");
+    fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
+        check_xty("TarNet::fit", x, t, y)?;
         let (scaler, z) = standardize(x);
         let trunk = self.config.build_trunk(z.cols(), rng);
         let h0 = self.config.build_head(self.config.rep_dim, rng);
@@ -72,7 +72,9 @@ impl UpliftModel for TarNet {
                 );
             }
         }
+        check_finite_params("TARNet", &mut net)?;
         self.state = Some(Fitted { scaler, net });
+        Ok(())
     }
 
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64> {
@@ -97,7 +99,7 @@ mod tests {
         };
         let mut m = TarNet::new(cfg);
         let mut rng = Prng::seed_from_u64(1);
-        m.fit(&x, &t, &y, &mut rng);
+        m.fit(&x, &t, &y, &mut rng).unwrap();
         let preds = m.predict_uplift(&x);
         let corr = linalg::stats::pearson(&preds, &taus);
         assert!(corr > 0.6, "corr {corr}");
@@ -114,7 +116,7 @@ mod tests {
                 ..NetConfig::default()
             });
             let mut rng = Prng::seed_from_u64(seed);
-            m.fit(&x, &t, &y, &mut rng);
+            m.fit(&x, &t, &y, &mut rng).unwrap();
             m.predict_uplift(&x)
         };
         assert_eq!(run(3), run(3));

@@ -15,7 +15,7 @@ use crate::offsetnet::OffsetNet;
 use crate::regressor::BaseLearner;
 use crate::snet::SNet;
 use crate::tarnet::TarNet;
-use crate::{RoiModel, UpliftModel};
+use crate::{FitError, RoiModel, UpliftModel};
 use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::vector::safe_div;
@@ -131,11 +131,17 @@ impl RoiModel for Tpm {
         format!("TPM-{}", self.label)
     }
 
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) {
-        assert!(!data.is_empty(), "Tpm::fit: empty dataset");
-        self.revenue.fit(&data.x, &data.t, &data.y_r, rng);
-        self.cost.fit(&data.x, &data.t, &data.y_c, rng);
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        if let Some(problem) = data.validate() {
+            return Err(FitError::InvalidData(format!("Tpm::fit: {problem}")));
+        }
+        if data.is_empty() {
+            return Err(FitError::InvalidData("Tpm::fit: empty dataset".into()));
+        }
+        self.revenue.fit(&data.x, &data.t, &data.y_r, rng)?;
+        self.cost.fit(&data.x, &data.t, &data.y_c, rng)?;
         self.fitted = true;
+        Ok(())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
@@ -159,7 +165,7 @@ mod tests {
         let train = gen.sample(10_000, Population::Base, &mut rng);
         let test = gen.sample(10_000, Population::Base, &mut rng);
         let mut tpm = Tpm::slearner();
-        tpm.fit(&train, &mut rng);
+        tpm.fit(&train, &mut rng).unwrap();
         let scores = tpm.predict_roi(&test.x);
         let aucc = metrics::aucc_from_labels(&test, &scores, 50);
         let random: Vec<f64> = (0..test.len()).map(|_| rng.uniform()).collect();
@@ -185,7 +191,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(1);
         let train = gen.sample(2000, Population::Base, &mut rng);
         let mut tpm = Tpm::slearner();
-        tpm.fit(&train, &mut rng);
+        tpm.fit(&train, &mut rng).unwrap();
         let scores = tpm.predict_roi(&train.x);
         assert!(scores.iter().all(|s| s.is_finite()));
     }

@@ -30,15 +30,18 @@ fn main() {
 
     // Candidate rankers.
     let mut tpm = Tpm::xlearner();
-    tpm.fit(&train, &mut rng);
+    tpm.fit(&train, &mut rng)
+        .expect("synthetic RCT data is well-formed");
     let tpm_scores = tpm.predict_roi(&test.x);
 
     let mut drp = DrpModel::new(RdrpConfig::default().drp);
-    drp.fit(&train, &mut rng);
+    drp.fit(&train, &mut rng)
+        .expect("synthetic RCT data is well-formed");
     let drp_scores = drp.predict_roi(&test.x);
 
-    let mut rdrp = Rdrp::new(RdrpConfig::default());
-    rdrp.fit_with_calibration(&train, &calibration, &mut rng);
+    let mut rdrp = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
+    rdrp.fit_with_calibration(&train, &calibration, &mut rng)
+        .expect("synthetic RCT data is well-formed");
     let rdrp_scores = rdrp.predict_scores(&test.x, &mut rng);
 
     // Evaluate rankings.

@@ -44,8 +44,10 @@ fn main() {
     ] {
         let calibration = generator.sample(4_000, population, &mut rng);
         let test = generator.sample(8_000, population, &mut rng);
-        let mut model = Rdrp::new(RdrpConfig::default());
-        model.fit_with_calibration(&train, &calibration, &mut rng);
+        let mut model = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
+        model
+            .fit_with_calibration(&train, &calibration, &mut rng)
+            .expect("synthetic RCT data is well-formed");
         let diag = model.diagnostics();
 
         let rdrp_scores = model.predict_scores(&test.x, &mut rng);

@@ -38,8 +38,9 @@ fn main() {
         mc_passes: 25,
         ..RdrpConfig::default()
     };
-    let mut dc = DivideAndConquerRdrp::new(config, 3);
-    dc.fit(&train, &calibration, &mut rng);
+    let mut dc = DivideAndConquerRdrp::new(config, 3).expect("config is valid");
+    dc.fit(&train, &calibration, &mut rng)
+        .expect("synthetic RCT data is well-formed");
     for k in 1..=3u8 {
         let d = dc.arm(k).diagnostics();
         println!(
@@ -76,7 +77,8 @@ fn main() {
         .clone()
         .expect("synthetic ground truth");
     let budget = 0.25 * costs[0].iter().sum::<f64>();
-    let alloc = greedy_allocate_multi(&scores, &costs, budget);
+    let alloc =
+        greedy_allocate_multi(&scores, &costs, budget).expect("allocator inputs are well-formed");
     println!(
         "\nbudget {budget:.1}: treated {} of {} customers",
         alloc.n_treated,

@@ -31,8 +31,10 @@ fn main() {
     );
 
     // 2. Fit rDRP.
-    let mut model = Rdrp::new(RdrpConfig::default());
-    model.fit_with_calibration(&train, &calibration, &mut rng);
+    let mut model = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
+    model
+        .fit_with_calibration(&train, &calibration, &mut rng)
+        .expect("synthetic RCT data is well-formed");
     let diag = model.diagnostics();
     println!(
         "calibrated: roi* = {:?}, q̂ = {:.3}, selected form = {}",

@@ -17,6 +17,7 @@ fn quick_ab_config() -> AbTestConfig {
         budget_fraction: 0.3,
         rdrp: quick_rdrp_config(),
         stochastic_outcomes: true,
+        fault: None,
     }
 }
 
@@ -67,7 +68,7 @@ fn ab_test_runs_all_settings_and_is_deterministic() {
     for (i, setting) in Setting::ALL.iter().enumerate() {
         let run = |seed: u64| {
             let mut rng = Prng::seed_from_u64(seed);
-            run_ab_test(generator.model(), *setting, &quick_ab_config(), &mut rng)
+            run_ab_test(generator.model(), *setting, &quick_ab_config(), &mut rng).unwrap()
         };
         let a = run(10 + i as u64);
         let b = run(10 + i as u64);
@@ -90,7 +91,8 @@ fn trained_arms_beat_random_on_average_suno() {
             Setting::SuNo,
             &quick_ab_config(),
             &mut rng,
-        );
+        )
+        .unwrap();
         drp_sum += r.drp_lift_pct;
         rdrp_sum += r.rdrp_lift_pct;
     }

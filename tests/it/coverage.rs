@@ -15,8 +15,10 @@ use rdrp::{find_roi_star, Rdrp};
 fn coverage_under(setting: Setting, seed: u64) -> f64 {
     let generator = CriteoLike::new();
     let (data, mut rng) = quick_data(&generator, setting, seed);
-    let mut model = Rdrp::new(quick_rdrp_config());
-    model.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+    let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
+    model
+        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .unwrap();
     let intervals = model.predict_intervals(&data.test.x, &mut rng);
     let roi_star = find_roi_star(&data.test.t, &data.test.y_r, &data.test.y_c, 1e-6)
         .expect("test RCT is healthy");
@@ -55,8 +57,10 @@ fn stale_calibration_can_break_coverage_guarantee() {
     // Replace the (shifted) calibration set with a base-population one.
     let (stale, _) = quick_data(&generator, Setting::SuNo, 104);
     data.calibration = stale.calibration;
-    let mut model = Rdrp::new(quick_rdrp_config());
-    model.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+    let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
+    model
+        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .unwrap();
     let intervals = model.predict_intervals(&data.test.x, &mut rng);
     assert!(intervals.iter().all(|iv| iv.lo <= iv.hi));
 }

@@ -7,8 +7,10 @@ use uplift::RoiModel;
 
 fn full_pipeline_on(generator: &dyn datasets::generator::RctGenerator, seed: u64) {
     let (data, mut rng) = quick_data(generator, Setting::SuNo, seed);
-    let mut model = Rdrp::new(quick_rdrp_config());
-    model.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+    let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
+    model
+        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .unwrap();
 
     // Diagnostics are populated and in range.
     let diag = model.diagnostics();
@@ -60,8 +62,10 @@ fn rdrp_handles_every_setting() {
     let generator = CriteoLike::new();
     for (i, setting) in Setting::ALL.iter().enumerate() {
         let (data, mut rng) = quick_data(&generator, *setting, 20 + i as u64);
-        let mut model = Rdrp::new(quick_rdrp_config());
-        model.fit_with_calibration(&data.train, &data.calibration, &mut rng);
+        let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
+        model
+            .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+            .unwrap();
         let scores = model.predict_roi(&data.test.x);
         assert!(
             scores.iter().all(|s| s.is_finite()),
