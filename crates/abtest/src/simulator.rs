@@ -3,48 +3,91 @@
 use datasets::generator::{Population, RctGenerator, StructuralModel};
 use datasets::{RctDataset, Setting};
 use linalg::random::Prng;
+use obs::Obs;
 use rdrp::{greedy_allocate, PipelineError, Rdrp, RdrpConfig};
-use uplift::RoiModel;
 
 /// Fault-injection hook for robustness testing: before the model arms
 /// train, a configurable fraction of the training/calibration rows is
-/// corrupted to NaN — simulating upstream logging failures (dropped
-/// feature joins, broken label attribution). The pipeline is expected to
-/// reject or survive the corruption with a typed error, never to panic
-/// or silently train on poison.
+/// corrupted — simulating upstream logging failures (dropped feature
+/// joins, broken label attribution, a cost pipeline stuck at zero). The
+/// pipeline is expected to reject or survive the corruption with a typed
+/// error or a recorded degraded mode, never to panic or silently train
+/// on poison.
+///
+/// The NaN fractions trip the pipeline's *validation* (a typed
+/// `FitError`); `cost_zero_fraction` produces data that validates but is
+/// causally degenerate — at 1.0 the calibration cost uplift is zero, the
+/// roi\* search fails, and rDRP degrades to plain DRP ranking with
+/// `DegradedMode::DegenerateLabels`.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjection {
     /// Fraction of rows whose *features* are overwritten with NaN.
     pub feature_nan_fraction: f64,
     /// Fraction of rows whose *labels* (both outcomes) become NaN.
     pub label_nan_fraction: f64,
+    /// Fraction of rows whose *cost* label is zeroed (finite, so it passes
+    /// validation; at 1.0 the mean cost uplift collapses to zero).
+    pub cost_zero_fraction: f64,
 }
 
 tinyjson::json_struct!(FaultInjection {
     feature_nan_fraction,
-    label_nan_fraction
+    label_nan_fraction,
+    cost_zero_fraction
 });
 
 impl FaultInjection {
     /// Whether the hook would corrupt anything at all.
     pub fn is_active(&self) -> bool {
-        self.feature_nan_fraction > 0.0 || self.label_nan_fraction > 0.0
+        self.feature_nan_fraction > 0.0
+            || self.label_nan_fraction > 0.0
+            || self.cost_zero_fraction > 0.0
     }
 
     /// Corrupts `data` in place: independently samples the configured
-    /// fractions of rows and sets their features / labels to NaN.
+    /// fractions of rows and sets their features / labels to NaN (or, for
+    /// [`FaultInjection::cost_zero_fraction`], zeroes the cost label).
     pub fn corrupt(&self, data: &mut RctDataset, rng: &mut Prng) {
+        self.corrupt_observed(data, rng, &Obs::null());
+    }
+
+    /// [`FaultInjection::corrupt`] emitting one `abtest.fault_injected`
+    /// event `{kind, rows}` per corruption kind that touched at least one
+    /// row.
+    pub fn corrupt_observed(&self, data: &mut RctDataset, rng: &mut Prng, obs: &Obs) {
         let n = data.len();
-        let n_feat = ((n as f64) * self.feature_nan_fraction).round() as usize;
-        for &i in rng.permutation(n).iter().take(n_feat.min(n)) {
+        let n_feat = (((n as f64) * self.feature_nan_fraction).round() as usize).min(n);
+        for &i in rng.permutation(n).iter().take(n_feat) {
             for v in data.x.row_mut(i) {
                 *v = f64::NAN;
             }
         }
-        let n_lab = ((n as f64) * self.label_nan_fraction).round() as usize;
-        for &i in rng.permutation(n).iter().take(n_lab.min(n)) {
+        if n_feat > 0 {
+            obs.event(
+                "abtest.fault_injected",
+                &[("kind", "feature_nan".into()), ("rows", n_feat.into())],
+            );
+        }
+        let n_lab = (((n as f64) * self.label_nan_fraction).round() as usize).min(n);
+        for &i in rng.permutation(n).iter().take(n_lab) {
             data.y_r[i] = f64::NAN;
             data.y_c[i] = f64::NAN;
+        }
+        if n_lab > 0 {
+            obs.event(
+                "abtest.fault_injected",
+                &[("kind", "label_nan".into()), ("rows", n_lab.into())],
+            );
+        }
+        let n_cost = (((n as f64) * self.cost_zero_fraction).round() as usize).min(n);
+        for &i in rng.permutation(n).iter().take(n_cost) {
+            data.y_c[i] = 0.0;
+        }
+        if n_cost > 0 {
+            obs.event(
+                "abtest.fault_injected",
+                &[("kind", "cost_zero".into()), ("rows", n_cost.into())],
+            );
         }
     }
 }
@@ -185,6 +228,22 @@ pub fn run_ab_test(
     config: &AbTestConfig,
     rng: &mut Prng,
 ) -> Result<AbTestResult, PipelineError> {
+    run_ab_test_observed(model, setting, config, rng, &Obs::null())
+}
+
+/// [`run_ab_test`] with an [`Obs`] handle recording the simulation:
+/// per-arm running totals in counters `abtest.spend.{random,drp,rdrp}`
+/// and `abtest.revenue.{random,drp,rdrp}`, `abtest.days` counting
+/// simulated days, `abtest.fault_injected` events from the corruption
+/// hook, and the full `train.*`/`calibration.*`/`infer.*` vocabulary of
+/// the model-arm fit.
+pub fn run_ab_test_observed(
+    model: &StructuralModel,
+    setting: Setting,
+    config: &AbTestConfig,
+    rng: &mut Prng,
+    obs: &Obs,
+) -> Result<AbTestResult, PipelineError> {
     if config.days == 0 {
         return Err(PipelineError::Config(
             "run_ab_test: need at least one day".to_string(),
@@ -212,11 +271,11 @@ pub fn run_ab_test(
     };
     let mut calibration = model.sample(config.calibration, deploy_pop, rng);
     if let Some(fault) = &config.fault {
-        fault.corrupt(&mut train, rng);
-        fault.corrupt(&mut calibration, rng);
+        fault.corrupt_observed(&mut train, rng, obs);
+        fault.corrupt_observed(&mut calibration, rng, obs);
     }
     let mut rdrp_model = Rdrp::new(config.rdrp.clone())?;
-    rdrp_model.fit_with_calibration(&train, &calibration, rng)?;
+    rdrp_model.fit_with_calibration_observed(&train, &calibration, rng, obs)?;
 
     let mut daily = Vec::with_capacity(config.days);
     let (mut sum_rand, mut sum_drp, mut sum_rdrp) = (0.0, 0.0, 0.0);
@@ -228,7 +287,7 @@ pub fn run_ab_test(
         };
         // Three arms: independent viewer draws from the deployment
         // population (random assignment of viewers to arms).
-        for arm in 0..3 {
+        for (arm, arm_name) in ["random", "drp", "rdrp"].into_iter().enumerate() {
             let users = model.sample(config.users_per_day, deploy_pop, rng);
             let costs = users
                 .true_tau_c
@@ -238,8 +297,8 @@ pub fn run_ab_test(
             let budget = config.budget_fraction * total_cost;
             let scores: Vec<f64> = match arm {
                 0 => (0..users.len()).map(|_| rng.uniform()).collect(),
-                1 => rdrp_model.drp().predict_roi(&users.x),
-                _ => rdrp_model.predict_scores(&users.x, rng),
+                1 => rdrp_model.drp().predict_roi_observed(&users.x, obs),
+                _ => rdrp_model.predict_scores_observed(&users.x, rng, obs),
             };
             let allocation = greedy_allocate(&scores, &costs, budget);
             let revenue = realize_revenue(
@@ -249,6 +308,10 @@ pub fn run_ab_test(
                 config.stochastic_outcomes,
                 rng,
             );
+            if obs.enabled() {
+                obs.counter(&format!("abtest.spend.{arm_name}"), allocation.spent);
+                obs.counter(&format!("abtest.revenue.{arm_name}"), revenue);
+            }
             match arm {
                 0 => day.random = revenue,
                 1 => day.drp = revenue,
@@ -259,6 +322,7 @@ pub fn run_ab_test(
         sum_drp += day.drp;
         sum_rdrp += day.rdrp;
         daily.push(day);
+        obs.counter("abtest.days", 1.0);
     }
     let lift = |v: f64| {
         if sum_rand > 0.0 {
@@ -366,6 +430,7 @@ mod tests {
         let fault = FaultInjection {
             feature_nan_fraction: 0.1,
             label_nan_fraction: 0.05,
+            cost_zero_fraction: 0.0,
         };
         assert!(fault.is_active());
         fault.corrupt(&mut data, &mut rng);
@@ -385,6 +450,7 @@ mod tests {
         cfg.fault = Some(FaultInjection {
             feature_nan_fraction: 0.02,
             label_nan_fraction: 0.0,
+            cost_zero_fraction: 0.0,
         });
         let mut rng = Prng::seed_from_u64(5);
         let err = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap_err();

@@ -1,0 +1,102 @@
+//! Observability overhead benchmark.
+//!
+//! The contract of `obs` is that the *disabled* path is free: every
+//! instrumented call site guards on `Obs::enabled`, so production code
+//! running with `Obs::null()` pays one predictable branch per call and
+//! nothing else. This bench pins that claim two ways — micro (the raw
+//! per-call cost of each recording primitive, null vs in-memory) and
+//! macro (batch inference through the `*_observed` entry points with a
+//! null handle must track the uninstrumented path).
+
+use linalg::random::Prng;
+use linalg::Matrix;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nn::{Activation, Mlp};
+use obs::{Histogram, Obs};
+
+fn test_network(rng: &mut Prng) -> Mlp {
+    Mlp::builder(12)
+        .dense(64, Activation::Elu)
+        .dense(1, Activation::Identity)
+        .build(rng)
+}
+
+fn test_batch(rows: usize, rng: &mut Prng) -> Matrix {
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..12).map(|_| rng.gaussian()).collect())
+        .collect();
+    Matrix::from_rows(&data)
+}
+
+/// Macro check: `predict_scalar_observed` with the null handle against
+/// the plain `predict_scalar` it wraps. These two must be within noise
+/// of each other (<2% on any non-trivial batch).
+fn bench_inference_instrumented_vs_plain(c: &mut Criterion) {
+    let mut rng = Prng::seed_from_u64(0);
+    let net = test_network(&mut rng);
+    let x = test_batch(1_000, &mut rng);
+    let mut group = c.benchmark_group("obs_inference_overhead");
+    group.bench_function("plain", |b| b.iter(|| net.predict_scalar(&x)));
+    let null = Obs::null();
+    group.bench_function("observed_null", |b| {
+        b.iter(|| net.predict_scalar_observed(&x, &null))
+    });
+    let (enabled, _recorder) = Obs::in_memory();
+    group.bench_function("observed_in_memory", |b| {
+        b.iter(|| net.predict_scalar_observed(&x, &enabled))
+    });
+    group.finish();
+}
+
+/// Micro check: per-call cost of each primitive on a disabled handle vs
+/// a live in-memory recorder. The null column is the price every
+/// instrumented hot loop pays in production.
+fn bench_recording_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let handles = [("null", Obs::null()), ("in_memory", Obs::in_memory().0)];
+    for (label, obs) in &handles {
+        group.bench_with_input(BenchmarkId::new("counter", label), obs, |b, obs| {
+            b.iter(|| obs.counter("bench.counter", 1.0))
+        });
+        group.bench_with_input(BenchmarkId::new("observe", label), obs, |b, obs| {
+            b.iter(|| obs.observe("bench.hist", 1234.0))
+        });
+        group.bench_with_input(BenchmarkId::new("event", label), obs, |b, obs| {
+            b.iter(|| obs.event("bench.event", &[("k", 1u64.into())]))
+        });
+    }
+    group.finish();
+}
+
+/// Histogram recording and quantile extraction on realistic bucket
+/// layouts: `record` is a binary search over the bounds, `p99` a single
+/// cumulative walk.
+fn bench_histogram_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_histogram");
+    group.bench_function("record_latency_buckets", |b| {
+        let mut h = Histogram::latency_ns();
+        let mut v = 1.0;
+        b.iter(|| {
+            // Spread samples across the full bucket range.
+            v = (v * 1.618) % 1e10;
+            h.record(v + 1024.0);
+        })
+    });
+    group.bench_function("p99_uniform_64_buckets", |b| {
+        let mut h = Histogram::uniform(0.0, 1000.0, 64);
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            h.record(rng.uniform() * 1000.0);
+        }
+        b.iter(|| h.p99())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference_instrumented_vs_plain,
+    bench_recording_primitives,
+    bench_histogram_math
+);
+criterion_main!(benches);

@@ -3,6 +3,10 @@
 //! Hand-rolled on purpose: the CLI's surface is a handful of string and
 //! numeric flags, and keeping the workspace's dependency set to the
 //! offline-vendored crates matters more than clap's ergonomics.
+//!
+//! Single-dash arguments are boolean shorthands (currently just `-v` for
+//! `--verbose true`): they take no value and expand before the `--name
+//! value` pairing.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -61,6 +65,18 @@ impl Args {
         }
         let mut flags = BTreeMap::new();
         while let Some(arg) = iter.next() {
+            if !arg.starts_with("--") {
+                // Boolean shorthand: `-x` expands to its long flag = true.
+                if let Some(short) = arg.strip_prefix('-') {
+                    let long = match short {
+                        "v" => "verbose",
+                        _ => return Err(ArgError::Unexpected(arg.clone())),
+                    };
+                    flags.insert(long.to_string(), "true".to_string());
+                    continue;
+                }
+                return Err(ArgError::Unexpected(arg.clone()));
+            }
             let name = arg
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError::Unexpected(arg.clone()))?
@@ -114,6 +130,17 @@ mod tests {
         assert_eq!(a.get_or("epochs", 10usize).unwrap(), 30);
         assert_eq!(a.get_or("alpha", 0.1f64).unwrap(), 0.1);
         assert_eq!(a.get("nope"), None);
+    }
+
+    #[test]
+    fn short_v_expands_to_verbose() {
+        let a = Args::parse(strings(&["train", "-v", "--epochs", "3"])).unwrap();
+        assert!(a.get_or("verbose", false).unwrap());
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 3);
+        assert_eq!(
+            Args::parse(strings(&["train", "-x"])).unwrap_err(),
+            ArgError::Unexpected("-x".into())
+        );
     }
 
     #[test]

@@ -20,10 +20,12 @@ use args::Args;
 use datasets::generator::{Population, RctGenerator};
 use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, MeituanLike};
 use linalg::random::Prng;
+use obs::{InMemoryRecorder, Obs};
 use rdrp::{load_rdrp, save_rdrp, DrpConfig, Rdrp, RdrpConfig};
 use std::fmt;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use uplift::RoiModel;
 
 /// A CLI failure, bucketed so scripts can branch on the exit code:
@@ -77,10 +79,58 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  \
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
-     rdrp-cli train --train FILE --calibration FILE --model FILE [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N]\n  \
-     rdrp-cli score --model FILE --data FILE --out FILE\n  \
-     rdrp-cli evaluate --model FILE --data FILE [--bins N]"
+     rdrp-cli train --train FILE --calibration FILE --model FILE [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
+     rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
+     rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
+     --trace-out dumps the run's JSON trace (counters, histograms, events); -v prints a metrics summary table"
         .to_string()
+}
+
+/// The observability wiring shared by `train` and `score`: an enabled
+/// in-memory recorder when `--trace-out` or `-v`/`--verbose` asks for one,
+/// the zero-overhead null handle otherwise.
+struct CliObs {
+    obs: Obs,
+    recorder: Option<Arc<InMemoryRecorder>>,
+    trace_out: Option<String>,
+    verbose: bool,
+}
+
+impl CliObs {
+    fn from_args(args: &Args) -> Result<CliObs, CliError> {
+        let trace_out = args.get("trace-out").map(str::to_string);
+        let verbose: bool = args.get_or("verbose", false).map_err(usage_err)?;
+        if trace_out.is_none() && !verbose {
+            return Ok(CliObs {
+                obs: Obs::null(),
+                recorder: None,
+                trace_out: None,
+                verbose: false,
+            });
+        }
+        let (obs, recorder) = Obs::in_memory();
+        Ok(CliObs {
+            obs,
+            recorder: Some(recorder),
+            trace_out,
+            verbose,
+        })
+    }
+
+    /// Dumps the JSON trace and/or prints the summary table, as requested.
+    fn finish(&self) -> Result<(), CliError> {
+        let Some(recorder) = &self.recorder else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, recorder.render_json()).map_err(data_err)?;
+            println!("trace written to {path}");
+        }
+        if self.verbose {
+            print!("{}", recorder.summary());
+        }
+        Ok(())
+    }
 }
 
 fn schema_from(args: &Args) -> CsvSchema {
@@ -178,13 +228,14 @@ fn train(args: &Args) -> Result<(), CliError> {
         train_data.len(),
         cal_data.len()
     );
+    let cli_obs = CliObs::from_args(args)?;
     let mut rng = Prng::seed_from_u64(seed);
     // ... while a failed fit is a training error (exit 4). Malformed
     // *contents* of an otherwise readable CSV (NaN features, single-group
     // data) surface here too: the pipeline's own validation is the
     // authority on what it can train on.
     model
-        .fit_with_calibration(&train_data, &cal_data, &mut rng)
+        .fit_with_calibration_observed(&train_data, &cal_data, &mut rng, &cli_obs.obs)
         .map_err(|e| CliError::Train(e.to_string()))?;
     let d = model.diagnostics();
     println!(
@@ -204,6 +255,7 @@ fn train(args: &Args) -> Result<(), CliError> {
     }
     save_rdrp(&model, model_path).map_err(data_err)?;
     println!("model saved to {model_path}");
+    cli_obs.finish()?;
     Ok(())
 }
 
@@ -220,7 +272,11 @@ fn score(args: &Args) -> Result<(), CliError> {
             mode.reason()
         );
     }
-    let scores = model.predict_roi(&data.x);
+    let cli_obs = CliObs::from_args(args)?;
+    // The same fixed seed RoiModel::predict_roi uses: scoring a fitted
+    // model is deterministic.
+    let mut rng = Prng::seed_from_u64(0x5C0BE);
+    let scores = model.predict_scores_observed(&data.x, &mut rng, &cli_obs.obs);
     let mut rng = Prng::seed_from_u64(0x5C0BE);
     let intervals = model.predict_intervals(&data.x, &mut rng);
     let mut out = std::fs::File::create(out_path).map_err(data_err)?;
@@ -229,6 +285,7 @@ fn score(args: &Args) -> Result<(), CliError> {
         writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(data_err)?;
     }
     println!("wrote {} scores to {out_path}", scores.len());
+    cli_obs.finish()?;
     Ok(())
 }
 
@@ -353,6 +410,71 @@ mod tests {
         ]))
         .unwrap();
         for f in [train_csv, cal_csv, test_csv, model_json, scores_csv] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn train_with_trace_out_writes_parseable_trace() {
+        let train_csv = tmp("tr_trace.csv");
+        let cal_csv = tmp("cal_trace.csv");
+        let model_json = tmp("model_trace.json");
+        let trace_json = tmp("trace.json");
+        for (path, rows, seed) in [(&train_csv, "2500", "50"), (&cal_csv, "1000", "51")] {
+            run(strings(&[
+                "generate",
+                "--dataset",
+                "criteo",
+                "--rows",
+                rows,
+                "--out",
+                path,
+                "--seed",
+                seed,
+            ]))
+            .unwrap();
+        }
+        run(strings(&[
+            "train",
+            "--train",
+            &train_csv,
+            "--calibration",
+            &cal_csv,
+            "--model",
+            &model_json,
+            "--epochs",
+            "4",
+            "--mc-passes",
+            "10",
+            "--trace-out",
+            &trace_json,
+            "-v",
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_json).unwrap();
+        let value = tinyjson::parse(&trace).unwrap();
+        // Four epochs of training must appear as four train.epoch events.
+        let tinyjson::Value::Obj(top) = &value else {
+            panic!("trace root must be an object")
+        };
+        let events = top
+            .iter()
+            .find(|(k, _)| k == "events")
+            .map(|(_, v)| v)
+            .unwrap();
+        let tinyjson::Value::Arr(events) = events else {
+            panic!("events must be an array")
+        };
+        let epoch_events = events
+            .iter()
+            .filter(|e| {
+                matches!(e, tinyjson::Value::Obj(fields)
+                    if fields.iter().any(|(k, v)| k == "name"
+                        && matches!(v, tinyjson::Value::Str(s) if s == "train.epoch")))
+            })
+            .count();
+        assert_eq!(epoch_events, 4);
+        for f in [train_csv, cal_csv, model_json, trace_json] {
             let _ = std::fs::remove_file(f);
         }
     }

@@ -41,6 +41,15 @@ tinyjson::json_unit_enum!(DegradedMode {
 });
 
 impl DegradedMode {
+    /// The variant name — the stable identifier trace events carry, and
+    /// the same string the `json_unit_enum!` serialization uses.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradedMode::DegenerateLabels => "DegenerateLabels",
+            DegradedMode::DegenerateUncertainty => "DegenerateUncertainty",
+        }
+    }
+
     /// Human-readable explanation for warnings.
     pub fn reason(self) -> &'static str {
         match self {

@@ -7,7 +7,8 @@ use linalg::random::Prng;
 use linalg::stats::Standardizer;
 use linalg::vector::sigmoid;
 use linalg::Matrix;
-use nn::{mc_predict_map, Activation, McStats, Mlp, TrainConfig};
+use nn::{mc_predict_map, mc_predict_map_observed, Activation, McStats, Mlp, TrainConfig};
+use obs::Obs;
 use uplift::error::{check_both_groups, check_xty};
 use uplift::{FitError, RoiModel};
 
@@ -54,9 +55,31 @@ impl DrpModel {
     /// Panics before [`RoiModel::fit`].
     #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_score(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_score_observed(x, &Obs::null())
+    }
+
+    /// [`DrpModel::predict_score`] with batch-inference accounting routed
+    /// through [`Mlp::predict_scalar_observed`] (`infer.predict_*`
+    /// histograms and counters).
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`].
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn predict_score_observed(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
-        state.net.predict_scalar(&z)
+        state.net.predict_scalar_observed(&z, obs)
+    }
+
+    /// [`RoiModel::predict_roi`] with batch-inference accounting.
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`].
+    pub fn predict_roi_observed(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        self.predict_score_observed(x, obs)
+            .into_iter()
+            .map(sigmoid)
+            .collect()
     }
 
     /// MC-dropout statistics of the *ROI* estimate `σ(ŝ)` — the mean is a
@@ -87,10 +110,29 @@ impl DrpModel {
         std_floor: f64,
         rng: &mut Prng,
     ) -> McStats {
+        self.mc_roi_with_rate_observed(x, passes, rate, std_floor, rng, &Obs::null())
+    }
+
+    /// [`DrpModel::mc_roi_with_rate`] with MC-sweep accounting routed
+    /// through [`mc_predict_map_observed`] (`infer.mc_*` histograms and
+    /// counters).
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`] or when `passes == 0`.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn mc_roi_with_rate_observed(
+        &self,
+        x: &Matrix,
+        passes: usize,
+        rate: f64,
+        std_floor: f64,
+        rng: &mut Prng,
+        obs: &Obs,
+    ) -> McStats {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
         let net = state.net.with_dropout_rate(rate);
-        mc_predict_map(&net, &z, passes, std_floor, rng, sigmoid)
+        mc_predict_map_observed(&net, &z, passes, std_floor, rng, sigmoid, obs)
     }
 
     /// Final training loss (diagnostic; the paper's Fig. 3 is about this
@@ -103,14 +145,16 @@ impl DrpModel {
     pub fn final_loss(&self) -> Option<f64> {
         self.state.as_ref().expect("DrpModel: fit first").final_loss
     }
-}
 
-impl RoiModel for DrpModel {
-    fn name(&self) -> String {
-        "DRP".to_string()
-    }
-
-    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+    /// [`RoiModel::fit`] with the trainer's trace vocabulary
+    /// (`train.epoch` events, divergence/LR-halving retries, final-loss
+    /// gauge — see [`nn::train_observed`]).
+    pub fn fit_observed(
+        &mut self,
+        data: &RctDataset,
+        rng: &mut Prng,
+        obs: &Obs,
+    ) -> Result<(), FitError> {
         check_xty("DRP", &data.x, &data.t, &data.y_r)?;
         check_xty("DRP", &data.x, &data.t, &data.y_c)?;
         check_both_groups("DRP", &data.t)?;
@@ -133,13 +177,23 @@ impl RoiModel for DrpModel {
             weight_decay: self.config.weight_decay,
             ..TrainConfig::default()
         };
-        let report = nn::train(&mut net, &z, &objective, &cfg, rng)?;
+        let report = nn::train_observed(&mut net, &z, &objective, &cfg, rng, obs)?;
         self.state = Some(Fitted {
             scaler,
             net,
             final_loss: report.final_loss(),
         });
         Ok(())
+    }
+}
+
+impl RoiModel for DrpModel {
+    fn name(&self) -> String {
+        "DRP".to_string()
+    }
+
+    fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
+        self.fit_observed(data, rng, &Obs::null())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {

@@ -78,4 +78,4 @@ pub use loss::DrpObjective;
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
 pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp, PersistError};
 pub use rdrp::{Rdrp, RdrpDiagnostics};
-pub use search::{find_roi_star, SearchError};
+pub use search::{find_roi_star, find_roi_star_observed, SearchError};

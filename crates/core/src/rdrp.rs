@@ -16,11 +16,12 @@ use crate::calibrate::{CalibrationForm, DegradedMode};
 use crate::config::RdrpConfig;
 use crate::drp::DrpModel;
 use crate::error::PipelineError;
-use crate::search::{find_roi_star, SearchError};
+use crate::search::{find_roi_star_observed, SearchError};
 use conformal::{Interval, SplitConformal};
 use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
+use obs::Obs;
 use uplift::{FitError, RoiModel};
 
 /// What the calibration phase produced (inspectable diagnostics).
@@ -257,6 +258,32 @@ impl Rdrp {
         calibration: &RctDataset,
         rng: &mut Prng,
     ) -> Result<(), FitError> {
+        self.fit_with_calibration_observed(train, calibration, rng, &Obs::null())
+    }
+
+    /// [`Rdrp::fit_with_calibration`] with an [`Obs`] handle recording
+    /// every run-level decision the diagnostics summarize:
+    ///
+    /// * the trainer's `train.*` vocabulary (via [`nn::train_observed`]);
+    /// * `infer.*` batch/MC histograms for the calibration-set inference;
+    /// * counter `calibration.std_floor_hits` — how many calibration rows
+    ///   had their MC-dropout std clamped at `std_floor`;
+    /// * event `calibration.roi_star` `{roi_star, iterations, lo, hi}`
+    ///   from Algorithm 2's bisection (exactly once on a non-degraded
+    ///   run);
+    /// * event `calibration.qhat` `{qhat, n_calibration, alpha}` once the
+    ///   conformal quantile exists;
+    /// * event `calibration.form_selected` `{form}` on full success, or
+    /// * event `calibration.degraded` `{mode}` (exactly once) when the
+    ///   pipeline fell back to plain DRP ranking — `mode` is the
+    ///   [`DegradedMode`] variant name.
+    pub fn fit_with_calibration_observed(
+        &mut self,
+        train: &RctDataset,
+        calibration: &RctDataset,
+        rng: &mut Prng,
+        obs: &Obs,
+    ) -> Result<(), FitError> {
         if calibration.is_empty() {
             return Err(FitError::InvalidData(
                 "rDRP: empty calibration set".to_string(),
@@ -275,21 +302,33 @@ impl Rdrp {
             &calibration.y_c,
         )?;
         // Step 1: train DRP.
-        self.drp.fit(train, rng)?;
+        self.drp.fit_observed(train, rng, obs)?;
         // Step 2 on the calibration set.
-        let preds = self.drp.predict_roi(&calibration.x);
-        let mc = self.drp.mc_roi_with_rate(
+        let preds = self.drp.predict_roi_observed(&calibration.x, obs);
+        let mc = self.drp.mc_roi_with_rate_observed(
             &calibration.x,
             self.config.mc_passes,
             self.config.mc_dropout,
             self.config.std_floor,
             rng,
+            obs,
         );
-        let roi_star = match find_roi_star(
+        // `mc_predict_map` clamps each std at the floor, so a floored row
+        // is exactly equal to it.
+        let floor_hits = mc
+            .std
+            .iter()
+            .filter(|&&s| s <= self.config.std_floor)
+            .count();
+        if floor_hits > 0 {
+            obs.counter("calibration.std_floor_hits", floor_hits as f64);
+        }
+        let roi_star = match find_roi_star_observed(
             &calibration.t,
             &calibration.y_r,
             &calibration.y_c,
             self.config.search_eps,
+            obs,
         ) {
             Ok(v) => v,
             Err(SearchError::MissingGroup | SearchError::NonPositiveCostUplift { .. }) => {
@@ -297,6 +336,10 @@ impl Rdrp {
                 // (q̂ = 0 makes every form reduce to a monotone transform
                 // of the point estimate — Identity keeps it exact).
                 // A q̂ = 0 conformal object keeps predict_intervals usable.
+                obs.event(
+                    "calibration.degraded",
+                    &[("mode", DegradedMode::DegenerateLabels.label().into())],
+                );
                 self.state = Some(Calibrated {
                     conformal: SplitConformal::from_quantile(
                         0.0,
@@ -332,6 +375,14 @@ impl Rdrp {
             self.config.std_floor,
         )
         .map_err(|e| FitError::Calibration(e.to_string()))?;
+        obs.event(
+            "calibration.qhat",
+            &[
+                ("qhat", conformal.qhat().into()),
+                ("n_calibration", calibration.len().into()),
+                ("alpha", self.config.alpha.into()),
+            ],
+        );
         // Degenerate-uncertainty guard: when the calibration-set MC stds
         // are (near-)constant — e.g. dropout disabled, or every pass
         // floored at `std_floor` — the conformal score `|roi* − r̂oi|/r̂`
@@ -349,6 +400,13 @@ impl Rdrp {
             hi - lo
         };
         if spread <= self.config.std_degeneracy_eps {
+            obs.event(
+                "calibration.degraded",
+                &[
+                    ("mode", DegradedMode::DegenerateUncertainty.label().into()),
+                    ("spread", spread.into()),
+                ],
+            );
             self.state = Some(Calibrated {
                 form: CalibrationForm::Identity,
                 diagnostics: RdrpDiagnostics {
@@ -381,6 +439,10 @@ impl Rdrp {
             self.config.std_floor,
             SELECTION_BOOTSTRAPS,
             rng,
+        );
+        obs.event(
+            "calibration.form_selected",
+            &[("form", selected.label().into())],
         );
         let diagnostics = RdrpDiagnostics {
             roi_star: Some(roi_star),
@@ -431,17 +493,30 @@ impl Rdrp {
     /// Panics before fitting.
     #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<f64> {
+        self.predict_scores_observed(x, rng, &Obs::null())
+    }
+
+    /// [`Rdrp::predict_scores`] with batch-inference accounting: the
+    /// point-estimate pass records `infer.predict_*` and, when the
+    /// selected form needs interval widths, the MC sweep records
+    /// `infer.mc_*`.
+    ///
+    /// # Panics
+    /// Panics before fitting.
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn predict_scores_observed(&self, x: &Matrix, rng: &mut Prng, obs: &Obs) -> Vec<f64> {
         let state = self.state.as_ref().expect("Rdrp: fit before predict");
-        let preds = self.drp.predict_roi(x);
+        let preds = self.drp.predict_roi_observed(x, obs);
         if state.form == CalibrationForm::Identity {
             return preds;
         }
-        let mc = self.drp.mc_roi_with_rate(
+        let mc = self.drp.mc_roi_with_rate_observed(
             x,
             self.config.mc_passes,
             self.config.mc_dropout,
             self.config.std_floor,
             rng,
+            obs,
         );
         let qhat = state.conformal.qhat();
         let half_widths: Vec<f64> = mc.std.iter().map(|&s| s * qhat).collect();
@@ -487,6 +562,7 @@ impl RoiModel for Rdrp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::find_roi_star;
     use datasets::generator::{Population, RctGenerator};
     use datasets::{CriteoLike, ExperimentData, Setting, SettingSizes};
 

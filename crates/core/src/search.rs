@@ -56,6 +56,22 @@ impl std::error::Error for SearchError {}
 /// noisy samples even though Assumption 3 bounds the population value —
 /// the search saturates at the nearest boundary.
 pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64, SearchError> {
+    find_roi_star_observed(t, y_r, y_c, eps, &obs::Obs::null())
+}
+
+/// [`find_roi_star`] with an [`obs::Obs`] handle recording the search:
+/// counter `calibration.search_iterations` accumulates bisection steps,
+/// and one `calibration.roi_star` event carries the result alongside the
+/// final bracket `{roi_star, iterations, lo, hi}`. Errors emit nothing —
+/// the caller decides how a failed search is reported (in the rDRP
+/// pipeline it becomes a `calibration.degraded` event).
+pub fn find_roi_star_observed(
+    t: &[u8],
+    y_r: &[f64],
+    y_c: &[f64],
+    eps: f64,
+    obs: &obs::Obs,
+) -> Result<f64, SearchError> {
     if !(eps > 0.0 && eps < 0.5) {
         return Err(SearchError::InvalidTolerance { eps });
     }
@@ -70,10 +86,12 @@ pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
     let mut roi = 0.5;
+    let mut iterations = 0usize;
     // |log2(1/eps)| + 1 iterations suffice (paper §IV-D); the loop guard
     // below mirrors Algorithm 2's `while |roi_r - roi_l| > eps`.
     while hi - lo > eps {
         let d = shared_score_derivative(logit(roi), t, y_r, y_c);
+        iterations += 1;
         if d.abs() < eps {
             break;
         }
@@ -84,7 +102,18 @@ pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64
         }
         roi = 0.5 * (lo + hi);
     }
-    Ok(roi.clamp(eps, 1.0 - eps))
+    let roi = roi.clamp(eps, 1.0 - eps);
+    obs.counter("calibration.search_iterations", iterations as f64);
+    obs.event(
+        "calibration.roi_star",
+        &[
+            ("roi_star", roi.into()),
+            ("iterations", iterations.into()),
+            ("lo", lo.into()),
+            ("hi", hi.into()),
+        ],
+    );
+    Ok(roi)
 }
 
 #[cfg(test)]

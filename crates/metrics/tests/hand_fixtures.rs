@@ -1,0 +1,128 @@
+//! Hand-computed fixtures for the ranking metrics.
+//!
+//! The unit tests in `qini.rs`/`aucc.rs` check *behavioral* properties on
+//! synthetic data (good beats random, invariance to monotone transforms).
+//! These fixtures pin the *arithmetic*: tiny datasets small enough to
+//! trace by hand, with every intermediate written out in the comments, so
+//! a refactor that changes binning, normalization, or trapezoid handling
+//! is caught as an exact-value regression rather than a statistical drift.
+
+use datasets::RctDataset;
+use linalg::Matrix;
+use metrics::{aucc_checked, aucc_from_labels, aucc_oracle, qini, uplift_at_k};
+
+/// A dataset whose only meaningful content is `(t, y_r, y_c)`; features
+/// are a single zero column (the metrics never look at `x`).
+fn fixture(t: Vec<u8>, y_r: Vec<f64>, y_c: Vec<f64>) -> RctDataset {
+    let n = t.len();
+    RctDataset {
+        x: Matrix::from_rows(&vec![vec![0.0]; n]),
+        t,
+        y_r,
+        y_c,
+        true_tau_r: None,
+        true_tau_c: None,
+    }
+}
+
+/// Descending scores that rank row 0 first, row n-1 last.
+fn identity_ranking(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (n - i) as f64).collect()
+}
+
+// Eight rows, alternating treated/control, ranked 0..7:
+//
+//   row:  0  1  2  3  4  5  6  7
+//   t:    1  0  1  0  1  0  1  0
+//   y_r:  1  0  1  0  0  1  0  0
+//
+// Qini with 4 bins evaluates cutoffs k = 2, 4, 6, 8:
+//   k=2: r1=1 (n1=1), r0=0 (n0=1)        -> q = 1 - 0*1/1 = 1
+//   k=4: r1=2 (n1=2), r0=0 (n0=2)        -> q = 2
+//   k=6: r1=2 (n1=3), r0=1 (n0=3)        -> q = 2 - 1*3/3 = 1
+//   k=8: r1=2 (n1=4), r0=1 (n0=4)        -> q = 1   (total)
+// Curve [0, 1, 2, 1, 1], dx = 1/4; trapezoid area between the curve and
+// the diagonal to (1, 1):
+//   (0.5-0.125 + 1.5-0.375 + 1.5-0.625 + 1.0-0.875) / 4 = 0.625
+#[test]
+fn qini_matches_hand_computation() {
+    let d = fixture(
+        vec![1, 0, 1, 0, 1, 0, 1, 0],
+        vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        vec![1.0; 8],
+    );
+    let q = qini(&d, &identity_ranking(8), 4);
+    assert!((q - 0.625).abs() < 1e-12, "qini = {q}, expected 0.625");
+}
+
+// Same eight rows. Top half (rows 0..4): treated r1/n1 = 2/2 = 1, control
+// r0/n0 = 0/2 = 0, so uplift@50% = 1. Full population: 2/4 - 1/4 = 0.25.
+#[test]
+fn uplift_at_k_matches_hand_computation() {
+    let d = fixture(
+        vec![1, 0, 1, 0, 1, 0, 1, 0],
+        vec![1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        vec![1.0; 8],
+    );
+    let top_half = uplift_at_k(&d, &identity_ranking(8), 0.5);
+    assert!((top_half - 1.0).abs() < 1e-12, "uplift@0.5 = {top_half}");
+    let full = uplift_at_k(&d, &identity_ranking(8), 1.0);
+    assert!((full - 0.25).abs() < 1e-12, "uplift@1.0 = {full}");
+}
+
+// Eight rows (t, y_r, y_c), ranked 0..7:
+//
+//   row:  0        1        2        3        4        5        6        7
+//         (1,1,1)  (0,0,0)  (1,1,1)  (0,0,0)  (1,0,1)  (0,0,0)  (1,0,1)  (0,1,1)
+//
+// Full-population incrementals (difference in means x n):
+//   treated: n1=4, r1=2, c1=4;  control: n0=4, r0=1, c0=1
+//   total benefit = (2/4 - 1/4)*8 = 2;  total cost = (4/4 - 1/4)*8 = 6
+// With 2 bins the curve is evaluated at k=4 and k=8:
+//   k=4: treated {0,2}: r1=2, c1=2; control {1,3}: r0=0, c0=0
+//        benefit = (1-0)*4 = 4 -> 4/2 = 2;  cost = (1-0)*4 = 4 -> 4/6 = 2/3
+//   k=8: normalized endpoint (1, 1)
+// Curve (0,0) -> (2/3, 2) -> (1, 1); trapezoid area:
+//   2/3 * (0+2)/2 + 1/3 * (2+1)/2 = 2/3 + 1/2 = 7/6
+#[test]
+fn aucc_matches_hand_computation() {
+    let d = fixture(
+        vec![1, 0, 1, 0, 1, 0, 1, 0],
+        vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 1.0],
+    );
+    let scores = identity_ranking(8);
+    let a = aucc_from_labels(&d, &scores, 2);
+    assert!((a - 7.0 / 6.0).abs() < 1e-12, "aucc = {a}, expected 7/6");
+    // The checked variant agrees on rankable data ...
+    assert_eq!(aucc_checked(&d, &scores, 2), Some(a));
+}
+
+// ... and declines on a degenerate sample: zeroing every cost makes the
+// total incremental cost 0, which is not rankable by ROI.
+#[test]
+fn aucc_checked_declines_zero_cost_uplift() {
+    let d = fixture(
+        vec![1, 0, 1, 0, 1, 0, 1, 0],
+        vec![1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        vec![0.0; 8],
+    );
+    assert_eq!(aucc_checked(&d, &identity_ranking(8), 2), None);
+}
+
+// Four rows with ground truth tau_r = [2, 1, 1, 0], tau_c = [1, 1, 1, 1],
+// ranked 0..3. Totals: benefit 4, cost 4. With 2 bins:
+//   k=2: cum_r = 3, cum_c = 2 -> (0.5, 0.75)
+//   k=4: (1, 1)
+// Area = 0.5*(0+0.75)/2 + 0.5*(0.75+1)/2 = 0.1875 + 0.4375 = 0.625
+#[test]
+fn aucc_oracle_matches_hand_computation() {
+    let mut d = fixture(vec![1, 0, 1, 0], vec![1.0; 4], vec![1.0; 4]);
+    d.true_tau_r = Some(vec![2.0, 1.0, 1.0, 0.0]);
+    d.true_tau_c = Some(vec![1.0; 4]);
+    let o = aucc_oracle(&d, &identity_ranking(4), 2);
+    assert!(
+        (o - 0.625).abs() < 1e-12,
+        "oracle aucc = {o}, expected 0.625"
+    );
+}

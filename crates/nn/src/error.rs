@@ -52,6 +52,19 @@ pub enum DivergenceCause {
     },
 }
 
+impl DivergenceCause {
+    /// A short stable identifier for trace events — unlike [`fmt::Display`]
+    /// it never embeds the observed value, so golden traces stay byte-stable
+    /// across runs that diverge with different losses/norms.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DivergenceCause::NonFiniteLoss { .. } => "non_finite_loss",
+            DivergenceCause::NonFiniteGradient => "non_finite_gradient",
+            DivergenceCause::ExplodingGradient { .. } => "exploding_gradient",
+        }
+    }
+}
+
 impl fmt::Display for DivergenceCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

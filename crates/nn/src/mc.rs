@@ -56,6 +56,39 @@ pub fn mc_predict_map(
     rng: &mut Prng,
     transform: impl Fn(f64) -> f64 + Sync,
 ) -> McStats {
+    mc_predict_map_observed(net, x, passes, std_floor, rng, transform, &obs::Obs::null())
+}
+
+/// [`mc_predict_map`] with latency + batch accounting: histogram
+/// `infer.mc_ns` gets the wall-clock duration of the whole MC sweep,
+/// histogram `infer.mc_rows` the batch size, counter `infer.mc_passes`
+/// the number of stochastic passes. Free (one branch) under a disabled
+/// handle; recording happens outside the worker threads so the parallel
+/// schedule is untouched.
+pub fn mc_predict_map_observed(
+    net: &Mlp,
+    x: &Matrix,
+    passes: usize,
+    std_floor: f64,
+    rng: &mut Prng,
+    transform: impl Fn(f64) -> f64 + Sync,
+    obs: &obs::Obs,
+) -> McStats {
+    obs.counter("infer.mc_passes", passes as f64);
+    obs.observe("infer.mc_rows", x.rows() as f64);
+    obs.time("infer.mc_ns", || {
+        mc_predict_map_inner(net, x, passes, std_floor, rng, transform)
+    })
+}
+
+fn mc_predict_map_inner(
+    net: &Mlp,
+    x: &Matrix,
+    passes: usize,
+    std_floor: f64,
+    rng: &mut Prng,
+    transform: impl Fn(f64) -> f64 + Sync,
+) -> McStats {
     assert!(passes > 0, "mc_predict: need at least one pass");
     assert_eq!(net.output_dim(), 1, "mc_predict: scalar output expected");
     let n = x.rows();

@@ -310,6 +310,16 @@ impl Mlp {
         out
     }
 
+    /// [`Mlp::predict_scalar`] with latency + batch-size accounting:
+    /// histogram `infer.predict_ns` gets the wall-clock duration, histogram
+    /// `infer.predict_rows` the batch size, counter `infer.predict_calls`
+    /// bumps once. Free (one branch) under a disabled handle.
+    pub fn predict_scalar_observed(&self, x: &Matrix, obs: &obs::Obs) -> Vec<f64> {
+        obs.counter("infer.predict_calls", 1.0);
+        obs.observe("infer.predict_rows", x.rows() as f64);
+        obs.time("infer.predict_ns", || self.predict_scalar(x))
+    }
+
     /// Backward pass through the whole stack. `grad_out` is `dL/d(output)`
     /// for the latest [`Mode::Train`] forward batch. Returns `dL/d(input)`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {

@@ -17,6 +17,7 @@ use crate::optimizer::{Adam, Optimizer, Sgd};
 use crate::Mode;
 use linalg::random::Prng;
 use linalg::Matrix;
+use obs::Obs;
 
 /// Which optimizer the trainer instantiates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,6 +161,25 @@ pub fn train(
     config: &TrainConfig,
     rng: &mut Prng,
 ) -> Result<TrainReport, TrainError> {
+    train_observed(net, x, objective, config, rng, &Obs::null())
+}
+
+/// [`train`] with an [`Obs`] handle recording the run's decisions.
+///
+/// Trace vocabulary (all disabled — one branch each — under [`Obs::null`]):
+/// * event `train.epoch` `{epoch, loss}` per completed epoch;
+/// * event `train.divergence` `{epoch, cause, lr}` per sentinel trip, with
+///   the *halved* learning rate the rollback resumes at;
+/// * counters `train.epochs` and `train.divergence_retries`;
+/// * gauge `train.final_loss` when at least one epoch completed.
+pub fn train_observed(
+    net: &mut Mlp,
+    x: &Matrix,
+    objective: &dyn Objective,
+    config: &TrainConfig,
+    rng: &mut Prng,
+    obs: &Obs,
+) -> Result<TrainReport, TrainError> {
     if x.rows() == 0 {
         return Err(TrainError::EmptyDataset);
     }
@@ -230,10 +250,24 @@ pub fn train(
             net.clone_from(&checkpoint);
             lr *= 0.5;
             opt = make_optimizer(config.optimizer, lr);
+            obs.counter("train.divergence_retries", 1.0);
+            obs.event(
+                "train.divergence",
+                &[
+                    ("epoch", epoch.into()),
+                    ("cause", cause.label().into()),
+                    ("lr", lr.into()),
+                ],
+            );
             report.recoveries.push(Recovery { epoch, cause, lr });
             continue;
         }
         let mean_loss = epoch_loss / batches.max(1) as f64;
+        obs.counter("train.epochs", 1.0);
+        obs.event(
+            "train.epoch",
+            &[("epoch", epoch.into()), ("loss", mean_loss.into())],
+        );
         report.epoch_losses.push(mean_loss);
         if mean_loss < best_checkpoint_loss {
             best_checkpoint_loss = mean_loss;
@@ -252,6 +286,9 @@ pub fn train(
             }
         }
         epoch += 1;
+    }
+    if let Some(final_loss) = report.final_loss() {
+        obs.gauge("train.final_loss", final_loss);
     }
     Ok(report)
 }

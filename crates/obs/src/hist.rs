@@ -1,0 +1,261 @@
+//! Fixed-bucket histograms with exact quantile extraction.
+//!
+//! Buckets are defined by a sorted list of *upper bounds* plus an implicit
+//! overflow bucket. Recording is O(log buckets); quantile extraction walks
+//! the cumulative counts and reports the upper bound of the bucket holding
+//! the requested rank, so the estimate is always within one bucket width of
+//! the true empirical quantile (the property tests in
+//! `tests/quantile_props.rs` pin this down). Exact `min`/`max`/`sum` are
+//! tracked alongside so the overflow bucket can report its true maximum.
+
+/// A fixed-bucket histogram over `f64` samples.
+///
+/// Two histograms are `==` iff they have the same bounds and identical
+/// per-bucket counts and summary stats — which is exactly the "merging two
+/// histograms equals recording the union" property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Sorted inclusive upper bounds; samples `<= bounds[i]` land in bucket
+    /// `i` (the first such `i`). Samples above the last bound land in the
+    /// overflow bucket `counts[bounds.len()]`.
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram from explicit sorted upper bounds (overflow bucket added
+    /// implicitly). Bounds must be finite, strictly increasing, non-empty.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `n` equal-width buckets spanning `[lo, hi]`, plus the overflow bucket.
+    pub fn uniform(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(
+            n >= 1 && lo < hi,
+            "uniform histogram needs n >= 1 and lo < hi"
+        );
+        let width = (hi - lo) / n as f64;
+        Histogram::with_bounds((1..=n).map(|i| lo + width * i as f64).collect())
+    }
+
+    /// Power-of-two latency buckets from 1 µs to ~17 s (in nanoseconds).
+    ///
+    /// 25 bounds: 2^10 ns, 2^11 ns, … 2^34 ns. Wide enough for everything
+    /// from a single-row forward pass to a full training run.
+    pub fn latency_ns() -> Self {
+        Histogram::with_bounds((10..=34).map(|e| (1u64 << e) as f64).collect())
+    }
+
+    /// Records one sample. Non-finite samples are counted in the overflow
+    /// bucket but excluded from `sum`/`min`/`max`.
+    pub fn record(&mut self, v: f64) {
+        let idx = if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+            self.bounds.partition_point(|&b| b < v)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite sample, or `None` if nothing finite was recorded.
+    pub fn min(&self) -> Option<f64> {
+        (self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest finite sample, or `None` if nothing finite was recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Mean of all finite samples, or `None` on an empty histogram.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The bucket upper bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// containing rank `ceil(q * count)`.
+    ///
+    /// For the overflow bucket the exact recorded maximum is reported, so
+    /// the estimate never exceeds the true sample range. Returns `None` on
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q), "quantile wants q in (0, 1]");
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    // Overflow bucket: the exact max is the tightest bound
+                    // we have (falls back to the last bound when only
+                    // non-finite samples overflowed).
+                    if self.max.is_finite() {
+                        self.max
+                    } else {
+                        self.bounds[self.bounds.len() - 1]
+                    }
+                });
+            }
+        }
+        None
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile shorthand.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile shorthand.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self`. Panics if bucket bounds differ — merging
+    /// only makes sense across identically-shaped histograms.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_buckets() {
+        let mut h = Histogram::uniform(0.0, 10.0, 5);
+        // Bounds: 2, 4, 6, 8, 10 (+overflow).
+        for v in [1.0, 2.0, 2.5, 9.9, 10.0, 11.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(11.0));
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = Histogram::uniform(0.0, 100.0, 100);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.p50(), Some(50.0));
+        assert_eq!(h.p95(), Some(95.0));
+        assert_eq!(h.p99(), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn overflow_quantile_reports_exact_max() {
+        let mut h = Histogram::uniform(0.0, 1.0, 2);
+        h.record(42.0);
+        assert_eq!(h.p50(), Some(42.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::latency_ns();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = Histogram::uniform(0.0, 10.0, 10);
+        let mut b = Histogram::uniform(0.0, 10.0, 10);
+        let mut u = Histogram::uniform(0.0, 10.0, 10);
+        for v in [0.5, 3.3, 9.9] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [1.1, 3.4, 12.0] {
+            b.record(v);
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::uniform(0.0, 1.0, 2);
+        let b = Histogram::uniform(0.0, 1.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn non_finite_samples_overflow_without_poisoning_stats() {
+        let mut h = Histogram::uniform(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        h.record(0.25);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(0.25));
+        assert_eq!(h.max(), Some(0.25));
+        assert_eq!(h.sum(), 0.25);
+    }
+}

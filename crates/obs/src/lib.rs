@@ -1,0 +1,226 @@
+//! A deterministic, zero-dependency observability substrate.
+//!
+//! The rDRP pipeline makes run-level decisions that are invisible from its
+//! return values alone: how many epochs actually ran, whether training
+//! rolled back and halved the learning rate, how many bisection iterations
+//! Algorithm 2's roi\* search took, which conformal quantile was chosen,
+//! and — after the graceful-degradation work — *whether* calibration fell
+//! back to plain DRP ranking and why. This crate makes those decisions
+//! observable without giving up determinism:
+//!
+//! * [`Recorder`] — counters, gauges, fixed-bucket [`Histogram`]s with
+//!   exact p50/p95/p99 extraction, and structured [`Event`] records.
+//! * [`NullRecorder`] — the default sink; every instrumented call site
+//!   guards on [`Obs::enabled`], so the disabled path costs one branch.
+//! * [`InMemoryRecorder`] — a thread-safe accumulator with a JSON exporter
+//!   (via `tinyjson`) whose output is byte-stable: sorted metric maps,
+//!   insertion-ordered events, shortest-roundtrip float formatting.
+//! * [`Clock`] — injectable time. [`SystemClock`] for production,
+//!   [`ManualClock`] for tests, so a fixed-seed run renders a
+//!   bit-for-bit reproducible trace.
+//!
+//! Instrumented code takes an [`Obs`] handle (cheap to clone — two `Arc`s
+//! and a bool) rather than a recorder directly:
+//!
+//! ```
+//! use obs::Obs;
+//!
+//! let (obs, recorder) = Obs::in_memory();
+//! obs.counter("train.epochs", 1.0);
+//! obs.event("train.epoch", &[("epoch", 0u64.into()), ("loss", 0.3.into())]);
+//! assert_eq!(recorder.event_count("train.epoch"), 1);
+//!
+//! // The default handle records nothing and costs one branch per call.
+//! let null = Obs::null();
+//! assert!(!null.enabled());
+//! ```
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod clock;
+pub mod hist;
+pub mod recorder;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use hist::Histogram;
+pub use recorder::{Event, FieldValue, InMemoryRecorder, NullRecorder, Recorder};
+
+use std::sync::Arc;
+
+/// The handle instrumented code records through.
+///
+/// Cloning is cheap (two `Arc` bumps), and every recording method
+/// early-returns when the handle is disabled — the production default —
+/// so instrumentation adds one predictable branch to hot paths.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    recorder: Arc<dyn Recorder>,
+    clock: Arc<dyn Clock>,
+    enabled: bool,
+}
+
+impl Obs {
+    /// The disabled default: a [`NullRecorder`] behind a dead switch.
+    pub fn null() -> Obs {
+        static NULL: std::sync::OnceLock<(Arc<dyn Recorder>, Arc<dyn Clock>)> =
+            std::sync::OnceLock::new();
+        let (recorder, clock) = NULL.get_or_init(|| {
+            (
+                Arc::new(NullRecorder) as Arc<dyn Recorder>,
+                Arc::new(ManualClock::new()) as Arc<dyn Clock>,
+            )
+        });
+        Obs {
+            recorder: Arc::clone(recorder),
+            clock: Arc::clone(clock),
+            enabled: false,
+        }
+    }
+
+    /// An enabled handle over caller-supplied recorder and clock.
+    pub fn new(recorder: Arc<dyn Recorder>, clock: Arc<dyn Clock>) -> Obs {
+        Obs {
+            recorder,
+            clock,
+            enabled: true,
+        }
+    }
+
+    /// An enabled in-memory handle on the system clock, returning the
+    /// recorder for read-out. The CLI `--trace-out` wiring.
+    pub fn in_memory() -> (Obs, Arc<InMemoryRecorder>) {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let obs = Obs::new(
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+            Arc::new(SystemClock::new()),
+        );
+        (obs, recorder)
+    }
+
+    /// An enabled in-memory handle on a [`ManualClock`], returning both for
+    /// test control. Traces built this way are bit-for-bit reproducible.
+    pub fn manual() -> (Obs, Arc<InMemoryRecorder>, Arc<ManualClock>) {
+        let recorder = Arc::new(InMemoryRecorder::new());
+        let clock = Arc::new(ManualClock::new());
+        let obs = Obs::new(
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        (obs, recorder, clock)
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current clock reading in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Adds `delta` to a monotone counter.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: f64) {
+        if self.enabled {
+            self.recorder.counter(name, delta);
+        }
+    }
+
+    /// Sets a gauge to its latest value.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.recorder.gauge(name, value);
+        }
+    }
+
+    /// Records one histogram sample.
+    #[inline]
+    pub fn observe(&self, name: &str, value: f64) {
+        if self.enabled {
+            self.recorder.observe(name, value);
+        }
+    }
+
+    /// Appends one structured event, stamped with the injected clock.
+    #[inline]
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if self.enabled {
+            self.recorder.event(self.clock.now_ns(), name, fields);
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock duration (ns) into the named
+    /// histogram. Disabled handles skip the clock reads entirely.
+    #[inline]
+    pub fn time<T>(&self, hist_name: &str, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = self.clock.now_ns();
+        let out = f();
+        let elapsed = self.clock.now_ns().saturating_sub(start);
+        self.recorder.observe(hist_name, elapsed as f64);
+        out
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_records_nothing() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        obs.counter("x", 1.0);
+        obs.gauge("x", 1.0);
+        obs.observe("x", 1.0);
+        obs.event("x", &[]);
+        assert_eq!(obs.time("x", || 41 + 1), 42);
+    }
+
+    #[test]
+    fn manual_handle_stamps_events_with_injected_clock() {
+        let (obs, recorder, clock) = Obs::manual();
+        obs.event("first", &[]);
+        clock.advance(100);
+        obs.event("second", &[("n", 3usize.into())]);
+        let events = recorder.events();
+        assert_eq!(events[0].t_ns, 0);
+        assert_eq!(events[1].t_ns, 100);
+        assert_eq!(events[1].field("n"), Some(&FieldValue::U64(3)));
+    }
+
+    #[test]
+    fn time_measures_with_manual_clock() {
+        let (obs, recorder, clock) = Obs::manual();
+        let out = obs.time("work.ns", || {
+            clock.advance(5000);
+            7
+        });
+        assert_eq!(out, 7);
+        let h = recorder.histogram("work.ns").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 5000.0);
+    }
+
+    #[test]
+    fn clone_shares_the_recorder() {
+        let (obs, recorder) = Obs::in_memory();
+        let other = obs.clone();
+        obs.counter("c", 1.0);
+        other.counter("c", 2.0);
+        assert_eq!(recorder.counter_value("c"), 3.0);
+    }
+}

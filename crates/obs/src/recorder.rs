@@ -1,0 +1,414 @@
+//! Recorder backends: the sink side of the observability substrate.
+//!
+//! [`Recorder`] is the trait instrumented code writes to; [`NullRecorder`]
+//! drops everything (the production default — callers guard every call on
+//! [`crate::Obs::enabled`], so the null path costs one branch), and
+//! [`InMemoryRecorder`] accumulates counters, gauges, histograms, and an
+//! ordered event log behind a mutex for tests and `--trace-out` dumps.
+//!
+//! Determinism contract: counters/gauges/histograms live in `BTreeMap`s
+//! (sorted iteration), events keep insertion order, and the JSON exporter
+//! leans on `tinyjson`'s shortest-roundtrip float formatting — so under a
+//! [`crate::ManualClock`] and a fixed seed two runs render byte-identical
+//! traces.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use tinyjson::Value;
+
+/// A typed event-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (epoch numbers, iteration counts, row counts).
+    U64(u64),
+    /// A float (losses, quantiles, brackets).
+    F64(f64),
+    /// A short label (cause names, mode variants).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    fn to_json(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => Value::Num(*v as f64),
+            FieldValue::F64(v) => Value::Num(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+            FieldValue::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+/// One structured trace record: a timestamp, a dotted name, and typed
+/// key/value fields in emission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds from the recording clock's origin.
+    pub t_ns: u64,
+    /// Dotted event name, e.g. `train.divergence`.
+    pub name: String,
+    /// Fields in the order the instrumentation emitted them.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// The sink instrumented code writes to.
+///
+/// Implementations must be thread-safe: `mc_predict_map` and the batch
+/// inference path record from `par` worker threads.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Adds `delta` to the named monotone counter.
+    fn counter(&self, name: &str, delta: f64);
+    /// Sets the named gauge to its latest value.
+    fn gauge(&self, name: &str, value: f64);
+    /// Records one sample into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+    /// Appends one structured event.
+    fn event(&self, t_ns: u64, name: &str, fields: &[(&str, FieldValue)]);
+}
+
+/// A recorder that drops everything — the zero-overhead default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn counter(&self, _name: &str, _delta: f64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {}
+    fn event(&self, _t_ns: u64, _name: &str, _fields: &[(&str, FieldValue)]) {}
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, f64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<Event>,
+}
+
+/// A thread-safe accumulating recorder for tests and trace dumps.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl InMemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        InMemoryRecorder::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock poisons it; the data is still
+        // consistent for read-out, so recover rather than unwrap.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Pre-registers a histogram with custom bounds. Unregistered names
+    /// observed later default to [`Histogram::latency_ns`] buckets.
+    pub fn register_histogram(&self, name: &str, hist: Histogram) {
+        self.lock().histograms.insert(name.to_string(), hist);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        self.lock().counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Latest value of a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// A snapshot of the named histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().histograms.get(name).cloned()
+    }
+
+    /// A snapshot of the full event log, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// How many events with this exact name were recorded.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.lock().events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// The whole trace as a deterministic JSON value: sorted metric maps,
+    /// events in order, `{p50,p95,p99,count,sum,min,max}` per histogram.
+    pub fn to_json(&self) -> Value {
+        let inner = self.lock();
+        let counters = Value::Obj(
+            inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let stat = |v: Option<f64>| v.map(Value::Num).unwrap_or(Value::Null);
+                    (
+                        k.clone(),
+                        Value::Obj(vec![
+                            ("count".to_string(), Value::Num(h.count() as f64)),
+                            ("sum".to_string(), Value::Num(h.sum())),
+                            ("min".to_string(), stat(h.min())),
+                            ("max".to_string(), stat(h.max())),
+                            ("p50".to_string(), stat(h.p50())),
+                            ("p95".to_string(), stat(h.p95())),
+                            ("p99".to_string(), stat(h.p99())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let events = Value::Arr(
+            inner
+                .events
+                .iter()
+                .map(|e| {
+                    Value::Obj(vec![
+                        ("t_ns".to_string(), Value::Num(e.t_ns as f64)),
+                        ("name".to_string(), Value::Str(e.name.clone())),
+                        (
+                            "fields".to_string(),
+                            Value::Obj(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), v.to_json()))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("events".to_string(), events),
+        ])
+    }
+
+    /// The trace rendered as pretty JSON (byte-stable given equal inputs).
+    pub fn render_json(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// A plain-text summary table: counters, gauges, then histogram
+    /// quantiles — the CLI `-v` view.
+    pub fn summary(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        if !inner.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &inner.counters {
+                out.push_str(&format!("  {k:<32} {v}\n"));
+            }
+        }
+        if !inner.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &inner.gauges {
+                out.push_str(&format!("  {k:<32} {v}\n"));
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("histograms (count / p50 / p95 / p99):\n");
+            for (k, h) in &inner.histograms {
+                let q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x}"));
+                out.push_str(&format!(
+                    "  {k:<32} {} / {} / {} / {}\n",
+                    h.count(),
+                    q(h.p50()),
+                    q(h.p95()),
+                    q(h.p99()),
+                ));
+            }
+        }
+        let n_events = inner.events.len();
+        out.push_str(&format!("events: {n_events}\n"));
+        out
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter(&self, name: &str, delta: f64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::latency_ns)
+            .record(value);
+    }
+
+    fn event(&self, t_ns: u64, name: &str, fields: &[(&str, FieldValue)]) {
+        self.lock().events.push(Event {
+            t_ns,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = InMemoryRecorder::new();
+        r.counter("spend", 2.0);
+        r.counter("spend", 3.5);
+        r.gauge("loss", 1.0);
+        r.gauge("loss", 0.25);
+        assert_eq!(r.counter_value("spend"), 5.5);
+        assert_eq!(r.counter_value("untouched"), 0.0);
+        assert_eq!(r.gauge_value("loss"), Some(0.25));
+    }
+
+    #[test]
+    fn events_keep_order_and_fields() {
+        let r = InMemoryRecorder::new();
+        r.event(1, "a", &[("k", FieldValue::U64(7))]);
+        r.event(
+            2,
+            "b",
+            &[("cause", "nan_loss".into()), ("flag", true.into())],
+        );
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[0].field("k"), Some(&FieldValue::U64(7)));
+        assert_eq!(events[1].t_ns, 2);
+        assert_eq!(
+            events[1].field("cause"),
+            Some(&FieldValue::Str("nan_loss".to_string()))
+        );
+        assert_eq!(r.event_count("a"), 1);
+        assert_eq!(r.event_count("c"), 0);
+    }
+
+    #[test]
+    fn observe_uses_registered_bounds() {
+        let r = InMemoryRecorder::new();
+        r.register_histogram("batch", Histogram::uniform(0.0, 100.0, 10));
+        r.observe("batch", 42.0);
+        let h = r.histogram("batch").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50(), Some(50.0));
+        // Unregistered names fall back to latency buckets.
+        r.observe("lat", 2048.0);
+        assert_eq!(r.histogram("lat").unwrap().p50(), Some(2048.0));
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let build = || {
+            let r = InMemoryRecorder::new();
+            r.counter("b", 1.0);
+            r.counter("a", 2.0);
+            r.gauge("g", 0.5);
+            r.observe("h", 1500.0);
+            r.event(10, "e", &[("x", FieldValue::F64(0.1))]);
+            r.render_json()
+        };
+        let one = build();
+        let two = build();
+        assert_eq!(one, two);
+        // Counters render sorted regardless of touch order.
+        assert!(one.find("\"a\"").unwrap() < one.find("\"b\"").unwrap());
+        // And the rendered trace round-trips through the parser.
+        assert!(tinyjson::parse(&one).is_ok());
+    }
+
+    #[test]
+    fn null_recorder_drops_everything() {
+        let r = NullRecorder;
+        r.counter("x", 1.0);
+        r.gauge("x", 1.0);
+        r.observe("x", 1.0);
+        r.event(0, "x", &[]);
+    }
+
+    #[test]
+    fn summary_lists_metrics() {
+        let r = InMemoryRecorder::new();
+        r.counter("train.epochs", 3.0);
+        r.observe("infer.ns", 2048.0);
+        let s = r.summary();
+        assert!(s.contains("train.epochs"));
+        assert!(s.contains("infer.ns"));
+        assert!(s.contains("events: 0"));
+    }
+}

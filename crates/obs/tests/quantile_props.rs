@@ -1,0 +1,159 @@
+//! Seeded property tests for [`Histogram`] quantile math.
+//!
+//! House style (see the PR 1 proptest rewrite): a local SplitMix64 drives
+//! seeded loops instead of a property-testing dependency, so failures
+//! reproduce exactly.
+//!
+//! Properties pinned down:
+//! * For 1..=1000 random samples, recorded p50/p95/p99 bracket the true
+//!   empirical quantile within one bucket width.
+//! * Merging two histograms equals recording the union of their samples.
+
+use obs::Histogram;
+
+/// SplitMix64 — tiny, seedable, statistically fine for test-data generation.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// True empirical quantile at rank `ceil(q * n)` (1-indexed), matching the
+/// rank convention `Histogram::quantile` implements.
+fn empirical_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn quantiles_bracket_empirical_within_one_bucket_width() {
+    const LO: f64 = 0.0;
+    const HI: f64 = 1000.0;
+    const BUCKETS: usize = 50;
+    const WIDTH: f64 = (HI - LO) / BUCKETS as f64;
+
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for n in 1..=1000usize {
+        let mut h = Histogram::uniform(LO, HI, BUCKETS);
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.next_range(LO, HI)).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        for q in [0.50, 0.95, 0.99] {
+            let estimate = h.quantile(q).unwrap();
+            let truth = empirical_quantile(&samples, q);
+            // The estimate is the upper bound of the bucket holding the
+            // rank-`ceil(q*n)` sample, so it can only overshoot, and by
+            // less than one bucket width.
+            assert!(
+                estimate >= truth && estimate - truth <= WIDTH + 1e-9,
+                "q={q} n={n}: estimate {estimate} vs empirical {truth} (width {WIDTH})"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_hold_for_clustered_and_tied_samples() {
+    // Heavy ties stress the cumulative-count walk: all mass in few buckets.
+    const WIDTH: f64 = 10.0;
+    let mut rng = SplitMix64::new(0xBEEF);
+    for trial in 0..200 {
+        let n = 1 + (rng.next_u64() % 500) as usize;
+        let mut h = Histogram::uniform(0.0, 100.0, 10);
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| {
+                // Draw from only 3 distinct values to force ties.
+                match rng.next_u64() % 3 {
+                    0 => 5.0,
+                    1 => 55.0,
+                    _ => 95.0,
+                }
+            })
+            .collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.50, 0.95, 0.99] {
+            let estimate = h.quantile(q).unwrap();
+            let truth = empirical_quantile(&samples, q);
+            assert!(
+                estimate >= truth && estimate - truth <= WIDTH + 1e-9,
+                "trial={trial} q={q} n={n}: estimate {estimate} vs empirical {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merging_two_histograms_equals_recording_the_union() {
+    let mut rng = SplitMix64::new(0xDEAD_10CC);
+    for trial in 0..200 {
+        let n_a = (rng.next_u64() % 400) as usize;
+        let n_b = (rng.next_u64() % 400) as usize;
+        // Integer-valued samples keep every partial sum exact in f64, so
+        // merged `sum` is bitwise equal to the union's `sum` (float
+        // addition is not associative for arbitrary reals).
+        let draw = |rng: &mut SplitMix64| (rng.next_u64() % 201) as f64 - 50.0;
+        let a_samples: Vec<f64> = (0..n_a).map(|_| draw(&mut rng)).collect();
+        let b_samples: Vec<f64> = (0..n_b).map(|_| draw(&mut rng)).collect();
+
+        // Samples deliberately spill below 0 and above 100 so the property
+        // also covers the overflow bucket and min/max folding.
+        let mut a = Histogram::uniform(0.0, 100.0, 20);
+        let mut b = Histogram::uniform(0.0, 100.0, 20);
+        let mut union = Histogram::uniform(0.0, 100.0, 20);
+        for &v in &a_samples {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &b_samples {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "trial={trial} n_a={n_a} n_b={n_b}");
+    }
+}
+
+#[test]
+fn merge_is_commutative_on_counts() {
+    let mut rng = SplitMix64::new(0xFACE);
+    let mut a = Histogram::latency_ns();
+    let mut b = Histogram::latency_ns();
+    for _ in 0..300 {
+        a.record(rng.next_range(500.0, 1e9));
+        b.record(rng.next_range(500.0, 1e9));
+    }
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.counts(), ba.counts());
+    assert_eq!(ab.count(), ba.count());
+    assert_eq!(ab.min(), ba.min());
+    assert_eq!(ab.max(), ba.max());
+}

@@ -1,0 +1,215 @@
+//! Golden-trace regression tests: the observability substrate must turn
+//! a fixed-seed pipeline run into a *bit-for-bit reproducible* record of
+//! its run-level decisions.
+//!
+//! The first test pins the exact event sequence of a healthy Algorithm 4
+//! run (every epoch, the roi\* search, the conformal quantile, the form
+//! selection — in that order, nothing else) and renders the trace twice
+//! from two independent runs, asserting byte equality. When the
+//! `GOLDEN_TRACE_OUT` environment variable names a path, the rendered
+//! trace is also written there — CI runs the test twice and diffs the two
+//! files to catch any nondeterminism the in-process double-run misses.
+//!
+//! The remaining tests drive the fault-injection hook: corrupted-but-valid
+//! data must surface as *exactly one* `calibration.degraded` event with
+//! the right mode, and corruption that trips validation must still leave
+//! its `abtest.fault_injected` fingerprint in the trace.
+
+use abtest::{run_ab_test_observed, AbTestConfig, FaultInjection};
+use datasets::{CriteoLike, Setting};
+use integration::{quick_data, quick_rdrp_config};
+use obs::{FieldValue, InMemoryRecorder, Obs};
+use rdrp::{DrpConfig, Rdrp, RdrpConfig};
+use std::sync::Arc;
+
+/// One fixed-seed healthy pipeline run recorded through a [`ManualClock`]
+/// handle. Everything downstream of the seed is deterministic, so two
+/// calls must produce identical recorders.
+fn golden_run() -> (Arc<InMemoryRecorder>, usize) {
+    let generator = CriteoLike::new();
+    let (data, mut rng) = quick_data(&generator, Setting::SuNo, 77);
+    let config = quick_rdrp_config();
+    let epochs = config.drp.epochs;
+    let (obs, recorder, _clock) = Obs::manual();
+    let mut model = Rdrp::new(config).expect("valid config");
+    model
+        .fit_with_calibration_observed(&data.train, &data.calibration, &mut rng, &obs)
+        .expect("healthy data must calibrate");
+    (recorder, epochs)
+}
+
+#[test]
+fn golden_trace_has_the_exact_healthy_event_sequence() {
+    let (recorder, epochs) = golden_run();
+
+    // The exact event sequence of a healthy run: one train.epoch per
+    // configured epoch (no early stopping in the quick config), then the
+    // three calibration milestones in Algorithm 4 order. No divergence
+    // rollbacks, no degradation.
+    let names: Vec<String> = recorder.events().iter().map(|e| e.name.clone()).collect();
+    let mut expected = vec!["train.epoch".to_string(); epochs];
+    expected.push("calibration.roi_star".to_string());
+    expected.push("calibration.qhat".to_string());
+    expected.push("calibration.form_selected".to_string());
+    assert_eq!(names, expected, "event sequence drifted");
+
+    // Counters agree with the events.
+    assert_eq!(recorder.counter_value("train.epochs"), epochs as f64);
+    assert_eq!(recorder.counter_value("train.divergence_retries"), 0.0);
+    assert_eq!(recorder.event_count("train.divergence"), 0);
+    assert_eq!(recorder.event_count("calibration.degraded"), 0);
+
+    // The roi* search converged exactly once, to an interior ROI, in at
+    // least one bisection iteration.
+    let events = recorder.events();
+    let roi_star = events
+        .iter()
+        .find(|e| e.name == "calibration.roi_star")
+        .expect("one roi* event");
+    match roi_star.field("roi_star") {
+        Some(&FieldValue::F64(v)) => assert!((0.0..1.0).contains(&v), "roi* = {v}"),
+        other => panic!("roi_star field: {other:?}"),
+    }
+    match roi_star.field("iterations") {
+        Some(&FieldValue::U64(n)) => {
+            assert!(n >= 1);
+            assert_eq!(
+                recorder.counter_value("calibration.search_iterations"),
+                n as f64
+            );
+        }
+        other => panic!("iterations field: {other:?}"),
+    }
+
+    // Batch inference on the calibration set left its histograms behind.
+    let rows = recorder
+        .histogram("infer.predict_rows")
+        .expect("predict rows histogram");
+    assert!(rows.count() >= 1);
+    let mc_rows = recorder
+        .histogram("infer.mc_rows")
+        .expect("mc rows histogram");
+    assert!(mc_rows.count() >= 1);
+    assert!(recorder.counter_value("infer.mc_passes") > 0.0);
+
+    // The final loss gauge exists and is finite.
+    let final_loss = recorder
+        .gauge_value("train.final_loss")
+        .expect("final loss gauge");
+    assert!(final_loss.is_finite());
+}
+
+#[test]
+fn golden_trace_renders_byte_identically_across_runs() {
+    let (first, _) = golden_run();
+    let (second, _) = golden_run();
+    let a = first.render_json();
+    let b = second.render_json();
+    assert_eq!(a, b, "two fixed-seed runs rendered different traces");
+
+    // CI determinism gate: persist the trace so two test invocations can
+    // be diffed byte-for-byte outside the process.
+    if let Ok(path) = std::env::var("GOLDEN_TRACE_OUT") {
+        if !path.is_empty() {
+            std::fs::write(&path, &a).expect("write golden trace");
+        }
+    }
+}
+
+/// A small A/B test configuration so the fault-injection traces stay fast.
+fn tiny_ab_config() -> AbTestConfig {
+    AbTestConfig {
+        train_sufficient: 4_000,
+        insufficient_fraction: 0.15,
+        calibration: 1_500,
+        users_per_day: 1_500,
+        days: 2,
+        budget_fraction: 0.3,
+        rdrp: RdrpConfig {
+            drp: DrpConfig {
+                epochs: 10,
+                ..DrpConfig::default()
+            },
+            mc_passes: 15,
+            ..RdrpConfig::default()
+        },
+        stochastic_outcomes: true,
+        fault: None,
+    }
+}
+
+#[test]
+fn cost_zero_fault_fires_exactly_one_degraded_event() {
+    let generator = CriteoLike::new();
+    let mut config = tiny_ab_config();
+    // Zeroed costs pass validation but collapse the calibration cost
+    // uplift, so Algorithm 2's search must fail and the pipeline must
+    // degrade to plain DRP ranking — visibly, exactly once.
+    config.fault = Some(FaultInjection {
+        feature_nan_fraction: 0.0,
+        label_nan_fraction: 0.0,
+        cost_zero_fraction: 1.0,
+    });
+    let mut rng = linalg::random::Prng::seed_from_u64(7);
+    let (obs, recorder, _clock) = Obs::manual();
+    let result = run_ab_test_observed(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
+        .expect("degraded calibration is not an error");
+    assert_eq!(result.daily.len(), 2);
+
+    // Exactly one degraded event, with the DegenerateLabels mode — and
+    // none of the milestones a healthy calibration would have logged.
+    assert_eq!(recorder.event_count("calibration.degraded"), 1);
+    let events = recorder.events();
+    let degraded = events
+        .iter()
+        .find(|e| e.name == "calibration.degraded")
+        .expect("degraded event");
+    assert_eq!(
+        degraded.field("mode"),
+        Some(&FieldValue::Str("DegenerateLabels".to_string()))
+    );
+    assert_eq!(recorder.event_count("calibration.roi_star"), 0);
+    assert_eq!(recorder.event_count("calibration.form_selected"), 0);
+
+    // The corruption hook fingerprinted both corrupted datasets (train
+    // and calibration), each with the cost_zero kind.
+    let faults: Vec<_> = events
+        .iter()
+        .filter(|e| e.name == "abtest.fault_injected")
+        .collect();
+    assert_eq!(faults.len(), 2, "train + calibration corruption events");
+    for f in &faults {
+        assert_eq!(
+            f.field("kind"),
+            Some(&FieldValue::Str("cost_zero".to_string()))
+        );
+    }
+
+    // The simulation itself still ran and recorded per-arm totals.
+    assert_eq!(recorder.counter_value("abtest.days"), 2.0);
+    for arm in ["random", "drp", "rdrp"] {
+        assert!(recorder.counter_value(&format!("abtest.spend.{arm}")) > 0.0);
+    }
+}
+
+#[test]
+fn nan_fault_leaves_its_fingerprint_even_when_fit_fails() {
+    let generator = CriteoLike::new();
+    let mut config = tiny_ab_config();
+    config.fault = Some(FaultInjection {
+        feature_nan_fraction: 0.05,
+        label_nan_fraction: 0.0,
+        cost_zero_fraction: 0.0,
+    });
+    let mut rng = linalg::random::Prng::seed_from_u64(8);
+    let (obs, recorder, _clock) = Obs::manual();
+    let err = run_ab_test_observed(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
+        .expect_err("NaN features must trip validation");
+    assert!(matches!(
+        err,
+        rdrp::PipelineError::Fit(uplift::FitError::InvalidData(_))
+    ));
+    // The trace still shows what was injected before the typed failure.
+    assert_eq!(recorder.event_count("abtest.fault_injected"), 2);
+    assert_eq!(recorder.event_count("calibration.degraded"), 0);
+}
