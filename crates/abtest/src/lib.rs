@@ -17,6 +17,4 @@
 
 pub mod simulator;
 
-pub use simulator::{
-    run_ab_test, run_ab_test_observed, AbTestConfig, AbTestResult, DayResult, FaultInjection,
-};
+pub use simulator::{run_ab_test, AbTestConfig, AbTestResult, DayResult, FaultInjection};

@@ -47,14 +47,11 @@ impl FaultInjection {
     /// Corrupts `data` in place: independently samples the configured
     /// fractions of rows and sets their features / labels to NaN (or, for
     /// [`FaultInjection::cost_zero_fraction`], zeroes the cost label).
-    pub fn corrupt(&self, data: &mut RctDataset, rng: &mut Prng) {
-        self.corrupt_observed(data, rng, &Obs::null());
-    }
-
-    /// [`FaultInjection::corrupt`] emitting one `abtest.fault_injected`
-    /// event `{kind, rows}` per corruption kind that touched at least one
-    /// row.
-    pub fn corrupt_observed(&self, data: &mut RctDataset, rng: &mut Prng, obs: &Obs) {
+    ///
+    /// Emits one `abtest.fault_injected` event `{kind, rows}` per
+    /// corruption kind that touched at least one row; pass
+    /// [`Obs::disabled`] to corrupt silently.
+    pub fn corrupt(&self, data: &mut RctDataset, rng: &mut Prng, obs: &Obs) {
         let n = data.len();
         let n_feat = (((n as f64) * self.feature_nan_fraction).round() as usize).min(n);
         for &i in rng.permutation(n).iter().take(n_feat) {
@@ -215,6 +212,13 @@ fn realize_revenue(
 /// Runs one A/B test for `setting` on the population described by
 /// `model`. Returns per-day revenues and the aggregate lifts.
 ///
+/// The `obs` handle records the simulation: per-arm running totals in
+/// counters `abtest.spend.{random,drp,rdrp}` and
+/// `abtest.revenue.{random,drp,rdrp}`, `abtest.days` counting simulated
+/// days, `abtest.fault_injected` events from the corruption hook, and
+/// the full `train.*`/`calibration.*`/`infer.*` vocabulary of the
+/// model-arm fit. Pass [`Obs::disabled`] to simulate silently.
+///
 /// # Errors
 /// Returns [`PipelineError::Config`] on nonsensical configuration (zero
 /// days/users, budget fraction outside (0, 1], invalid model config) and
@@ -223,21 +227,6 @@ fn realize_revenue(
 /// validates. A degraded (but trained) rDRP arm is *not* an error; it is
 /// reported through the model's own diagnostics.
 pub fn run_ab_test(
-    model: &StructuralModel,
-    setting: Setting,
-    config: &AbTestConfig,
-    rng: &mut Prng,
-) -> Result<AbTestResult, PipelineError> {
-    run_ab_test_observed(model, setting, config, rng, &Obs::null())
-}
-
-/// [`run_ab_test`] with an [`Obs`] handle recording the simulation:
-/// per-arm running totals in counters `abtest.spend.{random,drp,rdrp}`
-/// and `abtest.revenue.{random,drp,rdrp}`, `abtest.days` counting
-/// simulated days, `abtest.fault_injected` events from the corruption
-/// hook, and the full `train.*`/`calibration.*`/`infer.*` vocabulary of
-/// the model-arm fit.
-pub fn run_ab_test_observed(
     model: &StructuralModel,
     setting: Setting,
     config: &AbTestConfig,
@@ -271,11 +260,11 @@ pub fn run_ab_test_observed(
     };
     let mut calibration = model.sample(config.calibration, deploy_pop, rng);
     if let Some(fault) = &config.fault {
-        fault.corrupt_observed(&mut train, rng, obs);
-        fault.corrupt_observed(&mut calibration, rng, obs);
+        fault.corrupt(&mut train, rng, obs);
+        fault.corrupt(&mut calibration, rng, obs);
     }
     let mut rdrp_model = Rdrp::new(config.rdrp.clone())?;
-    rdrp_model.fit_with_calibration_observed(&train, &calibration, rng, obs)?;
+    rdrp_model.fit_with_calibration(&train, &calibration, rng, obs)?;
 
     let mut daily = Vec::with_capacity(config.days);
     let (mut sum_rand, mut sum_drp, mut sum_rdrp) = (0.0, 0.0, 0.0);
@@ -297,8 +286,8 @@ pub fn run_ab_test_observed(
             let budget = config.budget_fraction * total_cost;
             let scores: Vec<f64> = match arm {
                 0 => (0..users.len()).map(|_| rng.uniform()).collect(),
-                1 => rdrp_model.drp().predict_roi_observed(&users.x, obs),
-                _ => rdrp_model.predict_scores_observed(&users.x, rng, obs),
+                1 => rdrp_model.drp().predict_roi(&users.x, obs),
+                _ => rdrp_model.predict_scores(&users.x, rng, obs),
             };
             let allocation = greedy_allocate(&scores, &costs, budget);
             let revenue = realize_revenue(
@@ -370,7 +359,14 @@ mod tests {
     fn model_arms_beat_random_on_suno() {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(0);
-        let result = run_ab_test(gen.model(), Setting::SuNo, &quick_config(), &mut rng).unwrap();
+        let result = run_ab_test(
+            gen.model(),
+            Setting::SuNo,
+            &quick_config(),
+            &mut rng,
+            &Obs::disabled(),
+        )
+        .unwrap();
         assert_eq!(result.daily.len(), 3);
         assert_eq!(result.setting, "SuNo");
         // A trained ROI ranker must beat a random ranking on realized
@@ -391,7 +387,14 @@ mod tests {
     fn all_days_have_positive_revenue() {
         let gen = CriteoLike::new();
         let mut rng = Prng::seed_from_u64(1);
-        let result = run_ab_test(gen.model(), Setting::InCo, &quick_config(), &mut rng).unwrap();
+        let result = run_ab_test(
+            gen.model(),
+            Setting::InCo,
+            &quick_config(),
+            &mut rng,
+            &Obs::disabled(),
+        )
+        .unwrap();
         for day in &result.daily {
             assert!(day.random > 0.0);
             assert!(day.drp > 0.0);
@@ -404,9 +407,15 @@ mod tests {
         let gen = CriteoLike::new();
         let run = |seed| {
             let mut rng = Prng::seed_from_u64(seed);
-            run_ab_test(gen.model(), Setting::SuCo, &quick_config(), &mut rng)
-                .unwrap()
-                .rdrp_lift_pct
+            run_ab_test(
+                gen.model(),
+                Setting::SuCo,
+                &quick_config(),
+                &mut rng,
+                &Obs::disabled(),
+            )
+            .unwrap()
+            .rdrp_lift_pct
         };
         assert_eq!(run(2), run(2));
     }
@@ -417,7 +426,8 @@ mod tests {
         let mut cfg = quick_config();
         cfg.budget_fraction = 0.0;
         let mut rng = Prng::seed_from_u64(3);
-        let err = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap_err();
+        let err =
+            run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng, &Obs::disabled()).unwrap_err();
         assert!(matches!(err, rdrp::PipelineError::Config(_)));
         assert!(err.to_string().contains("budget_fraction"));
     }
@@ -433,7 +443,7 @@ mod tests {
             cost_zero_fraction: 0.0,
         };
         assert!(fault.is_active());
-        fault.corrupt(&mut data, &mut rng);
+        fault.corrupt(&mut data, &mut rng, &Obs::disabled());
         let bad_rows = (0..data.len())
             .filter(|&i| data.x.row(i).iter().any(|v| v.is_nan()))
             .count();
@@ -453,7 +463,8 @@ mod tests {
             cost_zero_fraction: 0.0,
         });
         let mut rng = Prng::seed_from_u64(5);
-        let err = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap_err();
+        let err =
+            run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng, &Obs::disabled()).unwrap_err();
         assert!(matches!(
             err,
             rdrp::PipelineError::Fit(uplift::FitError::InvalidData(_))
@@ -467,7 +478,8 @@ mod tests {
         cfg.fault = Some(FaultInjection::default());
         assert!(!cfg.fault.as_ref().unwrap().is_active());
         let mut rng = Prng::seed_from_u64(6);
-        let result = run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng).unwrap();
+        let result =
+            run_ab_test(gen.model(), Setting::SuNo, &cfg, &mut rng, &Obs::disabled()).unwrap();
         assert_eq!(result.daily.len(), 3);
     }
 }

@@ -21,7 +21,9 @@ fn bench_binary_search(c: &mut Criterion) {
     for &eps_exp in &[3i32, 6, 9] {
         let eps = 10f64.powi(-eps_exp);
         group.bench_with_input(BenchmarkId::new("eps", eps_exp), &eps, |b, &eps| {
-            b.iter(|| find_roi_star(&data.t, &data.y_r, &data.y_c, eps).unwrap())
+            b.iter(|| {
+                find_roi_star(&data.t, &data.y_r, &data.y_c, eps, &obs::Obs::disabled()).unwrap()
+            })
         });
     }
     group.finish();
@@ -61,7 +63,7 @@ fn bench_full_calibration(c: &mut Criterion) {
                 })
                 .expect("bench config is valid");
                 let mut rng = Prng::seed_from_u64(3);
-                m.fit_with_calibration(&train, &cal, &mut rng)
+                m.fit_with_calibration(&train, &cal, &mut rng, &obs::Obs::disabled())
                     .expect("bench data is well-formed");
                 m.diagnostics().qhat
             })

@@ -6,7 +6,6 @@ use datasets::CriteoLike;
 use linalg::random::Prng;
 use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::{DrpConfig, DrpModel};
-use uplift::RoiModel;
 
 fn bench_drp_training(c: &mut Criterion) {
     let gen = CriteoLike::new();
@@ -22,7 +21,8 @@ fn bench_drp_training(c: &mut Criterion) {
                     ..DrpConfig::default()
                 });
                 let mut rng = Prng::seed_from_u64(1);
-                m.fit(data, &mut rng).expect("bench data is well-formed");
+                m.fit(data, &mut rng, &obs::Obs::disabled())
+                    .expect("bench data is well-formed");
                 m.final_loss()
             })
         });

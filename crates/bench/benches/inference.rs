@@ -11,7 +11,6 @@ use datasets::CriteoLike;
 use linalg::random::Prng;
 use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdrp::{DrpConfig, DrpModel};
-use uplift::RoiModel;
 
 fn fitted_model(n: usize) -> (DrpModel, datasets::RctDataset) {
     let gen = CriteoLike::new();
@@ -22,7 +21,8 @@ fn fitted_model(n: usize) -> (DrpModel, datasets::RctDataset) {
         epochs: 5,
         ..DrpConfig::default()
     });
-    m.fit(&train, &mut rng).expect("bench data is well-formed");
+    m.fit(&train, &mut rng, &obs::Obs::disabled())
+        .expect("bench data is well-formed");
     (m, test)
 }
 
@@ -31,13 +31,15 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference");
     group.sample_size(20);
     // Single deterministic pass: Δ_infer.
-    group.bench_function("drp_single_pass", |b| b.iter(|| model.predict_roi(&test.x)));
+    group.bench_function("drp_single_pass", |b| {
+        b.iter(|| model.predict_roi(&test.x, &obs::Obs::disabled()))
+    });
     // MC dropout with K passes: rDRP's inference cost.
     for &k in &[10usize, 50, 100] {
         group.bench_with_input(BenchmarkId::new("mc_dropout", k), &k, |b, &k| {
             b.iter(|| {
                 let mut rng = Prng::seed_from_u64(1);
-                model.mc_roi(&test.x, k, 1e-6, &mut rng)
+                model.mc_roi(&test.x, k, 1e-6, &mut rng, &obs::Obs::disabled())
             })
         });
     }

@@ -2,11 +2,12 @@
 //!
 //! The contract of `obs` is that the *disabled* path is free: every
 //! instrumented call site guards on `Obs::enabled`, so production code
-//! running with `Obs::null()` pays one predictable branch per call and
+//! running with `Obs::disabled()` pays one predictable branch per call and
 //! nothing else. This bench pins that claim two ways — micro (the raw
-//! per-call cost of each recording primitive, null vs in-memory) and
-//! macro (batch inference through the `*_observed` entry points with a
-//! null handle must track the uninstrumented path).
+//! per-call cost of each recording primitive, disabled vs in-memory) and
+//! macro (batch inference with a disabled handle must match what the
+//! uninstrumented path used to cost: the recording branch never runs, so
+//! the disabled column *is* the baseline).
 
 use linalg::random::Prng;
 use linalg::Matrix;
@@ -28,23 +29,19 @@ fn test_batch(rows: usize, rng: &mut Prng) -> Matrix {
     Matrix::from_rows(&data)
 }
 
-/// Macro check: `predict_scalar_observed` with the null handle against
-/// the plain `predict_scalar` it wraps. These two must be within noise
-/// of each other (<2% on any non-trivial batch).
+/// Macro check: `predict_scalar` with the disabled handle against a live
+/// in-memory recorder. Since the API collapse there is no uninstrumented
+/// entry point; the disabled column is the production baseline and the
+/// in-memory column prices full recording on a non-trivial batch.
 fn bench_inference_instrumented_vs_plain(c: &mut Criterion) {
     let mut rng = Prng::seed_from_u64(0);
     let net = test_network(&mut rng);
     let x = test_batch(1_000, &mut rng);
     let mut group = c.benchmark_group("obs_inference_overhead");
-    group.bench_function("plain", |b| b.iter(|| net.predict_scalar(&x)));
-    let null = Obs::null();
-    group.bench_function("observed_null", |b| {
-        b.iter(|| net.predict_scalar_observed(&x, &null))
-    });
+    let disabled = Obs::disabled();
+    group.bench_function("disabled", |b| b.iter(|| net.predict_scalar(&x, &disabled)));
     let (enabled, _recorder) = Obs::in_memory();
-    group.bench_function("observed_in_memory", |b| {
-        b.iter(|| net.predict_scalar_observed(&x, &enabled))
-    });
+    group.bench_function("in_memory", |b| b.iter(|| net.predict_scalar(&x, &enabled)));
     group.finish();
 }
 
@@ -53,7 +50,7 @@ fn bench_inference_instrumented_vs_plain(c: &mut Criterion) {
 /// instrumented hot loop pays in production.
 fn bench_recording_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_primitives");
-    let handles = [("null", Obs::null()), ("in_memory", Obs::in_memory().0)];
+    let handles = [("null", Obs::disabled()), ("in_memory", Obs::in_memory().0)];
     for (label, obs) in &handles {
         group.bench_with_input(BenchmarkId::new("counter", label), obs, |b, obs| {
             b.iter(|| obs.counter("bench.counter", 1.0))

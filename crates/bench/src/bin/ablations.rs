@@ -27,7 +27,6 @@ use rdrp::{
 };
 use std::time::Instant;
 use tinyjson::json;
-use uplift::RoiModel;
 
 fn main() {
     let gen = CriteoLike::new();
@@ -40,19 +39,32 @@ fn main() {
         dropout: 0.2,
         ..DrpConfig::default()
     });
-    drp.fit(&train, &mut rng)
+    drp.fit(&train, &mut rng, &obs::Obs::disabled())
         .expect("bench data is well-formed");
     let mut results: Vec<(String, tinyjson::Value)> = Vec::new();
 
     // Shared calibration quantities.
-    let cal_preds = drp.predict_roi(&calibration.x);
-    let cal_mc = drp.mc_roi_with_rate(&calibration.x, 50, 0.5, 1e-6, &mut rng);
-    let roi_star = find_roi_star(&calibration.t, &calibration.y_r, &calibration.y_c, 1e-6)
-        .expect("healthy calibration RCT");
-    let test_preds = drp.predict_roi(&test.x);
-    let test_mc = drp.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng);
-    let roi_star_test =
-        find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).expect("healthy test RCT");
+    let cal_preds = drp.predict_roi(&calibration.x, &obs::Obs::disabled());
+    let cal_mc = drp.mc_roi_with_rate(
+        &calibration.x,
+        50,
+        0.5,
+        1e-6,
+        &mut rng,
+        &obs::Obs::disabled(),
+    );
+    let roi_star = find_roi_star(
+        &calibration.t,
+        &calibration.y_r,
+        &calibration.y_c,
+        1e-6,
+        &obs::Obs::disabled(),
+    )
+    .expect("healthy calibration RCT");
+    let test_preds = drp.predict_roi(&test.x, &obs::Obs::disabled());
+    let test_mc = drp.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng, &obs::Obs::disabled());
+    let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6, &obs::Obs::disabled())
+        .expect("healthy test RCT");
 
     // ---- 1. alpha sweep --------------------------------------------------
     println!("\n## 1. alpha sweep (paper §VI: widths may not scale with alpha)\n");
@@ -82,10 +94,10 @@ fn main() {
     // ---- 2. MC passes ----------------------------------------------------
     println!("\n## 2. MC passes (paper: 10-100)\n");
     println!("  K   | mean std  | corr(std_K, std_200)");
-    let reference = drp.mc_roi_with_rate(&test.x, 200, 0.5, 1e-6, &mut rng);
+    let reference = drp.mc_roi_with_rate(&test.x, 200, 0.5, 1e-6, &mut rng, &obs::Obs::disabled());
     let mut mc_rows = Vec::new();
     for &k in &[5usize, 10, 25, 50, 100] {
-        let stats = drp.mc_roi_with_rate(&test.x, k, 0.5, 1e-6, &mut rng);
+        let stats = drp.mc_roi_with_rate(&test.x, k, 0.5, 1e-6, &mut rng, &obs::Obs::disabled());
         let corr = linalg::stats::pearson(&stats.std, &reference.std);
         let mean_std = linalg::stats::mean(&stats.std);
         println!("  {k:>3} | {mean_std:>8.4} | {corr:>8.3}");
@@ -121,11 +133,11 @@ fn main() {
         ..DrpConfig::default()
     });
     single
-        .fit(&small_train, &mut rng)
+        .fit(&small_train, &mut rng, &obs::Obs::disabled())
         .expect("bench data is well-formed");
     let fit_one = t0.elapsed();
     let t1 = Instant::now();
-    let mc = single.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng);
+    let mc = single.mc_roi_with_rate(&test.x, 50, 0.5, 1e-6, &mut rng, &obs::Obs::disabled());
     let mc_time = t1.elapsed();
     let t2 = Instant::now();
     let mut ensemble = BootstrapDrp::new(

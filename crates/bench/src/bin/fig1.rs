@@ -20,12 +20,11 @@ use linalg::random::Prng;
 use metrics::{aucc_oracle, cost_curve, CostCurvePoint};
 use rdrp::DrpModel;
 use tinyjson::ToJson;
-use uplift::RoiModel;
 
 /// Oracle-AUCC gap of the DRP scores to the true-ROI ceiling, plus the
 /// label-based cost curve for plotting.
 fn evaluate(model: &DrpModel, test: &RctDataset) -> (f64, f64, Vec<CostCurvePoint>) {
-    let scores = model.predict_roi(&test.x);
+    let scores = model.predict_roi(&test.x, &obs::Obs::disabled());
     let truth = test.true_roi().expect("synthetic ground truth");
     let drp = aucc_oracle(test, &scores, AUCC_BINS);
     let ceiling = aucc_oracle(test, &truth, AUCC_BINS);
@@ -44,12 +43,12 @@ fn main() {
         let mut rng = Prng::seed_from_u64(seed);
         let train = gen.sample(sizes.train_sufficient, Population::Base, &mut rng);
         let mut drp = DrpModel::new(table_rdrp_config().drp);
-        drp.fit(&train, &mut rng)
+        drp.fit(&train, &mut rng, &obs::Obs::disabled())
             .expect("bench data is well-formed");
         let small = datasets::split::subsample(&train, sizes.insufficient_fraction, &mut rng);
         let mut drp_small = DrpModel::new(table_rdrp_config().drp);
         drp_small
-            .fit(&small, &mut rng)
+            .fit(&small, &mut rng, &obs::Obs::disabled())
             .expect("bench data is well-formed");
 
         let test_matched = gen.sample(sizes.test, Population::Base, &mut rng);

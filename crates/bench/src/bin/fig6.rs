@@ -58,8 +58,14 @@ fn main() {
         let mut per_seed = Vec::new();
         for &seed in &seeds {
             let mut rng = Prng::seed_from_u64(seed);
-            let result = run_ab_test(gen.model(), *setting, &config, &mut rng)
-                .expect("simulated A/B test config and data are valid");
+            let result = run_ab_test(
+                gen.model(),
+                *setting,
+                &config,
+                &mut rng,
+                &obs::Obs::disabled(),
+            )
+            .expect("simulated A/B test config and data are valid");
             per_seed.push((result.drp_lift_pct, result.rdrp_lift_pct));
         }
         let mean_drp = per_seed.iter().map(|p| p.0).sum::<f64>() / per_seed.len() as f64;

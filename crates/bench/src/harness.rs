@@ -161,13 +161,15 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
         }
         MethodKind::Drp => {
             let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng).expect("bench data is well-formed");
-            m.predict_roi(&data.test.x)
+            m.fit(&data.train, rng, &obs::Obs::disabled())
+                .expect("bench data is well-formed");
+            m.predict_roi(&data.test.x, &obs::Obs::disabled())
         }
         MethodKind::DrpWithMc => {
             let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng).expect("bench data is well-formed");
-            let stats = m.mc_roi(&data.test.x, 50, 1e-6, rng);
+            m.fit(&data.train, rng, &obs::Obs::disabled())
+                .expect("bench data is well-formed");
+            let stats = m.mc_roi(&data.test.x, 50, 1e-6, rng, &obs::Obs::disabled());
             stats
                 .mean
                 .iter()
@@ -177,9 +179,9 @@ pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> 
         }
         MethodKind::Rdrp => {
             let mut m = Rdrp::new(table_rdrp_config()).expect("bench config is valid");
-            m.fit_with_calibration(&data.train, &data.calibration, rng)
+            m.fit_with_calibration(&data.train, &data.calibration, rng, &obs::Obs::disabled())
                 .expect("bench data is well-formed");
-            m.predict_scores(&data.test.x, rng)
+            m.predict_scores(&data.test.x, rng, &obs::Obs::disabled())
         }
     }
 }

@@ -1,15 +1,23 @@
-//! Tiny flag parser (`--name value` pairs plus one subcommand).
+//! Typed command-line parsing (`--name value` pairs plus one
+//! subcommand).
 //!
 //! Hand-rolled on purpose: the CLI's surface is a handful of string and
 //! numeric flags, and keeping the workspace's dependency set to the
 //! offline-vendored crates matters more than clap's ergonomics.
 //!
-//! Single-dash arguments are boolean shorthands (currently just `-v` for
-//! `--verbose true`): they take no value and expand before the `--name
-//! value` pairing.
+//! Parsing is two-layered. [`Args`] is the raw lexer — it splits the
+//! line into a subcommand and `--flag value` pairs and expands the
+//! boolean shorthands (currently just `-v` for `--verbose true`).
+//! [`Command`] is the typed surface: one struct per subcommand
+//! ([`TrainArgs`], [`ScoreArgs`], [`ServeArgs`], …) with every flag
+//! parsed, defaulted, range-checked, and matched against the
+//! subcommand's accepted flag set. [`Command::parse`] is the single
+//! validation point — a `Command` that exists is a command that can
+//! run, and `main` only pattern-matches on it.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 /// Parsed command line: a subcommand plus `--flag value` pairs.
 #[derive(Debug, Clone)]
@@ -24,6 +32,8 @@ pub struct Args {
 pub enum ArgError {
     /// No subcommand given.
     NoCommand,
+    /// The subcommand is not one of ours.
+    UnknownCommand(String),
     /// A `--flag` had no value.
     MissingValue(String),
     /// A required flag was absent.
@@ -35,6 +45,13 @@ pub enum ArgError {
         /// Raw value.
         value: String,
     },
+    /// A flag the subcommand does not accept.
+    UnknownFlag {
+        /// Flag name.
+        flag: String,
+        /// The subcommand it was passed to.
+        command: String,
+    },
     /// An argument did not look like `--flag`.
     Unexpected(String),
 }
@@ -43,10 +60,14 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::NoCommand => write!(f, "no subcommand given"),
+            ArgError::UnknownCommand(cmd) => write!(f, "unknown subcommand '{cmd}'"),
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::MissingFlag(flag) => write!(f, "required flag --{flag} is missing"),
             ArgError::BadValue { flag, value } => {
                 write!(f, "flag --{flag}: cannot parse '{value}'")
+            }
+            ArgError::UnknownFlag { flag, command } => {
+                write!(f, "'{command}' does not accept --{flag}")
             }
             ArgError::Unexpected(arg) => write!(f, "unexpected argument '{arg}'"),
         }
@@ -112,6 +133,362 @@ impl Args {
             }),
         }
     }
+
+    /// Rejects any flag outside `allowed` — typos fail loudly instead of
+    /// silently falling back to defaults.
+    fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for flag in self.flags.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ArgError::UnknownFlag {
+                    flag: flag.clone(),
+                    command: self.command.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// CSV column-name overrides shared by every subcommand that reads or
+/// writes RCT CSVs.
+#[derive(Debug, Clone)]
+pub struct SchemaFlags {
+    /// Treatment-indicator column (default `treatment`).
+    pub treatment: String,
+    /// Revenue/label column (default `conversion`).
+    pub revenue: String,
+    /// Cost column (default `visit`).
+    pub cost: String,
+}
+
+const SCHEMA_FLAGS: [&str; 3] = ["treatment-col", "revenue-col", "cost-col"];
+
+impl SchemaFlags {
+    fn from_args(args: &Args) -> SchemaFlags {
+        SchemaFlags {
+            treatment: args.get("treatment-col").unwrap_or("treatment").to_string(),
+            revenue: args.get("revenue-col").unwrap_or("conversion").to_string(),
+            cost: args.get("cost-col").unwrap_or("visit").to_string(),
+        }
+    }
+}
+
+/// Observability flags shared by `train`, `score`, and `serve`.
+#[derive(Debug, Clone)]
+pub struct ObsFlags {
+    /// Where to dump the run's JSON trace, if anywhere.
+    pub trace_out: Option<String>,
+    /// Print the metrics summary table at the end (`-v`).
+    pub verbose: bool,
+}
+
+const OBS_FLAGS: [&str; 2] = ["trace-out", "verbose"];
+
+impl ObsFlags {
+    fn from_args(args: &Args) -> Result<ObsFlags, ArgError> {
+        Ok(ObsFlags {
+            trace_out: args.get("trace-out").map(str::to_string),
+            verbose: args.get_or("verbose", false)?,
+        })
+    }
+}
+
+/// The synthetic dataset families `generate` can emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Criteo-like lookalike RCT data.
+    Criteo,
+    /// Meituan-like lookalike RCT data.
+    Meituan,
+    /// Alibaba-like lookalike RCT data.
+    Alibaba,
+}
+
+impl Dataset {
+    fn parse(value: &str) -> Result<Dataset, ArgError> {
+        match value {
+            "criteo" => Ok(Dataset::Criteo),
+            "meituan" => Ok(Dataset::Meituan),
+            "alibaba" => Ok(Dataset::Alibaba),
+            other => Err(ArgError::BadValue {
+                flag: "dataset".to_string(),
+                value: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// `generate` — emit lookalike RCT data as CSV.
+#[derive(Debug, Clone)]
+pub struct GenerateArgs {
+    /// Which lookalike family to sample.
+    pub dataset: Dataset,
+    /// Rows to emit.
+    pub rows: usize,
+    /// Output CSV path.
+    pub out: String,
+    /// Sample the covariate-shifted population instead of the base one.
+    pub shifted: bool,
+    /// Generator seed.
+    pub seed: u64,
+    /// CSV column names.
+    pub schema: SchemaFlags,
+}
+
+impl GenerateArgs {
+    fn from_args(args: &Args) -> Result<GenerateArgs, ArgError> {
+        args.check_known(&flags(
+            &["dataset", "rows", "out", "shifted", "seed"],
+            &[&SCHEMA_FLAGS],
+        ))?;
+        Ok(GenerateArgs {
+            dataset: Dataset::parse(args.require("dataset")?)?,
+            rows: args.get_or("rows", 10_000)?,
+            out: args.require("out")?.to_string(),
+            shifted: args.get_or("shifted", false)?,
+            seed: args.get_or("seed", 42)?,
+            schema: SchemaFlags::from_args(args),
+        })
+    }
+}
+
+/// `train` — fit and calibrate an rDRP model, then persist it.
+#[derive(Debug, Clone)]
+pub struct TrainArgs {
+    /// Training CSV path.
+    pub train: String,
+    /// Calibration CSV path.
+    pub calibration: String,
+    /// Where to save the fitted model JSON.
+    pub model: String,
+    /// Training seed.
+    pub seed: u64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Conformal miscoverage level.
+    pub alpha: f64,
+    /// MC-dropout passes.
+    pub mc_passes: usize,
+    /// CSV column names.
+    pub schema: SchemaFlags,
+    /// Trace/verbosity flags.
+    pub obs: ObsFlags,
+}
+
+impl TrainArgs {
+    fn from_args(args: &Args) -> Result<TrainArgs, ArgError> {
+        args.check_known(&flags(
+            &[
+                "train",
+                "calibration",
+                "model",
+                "seed",
+                "epochs",
+                "hidden",
+                "alpha",
+                "mc-passes",
+            ],
+            &[&SCHEMA_FLAGS, &OBS_FLAGS],
+        ))?;
+        Ok(TrainArgs {
+            train: args.require("train")?.to_string(),
+            calibration: args.require("calibration")?.to_string(),
+            model: args.require("model")?.to_string(),
+            seed: args.get_or("seed", 42)?,
+            epochs: args.get_or("epochs", 40)?,
+            hidden: args.get_or("hidden", 64)?,
+            alpha: args.get_or("alpha", 0.1)?,
+            mc_passes: args.get_or("mc-passes", 50)?,
+            schema: SchemaFlags::from_args(args),
+            obs: ObsFlags::from_args(args)?,
+        })
+    }
+}
+
+/// `score` — score a CSV with a persisted model, writing scores and
+/// conformal intervals.
+#[derive(Debug, Clone)]
+pub struct ScoreArgs {
+    /// Persisted model JSON path.
+    pub model: String,
+    /// Input CSV path.
+    pub data: String,
+    /// Output CSV path.
+    pub out: String,
+    /// CSV column names.
+    pub schema: SchemaFlags,
+    /// Trace/verbosity flags.
+    pub obs: ObsFlags,
+}
+
+impl ScoreArgs {
+    fn from_args(args: &Args) -> Result<ScoreArgs, ArgError> {
+        args.check_known(&flags(
+            &["model", "data", "out"],
+            &[&SCHEMA_FLAGS, &OBS_FLAGS],
+        ))?;
+        Ok(ScoreArgs {
+            model: args.require("model")?.to_string(),
+            data: args.require("data")?.to_string(),
+            out: args.require("out")?.to_string(),
+            schema: SchemaFlags::from_args(args),
+            obs: ObsFlags::from_args(args)?,
+        })
+    }
+}
+
+/// `evaluate` — AUCC/Qini of a persisted model on labeled RCT data.
+#[derive(Debug, Clone)]
+pub struct EvaluateArgs {
+    /// Persisted model JSON path.
+    pub model: String,
+    /// Labeled CSV path.
+    pub data: String,
+    /// Percentile bins for the uplift curves.
+    pub bins: usize,
+    /// CSV column names.
+    pub schema: SchemaFlags,
+}
+
+impl EvaluateArgs {
+    fn from_args(args: &Args) -> Result<EvaluateArgs, ArgError> {
+        args.check_known(&flags(&["model", "data", "bins"], &[&SCHEMA_FLAGS]))?;
+        Ok(EvaluateArgs {
+            model: args.require("model")?.to_string(),
+            data: args.require("data")?.to_string(),
+            bins: args.get_or("bins", 20)?,
+            schema: SchemaFlags::from_args(args),
+        })
+    }
+}
+
+/// `serve` — load a persisted model and answer line-delimited JSON
+/// scoring requests over stdin/stdout or TCP.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Persisted model JSON path.
+    pub model: String,
+    /// Which persisted model type the file holds.
+    pub kind: serve::ModelKind,
+    /// Registry name to serve the model under.
+    pub name: String,
+    /// Registry version to serve the model under.
+    pub model_version: String,
+    /// `Some(addr)`: listen on TCP instead of stdin/stdout.
+    pub tcp: Option<String>,
+    /// TCP only: exit after this many connections (for tests/smoke).
+    pub max_conns: Option<usize>,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Micro-batch row cap.
+    pub max_batch_rows: usize,
+    /// Micro-batch fill window.
+    pub max_wait: Duration,
+    /// Submission-queue capacity in rows (backpressure bound).
+    pub queue_rows: usize,
+    /// Requests kept in flight per connection.
+    pub window: usize,
+    /// Trace/verbosity flags.
+    pub obs: ObsFlags,
+}
+
+impl ServeArgs {
+    fn from_args(args: &Args) -> Result<ServeArgs, ArgError> {
+        args.check_known(&flags(
+            &[
+                "model",
+                "kind",
+                "name",
+                "model-version",
+                "tcp",
+                "max-conns",
+                "workers",
+                "max-batch-rows",
+                "max-wait-us",
+                "queue-rows",
+                "window",
+            ],
+            &[&OBS_FLAGS],
+        ))?;
+        let kind_str = args.get("kind").unwrap_or("rdrp");
+        let kind = serve::ModelKind::parse(kind_str).ok_or_else(|| ArgError::BadValue {
+            flag: "kind".to_string(),
+            value: kind_str.to_string(),
+        })?;
+        let parsed = ServeArgs {
+            model: args.require("model")?.to_string(),
+            kind,
+            name: args.get("name").unwrap_or(serve::DEFAULT_MODEL).to_string(),
+            model_version: args.get("model-version").unwrap_or("1").to_string(),
+            tcp: args.get("tcp").map(str::to_string),
+            max_conns: match args.get("max-conns") {
+                None => None,
+                Some(_) => Some(args.get_or("max-conns", 0usize)?),
+            },
+            workers: args.get_or("workers", 2)?,
+            max_batch_rows: args.get_or("max-batch-rows", 1024)?,
+            max_wait: Duration::from_micros(args.get_or("max-wait-us", 500)?),
+            queue_rows: args.get_or("queue-rows", 16_384)?,
+            window: args.get_or("window", 32)?,
+            obs: ObsFlags::from_args(args)?,
+        };
+        for (flag, value) in [
+            ("max-batch-rows", parsed.max_batch_rows),
+            ("queue-rows", parsed.queue_rows),
+        ] {
+            if value == 0 {
+                return Err(ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: "0".to_string(),
+                });
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+/// The fully validated command line. Constructing one is the CLI's
+/// single validation point; a `Command` that exists can run.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `generate`
+    Generate(GenerateArgs),
+    /// `train`
+    Train(TrainArgs),
+    /// `score`
+    Score(ScoreArgs),
+    /// `evaluate`
+    Evaluate(EvaluateArgs),
+    /// `serve`
+    Serve(ServeArgs),
+}
+
+impl Command {
+    /// Parses and validates a full command line (excluding the program
+    /// name).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Command, ArgError> {
+        let args = Args::parse(argv)?;
+        match args.command.as_str() {
+            "generate" => Ok(Command::Generate(GenerateArgs::from_args(&args)?)),
+            "train" => Ok(Command::Train(TrainArgs::from_args(&args)?)),
+            "score" => Ok(Command::Score(ScoreArgs::from_args(&args)?)),
+            "evaluate" => Ok(Command::Evaluate(EvaluateArgs::from_args(&args)?)),
+            "serve" => Ok(Command::Serve(ServeArgs::from_args(&args)?)),
+            other => Err(ArgError::UnknownCommand(other.to_string())),
+        }
+    }
+}
+
+/// Concatenates a subcommand's own flags with the shared groups it
+/// accepts.
+fn flags<'a>(own: &[&'a str], shared: &[&[&'a str]]) -> Vec<&'a str> {
+    let mut all: Vec<&str> = own.to_vec();
+    for group in shared {
+        all.extend_from_slice(group);
+    }
+    all
 }
 
 #[cfg(test)]
@@ -164,5 +541,81 @@ mod tests {
             Err(ArgError::BadValue { .. })
         ));
         assert!(matches!(a.require("model"), Err(ArgError::MissingFlag(_))));
+    }
+
+    #[test]
+    fn typed_train_args_parse_with_defaults() {
+        let Command::Train(t) = Command::parse(strings(&[
+            "train",
+            "--train",
+            "a.csv",
+            "--calibration",
+            "b.csv",
+            "--model",
+            "m.json",
+        ]))
+        .unwrap() else {
+            panic!("expected train")
+        };
+        assert_eq!(t.train, "a.csv");
+        assert_eq!(t.epochs, 40);
+        assert_eq!(t.alpha, 0.1);
+        assert_eq!(t.schema.treatment, "treatment");
+        assert!(!t.obs.verbose);
+    }
+
+    #[test]
+    fn unknown_flag_names_the_subcommand() {
+        let err = Command::parse(strings(&[
+            "score", "--model", "m.json", "--data", "d.csv", "--out", "s.csv", "--epochs", "40",
+        ]))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::UnknownFlag {
+                flag: "epochs".into(),
+                command: "score".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_subcommand_is_typed() {
+        assert_eq!(
+            Command::parse(strings(&["frobnicate"])).unwrap_err(),
+            ArgError::UnknownCommand("frobnicate".into())
+        );
+    }
+
+    #[test]
+    fn serve_args_validate_kind_and_sizes() {
+        let Command::Serve(s) = Command::parse(strings(&["serve", "--model", "m.json"])).unwrap()
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.kind, serve::ModelKind::Rdrp);
+        assert_eq!(s.name, serve::DEFAULT_MODEL);
+        assert_eq!(s.model_version, "1");
+        assert_eq!(s.max_wait, Duration::from_micros(500));
+        assert!(s.tcp.is_none());
+
+        assert!(matches!(
+            Command::parse(strings(&["serve", "--model", "m.json", "--kind", "xgboost"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "kind"
+        ));
+        assert!(matches!(
+            Command::parse(strings(&["serve", "--model", "m.json", "--queue-rows", "0"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "queue-rows"
+        ));
+    }
+
+    #[test]
+    fn generate_dataset_is_validated_at_parse_time() {
+        assert!(matches!(
+            Command::parse(strings(&[
+                "generate", "--dataset", "nope", "--out", "x.csv"
+            ])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "dataset"
+        ));
     }
 }

@@ -1,11 +1,12 @@
-//! `rdrp-cli` — train, calibrate, score, and evaluate rDRP models from
-//! the shell.
+//! `rdrp-cli` — train, calibrate, score, serve, and evaluate rDRP
+//! models from the shell.
 //!
 //! ```text
 //! rdrp-cli generate --dataset criteo --rows 20000 --out train.csv [--shifted true]
 //! rdrp-cli train    --train train.csv --calibration cal.csv --model model.json
 //!                   [--epochs 40 --hidden 64 --alpha 0.1 --mc-passes 50]
 //! rdrp-cli score    --model model.json --data test.csv --out scores.csv
+//! rdrp-cli serve    --model model.json [--tcp 127.0.0.1:7878] [--workers 2]
 //! rdrp-cli evaluate --model model.json --data test.csv [--bins 20]
 //! ```
 //!
@@ -13,17 +14,26 @@
 //! `visit` (cost); override the names with `--treatment-col` etc. The
 //! `generate` subcommand emits lookalike data in exactly this format, so
 //! the full loop runs without any external download.
+//!
+//! `serve` speaks the line-delimited JSON protocol from
+//! [`serve::protocol`]: one request per line on stdin (or per TCP
+//! connection with `--tcp`), one response per line out, scores bitwise
+//! identical to the `score` subcommand.
 
 mod args;
 
-use args::Args;
+use args::{
+    Command, EvaluateArgs, GenerateArgs, ObsFlags, SchemaFlags, ScoreArgs, ServeArgs, TrainArgs,
+};
 use datasets::generator::{Population, RctGenerator};
 use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, MeituanLike};
 use linalg::random::Prng;
 use obs::{InMemoryRecorder, Obs};
-use rdrp::{load_rdrp, save_rdrp, DrpConfig, Rdrp, RdrpConfig};
+use rdrp::{DrpConfig, Persist, Rdrp, RdrpConfig};
+use serve::{run_jsonl, EngineConfig, ModelRegistry, ScoringEngine};
 use std::fmt;
 use std::io::Write as _;
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 use uplift::RoiModel;
@@ -81,14 +91,16 @@ fn usage() -> String {
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
      rdrp-cli train --train FILE --calibration FILE --model FILE [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--kind rdrp|drp] [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
+     serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
      --trace-out dumps the run's JSON trace (counters, histograms, events); -v prints a metrics summary table"
         .to_string()
 }
 
-/// The observability wiring shared by `train` and `score`: an enabled
-/// in-memory recorder when `--trace-out` or `-v`/`--verbose` asks for one,
-/// the zero-overhead null handle otherwise.
+/// The observability wiring shared by `train`, `score`, and `serve`: an
+/// enabled in-memory recorder when `--trace-out` or `-v`/`--verbose`
+/// asks for one, the zero-overhead null handle otherwise.
 struct CliObs {
     obs: Obs,
     recorder: Option<Arc<InMemoryRecorder>>,
@@ -97,24 +109,22 @@ struct CliObs {
 }
 
 impl CliObs {
-    fn from_args(args: &Args) -> Result<CliObs, CliError> {
-        let trace_out = args.get("trace-out").map(str::to_string);
-        let verbose: bool = args.get_or("verbose", false).map_err(usage_err)?;
-        if trace_out.is_none() && !verbose {
-            return Ok(CliObs {
-                obs: Obs::null(),
+    fn new(flags: &ObsFlags) -> CliObs {
+        if flags.trace_out.is_none() && !flags.verbose {
+            return CliObs {
+                obs: Obs::disabled(),
                 recorder: None,
                 trace_out: None,
                 verbose: false,
-            });
+            };
         }
         let (obs, recorder) = Obs::in_memory();
-        Ok(CliObs {
+        CliObs {
             obs,
             recorder: Some(recorder),
-            trace_out,
-            verbose,
-        })
+            trace_out: flags.trace_out.clone(),
+            verbose: flags.verbose,
+        }
     }
 
     /// Dumps the JSON trace and/or prints the summary table, as requested.
@@ -124,20 +134,20 @@ impl CliObs {
         };
         if let Some(path) = &self.trace_out {
             std::fs::write(path, recorder.render_json()).map_err(data_err)?;
-            println!("trace written to {path}");
+            eprintln!("trace written to {path}");
         }
         if self.verbose {
-            print!("{}", recorder.summary());
+            eprint!("{}", recorder.summary());
         }
         Ok(())
     }
 }
 
-fn schema_from(args: &Args) -> CsvSchema {
+fn csv_schema(schema: &SchemaFlags) -> CsvSchema {
     CsvSchema {
-        treatment: args.get("treatment-col").unwrap_or("treatment").to_string(),
-        revenue: args.get("revenue-col").unwrap_or("conversion").to_string(),
-        cost: args.get("cost-col").unwrap_or("visit").to_string(),
+        treatment: schema.treatment.clone(),
+        revenue: schema.revenue.clone(),
+        cost: schema.cost.clone(),
     }
 }
 
@@ -146,16 +156,20 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         println!("{}", usage());
         return Ok(());
     }
-    let args = Args::parse(argv).map_err(|e| CliError::Usage(e.to_string()))?;
-    match args.command.as_str() {
-        "generate" => generate(&args),
-        "train" => train(&args),
-        "score" => score(&args),
-        "evaluate" => evaluate(&args),
-        other => Err(CliError::Usage(format!(
-            "unknown subcommand '{other}'\n{}",
-            usage()
-        ))),
+    // All flag validation happens inside Command::parse; from here on a
+    // bad command line is impossible, only bad files and bad data.
+    let command = Command::parse(argv).map_err(|e| match e {
+        args::ArgError::UnknownCommand(ref cmd) => {
+            CliError::Usage(format!("unknown subcommand '{cmd}'\n{}", usage()))
+        }
+        other => CliError::Usage(other.to_string()),
+    })?;
+    match command {
+        Command::Generate(a) => generate(&a),
+        Command::Train(a) => train(&a),
+        Command::Score(a) => score(&a),
+        Command::Evaluate(a) => evaluate(&a),
+        Command::Serve(a) => serve_cmd(&a),
     }
 }
 
@@ -168,74 +182,61 @@ fn data_err(e: impl fmt::Display) -> CliError {
     CliError::Data(e.to_string())
 }
 
-fn generate(args: &Args) -> Result<(), CliError> {
-    let dataset = args.require("dataset").map_err(usage_err)?;
-    let rows: usize = args.get_or("rows", 10_000).map_err(usage_err)?;
-    let out = args.require("out").map_err(usage_err)?;
-    let shifted: bool = args.get_or("shifted", false).map_err(usage_err)?;
-    let seed: u64 = args.get_or("seed", 42).map_err(usage_err)?;
-    let generator: Box<dyn RctGenerator> = match dataset {
-        "criteo" => Box::new(CriteoLike::new()),
-        "meituan" => Box::new(MeituanLike::new()),
-        "alibaba" => Box::new(AlibabaLike::new()),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown dataset '{other}' (criteo|meituan|alibaba)"
-            )))
-        }
+fn generate(a: &GenerateArgs) -> Result<(), CliError> {
+    let generator: Box<dyn RctGenerator> = match a.dataset {
+        args::Dataset::Criteo => Box::new(CriteoLike::new()),
+        args::Dataset::Meituan => Box::new(MeituanLike::new()),
+        args::Dataset::Alibaba => Box::new(AlibabaLike::new()),
     };
-    let population = if shifted {
+    let population = if a.shifted {
         Population::Shifted
     } else {
         Population::Base
     };
-    let mut rng = Prng::seed_from_u64(seed);
-    let data = generator.sample(rows, population, &mut rng);
-    write_rct_csv(&data, out, &schema_from(args)).map_err(data_err)?;
+    let mut rng = Prng::seed_from_u64(a.seed);
+    let data = generator.sample(a.rows, population, &mut rng);
+    write_rct_csv(&data, &a.out, &csv_schema(&a.schema)).map_err(data_err)?;
     println!(
-        "wrote {} rows x {} features of {} ({}) to {out}",
+        "wrote {} rows x {} features of {} ({}) to {}",
         data.len(),
         data.n_features(),
         generator.name(),
-        if shifted { "shifted" } else { "base" },
+        if a.shifted { "shifted" } else { "base" },
+        a.out,
     );
     Ok(())
 }
 
-fn train(args: &Args) -> Result<(), CliError> {
-    let schema = schema_from(args);
-    let train_path = args.require("train").map_err(usage_err)?;
-    let cal_path = args.require("calibration").map_err(usage_err)?;
-    let model_path = args.require("model").map_err(usage_err)?;
-    let seed: u64 = args.get_or("seed", 42).map_err(usage_err)?;
+fn train(a: &TrainArgs) -> Result<(), CliError> {
     let config = RdrpConfig {
         drp: DrpConfig {
-            epochs: args.get_or("epochs", 40).map_err(usage_err)?,
-            hidden: args.get_or("hidden", 64).map_err(usage_err)?,
+            epochs: a.epochs,
+            hidden: a.hidden,
             ..DrpConfig::default()
         },
-        alpha: args.get_or("alpha", 0.1).map_err(usage_err)?,
-        mc_passes: args.get_or("mc-passes", 50).map_err(usage_err)?,
+        alpha: a.alpha,
+        mc_passes: a.mc_passes,
         ..RdrpConfig::default()
     };
     // An invalid config is a usage error (exit 2), surfaced before any
     // file is touched ...
     let mut model = Rdrp::new(config).map_err(usage_err)?;
-    let train_data = read_rct_csv(train_path, &schema).map_err(data_err)?;
-    let cal_data = read_rct_csv(cal_path, &schema).map_err(data_err)?;
+    let schema = csv_schema(&a.schema);
+    let train_data = read_rct_csv(&a.train, &schema).map_err(data_err)?;
+    let cal_data = read_rct_csv(&a.calibration, &schema).map_err(data_err)?;
     println!(
         "training on {} rows, calibrating on {} rows ...",
         train_data.len(),
         cal_data.len()
     );
-    let cli_obs = CliObs::from_args(args)?;
-    let mut rng = Prng::seed_from_u64(seed);
+    let cli_obs = CliObs::new(&a.obs);
+    let mut rng = Prng::seed_from_u64(a.seed);
     // ... while a failed fit is a training error (exit 4). Malformed
     // *contents* of an otherwise readable CSV (NaN features, single-group
     // data) surface here too: the pipeline's own validation is the
     // authority on what it can train on.
     model
-        .fit_with_calibration_observed(&train_data, &cal_data, &mut rng, &cli_obs.obs)
+        .fit_with_calibration(&train_data, &cal_data, &mut rng, &cli_obs.obs)
         .map_err(|e| CliError::Train(e.to_string()))?;
     let d = model.diagnostics();
     println!(
@@ -253,59 +254,126 @@ fn train(args: &Args) -> Result<(), CliError> {
             mode.reason()
         );
     }
-    save_rdrp(&model, model_path).map_err(data_err)?;
-    println!("model saved to {model_path}");
+    model.save(&a.model).map_err(data_err)?;
+    println!("model saved to {}", a.model);
     cli_obs.finish()?;
     Ok(())
 }
 
-fn score(args: &Args) -> Result<(), CliError> {
-    let schema = schema_from(args);
-    let model_path = args.require("model").map_err(usage_err)?;
-    let data_path = args.require("data").map_err(usage_err)?;
-    let out_path = args.require("out").map_err(usage_err)?;
-    let model = load_rdrp(model_path).map_err(data_err)?;
-    let data = read_rct_csv(data_path, &schema).map_err(data_err)?;
+fn score(a: &ScoreArgs) -> Result<(), CliError> {
+    let model = Rdrp::load(&a.model).map_err(data_err)?;
+    let data = read_rct_csv(&a.data, &csv_schema(&a.schema)).map_err(data_err)?;
     if let Some(mode) = model.degraded() {
         eprintln!(
             "warning: model was calibrated in degraded mode ({mode:?}): {}",
             mode.reason()
         );
     }
-    let cli_obs = CliObs::from_args(args)?;
-    // The same fixed seed RoiModel::predict_roi uses: scoring a fitted
-    // model is deterministic.
-    let mut rng = Prng::seed_from_u64(0x5C0BE);
-    let scores = model.predict_scores_observed(&data.x, &mut rng, &cli_obs.obs);
-    let mut rng = Prng::seed_from_u64(0x5C0BE);
+    let cli_obs = CliObs::new(&a.obs);
+    // The same fixed seed every deterministic scoring path uses: scoring
+    // a fitted model is a pure function of the inputs.
+    let mut rng = Prng::seed_from_u64(rdrp::SCORING_SEED);
+    let scores = model.predict_scores(&data.x, &mut rng, &cli_obs.obs);
+    let mut rng = Prng::seed_from_u64(rdrp::SCORING_SEED);
     let intervals = model.predict_intervals(&data.x, &mut rng);
-    let mut out = std::fs::File::create(out_path).map_err(data_err)?;
+    let mut out = std::fs::File::create(&a.out).map_err(data_err)?;
     writeln!(out, "score,interval_lo,interval_hi").map_err(data_err)?;
     for (s, iv) in scores.iter().zip(&intervals) {
         writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(data_err)?;
     }
-    println!("wrote {} scores to {out_path}", scores.len());
+    println!("wrote {} scores to {}", scores.len(), a.out);
     cli_obs.finish()?;
     Ok(())
 }
 
-fn evaluate(args: &Args) -> Result<(), CliError> {
-    let schema = schema_from(args);
-    let model_path = args.require("model").map_err(usage_err)?;
-    let data_path = args.require("data").map_err(usage_err)?;
-    let bins: usize = args.get_or("bins", 20).map_err(usage_err)?;
-    let model = load_rdrp(model_path).map_err(data_err)?;
-    let data = read_rct_csv(data_path, &schema).map_err(data_err)?;
+fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
+    let model = Rdrp::load(&a.model).map_err(data_err)?;
+    let data = read_rct_csv(&a.data, &csv_schema(&a.schema)).map_err(data_err)?;
     let scores = model.predict_roi(&data.x);
-    let aucc = metrics::aucc_checked(&data, &scores, bins).ok_or_else(|| {
+    let aucc = metrics::aucc_checked(&data, &scores, a.bins).ok_or_else(|| {
         CliError::Data(
             "dataset too degenerate to rank (missing group or non-positive uplift)".to_string(),
         )
     })?;
-    let qini = metrics::qini(&data, &scores, bins);
+    let qini = metrics::qini(&data, &scores, a.bins);
     println!("rows:  {}", data.len());
     println!("AUCC:  {aucc:.4}  (random = 0.5)");
     println!("Qini:  {qini:.4}  (random = 0.0)");
+    Ok(())
+}
+
+fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
+    let registry = ModelRegistry::new();
+    registry
+        .load(&a.name, &a.model_version, a.kind, &a.model)
+        .map_err(data_err)?;
+    eprintln!("serving {}@{} from {}", a.name, a.model_version, a.model);
+    let cli_obs = CliObs::new(&a.obs);
+    let engine = ScoringEngine::start(
+        EngineConfig {
+            workers: a.workers,
+            max_batch_rows: a.max_batch_rows,
+            max_wait: a.max_wait,
+            queue_rows: a.queue_rows,
+        },
+        cli_obs.obs.clone(),
+    );
+    match &a.tcp {
+        // stdin/stdout mode: the protocol owns stdout, diagnostics go to
+        // stderr. EOF on stdin drains in-flight requests and exits.
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            run_jsonl(stdin.lock(), stdout.lock(), &engine, &registry, a.window)
+                .map_err(data_err)?;
+        }
+        Some(addr) => serve_tcp(addr, a.max_conns, &engine, &registry, a.window)?,
+    }
+    // Join the workers before dumping the trace so their final events are
+    // in it.
+    drop(engine);
+    cli_obs.finish()
+}
+
+/// The TCP frontend: one scoring conversation per connection, all
+/// connections sharing the engine and registry. `max_conns` bounds the
+/// number of connections served (for tests and smoke runs); `None`
+/// serves until killed.
+fn serve_tcp(
+    addr: &str,
+    max_conns: Option<usize>,
+    engine: &ScoringEngine,
+    registry: &ModelRegistry,
+    window: usize,
+) -> Result<(), CliError> {
+    let listener = TcpListener::bind(addr).map_err(data_err)?;
+    let local = listener.local_addr().map_err(data_err)?;
+    eprintln!("listening on {local}");
+    std::thread::scope(|scope| {
+        let mut served = 0usize;
+        while max_conns.is_none_or(|m| served < m) {
+            let (stream, peer) = match listener.accept() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    eprintln!("accept failed: {e}");
+                    continue;
+                }
+            };
+            served += 1;
+            scope.spawn(move || {
+                let reader = match stream.try_clone() {
+                    Ok(clone) => std::io::BufReader::new(clone),
+                    Err(e) => {
+                        eprintln!("connection {peer}: {e}");
+                        return;
+                    }
+                };
+                if let Err(e) = run_jsonl(reader, &stream, engine, registry, window) {
+                    eprintln!("connection {peer}: {e}");
+                }
+            });
+        }
+    });
     Ok(())
 }
 
@@ -332,6 +400,17 @@ mod tests {
     #[test]
     fn no_args_prints_usage() {
         assert!(run(vec![]).is_ok());
+    }
+
+    #[test]
+    fn unknown_flag_is_a_usage_error() {
+        let err = run(strings(&[
+            "evaluate", "--model", "m.json", "--data", "d.csv", "--epochs", "3",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("epochs"), "{err}");
     }
 
     #[test]
@@ -401,6 +480,11 @@ mod tests {
         .unwrap();
         let scored = std::fs::read_to_string(&scores_csv).unwrap();
         assert_eq!(scored.lines().count(), 1501); // header + rows
+
+        // The serve frontend must reproduce the score subcommand's
+        // numbers over TCP, byte for byte.
+        serve_matches_score_csv(&model_json, &test_csv, &scored);
+
         run(strings(&[
             "evaluate",
             "--model",
@@ -412,6 +496,87 @@ mod tests {
         for f in [train_csv, cal_csv, test_csv, model_json, scores_csv] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    /// Serves the model on an ephemeral TCP port for one connection,
+    /// replays the test CSV as one JSON request, and diffs against the
+    /// `score` subcommand's CSV. One request, not many: MC-form models
+    /// seed their dropout sweep per request, so only a request holding
+    /// the whole dataset reproduces the batch `score` run exactly.
+    fn serve_matches_score_csv(model_json: &str, test_csv: &str, scored: &str) {
+        use std::io::{BufRead, BufReader, Write};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Hand the pre-bound port to serve via the OS: bind a fresh
+        // listener inside serve on the same port after dropping ours.
+        drop(listener);
+        let model = model_json.to_string();
+        let server = std::thread::spawn(move || {
+            run(strings(&[
+                "serve",
+                "--model",
+                &model,
+                "--tcp",
+                &addr.to_string(),
+                "--max-conns",
+                "1",
+                "--workers",
+                "2",
+            ]))
+        });
+
+        let data = read_rct_csv(
+            test_csv,
+            &csv_schema(&SchemaFlags {
+                treatment: "treatment".into(),
+                revenue: "conversion".into(),
+                cost: "visit".into(),
+            }),
+        )
+        .unwrap();
+        // The server needs a moment to bind; retry the connect.
+        let stream = (0..100)
+            .find_map(|_| {
+                std::net::TcpStream::connect(addr).ok().or_else(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    None
+                })
+            })
+            .expect("server never bound");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let rows: Vec<Vec<f64>> = data.x.row_iter().map(<[f64]>::to_vec).collect();
+        writeln!(
+            writer,
+            r#"{{"id": "all", "rows": {}}}"#,
+            tinyjson::to_string(&rows)
+        )
+        .unwrap();
+        // Half-close: the server reads until EOF before draining its
+        // response window, so signal end-of-requests while keeping the
+        // read side open.
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let v = tinyjson::parse(&line).unwrap();
+        let served_scores: Vec<f64> = v
+            .fetch("scores")
+            .as_arr()
+            .unwrap_or_else(|_| panic!("expected scores, got {line}"))
+            .iter()
+            .map(|s| s.as_f64().unwrap())
+            .collect();
+        drop(writer);
+        drop(reader);
+        server.join().unwrap().unwrap();
+
+        let csv_scores: Vec<f64> = scored
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(served_scores, csv_scores, "serve and score disagree");
     }
 
     #[test]
@@ -508,6 +673,20 @@ mod tests {
             "/nonexistent/cal.csv",
             "--model",
             &tmp("never.json"),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Data(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn serve_with_missing_model_is_a_data_error() {
+        let err = run(strings(&[
+            "serve",
+            "--model",
+            "/nonexistent/model.json",
+            "--tcp",
+            "127.0.0.1:0",
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::Data(_)), "{err:?}");

@@ -15,8 +15,9 @@ use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
 use nn::McStats;
+use obs::Obs;
 use uplift::error::check_both_groups;
-use uplift::{FitError, RoiModel};
+use uplift::FitError;
 
 /// A bootstrap ensemble of DRP models.
 #[derive(Debug, Clone)]
@@ -67,7 +68,7 @@ impl BootstrapDrp {
             };
             let resampled = data.subset(&rows);
             let mut model = DrpModel::new(self.config.clone());
-            model.fit(&resampled, rng)?;
+            model.fit(&resampled, rng, &Obs::disabled())?;
             self.models.push(model);
         }
         Ok(())
@@ -91,7 +92,11 @@ impl BootstrapDrp {
     pub fn ensemble_roi(&self, x: &Matrix, std_floor: f64) -> McStats {
         assert!(!self.models.is_empty(), "BootstrapDrp: fit before predict");
         let n = x.rows();
-        let all: Vec<Vec<f64>> = self.models.iter().map(|m| m.predict_roi(x)).collect();
+        let all: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|m| m.predict_roi(x, &Obs::disabled()))
+            .collect();
         let inv = 1.0 / all.len() as f64;
         let mut mean = vec![0.0; n];
         for preds in &all {

@@ -7,7 +7,7 @@ use linalg::random::Prng;
 use linalg::stats::Standardizer;
 use linalg::vector::sigmoid;
 use linalg::Matrix;
-use nn::{mc_predict_map, mc_predict_map_observed, Activation, McStats, Mlp, TrainConfig};
+use nn::{mc_predict_map, Activation, McStats, Mlp, TrainConfig, Workspace};
 use obs::Obs;
 use uplift::error::{check_both_groups, check_xty};
 use uplift::{FitError, RoiModel};
@@ -49,37 +49,52 @@ impl DrpModel {
         &self.config
     }
 
-    /// Raw network scores `ŝ(x)` (pre-sigmoid).
+    /// Raw network scores `ŝ(x)` (pre-sigmoid), with batch-inference
+    /// accounting routed through [`Mlp::predict_scalar`]
+    /// (`infer.predict_*` histograms and counters).
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`].
     #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn predict_score(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_score_observed(x, &Obs::null())
-    }
-
-    /// [`DrpModel::predict_score`] with batch-inference accounting routed
-    /// through [`Mlp::predict_scalar_observed`] (`infer.predict_*`
-    /// histograms and counters).
-    ///
-    /// # Panics
-    /// Panics before [`RoiModel::fit`].
-    #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn predict_score_observed(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+    pub fn predict_score(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
-        state.net.predict_scalar_observed(&z, obs)
+        state.net.predict_scalar(&z, obs)
     }
 
     /// [`RoiModel::predict_roi`] with batch-inference accounting.
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`].
-    pub fn predict_roi_observed(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
-        self.predict_score_observed(x, obs)
+    pub fn predict_roi(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        self.predict_score(x, obs)
             .into_iter()
             .map(sigmoid)
             .collect()
+    }
+
+    /// [`DrpModel::predict_roi`] reusing a caller-owned [`Workspace`] for
+    /// the serial inference path — the variant long-lived scorers (the
+    /// serving engine's worker threads) call in a loop.
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`].
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn predict_roi_with(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DrpModel: fit before predict");
+        let z = state.scaler.transform(x);
+        state
+            .net
+            .predict_scalar_with(&z, ws, obs)
+            .into_iter()
+            .map(sigmoid)
+            .collect()
+    }
+
+    /// Feature dimension the fitted network consumes, or `None` before
+    /// [`RoiModel::fit`].
+    pub fn n_features(&self) -> Option<usize> {
+        self.state.as_ref().map(|s| s.net.input_dim())
     }
 
     /// MC-dropout statistics of the *ROI* estimate `σ(ŝ)` — the mean is a
@@ -88,16 +103,24 @@ impl DrpModel {
     /// # Panics
     /// Panics before [`RoiModel::fit`] or when `passes == 0`.
     #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn mc_roi(&self, x: &Matrix, passes: usize, std_floor: f64, rng: &mut Prng) -> McStats {
+    pub fn mc_roi(
+        &self,
+        x: &Matrix,
+        passes: usize,
+        std_floor: f64,
+        rng: &mut Prng,
+        obs: &Obs,
+    ) -> McStats {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
-        mc_predict_map(&state.net, &z, passes, std_floor, rng, sigmoid)
+        mc_predict_map(&state.net, &z, passes, std_floor, rng, sigmoid, obs)
     }
 
     /// Like [`DrpModel::mc_roi`] but with the dropout layer's rate
     /// overridden to `rate` for the MC passes (the paper adds the MC
     /// dropout layer at inference, so its rate is independent of
-    /// training).
+    /// training). MC-sweep accounting goes through [`mc_predict_map`]
+    /// (`infer.mc_*` histograms and counters).
     ///
     /// # Panics
     /// Panics before [`RoiModel::fit`] or when `passes == 0`.
@@ -109,30 +132,12 @@ impl DrpModel {
         rate: f64,
         std_floor: f64,
         rng: &mut Prng,
-    ) -> McStats {
-        self.mc_roi_with_rate_observed(x, passes, rate, std_floor, rng, &Obs::null())
-    }
-
-    /// [`DrpModel::mc_roi_with_rate`] with MC-sweep accounting routed
-    /// through [`mc_predict_map_observed`] (`infer.mc_*` histograms and
-    /// counters).
-    ///
-    /// # Panics
-    /// Panics before [`RoiModel::fit`] or when `passes == 0`.
-    #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn mc_roi_with_rate_observed(
-        &self,
-        x: &Matrix,
-        passes: usize,
-        rate: f64,
-        std_floor: f64,
-        rng: &mut Prng,
         obs: &Obs,
     ) -> McStats {
         let state = self.state.as_ref().expect("DrpModel: fit before predict");
         let z = state.scaler.transform(x);
         let net = state.net.with_dropout_rate(rate);
-        mc_predict_map_observed(&net, &z, passes, std_floor, rng, sigmoid, obs)
+        mc_predict_map(&net, &z, passes, std_floor, rng, sigmoid, obs)
     }
 
     /// Final training loss (diagnostic; the paper's Fig. 3 is about this
@@ -148,13 +153,8 @@ impl DrpModel {
 
     /// [`RoiModel::fit`] with the trainer's trace vocabulary
     /// (`train.epoch` events, divergence/LR-halving retries, final-loss
-    /// gauge — see [`nn::train_observed`]).
-    pub fn fit_observed(
-        &mut self,
-        data: &RctDataset,
-        rng: &mut Prng,
-        obs: &Obs,
-    ) -> Result<(), FitError> {
+    /// gauge — see [`nn::train`]).
+    pub fn fit(&mut self, data: &RctDataset, rng: &mut Prng, obs: &Obs) -> Result<(), FitError> {
         check_xty("DRP", &data.x, &data.t, &data.y_r)?;
         check_xty("DRP", &data.x, &data.t, &data.y_c)?;
         check_both_groups("DRP", &data.t)?;
@@ -177,7 +177,7 @@ impl DrpModel {
             weight_decay: self.config.weight_decay,
             ..TrainConfig::default()
         };
-        let report = nn::train_observed(&mut net, &z, &objective, &cfg, rng, obs)?;
+        let report = nn::train(&mut net, &z, &objective, &cfg, rng, obs)?;
         self.state = Some(Fitted {
             scaler,
             net,
@@ -193,11 +193,11 @@ impl RoiModel for DrpModel {
     }
 
     fn fit(&mut self, data: &RctDataset, rng: &mut Prng) -> Result<(), FitError> {
-        self.fit_observed(data, rng, &Obs::null())
+        DrpModel::fit(self, data, rng, &Obs::disabled())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
-        self.predict_score(x).into_iter().map(sigmoid).collect()
+        DrpModel::predict_roi(self, x, &Obs::disabled())
     }
 }
 
@@ -216,14 +216,14 @@ mod tests {
             epochs,
             ..DrpConfig::default()
         });
-        m.fit(&train, &mut rng).unwrap();
+        m.fit(&train, &mut rng, &Obs::disabled()).unwrap();
         (m, train, test)
     }
 
     #[test]
     fn predictions_live_in_unit_interval() {
         let (m, _, test) = fitted(3000, 10, 0);
-        let preds = m.predict_roi(&test.x);
+        let preds = m.predict_roi(&test.x, &Obs::disabled());
         assert!(preds.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 
@@ -234,7 +234,7 @@ mod tests {
         let mut diff_sum = 0.0;
         for seed in [1u64, 2] {
             let (m, _, test) = fitted(15_000, 40, seed);
-            let preds = m.predict_roi(&test.x);
+            let preds = m.predict_roi(&test.x, &Obs::disabled());
             let aucc = metrics::aucc_from_labels(&test, &preds, 20);
             let mut rng = Prng::seed_from_u64(seed + 100);
             let random: Vec<f64> = (0..test.len()).map(|_| rng.uniform()).collect();
@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn correlates_with_true_roi() {
         let (m, _, test) = fitted(15_000, 40, 3);
-        let preds = m.predict_roi(&test.x);
+        let preds = m.predict_roi(&test.x, &Obs::disabled());
         let truth = test.true_roi().unwrap();
         let corr = linalg::stats::pearson(&preds, &truth);
         assert!(corr > 0.3, "corr {corr}");
@@ -256,7 +256,7 @@ mod tests {
     fn mc_roi_bounds_and_spread() {
         let (m, _, test) = fitted(2000, 10, 4);
         let mut rng = Prng::seed_from_u64(5);
-        let stats = m.mc_roi(&test.x, 30, 1e-6, &mut rng);
+        let stats = m.mc_roi(&test.x, 30, 1e-6, &mut rng, &Obs::disabled());
         assert!(stats.mean.iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(stats.std.iter().all(|&s| s >= 1e-6));
         assert!(stats.std.iter().any(|&s| s > 1e-4), "dropout should spread");
@@ -273,6 +273,6 @@ mod tests {
     #[should_panic(expected = "fit before predict")]
     fn predict_before_fit_panics() {
         let m = DrpModel::new(DrpConfig::default());
-        let _ = m.predict_roi(&Matrix::zeros(1, 12));
+        let _ = m.predict_roi(&Matrix::zeros(1, 12), &Obs::disabled());
     }
 }

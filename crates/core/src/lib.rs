@@ -43,10 +43,12 @@
 //!     mc_passes: 5,
 //!     ..RdrpConfig::default()
 //! }).unwrap();
-//! model.fit_with_calibration(&train, &calibration, &mut rng).unwrap();
+//! model
+//!     .fit_with_calibration(&train, &calibration, &mut rng, &obs::Obs::disabled())
+//!     .unwrap();
 //!
 //! let customers = gen.sample(500, Population::Base, &mut rng);
-//! let scores = model.predict_scores(&customers.x, &mut rng);
+//! let scores = model.predict_scores(&customers.x, &mut rng, &obs::Obs::disabled());
 //! let costs = customers.true_tau_c.clone().unwrap();
 //! let budget = 0.3 * costs.iter().sum::<f64>();
 //! let allocation = greedy_allocate(&scores, &costs, budget);
@@ -76,6 +78,8 @@ pub use drp::DrpModel;
 pub use error::PipelineError;
 pub use loss::DrpObjective;
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
-pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp, PersistError};
-pub use rdrp::{Rdrp, RdrpDiagnostics};
-pub use search::{find_roi_star, find_roi_star_observed, SearchError};
+#[allow(deprecated)]
+pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp};
+pub use persist::{Persist, PersistError};
+pub use rdrp::{Rdrp, RdrpDiagnostics, SCORING_SEED};
+pub use search::{find_roi_star, SearchError};

@@ -13,6 +13,7 @@ use crate::rdrp::Rdrp;
 use datasets::multi::MultiRctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
+use obs::Obs;
 use uplift::FitError;
 
 /// One rDRP per treatment arm, trained on that arm's binarized RCT.
@@ -56,6 +57,7 @@ impl DivideAndConquerRdrp {
         train: &MultiRctDataset,
         calibration: &MultiRctDataset,
         rng: &mut Prng,
+        obs: &Obs,
     ) -> Result<(), FitError> {
         if train.n_levels != self.n_levels {
             return Err(FitError::InvalidData(format!(
@@ -72,7 +74,7 @@ impl DivideAndConquerRdrp {
         for k in 1..=self.n_levels {
             let bt = train.to_binary(k);
             let bc = calibration.to_binary(k);
-            self.models[(k - 1) as usize].fit_with_calibration(&bt, &bc, rng)?;
+            self.models[(k - 1) as usize].fit_with_calibration(&bt, &bc, rng, obs)?;
         }
         Ok(())
     }
@@ -82,10 +84,10 @@ impl DivideAndConquerRdrp {
     ///
     /// # Panics
     /// Panics before [`DivideAndConquerRdrp::fit`].
-    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<Vec<f64>> {
+    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng, obs: &Obs) -> Vec<Vec<f64>> {
         self.models
             .iter()
-            .map(|m| m.predict_scores(x, rng))
+            .map(|m| m.predict_scores(x, rng, obs))
             .collect()
     }
 
@@ -111,14 +113,18 @@ impl DivideAndConquerRdrp {
     ///
     /// # Panics
     /// Panics before [`DivideAndConquerRdrp::fit`].
-    pub fn predict_comparable_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<Vec<f64>> {
+    pub fn predict_comparable_scores(
+        &self,
+        x: &Matrix,
+        rng: &mut Prng,
+        obs: &Obs,
+    ) -> Vec<Vec<f64>> {
         use linalg::vector::argsort_desc;
-        use uplift::RoiModel;
         self.models
             .iter()
             .map(|m| {
-                let calibrated = m.predict_scores(x, rng);
-                let mut roi_values = m.drp().predict_roi(x);
+                let calibrated = m.predict_scores(x, rng, obs);
+                let mut roi_values = m.drp().predict_roi(x, obs);
                 roi_values.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
                 let order = argsort_desc(&calibrated);
                 let mut out = vec![0.0; calibrated.len()];
@@ -278,8 +284,8 @@ mod tests {
             ..RdrpConfig::default()
         };
         let mut dc = DivideAndConquerRdrp::new(config, 2).unwrap();
-        dc.fit(&train, &calib, &mut rng).unwrap();
-        let scores = dc.predict_scores(&test.x, &mut rng);
+        dc.fit(&train, &calib, &mut rng, &Obs::disabled()).unwrap();
+        let scores = dc.predict_scores(&test.x, &mut rng, &Obs::disabled());
         assert_eq!(scores.len(), 2);
         assert_eq!(scores[0].len(), test.len());
         assert!(scores.iter().flatten().all(|s| s.is_finite()));
@@ -329,8 +335,8 @@ mod tests {
             ..RdrpConfig::default()
         };
         let mut dc = DivideAndConquerRdrp::new(config, 3).unwrap();
-        dc.fit(&train, &calib, &mut rng).unwrap();
-        let comparable = dc.predict_comparable_scores(&test.x, &mut rng);
+        dc.fit(&train, &calib, &mut rng, &Obs::disabled()).unwrap();
+        let comparable = dc.predict_comparable_scores(&test.x, &mut rng, &Obs::disabled());
         // All arms' scores live in (0, 1) — the common ROI scale.
         for (k, arm_scores) in comparable.iter().enumerate() {
             assert!(
@@ -339,8 +345,12 @@ mod tests {
             );
         }
         // Quantile matching preserves each arm's calibrated ranking.
-        let raw = dc.predict_scores(&test.x, &mut Prng::seed_from_u64(0x5C0BE));
-        let comparable2 = dc.predict_comparable_scores(&test.x, &mut Prng::seed_from_u64(0x5C0BE));
+        let raw = dc.predict_scores(&test.x, &mut Prng::seed_from_u64(0x5C0BE), &Obs::disabled());
+        let comparable2 = dc.predict_comparable_scores(
+            &test.x,
+            &mut Prng::seed_from_u64(0x5C0BE),
+            &Obs::disabled(),
+        );
         for k in 0..3 {
             let a = linalg::vector::argsort_desc(&raw[k]);
             let b = linalg::vector::argsort_desc(&comparable2[k]);
@@ -356,7 +366,9 @@ mod tests {
         let train = gen3.sample(500, Population::Base, &mut rng);
         let calib = gen2.sample(500, Population::Base, &mut rng);
         let mut dc = DivideAndConquerRdrp::new(RdrpConfig::default(), 3).unwrap();
-        let err = dc.fit(&train, &calib, &mut rng).unwrap_err();
+        let err = dc
+            .fit(&train, &calib, &mut rng, &Obs::disabled())
+            .unwrap_err();
         assert!(matches!(err, FitError::InvalidData(_)));
         assert!(err.to_string().contains("arm-count mismatch"));
     }

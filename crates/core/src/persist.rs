@@ -6,6 +6,11 @@
 //! transient and excluded). The deployment story the paper describes —
 //! train offline, calibrate on a fresh RCT, then serve — needs exactly
 //! this boundary.
+//!
+//! The [`Persist`] trait is the one entry point: `Model::save(path)` /
+//! `Model::load(path)` on every persistable model. The old free
+//! functions (`save_rdrp` and friends) remain as deprecated shims for
+//! one release.
 
 use crate::drp::DrpModel;
 use crate::rdrp::Rdrp;
@@ -46,30 +51,75 @@ impl From<tinyjson::JsonError> for PersistError {
     }
 }
 
-/// Saves an rDRP model (trained or not) as pretty JSON.
-pub fn save_rdrp(model: &Rdrp, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, tinyjson::to_string_pretty(&model.to_json()))?;
-    Ok(())
+/// Pretty-JSON file persistence for trained models.
+///
+/// Implementors roundtrip bit-for-bit: `T::load(p)` after `m.save(p)`
+/// yields a model whose predictions equal `m`'s exactly (the JSON float
+/// encoder is shortest-roundtrip).
+pub trait Persist: Sized {
+    /// Writes the model (trained or not) as pretty JSON to `path`.
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] when the file cannot be written.
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError>;
+
+    /// Reads a model previously written by [`Persist::save`].
+    ///
+    /// # Errors
+    /// [`PersistError::Io`] when the file cannot be read,
+    /// [`PersistError::Serde`] when its contents do not parse as this
+    /// model type.
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError>;
 }
 
-/// Loads an rDRP model saved by [`save_rdrp`].
+impl Persist for Rdrp {
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, tinyjson::to_string_pretty(&self.to_json()))?;
+        Ok(())
+    }
+
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(Rdrp::from_json(&tinyjson::from_str(&fs::read_to_string(
+            path,
+        )?)?)?)
+    }
+}
+
+impl Persist for DrpModel {
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, tinyjson::to_string_pretty(&self.to_json()))?;
+        Ok(())
+    }
+
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(DrpModel::from_json(&tinyjson::from_str(
+            &fs::read_to_string(path)?,
+        )?)?)
+    }
+}
+
+/// Saves an rDRP model (trained or not) as pretty JSON.
+#[deprecated(since = "0.2.0", note = "use `Persist::save` (`model.save(path)`)")]
+pub fn save_rdrp(model: &Rdrp, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    Persist::save(model, path)
+}
+
+/// Loads an rDRP model saved by [`Persist::save`].
+#[deprecated(since = "0.2.0", note = "use `Persist::load` (`Rdrp::load(path)`)")]
 pub fn load_rdrp(path: impl AsRef<Path>) -> Result<Rdrp, PersistError> {
-    Ok(Rdrp::from_json(&tinyjson::from_str(&fs::read_to_string(
-        path,
-    )?)?)?)
+    Rdrp::load(path)
 }
 
 /// Saves a DRP model as pretty JSON.
+#[deprecated(since = "0.2.0", note = "use `Persist::save` (`model.save(path)`)")]
 pub fn save_drp(model: &DrpModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    fs::write(path, tinyjson::to_string_pretty(&model.to_json()))?;
-    Ok(())
+    Persist::save(model, path)
 }
 
-/// Loads a DRP model saved by [`save_drp`].
+/// Loads a DRP model saved by [`Persist::save`].
+#[deprecated(since = "0.2.0", note = "use `Persist::load` (`DrpModel::load(path)`)")]
 pub fn load_drp(path: impl AsRef<Path>) -> Result<DrpModel, PersistError> {
-    Ok(DrpModel::from_json(&tinyjson::from_str(
-        &fs::read_to_string(path)?,
-    )?)?)
+    DrpModel::load(path)
 }
 
 #[cfg(test)]
@@ -79,6 +129,7 @@ mod tests {
     use datasets::generator::{Population, RctGenerator};
     use datasets::CriteoLike;
     use linalg::random::Prng;
+    use obs::Obs;
     use uplift::RoiModel;
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -95,11 +146,14 @@ mod tests {
             epochs: 5,
             ..DrpConfig::default()
         });
-        model.fit(&train, &mut rng).unwrap();
+        model.fit(&train, &mut rng, &Obs::disabled()).unwrap();
         let path = tmp("drp");
-        save_drp(&model, &path).unwrap();
-        let loaded = load_drp(&path).unwrap();
-        assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
+        model.save(&path).unwrap();
+        let loaded = DrpModel::load(&path).unwrap();
+        assert_eq!(
+            model.predict_roi(&test.x, &Obs::disabled()),
+            loaded.predict_roi(&test.x, &Obs::disabled())
+        );
         let _ = std::fs::remove_file(path);
     }
 
@@ -119,10 +173,12 @@ mod tests {
             ..RdrpConfig::default()
         })
         .unwrap();
-        model.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        model
+            .fit_with_calibration(&train, &cal, &mut rng, &Obs::disabled())
+            .unwrap();
         let path = tmp("rdrp");
-        save_rdrp(&model, &path).unwrap();
-        let loaded = load_rdrp(&path).unwrap();
+        model.save(&path).unwrap();
+        let loaded = Rdrp::load(&path).unwrap();
         assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
         assert_eq!(model.diagnostics().qhat, loaded.diagnostics().qhat);
         assert_eq!(
@@ -135,7 +191,7 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(matches!(
-            load_drp("/nonexistent/rdrp_model.json"),
+            DrpModel::load("/nonexistent/rdrp_model.json"),
             Err(PersistError::Io(_))
         ));
     }
@@ -144,7 +200,29 @@ mod tests {
     fn load_garbage_errors() {
         let path = tmp("garbage");
         std::fs::write(&path, "not json at all").unwrap();
-        assert!(matches!(load_rdrp(&path), Err(PersistError::Serde(_))));
+        assert!(matches!(Rdrp::load(&path), Err(PersistError::Serde(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_still_roundtrip() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(2);
+        let train = gen.sample(1200, Population::Base, &mut rng);
+        let test = gen.sample(100, Population::Base, &mut rng);
+        let mut model = DrpModel::new(DrpConfig {
+            epochs: 3,
+            ..DrpConfig::default()
+        });
+        model.fit(&train, &mut rng, &Obs::disabled()).unwrap();
+        let path = tmp("shim");
+        save_drp(&model, &path).unwrap();
+        let loaded = load_drp(&path).unwrap();
+        assert_eq!(
+            model.predict_roi(&test.x, &Obs::disabled()),
+            loaded.predict_roi(&test.x, &Obs::disabled())
+        );
         let _ = std::fs::remove_file(path);
     }
 }

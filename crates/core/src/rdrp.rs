@@ -16,11 +16,12 @@ use crate::calibrate::{CalibrationForm, DegradedMode};
 use crate::config::RdrpConfig;
 use crate::drp::DrpModel;
 use crate::error::PipelineError;
-use crate::search::{find_roi_star_observed, SearchError};
+use crate::search::{find_roi_star, SearchError};
 use conformal::{Interval, SplitConformal};
 use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::Matrix;
+use nn::Workspace;
 use obs::Obs;
 use uplift::{FitError, RoiModel};
 
@@ -53,6 +54,13 @@ tinyjson::json_struct!(RdrpDiagnostics {
     n_calibration,
     degraded
 });
+
+/// The fixed RNG seed deterministic scoring paths use for their
+/// MC-dropout passes: [`RoiModel::predict_roi`] on a fitted [`Rdrp`], the
+/// CLI `score`/`serve` subcommands, and the serving engine. Scoring a
+/// fitted model must be a pure function of the inputs, so every replay
+/// path seeds from this constant.
+pub const SCORING_SEED: u64 = 0x5C0BE;
 
 /// Bootstrap resamples used by the form-selection significance test.
 const SELECTION_BOOTSTRAPS: usize = 16;
@@ -248,23 +256,10 @@ impl Rdrp {
     /// model degrades to plain DRP ranking and records why in
     /// [`RdrpDiagnostics::degraded`].
     ///
-    /// # Errors
-    /// Returns [`FitError`] when the training data is malformed, DRP
-    /// training diverges beyond its retry budget, or conformal
-    /// calibration itself fails.
-    pub fn fit_with_calibration(
-        &mut self,
-        train: &RctDataset,
-        calibration: &RctDataset,
-        rng: &mut Prng,
-    ) -> Result<(), FitError> {
-        self.fit_with_calibration_observed(train, calibration, rng, &Obs::null())
-    }
-
-    /// [`Rdrp::fit_with_calibration`] with an [`Obs`] handle recording
-    /// every run-level decision the diagnostics summarize:
+    /// The `obs` handle records every run-level decision the diagnostics
+    /// summarize (pass [`Obs::disabled`] for a silent run):
     ///
-    /// * the trainer's `train.*` vocabulary (via [`nn::train_observed`]);
+    /// * the trainer's `train.*` vocabulary (via [`nn::train`]);
     /// * `infer.*` batch/MC histograms for the calibration-set inference;
     /// * counter `calibration.std_floor_hits` — how many calibration rows
     ///   had their MC-dropout std clamped at `std_floor`;
@@ -277,7 +272,12 @@ impl Rdrp {
     /// * event `calibration.degraded` `{mode}` (exactly once) when the
     ///   pipeline fell back to plain DRP ranking — `mode` is the
     ///   [`DegradedMode`] variant name.
-    pub fn fit_with_calibration_observed(
+    ///
+    /// # Errors
+    /// Returns [`FitError`] when the training data is malformed, DRP
+    /// training diverges beyond its retry budget, or conformal
+    /// calibration itself fails.
+    pub fn fit_with_calibration(
         &mut self,
         train: &RctDataset,
         calibration: &RctDataset,
@@ -302,10 +302,10 @@ impl Rdrp {
             &calibration.y_c,
         )?;
         // Step 1: train DRP.
-        self.drp.fit_observed(train, rng, obs)?;
+        self.drp.fit(train, rng, obs)?;
         // Step 2 on the calibration set.
-        let preds = self.drp.predict_roi_observed(&calibration.x, obs);
-        let mc = self.drp.mc_roi_with_rate_observed(
+        let preds = self.drp.predict_roi(&calibration.x, obs);
+        let mc = self.drp.mc_roi_with_rate(
             &calibration.x,
             self.config.mc_passes,
             self.config.mc_dropout,
@@ -323,7 +323,7 @@ impl Rdrp {
         if floor_hits > 0 {
             obs.counter("calibration.std_floor_hits", floor_hits as f64);
         }
-        let roi_star = match find_roi_star_observed(
+        let roi_star = match find_roi_star(
             &calibration.t,
             &calibration.y_r,
             &calibration.y_c,
@@ -468,13 +468,15 @@ impl Rdrp {
     #[allow(clippy::expect_used)] // documented API-misuse panic
     pub fn predict_intervals(&self, x: &Matrix, rng: &mut Prng) -> Vec<Interval> {
         let state = self.state.as_ref().expect("Rdrp: fit before predict");
-        let preds = self.drp.predict_roi(x);
+        let obs = Obs::disabled();
+        let preds = self.drp.predict_roi(x, &obs);
         let mc = self.drp.mc_roi_with_rate(
             x,
             self.config.mc_passes,
             self.config.mc_dropout,
             self.config.std_floor,
             rng,
+            &obs,
         );
         state
             .conformal
@@ -487,30 +489,40 @@ impl Rdrp {
     /// Calibrated ranking scores on test points — Algorithm 4 line 12.
     ///
     /// Takes an explicit RNG so the MC-dropout passes are reproducible;
-    /// [`RoiModel::predict_roi`] wraps this with a fixed internal seed.
-    ///
-    /// # Panics
-    /// Panics before fitting.
-    #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng) -> Vec<f64> {
-        self.predict_scores_observed(x, rng, &Obs::null())
-    }
-
-    /// [`Rdrp::predict_scores`] with batch-inference accounting: the
-    /// point-estimate pass records `infer.predict_*` and, when the
+    /// [`RoiModel::predict_roi`] wraps this with the fixed
+    /// [`SCORING_SEED`]. Batch-inference accounting goes through `obs`:
+    /// the point-estimate pass records `infer.predict_*` and, when the
     /// selected form needs interval widths, the MC sweep records
     /// `infer.mc_*`.
     ///
     /// # Panics
     /// Panics before fitting.
+    pub fn predict_scores(&self, x: &Matrix, rng: &mut Prng, obs: &Obs) -> Vec<f64> {
+        let mut ws = Workspace::new();
+        self.predict_scores_with(x, rng, &mut ws, obs)
+    }
+
+    /// [`Rdrp::predict_scores`] reusing a caller-owned [`Workspace`] for
+    /// the serial point-estimate pass — the variant long-lived scorers
+    /// (the serving engine's worker threads) call in a loop. The MC sweep
+    /// (non-Identity forms only) manages its own per-worker scratch.
+    ///
+    /// # Panics
+    /// Panics before fitting.
     #[allow(clippy::expect_used)] // documented API-misuse panic
-    pub fn predict_scores_observed(&self, x: &Matrix, rng: &mut Prng, obs: &Obs) -> Vec<f64> {
+    pub fn predict_scores_with(
+        &self,
+        x: &Matrix,
+        rng: &mut Prng,
+        ws: &mut Workspace,
+        obs: &Obs,
+    ) -> Vec<f64> {
         let state = self.state.as_ref().expect("Rdrp: fit before predict");
-        let preds = self.drp.predict_roi_observed(x, obs);
+        let preds = self.drp.predict_roi_with(x, ws, obs);
         if state.form == CalibrationForm::Identity {
             return preds;
         }
-        let mc = self.drp.mc_roi_with_rate_observed(
+        let mc = self.drp.mc_roi_with_rate(
             x,
             self.config.mc_passes,
             self.config.mc_dropout,
@@ -523,6 +535,20 @@ impl Rdrp {
         state
             .form
             .apply_all(&preds, &half_widths, self.config.std_floor)
+    }
+
+    /// The calibration form a fitted model applies at scoring time, or
+    /// `None` before fitting. [`CalibrationForm::Identity`] means scoring
+    /// is a pure row-independent function of the features (no MC-dropout
+    /// sweep) — the property the serving engine's batch coalescer keys on.
+    pub fn selected_form(&self) -> Option<CalibrationForm> {
+        self.state.as_ref().map(|s| s.form)
+    }
+
+    /// Feature dimension the fitted model consumes, or `None` before
+    /// fitting.
+    pub fn n_features(&self) -> Option<usize> {
+        self.drp.n_features()
     }
 }
 
@@ -549,13 +575,13 @@ impl RoiModel for Rdrp {
             .clamp(1, data.len() - 1);
         let calibration = data.subset(&order[..n_cal]);
         let train = data.subset(&order[n_cal..]);
-        self.fit_with_calibration(&train, &calibration, rng)
+        self.fit_with_calibration(&train, &calibration, rng, &Obs::disabled())
     }
 
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
         // Fixed seed: scoring must be deterministic for a fitted model.
-        let mut rng = Prng::seed_from_u64(0x5C0BE);
-        self.predict_scores(x, &mut rng)
+        let mut rng = Prng::seed_from_u64(SCORING_SEED);
+        self.predict_scores(x, &mut rng, &Obs::disabled())
     }
 }
 
@@ -585,7 +611,8 @@ mod tests {
         let cal = gen.sample(2000, Population::Base, &mut rng);
         let test = gen.sample(2000, Population::Base, &mut rng);
         let mut m = Rdrp::new(small_config()).unwrap();
-        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng, &Obs::disabled())
+            .unwrap();
         let d = m.diagnostics();
         assert!(d.roi_star.is_some());
         assert_eq!(d.degraded, None);
@@ -611,9 +638,11 @@ mod tests {
         let cal = gen.sample(3000, Population::Base, &mut rng);
         let test = gen.sample(3000, Population::Base, &mut rng);
         let mut m = Rdrp::new(small_config()).unwrap();
-        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng, &Obs::disabled())
+            .unwrap();
         let ivs = m.predict_intervals(&test.x, &mut rng);
-        let roi_star_test = find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).unwrap();
+        let roi_star_test =
+            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6, &Obs::disabled()).unwrap();
         let covered = ivs.iter().filter(|iv| iv.contains(roi_star_test)).count();
         let rate = covered as f64 / ivs.len() as f64;
         assert!(rate >= 0.80, "coverage of test roi* = {rate}");
@@ -637,10 +666,10 @@ mod tests {
             let mut rng = Prng::seed_from_u64(100 + seed);
             let data = ExperimentData::build(&gen, Setting::InCo, &sizes, &mut rng);
             let mut m = Rdrp::new(small_config()).unwrap();
-            m.fit_with_calibration(&data.train, &data.calibration, &mut rng)
+            m.fit_with_calibration(&data.train, &data.calibration, &mut rng, &Obs::disabled())
                 .unwrap();
             let rdrp_scores = m.predict_roi(&data.test.x);
-            let drp_scores = m.drp().predict_roi(&data.test.x);
+            let drp_scores = m.drp().predict_roi(&data.test.x, &Obs::disabled());
             let a_rdrp = metrics::aucc_from_labels(&data.test, &rdrp_scores, 50);
             let a_drp = metrics::aucc_from_labels(&data.test, &drp_scores, 50);
             diffs.push(a_rdrp - a_drp);
@@ -661,7 +690,8 @@ mod tests {
         // Destroy the calibration cost labels: zero cost uplift.
         cal.y_c = vec![0.0; cal.len()];
         let mut m = Rdrp::new(small_config()).unwrap();
-        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng, &Obs::disabled())
+            .unwrap();
         let d = m.diagnostics();
         assert_eq!(d.roi_star, None);
         assert_eq!(d.selected_form, CalibrationForm::Identity);
@@ -669,7 +699,10 @@ mod tests {
         assert_eq!(m.degraded(), Some(DegradedMode::DegenerateLabels));
         // Predictions equal plain DRP.
         let test = gen.sample(200, Population::Base, &mut rng);
-        assert_eq!(m.predict_roi(&test.x), m.drp().predict_roi(&test.x));
+        assert_eq!(
+            m.predict_roi(&test.x),
+            m.drp().predict_roi(&test.x, &Obs::disabled())
+        );
     }
 
     #[test]
@@ -689,7 +722,8 @@ mod tests {
             ..small_config()
         })
         .unwrap();
-        m.fit_with_calibration(&train, &cal, &mut rng).unwrap();
+        m.fit_with_calibration(&train, &cal, &mut rng, &Obs::disabled())
+            .unwrap();
         let d = m.diagnostics();
         assert_eq!(d.degraded, Some(DegradedMode::DegenerateUncertainty));
         assert_eq!(d.selected_form, CalibrationForm::Identity);
@@ -699,7 +733,7 @@ mod tests {
         assert!(d.qhat.is_finite());
         let scores = m.predict_roi(&test.x);
         assert!(scores.iter().all(|s| s.is_finite()));
-        assert_eq!(scores, m.drp().predict_roi(&test.x));
+        assert_eq!(scores, m.drp().predict_roi(&test.x, &Obs::disabled()));
         // Intervals stay usable (constant width, clipped to (0,1)).
         let ivs = m.predict_intervals(&test.x, &mut rng);
         assert!(ivs.iter().all(|iv| iv.lo.is_finite() && iv.hi.is_finite()));

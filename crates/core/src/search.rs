@@ -55,17 +55,14 @@ impl std::error::Error for SearchError {}
 /// empirical ratio `τ̄^r/τ̄^c` falls outside (0, 1) — possible in small
 /// noisy samples even though Assumption 3 bounds the population value —
 /// the search saturates at the nearest boundary.
-pub fn find_roi_star(t: &[u8], y_r: &[f64], y_c: &[f64], eps: f64) -> Result<f64, SearchError> {
-    find_roi_star_observed(t, y_r, y_c, eps, &obs::Obs::null())
-}
-
-/// [`find_roi_star`] with an [`obs::Obs`] handle recording the search:
-/// counter `calibration.search_iterations` accumulates bisection steps,
-/// and one `calibration.roi_star` event carries the result alongside the
-/// final bracket `{roi_star, iterations, lo, hi}`. Errors emit nothing —
-/// the caller decides how a failed search is reported (in the rDRP
-/// pipeline it becomes a `calibration.degraded` event).
-pub fn find_roi_star_observed(
+///
+/// The `obs` handle records the search: counter
+/// `calibration.search_iterations` accumulates bisection steps, and one
+/// `calibration.roi_star` event carries the result alongside the final
+/// bracket `{roi_star, iterations, lo, hi}`. Errors emit nothing — the
+/// caller decides how a failed search is reported (in the rDRP pipeline
+/// it becomes a `calibration.degraded` event).
+pub fn find_roi_star(
     t: &[u8],
     y_r: &[f64],
     y_c: &[f64],
@@ -146,7 +143,7 @@ mod tests {
     fn recovers_known_ratio() {
         for &ratio in &[0.1, 0.25, 0.5, 0.73, 0.9] {
             let (t, y_r, y_c) = labels_with_ratio(ratio, 100);
-            let roi = find_roi_star(&t, &y_r, &y_c, 1e-6).unwrap();
+            let roi = find_roi_star(&t, &y_r, &y_c, 1e-6, &obs::Obs::disabled()).unwrap();
             assert!((roi - ratio).abs() < 1e-4, "ratio {ratio}: got {roi}");
         }
     }
@@ -160,7 +157,7 @@ mod tests {
                 *v = 2.0;
             }
         }
-        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4).unwrap();
+        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4, &obs::Obs::disabled()).unwrap();
         assert!(roi > 0.99, "got {roi}");
         // Negative revenue uplift: saturates near 0.
         for (i, v) in y_r.iter_mut().enumerate() {
@@ -168,7 +165,7 @@ mod tests {
                 *v = -1.0;
             }
         }
-        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4).unwrap();
+        let roi = find_roi_star(&t, &y_r, &y_c, 1e-4, &obs::Obs::disabled()).unwrap();
         assert!(roi < 0.01, "got {roi}");
     }
 
@@ -191,7 +188,7 @@ mod tests {
                 continue;
             }
             let closed = (tr / tc).clamp(1e-6, 1.0 - 1e-6);
-            let roi = find_roi_star(&t, &y_r, &y_c, 1e-7).unwrap();
+            let roi = find_roi_star(&t, &y_r, &y_c, 1e-7, &obs::Obs::disabled()).unwrap();
             assert!(
                 (roi - closed).abs() < 1e-4,
                 "trial {trial}: search {roi} vs closed form {closed}"
@@ -204,13 +201,13 @@ mod tests {
         let (t, y_r, y_c) = labels_with_ratio(0.5, 10);
         let all_treated = vec![1u8; 10];
         assert_eq!(
-            find_roi_star(&all_treated, &y_r, &y_c, 1e-4),
+            find_roi_star(&all_treated, &y_r, &y_c, 1e-4, &obs::Obs::disabled()),
             Err(SearchError::MissingGroup)
         );
         // Zero cost uplift.
         let zero_c = vec![0.0; 10];
         assert!(matches!(
-            find_roi_star(&t, &y_r, &zero_c, 1e-4),
+            find_roi_star(&t, &y_r, &zero_c, 1e-4, &obs::Obs::disabled()),
             Err(SearchError::NonPositiveCostUplift { .. })
         ));
     }
@@ -220,7 +217,7 @@ mod tests {
         // eps = 2^-20 needs at most ~21 halvings; verify convergence is
         // still exact to tolerance (indirect check on the loop bound).
         let (t, y_r, y_c) = labels_with_ratio(0.37, 64);
-        let roi = find_roi_star(&t, &y_r, &y_c, 2f64.powi(-20)).unwrap();
+        let roi = find_roi_star(&t, &y_r, &y_c, 2f64.powi(-20), &obs::Obs::disabled()).unwrap();
         assert!((roi - 0.37).abs() < 1e-5);
     }
 
@@ -229,7 +226,7 @@ mod tests {
         let (t, y_r, y_c) = labels_with_ratio(0.5, 10);
         for bad in [0.7, 0.0, -1.0, f64::NAN] {
             assert!(matches!(
-                find_roi_star(&t, &y_r, &y_c, bad),
+                find_roi_star(&t, &y_r, &y_c, bad, &obs::Obs::disabled()),
                 Err(SearchError::InvalidTolerance { .. })
             ));
         }

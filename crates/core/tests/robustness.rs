@@ -53,7 +53,7 @@ fn nan_calibration_set_is_a_typed_error_not_a_panic() {
     // The DRP trains fine; the corruption is only seen when the MC
     // forward passes hit the calibration features and the conformal
     // scores go non-finite.
-    let result = m.fit_with_calibration(&train, &cal, &mut rng);
+    let result = m.fit_with_calibration(&train, &cal, &mut rng, &obs::Obs::disabled());
     match result {
         Err(FitError::Calibration(_)) | Err(FitError::InvalidData(_)) => {}
         other => panic!("expected a typed calibration error, got {other:?}"),
@@ -109,5 +109,5 @@ fn degenerate_uncertainty_end_to_end_through_the_roi_model_trait() {
     let test = gen.sample(400, Population::Base, &mut rng);
     let scores = m.predict_roi(&test.x);
     assert!(scores.iter().all(|s| s.is_finite()));
-    assert_eq!(scores, m.drp().predict_roi(&test.x));
+    assert_eq!(scores, m.drp().predict_roi(&test.x, &obs::Obs::disabled()));
 }

@@ -44,9 +44,9 @@ pub use activation::Activation;
 pub use dense::Dense;
 pub use dropout::{Dropout, Mode};
 pub use error::{DivergenceCause, TrainError};
-pub use mc::{mc_predict, mc_predict_map, mc_predict_map_observed, McStats};
+pub use mc::{mc_predict, mc_predict_map, McStats};
 pub use mlp::{Mlp, Workspace};
 pub use multihead::MultiHeadNet;
 pub use objective::{BceObjective, MseObjective, Objective, PinballObjective};
 pub use optimizer::{Adam, Optimizer, Sgd};
-pub use trainer::{train, train_observed, Recovery, TrainConfig, TrainReport};
+pub use trainer::{train, Recovery, TrainConfig, TrainReport};

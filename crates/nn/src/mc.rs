@@ -40,32 +40,31 @@ pub struct McStats {
 ///
 /// # Panics
 /// Panics if `passes == 0` or the network output is not scalar.
-pub fn mc_predict(net: &Mlp, x: &Matrix, passes: usize, std_floor: f64, rng: &mut Prng) -> McStats {
-    mc_predict_map(net, x, passes, std_floor, rng, |v| v)
+pub fn mc_predict(
+    net: &Mlp,
+    x: &Matrix,
+    passes: usize,
+    std_floor: f64,
+    rng: &mut Prng,
+    obs: &obs::Obs,
+) -> McStats {
+    mc_predict_map(net, x, passes, std_floor, rng, |v| v, obs)
 }
 
 /// Like [`mc_predict`] but applies `transform` to each pass's raw outputs
 /// before aggregating. DRP uses this with the sigmoid: the paper's `r̂(x)`
 /// is the standard deviation of the *ROI* point estimate `σ(ŝ)`, not of
 /// the raw score `ŝ`.
+///
+/// Latency + batch accounting through `obs`: histogram `infer.mc_ns`
+/// gets the wall-clock duration of the whole MC sweep, histogram
+/// `infer.mc_rows` the batch size, counter `infer.mc_passes` the number
+/// of stochastic passes. Free (one branch) under [`Obs::disabled`];
+/// recording happens outside the worker threads so the parallel schedule
+/// is untouched.
+///
+/// [`Obs::disabled`]: obs::Obs::disabled
 pub fn mc_predict_map(
-    net: &Mlp,
-    x: &Matrix,
-    passes: usize,
-    std_floor: f64,
-    rng: &mut Prng,
-    transform: impl Fn(f64) -> f64 + Sync,
-) -> McStats {
-    mc_predict_map_observed(net, x, passes, std_floor, rng, transform, &obs::Obs::null())
-}
-
-/// [`mc_predict_map`] with latency + batch accounting: histogram
-/// `infer.mc_ns` gets the wall-clock duration of the whole MC sweep,
-/// histogram `infer.mc_rows` the batch size, counter `infer.mc_passes`
-/// the number of stochastic passes. Free (one branch) under a disabled
-/// handle; recording happens outside the worker threads so the parallel
-/// schedule is untouched.
-pub fn mc_predict_map_observed(
     net: &Mlp,
     x: &Matrix,
     passes: usize,
@@ -147,11 +146,11 @@ mod tests {
         let net = net_with_dropout(0, 0.0);
         let x = Matrix::from_rows(&[vec![1.0, -1.0, 0.5]]);
         let mut rng = Prng::seed_from_u64(1);
-        let stats = mc_predict(&net, &x, 20, 0.0, &mut rng);
+        let stats = mc_predict(&net, &x, 20, 0.0, &mut rng, &obs::Obs::disabled());
         // All passes are identical; only accumulation rounding remains.
         assert!(stats.std[0] < 1e-12, "std = {}", stats.std[0]);
         // The MC mean equals the deterministic prediction.
-        let det = net.predict_scalar(&x)[0];
+        let det = net.predict_scalar(&x, &obs::Obs::disabled())[0];
         assert!((stats.mean[0] - det).abs() < 1e-12);
     }
 
@@ -160,7 +159,7 @@ mod tests {
         let net = net_with_dropout(2, 0.3);
         let x = Matrix::from_rows(&[vec![1.0, -1.0, 0.5], vec![0.2, 0.4, -2.0]]);
         let mut rng = Prng::seed_from_u64(3);
-        let stats = mc_predict(&net, &x, 50, 0.0, &mut rng);
+        let stats = mc_predict(&net, &x, 50, 0.0, &mut rng, &obs::Obs::disabled());
         assert!(stats.std.iter().all(|&s| s > 0.0));
         assert_eq!(stats.passes, 50);
         assert_eq!(stats.mean.len(), 2);
@@ -172,7 +171,7 @@ mod tests {
         let x = Matrix::from_rows(&vec![vec![0.1, 0.2, 0.3]; 8]);
         let run = |seed| {
             let mut rng = Prng::seed_from_u64(seed);
-            mc_predict(&net, &x, 32, 0.0, &mut rng)
+            mc_predict(&net, &x, 32, 0.0, &mut rng, &obs::Obs::disabled())
         };
         let a = run(10);
         let b = run(10);
@@ -213,7 +212,7 @@ mod tests {
             }
 
             let mut rng = Prng::seed_from_u64(seed);
-            let stats = mc_predict(&net, &x, 16, 0.0, &mut rng);
+            let stats = mc_predict(&net, &x, 16, 0.0, &mut rng, &obs::Obs::disabled());
             assert_eq!(stats.mean, mean, "seed {seed}");
             // The caller-visible RNG advanced identically on both paths.
             assert_eq!(ref_rng.uniform(), rng.uniform(), "seed {seed}");
@@ -225,7 +224,7 @@ mod tests {
         let net = net_with_dropout(5, 0.0);
         let x = Matrix::from_rows(&[vec![0.0, 0.0, 0.0]]);
         let mut rng = Prng::seed_from_u64(6);
-        let stats = mc_predict(&net, &x, 10, 1e-4, &mut rng);
+        let stats = mc_predict(&net, &x, 10, 1e-4, &mut rng, &obs::Obs::disabled());
         assert_eq!(stats.std[0], 1e-4);
     }
 
@@ -235,7 +234,7 @@ mod tests {
         let avg_std = |p: f64| {
             let net = net_with_dropout(7, p);
             let mut rng = Prng::seed_from_u64(8);
-            let stats = mc_predict(&net, &x, 200, 0.0, &mut rng);
+            let stats = mc_predict(&net, &x, 200, 0.0, &mut rng, &obs::Obs::disabled());
             stats.std.iter().sum::<f64>() / stats.std.len() as f64
         };
         assert!(avg_std(0.5) > avg_std(0.05));
@@ -248,10 +247,18 @@ mod tests {
         // std of sigmoid(outputs) differs from sigmoid of std in general;
         // verify the mapped mean equals manually transformed pass outputs.
         let mut r1 = Prng::seed_from_u64(20);
-        let mapped = mc_predict_map(&net, &x, 40, 0.0, &mut r1, linalg::vector::sigmoid);
+        let mapped = mc_predict_map(
+            &net,
+            &x,
+            40,
+            0.0,
+            &mut r1,
+            linalg::vector::sigmoid,
+            &obs::Obs::disabled(),
+        );
         assert!(mapped.mean[0] > 0.0 && mapped.mean[0] < 1.0);
         let mut r2 = Prng::seed_from_u64(20);
-        let raw = mc_predict(&net, &x, 40, 0.0, &mut r2);
+        let raw = mc_predict(&net, &x, 40, 0.0, &mut r2, &obs::Obs::disabled());
         // Jensen: sigmoid of the mean differs from mean of sigmoids, but
         // both should be in (0,1) and close for small spread.
         assert!((linalg::vector::sigmoid(raw.mean[0]) - mapped.mean[0]).abs() < 0.2);
@@ -264,6 +271,6 @@ mod tests {
         let net = net_with_dropout(9, 0.1);
         let x = Matrix::zeros(1, 3);
         let mut rng = Prng::seed_from_u64(0);
-        let _ = mc_predict(&net, &x, 0, 0.0, &mut rng);
+        let _ = mc_predict(&net, &x, 0, 0.0, &mut rng, &obs::Obs::disabled());
     }
 }

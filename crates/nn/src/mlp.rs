@@ -285,39 +285,50 @@ impl Mlp {
     /// Large batches are scored in parallel row chunks — each worker runs
     /// the same per-row arithmetic on its slice of rows, so the result is
     /// bitwise identical to the serial pass (Eval mode consumes no RNG).
-    pub fn predict_scalar(&self, x: &Matrix) -> Vec<f64> {
-        // Below this many rows, thread spawn overhead beats the win.
-        const PAR_MIN_ROWS: usize = 256;
-        let n = x.rows();
-        let workers = par::workers_for(n);
-        if n < PAR_MIN_ROWS || workers <= 1 {
-            let mut ws = Workspace::new();
-            let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
-            return self.infer(x, Mode::Eval, &mut rng, &mut ws).col(0);
-        }
-        let mut out = vec![0.0; n];
-        let chunk_rows = n.div_ceil(workers);
-        par::par_chunks_mut(&mut out, chunk_rows, |start, chunk| {
-            let rows: Vec<usize> = (start..start + chunk.len()).collect();
-            let sub = x.select_rows(&rows);
-            let mut ws = Workspace::new();
-            let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
-            let y = self.infer(&sub, Mode::Eval, &mut rng, &mut ws);
-            for (i, o) in chunk.iter_mut().enumerate() {
-                *o = y.get(i, 0);
-            }
-        });
-        out
+    ///
+    /// Latency + batch-size accounting through `obs`: histogram
+    /// `infer.predict_ns` gets the wall-clock duration, histogram
+    /// `infer.predict_rows` the batch size, counter `infer.predict_calls`
+    /// bumps once. Free (one branch) under [`Obs::disabled`].
+    ///
+    /// [`Obs::disabled`]: obs::Obs::disabled
+    pub fn predict_scalar(&self, x: &Matrix, obs: &obs::Obs) -> Vec<f64> {
+        let mut ws = Workspace::new();
+        self.predict_scalar_with(x, &mut ws, obs)
     }
 
-    /// [`Mlp::predict_scalar`] with latency + batch-size accounting:
-    /// histogram `infer.predict_ns` gets the wall-clock duration, histogram
-    /// `infer.predict_rows` the batch size, counter `infer.predict_calls`
-    /// bumps once. Free (one branch) under a disabled handle.
-    pub fn predict_scalar_observed(&self, x: &Matrix, obs: &obs::Obs) -> Vec<f64> {
+    /// [`Mlp::predict_scalar`] writing serial-path activations into a
+    /// caller-owned [`Workspace`] — the allocation-free variant long-lived
+    /// scorers (the serving engine's worker threads) call in a loop.
+    ///
+    /// Batches large enough to cross the parallel threshold still fan out
+    /// into per-worker scratch workspaces; `ws` only backs the serial path.
+    pub fn predict_scalar_with(&self, x: &Matrix, ws: &mut Workspace, obs: &obs::Obs) -> Vec<f64> {
         obs.counter("infer.predict_calls", 1.0);
         obs.observe("infer.predict_rows", x.rows() as f64);
-        obs.time("infer.predict_ns", || self.predict_scalar(x))
+        obs.time("infer.predict_ns", || {
+            // Below this many rows, thread spawn overhead beats the win.
+            const PAR_MIN_ROWS: usize = 256;
+            let n = x.rows();
+            let workers = par::workers_for(n);
+            if n < PAR_MIN_ROWS || workers <= 1 {
+                let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
+                return self.infer(x, Mode::Eval, &mut rng, ws).col(0);
+            }
+            let mut out = vec![0.0; n];
+            let chunk_rows = n.div_ceil(workers);
+            par::par_chunks_mut(&mut out, chunk_rows, |start, chunk| {
+                let rows: Vec<usize> = (start..start + chunk.len()).collect();
+                let sub = x.select_rows(&rows);
+                let mut ws = Workspace::new();
+                let mut rng = Prng::seed_from_u64(0); // unused in Eval mode
+                let y = self.infer(&sub, Mode::Eval, &mut rng, &mut ws);
+                for (i, o) in chunk.iter_mut().enumerate() {
+                    *o = y.get(i, 0);
+                }
+            });
+            out
+        })
     }
 
     /// Backward pass through the whole stack. `grad_out` is `dL/d(output)`
@@ -397,8 +408,8 @@ mod tests {
     fn eval_forward_is_deterministic() {
         let m = tiny(1);
         let x = Matrix::from_rows(&[vec![0.5, -0.3], vec![1.0, 2.0]]);
-        let a = m.predict_scalar(&x);
-        let b = m.predict_scalar(&x);
+        let a = m.predict_scalar(&x, &obs::Obs::disabled());
+        let b = m.predict_scalar(&x, &obs::Obs::disabled());
         assert_eq!(a, b);
     }
 
@@ -441,7 +452,7 @@ mod tests {
             .build(&mut rng);
         let n = 1537; // odd size: uneven final chunk
         let x = Matrix::from_vec(n, 6, rng.gaussian_vec(n * 6));
-        let parallel = m.predict_scalar(&x);
+        let parallel = m.predict_scalar(&x, &obs::Obs::disabled());
         let mut ws = Workspace::new();
         let mut eval_rng = Prng::seed_from_u64(0);
         let serial = m.infer(&x, Mode::Eval, &mut eval_rng, &mut ws).col(0);
@@ -478,8 +489,8 @@ mod tests {
         xp.set(1, 2, x.get(1, 2) + eps);
         let mut xm = x.clone();
         xm.set(1, 2, x.get(1, 2) - eps);
-        let fp: f64 = m.predict_scalar(&xp).iter().sum();
-        let fm: f64 = m.predict_scalar(&xm).iter().sum();
+        let fp: f64 = m.predict_scalar(&xp, &obs::Obs::disabled()).iter().sum();
+        let fm: f64 = m.predict_scalar(&xm, &obs::Obs::disabled()).iter().sum();
         let numeric = (fp - fm) / (2.0 * eps);
         assert!(
             (numeric - grad_x.get(1, 2)).abs() < 1e-5,

@@ -149,30 +149,21 @@ fn gradient_sentinel(net: &mut Mlp, limit: f64) -> Option<DivergenceCause> {
 /// minibatch, so it can look up labels and apply batch-level normalization
 /// (as the DRP and Direct Rank losses require).
 ///
+/// The run's decisions are recorded through `obs`; pass
+/// [`Obs::disabled`] when no trace is wanted (one branch per recording
+/// call). Trace vocabulary:
+/// * event `train.epoch` `{epoch, loss}` per completed epoch;
+/// * event `train.divergence` `{epoch, cause, lr}` per sentinel trip, with
+///   the *halved* learning rate the rollback resumes at;
+/// * counters `train.epochs` and `train.divergence_retries`;
+/// * gauge `train.final_loss` when at least one epoch completed.
+///
 /// # Errors
 /// [`TrainError::EmptyDataset`] when `x` has no rows,
 /// [`TrainError::NonScalarOutput`] when the network's output is not
 /// 1-dimensional, and [`TrainError::Diverged`] when a non-finite loss or
 /// exploding gradient persists through every rollback retry.
 pub fn train(
-    net: &mut Mlp,
-    x: &Matrix,
-    objective: &dyn Objective,
-    config: &TrainConfig,
-    rng: &mut Prng,
-) -> Result<TrainReport, TrainError> {
-    train_observed(net, x, objective, config, rng, &Obs::null())
-}
-
-/// [`train`] with an [`Obs`] handle recording the run's decisions.
-///
-/// Trace vocabulary (all disabled — one branch each — under [`Obs::null`]):
-/// * event `train.epoch` `{epoch, loss}` per completed epoch;
-/// * event `train.divergence` `{epoch, cause, lr}` per sentinel trip, with
-///   the *halved* learning rate the rollback resumes at;
-/// * counters `train.epochs` and `train.divergence_retries`;
-/// * gauge `train.final_loss` when at least one epoch completed.
-pub fn train_observed(
     net: &mut Mlp,
     x: &Matrix,
     objective: &dyn Objective,
@@ -332,7 +323,7 @@ mod tests {
             lr: 0.01,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
         let final_loss = report.final_loss().unwrap();
         assert!(final_loss < 0.01, "final loss {final_loss}");
         // Loss decreased substantially from the first epoch.
@@ -362,9 +353,9 @@ mod tests {
             lr: 0.02,
             ..TrainConfig::default()
         };
-        let _ = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let _ = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
         // Training accuracy should be high on this separable problem.
-        let preds = net.predict_scalar(&x);
+        let preds = net.predict_scalar(&x, &Obs::disabled());
         let correct = preds
             .iter()
             .zip(&y)
@@ -391,7 +382,7 @@ mod tests {
             min_delta: 1e-9,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
         assert!(report.stopped_early, "expected early stop");
         assert!(report.epoch_losses.len() < 10_000);
     }
@@ -411,7 +402,7 @@ mod tests {
                 weight_decay: wd,
                 ..TrainConfig::default()
             };
-            let _ = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+            let _ = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
             let mut sq = 0.0;
             net.visit_params(|p, _| sq += p.iter().map(|v| v * v).sum::<f64>());
             sq
@@ -433,7 +424,7 @@ mod tests {
                 epochs: 20,
                 ..TrainConfig::default()
             };
-            train(&mut net, &x, &obj, &cfg, &mut rng)
+            train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled())
                 .unwrap()
                 .epoch_losses
         };
@@ -453,6 +444,7 @@ mod tests {
             &obj,
             &TrainConfig::default(),
             &mut rng,
+            &Obs::disabled(),
         )
         .unwrap_err();
         assert_eq!(err, TrainError::EmptyDataset);
@@ -466,7 +458,15 @@ mod tests {
             .build(&mut rng);
         let (x, y) = linear_problem(8, 1);
         let obj = MseObjective::new(y);
-        let err = train(&mut net, &x, &obj, &TrainConfig::default(), &mut rng).unwrap_err();
+        let err = train(
+            &mut net,
+            &x,
+            &obj,
+            &TrainConfig::default(),
+            &mut rng,
+            &Obs::disabled(),
+        )
+        .unwrap_err();
         assert_eq!(err, TrainError::NonScalarOutput { output_dim: 3 });
     }
 
@@ -482,7 +482,7 @@ mod tests {
             epochs: 0,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
         assert_eq!(report.final_loss(), None);
     }
 
@@ -502,7 +502,7 @@ mod tests {
             batch_size: 64, // one batch: the NaN label poisons every epoch
             ..TrainConfig::default()
         };
-        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap_err();
         match err {
             TrainError::Diverged {
                 epoch,
@@ -538,7 +538,7 @@ mod tests {
             grad_clip: 0.0,
             ..TrainConfig::default()
         };
-        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap_err();
         assert!(matches!(err, TrainError::Diverged { .. }), "{err:?}");
     }
 
@@ -577,7 +577,7 @@ mod tests {
             lr: 0.02,
             ..TrainConfig::default()
         };
-        let report = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap();
+        let report = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap();
         // Two poisoned calls => two rollbacks, each halving the LR.
         assert_eq!(report.recoveries.len(), 2);
         assert!(report.recovered());
@@ -608,7 +608,7 @@ mod tests {
             max_divergence_retries: 0,
             ..TrainConfig::default()
         };
-        let err = train(&mut net, &x, &obj, &cfg, &mut rng).unwrap_err();
+        let err = train(&mut net, &x, &obj, &cfg, &mut rng, &Obs::disabled()).unwrap_err();
         assert!(
             matches!(err, TrainError::Diverged { attempts: 0, .. }),
             "{err:?}"

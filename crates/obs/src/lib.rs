@@ -31,7 +31,7 @@
 //! assert_eq!(recorder.event_count("train.epoch"), 1);
 //!
 //! // The default handle records nothing and costs one branch per call.
-//! let null = Obs::null();
+//! let null = Obs::disabled();
 //! assert!(!null.enabled());
 //! ```
 
@@ -62,7 +62,11 @@ pub struct Obs {
 
 impl Obs {
     /// The disabled default: a [`NullRecorder`] behind a dead switch.
-    pub fn null() -> Obs {
+    ///
+    /// This is the handle callers pass when they don't want a trace —
+    /// every instrumented entry point in the workspace takes `&Obs`, and
+    /// `Obs::disabled()` makes that cost one predictable branch per call.
+    pub fn disabled() -> Obs {
         static NULL: std::sync::OnceLock<(Arc<dyn Recorder>, Arc<dyn Clock>)> =
             std::sync::OnceLock::new();
         let (recorder, clock) = NULL.get_or_init(|| {
@@ -171,7 +175,7 @@ impl Obs {
 
 impl Default for Obs {
     fn default() -> Obs {
-        Obs::null()
+        Obs::disabled()
     }
 }
 
@@ -181,7 +185,7 @@ mod tests {
 
     #[test]
     fn null_handle_records_nothing() {
-        let obs = Obs::null();
+        let obs = Obs::disabled();
         assert!(!obs.enabled());
         obs.counter("x", 1.0);
         obs.gauge("x", 1.0);

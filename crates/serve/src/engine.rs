@@ -1,0 +1,456 @@
+//! The micro-batching scoring engine.
+//!
+//! Requests enter a bounded submission queue; a persistent pool of
+//! worker threads drains it. When the request at the head of the queue
+//! holds a [`BatchScorer::rowwise`] model, the worker coalesces
+//! consecutive same-model requests into one batch — up to
+//! [`EngineConfig::max_batch_rows`] rows, waiting at most
+//! [`EngineConfig::max_wait`] for more to arrive — so many small
+//! requests amortize into one row-chunk-parallel `score` call.
+//! Non-rowwise models (MC-sweep scoring) are scored one request at a
+//! time, preserving bitwise determinism.
+//!
+//! Robustness:
+//!
+//! * **Backpressure** — a submission that would push the queue past
+//!   [`EngineConfig::queue_rows`] is rejected with
+//!   [`Rejected::QueueFull`] instead of queuing unboundedly.
+//! * **Deadlines** — a request carrying a deadline that expires while it
+//!   waits is answered with [`ScoreError::DeadlineExpired`] rather than
+//!   scored late. Deadlines are measured on the engine's [`Obs`] clock,
+//!   so tests drive them with a manual clock.
+//! * **Poisoned workers** — a panicking scorer is caught; the affected
+//!   requests get [`ScoreError::WorkerPanicked`], the worker replaces
+//!   its scratch [`Workspace`] and keeps serving.
+//!
+//! Everything is instrumented through `obs`: gauge `serve.queue_depth`
+//! (rows waiting), histograms `serve.batch_rows` / `serve.batch_requests`
+//! / `serve.score_ns` / `serve.e2e_ns`, counters `serve.requests` /
+//! `serve.rows` / `serve.rejected.queue_full` / `serve.rejected.deadline`
+//! / `serve.worker_panics`.
+
+use crate::scorer::BatchScorer;
+use linalg::Matrix;
+use nn::Workspace;
+use obs::Obs;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Engine sizing and batching knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// A coalesced batch never exceeds this many rows.
+    pub max_batch_rows: usize,
+    /// How long a worker holding an under-full rowwise batch waits for
+    /// more requests before scoring what it has. Measured in wall time
+    /// (the queue condvar), not the `Obs` clock. Zero disables the wait:
+    /// only requests already queued coalesce.
+    pub max_wait: Duration,
+    /// Submission-queue capacity in rows — the backpressure bound.
+    pub queue_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 2,
+            max_batch_rows: 1024,
+            max_wait: Duration::from_micros(500),
+            queue_rows: 16_384,
+        }
+    }
+}
+
+/// Why a submission was refused at the door (the request never queued).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// Admitting the request would exceed the queue's row capacity.
+    QueueFull {
+        /// Rows already queued.
+        queued_rows: usize,
+        /// The configured capacity.
+        capacity_rows: usize,
+    },
+    /// The request's feature width does not match the model's.
+    WrongWidth {
+        /// The model's feature dimension.
+        expected: usize,
+        /// The request's column count.
+        got: usize,
+    },
+    /// The engine is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull {
+                queued_rows,
+                capacity_rows,
+            } => write!(
+                f,
+                "queue full: {queued_rows} rows queued, capacity {capacity_rows}"
+            ),
+            Rejected::WrongWidth { expected, got } => {
+                write!(f, "expected {expected} features per row, got {got}")
+            }
+            Rejected::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why a queued request could not be scored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScoreError {
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExpired,
+    /// The scorer panicked while scoring the batch holding this request.
+    WorkerPanicked,
+    /// The engine shut down before responding.
+    EngineShutDown,
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScoreError::DeadlineExpired => write!(f, "deadline expired before scoring"),
+            ScoreError::WorkerPanicked => write!(f, "scorer panicked"),
+            ScoreError::EngineShutDown => write!(f, "engine shut down before responding"),
+        }
+    }
+}
+
+impl std::error::Error for ScoreError {}
+
+/// A pending response: [`PendingScore::wait`] blocks until the engine
+/// answers.
+#[derive(Debug)]
+pub struct PendingScore {
+    rx: mpsc::Receiver<Result<Vec<f64>, ScoreError>>,
+}
+
+impl PendingScore {
+    /// Blocks until the request is scored or rejected.
+    pub fn wait(self) -> Result<Vec<f64>, ScoreError> {
+        self.rx.recv().unwrap_or(Err(ScoreError::EngineShutDown))
+    }
+}
+
+struct Job {
+    scorer: Arc<dyn BatchScorer>,
+    rows: Matrix,
+    deadline_ns: Option<u64>,
+    enqueued_ns: u64,
+    tx: mpsc::Sender<Result<Vec<f64>, ScoreError>>,
+}
+
+struct QueueState {
+    pending: VecDeque<Job>,
+    queued_rows: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    obs: Obs,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// The micro-batching scoring engine (see the module docs).
+///
+/// Dropping the engine drains the queue: already-submitted requests are
+/// scored, then the workers exit and are joined.
+pub struct ScoringEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ScoringEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScoringEngine")
+            .field("cfg", &self.shared.cfg)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ScoringEngine {
+    /// Starts the worker pool. `obs` carries both the instrumentation
+    /// sink and the clock deadlines are measured on.
+    pub fn start(cfg: EngineConfig, obs: Obs) -> ScoringEngine {
+        let shared = Arc::new(Shared {
+            cfg,
+            obs,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                queued_rows: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ScoringEngine { shared, workers }
+    }
+
+    /// Submits `rows` for scoring by `scorer`. Returns a handle the
+    /// caller waits on; the scores come back in row order. `deadline`
+    /// bounds total queue-plus-scoring time from now, on the engine's
+    /// clock.
+    ///
+    /// # Errors
+    /// [`Rejected`] when the request cannot enter the queue — wrong
+    /// feature width, queue at capacity, or engine shutdown. A rejected
+    /// request was never queued and costs nothing.
+    pub fn submit(
+        &self,
+        scorer: &Arc<dyn BatchScorer>,
+        rows: Matrix,
+        deadline: Option<Duration>,
+    ) -> Result<PendingScore, Rejected> {
+        let (tx, rx) = mpsc::channel();
+        if rows.rows() == 0 {
+            // Nothing to score: answer immediately without queueing.
+            let _ = tx.send(Ok(Vec::new()));
+            return Ok(PendingScore { rx });
+        }
+        if rows.cols() != scorer.n_features() {
+            return Err(Rejected::WrongWidth {
+                expected: scorer.n_features(),
+                got: rows.cols(),
+            });
+        }
+        let obs = &self.shared.obs;
+        let mut state = lock(&self.shared.state);
+        if state.shutdown {
+            return Err(Rejected::ShuttingDown);
+        }
+        if state.queued_rows + rows.rows() > self.shared.cfg.queue_rows {
+            obs.counter("serve.rejected.queue_full", 1.0);
+            return Err(Rejected::QueueFull {
+                queued_rows: state.queued_rows,
+                capacity_rows: self.shared.cfg.queue_rows,
+            });
+        }
+        let now = obs.now_ns();
+        state.queued_rows += rows.rows();
+        state.pending.push_back(Job {
+            scorer: Arc::clone(scorer),
+            rows,
+            deadline_ns: deadline.map(|d| now.saturating_add(d.as_nanos() as u64)),
+            enqueued_ns: now,
+            tx,
+        });
+        obs.gauge("serve.queue_depth", state.queued_rows as f64);
+        drop(state);
+        self.shared.cv.notify_all();
+        Ok(PendingScore { rx })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+}
+
+impl Drop for ScoringEngine {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+// A worker panicking while holding the queue lock cannot leave it torn:
+// every mutation is a single push/pop plus a counter update done before
+// the guard drops, so continuing with the poisoned guard is safe — same
+// policy as obs::InMemoryRecorder.
+fn lock<'a>(m: &'a Mutex<QueueState>) -> MutexGuard<'a, QueueState> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut ws = Workspace::new();
+    while let Some(batch) = next_batch(shared) {
+        run_batch(shared, batch, &mut ws);
+    }
+}
+
+/// Blocks for the next batch; `None` means drained-and-shut-down.
+fn next_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut state = lock(&shared.state);
+    loop {
+        if let Some(first) = pop_live(&mut state, shared) {
+            let mut batch_rows = first.rows.rows();
+            let coalesce = first.scorer.rowwise();
+            let mut batch = vec![first];
+            if coalesce {
+                drain_matching(&mut state, shared, &mut batch, &mut batch_rows);
+                state = wait_for_fill(state, shared, &mut batch, &mut batch_rows);
+            }
+            shared
+                .obs
+                .gauge("serve.queue_depth", state.queued_rows as f64);
+            return Some(batch);
+        }
+        if state.shutdown {
+            return None;
+        }
+        state = shared
+            .cv
+            .wait(state)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+}
+
+/// Pops the front job, rejecting any whose deadline already passed.
+fn pop_live(state: &mut QueueState, shared: &Shared) -> Option<Job> {
+    while let Some(job) = state.pending.pop_front() {
+        state.queued_rows -= job.rows.rows();
+        if expired(&job, shared) {
+            continue;
+        }
+        return Some(job);
+    }
+    None
+}
+
+/// Checks `job`'s deadline; when expired, answers it and records the
+/// rejection. Returns whether the job was consumed.
+fn expired(job: &Job, shared: &Shared) -> bool {
+    let now = shared.obs.now_ns();
+    if job.deadline_ns.is_some_and(|d| d < now) {
+        shared.obs.counter("serve.rejected.deadline", 1.0);
+        let _ = job.tx.send(Err(ScoreError::DeadlineExpired));
+        return true;
+    }
+    false
+}
+
+/// Moves consecutive front jobs for the same model into `batch` while
+/// they fit under `max_batch_rows`.
+fn drain_matching(
+    state: &mut QueueState,
+    shared: &Shared,
+    batch: &mut Vec<Job>,
+    batch_rows: &mut usize,
+) {
+    while let Some(next) = state.pending.front() {
+        if !Arc::ptr_eq(&next.scorer, &batch[0].scorer)
+            || *batch_rows + next.rows.rows() > shared.cfg.max_batch_rows
+        {
+            break;
+        }
+        // Expiry is checked on the popped job so an expired request at
+        // the front cannot wedge the coalescer.
+        let Some(job) = state.pending.pop_front() else {
+            break;
+        };
+        state.queued_rows -= job.rows.rows();
+        if expired(&job, shared) {
+            continue;
+        }
+        *batch_rows += job.rows.rows();
+        batch.push(job);
+    }
+}
+
+/// The micro-batch wait window: holds an under-full rowwise batch up to
+/// `max_wait` (wall time) so closely spaced requests coalesce.
+fn wait_for_fill<'a>(
+    mut state: MutexGuard<'a, QueueState>,
+    shared: &Shared,
+    batch: &mut Vec<Job>,
+    batch_rows: &mut usize,
+) -> MutexGuard<'a, QueueState> {
+    if shared.cfg.max_wait.is_zero() {
+        return state;
+    }
+    let start = Instant::now();
+    while *batch_rows < shared.cfg.max_batch_rows && !state.shutdown {
+        let Some(remaining) = shared.cfg.max_wait.checked_sub(start.elapsed()) else {
+            break;
+        };
+        let (guard, timeout) = shared
+            .cv
+            .wait_timeout(state, remaining)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state = guard;
+        drain_matching(&mut state, shared, batch, batch_rows);
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    state
+}
+
+fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) {
+    let obs = &shared.obs;
+    let total_rows: usize = batch.iter().map(|j| j.rows.rows()).sum();
+    obs.observe("serve.batch_requests", batch.len() as f64);
+    obs.observe("serve.batch_rows", total_rows as f64);
+    let scorer = Arc::clone(&batch[0].scorer);
+    let x = concat_rows(&batch);
+    let t0 = obs.now_ns();
+    let result = catch_unwind(AssertUnwindSafe(|| scorer.score(&x, ws, obs)));
+    obs.observe("serve.score_ns", obs.now_ns().saturating_sub(t0) as f64);
+    match result {
+        Ok(scores) if scores.len() == total_rows => {
+            let mut offset = 0;
+            let now = obs.now_ns();
+            for job in &batch {
+                let n = job.rows.rows();
+                let _ = job.tx.send(Ok(scores[offset..offset + n].to_vec()));
+                offset += n;
+                obs.counter("serve.requests", 1.0);
+                obs.counter("serve.rows", n as f64);
+                obs.observe("serve.e2e_ns", now.saturating_sub(job.enqueued_ns) as f64);
+            }
+        }
+        // A wrong-length score vector is as much a scorer bug as a panic.
+        Ok(_) | Err(_) => {
+            obs.counter("serve.worker_panics", 1.0);
+            // The panic may have unwound mid-write through the scratch
+            // buffers; replace them.
+            *ws = Workspace::new();
+            for job in &batch {
+                let _ = job.tx.send(Err(ScoreError::WorkerPanicked));
+            }
+        }
+    }
+}
+
+/// Concatenates the batch's row blocks into one matrix. The single-job
+/// case reuses the job's buffer; multi-job batches copy once.
+fn concat_rows(batch: &[Job]) -> Matrix {
+    if batch.len() == 1 {
+        return batch[0].rows.clone();
+    }
+    let cols = batch[0].rows.cols();
+    let total: usize = batch.iter().map(|j| j.rows.rows()).sum();
+    let mut data = Vec::with_capacity(total * cols);
+    for job in batch {
+        data.extend_from_slice(job.rows.as_slice());
+    }
+    Matrix::from_vec(total, cols, data)
+}

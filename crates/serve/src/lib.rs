@@ -1,0 +1,39 @@
+//! Online batch scoring for trained DRP/rDRP models.
+//!
+//! The deployment story the paper describes — train offline, calibrate
+//! on a fresh RCT, then serve "heavy traffic" behind a promotion engine
+//! — needs an online scorer. This crate is that scorer, in the house
+//! style of `par` and `obs`: `std`-only threads, no external
+//! dependencies.
+//!
+//! * [`BatchScorer`] — the scoring interface, implemented by [`rdrp::Rdrp`]
+//!   and [`rdrp::DrpModel`]. Its `rowwise` flag tells the engine whether
+//!   rows from different requests may be coalesced into one batch.
+//! * [`ModelRegistry`] — named, versioned models loaded from their
+//!   persisted JSON (via [`rdrp::Persist`]), hot-swappable under a lock
+//!   while in-flight batches keep their own `Arc`.
+//! * [`ScoringEngine`] — a bounded submission queue drained by a
+//!   persistent worker pool; a micro-batcher coalesces small rowwise
+//!   requests into row-chunk-parallel batches. Backpressure, deadlines,
+//!   and panicking scorers all degrade into typed responses, never into
+//!   a dead engine.
+//! * [`protocol`] — the line-delimited JSON request/response protocol
+//!   both frontends (CLI stdin/stdout and the TCP endpoint) speak.
+//!
+//! Determinism: engine scores are bitwise identical to a direct
+//! [`rdrp::Rdrp::predict_scores`] call, for any batching, coalescing,
+//! or worker count — rowwise models are row-independent, and MC-form
+//! models are scored per-request from the fixed [`rdrp::SCORING_SEED`].
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod scorer;
+
+pub use engine::{EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine};
+pub use protocol::{run_jsonl, ScoreRequest};
+pub use registry::{ModelKind, ModelRegistry, RegistryError, DEFAULT_MODEL};
+pub use scorer::BatchScorer;

@@ -1,0 +1,197 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line in, one response per line out, in request
+//! order:
+//!
+//! ```text
+//! → {"id": "r1", "rows": [[0.1, 0.2, …], …]}
+//! → {"id": "r2", "model": "checkout", "version": "3", "rows": [[…]], "deadline_ms": 50}
+//! ← {"id": "r1", "scores": [0.42, …]}
+//! ← {"id": "r2", "error": "unknown model \"checkout\""}
+//! ```
+//!
+//! `model`/`version` default to the registry's
+//! [`DEFAULT_MODEL`](crate::registry::DEFAULT_MODEL) at its newest
+//! version. Scores render with the shortest-roundtrip float encoding,
+//! so replaying a request stream yields byte-identical responses.
+//!
+//! [`run_jsonl`] is the transport-agnostic loop both frontends use: the
+//! CLI `serve` subcommand feeds it stdin/stdout, the TCP endpoint feeds
+//! it a socket. It keeps up to `window` requests in flight so the
+//! engine's micro-batcher has something to coalesce, while responses
+//! still come back in request order with bounded memory.
+
+use crate::engine::{PendingScore, ScoringEngine};
+use crate::registry::{ModelRegistry, DEFAULT_MODEL};
+use linalg::Matrix;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+use tinyjson::{json, JsonError};
+
+/// One scoring request, as parsed off the wire.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// Registry model name; `None` means [`DEFAULT_MODEL`].
+    pub model: Option<String>,
+    /// Registry model version; `None` means the newest registered.
+    pub version: Option<String>,
+    /// Feature rows to score.
+    pub rows: Vec<Vec<f64>>,
+    /// Queue-plus-scoring budget in milliseconds, measured from
+    /// submission.
+    pub deadline_ms: Option<f64>,
+}
+
+tinyjson::json_struct!(ScoreRequest {
+    id,
+    model,
+    version,
+    rows,
+    deadline_ms
+});
+
+/// Parses one request line.
+///
+/// # Errors
+/// [`JsonError`] when the line is not a JSON object of the request
+/// shape.
+pub fn parse_request(line: &str) -> Result<ScoreRequest, JsonError> {
+    tinyjson::from_str(line)
+}
+
+/// Renders the success response line for `id`.
+pub fn render_scores(id: &str, scores: &[f64]) -> String {
+    json!({"id": id, "scores": scores}).render_compact()
+}
+
+/// Renders the error response line for `id`.
+pub fn render_error(id: &str, error: &str) -> String {
+    json!({"id": id, "error": error}).render_compact()
+}
+
+/// Converts the wire rows into a feature matrix, rejecting ragged rows
+/// (which [`Matrix::from_rows`] would otherwise panic on).
+///
+/// # Errors
+/// A human-readable message naming the first offending row.
+pub fn rows_to_matrix(rows: &[Vec<f64>]) -> Result<Matrix, String> {
+    if let Some(first) = rows.first() {
+        let cols = first.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(format!(
+                    "row {i} has {} features, row 0 has {cols}",
+                    row.len()
+                ));
+            }
+        }
+    }
+    Ok(Matrix::from_rows(rows))
+}
+
+/// Runs the request/response loop over any line-based transport.
+///
+/// Up to `window` requests stay in flight at once (older responses are
+/// awaited and written as the window slides), so a stream of small
+/// requests exercises the engine's micro-batcher. Responses are written
+/// in request order. Returns when the input reaches EOF, after draining
+/// every in-flight request.
+///
+/// # Errors
+/// Propagates transport I/O errors. Malformed or unserviceable requests
+/// are answered with error *responses*, not I/O errors — a bad line
+/// never tears down the connection.
+pub fn run_jsonl(
+    input: impl BufRead,
+    mut output: impl Write,
+    engine: &ScoringEngine,
+    registry: &ModelRegistry,
+    window: usize,
+) -> std::io::Result<()> {
+    let window = window.max(1);
+    let mut in_flight: VecDeque<(String, Outcome)> = VecDeque::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if in_flight.len() >= window {
+            if let Some((id, outcome)) = in_flight.pop_front() {
+                write_outcome(&mut output, &id, outcome)?;
+            }
+        }
+        // Rejected requests queue alongside pending ones so responses
+        // stay in request order.
+        match accept(&line, engine, registry) {
+            Ok((id, pending)) => in_flight.push_back((id, Outcome::Pending(pending))),
+            Err((id, message)) => in_flight.push_back((id, Outcome::Rejected(message))),
+        }
+    }
+    while let Some((id, outcome)) = in_flight.pop_front() {
+        write_outcome(&mut output, &id, outcome)?;
+    }
+    Ok(())
+}
+
+enum Outcome {
+    Pending(PendingScore),
+    Rejected(String),
+}
+
+/// Parses, resolves, and submits one request line. On failure returns
+/// the id (empty when the line didn't parse far enough to have one) and
+/// the error message to answer with.
+fn accept(
+    line: &str,
+    engine: &ScoringEngine,
+    registry: &ModelRegistry,
+) -> Result<(String, PendingScore), (String, String)> {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => {
+            // Salvage the id when the object parsed but a field didn't.
+            let id = tinyjson::parse(line)
+                .ok()
+                .and_then(|v| {
+                    v.get("id")
+                        .and_then(|id| id.as_str().ok().map(String::from))
+                })
+                .unwrap_or_default();
+            return Err((id, format!("bad request: {e}")));
+        }
+    };
+    let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
+    let Some(scorer) = registry.get(name, req.version.as_deref()) else {
+        let known = registry
+            .entries()
+            .into_iter()
+            .map(|(n, v)| format!("{n}@{v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err((req.id, format!("unknown model {name:?} (have: {known})")));
+    };
+    let x = rows_to_matrix(&req.rows).map_err(|e| (req.id.clone(), e))?;
+    let deadline = req
+        .deadline_ms
+        .filter(|ms| ms.is_finite() && *ms >= 0.0)
+        .map(|ms| Duration::from_nanos((ms * 1e6) as u64));
+    match engine.submit(&scorer, x, deadline) {
+        Ok(pending) => Ok((req.id, pending)),
+        Err(rejected) => Err((req.id, rejected.to_string())),
+    }
+}
+
+fn write_outcome(output: &mut impl Write, id: &str, outcome: Outcome) -> std::io::Result<()> {
+    let line = match outcome {
+        Outcome::Pending(pending) => match pending.wait() {
+            Ok(scores) => render_scores(id, &scores),
+            Err(e) => render_error(id, &e.to_string()),
+        },
+        Outcome::Rejected(message) => render_error(id, &message),
+    };
+    writeln!(output, "{line}")?;
+    output.flush()
+}

@@ -1,0 +1,179 @@
+//! Named, versioned model storage with hot swap.
+
+use crate::scorer::BatchScorer;
+use rdrp::{DrpModel, Persist, PersistError, Rdrp};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// The model name requests resolve to when they name none.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// Which persisted model type a file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// A calibrated [`Rdrp`] (the deployment default).
+    Rdrp,
+    /// A plain [`DrpModel`] (the uncalibrated baseline).
+    Drp,
+}
+
+impl ModelKind {
+    /// Parses the CLI spelling (`rdrp` / `drp`).
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "rdrp" => Some(ModelKind::Rdrp),
+            "drp" => Some(ModelKind::Drp),
+            _ => None,
+        }
+    }
+}
+
+/// Why a model could not enter the registry.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Reading or parsing the persisted file failed.
+    Persist(PersistError),
+    /// The file parsed, but the model inside was never fitted — it
+    /// cannot score anything.
+    Unfitted {
+        /// The registry name it was loaded under.
+        name: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Persist(e) => write!(f, "load failed: {e}"),
+            RegistryError::Unfitted { name } => {
+                write!(f, "model {name:?} is unfitted and cannot serve")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<PersistError> for RegistryError {
+    fn from(e: PersistError) -> Self {
+        RegistryError::Persist(e)
+    }
+}
+
+/// Versioned models by name, shared across the engine's workers and the
+/// protocol frontends.
+///
+/// Hot swap: [`ModelRegistry::insert`] replaces the `(name, version)`
+/// slot under a write lock while in-flight batches keep scoring with
+/// their own [`Arc`] clone of the old model — requests observe either
+/// the old or the new model, never a torn state.
+/// `version -> scorer` slots for one model name.
+type VersionMap = BTreeMap<String, Arc<dyn BatchScorer>>;
+
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<BTreeMap<String, VersionMap>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers (or hot-swaps) `scorer` as `name`@`version`.
+    pub fn insert(&self, name: &str, version: &str, scorer: Arc<dyn BatchScorer>) {
+        let mut models = lock_write(&self.models);
+        models
+            .entry(name.to_string())
+            .or_default()
+            .insert(version.to_string(), scorer);
+    }
+
+    /// Loads a persisted model file and registers it as `name`@`version`.
+    ///
+    /// # Errors
+    /// [`RegistryError::Persist`] when the file cannot be read or parsed,
+    /// [`RegistryError::Unfitted`] when it holds an unfitted model.
+    pub fn load(
+        &self,
+        name: &str,
+        version: &str,
+        kind: ModelKind,
+        path: impl AsRef<Path>,
+    ) -> Result<(), RegistryError> {
+        let scorer: Arc<dyn BatchScorer> = match kind {
+            ModelKind::Rdrp => {
+                let model = Rdrp::load(path)?;
+                if model.n_features().is_none() {
+                    return Err(RegistryError::Unfitted {
+                        name: name.to_string(),
+                    });
+                }
+                Arc::new(model)
+            }
+            ModelKind::Drp => {
+                let model = DrpModel::load(path)?;
+                if model.n_features().is_none() {
+                    return Err(RegistryError::Unfitted {
+                        name: name.to_string(),
+                    });
+                }
+                Arc::new(model)
+            }
+        };
+        self.insert(name, version, scorer);
+        Ok(())
+    }
+
+    /// Resolves `name` (at `version`, or the lexicographically greatest
+    /// registered version when `None`) to its scorer.
+    pub fn get(&self, name: &str, version: Option<&str>) -> Option<Arc<dyn BatchScorer>> {
+        let models = lock_read(&self.models);
+        let versions = models.get(name)?;
+        match version {
+            Some(v) => versions.get(v).cloned(),
+            None => versions.last_key_value().map(|(_, m)| Arc::clone(m)),
+        }
+    }
+
+    /// Registered `(name, version)` pairs, sorted.
+    pub fn entries(&self) -> Vec<(String, String)> {
+        let models = lock_read(&self.models);
+        models
+            .iter()
+            .flat_map(|(name, versions)| {
+                versions
+                    .keys()
+                    .map(move |v| (name.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Number of registered `(name, version)` slots.
+    pub fn len(&self) -> usize {
+        lock_read(&self.models).values().map(BTreeMap::len).sum()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+type Models = BTreeMap<String, BTreeMap<String, Arc<dyn BatchScorer>>>;
+
+// Poisoned registry locks are recoverable: the map itself is never left
+// torn mid-update (single-statement mutations), so continue with the
+// inner guard — same policy as obs::InMemoryRecorder.
+fn lock_read(lock: &RwLock<Models>) -> std::sync::RwLockReadGuard<'_, Models> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn lock_write(lock: &RwLock<Models>) -> std::sync::RwLockWriteGuard<'_, Models> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,0 +1,74 @@
+//! The scoring interface the engine batches over.
+
+use linalg::random::Prng;
+use linalg::Matrix;
+use nn::Workspace;
+use obs::Obs;
+use rdrp::{CalibrationForm, DrpModel, Rdrp, SCORING_SEED};
+
+/// A fitted model the serving engine can score rows with.
+///
+/// The contract the micro-batcher relies on:
+///
+/// * `score` is **deterministic**: the same feature matrix always yields
+///   the same scores, bit for bit, regardless of which worker thread
+///   runs it or what was scored before. Models whose scoring path
+///   consumes randomness (the MC-dropout sweep of a non-identity rDRP
+///   form) derive a fixed per-request seed ([`rdrp::SCORING_SEED`]), so
+///   this holds for them too.
+/// * When [`BatchScorer::rowwise`] is `true`, each row's score is a pure
+///   function of that row alone. Only then may the batcher concatenate
+///   rows from *different* requests into one `score` call and split the
+///   result — the coalesced scores must equal the per-request ones. MC
+///   sweeps consume RNG across the whole batch, which makes scores
+///   batch-composition-dependent, so those models report `false` and are
+///   scored one request at a time.
+pub trait BatchScorer: Send + Sync + std::fmt::Debug {
+    /// Feature dimension each row must have.
+    fn n_features(&self) -> usize;
+
+    /// Whether each row's score depends only on that row (see the trait
+    /// docs — this gates cross-request coalescing).
+    fn rowwise(&self) -> bool;
+
+    /// Scores a batch of rows. `ws` is the worker's reusable forward
+    /// scratch; `obs` carries the engine's instrumentation handle.
+    fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64>;
+}
+
+impl BatchScorer for Rdrp {
+    /// # Panics
+    /// Panics when the model is unfitted (the registry refuses to load
+    /// unfitted models, so a registry-served model never panics here).
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    fn n_features(&self) -> usize {
+        Rdrp::n_features(self).expect("BatchScorer: fit before serving")
+    }
+
+    fn rowwise(&self) -> bool {
+        self.selected_form() == Some(CalibrationForm::Identity)
+    }
+
+    fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        let mut rng = Prng::seed_from_u64(SCORING_SEED);
+        self.predict_scores_with(x, &mut rng, ws, obs)
+    }
+}
+
+impl BatchScorer for DrpModel {
+    /// # Panics
+    /// Panics when the model is unfitted (the registry refuses to load
+    /// unfitted models, so a registry-served model never panics here).
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    fn n_features(&self) -> usize {
+        DrpModel::n_features(self).expect("BatchScorer: fit before serving")
+    }
+
+    fn rowwise(&self) -> bool {
+        true
+    }
+
+    fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        self.predict_roi_with(x, ws, obs)
+    }
+}

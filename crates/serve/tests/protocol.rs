@@ -1,0 +1,233 @@
+//! Registry resolution and the JSONL wire protocol, end to end over
+//! in-memory transports.
+
+use datasets::generator::{Population, RctGenerator};
+use datasets::CriteoLike;
+use linalg::random::Prng;
+use linalg::Matrix;
+use obs::Obs;
+use rdrp::{DrpConfig, DrpModel, Persist};
+use serve::protocol::{parse_request, render_error, render_scores, rows_to_matrix};
+use serve::{
+    run_jsonl, BatchScorer, EngineConfig, ModelKind, ModelRegistry, ScoringEngine, DEFAULT_MODEL,
+};
+use std::io::Cursor;
+use std::sync::Arc;
+
+fn fitted_drp(seed: u64) -> DrpModel {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(seed);
+    let train = gen.sample(1_500, Population::Base, &mut rng);
+    let mut model = DrpModel::new(DrpConfig {
+        epochs: 3,
+        ..DrpConfig::default()
+    });
+    model.fit(&train, &mut rng, &Obs::disabled()).unwrap();
+    model
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rdrp_serve_{name}_{}.json", std::process::id()))
+}
+
+#[test]
+fn registry_resolves_newest_version_and_hot_swaps() {
+    let registry = ModelRegistry::new();
+    assert!(registry.is_empty());
+    let v1 = fitted_drp(1);
+    let v2 = fitted_drp(2);
+    let probe = Matrix::from_rows(&[vec![0.25; BatchScorer::n_features(&v1)]]);
+    let s1 = v1.predict_roi(&probe, &Obs::disabled());
+    let s2 = v2.predict_roi(&probe, &Obs::disabled());
+    assert_ne!(s1, s2, "differently seeded fits should disagree");
+
+    registry.insert("promo", "1", Arc::new(v1));
+    registry.insert("promo", "2", Arc::new(v2));
+    assert_eq!(registry.len(), 2);
+
+    let mut ws = nn::Workspace::new();
+    let obs = Obs::disabled();
+    let latest = registry.get("promo", None).unwrap();
+    assert_eq!(latest.score(&probe, &mut ws, &obs), s2);
+    let pinned = registry.get("promo", Some("1")).unwrap();
+    assert_eq!(pinned.score(&probe, &mut ws, &obs), s1);
+    assert!(registry.get("promo", Some("3")).is_none());
+    assert!(registry.get("absent", None).is_none());
+
+    // Hot swap: slot 1 now serves the v2 weights; the Arc the earlier
+    // get() handed out still scores as v1.
+    registry.insert("promo", "1", Arc::new(fitted_drp(2)));
+    let swapped = registry.get("promo", Some("1")).unwrap();
+    assert_eq!(swapped.score(&probe, &mut ws, &obs), s2);
+    assert_eq!(pinned.score(&probe, &mut ws, &obs), s1);
+}
+
+#[test]
+fn registry_loads_persisted_models_and_rejects_unfitted() {
+    let model = fitted_drp(3);
+    let probe = Matrix::from_rows(&[vec![0.1; BatchScorer::n_features(&model)]]);
+    let expected = model.predict_roi(&probe, &Obs::disabled());
+
+    let path = tmp("fitted");
+    model.save(&path).unwrap();
+    let registry = ModelRegistry::new();
+    registry
+        .load(DEFAULT_MODEL, "1", ModelKind::Drp, &path)
+        .unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let loaded = registry.get(DEFAULT_MODEL, None).unwrap();
+    let mut ws = nn::Workspace::new();
+    assert_eq!(loaded.score(&probe, &mut ws, &Obs::disabled()), expected);
+
+    let path = tmp("unfitted");
+    DrpModel::new(DrpConfig::default()).save(&path).unwrap();
+    let err = registry
+        .load("blank", "1", ModelKind::Drp, &path)
+        .unwrap_err();
+    std::fs::remove_file(&path).unwrap();
+    assert!(matches!(
+        err,
+        serve::RegistryError::Unfitted { ref name } if name == "blank"
+    ));
+    assert!(registry.get("blank", None).is_none());
+}
+
+#[test]
+fn request_lines_parse_with_and_without_optional_fields() {
+    let full = parse_request(
+        r#"{"id": "r1", "model": "m", "version": "7", "rows": [[1.0, 2.0]], "deadline_ms": 50}"#,
+    )
+    .unwrap();
+    assert_eq!(full.id, "r1");
+    assert_eq!(full.model.as_deref(), Some("m"));
+    assert_eq!(full.version.as_deref(), Some("7"));
+    assert_eq!(full.rows, vec![vec![1.0, 2.0]]);
+    assert_eq!(full.deadline_ms, Some(50.0));
+
+    let minimal = parse_request(r#"{"id": "r2", "rows": []}"#).unwrap();
+    assert_eq!(minimal.id, "r2");
+    assert_eq!(minimal.model, None);
+    assert_eq!(minimal.version, None);
+    assert_eq!(minimal.deadline_ms, None);
+
+    assert!(parse_request("not json").is_err());
+    assert!(
+        parse_request(r#"{"rows": [[1.0]]}"#).is_err(),
+        "id required"
+    );
+}
+
+#[test]
+fn response_rendering_roundtrips_floats_exactly() {
+    let scores = [0.1 + 0.2, f64::MIN_POSITIVE, -1.5e300, 0.0];
+    let line = render_scores("r1", &scores);
+    let parsed = tinyjson::parse(&line).unwrap();
+    assert_eq!(parsed.fetch("id").as_str().unwrap(), "r1");
+    let back: Vec<f64> = parsed
+        .fetch("scores")
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert_eq!(back, scores, "shortest-roundtrip encoding must be exact");
+    assert_eq!(render_error("r2", "boom"), r#"{"id":"r2","error":"boom"}"#);
+}
+
+#[test]
+fn ragged_rows_are_rejected_not_panicked() {
+    let err = rows_to_matrix(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+    assert!(err.contains("row 1"), "unhelpful message: {err}");
+    assert!(rows_to_matrix(&[]).unwrap().rows() == 0);
+}
+
+/// The full loop: requests in, responses out, in request order, with
+/// per-line errors that never tear down the stream — and scores bitwise
+/// equal to the direct inference path.
+#[test]
+fn run_jsonl_end_to_end_matches_direct_scores() {
+    let model = fitted_drp(4);
+    let n = BatchScorer::n_features(&model);
+    let registry = ModelRegistry::new();
+    registry.insert(DEFAULT_MODEL, "1", Arc::new(model.clone()));
+    let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());
+
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(5);
+    let x = gen.sample(6, Population::Base, &mut rng).x;
+    let rows: Vec<Vec<f64>> = x.row_iter().map(<[f64]>::to_vec).collect();
+    let expected = model.predict_roi(&x, &Obs::disabled());
+
+    let input = [
+        format!(
+            r#"{{"id": "good", "rows": {}}}"#,
+            tinyjson::to_string(&rows)
+        ),
+        String::new(), // blank lines are skipped, not answered
+        r#"{"id": "bad-model", "model": "nope", "rows": [[0.0]]}"#.to_string(),
+        "{malformed".to_string(),
+        r#"{"id": "ragged", "rows": [[0.0], [0.0, 0.0]]}"#.to_string(),
+        r#"{"id": "narrow", "rows": [[0.5]]}"#.to_string(),
+        format!(
+            r#"{{"id": "tail", "rows": [{}]}}"#,
+            tinyjson::to_string(&rows[0])
+        ),
+    ]
+    .join("\n");
+
+    let mut output = Vec::new();
+    run_jsonl(Cursor::new(input), &mut output, &engine, &registry, 4).unwrap();
+    let output = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines.len(), 6, "one response per non-blank line: {output}");
+
+    assert_eq!(lines[0], render_scores("good", &expected));
+    let e1 = tinyjson::parse(lines[1]).unwrap();
+    assert_eq!(e1.fetch("id").as_str().unwrap(), "bad-model");
+    assert!(e1.fetch("error").as_str().unwrap().contains("default@1"));
+    let e2 = tinyjson::parse(lines[2]).unwrap();
+    assert_eq!(e2.fetch("id").as_str().unwrap(), "");
+    assert!(e2.fetch("error").as_str().unwrap().contains("bad request"));
+    let e3 = tinyjson::parse(lines[3]).unwrap();
+    assert_eq!(e3.fetch("id").as_str().unwrap(), "ragged");
+    let e4 = tinyjson::parse(lines[4]).unwrap();
+    assert!(e4
+        .fetch("error")
+        .as_str()
+        .unwrap()
+        .contains(&format!("expected {n} features")));
+    assert_eq!(lines[5], render_scores("tail", &expected[..1]));
+}
+
+/// A window of 1 serializes: each request is awaited before the next is
+/// submitted. Responses must still be complete and ordered.
+#[test]
+fn run_jsonl_window_of_one_still_drains_everything() {
+    let model = fitted_drp(6);
+    let registry = ModelRegistry::new();
+    registry.insert(DEFAULT_MODEL, "1", Arc::new(model.clone()));
+    let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(7);
+    let x = gen.sample(3, Population::Base, &mut rng).x;
+    let expected = model.predict_roi(&x, &Obs::disabled());
+
+    let input: String = x
+        .row_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            format!(
+                "{{\"id\": \"r{i}\", \"rows\": [{}]}}\n",
+                tinyjson::to_string(row)
+            )
+        })
+        .collect();
+    let mut output = Vec::new();
+    // window = 0 is clamped to 1.
+    run_jsonl(Cursor::new(input), &mut output, &engine, &registry, 0).unwrap();
+    let output = String::from_utf8(output).unwrap();
+    for (i, line) in output.lines().enumerate() {
+        assert_eq!(line, render_scores(&format!("r{i}"), &expected[i..=i]));
+    }
+    assert_eq!(output.lines().count(), 3);
+}

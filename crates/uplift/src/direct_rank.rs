@@ -129,7 +129,7 @@ impl DirectRank {
     pub fn mc_scores(&self, x: &Matrix, passes: usize, rng: &mut Prng) -> McStats {
         let state = self.state.as_ref().expect("DirectRank: fit before predict");
         let z = state.scaler.transform(x);
-        mc_predict(&state.net, &z, passes, 0.0, rng)
+        mc_predict(&state.net, &z, passes, 0.0, rng, &obs::Obs::disabled())
     }
 }
 
@@ -163,7 +163,7 @@ impl RoiModel for DirectRank {
             weight_decay: self.config.weight_decay,
             ..TrainConfig::default()
         };
-        nn::train(&mut net, &z, &objective, &cfg, rng)?;
+        nn::train(&mut net, &z, &objective, &cfg, rng, &obs::Obs::disabled())?;
         self.state = Some(Fitted { scaler, net });
         Ok(())
     }
@@ -171,7 +171,7 @@ impl RoiModel for DirectRank {
     fn predict_roi(&self, x: &Matrix) -> Vec<f64> {
         let state = self.state.as_ref().expect("DirectRank: fit before predict");
         let z = state.scaler.transform(x);
-        state.net.predict_scalar(&z)
+        state.net.predict_scalar(&z, &obs::Obs::disabled())
     }
 }
 

@@ -40,8 +40,14 @@ fn main() {
     );
     for setting in [Setting::SuNo, Setting::InCo] {
         let mut rng = Prng::seed_from_u64(11);
-        let result = run_ab_test(generator.model(), setting, &config, &mut rng)
-            .expect("simulated A/B test config and data are valid");
+        let result = run_ab_test(
+            generator.model(),
+            setting,
+            &config,
+            &mut rng,
+            &obs::Obs::disabled(),
+        )
+        .expect("simulated A/B test config and data are valid");
         println!("\nsetting {setting} — realized daily ad revenue:");
         println!("  day | random |    DRP |   rDRP");
         for (d, day) in result.daily.iter().enumerate() {

@@ -35,14 +35,14 @@ fn main() {
     let tpm_scores = tpm.predict_roi(&test.x);
 
     let mut drp = DrpModel::new(RdrpConfig::default().drp);
-    drp.fit(&train, &mut rng)
+    drp.fit(&train, &mut rng, &obs::Obs::disabled())
         .expect("synthetic RCT data is well-formed");
-    let drp_scores = drp.predict_roi(&test.x);
+    let drp_scores = drp.predict_roi(&test.x, &obs::Obs::disabled());
 
     let mut rdrp = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
-    rdrp.fit_with_calibration(&train, &calibration, &mut rng)
+    rdrp.fit_with_calibration(&train, &calibration, &mut rng, &obs::Obs::disabled())
         .expect("synthetic RCT data is well-formed");
-    let rdrp_scores = rdrp.predict_scores(&test.x, &mut rng);
+    let rdrp_scores = rdrp.predict_scores(&test.x, &mut rng, &obs::Obs::disabled());
 
     // Evaluate rankings.
     println!("\nranking quality (AUCC, higher is better):");

@@ -18,7 +18,6 @@ use datasets::CriteoLike;
 use linalg::random::Prng;
 use metrics::aucc_from_labels;
 use rdrp::{find_roi_star, Rdrp, RdrpConfig};
-use uplift::RoiModel;
 
 fn main() {
     let mut rng = Prng::seed_from_u64(5);
@@ -46,12 +45,12 @@ fn main() {
         let test = generator.sample(8_000, population, &mut rng);
         let mut model = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
         model
-            .fit_with_calibration(&train, &calibration, &mut rng)
+            .fit_with_calibration(&train, &calibration, &mut rng, &obs::Obs::disabled())
             .expect("synthetic RCT data is well-formed");
         let diag = model.diagnostics();
 
-        let rdrp_scores = model.predict_scores(&test.x, &mut rng);
-        let drp_scores = model.drp().predict_roi(&test.x);
+        let rdrp_scores = model.predict_scores(&test.x, &mut rng, &obs::Obs::disabled());
+        let drp_scores = model.drp().predict_roi(&test.x, &obs::Obs::disabled());
         let intervals = model.predict_intervals(&test.x, &mut rng);
         let mean_width: f64 =
             intervals.iter().map(|iv| iv.width()).sum::<f64>() / intervals.len() as f64;
@@ -59,7 +58,8 @@ fn main() {
         // Eq. 4's guarantee is about covering the test population's loss
         // convergence point roi*.
         let roi_star_test =
-            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6).expect("test RCT has both groups");
+            find_roi_star(&test.t, &test.y_r, &test.y_c, 1e-6, &obs::Obs::disabled())
+                .expect("test RCT has both groups");
         let coverage = empirical_coverage(&intervals, &vec![roi_star_test; intervals.len()]);
 
         println!(

@@ -13,9 +13,7 @@
 use datasets::generator::Population;
 use datasets::multi::MultiCouponGenerator;
 use linalg::random::Prng;
-use rdrp::{
-    greedy_allocate_multi, load_rdrp, save_rdrp, DivideAndConquerRdrp, DrpConfig, RdrpConfig,
-};
+use rdrp::{greedy_allocate_multi, DivideAndConquerRdrp, DrpConfig, Persist, Rdrp, RdrpConfig};
 use uplift::RoiModel;
 
 fn main() {
@@ -39,7 +37,7 @@ fn main() {
         ..RdrpConfig::default()
     };
     let mut dc = DivideAndConquerRdrp::new(config, 3).expect("config is valid");
-    dc.fit(&train, &calibration, &mut rng)
+    dc.fit(&train, &calibration, &mut rng, &obs::Obs::disabled())
         .expect("synthetic RCT data is well-formed");
     for k in 1..=3u8 {
         let d = dc.arm(k).diagnostics();
@@ -53,8 +51,8 @@ fn main() {
 
     // Persist arm 2's model and prove the roundtrip is exact.
     let path = std::env::temp_dir().join("rdrp_multi_arm2.json");
-    save_rdrp(dc.arm(2), &path).expect("save model");
-    let reloaded = load_rdrp(&path).expect("load model");
+    dc.arm(2).save(&path).expect("save model");
+    let reloaded = Rdrp::load(&path).expect("load model");
     let before = dc.arm(2).predict_roi(&customers.x);
     let after = reloaded.predict_roi(&customers.x);
     assert_eq!(before, after, "persistence must be bit-exact");
@@ -67,7 +65,7 @@ fn main() {
     // Allocate one budget across all arms. Comparable (quantile-matched)
     // scores put every arm on the common ROI scale — raw calibrated
     // scores would let the largest-magnitude form monopolize the budget.
-    let scores = dc.predict_comparable_scores(&customers.x, &mut rng);
+    let scores = dc.predict_comparable_scores(&customers.x, &mut rng, &obs::Obs::disabled());
     let costs = customers
         .true_tau_c
         .clone()

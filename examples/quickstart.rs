@@ -33,7 +33,7 @@ fn main() {
     // 2. Fit rDRP.
     let mut model = Rdrp::new(RdrpConfig::default()).expect("default config is valid");
     model
-        .fit_with_calibration(&train, &calibration, &mut rng)
+        .fit_with_calibration(&train, &calibration, &mut rng, &obs::Obs::disabled())
         .expect("synthetic RCT data is well-formed");
     let diag = model.diagnostics();
     println!(
@@ -44,7 +44,7 @@ fn main() {
     );
 
     // 3. Score the deployment population; look at a few intervals.
-    let scores = model.predict_scores(&customers.x, &mut rng);
+    let scores = model.predict_scores(&customers.x, &mut rng, &obs::Obs::disabled());
     let intervals = model.predict_intervals(&customers.x, &mut rng);
     println!("\nfirst five customers:");
     for i in 0..5 {

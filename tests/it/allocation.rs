@@ -68,7 +68,14 @@ fn ab_test_runs_all_settings_and_is_deterministic() {
     for (i, setting) in Setting::ALL.iter().enumerate() {
         let run = |seed: u64| {
             let mut rng = Prng::seed_from_u64(seed);
-            run_ab_test(generator.model(), *setting, &quick_ab_config(), &mut rng).unwrap()
+            run_ab_test(
+                generator.model(),
+                *setting,
+                &quick_ab_config(),
+                &mut rng,
+                &obs::Obs::disabled(),
+            )
+            .unwrap()
         };
         let a = run(10 + i as u64);
         let b = run(10 + i as u64);
@@ -91,6 +98,7 @@ fn trained_arms_beat_random_on_average_suno() {
             Setting::SuNo,
             &quick_ab_config(),
             &mut rng,
+            &obs::Obs::disabled(),
         )
         .unwrap();
         drp_sum += r.drp_lift_pct;

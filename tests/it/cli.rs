@@ -174,11 +174,13 @@ fn degraded_calibration_warns_but_exits_0() {
     assert!(trace.trim_start().starts_with('{'));
     assert!(trace.contains("\"calibration.degraded\""));
     assert!(trace.contains("DegenerateLabels"));
-    // -v printed the metrics summary table.
+    // -v printed the metrics summary table on stderr, keeping stdout
+    // free for machine-readable output (the serve protocol relies on
+    // this).
     assert!(
-        text(&out.stdout).contains("train.epochs"),
+        text(&out.stderr).contains("train.epochs"),
         "missing summary table: {}",
-        text(&out.stdout)
+        text(&out.stderr)
     );
     for f in [train_csv, cal_csv, model_json, trace_json] {
         let _ = std::fs::remove_file(f);

@@ -17,11 +17,22 @@ fn coverage_under(setting: Setting, seed: u64) -> f64 {
     let (data, mut rng) = quick_data(&generator, setting, seed);
     let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
     model
-        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .fit_with_calibration(
+            &data.train,
+            &data.calibration,
+            &mut rng,
+            &obs::Obs::disabled(),
+        )
         .unwrap();
     let intervals = model.predict_intervals(&data.test.x, &mut rng);
-    let roi_star = find_roi_star(&data.test.t, &data.test.y_r, &data.test.y_c, 1e-6)
-        .expect("test RCT is healthy");
+    let roi_star = find_roi_star(
+        &data.test.t,
+        &data.test.y_r,
+        &data.test.y_c,
+        1e-6,
+        &obs::Obs::disabled(),
+    )
+    .expect("test RCT is healthy");
     empirical_coverage(&intervals, &vec![roi_star; intervals.len()])
 }
 
@@ -59,7 +70,12 @@ fn stale_calibration_can_break_coverage_guarantee() {
     data.calibration = stale.calibration;
     let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
     model
-        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .fit_with_calibration(
+            &data.train,
+            &data.calibration,
+            &mut rng,
+            &obs::Obs::disabled(),
+        )
         .unwrap();
     let intervals = model.predict_intervals(&data.test.x, &mut rng);
     assert!(intervals.iter().all(|iv| iv.lo <= iv.hi));

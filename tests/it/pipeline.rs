@@ -9,7 +9,12 @@ fn full_pipeline_on(generator: &dyn datasets::generator::RctGenerator, seed: u64
     let (data, mut rng) = quick_data(generator, Setting::SuNo, seed);
     let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
     model
-        .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+        .fit_with_calibration(
+            &data.train,
+            &data.calibration,
+            &mut rng,
+            &obs::Obs::disabled(),
+        )
         .unwrap();
 
     // Diagnostics are populated and in range.
@@ -64,7 +69,12 @@ fn rdrp_handles_every_setting() {
         let (data, mut rng) = quick_data(&generator, *setting, 20 + i as u64);
         let mut model = Rdrp::new(quick_rdrp_config()).unwrap();
         model
-            .fit_with_calibration(&data.train, &data.calibration, &mut rng)
+            .fit_with_calibration(
+                &data.train,
+                &data.calibration,
+                &mut rng,
+                &obs::Obs::disabled(),
+            )
             .unwrap();
         let scores = model.predict_roi(&data.test.x);
         assert!(

@@ -62,7 +62,7 @@ fn roi_star_matches_closed_form() {
             continue;
         }
         let closed = (tr / tc).clamp(1e-6, 1.0 - 1e-6);
-        let found = find_roi_star(&t, &y_r, &y_c, 1e-7).unwrap();
+        let found = find_roi_star(&t, &y_r, &y_c, 1e-7, &obs::Obs::disabled()).unwrap();
         assert!(
             (found - closed).abs() < 1e-4,
             "seed {seed}: {found} vs {closed}"

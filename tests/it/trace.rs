@@ -15,7 +15,7 @@
 //! the right mode, and corruption that trips validation must still leave
 //! its `abtest.fault_injected` fingerprint in the trace.
 
-use abtest::{run_ab_test_observed, AbTestConfig, FaultInjection};
+use abtest::{run_ab_test, AbTestConfig, FaultInjection};
 use datasets::{CriteoLike, Setting};
 use integration::{quick_data, quick_rdrp_config};
 use obs::{FieldValue, InMemoryRecorder, Obs};
@@ -33,7 +33,7 @@ fn golden_run() -> (Arc<InMemoryRecorder>, usize) {
     let (obs, recorder, _clock) = Obs::manual();
     let mut model = Rdrp::new(config).expect("valid config");
     model
-        .fit_with_calibration_observed(&data.train, &data.calibration, &mut rng, &obs)
+        .fit_with_calibration(&data.train, &data.calibration, &mut rng, &obs)
         .expect("healthy data must calibrate");
     (recorder, epochs)
 }
@@ -152,7 +152,7 @@ fn cost_zero_fault_fires_exactly_one_degraded_event() {
     });
     let mut rng = linalg::random::Prng::seed_from_u64(7);
     let (obs, recorder, _clock) = Obs::manual();
-    let result = run_ab_test_observed(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
+    let result = run_ab_test(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
         .expect("degraded calibration is not an error");
     assert_eq!(result.daily.len(), 2);
 
@@ -203,7 +203,7 @@ fn nan_fault_leaves_its_fingerprint_even_when_fit_fails() {
     });
     let mut rng = linalg::random::Prng::seed_from_u64(8);
     let (obs, recorder, _clock) = Obs::manual();
-    let err = run_ab_test_observed(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
+    let err = run_ab_test(generator.model(), Setting::SuNo, &config, &mut rng, &obs)
         .expect_err("NaN features must trip validation");
     assert!(matches!(
         err,
