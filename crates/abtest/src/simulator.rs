@@ -4,7 +4,7 @@ use datasets::generator::{Population, RctGenerator, StructuralModel};
 use datasets::{RctDataset, Setting};
 use linalg::random::Prng;
 use obs::Obs;
-use rdrp::{greedy_allocate, PipelineError, Rdrp, RdrpConfig};
+use rdrp::{greedy_allocate, PipelineError, RdrpConfig};
 
 /// Fault-injection hook for robustness testing: before the model arms
 /// train, a configurable fraction of the training/calibration rows is
@@ -263,8 +263,18 @@ pub fn run_ab_test(
         fault.corrupt(&mut train, rng, obs);
         fault.corrupt(&mut calibration, rng, obs);
     }
-    let mut rdrp_model = Rdrp::new(config.rdrp.clone())?;
-    rdrp_model.fit_with_calibration(&train, &calibration, rng, obs)?;
+    // Both model arms come from the shared method registry — the same
+    // builders the CLI and bench harness dispatch through. The DRP arm
+    // trains its own network (independent arms, as a real A/B deploy
+    // would) rather than peeking at rDRP's interior model.
+    let method_config = rdrp::MethodConfig {
+        rdrp: config.rdrp.clone(),
+        ..rdrp::MethodConfig::default()
+    };
+    let mut drp_arm = rdrp::build("drp", &method_config)?;
+    drp_arm.fit(&train, &calibration, rng, obs)?;
+    let mut rdrp_arm = rdrp::build("rdrp", &method_config)?;
+    rdrp_arm.fit(&train, &calibration, rng, obs)?;
 
     let mut daily = Vec::with_capacity(config.days);
     let (mut sum_rand, mut sum_drp, mut sum_rdrp) = (0.0, 0.0, 0.0);
@@ -286,8 +296,8 @@ pub fn run_ab_test(
             let budget = config.budget_fraction * total_cost;
             let scores: Vec<f64> = match arm {
                 0 => (0..users.len()).map(|_| rng.uniform()).collect(),
-                1 => rdrp_model.drp().predict_roi(&users.x, obs),
-                _ => rdrp_model.predict_scores(&users.x, rng, obs),
+                1 => drp_arm.scores_fresh(&users.x, obs),
+                _ => rdrp_arm.scores_fresh(&users.x, obs),
             };
             let allocation = greedy_allocate(&scores, &costs, budget);
             let revenue = realize_revenue(

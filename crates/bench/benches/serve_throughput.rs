@@ -89,7 +89,7 @@ fn drain(engine: &ScoringEngine, scorer: &Arc<dyn BatchScorer>, requests: &[Matr
 /// direct single-batch call as the floor.
 fn bench_microbatch_coalescing(c: &mut Criterion) {
     let model = fitted_drp();
-    let n = BatchScorer::n_features(&model);
+    let n = BatchScorer::n_features(&model).unwrap();
     let scorer: Arc<dyn BatchScorer> = Arc::new(model.clone());
     let mut rng = Prng::seed_from_u64(2);
     let requests = request_stream(n, &mut rng);
@@ -138,7 +138,7 @@ fn bench_microbatch_coalescing(c: &mut Criterion) {
 /// worker counts.
 fn bench_worker_scaling(c: &mut Criterion) {
     let model = fitted_rdrp();
-    let n = BatchScorer::n_features(&model);
+    let n = BatchScorer::n_features(&model).unwrap();
     let scorer: Arc<dyn BatchScorer> = Arc::new(model);
     let mut rng = Prng::seed_from_u64(3);
     let requests: Vec<Matrix> = (0..16)
@@ -173,7 +173,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
 /// response.
 fn bench_submission_overhead(c: &mut Criterion) {
     let model = fitted_drp();
-    let n = BatchScorer::n_features(&model);
+    let n = BatchScorer::n_features(&model).unwrap();
     let scorer: Arc<dyn BatchScorer> = Arc::new(model);
     let mut rng = Prng::seed_from_u64(4);
     let one_row = Matrix::from_rows(&[(0..n).map(|_| rng.gaussian()).collect::<Vec<f64>>()]);

@@ -3,8 +3,8 @@
 use datasets::generator::RctGenerator;
 use datasets::{ExperimentData, Setting, SettingSizes};
 use linalg::random::Prng;
-use rdrp::{DrpConfig, DrpModel, Rdrp, RdrpConfig};
-use uplift::{DirectRank, NetConfig, RoiModel, Tpm};
+use rdrp::{DrpConfig, MethodConfig, RdrpConfig};
+use uplift::NetConfig;
 
 /// Percentile bins used for all reported AUCCs.
 pub const AUCC_BINS: usize = 20;
@@ -94,6 +94,26 @@ impl MethodKind {
             MethodKind::Rdrp => "rDRP",
         }
     }
+
+    /// The method's name in `rdrp::methods::METHODS` (also its artifact
+    /// tag) — the bridge between the harness's table rows and the shared
+    /// registry everything now trains through.
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            MethodKind::TpmSl => "tpm-sl",
+            MethodKind::TpmXl => "tpm-xl",
+            MethodKind::TpmCf => "tpm-cf",
+            MethodKind::TpmDragonNet => "tpm-dragonnet",
+            MethodKind::TpmTarNet => "tpm-tarnet",
+            MethodKind::TpmOffsetNet => "tpm-offsetnet",
+            MethodKind::TpmSnet => "tpm-snet",
+            MethodKind::Dr => "dr",
+            MethodKind::DrWithMc => "dr-mc",
+            MethodKind::Drp => "drp",
+            MethodKind::DrpWithMc => "drp-mc",
+            MethodKind::Rdrp => "rdrp",
+        }
+    }
 }
 
 /// Shared network hyperparameters for the neural baselines.
@@ -128,68 +148,26 @@ pub fn table_sizes() -> SettingSizes {
     }
 }
 
-/// Fits `kind` on `data` and returns its test-set ranking scores.
-pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
-    let net = table_net_config();
-    match kind {
-        MethodKind::TpmSl => fit_tpm(Tpm::slearner(), data, rng),
-        MethodKind::TpmXl => fit_tpm(Tpm::xlearner(), data, rng),
-        MethodKind::TpmCf => fit_tpm(Tpm::causal_forest(), data, rng),
-        MethodKind::TpmDragonNet => fit_tpm(Tpm::dragonnet(net), data, rng),
-        MethodKind::TpmTarNet => fit_tpm(Tpm::tarnet(net), data, rng),
-        MethodKind::TpmOffsetNet => fit_tpm(Tpm::offsetnet(net), data, rng),
-        MethodKind::TpmSnet => fit_tpm(Tpm::snet(net), data, rng),
-        MethodKind::Dr => {
-            let mut m = DirectRank::new(net);
-            m.fit(&data.train, rng).expect("bench data is well-formed");
-            m.predict_roi(&data.test.x)
-        }
-        MethodKind::DrWithMc => {
-            // Ablation: combine the DR point estimate with its MC std
-            // (the paper: "derived by combining the DR's point estimate
-            // and std"); the MC mean is the dropout-ensemble point
-            // estimate and the std is added as the optimism term.
-            let mut m = DirectRank::new(net);
-            m.fit(&data.train, rng).expect("bench data is well-formed");
-            let stats = m.mc_scores(&data.test.x, 50, rng);
-            stats
-                .mean
-                .iter()
-                .zip(&stats.std)
-                .map(|(m, s)| m + s)
-                .collect()
-        }
-        MethodKind::Drp => {
-            let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng, &obs::Obs::disabled())
-                .expect("bench data is well-formed");
-            m.predict_roi(&data.test.x, &obs::Obs::disabled())
-        }
-        MethodKind::DrpWithMc => {
-            let mut m = DrpModel::new(table_rdrp_config().drp);
-            m.fit(&data.train, rng, &obs::Obs::disabled())
-                .expect("bench data is well-formed");
-            let stats = m.mc_roi(&data.test.x, 50, 1e-6, rng, &obs::Obs::disabled());
-            stats
-                .mean
-                .iter()
-                .zip(&stats.std)
-                .map(|(m, s)| m + s)
-                .collect()
-        }
-        MethodKind::Rdrp => {
-            let mut m = Rdrp::new(table_rdrp_config()).expect("bench config is valid");
-            m.fit_with_calibration(&data.train, &data.calibration, rng, &obs::Obs::disabled())
-                .expect("bench data is well-formed");
-            m.predict_scores(&data.test.x, rng, &obs::Obs::disabled())
-        }
+/// The table hyperparameters as one registry config bundle.
+pub fn table_method_config() -> MethodConfig {
+    MethodConfig {
+        net: table_net_config(),
+        rdrp: table_rdrp_config(),
+        ..MethodConfig::default()
     }
 }
 
-fn fit_tpm(mut tpm: Tpm, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
-    tpm.fit(&data.train, rng)
+/// Fits `kind` on `data` through the shared method registry and returns
+/// its test-set ranking scores. Scoring is the same deterministic path
+/// the CLI and the serving layer use (MC sweeps reseed from
+/// [`rdrp::SCORING_SEED`] rather than forking the harness RNG).
+pub fn score_method(kind: MethodKind, data: &ExperimentData, rng: &mut Prng) -> Vec<f64> {
+    let mut method = rdrp::build(kind.registry_name(), &table_method_config())
+        .expect("every MethodKind is registered");
+    method
+        .fit(&data.train, &data.calibration, rng, &obs::Obs::disabled())
         .expect("bench data is well-formed");
-    tpm.predict_roi(&data.test.x)
+    method.scores_fresh(&data.test.x, &obs::Obs::disabled())
 }
 
 /// One method's result on one (dataset, setting) cell.
@@ -273,6 +251,15 @@ mod tests {
         assert_eq!(MethodKind::TABLE2.len(), 5);
         assert_eq!(MethodKind::Rdrp.label(), "rDRP");
         assert_eq!(MethodKind::TpmSnet.label(), "TPM-SNet");
+    }
+
+    #[test]
+    fn every_table_row_resolves_in_the_registry_with_matching_label() {
+        for kind in MethodKind::TABLE1.iter().chain(&MethodKind::TABLE2) {
+            let spec = rdrp::methods::spec(kind.registry_name())
+                .unwrap_or_else(|| panic!("{:?} not registered", kind));
+            assert_eq!(spec.label, kind.label(), "{kind:?}");
+        }
     }
 
     #[test]

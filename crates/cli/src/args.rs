@@ -252,15 +252,18 @@ impl GenerateArgs {
     }
 }
 
-/// `train` — fit and calibrate an rDRP model, then persist it.
+/// `train` — fit a registered method (default rDRP), then persist it as
+/// a versioned model artifact.
 #[derive(Debug, Clone)]
 pub struct TrainArgs {
     /// Training CSV path.
     pub train: String,
     /// Calibration CSV path.
     pub calibration: String,
-    /// Where to save the fitted model JSON.
+    /// Where to save the fitted model artifact.
     pub model: String,
+    /// Registry name of the method to train (see `rdrp::methods`).
+    pub method: String,
     /// Training seed.
     pub seed: u64,
     /// Training epochs.
@@ -284,6 +287,7 @@ impl TrainArgs {
                 "train",
                 "calibration",
                 "model",
+                "method",
                 "seed",
                 "epochs",
                 "hidden",
@@ -296,6 +300,7 @@ impl TrainArgs {
             train: args.require("train")?.to_string(),
             calibration: args.require("calibration")?.to_string(),
             model: args.require("model")?.to_string(),
+            method: args.get("method").unwrap_or("rdrp").to_string(),
             seed: args.get_or("seed", 42)?,
             epochs: args.get_or("epochs", 40)?,
             hidden: args.get_or("hidden", 64)?,
@@ -364,14 +369,13 @@ impl EvaluateArgs {
     }
 }
 
-/// `serve` — load a persisted model and answer line-delimited JSON
-/// scoring requests over stdin/stdout or TCP.
+/// `serve` — load a persisted model artifact (any registered method;
+/// the artifact's embedded tag picks the type) and answer line-delimited
+/// JSON scoring requests over stdin/stdout or TCP.
 #[derive(Debug, Clone)]
 pub struct ServeArgs {
-    /// Persisted model JSON path.
+    /// Persisted model artifact path.
     pub model: String,
-    /// Which persisted model type the file holds.
-    pub kind: serve::ModelKind,
     /// Registry name to serve the model under.
     pub name: String,
     /// Registry version to serve the model under.
@@ -399,7 +403,6 @@ impl ServeArgs {
         args.check_known(&flags(
             &[
                 "model",
-                "kind",
                 "name",
                 "model-version",
                 "tcp",
@@ -412,14 +415,8 @@ impl ServeArgs {
             ],
             &[&OBS_FLAGS],
         ))?;
-        let kind_str = args.get("kind").unwrap_or("rdrp");
-        let kind = serve::ModelKind::parse(kind_str).ok_or_else(|| ArgError::BadValue {
-            flag: "kind".to_string(),
-            value: kind_str.to_string(),
-        })?;
         let parsed = ServeArgs {
             model: args.require("model")?.to_string(),
-            kind,
             name: args.get("name").unwrap_or(serve::DEFAULT_MODEL).to_string(),
             model_version: args.get("model-version").unwrap_or("1").to_string(),
             tcp: args.get("tcp").map(str::to_string),
@@ -558,6 +555,7 @@ mod tests {
             panic!("expected train")
         };
         assert_eq!(t.train, "a.csv");
+        assert_eq!(t.method, "rdrp");
         assert_eq!(t.epochs, 40);
         assert_eq!(t.alpha, 0.1);
         assert_eq!(t.schema.treatment, "treatment");
@@ -588,20 +586,21 @@ mod tests {
     }
 
     #[test]
-    fn serve_args_validate_kind_and_sizes() {
+    fn serve_args_validate_sizes() {
         let Command::Serve(s) = Command::parse(strings(&["serve", "--model", "m.json"])).unwrap()
         else {
             panic!("expected serve")
         };
-        assert_eq!(s.kind, serve::ModelKind::Rdrp);
         assert_eq!(s.name, serve::DEFAULT_MODEL);
         assert_eq!(s.model_version, "1");
         assert_eq!(s.max_wait, Duration::from_micros(500));
         assert!(s.tcp.is_none());
 
+        // The artifact's embedded tag picks the model type; a --kind
+        // flag no longer exists and fails like any other typo.
         assert!(matches!(
-            Command::parse(strings(&["serve", "--model", "m.json", "--kind", "xgboost"])),
-            Err(ArgError::BadValue { ref flag, .. }) if flag == "kind"
+            Command::parse(strings(&["serve", "--model", "m.json", "--kind", "rdrp"])),
+            Err(ArgError::UnknownFlag { ref flag, .. }) if flag == "kind"
         ));
         assert!(matches!(
             Command::parse(strings(&["serve", "--model", "m.json", "--queue-rows", "0"])),

@@ -1,14 +1,20 @@
-//! `rdrp-cli` — train, calibrate, score, serve, and evaluate rDRP
-//! models from the shell.
+//! `rdrp-cli` — train, calibrate, score, serve, and evaluate the
+//! paper's ROI-ranking methods from the shell.
 //!
 //! ```text
 //! rdrp-cli generate --dataset criteo --rows 20000 --out train.csv [--shifted true]
 //! rdrp-cli train    --train train.csv --calibration cal.csv --model model.json
-//!                   [--epochs 40 --hidden 64 --alpha 0.1 --mc-passes 50]
+//!                   [--method rdrp] [--epochs 40 --hidden 64 --alpha 0.1 --mc-passes 50]
 //! rdrp-cli score    --model model.json --data test.csv --out scores.csv
 //! rdrp-cli serve    --model model.json [--tcp 127.0.0.1:7878] [--workers 2]
 //! rdrp-cli evaluate --model model.json --data test.csv [--bins 20]
 //! ```
+//!
+//! `--method` accepts any registry name from `rdrp::methods` (every
+//! Table I/II method: `tpm-sl` … `tpm-snet`, `dr`, `dr-mc`, `drp`,
+//! `drp-mc`, `rdrp`, `bootstrap-drp`). The persisted file is a versioned
+//! artifact whose embedded tag tells `score`, `evaluate`, and `serve`
+//! which model type to reconstruct — no kind flag anywhere.
 //!
 //! CSV columns: features plus `treatment`, `conversion` (revenue) and
 //! `visit` (cost); override the names with `--treatment-col` etc. The
@@ -29,7 +35,7 @@ use datasets::generator::{Population, RctGenerator};
 use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, MeituanLike};
 use linalg::random::Prng;
 use obs::{InMemoryRecorder, Obs};
-use rdrp::{DrpConfig, Persist, Rdrp, RdrpConfig};
+use rdrp::{DrpConfig, RdrpConfig};
 use serve::{run_jsonl, EngineConfig, ModelRegistry, ScoringEngine};
 use std::fmt;
 use std::io::Write as _;
@@ -89,13 +95,17 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage:\n  \
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
-     rdrp-cli train --train FILE --calibration FILE --model FILE [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
+     rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
-     rdrp-cli serve --model FILE [--kind rdrp|drp] [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
-     serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
-     --trace-out dumps the run's JSON trace (counters, histograms, events); -v prints a metrics summary table"
+     --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
+        + &rdrp::method_names().join(", ")
+        + "\n\
+     serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
+     the model file's embedded method tag picks the served model type;\n\
+     --trace-out dumps the run's JSON trace (counters, histograms, events); -v prints a metrics summary table"
 }
 
 /// The observability wiring shared by `train`, `score`, and `serve`: an
@@ -208,19 +218,27 @@ fn generate(a: &GenerateArgs) -> Result<(), CliError> {
 }
 
 fn train(a: &TrainArgs) -> Result<(), CliError> {
-    let config = RdrpConfig {
-        drp: DrpConfig {
+    let config = rdrp::MethodConfig {
+        net: uplift::NetConfig {
             epochs: a.epochs,
             hidden: a.hidden,
-            ..DrpConfig::default()
+            ..uplift::NetConfig::default()
         },
-        alpha: a.alpha,
-        mc_passes: a.mc_passes,
-        ..RdrpConfig::default()
+        rdrp: RdrpConfig {
+            drp: DrpConfig {
+                epochs: a.epochs,
+                hidden: a.hidden,
+                ..DrpConfig::default()
+            },
+            alpha: a.alpha,
+            mc_passes: a.mc_passes,
+            ..RdrpConfig::default()
+        },
+        ..rdrp::MethodConfig::default()
     };
-    // An invalid config is a usage error (exit 2), surfaced before any
-    // file is touched ...
-    let mut model = Rdrp::new(config).map_err(usage_err)?;
+    // An unknown method or an invalid config is a usage error (exit 2),
+    // surfaced before any file is touched ...
+    let mut method = rdrp::build(&a.method, &config).map_err(usage_err)?;
     let schema = csv_schema(&a.schema);
     let train_data = read_rct_csv(&a.train, &schema).map_err(data_err)?;
     let cal_data = read_rct_csv(&a.calibration, &schema).map_err(data_err)?;
@@ -235,51 +253,64 @@ fn train(a: &TrainArgs) -> Result<(), CliError> {
     // *contents* of an otherwise readable CSV (NaN features, single-group
     // data) surface here too: the pipeline's own validation is the
     // authority on what it can train on.
-    model
-        .fit_with_calibration(&train_data, &cal_data, &mut rng, &cli_obs.obs)
+    method
+        .fit(&train_data, &cal_data, &mut rng, &cli_obs.obs)
         .map_err(|e| CliError::Train(e.to_string()))?;
-    let d = model.diagnostics();
-    println!(
-        "calibrated: roi* = {:?}, q̂ = {:.4}, form = {}",
-        d.roi_star,
-        d.qhat,
-        d.selected_form.label()
-    );
-    // Degradation is a warning, not an error: the model still serves a
-    // usable (plain-DRP) ranking, and the flag is persisted in the model
-    // JSON for machine consumption.
-    if let Some(mode) = model.degraded() {
-        eprintln!(
-            "warning: calibration degraded ({mode:?}): {}",
-            mode.reason()
+    if let Some(model) = method.as_rdrp() {
+        let d = model.diagnostics();
+        println!(
+            "calibrated: roi* = {:?}, q̂ = {:.4}, form = {}",
+            d.roi_star,
+            d.qhat,
+            d.selected_form.label()
         );
+        // Degradation is a warning, not an error: the model still serves
+        // a usable (plain-DRP) ranking, and the flag is persisted in the
+        // artifact for machine consumption.
+        if let Some(mode) = model.degraded() {
+            eprintln!(
+                "warning: calibration degraded ({mode:?}): {}",
+                mode.reason()
+            );
+        }
+    } else {
+        println!("fitted {}", method.label());
     }
-    model.save(&a.model).map_err(data_err)?;
+    rdrp::save_method(method.as_ref(), &a.model).map_err(data_err)?;
     println!("model saved to {}", a.model);
     cli_obs.finish()?;
     Ok(())
 }
 
 fn score(a: &ScoreArgs) -> Result<(), CliError> {
-    let model = Rdrp::load(&a.model).map_err(data_err)?;
+    let method = rdrp::load_method(&a.model).map_err(data_err)?;
     let data = read_rct_csv(&a.data, &csv_schema(&a.schema)).map_err(data_err)?;
-    if let Some(mode) = model.degraded() {
+    if let Some(mode) = method.as_rdrp().and_then(rdrp::Rdrp::degraded) {
         eprintln!(
             "warning: model was calibrated in degraded mode ({mode:?}): {}",
             mode.reason()
         );
     }
     let cli_obs = CliObs::new(&a.obs);
-    // The same fixed seed every deterministic scoring path uses: scoring
-    // a fitted model is a pure function of the inputs.
-    let mut rng = Prng::seed_from_u64(rdrp::SCORING_SEED);
-    let scores = model.predict_scores(&data.x, &mut rng, &cli_obs.obs);
-    let mut rng = Prng::seed_from_u64(rdrp::SCORING_SEED);
-    let intervals = model.predict_intervals(&data.x, &mut rng);
+    // Scoring a fitted method is a pure function of the inputs: every
+    // randomness-consuming path reseeds from rdrp::SCORING_SEED.
+    let scores = method.scores_fresh(&data.x, &cli_obs.obs);
     let mut out = std::fs::File::create(&a.out).map_err(data_err)?;
-    writeln!(out, "score,interval_lo,interval_hi").map_err(data_err)?;
-    for (s, iv) in scores.iter().zip(&intervals) {
-        writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(data_err)?;
+    // Methods with conformal intervals (rDRP) get three columns; point
+    // rankers get one.
+    match method.intervals(&data.x) {
+        Some(intervals) => {
+            writeln!(out, "score,interval_lo,interval_hi").map_err(data_err)?;
+            for (s, iv) in scores.iter().zip(&intervals) {
+                writeln!(out, "{s},{},{}", iv.lo, iv.hi).map_err(data_err)?;
+            }
+        }
+        None => {
+            writeln!(out, "score").map_err(data_err)?;
+            for s in &scores {
+                writeln!(out, "{s}").map_err(data_err)?;
+            }
+        }
     }
     println!("wrote {} scores to {}", scores.len(), a.out);
     cli_obs.finish()?;
@@ -287,9 +318,15 @@ fn score(a: &ScoreArgs) -> Result<(), CliError> {
 }
 
 fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
-    let model = Rdrp::load(&a.model).map_err(data_err)?;
+    let method = rdrp::load_method(&a.model).map_err(data_err)?;
     let data = read_rct_csv(&a.data, &csv_schema(&a.schema)).map_err(data_err)?;
-    let scores = model.predict_roi(&data.x);
+    // rDRP keeps its historical evaluation convention (point ROI, not
+    // the calibrated re-ranking); every other method evaluates the same
+    // scores it serves.
+    let scores = match method.as_rdrp() {
+        Some(model) => model.predict_roi(&data.x),
+        None => method.scores_fresh(&data.x, &Obs::disabled()),
+    };
     let aucc = metrics::aucc_checked(&data, &scores, a.bins).ok_or_else(|| {
         CliError::Data(
             "dataset too degenerate to rank (missing group or non-positive uplift)".to_string(),
@@ -305,7 +342,7 @@ fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
 fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
     let registry = ModelRegistry::new();
     registry
-        .load(&a.name, &a.model_version, a.kind, &a.model)
+        .load(&a.name, &a.model_version, &a.model)
         .map_err(data_err)?;
     eprintln!("serving {}@{} from {}", a.name, a.model_version, a.model);
     let cli_obs = CliObs::new(&a.obs);

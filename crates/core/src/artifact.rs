@@ -1,0 +1,155 @@
+//! The versioned model-artifact envelope.
+//!
+//! Every persisted model file is one JSON object:
+//!
+//! ```json
+//! {
+//!   "format_version": 1,
+//!   "method": "<registry tag, e.g. \"rdrp\" or \"tpm-sl\">",
+//!   "body": { ... method-specific payload ... }
+//! }
+//! ```
+//!
+//! The `method` tag doubles as the registry name
+//! ([`crate::methods::METHODS`]), so a loader can reconstruct the right
+//! model type from the file alone — no out-of-band `--kind` flag. The
+//! `format_version` gates schema evolution: a reader refuses versions it
+//! does not understand instead of misparsing them.
+
+use crate::persist::PersistError;
+use tinyjson::{FromJson, JsonError, ToJson, Value};
+
+/// The artifact schema version this build reads and writes.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Wraps a method body in the versioned envelope.
+pub fn encode(method: &str, body: Value) -> Value {
+    Value::Obj(vec![
+        ("format_version".to_string(), FORMAT_VERSION.to_json()),
+        ("method".to_string(), method.to_string().to_json()),
+        ("body".to_string(), body),
+    ])
+}
+
+/// Unwraps the envelope, returning the method tag and the body.
+///
+/// # Errors
+/// [`PersistError::Format`] when the value is not an envelope or its
+/// `format_version` is unsupported.
+pub fn decode(v: &Value) -> Result<(String, &Value), PersistError> {
+    let version = u64::from_json(v.fetch("format_version")).map_err(|_| {
+        PersistError::Format(
+            "not a model artifact: missing or non-integer format_version".to_string(),
+        )
+    })?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported artifact format_version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let method = String::from_json(v.fetch("method"))
+        .map_err(|_| PersistError::Format("artifact has no method tag".to_string()))?;
+    let body = v.fetch("body");
+    if matches!(body, Value::Null) {
+        return Err(PersistError::Format(format!(
+            "artifact {method:?} has no body"
+        )));
+    }
+    Ok((method, body))
+}
+
+/// [`decode`] that additionally checks the tag against what the caller
+/// expects (`accept` returns `true` for tags it can load). Used by the
+/// typed [`crate::Persist`] impls so `Rdrp::load` on a DRP artifact is a
+/// [`PersistError::Format`], not a field-level parse error.
+///
+/// # Errors
+/// Everything [`decode`] raises, plus [`PersistError::Format`] when the
+/// tag is not accepted.
+pub fn decode_expecting<'v>(
+    v: &'v Value,
+    expectation: &str,
+    accept: impl Fn(&str) -> bool,
+) -> Result<(String, &'v Value), PersistError> {
+    let (method, body) = decode(v)?;
+    if !accept(&method) {
+        return Err(PersistError::Format(format!(
+            "artifact holds method {method:?}, expected {expectation}"
+        )));
+    }
+    Ok((method, body))
+}
+
+/// Parses a JSON string into `(method tag, body)` via [`decode`].
+///
+/// # Errors
+/// [`PersistError::Serde`] when the string is not JSON,
+/// [`PersistError::Format`] when it is not an envelope.
+pub fn parse(json: &str) -> Result<(String, Value), PersistError> {
+    let v = tinyjson::from_str(json)?;
+    let (method, body) = decode(&v)?;
+    Ok((method, body.clone()))
+}
+
+/// Re-serializes an envelope to the pretty JSON written on disk.
+pub fn render(method: &str, body: Value) -> String {
+    tinyjson::to_string_pretty(&encode(method, body))
+}
+
+/// Shared body shape for the `*-mc` ablation artifacts: the wrapped
+/// model plus the MC-sweep hyperparameters the scorer needs.
+pub(crate) fn mc_body(model: Value, mc_passes: usize, std_floor: f64) -> Value {
+    Value::Obj(vec![
+        ("model".to_string(), model),
+        ("mc_passes".to_string(), mc_passes.to_json()),
+        ("std_floor".to_string(), std_floor.to_json()),
+    ])
+}
+
+/// Decodes a [`mc_body`] back into its parts.
+pub(crate) fn mc_body_parts(body: &Value) -> Result<(&Value, usize, f64), JsonError> {
+    let model = body.fetch("model");
+    let mc_passes = usize::from_json(body.fetch("mc_passes"))?;
+    let std_floor = f64::from_json(body.fetch("std_floor"))?;
+    Ok((model, mc_passes, std_floor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_tag_and_body() {
+        let body = Value::Obj(vec![("x".to_string(), 1.5.to_json())]);
+        let v = encode("rdrp", body.clone());
+        let (method, got) = decode(&v).unwrap();
+        assert_eq!(method, "rdrp");
+        assert_eq!(tinyjson::to_string(got), tinyjson::to_string(&body));
+    }
+
+    #[test]
+    fn rejects_future_format_version() {
+        let mut v = encode("rdrp", Value::Null);
+        let Value::Obj(fields) = &mut v else {
+            unreachable!()
+        };
+        fields[0].1 = 99u64.to_json();
+        let err = decode(&v).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err:?}");
+        assert!(err.to_string().contains("format_version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_raw_model_json_without_envelope() {
+        let bare = Value::Obj(vec![("weights".to_string(), Value::Arr(vec![]))]);
+        assert!(matches!(decode(&bare), Err(PersistError::Format(_))));
+    }
+
+    #[test]
+    fn decode_expecting_names_both_tags() {
+        let v = encode("drp", Value::Obj(vec![]));
+        let err = decode_expecting(&v, "\"rdrp\"", |t| t == "rdrp").unwrap_err();
+        assert!(err.to_string().contains("drp"), "{err}");
+        assert!(err.to_string().contains("rdrp"), "{err}");
+    }
+}

@@ -27,6 +27,12 @@ pub struct BootstrapDrp {
     models: Vec<DrpModel>,
 }
 
+tinyjson::json_struct!(BootstrapDrp {
+    config,
+    n_models,
+    models
+});
+
 impl BootstrapDrp {
     /// Creates an unfitted ensemble of `n_models` DRP replicas.
     ///
@@ -82,6 +88,12 @@ impl BootstrapDrp {
     /// Whether the ensemble is unfitted.
     pub fn is_empty(&self) -> bool {
         self.models.is_empty()
+    }
+
+    /// Feature dimension the fitted ensemble consumes, or `None` before
+    /// fitting.
+    pub fn n_features(&self) -> Option<usize> {
+        self.models.first().and_then(DrpModel::n_features)
     }
 
     /// Per-sample mean and std of the ROI prediction across the ensemble

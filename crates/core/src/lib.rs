@@ -59,27 +59,29 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod allocator;
+pub mod artifact;
 pub mod bootstrap_uq;
 pub mod calibrate;
 pub mod config;
 pub mod drp;
 pub mod error;
 pub mod loss;
+pub mod methods;
 pub mod multi;
 pub mod persist;
 pub mod rdrp;
 pub mod search;
 
 pub use allocator::{greedy_allocate, optimal_allocate_dp, Allocation};
+pub use artifact::FORMAT_VERSION;
 pub use bootstrap_uq::BootstrapDrp;
 pub use calibrate::{CalibrationForm, DegradedMode};
 pub use config::{DrpConfig, RdrpConfig};
 pub use drp::DrpModel;
 pub use error::PipelineError;
 pub use loss::DrpObjective;
+pub use methods::{build, load_method, method_names, save_method, MethodConfig, RoiMethod};
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
-#[allow(deprecated)]
-pub use persist::{load_drp, load_rdrp, save_drp, save_rdrp};
 pub use persist::{Persist, PersistError};
 pub use rdrp::{Rdrp, RdrpDiagnostics, SCORING_SEED};
 pub use search::{find_roi_star, SearchError};

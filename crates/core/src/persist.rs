@@ -1,23 +1,27 @@
 //! Model persistence.
 //!
-//! Trained DRP/rDRP models serialize to JSON (weights, scaler, conformal
+//! Trained models serialize to JSON (weights, scaler, conformal
 //! quantile, selected calibration form — everything needed to reproduce
 //! predictions bit-for-bit; optimizer state and forward caches are
 //! transient and excluded). The deployment story the paper describes —
 //! train offline, calibrate on a fresh RCT, then serve — needs exactly
 //! this boundary.
 //!
-//! The [`Persist`] trait is the one entry point: `Model::save(path)` /
-//! `Model::load(path)` on every persistable model. The old free
-//! functions (`save_rdrp` and friends) remain as deprecated shims for
-//! one release.
+//! Every file is a [`crate::artifact`] envelope: a `format_version`, a
+//! `method` tag, and the model body. The [`Persist`] trait is the typed
+//! entry point (`Model::save(path)` / `Model::load(path)` checks the tag
+//! matches the type); [`crate::methods::load_method`] is the dynamic one
+//! (any tag, dispatched through the registry).
 
+use crate::artifact;
+use crate::bootstrap_uq::BootstrapDrp;
 use crate::drp::DrpModel;
 use crate::rdrp::Rdrp;
 use std::fmt;
 use std::fs;
 use std::path::Path;
 use tinyjson::{FromJson, ToJson};
+use uplift::{DirectRank, Tpm};
 
 /// Errors from saving/loading models.
 #[derive(Debug)]
@@ -26,6 +30,9 @@ pub enum PersistError {
     Io(std::io::Error),
     /// Serialization/deserialization failure.
     Serde(tinyjson::JsonError),
+    /// The file parses as JSON but is not a loadable artifact: missing or
+    /// unsupported envelope, or a method tag the caller cannot accept.
+    Format(String),
 }
 
 impl fmt::Display for PersistError {
@@ -33,6 +40,7 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+            PersistError::Format(m) => write!(f, "artifact format error: {m}"),
         }
     }
 }
@@ -51,13 +59,15 @@ impl From<tinyjson::JsonError> for PersistError {
     }
 }
 
-/// Pretty-JSON file persistence for trained models.
+/// Versioned-artifact file persistence for trained models.
 ///
 /// Implementors roundtrip bit-for-bit: `T::load(p)` after `m.save(p)`
 /// yields a model whose predictions equal `m`'s exactly (the JSON float
-/// encoder is shortest-roundtrip).
+/// encoder is shortest-roundtrip). The file is an artifact envelope;
+/// `load` rejects files whose method tag belongs to a different type
+/// with [`PersistError::Format`] instead of half-parsing them.
 pub trait Persist: Sized {
-    /// Writes the model (trained or not) as pretty JSON to `path`.
+    /// Writes the model (trained or not) as a pretty-JSON artifact.
     ///
     /// # Errors
     /// [`PersistError::Io`] when the file cannot be written.
@@ -68,58 +78,99 @@ pub trait Persist: Sized {
     /// # Errors
     /// [`PersistError::Io`] when the file cannot be read,
     /// [`PersistError::Serde`] when its contents do not parse as this
-    /// model type.
+    /// model type, [`PersistError::Format`] when the file is not an
+    /// artifact or carries another model's tag.
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError>;
+}
+
+/// Reads `path` and unwraps its envelope, accepting tags per `accept`.
+fn read_body(
+    path: impl AsRef<Path>,
+    expectation: &str,
+    accept: impl Fn(&str) -> bool,
+) -> Result<tinyjson::Value, PersistError> {
+    let v = tinyjson::from_str(&fs::read_to_string(path)?)?;
+    let (_, body) = artifact::decode_expecting(&v, expectation, accept)?;
+    Ok(body.clone())
 }
 
 impl Persist for Rdrp {
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, tinyjson::to_string_pretty(&self.to_json()))?;
+        fs::write(path, artifact::render("rdrp", self.to_json()))?;
         Ok(())
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        Ok(Rdrp::from_json(&tinyjson::from_str(&fs::read_to_string(
-            path,
-        )?)?)?)
+        Ok(Rdrp::from_json(&read_body(path, "\"rdrp\"", |t| {
+            t == "rdrp"
+        })?)?)
     }
 }
 
 impl Persist for DrpModel {
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, tinyjson::to_string_pretty(&self.to_json()))?;
+        fs::write(path, artifact::render("drp", self.to_json()))?;
         Ok(())
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
-        Ok(DrpModel::from_json(&tinyjson::from_str(
-            &fs::read_to_string(path)?,
-        )?)?)
+        Ok(DrpModel::from_json(&read_body(path, "\"drp\"", |t| {
+            t == "drp"
+        })?)?)
     }
 }
 
-/// Saves an rDRP model (trained or not) as pretty JSON.
-#[deprecated(since = "0.2.0", note = "use `Persist::save` (`model.save(path)`)")]
-pub fn save_rdrp(model: &Rdrp, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    Persist::save(model, path)
+impl Persist for Tpm {
+    /// Tag is `tpm-<lowercase label>` (e.g. `tpm-sl`, `tpm-dragonnet`),
+    /// matching the registry names of `crate::methods`.
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let tag = format!("tpm-{}", self.label().to_lowercase());
+        fs::write(path, artifact::render(&tag, self.to_json()))?;
+        Ok(())
+    }
+
+    /// Accepts any `tpm-*` artifact; the body's label says which variant.
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(Tpm::from_json(&read_body(path, "a \"tpm-*\" tag", |t| {
+            t.starts_with("tpm-")
+        })?)?)
+    }
 }
 
-/// Loads an rDRP model saved by [`Persist::save`].
-#[deprecated(since = "0.2.0", note = "use `Persist::load` (`Rdrp::load(path)`)")]
-pub fn load_rdrp(path: impl AsRef<Path>) -> Result<Rdrp, PersistError> {
-    Rdrp::load(path)
+impl Persist for DirectRank {
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        fs::write(path, artifact::render("dr", self.to_json()))?;
+        Ok(())
+    }
+
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        Ok(DirectRank::from_json(&read_body(path, "\"dr\"", |t| {
+            t == "dr"
+        })?)?)
+    }
 }
 
-/// Saves a DRP model as pretty JSON.
-#[deprecated(since = "0.2.0", note = "use `Persist::save` (`model.save(path)`)")]
-pub fn save_drp(model: &DrpModel, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    Persist::save(model, path)
-}
+impl Persist for BootstrapDrp {
+    /// The canonical `bootstrap-drp` body is `{model, std_floor}` — the
+    /// std floor is a scoring-time parameter carried by the artifact,
+    /// not by the ensemble itself, so this impl writes the default floor
+    /// and ignores the field on load. `crate::methods` round-trips it.
+    fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let body = tinyjson::Value::Obj(vec![
+            ("model".to_string(), self.to_json()),
+            (
+                "std_floor".to_string(),
+                crate::config::RdrpConfig::default().std_floor.to_json(),
+            ),
+        ]);
+        fs::write(path, artifact::render("bootstrap-drp", body))?;
+        Ok(())
+    }
 
-/// Loads a DRP model saved by [`Persist::save`].
-#[deprecated(since = "0.2.0", note = "use `Persist::load` (`DrpModel::load(path)`)")]
-pub fn load_drp(path: impl AsRef<Path>) -> Result<DrpModel, PersistError> {
-    DrpModel::load(path)
+    fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let body = read_body(path, "\"bootstrap-drp\"", |t| t == "bootstrap-drp")?;
+        Ok(BootstrapDrp::from_json(body.fetch("model"))?)
+    }
 }
 
 #[cfg(test)]
@@ -205,24 +256,61 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_still_roundtrip() {
+    fn typed_load_rejects_other_methods_artifact() {
+        let model = DrpModel::new(DrpConfig::default());
+        let path = tmp("mismatch");
+        model.save(&path).unwrap();
+        let err = Rdrp::load(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err:?}");
+        assert!(err.to_string().contains("rdrp"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn raw_pre_envelope_json_is_a_format_error() {
+        let model = DrpModel::new(DrpConfig::default());
+        let path = tmp("preenvelope");
+        // What the pre-artifact format used to write: the bare body.
+        std::fs::write(&path, tinyjson::to_string_pretty(&model.to_json())).unwrap();
+        assert!(matches!(
+            DrpModel::load(&path),
+            Err(PersistError::Format(_))
+        ));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tpm_roundtrips_with_identical_predictions() {
         let gen = CriteoLike::new();
-        let mut rng = Prng::seed_from_u64(2);
+        let mut rng = Prng::seed_from_u64(3);
+        let train = gen.sample(1500, Population::Base, &mut rng);
+        let test = gen.sample(150, Population::Base, &mut rng);
+        let mut model = Tpm::xlearner();
+        model.fit(&train, &mut rng).unwrap();
+        let path = tmp("tpm");
+        model.save(&path).unwrap();
+        let loaded = Tpm::load(&path).unwrap();
+        assert_eq!(loaded.label(), "XL");
+        assert_eq!(loaded.n_features(), Some(test.x.cols()));
+        assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn direct_rank_roundtrips_with_identical_predictions() {
+        let gen = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(4);
         let train = gen.sample(1200, Population::Base, &mut rng);
         let test = gen.sample(100, Population::Base, &mut rng);
-        let mut model = DrpModel::new(DrpConfig {
-            epochs: 3,
-            ..DrpConfig::default()
+        let mut model = DirectRank::new(uplift::NetConfig {
+            epochs: 4,
+            ..uplift::NetConfig::default()
         });
-        model.fit(&train, &mut rng, &Obs::disabled()).unwrap();
-        let path = tmp("shim");
-        save_drp(&model, &path).unwrap();
-        let loaded = load_drp(&path).unwrap();
-        assert_eq!(
-            model.predict_roi(&test.x, &Obs::disabled()),
-            loaded.predict_roi(&test.x, &Obs::disabled())
-        );
+        model.fit(&train, &mut rng).unwrap();
+        let path = tmp("dr");
+        model.save(&path).unwrap();
+        let loaded = DirectRank::load(&path).unwrap();
+        assert_eq!(model.predict_roi(&test.x), loaded.predict_roi(&test.x));
         let _ = std::fs::remove_file(path);
     }
 }

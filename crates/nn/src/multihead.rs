@@ -67,6 +67,8 @@ pub struct MultiHeadNet {
     heads: Vec<Mlp>,
 }
 
+tinyjson::json_struct!(MultiHeadNet { trunk, heads });
+
 impl MultiHeadNet {
     /// Assembles a multi-head network.
     ///

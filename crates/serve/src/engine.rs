@@ -85,6 +85,8 @@ pub enum Rejected {
         /// The request's column count.
         got: usize,
     },
+    /// The model behind this request was never fitted and cannot score.
+    Unfitted,
     /// The engine is shutting down.
     ShuttingDown,
 }
@@ -102,6 +104,7 @@ impl fmt::Display for Rejected {
             Rejected::WrongWidth { expected, got } => {
                 write!(f, "expected {expected} features per row, got {got}")
             }
+            Rejected::Unfitted => write!(f, "model is unfitted and cannot score"),
             Rejected::ShuttingDown => write!(f, "engine is shutting down"),
         }
     }
@@ -229,11 +232,15 @@ impl ScoringEngine {
             let _ = tx.send(Ok(Vec::new()));
             return Ok(PendingScore { rx });
         }
-        if rows.cols() != scorer.n_features() {
-            return Err(Rejected::WrongWidth {
-                expected: scorer.n_features(),
-                got: rows.cols(),
-            });
+        match scorer.n_features() {
+            None => return Err(Rejected::Unfitted),
+            Some(expected) if rows.cols() != expected => {
+                return Err(Rejected::WrongWidth {
+                    expected,
+                    got: rows.cols(),
+                });
+            }
+            Some(_) => {}
         }
         let obs = &self.shared.obs;
         let mut state = lock(&self.shared.state);

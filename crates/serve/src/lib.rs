@@ -35,5 +35,5 @@ pub mod scorer;
 
 pub use engine::{EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine};
 pub use protocol::{run_jsonl, ScoreRequest};
-pub use registry::{ModelKind, ModelRegistry, RegistryError, DEFAULT_MODEL};
+pub use registry::{ModelRegistry, RegistryError, DEFAULT_MODEL};
 pub use scorer::BatchScorer;

@@ -1,7 +1,7 @@
 //! Named, versioned model storage with hot swap.
 
 use crate::scorer::BatchScorer;
-use rdrp::{DrpModel, Persist, PersistError, Rdrp};
+use rdrp::PersistError;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
@@ -9,26 +9,6 @@ use std::sync::{Arc, RwLock};
 
 /// The model name requests resolve to when they name none.
 pub const DEFAULT_MODEL: &str = "default";
-
-/// Which persisted model type a file holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ModelKind {
-    /// A calibrated [`Rdrp`] (the deployment default).
-    Rdrp,
-    /// A plain [`DrpModel`] (the uncalibrated baseline).
-    Drp,
-}
-
-impl ModelKind {
-    /// Parses the CLI spelling (`rdrp` / `drp`).
-    pub fn parse(s: &str) -> Option<ModelKind> {
-        match s {
-            "rdrp" => Some(ModelKind::Rdrp),
-            "drp" => Some(ModelKind::Drp),
-            _ => None,
-        }
-    }
-}
 
 /// Why a model could not enter the registry.
 #[derive(Debug)]
@@ -92,39 +72,27 @@ impl ModelRegistry {
             .insert(version.to_string(), scorer);
     }
 
-    /// Loads a persisted model file and registers it as `name`@`version`.
+    /// Loads a persisted model artifact and registers it as
+    /// `name`@`version`. The artifact's embedded method tag picks the
+    /// model type — any method of `rdrp::methods::METHODS` serves.
     ///
     /// # Errors
-    /// [`RegistryError::Persist`] when the file cannot be read or parsed,
-    /// [`RegistryError::Unfitted`] when it holds an unfitted model.
+    /// [`RegistryError::Persist`] when the file cannot be read or parsed
+    /// or carries an unknown method tag, [`RegistryError::Unfitted`]
+    /// when it holds an unfitted model.
     pub fn load(
         &self,
         name: &str,
         version: &str,
-        kind: ModelKind,
         path: impl AsRef<Path>,
     ) -> Result<(), RegistryError> {
-        let scorer: Arc<dyn BatchScorer> = match kind {
-            ModelKind::Rdrp => {
-                let model = Rdrp::load(path)?;
-                if model.n_features().is_none() {
-                    return Err(RegistryError::Unfitted {
-                        name: name.to_string(),
-                    });
-                }
-                Arc::new(model)
-            }
-            ModelKind::Drp => {
-                let model = DrpModel::load(path)?;
-                if model.n_features().is_none() {
-                    return Err(RegistryError::Unfitted {
-                        name: name.to_string(),
-                    });
-                }
-                Arc::new(model)
-            }
-        };
-        self.insert(name, version, scorer);
+        let method = rdrp::load_method(path)?;
+        if !method.is_fitted() {
+            return Err(RegistryError::Unfitted {
+                name: name.to_string(),
+            });
+        }
+        self.insert(name, version, Arc::new(method));
         Ok(())
     }
 

@@ -4,7 +4,7 @@ use linalg::random::Prng;
 use linalg::Matrix;
 use nn::Workspace;
 use obs::Obs;
-use rdrp::{CalibrationForm, DrpModel, Rdrp, SCORING_SEED};
+use rdrp::{CalibrationForm, DrpModel, Rdrp, RoiMethod, SCORING_SEED};
 
 /// A fitted model the serving engine can score rows with.
 ///
@@ -24,8 +24,10 @@ use rdrp::{CalibrationForm, DrpModel, Rdrp, SCORING_SEED};
 ///   batch-composition-dependent, so those models report `false` and are
 ///   scored one request at a time.
 pub trait BatchScorer: Send + Sync + std::fmt::Debug {
-    /// Feature dimension each row must have.
-    fn n_features(&self) -> usize;
+    /// Feature dimension each row must have, or `None` when the model is
+    /// unfitted — the engine rejects requests to an unfitted model with
+    /// a typed error instead of scoring (or panicking on) them.
+    fn n_features(&self) -> Option<usize>;
 
     /// Whether each row's score depends only on that row (see the trait
     /// docs — this gates cross-request coalescing).
@@ -37,12 +39,8 @@ pub trait BatchScorer: Send + Sync + std::fmt::Debug {
 }
 
 impl BatchScorer for Rdrp {
-    /// # Panics
-    /// Panics when the model is unfitted (the registry refuses to load
-    /// unfitted models, so a registry-served model never panics here).
-    #[allow(clippy::expect_used)] // documented API-misuse panic
-    fn n_features(&self) -> usize {
-        Rdrp::n_features(self).expect("BatchScorer: fit before serving")
+    fn n_features(&self) -> Option<usize> {
+        Rdrp::n_features(self)
     }
 
     fn rowwise(&self) -> bool {
@@ -56,12 +54,8 @@ impl BatchScorer for Rdrp {
 }
 
 impl BatchScorer for DrpModel {
-    /// # Panics
-    /// Panics when the model is unfitted (the registry refuses to load
-    /// unfitted models, so a registry-served model never panics here).
-    #[allow(clippy::expect_used)] // documented API-misuse panic
-    fn n_features(&self) -> usize {
-        DrpModel::n_features(self).expect("BatchScorer: fit before serving")
+    fn n_features(&self) -> Option<usize> {
+        DrpModel::n_features(self)
     }
 
     fn rowwise(&self) -> bool {
@@ -70,5 +64,22 @@ impl BatchScorer for DrpModel {
 
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         self.predict_roi_with(x, ws, obs)
+    }
+}
+
+/// Any registered method serves as-is: the registry loads an artifact
+/// into a `Box<dyn RoiMethod>` and the engine batches over it without
+/// knowing which of the paper's methods it holds.
+impl BatchScorer for Box<dyn RoiMethod> {
+    fn n_features(&self) -> Option<usize> {
+        RoiMethod::n_features(self.as_ref())
+    }
+
+    fn rowwise(&self) -> bool {
+        RoiMethod::rowwise(self.as_ref())
+    }
+
+    fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        self.scores(x, ws, obs)
     }
 }

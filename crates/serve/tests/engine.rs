@@ -172,8 +172,8 @@ struct GatedScorer {
 }
 
 impl BatchScorer for GatedScorer {
-    fn n_features(&self) -> usize {
-        2
+    fn n_features(&self) -> Option<usize> {
+        Some(2)
     }
 
     fn rowwise(&self) -> bool {
@@ -274,8 +274,8 @@ struct PanicOnce {
 }
 
 impl BatchScorer for PanicOnce {
-    fn n_features(&self) -> usize {
-        2
+    fn n_features(&self) -> Option<usize> {
+        Some(2)
     }
 
     fn rowwise(&self) -> bool {
@@ -317,7 +317,7 @@ fn panicking_scorer_poisons_the_request_not_the_worker() {
 #[test]
 fn wrong_feature_width_is_rejected_before_queueing() {
     let model = fitted_drp(20);
-    let n = BatchScorer::n_features(&model);
+    let n = BatchScorer::n_features(&model).unwrap();
     let scorer: Arc<dyn BatchScorer> = Arc::new(model);
     let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());
     let narrow = Matrix::from_rows(&[vec![0.0; n - 1]]);
@@ -327,6 +327,19 @@ fn wrong_feature_width_is_rejected_before_queueing() {
             expected: n,
             got: n - 1
         }
+    );
+}
+
+#[test]
+fn unfitted_model_is_rejected_with_typed_error_not_panic() {
+    let unfitted = rdrp::DrpModel::new(rdrp::DrpConfig::default());
+    assert_eq!(BatchScorer::n_features(&unfitted), None);
+    let scorer: Arc<dyn BatchScorer> = Arc::new(unfitted);
+    let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());
+    let row = Matrix::from_rows(&[vec![0.0; 12]]);
+    assert_eq!(
+        engine.submit(&scorer, row, None).unwrap_err(),
+        Rejected::Unfitted
     );
 }
 

@@ -8,9 +8,7 @@ use linalg::Matrix;
 use obs::Obs;
 use rdrp::{DrpConfig, DrpModel, Persist};
 use serve::protocol::{parse_request, render_error, render_scores, rows_to_matrix};
-use serve::{
-    run_jsonl, BatchScorer, EngineConfig, ModelKind, ModelRegistry, ScoringEngine, DEFAULT_MODEL,
-};
+use serve::{run_jsonl, BatchScorer, EngineConfig, ModelRegistry, ScoringEngine, DEFAULT_MODEL};
 use std::io::Cursor;
 use std::sync::Arc;
 
@@ -36,7 +34,7 @@ fn registry_resolves_newest_version_and_hot_swaps() {
     assert!(registry.is_empty());
     let v1 = fitted_drp(1);
     let v2 = fitted_drp(2);
-    let probe = Matrix::from_rows(&[vec![0.25; BatchScorer::n_features(&v1)]]);
+    let probe = Matrix::from_rows(&[vec![0.25; BatchScorer::n_features(&v1).unwrap()]]);
     let s1 = v1.predict_roi(&probe, &Obs::disabled());
     let s2 = v2.predict_roi(&probe, &Obs::disabled());
     assert_ne!(s1, s2, "differently seeded fits should disagree");
@@ -65,15 +63,13 @@ fn registry_resolves_newest_version_and_hot_swaps() {
 #[test]
 fn registry_loads_persisted_models_and_rejects_unfitted() {
     let model = fitted_drp(3);
-    let probe = Matrix::from_rows(&[vec![0.1; BatchScorer::n_features(&model)]]);
+    let probe = Matrix::from_rows(&[vec![0.1; BatchScorer::n_features(&model).unwrap()]]);
     let expected = model.predict_roi(&probe, &Obs::disabled());
 
     let path = tmp("fitted");
     model.save(&path).unwrap();
     let registry = ModelRegistry::new();
-    registry
-        .load(DEFAULT_MODEL, "1", ModelKind::Drp, &path)
-        .unwrap();
+    registry.load(DEFAULT_MODEL, "1", &path).unwrap();
     std::fs::remove_file(&path).unwrap();
     let loaded = registry.get(DEFAULT_MODEL, None).unwrap();
     let mut ws = nn::Workspace::new();
@@ -81,15 +77,43 @@ fn registry_loads_persisted_models_and_rejects_unfitted() {
 
     let path = tmp("unfitted");
     DrpModel::new(DrpConfig::default()).save(&path).unwrap();
-    let err = registry
-        .load("blank", "1", ModelKind::Drp, &path)
-        .unwrap_err();
+    let err = registry.load("blank", "1", &path).unwrap_err();
     std::fs::remove_file(&path).unwrap();
     assert!(matches!(
         err,
         serve::RegistryError::Unfitted { ref name } if name == "blank"
     ));
     assert!(registry.get("blank", None).is_none());
+}
+
+/// The registry dispatches on the artifact's embedded method tag: the
+/// same `load` call serves an rDRP, a TPM, or any other registered
+/// method, and hot-swapping between families is just another insert.
+#[test]
+fn registry_serves_any_method_family_by_artifact_tag() {
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(11);
+    let train = gen.sample(1_200, Population::Base, &mut rng);
+    let cal = gen.sample(600, Population::Base, &mut rng);
+    let probe = gen.sample(4, Population::Base, &mut rng).x;
+
+    let mut config = rdrp::MethodConfig::default();
+    config.rdrp.drp.epochs = 3;
+    config.rdrp.mc_passes = 5;
+    let mut tpm = rdrp::methods::build("tpm-xl", &config).unwrap();
+    tpm.fit(&train, &cal, &mut rng, &Obs::disabled()).unwrap();
+    let expected = tpm.scores_fresh(&probe, &Obs::disabled());
+
+    let path = tmp("tagdispatch");
+    rdrp::save_method(tpm.as_ref(), &path).unwrap();
+    let registry = ModelRegistry::new();
+    registry.load(DEFAULT_MODEL, "1", &path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let served = registry.get(DEFAULT_MODEL, None).unwrap();
+    let mut ws = nn::Workspace::new();
+    assert_eq!(served.n_features(), Some(probe.cols()));
+    assert_eq!(served.score(&probe, &mut ws, &Obs::disabled()), expected);
 }
 
 #[test]
@@ -147,7 +171,7 @@ fn ragged_rows_are_rejected_not_panicked() {
 #[test]
 fn run_jsonl_end_to_end_matches_direct_scores() {
     let model = fitted_drp(4);
-    let n = BatchScorer::n_features(&model);
+    let n = BatchScorer::n_features(&model).unwrap();
     let registry = ModelRegistry::new();
     registry.insert(DEFAULT_MODEL, "1", Arc::new(model.clone()));
     let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());

@@ -15,6 +15,7 @@
 use crate::split::{candidate_thresholds, feature_subset, gather_feature, partition, Split};
 use linalg::random::Prng;
 use linalg::Matrix;
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// Hyperparameters for a causal tree.
 #[derive(Debug, Clone)]
@@ -31,6 +32,14 @@ pub struct CausalTreeConfig {
     /// Honest estimation: reserve half the rows for leaf estimates.
     pub honest: bool,
 }
+
+tinyjson::json_struct!(CausalTreeConfig {
+    max_depth,
+    min_group_leaf,
+    max_features,
+    max_thresholds,
+    honest
+});
 
 impl Default for CausalTreeConfig {
     fn default() -> Self {
@@ -57,12 +66,60 @@ enum Node {
     },
 }
 
+impl ToJson for Node {
+    fn to_json(&self) -> Value {
+        match self {
+            Node::Leaf { tau } => Value::Obj(vec![("Leaf".to_string(), tau.to_json())]),
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Value::Obj(vec![(
+                "Split".to_string(),
+                Value::Arr(vec![
+                    feature.to_json(),
+                    threshold.to_json(),
+                    left.to_json(),
+                    right.to_json(),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_obj()? {
+            [(tag, inner)] if tag == "Leaf" => Ok(Node::Leaf {
+                tau: inner.as_f64()?,
+            }),
+            [(tag, inner)] if tag == "Split" => match inner.as_arr()? {
+                [feature, threshold, left, right] => Ok(Node::Internal {
+                    feature: usize::from_json(feature)?,
+                    threshold: threshold.as_f64()?,
+                    left: usize::from_json(left)?,
+                    right: usize::from_json(right)?,
+                }),
+                _ => Err(JsonError::msg(
+                    "Node::Split: expected [feature, threshold, left, right]",
+                )),
+            },
+            _ => Err(JsonError::msg(
+                "Node: expected {\"Leaf\": ...} or {\"Split\": ...}",
+            )),
+        }
+    }
+}
+
 /// A fitted honest causal tree.
 #[derive(Debug, Clone)]
 pub struct CausalTree {
     nodes: Vec<Node>,
     n_features: usize,
 }
+
+tinyjson::json_struct!(CausalTree { nodes, n_features });
 
 struct Ctx<'a> {
     x: &'a Matrix,
@@ -280,6 +337,12 @@ pub struct CausalForestConfig {
     pub subsample: f64,
 }
 
+tinyjson::json_struct!(CausalForestConfig {
+    n_trees,
+    tree,
+    subsample
+});
+
 impl Default for CausalForestConfig {
     fn default() -> Self {
         CausalForestConfig {
@@ -295,6 +358,8 @@ impl Default for CausalForestConfig {
 pub struct CausalForest {
     trees: Vec<CausalTree>,
 }
+
+tinyjson::json_struct!(CausalForest { trees });
 
 impl CausalForest {
     /// Fits the forest on RCT data. Per-tree feature subsampling defaults

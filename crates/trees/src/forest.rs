@@ -15,6 +15,12 @@ pub struct RandomForestConfig {
     pub bootstrap: bool,
 }
 
+tinyjson::json_struct!(RandomForestConfig {
+    n_trees,
+    tree,
+    bootstrap
+});
+
 impl Default for RandomForestConfig {
     fn default() -> Self {
         RandomForestConfig {
@@ -34,6 +40,8 @@ impl Default for RandomForestConfig {
 pub struct RandomForest {
     trees: Vec<RegressionTree>,
 }
+
+tinyjson::json_struct!(RandomForest { trees });
 
 impl RandomForest {
     /// Fits the forest. When the per-tree `max_features` is `usize::MAX`,

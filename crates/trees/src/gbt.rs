@@ -22,6 +22,13 @@ pub struct GbtConfig {
     pub tree: TreeConfig,
 }
 
+tinyjson::json_struct!(GbtConfig {
+    n_stages,
+    shrinkage,
+    subsample,
+    tree
+});
+
 impl Default for GbtConfig {
     fn default() -> Self {
         GbtConfig {
@@ -46,6 +53,12 @@ pub struct GradientBoostedTrees {
     shrinkage: f64,
     stages: Vec<RegressionTree>,
 }
+
+tinyjson::json_struct!(GradientBoostedTrees {
+    base,
+    shrinkage,
+    stages
+});
 
 impl GradientBoostedTrees {
     /// Fits least-squares boosting on `(x, y)`.

@@ -3,6 +3,7 @@
 use crate::split::{candidate_thresholds, feature_subset, gather_feature, partition, Split};
 use linalg::random::Prng;
 use linalg::Matrix;
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// Hyperparameters for a single regression tree.
 #[derive(Debug, Clone)]
@@ -18,6 +19,14 @@ pub struct TreeConfig {
     /// Candidate thresholds evaluated per feature.
     pub max_thresholds: usize,
 }
+
+tinyjson::json_struct!(TreeConfig {
+    max_depth,
+    min_samples_split,
+    min_samples_leaf,
+    max_features,
+    max_thresholds
+});
 
 impl Default for TreeConfig {
     fn default() -> Self {
@@ -44,12 +53,60 @@ enum Node {
     },
 }
 
+impl ToJson for Node {
+    fn to_json(&self) -> Value {
+        match self {
+            Node::Leaf { value } => Value::Obj(vec![("Leaf".to_string(), value.to_json())]),
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Value::Obj(vec![(
+                "Split".to_string(),
+                Value::Arr(vec![
+                    feature.to_json(),
+                    threshold.to_json(),
+                    left.to_json(),
+                    right.to_json(),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Node {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_obj()? {
+            [(tag, inner)] if tag == "Leaf" => Ok(Node::Leaf {
+                value: inner.as_f64()?,
+            }),
+            [(tag, inner)] if tag == "Split" => match inner.as_arr()? {
+                [feature, threshold, left, right] => Ok(Node::Internal {
+                    feature: usize::from_json(feature)?,
+                    threshold: threshold.as_f64()?,
+                    left: usize::from_json(left)?,
+                    right: usize::from_json(right)?,
+                }),
+                _ => Err(JsonError::msg(
+                    "Node::Split: expected [feature, threshold, left, right]",
+                )),
+            },
+            _ => Err(JsonError::msg(
+                "Node: expected {\"Leaf\": ...} or {\"Split\": ...}",
+            )),
+        }
+    }
+}
+
 /// A fitted CART regression tree (arena-allocated nodes).
 #[derive(Debug, Clone)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     n_features: usize,
 }
+
+tinyjson::json_struct!(RegressionTree { nodes, n_features });
 
 struct FitCtx<'a> {
     x: &'a Matrix,
@@ -332,6 +389,32 @@ mod tests {
         let mut rng = Prng::seed_from_u64(6);
         let tree = RegressionTree::fit_all(&x, &y, &TreeConfig::default(), &mut rng);
         assert!((tree.predict_one(&[0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_predictions_and_config_sentinel() {
+        let mut rng = Prng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gaussian(), rng.uniform()])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 + r[1].sin()).collect();
+        let tree = RegressionTree::fit_all(&x, &y, &TreeConfig::default(), &mut rng);
+        let back = RegressionTree::from_json(
+            &tinyjson::from_str(&tinyjson::to_string(&tree.to_json())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(tree.predict(&x), back.predict(&x));
+
+        // `max_features: usize::MAX` is the "all features" sentinel; it
+        // must survive the f64-typed JSON number representation.
+        let cfg = TreeConfig::default();
+        let cfg_back = TreeConfig::from_json(
+            &tinyjson::from_str(&tinyjson::to_string(&cfg.to_json())).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(cfg_back.max_features, usize::MAX);
+        assert_eq!(cfg_back.max_depth, cfg.max_depth);
     }
 
     #[test]

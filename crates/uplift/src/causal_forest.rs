@@ -13,6 +13,8 @@ pub struct CausalForestUplift {
     forest: Option<CausalForest>,
 }
 
+tinyjson::json_struct!(CausalForestUplift { config, forest });
+
 impl CausalForestUplift {
     /// Creates an unfitted causal-forest uplift model.
     pub fn new(config: CausalForestConfig) -> Self {
@@ -31,6 +33,13 @@ impl CausalForestUplift {
 impl UpliftModel for CausalForestUplift {
     fn name(&self) -> String {
         "Causal Forest".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "CausalForest".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

@@ -106,11 +106,15 @@ pub struct DirectRank {
     state: Option<Fitted>,
 }
 
+tinyjson::json_struct!(DirectRank { config, state });
+
 #[derive(Debug, Clone)]
 struct Fitted {
     scaler: Standardizer,
     net: Mlp,
 }
+
+tinyjson::json_struct!(Fitted { scaler, net });
 
 impl DirectRank {
     /// Creates an unfitted Direct Rank model.
@@ -119,6 +123,12 @@ impl DirectRank {
             config,
             state: None,
         }
+    }
+
+    /// Feature dimension the fitted model consumes, or `None` before
+    /// fitting.
+    pub fn n_features(&self) -> Option<usize> {
+        self.state.as_ref().map(|s| s.net.input_dim())
     }
 
     /// MC-dropout statistics of the score (used by the "DR w/ MC"

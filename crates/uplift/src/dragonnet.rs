@@ -27,11 +27,19 @@ pub struct DragonNet {
     state: Option<Fitted>,
 }
 
+tinyjson::json_struct!(DragonNet {
+    config,
+    alpha,
+    state
+});
+
 #[derive(Debug, Clone)]
 struct Fitted {
     scaler: Standardizer,
     net: MultiHeadNet,
 }
+
+tinyjson::json_struct!(Fitted { scaler, net });
 
 impl DragonNet {
     /// Creates an unfitted DragonNet with propensity-loss weight `alpha`
@@ -49,6 +57,13 @@ impl DragonNet {
 impl UpliftModel for DragonNet {
     fn name(&self) -> String {
         "DragonNet".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "DragonNet".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

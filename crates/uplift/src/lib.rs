@@ -65,6 +65,15 @@ pub trait UpliftModel {
     /// # Panics
     /// Implementations panic if called before [`UpliftModel::fit`].
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Serializes the model (config + any fitted state) as a
+    /// single-key tagged JSON object, `{"<Tag>": <body>}`, or `None`
+    /// when the model does not support persistence. The tag namespace
+    /// is closed-world: [`tpm::component_from_tagged_json`] is the
+    /// matching decoder and must know every tag emitted here.
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        None
+    }
 }
 
 /// A model of per-individual ROI (the C-BTAP ranking score).

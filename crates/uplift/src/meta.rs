@@ -14,6 +14,8 @@ pub struct SLearner {
     model: Option<FittedRegressor>,
 }
 
+tinyjson::json_struct!(SLearner { base, model });
+
 impl SLearner {
     /// Creates an S-learner over the given base regressor.
     pub fn new(base: BaseLearner) -> Self {
@@ -24,6 +26,13 @@ impl SLearner {
 impl UpliftModel for SLearner {
     fn name(&self) -> String {
         "S-Learner".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "SLearner".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
@@ -53,6 +62,8 @@ pub struct TLearner {
     mu0: Option<FittedRegressor>,
 }
 
+tinyjson::json_struct!(TLearner { base, mu1, mu0 });
+
 impl TLearner {
     /// Creates a T-learner over the given base regressor.
     pub fn new(base: BaseLearner) -> Self {
@@ -75,6 +86,13 @@ fn select(v: &[f64], rows: &[usize]) -> Vec<f64> {
 impl UpliftModel for TLearner {
     fn name(&self) -> String {
         "T-Learner".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "TLearner".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {
@@ -116,6 +134,13 @@ pub struct XLearner {
     propensity: f64,
 }
 
+tinyjson::json_struct!(XLearner {
+    base,
+    tau1,
+    tau0,
+    propensity
+});
+
 impl XLearner {
     /// Creates an X-learner over the given base regressor.
     pub fn new(base: BaseLearner) -> Self {
@@ -131,6 +156,13 @@ impl XLearner {
 impl UpliftModel for XLearner {
     fn name(&self) -> String {
         "X-Learner".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "XLearner".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

@@ -28,6 +28,18 @@ pub struct NetConfig {
     pub weight_decay: f64,
 }
 
+tinyjson::json_struct!(NetConfig {
+    hidden,
+    rep_dim,
+    head_hidden,
+    epochs,
+    batch_size,
+    lr,
+    dropout,
+    grad_clip,
+    weight_decay
+});
+
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {

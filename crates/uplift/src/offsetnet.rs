@@ -23,11 +23,15 @@ pub struct OffsetNet {
     state: Option<Fitted>,
 }
 
+tinyjson::json_struct!(OffsetNet { config, state });
+
 #[derive(Debug, Clone)]
 struct Fitted {
     scaler: Standardizer,
     net: MultiHeadNet,
 }
+
+tinyjson::json_struct!(Fitted { scaler, net });
 
 impl OffsetNet {
     /// Creates an unfitted OffsetNet.
@@ -42,6 +46,13 @@ impl OffsetNet {
 impl UpliftModel for OffsetNet {
     fn name(&self) -> String {
         "OffsetNet".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "OffsetNet".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

@@ -2,6 +2,7 @@
 
 use linalg::random::Prng;
 use linalg::{solve, Matrix};
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 use trees::{GbtConfig, GradientBoostedTrees, RandomForest, RandomForestConfig};
 
 /// Which base regressor a meta-learner uses for its outcome models.
@@ -18,6 +19,36 @@ pub enum BaseLearner {
     Forest(RandomForestConfig),
     /// Gradient-boosted trees (least-squares boosting).
     Boosted(GbtConfig),
+}
+
+impl ToJson for BaseLearner {
+    fn to_json(&self) -> Value {
+        let (tag, inner) = match self {
+            BaseLearner::Ridge { lambda } => ("Ridge", lambda.to_json()),
+            BaseLearner::Forest(c) => ("Forest", c.to_json()),
+            BaseLearner::Boosted(c) => ("Boosted", c.to_json()),
+        };
+        Value::Obj(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl FromJson for BaseLearner {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_obj()? {
+            [(tag, inner)] if tag == "Ridge" => Ok(BaseLearner::Ridge {
+                lambda: inner.as_f64()?,
+            }),
+            [(tag, inner)] if tag == "Forest" => {
+                Ok(BaseLearner::Forest(RandomForestConfig::from_json(inner)?))
+            }
+            [(tag, inner)] if tag == "Boosted" => {
+                Ok(BaseLearner::Boosted(GbtConfig::from_json(inner)?))
+            }
+            _ => Err(JsonError::msg(
+                "BaseLearner: expected {\"Ridge\"|\"Forest\"|\"Boosted\": ...}",
+            )),
+        }
+    }
 }
 
 impl BaseLearner {
@@ -75,6 +106,36 @@ pub enum FittedRegressor {
     Forest(RandomForest),
     /// A fitted gradient-boosted ensemble.
     Boosted(GradientBoostedTrees),
+}
+
+impl ToJson for FittedRegressor {
+    fn to_json(&self) -> Value {
+        let (tag, inner) = match self {
+            FittedRegressor::Ridge { beta } => ("Ridge", beta.to_json()),
+            FittedRegressor::Forest(f) => ("Forest", f.to_json()),
+            FittedRegressor::Boosted(g) => ("Boosted", g.to_json()),
+        };
+        Value::Obj(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl FromJson for FittedRegressor {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_obj()? {
+            [(tag, inner)] if tag == "Ridge" => Ok(FittedRegressor::Ridge {
+                beta: Vec::<f64>::from_json(inner)?,
+            }),
+            [(tag, inner)] if tag == "Forest" => {
+                Ok(FittedRegressor::Forest(RandomForest::from_json(inner)?))
+            }
+            [(tag, inner)] if tag == "Boosted" => Ok(FittedRegressor::Boosted(
+                GradientBoostedTrees::from_json(inner)?,
+            )),
+            _ => Err(JsonError::msg(
+                "FittedRegressor: expected {\"Ridge\"|\"Forest\"|\"Boosted\": ...}",
+            )),
+        }
+    }
 }
 
 impl FittedRegressor {

@@ -26,6 +26,12 @@ pub struct RLearner {
     beta: Option<Vec<f64>>,
 }
 
+tinyjson::json_struct!(RLearner {
+    outcome_base,
+    tau_ridge,
+    beta
+});
+
 impl RLearner {
     /// Creates an R-learner with the given first-stage outcome model and
     /// final-stage ridge penalty.
@@ -42,6 +48,13 @@ impl RLearner {
 impl UpliftModel for RLearner {
     fn name(&self) -> String {
         "R-Learner".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "RLearner".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

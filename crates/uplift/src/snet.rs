@@ -34,6 +34,8 @@ pub struct SNet {
     state: Option<Fitted>,
 }
 
+tinyjson::json_struct!(SNet { config, state });
+
 #[derive(Debug, Clone)]
 struct Nets {
     phi_shared: Mlp,
@@ -42,6 +44,14 @@ struct Nets {
     h0: Mlp,
     h1: Mlp,
 }
+
+tinyjson::json_struct!(Nets {
+    phi_shared,
+    phi_control,
+    phi_treated,
+    h0,
+    h1
+});
 
 impl Parameterized for Nets {
     fn visit_param_tensors(&mut self, f: &mut dyn FnMut(&mut [f64], &[f64])) {
@@ -58,6 +68,8 @@ struct Fitted {
     scaler: Standardizer,
     nets: Nets,
 }
+
+tinyjson::json_struct!(Fitted { scaler, nets });
 
 impl SNet {
     /// Creates an unfitted SNet. The shared factor gets `rep_dim` units
@@ -111,6 +123,13 @@ fn split_concat_grad(grad: &Matrix, shared_dim: usize) -> (Matrix, Matrix) {
 impl UpliftModel for SNet {
     fn name(&self) -> String {
         "SNet".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "SNet".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

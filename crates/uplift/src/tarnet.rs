@@ -25,11 +25,15 @@ pub struct TarNet {
     state: Option<Fitted>,
 }
 
+tinyjson::json_struct!(TarNet { config, state });
+
 #[derive(Debug, Clone)]
 struct Fitted {
     scaler: Standardizer,
     net: MultiHeadNet,
 }
+
+tinyjson::json_struct!(Fitted { scaler, net });
 
 impl TarNet {
     /// Creates an unfitted TARNet.
@@ -44,6 +48,13 @@ impl TarNet {
 impl UpliftModel for TarNet {
     fn name(&self) -> String {
         "TARNet".to_string()
+    }
+
+    fn to_tagged_json(&self) -> Option<tinyjson::Value> {
+        Some(tinyjson::Value::Obj(vec![(
+            "TarNet".to_string(),
+            tinyjson::ToJson::to_json(self),
+        )]))
     }
 
     fn fit(&mut self, x: &Matrix, t: &[u8], y: &[f64], rng: &mut Prng) -> Result<(), FitError> {

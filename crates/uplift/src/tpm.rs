@@ -9,10 +9,11 @@
 
 use crate::causal_forest::CausalForestUplift;
 use crate::dragonnet::DragonNet;
-use crate::meta::{SLearner, XLearner};
+use crate::meta::{SLearner, TLearner, XLearner};
 use crate::nnutil::NetConfig;
 use crate::offsetnet::OffsetNet;
 use crate::regressor::BaseLearner;
+use crate::rlearner::RLearner;
 use crate::snet::SNet;
 use crate::tarnet::TarNet;
 use crate::{FitError, RoiModel, UpliftModel};
@@ -20,6 +21,7 @@ use datasets::RctDataset;
 use linalg::random::Prng;
 use linalg::vector::safe_div;
 use linalg::Matrix;
+use tinyjson::{FromJson, JsonError, ToJson, Value};
 
 /// Floor on the predicted cost uplift when forming the ratio.
 const COST_FLOOR: f64 = 1e-4;
@@ -27,9 +29,10 @@ const COST_FLOOR: f64 = 1e-4;
 /// A two-phase ROI model over any pair of uplift models.
 pub struct Tpm {
     label: String,
-    revenue: Box<dyn UpliftModel + Send>,
-    cost: Box<dyn UpliftModel + Send>,
+    revenue: Box<dyn UpliftModel + Send + Sync>,
+    cost: Box<dyn UpliftModel + Send + Sync>,
     fitted: bool,
+    n_features: Option<usize>,
 }
 
 impl Tpm {
@@ -37,15 +40,27 @@ impl Tpm {
     /// Table I name suffix (e.g. "SL" gives "TPM-SL").
     pub fn new(
         label: &str,
-        revenue: Box<dyn UpliftModel + Send>,
-        cost: Box<dyn UpliftModel + Send>,
+        revenue: Box<dyn UpliftModel + Send + Sync>,
+        cost: Box<dyn UpliftModel + Send + Sync>,
     ) -> Self {
         Tpm {
             label: label.to_string(),
             revenue,
             cost,
             fitted: false,
+            n_features: None,
         }
+    }
+
+    /// The Table I name suffix this TPM was built with (e.g. `"SL"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Feature dimension the fitted model consumes, or `None` before
+    /// fitting.
+    pub fn n_features(&self) -> Option<usize> {
+        self.n_features
     }
 
     /// TPM-SL: S-learners with random-forest bases. (A linear base would
@@ -126,6 +141,74 @@ impl Tpm {
     }
 }
 
+/// Decodes a `{"<Tag>": <body>}` value produced by
+/// [`UpliftModel::to_tagged_json`] back into a boxed component model.
+/// The tag set is closed-world: every serializable [`UpliftModel`] must
+/// appear here, or round-tripping a [`Tpm`] built from it will fail.
+///
+/// # Errors
+/// [`JsonError`] on an unknown tag or a malformed body.
+pub fn component_from_tagged_json(
+    v: &Value,
+) -> Result<Box<dyn UpliftModel + Send + Sync>, JsonError> {
+    match v.as_obj()? {
+        [(tag, inner)] => match tag.as_str() {
+            "SLearner" => Ok(Box::new(SLearner::from_json(inner)?)),
+            "TLearner" => Ok(Box::new(TLearner::from_json(inner)?)),
+            "XLearner" => Ok(Box::new(XLearner::from_json(inner)?)),
+            "RLearner" => Ok(Box::new(RLearner::from_json(inner)?)),
+            "CausalForest" => Ok(Box::new(CausalForestUplift::from_json(inner)?)),
+            "DragonNet" => Ok(Box::new(DragonNet::from_json(inner)?)),
+            "TarNet" => Ok(Box::new(TarNet::from_json(inner)?)),
+            "OffsetNet" => Ok(Box::new(OffsetNet::from_json(inner)?)),
+            "SNet" => Ok(Box::new(SNet::from_json(inner)?)),
+            other => Err(JsonError::msg(format!(
+                "uplift component: unknown tag {other:?}"
+            ))),
+        },
+        _ => Err(JsonError::msg(
+            "uplift component: expected a single-key tagged object",
+        )),
+    }
+}
+
+impl ToJson for Tpm {
+    /// # Panics
+    /// Panics when a component model does not implement
+    /// [`UpliftModel::to_tagged_json`] (every model built by the `Tpm`
+    /// constructors does).
+    fn to_json(&self) -> Value {
+        let tagged = |m: &(dyn UpliftModel + Send + Sync)| {
+            m.to_tagged_json()
+                .unwrap_or_else(|| panic!("Tpm: component {} is not serializable", m.name()))
+        };
+        Value::Obj(vec![
+            ("label".to_string(), self.label.to_json()),
+            ("revenue".to_string(), tagged(self.revenue.as_ref())),
+            ("cost".to_string(), tagged(self.cost.as_ref())),
+            ("fitted".to_string(), self.fitted.to_json()),
+            ("n_features".to_string(), self.n_features.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Tpm {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let label = String::from_json(v.fetch("label"))?;
+        let revenue = component_from_tagged_json(v.fetch("revenue"))?;
+        let cost = component_from_tagged_json(v.fetch("cost"))?;
+        let fitted = bool::from_json(v.fetch("fitted"))?;
+        let n_features = Option::<usize>::from_json(v.fetch("n_features"))?;
+        Ok(Tpm {
+            label,
+            revenue,
+            cost,
+            fitted,
+            n_features,
+        })
+    }
+}
+
 impl RoiModel for Tpm {
     fn name(&self) -> String {
         format!("TPM-{}", self.label)
@@ -141,6 +224,7 @@ impl RoiModel for Tpm {
         self.revenue.fit(&data.x, &data.t, &data.y_r, rng)?;
         self.cost.fit(&data.x, &data.t, &data.y_c, rng)?;
         self.fitted = true;
+        self.n_features = Some(data.x.cols());
         Ok(())
     }
 

@@ -1,0 +1,159 @@
+//! Round-trip property tests for the versioned artifact layer.
+//!
+//! Every registered method must survive fit → save → load with
+//! bitwise-identical scores: the serving layer hot-swaps artifacts by
+//! tag, so a loaded model that scores even one ULP differently from the
+//! model that produced it would silently corrupt experiments.
+
+use datasets::{CriteoLike, ExperimentData, Setting, SettingSizes};
+use linalg::random::Prng;
+use rdrp::{DrpConfig, MethodConfig, RdrpConfig};
+use uplift::NetConfig;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "rdrp_artifact_{}_{}.json",
+        name.replace('-', "_"),
+        std::process::id()
+    ))
+}
+
+/// Cheap hyperparameters: enough training to make weights non-trivial,
+/// small enough to keep 13 fits fast.
+fn cheap_config() -> MethodConfig {
+    MethodConfig {
+        net: NetConfig {
+            epochs: 3,
+            ..NetConfig::default()
+        },
+        rdrp: RdrpConfig {
+            drp: DrpConfig {
+                epochs: 3,
+                ..DrpConfig::default()
+            },
+            mc_passes: 5,
+            ..RdrpConfig::default()
+        },
+        bootstrap_models: 2,
+    }
+}
+
+fn tiny_data(seed: u64) -> ExperimentData {
+    let sizes = SettingSizes {
+        train_sufficient: 600,
+        insufficient_fraction: 0.15,
+        calibration: 400,
+        test: 200,
+    };
+    let mut rng = Prng::seed_from_u64(seed);
+    ExperimentData::build(&CriteoLike::new(), Setting::SuNo, &sizes, &mut rng)
+}
+
+#[test]
+fn every_registered_method_roundtrips_bitwise() {
+    let data = tiny_data(9001);
+    let config = cheap_config();
+    let obs = obs::Obs::disabled();
+    for name in rdrp::method_names() {
+        let mut method = rdrp::build(name, &config).expect(name);
+        let mut rng = Prng::seed_from_u64(42);
+        method
+            .fit(&data.train, &data.calibration, &mut rng, &obs)
+            .expect(name);
+        let before = method.scores_fresh(&data.test.x, &obs);
+        let before_intervals = method.intervals(&data.test.x);
+
+        let path = tmp_path(name);
+        rdrp::save_method(method.as_ref(), &path).expect(name);
+        let loaded = rdrp::load_method(&path).expect(name);
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(loaded.method_name(), name);
+        assert_eq!(loaded.label(), method.label(), "{name}");
+        assert_eq!(
+            loaded.n_features(),
+            Some(data.test.x.cols()),
+            "{name}: loaded artifact lost its input width"
+        );
+        let after = loaded.scores_fresh(&data.test.x, &obs);
+        assert_eq!(before.len(), after.len(), "{name}");
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!(
+                b.to_bits() == a.to_bits(),
+                "{name}: score {i} drifted across the round trip: {b} vs {a}"
+            );
+        }
+        match (before_intervals, loaded.intervals(&data.test.x)) {
+            (None, None) => {}
+            (Some(bi), Some(ai)) => {
+                assert_eq!(bi.len(), ai.len(), "{name}");
+                for (b, a) in bi.iter().zip(&ai) {
+                    assert!(
+                        b.lo.to_bits() == a.lo.to_bits() && b.hi.to_bits() == a.hi.to_bits(),
+                        "{name}: interval drifted: [{}, {}] vs [{}, {}]",
+                        b.lo,
+                        b.hi,
+                        a.lo,
+                        a.hi
+                    );
+                }
+            }
+            (b, a) => panic!(
+                "{name}: interval support changed across round trip: {} vs {}",
+                b.is_some(),
+                a.is_some()
+            ),
+        }
+    }
+}
+
+#[test]
+fn artifacts_declare_their_tag_and_format_version() {
+    let data = tiny_data(9002);
+    let config = cheap_config();
+    let obs = obs::Obs::disabled();
+    // One representative per family; the full loop above covers fidelity.
+    for name in ["tpm-sl", "dr", "drp-mc", "rdrp", "bootstrap-drp"] {
+        let mut method = rdrp::build(name, &config).expect(name);
+        let mut rng = Prng::seed_from_u64(7);
+        method
+            .fit(&data.train, &data.calibration, &mut rng, &obs)
+            .expect(name);
+        let path = tmp_path(&format!("tag_{name}"));
+        rdrp::save_method(method.as_ref(), &path).expect(name);
+        let text = std::fs::read_to_string(&path).expect(name);
+        let _ = std::fs::remove_file(&path);
+        let value = tinyjson::parse(&text).expect(name);
+        let (tag, _body) = rdrp::artifact::decode(&value).expect(name);
+        assert_eq!(tag, name);
+        assert_eq!(
+            value.fetch("format_version").as_f64().ok(),
+            Some(rdrp::FORMAT_VERSION as f64),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn loading_a_tampered_tag_is_a_typed_error_naming_known_methods() {
+    let data = tiny_data(9003);
+    let obs = obs::Obs::disabled();
+    let mut method = rdrp::build("dr", &cheap_config()).unwrap();
+    let mut rng = Prng::seed_from_u64(11);
+    method
+        .fit(&data.train, &data.calibration, &mut rng, &obs)
+        .unwrap();
+    let path = tmp_path("tampered");
+    rdrp::save_method(method.as_ref(), &path).unwrap();
+    let text = std::fs::read_to_string(&path)
+        .unwrap()
+        .replace("\"dr\"", "\"causal-transformer\"");
+    std::fs::write(&path, text).unwrap();
+    let err = rdrp::load_method(&path).unwrap_err();
+    let _ = std::fs::remove_file(&path);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("causal-transformer") && msg.contains("rdrp"),
+        "error should name the bad tag and the known methods: {msg}"
+    );
+}

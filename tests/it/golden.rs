@@ -1,0 +1,125 @@
+//! Golden-artifact compatibility tests.
+//!
+//! One committed artifact fixture per method family, loaded and scored
+//! against committed expected scores, byte-for-byte. These catch
+//! accidental format breaks: if a codec change makes old artifacts
+//! unreadable (or readable-but-different), the fix is either to make
+//! the change backwards-compatible or to bump
+//! [`rdrp::FORMAT_VERSION`] and regenerate.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```text
+//! cargo test -p integration --test golden -- --ignored regenerate
+//! ```
+
+use datasets::{CriteoLike, ExperimentData, Setting, SettingSizes};
+use linalg::random::Prng;
+use rdrp::{DrpConfig, MethodConfig, RdrpConfig};
+use std::path::PathBuf;
+use uplift::NetConfig;
+
+/// One representative per artifact family (classical TPM, neural TPM,
+/// ranking net with MC sweep, ROI net, conformalised ROI net, bootstrap
+/// ensemble). Fidelity across *all* registered methods is covered by
+/// the round-trip suite in `artifacts.rs`; this file pins the on-disk
+/// format over time instead.
+const FAMILIES: [&str; 6] = [
+    "tpm-sl",
+    "tpm-tarnet",
+    "dr-mc",
+    "drp",
+    "rdrp",
+    "bootstrap-drp",
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/artifacts")
+}
+
+/// Small nets keep the committed fixtures a few hundred KB total.
+fn golden_config() -> MethodConfig {
+    MethodConfig {
+        net: NetConfig {
+            epochs: 3,
+            hidden: 8,
+            rep_dim: 8,
+            head_hidden: 4,
+            ..NetConfig::default()
+        },
+        rdrp: RdrpConfig {
+            drp: DrpConfig {
+                epochs: 3,
+                hidden: 8,
+                ..DrpConfig::default()
+            },
+            mc_passes: 5,
+            ..RdrpConfig::default()
+        },
+        bootstrap_models: 2,
+    }
+}
+
+fn golden_data() -> ExperimentData {
+    let sizes = SettingSizes {
+        train_sufficient: 600,
+        insufficient_fraction: 0.15,
+        calibration: 400,
+        test: 100,
+    };
+    let mut rng = Prng::seed_from_u64(777);
+    ExperimentData::build(&CriteoLike::new(), Setting::SuNo, &sizes, &mut rng)
+}
+
+#[test]
+fn golden_artifacts_load_and_score_byte_for_byte() {
+    let data = golden_data();
+    let obs = obs::Obs::disabled();
+    for name in FAMILIES {
+        let artifact = fixture_dir().join(format!("{name}.json"));
+        let expected = fixture_dir().join(format!("{name}.scores.json"));
+        assert!(
+            artifact.is_file() && expected.is_file(),
+            "{name}: missing golden fixture; run \
+             `cargo test -p integration --test golden -- --ignored regenerate`"
+        );
+        let method = rdrp::load_method(&artifact)
+            .unwrap_or_else(|e| panic!("{name}: golden artifact no longer loads: {e}"));
+        assert_eq!(method.method_name(), name);
+        let scores = method.scores_fresh(&data.test.x, &obs);
+        let want: Vec<f64> =
+            tinyjson::from_str(&std::fs::read_to_string(&expected).expect(name)).expect(name);
+        assert_eq!(scores.len(), want.len(), "{name}");
+        for (i, (got, exp)) in scores.iter().zip(&want).enumerate() {
+            assert!(
+                got.to_bits() == exp.to_bits(),
+                "{name}: score {i} diverged from the golden fixture: \
+                 got {got}, expected {exp}. If the format change was \
+                 intentional, bump FORMAT_VERSION and regenerate."
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "regenerates the committed golden fixtures; run only after an intentional format change"]
+fn regenerate() {
+    let data = golden_data();
+    let config = golden_config();
+    let obs = obs::Obs::disabled();
+    std::fs::create_dir_all(fixture_dir()).unwrap();
+    for name in FAMILIES {
+        let mut method = rdrp::build(name, &config).expect(name);
+        let mut rng = Prng::seed_from_u64(1234);
+        method
+            .fit(&data.train, &data.calibration, &mut rng, &obs)
+            .expect(name);
+        rdrp::save_method(method.as_ref(), fixture_dir().join(format!("{name}.json"))).expect(name);
+        let scores = method.scores_fresh(&data.test.x, &obs);
+        std::fs::write(
+            fixture_dir().join(format!("{name}.scores.json")),
+            tinyjson::to_string_pretty(&scores),
+        )
+        .expect(name);
+    }
+}
