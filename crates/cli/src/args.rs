@@ -394,6 +394,22 @@ pub struct ServeArgs {
     pub queue_rows: usize,
     /// Requests kept in flight per connection.
     pub window: usize,
+    /// Enable serve-side online conformal calibration: feedback lines
+    /// feed a rolling calibration window and a drift detector that
+    /// hot-swaps a recalibrated artifact through the registry.
+    pub online_calibration: bool,
+    /// Training-reference RCT CSV the drift detector compares incoming
+    /// feature rows against (required with `--online-calibration`).
+    pub reference: Option<String>,
+    /// Rolling feedback-window capacity (scores kept for the online
+    /// quantile).
+    pub calibration_window: usize,
+    /// Drift-detector batch size: rows accumulated per SMD comparison.
+    pub drift_batch: usize,
+    /// EWMA-smoothed SMD level that counts as drift.
+    pub drift_threshold: f64,
+    /// CSV column names for the reference file.
+    pub schema: SchemaFlags,
     /// Trace/verbosity flags.
     pub obs: ObsFlags,
 }
@@ -412,8 +428,13 @@ impl ServeArgs {
                 "max-wait-us",
                 "queue-rows",
                 "window",
+                "online-calibration",
+                "reference",
+                "calibration-window",
+                "drift-batch",
+                "drift-threshold",
             ],
-            &[&OBS_FLAGS],
+            &[&OBS_FLAGS, &SCHEMA_FLAGS],
         ))?;
         let parsed = ServeArgs {
             model: args.require("model")?.to_string(),
@@ -429,11 +450,19 @@ impl ServeArgs {
             max_wait: Duration::from_micros(args.get_or("max-wait-us", 500)?),
             queue_rows: args.get_or("queue-rows", 16_384)?,
             window: args.get_or("window", 32)?,
+            online_calibration: args.get_or("online-calibration", false)?,
+            reference: args.get("reference").map(str::to_string),
+            calibration_window: args.get_or("calibration-window", 256)?,
+            drift_batch: args.get_or("drift-batch", 64)?,
+            drift_threshold: args.get_or("drift-threshold", 0.25)?,
+            schema: SchemaFlags::from_args(args),
             obs: ObsFlags::from_args(args)?,
         };
         for (flag, value) in [
             ("max-batch-rows", parsed.max_batch_rows),
             ("queue-rows", parsed.queue_rows),
+            ("calibration-window", parsed.calibration_window),
+            ("drift-batch", parsed.drift_batch),
         ] {
             if value == 0 {
                 return Err(ArgError::BadValue {
@@ -441,6 +470,15 @@ impl ServeArgs {
                     value: "0".to_string(),
                 });
             }
+        }
+        if !(parsed.drift_threshold > 0.0 && parsed.drift_threshold.is_finite()) {
+            return Err(ArgError::BadValue {
+                flag: "drift-threshold".to_string(),
+                value: parsed.drift_threshold.to_string(),
+            });
+        }
+        if parsed.online_calibration && parsed.reference.is_none() {
+            return Err(ArgError::MissingFlag("reference".to_string()));
         }
         Ok(parsed)
     }

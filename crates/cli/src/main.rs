@@ -36,7 +36,10 @@ use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, 
 use linalg::random::Prng;
 use obs::{InMemoryRecorder, Obs};
 use rdrp::{DrpConfig, RdrpConfig};
-use serve::{run_jsonl, EngineConfig, ModelRegistry, ScoringEngine};
+use serve::{
+    run_jsonl, CalibrationMonitor, CalibrationMonitorConfig, EngineConfig, ModelRegistry,
+    ScoringEngine,
+};
 use std::fmt;
 use std::io::Write as _;
 use std::net::TcpListener;
@@ -97,7 +100,7 @@ fn usage() -> String {
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
      rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
-     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
      --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
@@ -105,6 +108,8 @@ fn usage() -> String {
         + "\n\
      serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
      the model file's embedded method tag picks the served model type;\n\
+     with --online-calibration, feedback lines ({\"id\": ..., \"row\": [...], \"outcome\": F}) feed a rolling conformal window\n\
+     and a drift detector (reference features from --reference) that hot-swaps a recalibrated artifact on drift;\n\
      --trace-out dumps the run's JSON trace (counters, histograms, events); -v prints a metrics summary table"
 }
 
@@ -340,7 +345,7 @@ fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
 }
 
 fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
-    let registry = ModelRegistry::new();
+    let registry = Arc::new(ModelRegistry::new());
     registry
         .load(&a.name, &a.model_version, &a.model)
         .map_err(data_err)?;
@@ -355,6 +360,36 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
         },
         cli_obs.obs.clone(),
     );
+    if a.online_calibration {
+        // `--reference` presence is enforced at arg validation.
+        let path = a.reference.as_deref().unwrap_or_default();
+        let refdata = read_rct_csv(path, &csv_schema(&a.schema)).map_err(data_err)?;
+        let reference = datasets::FeatureReference::from_dataset(&refdata).map_err(data_err)?;
+        let monitor = CalibrationMonitor::new(
+            Arc::clone(&registry),
+            reference,
+            CalibrationMonitorConfig {
+                model: a.name.clone(),
+                base_version: a.model_version.clone(),
+                online: conformal::OnlineConformalConfig {
+                    window: a.calibration_window,
+                    ..conformal::OnlineConformalConfig::default()
+                },
+                drift: datasets::DriftDetectorConfig {
+                    batch_rows: a.drift_batch,
+                    threshold: a.drift_threshold,
+                    ..datasets::DriftDetectorConfig::default()
+                },
+            },
+            cli_obs.obs.clone(),
+        )
+        .map_err(data_err)?;
+        engine.attach_monitor(Arc::new(monitor));
+        eprintln!(
+            "online calibration on (window {}, drift batch {}, threshold {})",
+            a.calibration_window, a.drift_batch, a.drift_threshold
+        );
+    }
     match &a.tcp {
         // stdin/stdout mode: the protocol owns stdout, diagnostics go to
         // stderr. EOF on stdin drains in-flight requests and exits.

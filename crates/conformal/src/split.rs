@@ -1,9 +1,25 @@
 //! Split conformal prediction: calibrate once, predict intervals forever.
 
+use crate::error::ConformalError;
 use crate::score::scaled_scores;
 use linalg::stats::conformal_quantile;
 
 /// A prediction interval `[lo, hi]`.
+///
+/// # NaN contract
+///
+/// A *well-formed* interval has non-NaN endpoints with `lo <= hi`
+/// (infinite endpoints are fine — they are how conformal prediction says
+/// "covers everything"). Every constructor in this crate upholds that:
+/// [`SplitConformal::interval`] maps NaN inputs to the conservative
+/// infinite interval instead of manufacturing NaN endpoints. For
+/// intervals built by hand, [`Interval::is_well_formed`] checks the
+/// invariant; on a malformed interval, [`Interval::contains`] is always
+/// `false` (IEEE comparisons with NaN are false — the interval covers
+/// nothing, the *anti*-conservative direction) and [`Interval::clamp_to`]
+/// collapses NaN endpoints onto the clip bounds. Code that cannot rule
+/// out NaN upstream must check `is_well_formed` rather than rely on those
+/// fallbacks.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Lower endpoint.
@@ -20,17 +36,36 @@ impl Interval {
         self.hi - self.lo
     }
 
-    /// Whether `value` lies inside the closed interval.
+    /// Whether the endpoints are non-NaN and ordered (`lo <= hi`). See
+    /// the type-level NaN contract.
+    pub fn is_well_formed(&self) -> bool {
+        // `lo <= hi` is false when either endpoint is NaN, so this single
+        // comparison checks both halves of the invariant.
+        self.lo <= self.hi
+    }
+
+    /// Whether `value` lies inside the closed interval. Always `false`
+    /// for a NaN `value` or a malformed interval (see the NaN contract).
     pub fn contains(&self, value: f64) -> bool {
         self.lo <= value && value <= self.hi
     }
 
     /// Intersects the interval with `[lo, hi]` (used to clip ROI intervals
     /// to the paper's (0, 1) range). If the clip empties the interval it
-    /// collapses to the nearest clip endpoint.
+    /// collapses to the nearest clip endpoint. NaN endpoints are treated
+    /// as "unknown" and collapse onto the clip bounds (`f64::clamp` maps
+    /// NaN input to neither bound, so they are replaced explicitly).
     pub fn clamp_to(&self, lo: f64, hi: f64) -> Interval {
-        let a = self.lo.clamp(lo, hi);
-        let b = self.hi.clamp(lo, hi);
+        let a = if self.lo.is_nan() {
+            lo
+        } else {
+            self.lo.clamp(lo, hi)
+        };
+        let b = if self.hi.is_nan() {
+            hi
+        } else {
+            self.hi.clamp(lo, hi)
+        };
         Interval {
             lo: a.min(b),
             hi: b.max(a),
@@ -59,18 +94,31 @@ impl SplitConformal {
     /// Calibrates on `(truths, preds, scales)` from the calibration set at
     /// miscoverage level `alpha`.
     ///
-    /// Returns an error if the calibration set is empty or `alpha` is
-    /// outside `(0, 1)`. A calibration set too small for the requested
-    /// coverage produces an *infinite* `q̂` (intervals cover everything) —
-    /// conservative, per the standard conformal convention.
+    /// A calibration set too small for the requested coverage produces an
+    /// *infinite* `q̂` (intervals cover everything) — conservative, per
+    /// the standard conformal convention. With `n = 0` there is no
+    /// quantile at all, not even an infinite one, so the empty set is a
+    /// typed error rather than a silent `+∞`.
+    ///
+    /// # Errors
+    /// [`ConformalError::Empty`] on an empty calibration set,
+    /// [`ConformalError::InvalidAlpha`] when `alpha` is outside `(0, 1)`,
+    /// and [`ConformalError::NonFiniteScores`] when any score comes out
+    /// NaN (a NaN truth or prediction; a NaN *scale* is rescued by the
+    /// floor, since IEEE `max` returns the non-NaN operand — that yields
+    /// a huge, conservative score rather than a poisoned quantile).
     pub fn calibrate(
         truths: &[f64],
         preds: &[f64],
         scales: &[f64],
         alpha: f64,
         scale_floor: f64,
-    ) -> Result<Self, linalg::Error> {
+    ) -> Result<Self, ConformalError> {
         let scores = scaled_scores(truths, preds, scales, scale_floor);
+        let non_finite = scores.iter().filter(|s| s.is_nan()).count();
+        if non_finite > 0 {
+            return Err(ConformalError::NonFiniteScores { count: non_finite });
+        }
         let qhat = conformal_quantile(&scores, alpha)?;
         Ok(SplitConformal {
             qhat,
@@ -81,7 +129,8 @@ impl SplitConformal {
     }
 
     /// Builds a predictor directly from a known quantile (used in tests
-    /// and by callers that compute scores themselves).
+    /// and by callers that compute scores themselves — e.g. the online
+    /// recalibration path promoting a rolling-window quantile).
     pub fn from_quantile(qhat: f64, alpha: f64, n_calibration: usize, scale_floor: f64) -> Self {
         SplitConformal {
             qhat,
@@ -107,12 +156,24 @@ impl SplitConformal {
     }
 
     /// Interval for one test point: `[pred − scale·q̂, pred + scale·q̂]`.
+    ///
+    /// Guards the NaN contract: a NaN `pred` or `scale` (or a `0 · ∞`
+    /// product with an infinite `q̂`) yields the conservative infinite
+    /// interval instead of NaN endpoints, so the result is always
+    /// [`Interval::is_well_formed`]. Losing coverage silently is the one
+    /// failure mode conformal prediction exists to prevent; covering
+    /// everything is the honest way to say "this input told us nothing".
     pub fn interval(&self, pred: f64, scale: f64) -> Interval {
         let half = scale.max(self.scale_floor) * self.qhat;
-        Interval {
-            lo: pred - half,
-            hi: pred + half,
+        let lo = pred - half;
+        let hi = pred + half;
+        if lo.is_nan() || hi.is_nan() {
+            return Interval {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+            };
         }
+        Interval { lo, hi }
     }
 
     /// Intervals for a batch of test points.
@@ -193,13 +254,41 @@ mod tests {
         assert!(rate <= 0.95, "coverage {rate}");
     }
 
+    // Regression: the n ∈ {0, 1, 2} empty/tiny-calibration ladder. n = 0
+    // is a typed error (there is no quantile); n = 1 and n = 2 calibrate
+    // but the rank ⌈(1−α)(n+1)⌉ exceeds n at α = 0.1, so q̂ = +∞ and the
+    // intervals are conservative, never NaN.
+    #[test]
+    fn empty_calibration_is_a_typed_error_not_nan() {
+        let err = SplitConformal::calibrate(&[], &[], &[], 0.1, 1e-9).unwrap_err();
+        assert_eq!(err, ConformalError::Empty);
+    }
+
     #[test]
     fn tiny_calibration_set_gives_infinite_quantile() {
-        let cp = SplitConformal::calibrate(&[1.0], &[0.9], &[0.1], 0.1, 1e-9).unwrap();
-        assert!(cp.qhat().is_infinite());
-        let iv = cp.interval(0.5, 0.1);
-        assert!(iv.lo.is_infinite() && iv.lo < 0.0);
-        assert!(iv.hi.is_infinite() && iv.hi > 0.0);
+        for n in [1usize, 2] {
+            let truths = vec![1.0; n];
+            let preds = vec![0.9; n];
+            let scales = vec![0.1; n];
+            let cp = SplitConformal::calibrate(&truths, &preds, &scales, 0.1, 1e-9).unwrap();
+            assert!(cp.qhat().is_infinite(), "n = {n}");
+            assert_eq!(cp.n_calibration(), n);
+            let iv = cp.interval(0.5, 0.1);
+            assert!(iv.is_well_formed());
+            assert!(iv.lo.is_infinite() && iv.lo < 0.0);
+            assert!(iv.hi.is_infinite() && iv.hi > 0.0);
+        }
+    }
+
+    #[test]
+    fn nan_scores_are_a_typed_error() {
+        let err = SplitConformal::calibrate(&[1.0, f64::NAN], &[0.5, 0.5], &[0.1, 0.1], 0.1, 1e-9)
+            .unwrap_err();
+        assert_eq!(err, ConformalError::NonFiniteScores { count: 1 });
+        // A NaN *scale* is rescued by the floor (IEEE max returns the
+        // non-NaN operand): a huge conservative score, not an error.
+        let cp = SplitConformal::calibrate(&[1.0], &[0.5], &[f64::NAN], 0.1, 1e-3).unwrap();
+        assert!(cp.qhat().is_infinite()); // n = 1 still means rank > n
     }
 
     #[test]
@@ -215,8 +304,77 @@ mod tests {
 
     #[test]
     fn rejects_bad_alpha() {
-        assert!(SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 0.0, 1e-9).is_err());
-        assert!(SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 1.0, 1e-9).is_err());
-        assert!(SplitConformal::calibrate(&[], &[], &[], 0.1, 1e-9).is_err());
+        assert_eq!(
+            SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 0.0, 1e-9).unwrap_err(),
+            ConformalError::InvalidAlpha { value: 0.0 }
+        );
+        assert_eq!(
+            SplitConformal::calibrate(&[1.0], &[1.0], &[1.0], 1.0, 1e-9).unwrap_err(),
+            ConformalError::InvalidAlpha { value: 1.0 }
+        );
+    }
+
+    // Property sweep of the NaN contract: random (pred, scale) pairs with
+    // NaN injected in every position must still yield well-formed
+    // intervals from `interval`, and `contains`/`clamp_to` must behave
+    // per the documented fallbacks on hand-built NaN intervals.
+    #[test]
+    fn interval_nan_contract_properties() {
+        let mut rng = Prng::seed_from_u64(42);
+        let cps = [
+            SplitConformal::from_quantile(2.0, 0.1, 100, 1e-9),
+            SplitConformal::from_quantile(f64::INFINITY, 0.1, 1, 1e-9),
+            SplitConformal::from_quantile(0.0, 0.1, 50, 1e-9),
+        ];
+        for _ in 0..500 {
+            let pred = 4.0 * rng.gaussian();
+            let scale = rng.uniform();
+            for cp in &cps {
+                // Finite inputs: well-formed, symmetric, covers pred.
+                let iv = cp.interval(pred, scale);
+                assert!(iv.is_well_formed(), "{iv:?}");
+                assert!(iv.contains(pred), "{iv:?} must contain its center");
+                assert!(!iv.contains(f64::NAN), "NaN is never covered");
+                // NaN pred: conservative infinite interval, never NaN out.
+                for (p, s) in [(f64::NAN, scale), (f64::NAN, f64::NAN)] {
+                    let iv = cp.interval(p, s);
+                    assert!(iv.is_well_formed(), "{iv:?} from ({p}, {s})");
+                    assert_eq!(iv.lo, f64::NEG_INFINITY);
+                    assert_eq!(iv.hi, f64::INFINITY);
+                }
+                // NaN scale alone is rescued by the floor (IEEE max), so
+                // the interval is well-formed and still covers pred.
+                let iv = cp.interval(pred, f64::NAN);
+                assert!(iv.is_well_formed(), "{iv:?}");
+                assert!(iv.contains(pred));
+                // Clamping a well-formed interval stays inside the clip
+                // box and well-formed.
+                let c = cp.interval(pred, scale).clamp_to(0.0, 1.0);
+                assert!(c.is_well_formed());
+                assert!((0.0..=1.0).contains(&c.lo) && (0.0..=1.0).contains(&c.hi));
+            }
+        }
+        // Hand-built NaN intervals: malformed, cover nothing, and clamp
+        // onto the clip bounds instead of poisoning downstream math.
+        for iv in [
+            Interval {
+                lo: f64::NAN,
+                hi: 1.0,
+            },
+            Interval {
+                lo: 0.0,
+                hi: f64::NAN,
+            },
+            Interval {
+                lo: f64::NAN,
+                hi: f64::NAN,
+            },
+        ] {
+            assert!(!iv.is_well_formed());
+            assert!(!iv.contains(0.5));
+            let c = iv.clamp_to(0.0, 1.0);
+            assert!(c.is_well_formed(), "{c:?}");
+            assert!((0.0..=1.0).contains(&c.lo) && (0.0..=1.0).contains(&c.hi));
+        }
     }
 }

@@ -33,11 +33,16 @@ pub enum DegradedMode {
     /// Eq. 5 form collapses to a monotone transform of the point
     /// estimate.
     DegenerateUncertainty,
+    /// An online recalibration was requested before the feedback window
+    /// held enough scores for a meaningful quantile; the previous
+    /// artifact keeps serving unchanged.
+    InsufficientWindow,
 }
 
 tinyjson::json_unit_enum!(DegradedMode {
     DegenerateLabels,
-    DegenerateUncertainty
+    DegenerateUncertainty,
+    InsufficientWindow
 });
 
 impl DegradedMode {
@@ -47,6 +52,7 @@ impl DegradedMode {
         match self {
             DegradedMode::DegenerateLabels => "DegenerateLabels",
             DegradedMode::DegenerateUncertainty => "DegenerateUncertainty",
+            DegradedMode::InsufficientWindow => "InsufficientWindow",
         }
     }
 
@@ -58,6 +64,9 @@ impl DegradedMode {
             }
             DegradedMode::DegenerateUncertainty => {
                 "calibration MC-dropout std is near-constant; serving plain DRP ranking"
+            }
+            DegradedMode::InsufficientWindow => {
+                "online feedback window too small to recalibrate; keeping current artifact"
             }
         }
     }

@@ -105,6 +105,15 @@ pub trait RoiMethod: Send + Sync + fmt::Debug {
         None
     }
 
+    /// A copy of this method with its conformal quantile replaced — the
+    /// online-recalibration hot-swap path. `None` for methods without a
+    /// conformal stage (they have nothing to recalibrate), when the
+    /// method is unfitted, or when `qhat` is not a quantile (NaN or
+    /// negative).
+    fn with_qhat(&self, _qhat: f64, _n_calibration: usize) -> Option<Box<dyn RoiMethod>> {
+        None
+    }
+
     /// The artifact body (everything [`load_method`] needs to
     /// reconstruct this method, fitted state included).
     fn body_to_json(&self) -> Value;
@@ -671,6 +680,11 @@ impl RoiMethod for RdrpMethod {
 
     fn as_rdrp(&self) -> Option<&Rdrp> {
         Some(&self.model)
+    }
+
+    fn with_qhat(&self, qhat: f64, n_calibration: usize) -> Option<Box<dyn RoiMethod>> {
+        let swapped = self.model.with_qhat(qhat, n_calibration)?;
+        Some(Box::new(RdrpMethod::new(swapped)))
     }
 
     fn body_to_json(&self) -> Value {

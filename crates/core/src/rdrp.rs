@@ -550,6 +550,41 @@ impl Rdrp {
     pub fn n_features(&self) -> Option<usize> {
         self.drp.n_features()
     }
+
+    /// The fitted conformal quantile `q̂`, or `None` before fitting.
+    pub fn qhat(&self) -> Option<f64> {
+        self.state.as_ref().map(|s| s.conformal.qhat())
+    }
+
+    /// A copy of this fitted model with the conformal quantile replaced —
+    /// the online-recalibration hot-swap path. Everything else (trained
+    /// DRP, selected form, `α`, scale floor) is kept; the diagnostics
+    /// record the new `q̂` and the feedback-window size that produced it.
+    /// Returns `None` before fitting, and for non-finite negative inputs
+    /// (an *infinite* `q̂` is legal — it is what a tiny window honestly
+    /// yields — but a NaN or negative one is not a quantile).
+    pub fn with_qhat(&self, qhat: f64, n_calibration: usize) -> Option<Rdrp> {
+        if qhat.is_nan() || qhat < 0.0 {
+            return None;
+        }
+        let state = self.state.as_ref()?;
+        let mut swapped = self.clone();
+        let conformal = SplitConformal::from_quantile(
+            qhat,
+            state.conformal.alpha(),
+            n_calibration,
+            self.config.std_floor,
+        );
+        let mut diagnostics = state.diagnostics.clone();
+        diagnostics.qhat = qhat;
+        diagnostics.n_calibration = n_calibration;
+        swapped.state = Some(Calibrated {
+            conformal,
+            form: state.form,
+            diagnostics,
+        });
+        Some(swapped)
+    }
 }
 
 impl RoiModel for Rdrp {

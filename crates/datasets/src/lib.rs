@@ -40,4 +40,8 @@ pub use generator::{Population, RctGenerator};
 pub use meituan::MeituanLike;
 pub use schema::RctDataset;
 pub use settings::{ExperimentData, Setting, SettingSizes};
+pub use shift::{
+    shift_magnitude, shift_report, standardized_mean_differences, DriftDetector,
+    DriftDetectorConfig, DriftUpdate, FeatureReference, ShiftError, ShiftReport,
+};
 pub use split::train_calib_test_split;

@@ -184,12 +184,12 @@ mod tests {
         let mut rng = Prng::seed_from_u64(1);
         let co = ExperimentData::build(&g, Setting::SuCo, &sizes, &mut rng);
         // Calibration and test match each other (Assumption 6)...
-        assert!(shift_magnitude(&co.calibration, &co.test) < 0.12);
+        assert!(shift_magnitude(&co.calibration, &co.test).unwrap() < 0.12);
         // ...but both differ from training.
-        assert!(shift_magnitude(&co.train, &co.test) > 0.2);
-        assert!(shift_magnitude(&co.train, &co.calibration) > 0.2);
+        assert!(shift_magnitude(&co.train, &co.test).unwrap() > 0.2);
+        assert!(shift_magnitude(&co.train, &co.calibration).unwrap() > 0.2);
 
         let no = ExperimentData::build(&g, Setting::SuNo, &sizes, &mut rng);
-        assert!(shift_magnitude(&no.train, &no.test) < 0.12);
+        assert!(shift_magnitude(&no.train, &no.test).unwrap() < 0.12);
     }
 }

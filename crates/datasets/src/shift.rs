@@ -1,27 +1,85 @@
-//! Covariate-shift diagnostics.
+//! Covariate-shift diagnostics and online drift detection.
 //!
 //! Shift *generation* lives inside the structural models (segment
 //! reweighting + mean offsets, which leave `P(Y|X)` untouched). This module
 //! provides the measurement side: quantifying how far apart two feature
-//! distributions are, which the experiments use to verify that the SuCo and
-//! InCo settings actually shift and the SuNo/InNo settings actually don't.
+//! distributions are — which the experiments use to verify that the SuCo and
+//! InCo settings actually shift and the SuNo/InNo settings actually don't —
+//! and the streaming [`DriftDetector`] the serving stack runs over incoming
+//! feature batches.
+//!
+//! Everything here returns typed [`Result`]s: the detector sits on a serve
+//! worker's feedback path, where a malformed row must become an error value,
+//! never a panic.
 
 use crate::schema::RctDataset;
 use linalg::stats::{mean, std_dev};
+use linalg::Matrix;
+use std::fmt;
+
+/// Why a shift measurement could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShiftError {
+    /// The two sides have different feature counts.
+    FeatureMismatch {
+        /// Feature count of the first (reference) side.
+        reference: usize,
+        /// Feature count of the second (incoming) side.
+        incoming: usize,
+    },
+    /// A side has no rows; `what` names which.
+    Empty {
+        /// Which input was empty.
+        what: &'static str,
+    },
+    /// A detector configuration value is unusable; the message names it.
+    BadConfig(String),
+}
+
+impl fmt::Display for ShiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShiftError::FeatureMismatch {
+                reference,
+                incoming,
+            } => write!(
+                f,
+                "feature count mismatch: reference has {reference}, incoming has {incoming}"
+            ),
+            ShiftError::Empty { what } => write!(f, "{what} has no rows"),
+            ShiftError::BadConfig(msg) => write!(f, "bad drift config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShiftError {}
 
 /// Per-feature standardized mean difference between two datasets:
-/// `|mean_a − mean_b| / pooled_std` (Cohen's d, per column).
+/// `|mean_a − mean_b| / pooled_std` (Cohen's d, per column). A column
+/// containing NaN yields a NaN entry — callers that need a scalar should
+/// go through [`shift_report`], which separates the finite maximum from
+/// the poisoned-column count.
 ///
-/// # Panics
-/// Panics if the datasets have different feature counts or either is empty.
-pub fn standardized_mean_differences(a: &RctDataset, b: &RctDataset) -> Vec<f64> {
-    assert_eq!(
-        a.n_features(),
-        b.n_features(),
-        "SMD: feature count mismatch"
-    );
-    assert!(!a.is_empty() && !b.is_empty(), "SMD: empty dataset");
-    (0..a.n_features())
+/// # Errors
+/// [`ShiftError::FeatureMismatch`] when the feature counts differ,
+/// [`ShiftError::Empty`] when either dataset has no rows.
+pub fn standardized_mean_differences(
+    a: &RctDataset,
+    b: &RctDataset,
+) -> Result<Vec<f64>, ShiftError> {
+    if a.n_features() != b.n_features() {
+        return Err(ShiftError::FeatureMismatch {
+            reference: a.n_features(),
+            incoming: b.n_features(),
+        });
+    }
+    if a.is_empty() {
+        return Err(ShiftError::Empty { what: "dataset a" });
+    }
+    if b.is_empty() {
+        return Err(ShiftError::Empty { what: "dataset b" });
+    }
+    Ok((0..a.n_features())
         .map(|j| {
             let ca = a.x.col(j);
             let cb = b.x.col(j);
@@ -34,15 +92,271 @@ pub fn standardized_mean_differences(a: &RctDataset, b: &RctDataset) -> Vec<f64>
                 (mean(&ca) - mean(&cb)).abs() / pooled
             }
         })
-        .collect()
+        .collect())
+}
+
+/// The scalar summary of [`standardized_mean_differences`]: the maximum
+/// over *finite* per-feature SMDs, with poisoned (non-finite) columns
+/// counted instead of silently folded away.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftReport {
+    /// Per-feature standardized mean differences (NaN entries preserved).
+    pub smd: Vec<f64>,
+    /// Maximum over the finite entries (0.0 when none are finite).
+    pub max_finite: f64,
+    /// How many features had a non-finite SMD (NaN data on either side).
+    pub non_finite_features: usize,
+}
+
+/// Computes the full [`ShiftReport`] between two datasets.
+///
+/// # Errors
+/// Same conditions as [`standardized_mean_differences`].
+pub fn shift_report(a: &RctDataset, b: &RctDataset) -> Result<ShiftReport, ShiftError> {
+    let smd = standardized_mean_differences(a, b)?;
+    let mut max_finite = 0.0f64;
+    let mut non_finite = 0usize;
+    for &v in &smd {
+        if v.is_finite() {
+            max_finite = max_finite.max(v);
+        } else {
+            non_finite += 1;
+        }
+    }
+    Ok(ShiftReport {
+        smd,
+        max_finite,
+        non_finite_features: non_finite,
+    })
 }
 
 /// A single scalar shift magnitude: the maximum per-feature standardized
-/// mean difference. Values ≳ 0.1 are conventionally "shifted".
-pub fn shift_magnitude(a: &RctDataset, b: &RctDataset) -> f64 {
-    standardized_mean_differences(a, b)
-        .into_iter()
-        .fold(0.0, f64::max)
+/// mean difference. Values ≳ 0.1 are conventionally "shifted". NaN
+/// columns *propagate* — a NaN anywhere makes the magnitude NaN, so a
+/// poisoned comparison can never masquerade as "no shift" (the old
+/// `fold(0.0, f64::max)` silently dropped NaN entries). Use
+/// [`shift_report`] to get the finite maximum alongside the NaN count.
+///
+/// # Errors
+/// Same conditions as [`standardized_mean_differences`].
+pub fn shift_magnitude(a: &RctDataset, b: &RctDataset) -> Result<f64, ShiftError> {
+    let smd = standardized_mean_differences(a, b)?;
+    let mut max = 0.0f64;
+    for v in smd {
+        if v.is_nan() {
+            return Ok(f64::NAN);
+        }
+        max = max.max(v);
+    }
+    Ok(max)
+}
+
+// ---------------------------------------------------------------------------
+// Streaming drift detection
+// ---------------------------------------------------------------------------
+
+/// Frozen per-feature moments of the training (or calibration) feature
+/// distribution — the fixed side every incoming batch is compared against.
+#[derive(Debug, Clone)]
+pub struct FeatureReference {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl FeatureReference {
+    /// Captures column means and standard deviations of `x`.
+    ///
+    /// # Errors
+    /// [`ShiftError::Empty`] when `x` has no rows or no columns.
+    pub fn from_matrix(x: &Matrix) -> Result<FeatureReference, ShiftError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(ShiftError::Empty {
+                what: "reference matrix",
+            });
+        }
+        let mut means = Vec::with_capacity(x.cols());
+        let mut stds = Vec::with_capacity(x.cols());
+        for j in 0..x.cols() {
+            let col = x.col(j);
+            means.push(mean(&col));
+            stds.push(std_dev(&col));
+        }
+        Ok(FeatureReference { means, stds })
+    }
+
+    /// Captures the feature moments of an RCT dataset.
+    ///
+    /// # Errors
+    /// [`ShiftError::Empty`] when the dataset has no rows.
+    pub fn from_dataset(data: &RctDataset) -> Result<FeatureReference, ShiftError> {
+        FeatureReference::from_matrix(&data.x)
+    }
+
+    /// Number of features the reference describes.
+    pub fn n_features(&self) -> usize {
+        self.means.len()
+    }
+}
+
+/// Knobs for [`DriftDetector`].
+#[derive(Debug, Clone)]
+pub struct DriftDetectorConfig {
+    /// Rows accumulated before each SMD comparison against the reference.
+    pub batch_rows: usize,
+    /// EWMA smoothing factor `β`: `e ← β·e + (1−β)·smd` per batch.
+    pub beta: f64,
+    /// The smoothed SMD level above which the detector reports drift.
+    pub threshold: f64,
+}
+
+impl Default for DriftDetectorConfig {
+    fn default() -> Self {
+        DriftDetectorConfig {
+            batch_rows: 64,
+            beta: 0.94,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// One completed batch comparison from [`DriftDetector::observe_row`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftUpdate {
+    /// This batch's maximum finite per-feature SMD against the reference.
+    pub batch_smd: f64,
+    /// The EWMA-smoothed SMD after folding this batch in.
+    pub ewma: f64,
+    /// Whether the smoothed SMD crossed the configured threshold.
+    pub drifted: bool,
+    /// Features excluded from this batch's SMD because their batch mean
+    /// was non-finite (NaN feature values in the stream).
+    pub non_finite_features: usize,
+}
+
+/// A streaming covariate-drift detector: accumulates incoming feature
+/// rows into fixed-size batches, scores each batch's standardized mean
+/// difference against a frozen [`FeatureReference`], and smooths the
+/// sequence with an EWMA. Per-row cost is `O(n_features)` additions; the
+/// SMD only runs at batch boundaries.
+///
+/// Columns whose batch mean comes out non-finite are *counted and
+/// excluded* rather than propagated: on the serving path a single NaN
+/// feature must neither panic nor permanently wedge the detector at NaN.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: FeatureReference,
+    cfg: DriftDetectorConfig,
+    sums: Vec<f64>,
+    rows_in_batch: usize,
+    ewma: Option<f64>,
+}
+
+impl DriftDetector {
+    /// Creates a detector comparing incoming rows against `reference`.
+    ///
+    /// # Errors
+    /// [`ShiftError::BadConfig`] when a knob is out of range.
+    pub fn new(
+        reference: FeatureReference,
+        cfg: DriftDetectorConfig,
+    ) -> Result<DriftDetector, ShiftError> {
+        if cfg.batch_rows == 0 {
+            return Err(ShiftError::BadConfig(
+                "batch_rows must be positive".to_string(),
+            ));
+        }
+        if !(0.0..1.0).contains(&cfg.beta) {
+            return Err(ShiftError::BadConfig(format!(
+                "beta {} outside [0, 1)",
+                cfg.beta
+            )));
+        }
+        if !(cfg.threshold > 0.0 && cfg.threshold.is_finite()) {
+            return Err(ShiftError::BadConfig(format!(
+                "threshold {} must be a positive finite",
+                cfg.threshold
+            )));
+        }
+        let n = reference.n_features();
+        Ok(DriftDetector {
+            reference,
+            cfg,
+            sums: vec![0.0; n],
+            rows_in_batch: 0,
+            ewma: None,
+        })
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DriftDetectorConfig {
+        &self.cfg
+    }
+
+    /// The current smoothed SMD, `None` before the first full batch.
+    pub fn ewma(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Whether the smoothed SMD currently sits above the threshold.
+    pub fn drifted(&self) -> bool {
+        self.ewma.is_some_and(|e| e > self.cfg.threshold)
+    }
+
+    /// Feeds one feature row. Returns `Some(update)` when this row
+    /// completed a batch (the SMD comparison ran), `None` otherwise.
+    ///
+    /// # Errors
+    /// [`ShiftError::FeatureMismatch`] when the row width differs from
+    /// the reference — the row is not accumulated.
+    pub fn observe_row(&mut self, row: &[f64]) -> Result<Option<DriftUpdate>, ShiftError> {
+        if row.len() != self.reference.n_features() {
+            return Err(ShiftError::FeatureMismatch {
+                reference: self.reference.n_features(),
+                incoming: row.len(),
+            });
+        }
+        for (sum, &v) in self.sums.iter_mut().zip(row) {
+            *sum += v;
+        }
+        self.rows_in_batch += 1;
+        if self.rows_in_batch < self.cfg.batch_rows {
+            return Ok(None);
+        }
+        let n = self.rows_in_batch as f64;
+        let mut batch_smd = 0.0f64;
+        let mut non_finite = 0usize;
+        for j in 0..self.sums.len() {
+            let batch_mean = self.sums[j] / n;
+            if !batch_mean.is_finite() {
+                non_finite += 1;
+                continue;
+            }
+            // The reference std standardizes the difference; a (near-)
+            // constant reference column cannot be standardized against,
+            // so it is floored rather than divided into infinity.
+            let denom = self.reference.stds[j].max(1e-12);
+            batch_smd = batch_smd.max((batch_mean - self.reference.means[j]).abs() / denom);
+        }
+        let ewma = match self.ewma {
+            None => batch_smd,
+            Some(e) => self.cfg.beta * e + (1.0 - self.cfg.beta) * batch_smd,
+        };
+        self.ewma = Some(ewma);
+        self.sums.fill(0.0);
+        self.rows_in_batch = 0;
+        Ok(Some(DriftUpdate {
+            batch_smd,
+            ewma,
+            drifted: ewma > self.cfg.threshold,
+            non_finite_features: non_finite,
+        }))
+    }
+
+    /// Resets the smoothed state (after a recalibration acted on the
+    /// drift signal) while keeping the reference and any partial batch.
+    pub fn reset_ewma(&mut self) {
+        self.ewma = None;
+    }
 }
 
 #[cfg(test)]
@@ -58,7 +372,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(0);
         let a = g.sample(4000, Population::Base, &mut rng);
         let b = g.sample(4000, Population::Base, &mut rng);
-        assert!(shift_magnitude(&a, &b) < 0.1);
+        assert!(shift_magnitude(&a, &b).unwrap() < 0.1);
     }
 
     #[test]
@@ -67,17 +381,134 @@ mod tests {
         let mut rng = Prng::seed_from_u64(1);
         let a = g.sample(4000, Population::Base, &mut rng);
         let b = g.sample(4000, Population::Shifted, &mut rng);
-        assert!(shift_magnitude(&a, &b) > 0.2);
+        assert!(shift_magnitude(&a, &b).unwrap() > 0.2);
     }
 
     #[test]
-    #[should_panic(expected = "feature count mismatch")]
-    fn mismatched_features_panic() {
+    fn mismatched_features_are_a_typed_error() {
         let g = CriteoLike::new();
         let m = crate::meituan::MeituanLike::new();
         let mut rng = Prng::seed_from_u64(2);
         let a = g.sample(10, Population::Base, &mut rng);
         let b = m.sample(10, Population::Base, &mut rng);
-        let _ = standardized_mean_differences(&a, &b);
+        let err = standardized_mean_differences(&a, &b).unwrap_err();
+        assert!(matches!(err, ShiftError::FeatureMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(3);
+        let a = g.sample(10, Population::Base, &mut rng);
+        let empty = a.subset(&[]);
+        assert_eq!(
+            standardized_mean_differences(&a, &empty).unwrap_err(),
+            ShiftError::Empty { what: "dataset b" }
+        );
+        assert_eq!(
+            standardized_mean_differences(&empty, &a).unwrap_err(),
+            ShiftError::Empty { what: "dataset a" }
+        );
+    }
+
+    #[test]
+    fn nan_columns_propagate_in_magnitude_and_count_in_report() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(4);
+        let a = g.sample(100, Population::Base, &mut rng);
+        let mut b = g.sample(100, Population::Base, &mut rng);
+        b.x.set(0, 0, f64::NAN);
+        // The poisoned column must not hide behind the max fold.
+        assert!(shift_magnitude(&a, &b).unwrap().is_nan());
+        let report = shift_report(&a, &b).unwrap();
+        assert_eq!(report.non_finite_features, 1);
+        assert!(report.max_finite.is_finite());
+        assert!(report.smd[0].is_nan());
+    }
+
+    #[test]
+    fn detector_flags_shifted_stream_and_not_base_stream() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(5);
+        let train = g.sample(4000, Population::Base, &mut rng);
+        let reference = FeatureReference::from_dataset(&train).unwrap();
+        let cfg = DriftDetectorConfig {
+            batch_rows: 64,
+            beta: 0.5, // fast smoothing so the test needs few batches
+            threshold: 0.25,
+        };
+        // Base-population stream: no drift.
+        let mut detector = DriftDetector::new(reference.clone(), cfg.clone()).unwrap();
+        let base = g.sample(1024, Population::Base, &mut rng);
+        for i in 0..base.len() {
+            detector.observe_row(base.x.row(i)).unwrap();
+        }
+        assert!(!detector.drifted(), "ewma {:?}", detector.ewma());
+        // Shifted stream: drift.
+        let mut detector = DriftDetector::new(reference, cfg).unwrap();
+        let shifted = g.sample(1024, Population::Shifted, &mut rng);
+        let mut fired = false;
+        for i in 0..shifted.len() {
+            if let Some(update) = detector.observe_row(shifted.x.row(i)).unwrap() {
+                fired |= update.drifted;
+            }
+        }
+        assert!(fired, "shifted stream must trip the detector");
+        detector.reset_ewma();
+        assert!(!detector.drifted());
+    }
+
+    #[test]
+    fn detector_rejects_bad_rows_and_bad_config() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(6);
+        let train = g.sample(100, Population::Base, &mut rng);
+        let reference = FeatureReference::from_dataset(&train).unwrap();
+        let mut detector =
+            DriftDetector::new(reference.clone(), DriftDetectorConfig::default()).unwrap();
+        let err = detector.observe_row(&[1.0]).unwrap_err();
+        assert!(matches!(err, ShiftError::FeatureMismatch { .. }));
+        for cfg in [
+            DriftDetectorConfig {
+                batch_rows: 0,
+                ..DriftDetectorConfig::default()
+            },
+            DriftDetectorConfig {
+                beta: 1.0,
+                ..DriftDetectorConfig::default()
+            },
+            DriftDetectorConfig {
+                threshold: 0.0,
+                ..DriftDetectorConfig::default()
+            },
+        ] {
+            assert!(DriftDetector::new(reference.clone(), cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn detector_excludes_nan_rows_from_smd_without_failing() {
+        let g = CriteoLike::new();
+        let mut rng = Prng::seed_from_u64(7);
+        let train = g.sample(500, Population::Base, &mut rng);
+        let reference = FeatureReference::from_dataset(&train).unwrap();
+        let mut detector = DriftDetector::new(
+            reference,
+            DriftDetectorConfig {
+                batch_rows: 4,
+                ..DriftDetectorConfig::default()
+            },
+        )
+        .unwrap();
+        let mut row = train.x.row(0).to_vec();
+        row[0] = f64::NAN;
+        let mut update = None;
+        for _ in 0..4 {
+            update = detector.observe_row(&row).unwrap();
+        }
+        let update = update.expect("4th row completes the batch");
+        assert_eq!(update.non_finite_features, 1);
+        assert!(update.batch_smd.is_finite());
+        assert!(update.ewma.is_finite());
     }
 }

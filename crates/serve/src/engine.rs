@@ -29,6 +29,7 @@
 //! `serve.rows` / `serve.rejected.queue_full` / `serve.rejected.deadline`
 //! / `serve.worker_panics`.
 
+use crate::calibration::{CalibrationMonitor, FeedbackOutcome, MonitorError};
 use crate::scorer::BatchScorer;
 use linalg::Matrix;
 use nn::Workspace;
@@ -37,7 +38,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -177,6 +178,7 @@ struct Shared {
 pub struct ScoringEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    monitor: RwLock<Option<Arc<CalibrationMonitor>>>,
 }
 
 impl fmt::Debug for ScoringEngine {
@@ -208,7 +210,11 @@ impl ScoringEngine {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        ScoringEngine { shared, workers }
+        ScoringEngine {
+            shared,
+            workers,
+            monitor: RwLock::new(None),
+        }
     }
 
     /// Submits `rows` for scoring by `scorer`. Returns a handle the
@@ -272,6 +278,41 @@ impl ScoringEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.shared.cfg
+    }
+
+    /// Attaches (or replaces) the online calibration monitor. Scoring is
+    /// untouched; the monitor only hears what [`ScoringEngine::observe`]
+    /// feeds it.
+    pub fn attach_monitor(&self, monitor: Arc<CalibrationMonitor>) {
+        *self
+            .monitor
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(monitor);
+    }
+
+    /// The attached calibration monitor, if any.
+    pub fn monitor(&self) -> Option<Arc<CalibrationMonitor>> {
+        self.monitor
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Feeds one feedback observation to the attached monitor (the
+    /// serve-side entry point for `observe` protocol lines).
+    ///
+    /// # Errors
+    /// [`MonitorError::Disabled`] when no monitor is attached; otherwise
+    /// whatever [`CalibrationMonitor::observe`] raises.
+    pub fn observe(
+        &self,
+        row: &[f64],
+        pred: Option<f64>,
+        scale: Option<f64>,
+        outcome: f64,
+    ) -> Result<FeedbackOutcome, MonitorError> {
+        let monitor = self.monitor().ok_or(MonitorError::Disabled)?;
+        monitor.observe(row, pred, scale, outcome)
     }
 }
 
@@ -344,9 +385,15 @@ fn pop_live(state: &mut QueueState, shared: &Shared) -> Option<Job> {
 
 /// Checks `job`'s deadline; when expired, answers it and records the
 /// rejection. Returns whether the job was consumed.
+///
+/// The boundary is *inclusive*: a deadline equal to the current clock is
+/// expired. "Deadline `d`" means "done strictly before `d`" — at `d` the
+/// budget is spent, and a strict `<` here would also make a saturated
+/// deadline (`now + huge` clamped to `u64::MAX`) unexpirable even with
+/// the clock itself at `u64::MAX`.
 fn expired(job: &Job, shared: &Shared) -> bool {
     let now = shared.obs.now_ns();
-    if job.deadline_ns.is_some_and(|d| d < now) {
+    if job.deadline_ns.is_some_and(|d| d <= now) {
         shared.obs.counter("serve.rejected.deadline", 1.0);
         let _ = job.tx.send(Err(ScoreError::DeadlineExpired));
         return true;

@@ -18,7 +18,12 @@
 //!   and panicking scorers all degrade into typed responses, never into
 //!   a dead engine.
 //! * [`protocol`] — the line-delimited JSON request/response protocol
-//!   both frontends (CLI stdin/stdout and the TCP endpoint) speak.
+//!   both frontends (CLI stdin/stdout and the TCP endpoint) speak, with
+//!   an `observe` feedback line for online calibration.
+//! * [`CalibrationMonitor`] — serve-side online conformal calibration:
+//!   a rolling feedback window, an EWMA drift detector over incoming
+//!   feature rows, and drift-triggered recalibration that hot-swaps the
+//!   artifact through the registry without dropping traffic.
 //!
 //! Determinism: engine scores are bitwise identical to a direct
 //! [`rdrp::Rdrp::predict_scores`] call, for any batching, coalescing,
@@ -28,12 +33,16 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod calibration;
 pub mod engine;
 pub mod protocol;
 pub mod registry;
 pub mod scorer;
 
+pub use calibration::{
+    CalibrationMonitor, CalibrationMonitorConfig, FeedbackOutcome, MonitorError,
+};
 pub use engine::{EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine};
-pub use protocol::{run_jsonl, ScoreRequest};
+pub use protocol::{run_jsonl, ObserveRequest, ScoreRequest};
 pub use registry::{ModelRegistry, RegistryError, DEFAULT_MODEL};
 pub use scorer::BatchScorer;

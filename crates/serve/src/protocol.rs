@@ -53,6 +53,40 @@ tinyjson::json_struct!(ScoreRequest {
     deadline_ms
 });
 
+/// One feedback (online-calibration) line, distinguished from a scoring
+/// request by the presence of an `"outcome"` key:
+///
+/// ```text
+/// → {"id": "f1", "row": [0.1, …], "outcome": 0.43}
+/// → {"id": "f2", "row": [0.1, …], "pred": 0.5, "scale": 0.07, "outcome": 0.41}
+/// ← {"id": "f1", "observed": {"window": 31, "covered": true, "drifted": false, …}}
+/// ```
+///
+/// `pred` is the score this row was served (recomputed through the
+/// current artifact when omitted), `scale` the uncertainty the conformity
+/// score normalizes by (1.0 when omitted).
+#[derive(Debug, Clone)]
+pub struct ObserveRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: String,
+    /// The feature row that was served.
+    pub row: Vec<f64>,
+    /// The prediction served for the row, when the caller retained it.
+    pub pred: Option<f64>,
+    /// The uncertainty scale for the conformity score.
+    pub scale: Option<f64>,
+    /// The realized outcome.
+    pub outcome: f64,
+}
+
+tinyjson::json_struct!(ObserveRequest {
+    id,
+    row,
+    pred,
+    scale,
+    outcome
+});
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -123,12 +157,9 @@ pub fn run_jsonl(
                 write_outcome(&mut output, &id, outcome)?;
             }
         }
-        // Rejected requests queue alongside pending ones so responses
-        // stay in request order.
-        match accept(&line, engine, registry) {
-            Ok((id, pending)) => in_flight.push_back((id, Outcome::Pending(pending))),
-            Err((id, message)) => in_flight.push_back((id, Outcome::Rejected(message))),
-        }
+        // Rejected and feedback responses queue alongside pending ones
+        // so responses stay in request order.
+        in_flight.push_back(accept(&line, engine, registry));
     }
     while let Some((id, outcome)) = in_flight.pop_front() {
         write_outcome(&mut output, &id, outcome)?;
@@ -139,28 +170,37 @@ pub fn run_jsonl(
 enum Outcome {
     Pending(PendingScore),
     Rejected(String),
+    /// Already-rendered response line (feedback lines answer inline).
+    Ready(String),
 }
 
-/// Parses, resolves, and submits one request line. On failure returns
-/// the id (empty when the line didn't parse far enough to have one) and
-/// the error message to answer with.
-fn accept(
-    line: &str,
-    engine: &ScoringEngine,
-    registry: &ModelRegistry,
-) -> Result<(String, PendingScore), (String, String)> {
+/// Parses, resolves, and dispatches one request line: feedback lines
+/// (those carrying an `"outcome"` key) answer inline through the
+/// engine's calibration monitor; scoring lines submit to the queue. On
+/// failure the id is salvaged when the line parsed far enough to have
+/// one, empty otherwise.
+fn accept(line: &str, engine: &ScoringEngine, registry: &ModelRegistry) -> (String, Outcome) {
+    let parsed = tinyjson::parse(line).ok();
+    let salvage_id = || {
+        parsed
+            .as_ref()
+            .and_then(|v| {
+                v.get("id")
+                    .and_then(|id| id.as_str().ok().map(String::from))
+            })
+            .unwrap_or_default()
+    };
+    if parsed
+        .as_ref()
+        .is_some_and(|v| !matches!(v.get("outcome"), Some(tinyjson::Value::Null) | None))
+    {
+        return accept_observe(line, engine, &salvage_id());
+    }
     let req = match parse_request(line) {
         Ok(req) => req,
         Err(e) => {
             // Salvage the id when the object parsed but a field didn't.
-            let id = tinyjson::parse(line)
-                .ok()
-                .and_then(|v| {
-                    v.get("id")
-                        .and_then(|id| id.as_str().ok().map(String::from))
-                })
-                .unwrap_or_default();
-            return Err((id, format!("bad request: {e}")));
+            return (salvage_id(), Outcome::Rejected(format!("bad request: {e}")));
         }
     };
     let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
@@ -171,17 +211,58 @@ fn accept(
             .map(|(n, v)| format!("{n}@{v}"))
             .collect::<Vec<_>>()
             .join(", ");
-        return Err((req.id, format!("unknown model {name:?} (have: {known})")));
+        return (
+            req.id,
+            Outcome::Rejected(format!("unknown model {name:?} (have: {known})")),
+        );
     };
-    let x = rows_to_matrix(&req.rows).map_err(|e| (req.id.clone(), e))?;
+    let x = match rows_to_matrix(&req.rows) {
+        Ok(x) => x,
+        Err(e) => return (req.id, Outcome::Rejected(e)),
+    };
     let deadline = req
         .deadline_ms
         .filter(|ms| ms.is_finite() && *ms >= 0.0)
         .map(|ms| Duration::from_nanos((ms * 1e6) as u64));
     match engine.submit(&scorer, x, deadline) {
-        Ok(pending) => Ok((req.id, pending)),
-        Err(rejected) => Err((req.id, rejected.to_string())),
+        Ok(pending) => (req.id, Outcome::Pending(pending)),
+        Err(rejected) => (req.id, Outcome::Rejected(rejected.to_string())),
     }
+}
+
+/// Parses and applies one feedback line; the response renders inline.
+fn accept_observe(line: &str, engine: &ScoringEngine, salvaged_id: &str) -> (String, Outcome) {
+    let req: ObserveRequest = match tinyjson::from_str(line) {
+        Ok(req) => req,
+        Err(e) => {
+            return (
+                salvaged_id.to_string(),
+                Outcome::Rejected(format!("bad observe request: {e}")),
+            );
+        }
+    };
+    match engine.observe(&req.row, req.pred, req.scale, req.outcome) {
+        Ok(outcome) => {
+            let line = render_observed(&req.id, &outcome);
+            (req.id, Outcome::Ready(line))
+        }
+        Err(e) => (req.id, Outcome::Rejected(e.to_string())),
+    }
+}
+
+/// Renders the response line for an applied feedback observation.
+pub fn render_observed(id: &str, outcome: &crate::calibration::FeedbackOutcome) -> String {
+    json!({
+        "id": id,
+        "observed": json!({
+            "window": outcome.observation.window,
+            "covered": outcome.observation.covered,
+            "drifted": outcome.drift.map(|d| d.drifted),
+            "swapped": outcome.swapped_version.as_deref(),
+            "degraded": outcome.degraded.map(rdrp::DegradedMode::label)
+        })
+    })
+    .render_compact()
 }
 
 fn write_outcome(output: &mut impl Write, id: &str, outcome: Outcome) -> std::io::Result<()> {
@@ -191,6 +272,7 @@ fn write_outcome(output: &mut impl Write, id: &str, outcome: Outcome) -> std::io
             Err(e) => render_error(id, &e.to_string()),
         },
         Outcome::Rejected(message) => render_error(id, &message),
+        Outcome::Ready(line) => line,
     };
     writeln!(output, "{line}")?;
     output.flush()

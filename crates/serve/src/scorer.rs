@@ -5,6 +5,7 @@ use linalg::Matrix;
 use nn::Workspace;
 use obs::Obs;
 use rdrp::{CalibrationForm, DrpModel, Rdrp, RoiMethod, SCORING_SEED};
+use std::sync::Arc;
 
 /// A fitted model the serving engine can score rows with.
 ///
@@ -36,6 +37,21 @@ pub trait BatchScorer: Send + Sync + std::fmt::Debug {
     /// Scores a batch of rows. `ws` is the worker's reusable forward
     /// scratch; `obs` carries the engine's instrumentation handle.
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64>;
+
+    /// The conformal quantile `q̂` this scorer serves with, when it has a
+    /// conformal stage — the handle the online calibration monitor keys
+    /// on. `None` for uncalibrated scorers (nothing to recalibrate).
+    fn qhat(&self) -> Option<f64> {
+        None
+    }
+
+    /// A copy of this scorer with the conformal quantile replaced — the
+    /// hot-swap path: the monitor builds the replacement off-lock, then
+    /// registers it while in-flight batches keep their own `Arc`. `None`
+    /// whenever [`BatchScorer::qhat`] is (it is the same capability).
+    fn recalibrated(&self, _qhat: f64, _n_calibration: usize) -> Option<Arc<dyn BatchScorer>> {
+        None
+    }
 }
 
 impl BatchScorer for Rdrp {
@@ -50,6 +66,15 @@ impl BatchScorer for Rdrp {
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         let mut rng = Prng::seed_from_u64(SCORING_SEED);
         self.predict_scores_with(x, &mut rng, ws, obs)
+    }
+
+    fn qhat(&self) -> Option<f64> {
+        Rdrp::qhat(self)
+    }
+
+    fn recalibrated(&self, qhat: f64, n_calibration: usize) -> Option<Arc<dyn BatchScorer>> {
+        let swapped = self.with_qhat(qhat, n_calibration)?;
+        Some(Arc::new(swapped))
     }
 }
 
@@ -81,5 +106,14 @@ impl BatchScorer for Box<dyn RoiMethod> {
 
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         self.scores(x, ws, obs)
+    }
+
+    fn qhat(&self) -> Option<f64> {
+        self.as_rdrp().and_then(Rdrp::qhat)
+    }
+
+    fn recalibrated(&self, qhat: f64, n_calibration: usize) -> Option<Arc<dyn BatchScorer>> {
+        let swapped = RoiMethod::with_qhat(self.as_ref(), qhat, n_calibration)?;
+        Some(Arc::new(swapped))
     }
 }

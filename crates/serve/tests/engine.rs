@@ -266,6 +266,69 @@ fn expired_deadline_is_rejected_on_the_manual_clock() {
     assert_eq!(recorder.counter_value("serve.rejected.deadline"), 1.0);
 }
 
+/// Pins the deadline boundary on both edges: a deadline exactly equal
+/// to the worker's clock reading is expired ("done strictly before
+/// `d`"), and a saturated deadline (`now + huge` clamped to `u64::MAX`)
+/// still expires once the clock itself saturates — the `d < now`
+/// off-by-one made both unexpirable.
+#[test]
+fn deadline_equal_to_now_is_expired() {
+    let (obs, recorder, clock) = Obs::manual();
+    let gate = Arc::new(Gate::default());
+    let scorer: Arc<dyn BatchScorer> = Arc::new(GatedScorer {
+        gate: Arc::clone(&gate),
+    });
+    let engine = ScoringEngine::start(
+        EngineConfig {
+            workers: 1,
+            max_wait: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+        obs,
+    );
+    let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
+    // Occupy the worker, then queue a request with a 1 ms budget and
+    // advance the clock to *exactly* the deadline instant.
+    let blocked = engine.submit(&scorer, row.clone(), None).unwrap();
+    let doomed = engine
+        .submit(&scorer, row, Some(Duration::from_millis(1)))
+        .unwrap();
+    clock.advance(1_000_000);
+    gate.open();
+    assert_eq!(blocked.wait().unwrap(), vec![3.0]);
+    assert_eq!(doomed.wait(), Err(ScoreError::DeadlineExpired));
+    assert_eq!(recorder.counter_value("serve.rejected.deadline"), 1.0);
+}
+
+#[test]
+fn saturated_deadline_expires_at_clock_saturation() {
+    let (obs, recorder, clock) = Obs::manual();
+    let gate = Arc::new(Gate::default());
+    let scorer: Arc<dyn BatchScorer> = Arc::new(GatedScorer {
+        gate: Arc::clone(&gate),
+    });
+    let engine = ScoringEngine::start(
+        EngineConfig {
+            workers: 1,
+            max_wait: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+        obs,
+    );
+    let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
+    let blocked = engine.submit(&scorer, row.clone(), None).unwrap();
+    // A deadline so large that `now + d` saturates to u64::MAX...
+    let doomed = engine
+        .submit(&scorer, row, Some(Duration::from_nanos(u64::MAX)))
+        .unwrap();
+    // ...must still expire once the clock itself reaches u64::MAX.
+    clock.set(u64::MAX);
+    gate.open();
+    assert_eq!(blocked.wait().unwrap(), vec![3.0]);
+    assert_eq!(doomed.wait(), Err(ScoreError::DeadlineExpired));
+    assert_eq!(recorder.counter_value("serve.rejected.deadline"), 1.0);
+}
+
 /// Panics on the first call, then scores normally — the poisoned-worker
 /// recovery fixture.
 #[derive(Debug)]

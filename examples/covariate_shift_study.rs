@@ -29,11 +29,11 @@ fn main() {
     let shifted_sample = generator.sample(5_000, Population::Shifted, &mut rng);
     println!(
         "   base vs base    SMD: {:.3} (no shift)",
-        shift_magnitude(&train, &base_sample)
+        shift_magnitude(&train, &base_sample).expect("matched feature spaces")
     );
     println!(
         "   base vs holiday SMD: {:.3} (covariate shift)",
-        shift_magnitude(&train, &shifted_sample)
+        shift_magnitude(&train, &shifted_sample).expect("matched feature spaces")
     );
 
     println!("\n2. Fitting rDRP against each deployment population");
