@@ -1,0 +1,534 @@
+//! Deterministic fault injection.
+//!
+//! A chaos harness in the house style of `par` and `obs`: no global
+//! mutable state unless explicitly installed, no wall-clock
+//! nondeterminism, every injected fault traced through [`obs::Obs`] so a
+//! test can pin the *exact* fault schedule byte-for-byte the same way the
+//! golden-trace suite pins training runs.
+//!
+//! The moving parts:
+//!
+//! * [`FaultPlan`] — a seeded, declarative schedule: "at injection point
+//!   `persist.rename`, fail the 1st hit with an I/O error". Plans are
+//!   plain data; building one never arms anything.
+//! * [`Chaos`] — the armed handle threaded through instrumented code.
+//!   Each named *injection point* calls [`Chaos::hit`], which counts the
+//!   visit (per point, deterministically) and returns the matching
+//!   [`Fault`], if any. A disabled handle ([`Chaos::disabled`]) is one
+//!   `Option` check — the production default, same contract as
+//!   `Obs::disabled`.
+//! * An *ambient* thread-local ([`install`]/[`ambient`]) so deep call
+//!   sites (artifact reads five frames under a public API) can reach the
+//!   harness without threading a parameter through every signature.
+//!   Thread-locals do not cross `thread::spawn`, so worker pools hold an
+//!   explicit `Chaos` instead.
+//!
+//! Determinism contract: triggers are hit-counted ([`Trigger::Nth`],
+//! [`Trigger::First`], [`Trigger::From`]) or seeded ([`Trigger::Prob`]
+//! with a per-point xorshift stream derived from the plan seed), never
+//! time- or address-based. Under a `ManualClock` even the injected
+//! *stalls* are deterministic: [`Chaos::stall`] advances the attached
+//! clock instead of sleeping.
+
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use obs::{ManualClock, Obs};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// What an injection point should do when its trigger fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Fail with an injected [`io::Error`] (kind `Other`).
+    Io,
+    /// Deliver only the first `n` bytes of the payload, then fail the
+    /// write (crash-mid-save) or return the short read.
+    Truncate(usize),
+    /// Flip the low bit of the byte at this payload offset (XOR `0x01`,
+    /// which preserves UTF-8 well-formedness so the corruption reaches
+    /// the integrity check instead of dying at decode); out-of-range
+    /// offsets flip the last byte.
+    CorruptByte(usize),
+    /// Panic inside the instrumented code path.
+    Panic,
+    /// Stall for this many nanoseconds (see [`Chaos::stall`]).
+    StallNs(u64),
+    /// Tear down the connection with [`io::ErrorKind::ConnectionReset`].
+    Disconnect,
+}
+
+impl FaultKind {
+    /// Stable label used in the `fault.injected` trace event.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Io => "io",
+            FaultKind::Truncate(_) => "truncate",
+            FaultKind::CorruptByte(_) => "corrupt_byte",
+            FaultKind::Panic => "panic",
+            FaultKind::StallNs(_) => "stall",
+            FaultKind::Disconnect => "disconnect",
+        }
+    }
+}
+
+/// When a rule fires, in terms of the point's 1-based hit count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Every hit.
+    Always,
+    /// Exactly the `n`-th hit (1-based).
+    Nth(u64),
+    /// Hits `1..=n`.
+    First(u64),
+    /// Every hit from the `n`-th on.
+    From(u64),
+    /// Each hit independently with probability `p`, drawn from a
+    /// per-point xorshift stream seeded by the plan seed — deterministic
+    /// across runs, decorrelated across points.
+    Prob(f64),
+}
+
+impl Trigger {
+    fn fires(&self, hit: u64, rng: &mut u64) -> bool {
+        match self {
+            Trigger::Always => true,
+            Trigger::Nth(n) => hit == *n,
+            Trigger::First(n) => hit <= *n,
+            Trigger::From(n) => hit >= *n,
+            Trigger::Prob(p) => {
+                // xorshift64* — one draw per hit keeps the stream aligned
+                // with the hit counter regardless of outcome.
+                *rng ^= *rng << 13;
+                *rng ^= *rng >> 7;
+                *rng ^= *rng << 17;
+                let u =
+                    (rng.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+                u < *p
+            }
+        }
+    }
+}
+
+/// One armed fault, as returned by [`Chaos::hit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// The injection point that fired.
+    pub point: String,
+    /// The 1-based hit count at which it fired.
+    pub hit: u64,
+    /// What to do.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// The injected fault as an [`io::Error`], for I/O-shaped points.
+    pub fn to_io_error(&self) -> io::Error {
+        let kind = match self.kind {
+            FaultKind::Disconnect => io::ErrorKind::ConnectionReset,
+            _ => io::ErrorKind::Other,
+        };
+        io::Error::new(
+            kind,
+            format!(
+                "chaos: injected {} at {} (hit {})",
+                self.kind.label(),
+                self.point,
+                self.hit
+            ),
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    trigger: Trigger,
+    kind: FaultKind,
+}
+
+/// A declarative, seeded fault schedule. Build with the fluent
+/// [`FaultPlan::fail`] and arm with [`Chaos::new`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: BTreeMap<String, Vec<Rule>>,
+}
+
+impl FaultPlan {
+    /// An empty plan with seed 0 (only matters for [`Trigger::Prob`]).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty plan whose probabilistic triggers draw from `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a rule: at `point`, when `trigger` fires, inject `kind`.
+    /// Multiple rules on one point are checked in insertion order; the
+    /// first match wins.
+    pub fn fail(mut self, point: &str, trigger: Trigger, kind: FaultKind) -> FaultPlan {
+        self.rules
+            .entry(point.to_string())
+            .or_default()
+            .push(Rule { trigger, kind });
+        self
+    }
+}
+
+#[derive(Debug)]
+struct PointState {
+    hits: u64,
+    rng: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rules: BTreeMap<String, Vec<Rule>>,
+    seed: u64,
+    state: Mutex<BTreeMap<String, PointState>>,
+    obs: Obs,
+    stall_clock: Option<Arc<ManualClock>>,
+}
+
+/// The armed fault-injection handle. Cheap to clone (an `Arc` under the
+/// hood); a disabled handle is a `None` and costs one branch per hit.
+#[derive(Debug, Clone, Default)]
+pub struct Chaos {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Chaos {
+    /// The production default: no plan, every [`Chaos::hit`] is `None`.
+    pub fn disabled() -> Chaos {
+        Chaos { inner: None }
+    }
+
+    /// Arms `plan`; every injected fault emits a `fault.injected` event
+    /// (fields `point`, `hit`, `kind`) through `obs`.
+    pub fn new(plan: FaultPlan, obs: Obs) -> Chaos {
+        Chaos {
+            inner: Some(Arc::new(Inner {
+                seed: plan.seed,
+                rules: plan.rules,
+                state: Mutex::new(BTreeMap::new()),
+                obs,
+                stall_clock: None,
+            })),
+        }
+    }
+
+    /// Attaches a manual clock: [`Chaos::stall`] advances it instead of
+    /// sleeping, making stall faults trace-deterministic.
+    pub fn with_stall_clock(self, clock: Arc<ManualClock>) -> Chaos {
+        match self.inner {
+            None => Chaos { inner: None },
+            Some(inner) => Chaos {
+                inner: Some(Arc::new(Inner {
+                    seed: inner.seed,
+                    rules: inner.rules.clone(),
+                    // Fresh counters: re-arming is building a new handle.
+                    state: Mutex::new(BTreeMap::new()),
+                    obs: inner.obs.clone(),
+                    stall_clock: Some(clock),
+                })),
+            },
+        }
+    }
+
+    /// Whether any plan is armed.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Counts a visit to `point` and returns the fault to inject, if any
+    /// rule fires at this hit. Emits `fault.injected` on a match.
+    pub fn hit(&self, point: &str) -> Option<Fault> {
+        let inner = self.inner.as_ref()?;
+        let rules = inner.rules.get(point)?;
+        let mut state = lock(&inner.state);
+        let entry = state
+            .entry(point.to_string())
+            .or_insert_with(|| PointState {
+                hits: 0,
+                rng: point_seed(inner.seed, point),
+            });
+        entry.hits += 1;
+        let hit = entry.hits;
+        let fired = rules
+            .iter()
+            .find(|r| r.trigger.fires(hit, &mut entry.rng))
+            .map(|r| r.kind.clone());
+        drop(state);
+        let kind = fired?;
+        inner.obs.event(
+            "fault.injected",
+            &[
+                ("point", point.into()),
+                ("hit", hit.into()),
+                ("kind", kind.label().into()),
+            ],
+        );
+        Some(Fault {
+            point: point.to_string(),
+            hit,
+            kind,
+        })
+    }
+
+    /// Shorthand for I/O-shaped points: `Err` with the injected error
+    /// when an [`FaultKind::Io`], [`FaultKind::Disconnect`], or
+    /// [`FaultKind::Truncate`] rule fires, `Ok(())` otherwise. Points
+    /// that need the truncation length handle [`Chaos::hit`] directly.
+    pub fn io_point(&self, point: &str) -> io::Result<()> {
+        match self.hit(point) {
+            Some(f) => Err(f.to_io_error()),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies a stall: advances the attached manual clock when one is
+    /// present, otherwise actually sleeps.
+    pub fn stall(&self, ns: u64) {
+        match self.inner.as_ref().and_then(|i| i.stall_clock.as_ref()) {
+            Some(clock) => clock.advance(ns),
+            None => std::thread::sleep(std::time::Duration::from_nanos(ns)),
+        }
+    }
+
+    /// How many times `point` has been visited so far.
+    pub fn hits(&self, point: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| lock(&i.state).get(point).map_or(0, |s| s.hits))
+            .unwrap_or(0)
+    }
+}
+
+/// Applies `fault` to an in-memory payload: truncates or corrupts the
+/// bytes per the fault kind, passes everything else through untouched.
+/// Shared by the read and write injection sites so both interpret
+/// offsets identically.
+pub fn mangle(fault: &Fault, bytes: &mut Vec<u8>) {
+    match fault.kind {
+        FaultKind::Truncate(n) => bytes.truncate(n),
+        FaultKind::CorruptByte(i) => {
+            if let Some(b) = {
+                let last = bytes.len().saturating_sub(1);
+                bytes.get_mut(i.min(last))
+            } {
+                *b ^= 0x01;
+            }
+        }
+        _ => {}
+    }
+}
+
+// FNV-1a over the point name decorrelates per-point Prob streams.
+fn point_seed(seed: u64, point: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in point.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // A zero state would wedge xorshift.
+    h | 1
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Chaos> = RefCell::new(Chaos::disabled());
+}
+
+/// The thread's ambient chaos handle (disabled unless [`install`]ed).
+/// Deep call sites — artifact reads inside `load` impls, the protocol
+/// read loop — consult this instead of growing a parameter.
+pub fn ambient() -> Chaos {
+    AMBIENT.with(|c| c.borrow().clone())
+}
+
+/// Installs `chaos` as this thread's ambient handle for the guard's
+/// lifetime; the previous handle is restored on drop. Thread-local, so
+/// parallel tests in one process cannot see each other's plans — but for
+/// the same reason an installed plan does *not* follow work handed to a
+/// worker pool.
+pub fn install(chaos: Chaos) -> AmbientGuard {
+    let prev = AMBIENT.with(|c| c.replace(chaos));
+    AmbientGuard { prev: Some(prev) }
+}
+
+/// Restores the previously ambient handle on drop. Not `Send`: the
+/// guard must drop on the thread that installed it.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<Chaos>,
+    // !Send: thread-local restoration must happen on the install thread.
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            AMBIENT.with(|c| {
+                *c.borrow_mut() = prev;
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Clock;
+
+    #[test]
+    fn disabled_handle_never_fires() {
+        let c = Chaos::disabled();
+        assert!(!c.active());
+        for _ in 0..10 {
+            assert!(c.hit("anything").is_none());
+        }
+        assert_eq!(c.hits("anything"), 0);
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let plan = FaultPlan::new().fail("p", Trigger::Nth(3), FaultKind::Io);
+        let c = Chaos::new(plan, Obs::disabled());
+        let fired: Vec<bool> = (0..5).map(|_| c.hit("p").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        assert_eq!(c.hits("p"), 5);
+    }
+
+    #[test]
+    fn first_and_from_triggers_cover_ranges() {
+        let plan = FaultPlan::new()
+            .fail("a", Trigger::First(2), FaultKind::Panic)
+            .fail("b", Trigger::From(3), FaultKind::Disconnect);
+        let c = Chaos::new(plan, Obs::disabled());
+        let a: Vec<bool> = (0..4).map(|_| c.hit("a").is_some()).collect();
+        let b: Vec<bool> = (0..4).map(|_| c.hit("b").is_some()).collect();
+        assert_eq!(a, vec![true, true, false, false]);
+        assert_eq!(b, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn prob_trigger_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let plan = FaultPlan::seeded(seed).fail("p", Trigger::Prob(0.5), FaultKind::Io);
+            let c = Chaos::new(plan, Obs::disabled());
+            (0..32).map(|_| c.hit("p").is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn hits_emit_trace_events() {
+        let (obs, rec, _clock) = Obs::manual();
+        let plan = FaultPlan::new().fail("persist.rename", Trigger::Nth(1), FaultKind::Io);
+        let c = Chaos::new(plan, obs);
+        let fault = c.hit("persist.rename").unwrap();
+        assert_eq!(fault.hit, 1);
+        assert_eq!(fault.kind, FaultKind::Io);
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "fault.injected");
+        assert_eq!(
+            events[0].field("point"),
+            Some(&obs::FieldValue::Str("persist.rename".into()))
+        );
+        assert_eq!(
+            events[0].field("kind"),
+            Some(&obs::FieldValue::Str("io".into()))
+        );
+    }
+
+    #[test]
+    fn io_point_maps_kinds_to_error_kinds() {
+        let plan = FaultPlan::new()
+            .fail("r", Trigger::Nth(1), FaultKind::Disconnect)
+            .fail("r", Trigger::Nth(2), FaultKind::Io);
+        let c = Chaos::new(plan, Obs::disabled());
+        let e1 = c.io_point("r").unwrap_err();
+        assert_eq!(e1.kind(), io::ErrorKind::ConnectionReset);
+        let e2 = c.io_point("r").unwrap_err();
+        assert_eq!(e2.kind(), io::ErrorKind::Other);
+        assert!(c.io_point("r").is_ok());
+    }
+
+    #[test]
+    fn mangle_truncates_and_corrupts() {
+        let mut bytes = b"hello".to_vec();
+        mangle(
+            &Fault {
+                point: "p".into(),
+                hit: 1,
+                kind: FaultKind::Truncate(2),
+            },
+            &mut bytes,
+        );
+        assert_eq!(bytes, b"he");
+        mangle(
+            &Fault {
+                point: "p".into(),
+                hit: 2,
+                kind: FaultKind::CorruptByte(0),
+            },
+            &mut bytes,
+        );
+        assert_eq!(bytes, vec![b'h' ^ 0x01, b'e']);
+        // Out-of-range offsets clamp to the last byte.
+        mangle(
+            &Fault {
+                point: "p".into(),
+                hit: 3,
+                kind: FaultKind::CorruptByte(99),
+            },
+            &mut bytes,
+        );
+        assert_eq!(bytes[1], b'e' ^ 0x01);
+    }
+
+    #[test]
+    fn stall_advances_attached_manual_clock() {
+        let (obs, _rec, clock) = Obs::manual();
+        let plan = FaultPlan::new().fail("w", Trigger::Always, FaultKind::StallNs(250));
+        let c = Chaos::new(plan, obs).with_stall_clock(Arc::clone(&clock));
+        if let Some(f) = c.hit("w") {
+            if let FaultKind::StallNs(ns) = f.kind {
+                c.stall(ns);
+            }
+        }
+        assert_eq!(clock.now_ns(), 250);
+    }
+
+    #[test]
+    fn ambient_install_is_scoped_and_restores() {
+        assert!(!ambient().active());
+        let plan = FaultPlan::new().fail("p", Trigger::Always, FaultKind::Io);
+        {
+            let _guard = install(Chaos::new(plan, Obs::disabled()));
+            assert!(ambient().active());
+            assert!(ambient().hit("p").is_some());
+        }
+        assert!(!ambient().active());
+    }
+
+    #[test]
+    fn ambient_shares_hit_counters_across_clones() {
+        let plan = FaultPlan::new().fail("p", Trigger::Nth(2), FaultKind::Io);
+        let _guard = install(Chaos::new(plan, Obs::disabled()));
+        assert!(ambient().hit("p").is_none());
+        // Second clone sees the first clone's hit count.
+        assert!(ambient().hit("p").is_some());
+    }
+}

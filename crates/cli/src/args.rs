@@ -394,6 +394,21 @@ pub struct ServeArgs {
     pub queue_rows: usize,
     /// Requests kept in flight per connection.
     pub window: usize,
+    /// Consecutive worker panics before the supervisor respawns the
+    /// thread (0 disables respawning).
+    pub respawn_after_panics: u32,
+    /// Worker panics that trip the load-shedding breaker (0 disables).
+    pub breaker_trip_panics: u32,
+    /// Queued-row watermark that trips the breaker (absent disables).
+    pub breaker_shed_rows: Option<usize>,
+    /// How long a tripped breaker sheds before accepting load again.
+    pub breaker_cooldown: Duration,
+    /// TCP only: per-connection read/write timeout; slow clients are
+    /// disconnected instead of pinning a handler thread (0 disables).
+    pub conn_timeout: Option<Duration>,
+    /// TCP only: requests answered per connection before the session
+    /// closes (0 = unlimited).
+    pub max_requests_per_conn: u64,
     /// Enable serve-side online conformal calibration: feedback lines
     /// feed a rolling calibration window and a drift detector that
     /// hot-swaps a recalibrated artifact through the registry.
@@ -428,6 +443,12 @@ impl ServeArgs {
                 "max-wait-us",
                 "queue-rows",
                 "window",
+                "respawn-after-panics",
+                "breaker-trip-panics",
+                "breaker-shed-rows",
+                "breaker-cooldown-ms",
+                "conn-timeout-ms",
+                "max-requests-per-conn",
                 "online-calibration",
                 "reference",
                 "calibration-window",
@@ -450,6 +471,18 @@ impl ServeArgs {
             max_wait: Duration::from_micros(args.get_or("max-wait-us", 500)?),
             queue_rows: args.get_or("queue-rows", 16_384)?,
             window: args.get_or("window", 32)?,
+            respawn_after_panics: args.get_or("respawn-after-panics", 3u32)?,
+            breaker_trip_panics: args.get_or("breaker-trip-panics", 0u32)?,
+            breaker_shed_rows: match args.get("breaker-shed-rows") {
+                None => None,
+                Some(_) => Some(args.get_or("breaker-shed-rows", 0usize)?),
+            },
+            breaker_cooldown: Duration::from_millis(args.get_or("breaker-cooldown-ms", 1000)?),
+            conn_timeout: match args.get_or("conn-timeout-ms", 30_000u64)? {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            max_requests_per_conn: args.get_or("max-requests-per-conn", 0u64)?,
             online_calibration: args.get_or("online-calibration", false)?,
             reference: args.get("reference").map(str::to_string),
             calibration_window: args.get_or("calibration-window", 256)?,
@@ -470,6 +503,12 @@ impl ServeArgs {
                     value: "0".to_string(),
                 });
             }
+        }
+        if parsed.breaker_shed_rows == Some(0) {
+            return Err(ArgError::BadValue {
+                flag: "breaker-shed-rows".to_string(),
+                value: "0".to_string(),
+            });
         }
         if !(parsed.drift_threshold > 0.0 && parsed.drift_threshold.is_finite()) {
             return Err(ArgError::BadValue {

@@ -37,8 +37,8 @@ use linalg::random::Prng;
 use obs::{InMemoryRecorder, Obs};
 use rdrp::{DrpConfig, RdrpConfig};
 use serve::{
-    run_jsonl, CalibrationMonitor, CalibrationMonitorConfig, EngineConfig, ModelRegistry,
-    ScoringEngine,
+    run_jsonl, BackoffPolicy, BreakerConfig, CalibrationMonitor, CalibrationMonitorConfig,
+    EngineConfig, ModelRegistry, ScoringEngine, SessionLimits, SupervisorConfig,
 };
 use std::fmt;
 use std::io::Write as _;
@@ -100,7 +100,7 @@ fn usage() -> String {
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
      rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
-     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
      --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
@@ -346,17 +346,34 @@ fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
 
 fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
     let registry = Arc::new(ModelRegistry::new());
+    let cli_obs = CliObs::new(&a.obs);
+    // The initial load rides the same bounded-backoff path the online
+    // recalibrator uses: a deploy still renaming the artifact into
+    // place costs a few retries, not a dead server.
     registry
-        .load(&a.name, &a.model_version, &a.model)
+        .load_with_retry(
+            &a.name,
+            &a.model_version,
+            &a.model,
+            &BackoffPolicy::default(),
+            &cli_obs.obs,
+        )
         .map_err(data_err)?;
     eprintln!("serving {}@{} from {}", a.name, a.model_version, a.model);
-    let cli_obs = CliObs::new(&a.obs);
     let engine = ScoringEngine::start(
         EngineConfig {
             workers: a.workers,
             max_batch_rows: a.max_batch_rows,
             max_wait: a.max_wait,
             queue_rows: a.queue_rows,
+            supervisor: SupervisorConfig {
+                respawn_after_panics: a.respawn_after_panics,
+            },
+            breaker: BreakerConfig {
+                trip_panics: a.breaker_trip_panics,
+                shed_queue_rows: a.breaker_shed_rows,
+                cooldown: a.breaker_cooldown,
+            },
         },
         cli_obs.obs.clone(),
     );
@@ -390,16 +407,28 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
             a.calibration_window, a.drift_batch, a.drift_threshold
         );
     }
+    let limits = SessionLimits {
+        window: a.window,
+        max_requests: a.max_requests_per_conn,
+    };
     match &a.tcp {
         // stdin/stdout mode: the protocol owns stdout, diagnostics go to
         // stderr. EOF on stdin drains in-flight requests and exits.
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            run_jsonl(stdin.lock(), stdout.lock(), &engine, &registry, a.window)
+            run_jsonl(stdin.lock(), stdout.lock(), &engine, &registry, &limits)
                 .map_err(data_err)?;
         }
-        Some(addr) => serve_tcp(addr, a.max_conns, &engine, &registry, a.window)?,
+        Some(addr) => serve_tcp(
+            addr,
+            a.max_conns,
+            a.conn_timeout,
+            &engine,
+            &registry,
+            &limits,
+            &cli_obs.obs,
+        )?,
     }
     // Join the workers before dumping the trace so their final events are
     // in it.
@@ -411,12 +440,23 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
 /// connections sharing the engine and registry. `max_conns` bounds the
 /// number of connections served (for tests and smoke runs); `None`
 /// serves until killed.
+///
+/// Hardening: every accepted socket gets `conn_timeout` as both read
+/// and write timeout, so a client that stops sending (or stops reading
+/// its responses) is disconnected instead of pinning a handler thread
+/// forever; `limits.max_requests` bounds the work any one connection
+/// can demand. Both disconnect paths are logged and counted
+/// (`serve.slow_client_disconnects`) — an accepted request is always
+/// answered or visibly dropped, never silently lost.
+#[allow(clippy::too_many_arguments)]
 fn serve_tcp(
     addr: &str,
     max_conns: Option<usize>,
+    conn_timeout: Option<std::time::Duration>,
     engine: &ScoringEngine,
     registry: &ModelRegistry,
-    window: usize,
+    limits: &SessionLimits,
+    obs: &Obs,
 ) -> Result<(), CliError> {
     let listener = TcpListener::bind(addr).map_err(data_err)?;
     let local = listener.local_addr().map_err(data_err)?;
@@ -433,6 +473,16 @@ fn serve_tcp(
             };
             served += 1;
             scope.spawn(move || {
+                // Timeout configuration failing is as fatal as the
+                // timeout firing: without it a dead peer pins the
+                // thread, so refuse the connection.
+                if let Err(e) = stream
+                    .set_read_timeout(conn_timeout)
+                    .and_then(|()| stream.set_write_timeout(conn_timeout))
+                {
+                    eprintln!("connection {peer}: cannot arm timeouts: {e}");
+                    return;
+                }
                 let reader = match stream.try_clone() {
                     Ok(clone) => std::io::BufReader::new(clone),
                     Err(e) => {
@@ -440,8 +490,16 @@ fn serve_tcp(
                         return;
                     }
                 };
-                if let Err(e) = run_jsonl(reader, &stream, engine, registry, window) {
-                    eprintln!("connection {peer}: {e}");
+                if let Err(e) = run_jsonl(reader, &stream, engine, registry, limits) {
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        obs.counter("serve.slow_client_disconnects", 1.0);
+                        eprintln!("connection {peer}: slow client disconnected: {e}");
+                    } else {
+                        eprintln!("connection {peer}: {e}");
+                    }
                 }
             });
         }
@@ -607,15 +665,18 @@ mod tests {
             }),
         )
         .unwrap();
-        // The server needs a moment to bind; retry the connect.
-        let stream = (0..100)
-            .find_map(|_| {
-                std::net::TcpStream::connect(addr).ok().or_else(|| {
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    None
-                })
-            })
-            .expect("server never bound");
+        // The server needs a moment to bind; retry the connect under a
+        // bounded backoff instead of a bare poll loop.
+        let policy = serve::BackoffPolicy {
+            attempts: 40,
+            base: std::time::Duration::from_millis(5),
+            factor: 1.5,
+            cap: std::time::Duration::from_millis(100),
+            ..serve::BackoffPolicy::default()
+        };
+        let stream =
+            serve::backoff::retry(&policy, |_| std::net::TcpStream::connect(addr), |_| true)
+                .expect("server never bound");
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
         let rows: Vec<Vec<f64>> = data.x.row_iter().map(<[f64]>::to_vec).collect();

@@ -6,7 +6,8 @@
 //! {
 //!   "format_version": 1,
 //!   "method": "<registry tag, e.g. \"rdrp\" or \"tpm-sl\">",
-//!   "body": { ... method-specific payload ... }
+//!   "body": { ... method-specific payload ... },
+//!   "checksum": "<hex FNV-1a-64 of the body's compact JSON>"
 //! }
 //! ```
 //!
@@ -14,7 +15,12 @@
 //! ([`crate::methods::METHODS`]), so a loader can reconstruct the right
 //! model type from the file alone — no out-of-band `--kind` flag. The
 //! `format_version` gates schema evolution: a reader refuses versions it
-//! does not understand instead of misparsing them.
+//! does not understand instead of misparsing them. The `checksum` guards
+//! *integrity*: a bit flipped inside the body after the file was written
+//! surfaces as [`PersistError::Checksum`] at load, not as a model that
+//! silently scores differently. Artifacts written before the field
+//! existed still load (the check runs only when the field is present),
+//! which keeps the committed golden fixtures valid.
 
 use crate::persist::PersistError;
 use tinyjson::{FromJson, JsonError, ToJson, Value};
@@ -22,12 +28,25 @@ use tinyjson::{FromJson, JsonError, ToJson, Value};
 /// The artifact schema version this build reads and writes.
 pub const FORMAT_VERSION: u64 = 1;
 
+/// Hex FNV-1a-64 of a body's compact JSON rendering — the integrity
+/// stamp [`encode`] writes and [`decode`] verifies.
+pub fn body_checksum(body: &Value) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tinyjson::to_string(body).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
 /// Wraps a method body in the versioned envelope.
 pub fn encode(method: &str, body: Value) -> Value {
+    let checksum = body_checksum(&body);
     Value::Obj(vec![
         ("format_version".to_string(), FORMAT_VERSION.to_json()),
         ("method".to_string(), method.to_string().to_json()),
         ("body".to_string(), body),
+        ("checksum".to_string(), checksum.to_json()),
     ])
 }
 
@@ -35,7 +54,8 @@ pub fn encode(method: &str, body: Value) -> Value {
 ///
 /// # Errors
 /// [`PersistError::Format`] when the value is not an envelope or its
-/// `format_version` is unsupported.
+/// `format_version` is unsupported; [`PersistError::Checksum`] when a
+/// `checksum` field is present and does not match the body.
 pub fn decode(v: &Value) -> Result<(String, &Value), PersistError> {
     let version = u64::from_json(v.fetch("format_version")).map_err(|_| {
         PersistError::Format(
@@ -54,6 +74,19 @@ pub fn decode(v: &Value) -> Result<(String, &Value), PersistError> {
         return Err(PersistError::Format(format!(
             "artifact {method:?} has no body"
         )));
+    }
+    match v.fetch("checksum") {
+        // Pre-checksum artifacts carry no stamp; nothing to verify.
+        Value::Null => {}
+        stamp => {
+            let expected = String::from_json(stamp).map_err(|_| {
+                PersistError::Format("artifact checksum is not a string".to_string())
+            })?;
+            let computed = body_checksum(body);
+            if expected != computed {
+                return Err(PersistError::Checksum { expected, computed });
+            }
+        }
     }
     Ok((method, body))
 }
@@ -137,6 +170,29 @@ mod tests {
         let err = decode(&v).unwrap_err();
         assert!(matches!(err, PersistError::Format(_)), "{err:?}");
         assert!(err.to_string().contains("format_version 99"), "{err}");
+    }
+
+    #[test]
+    fn tampered_body_fails_the_checksum() {
+        let mut v = encode("rdrp", Value::Obj(vec![("x".to_string(), 1.5.to_json())]));
+        let Value::Obj(fields) = &mut v else {
+            unreachable!()
+        };
+        // Field 2 is the body; swap in a different (still valid) payload.
+        fields[2].1 = Value::Obj(vec![("x".to_string(), 2.5.to_json())]);
+        let err = decode(&v).unwrap_err();
+        assert!(matches!(err, PersistError::Checksum { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn pre_checksum_envelopes_still_decode() {
+        let mut v = encode("rdrp", Value::Obj(vec![("x".to_string(), 1.5.to_json())]));
+        let Value::Obj(fields) = &mut v else {
+            unreachable!()
+        };
+        fields.retain(|(k, _)| k != "checksum");
+        let (method, _) = decode(&v).unwrap();
+        assert_eq!(method, "rdrp");
     }
 
     #[test]

@@ -82,6 +82,6 @@ pub use error::PipelineError;
 pub use loss::DrpObjective;
 pub use methods::{build, load_method, method_names, save_method, MethodConfig, RoiMethod};
 pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
-pub use persist::{Persist, PersistError};
+pub use persist::{atomic_write_artifact, Persist, PersistError};
 pub use rdrp::{Rdrp, RdrpDiagnostics, SCORING_SEED};
 pub use search::{find_roi_star, SearchError};

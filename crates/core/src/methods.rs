@@ -119,16 +119,18 @@ pub trait RoiMethod: Send + Sync + fmt::Debug {
     fn body_to_json(&self) -> Value;
 }
 
-/// Saves any method as a versioned artifact at `path`.
+/// Saves any method as a versioned artifact at `path`, through the
+/// crash-safe [`crate::persist::atomic_write_artifact`] path (temp +
+/// fsync + rename): an interrupted save leaves any previous artifact
+/// intact.
 ///
 /// # Errors
 /// [`PersistError::Io`] when the file cannot be written.
 pub fn save_method(method: &dyn RoiMethod, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    std::fs::write(
+    crate::persist::atomic_write_artifact(
         path,
-        artifact::render(method.method_name(), method.body_to_json()),
-    )?;
-    Ok(())
+        &artifact::render(method.method_name(), method.body_to_json()),
+    )
 }
 
 /// Loads any artifact by its embedded method tag.
@@ -136,9 +138,11 @@ pub fn save_method(method: &dyn RoiMethod, path: impl AsRef<Path>) -> Result<(),
 /// # Errors
 /// [`PersistError::Io`]/[`PersistError::Serde`] for unreadable or
 /// unparseable files, [`PersistError::Format`] for a valid JSON file
-/// that is not an artifact or carries an unknown tag.
+/// that is not an artifact or carries an unknown tag,
+/// [`PersistError::Checksum`] for a stamped artifact whose body was
+/// altered after it was written.
 pub fn load_method(path: impl AsRef<Path>) -> Result<Box<dyn RoiMethod>, PersistError> {
-    let (tag, body) = artifact::parse(&std::fs::read_to_string(path)?)?;
+    let (tag, body) = artifact::parse(&crate::persist::read_artifact(path)?)?;
     let spec = spec(&tag).ok_or_else(|| {
         PersistError::Format(format!(
             "unknown method tag {tag:?} (known: {})",

@@ -19,7 +19,8 @@ use crate::drp::DrpModel;
 use crate::rdrp::Rdrp;
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use tinyjson::{FromJson, ToJson};
 use uplift::{DirectRank, Tpm};
 
@@ -33,6 +34,16 @@ pub enum PersistError {
     /// The file parses as JSON but is not a loadable artifact: missing or
     /// unsupported envelope, or a method tag the caller cannot accept.
     Format(String),
+    /// The envelope's integrity stamp does not match its body: the file
+    /// was altered after it was written (bit rot, a torn copy, a manual
+    /// edit). Loading stops here rather than serving a model whose
+    /// weights differ from what training saved.
+    Checksum {
+        /// The stamp recorded in the file.
+        expected: String,
+        /// What the body actually hashes to.
+        computed: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -41,6 +52,10 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Serde(e) => write!(f, "serialization error: {e}"),
             PersistError::Format(m) => write!(f, "artifact format error: {m}"),
+            PersistError::Checksum { expected, computed } => write!(
+                f,
+                "artifact checksum mismatch: file says {expected}, body hashes to {computed}"
+            ),
         }
     }
 }
@@ -67,7 +82,9 @@ impl From<tinyjson::JsonError> for PersistError {
 /// `load` rejects files whose method tag belongs to a different type
 /// with [`PersistError::Format`] instead of half-parsing them.
 pub trait Persist: Sized {
-    /// Writes the model (trained or not) as a pretty-JSON artifact.
+    /// Writes the model (trained or not) as a pretty-JSON artifact, via
+    /// the crash-safe [`atomic_write_artifact`] path: a failed or
+    /// interrupted save leaves any previous artifact at `path` intact.
     ///
     /// # Errors
     /// [`PersistError::Io`] when the file cannot be written.
@@ -79,8 +96,100 @@ pub trait Persist: Sized {
     /// [`PersistError::Io`] when the file cannot be read,
     /// [`PersistError::Serde`] when its contents do not parse as this
     /// model type, [`PersistError::Format`] when the file is not an
-    /// artifact or carries another model's tag.
+    /// artifact or carries another model's tag, and
+    /// [`PersistError::Checksum`] when the envelope's integrity stamp
+    /// does not match the body.
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError>;
+}
+
+/// Writes an artifact crash-safely: the bytes go to a temp sibling in
+/// the same directory, are flushed with `sync_all`, and the temp file is
+/// atomically renamed over the destination. An interrupted save leaves
+/// either the old complete artifact or the new complete artifact on
+/// disk — never a torn mix — and the temp file is removed on failure.
+///
+/// Chaos points `persist.write`, `persist.fsync`, and `persist.rename`
+/// (consulted through [`chaos::ambient`]) let the fault-injection suite
+/// kill the save at each stage.
+///
+/// # Errors
+/// [`PersistError::Io`] when any stage fails; the destination is
+/// untouched in that case.
+pub fn atomic_write_artifact(path: impl AsRef<Path>, contents: &str) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let harness = chaos::ambient();
+    let tmp = tmp_sibling(path);
+    let staged = write_flushed(&tmp, contents.as_bytes(), &harness).and_then(|()| {
+        harness.io_point("persist.rename")?;
+        fs::rename(&tmp, path)
+    });
+    if staged.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    staged?;
+    sync_dir(path);
+    Ok(())
+}
+
+// The temp name carries the pid so concurrent processes saving to the
+// same destination stage through distinct siblings.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "artifact".into());
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+fn write_flushed(tmp: &Path, bytes: &[u8], harness: &chaos::Chaos) -> std::io::Result<()> {
+    let mut f = fs::File::create(tmp)?;
+    if let Some(fault) = harness.hit("persist.write") {
+        // A crash mid-write: deliver whatever prefix the fault allows,
+        // flush it so the torn file really exists, then fail.
+        let mut partial = bytes.to_vec();
+        chaos::mangle(&fault, &mut partial);
+        if partial.len() < bytes.len() {
+            f.write_all(&partial)?;
+            let _ = f.sync_all();
+        }
+        return Err(fault.to_io_error());
+    }
+    f.write_all(bytes)?;
+    harness.io_point("persist.fsync")?;
+    f.sync_all()
+}
+
+// Durability of the rename itself: fsync the containing directory where
+// the platform can open one; best-effort everywhere.
+fn sync_dir(path: &Path) {
+    #[cfg(unix)]
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Reads an artifact file's text, with the chaos `persist.read` point
+/// applied to the raw bytes (injected I/O failure, short read, flipped
+/// byte) before decoding.
+pub(crate) fn read_artifact(path: impl AsRef<Path>) -> Result<String, PersistError> {
+    let harness = chaos::ambient();
+    let fault = harness.hit("persist.read");
+    if let Some(f) = &fault {
+        if matches!(f.kind, chaos::FaultKind::Io | chaos::FaultKind::Disconnect) {
+            return Err(PersistError::Io(f.to_io_error()));
+        }
+    }
+    let mut bytes = fs::read(path)?;
+    if let Some(f) = &fault {
+        chaos::mangle(f, &mut bytes);
+    }
+    String::from_utf8(bytes)
+        .map_err(|e| PersistError::Format(format!("artifact is not UTF-8: {e}")))
 }
 
 /// Reads `path` and unwraps its envelope, accepting tags per `accept`.
@@ -89,15 +198,14 @@ fn read_body(
     expectation: &str,
     accept: impl Fn(&str) -> bool,
 ) -> Result<tinyjson::Value, PersistError> {
-    let v = tinyjson::from_str(&fs::read_to_string(path)?)?;
+    let v = tinyjson::from_str(&read_artifact(path)?)?;
     let (_, body) = artifact::decode_expecting(&v, expectation, accept)?;
     Ok(body.clone())
 }
 
 impl Persist for Rdrp {
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, artifact::render("rdrp", self.to_json()))?;
-        Ok(())
+        atomic_write_artifact(path, &artifact::render("rdrp", self.to_json()))
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
@@ -109,8 +217,7 @@ impl Persist for Rdrp {
 
 impl Persist for DrpModel {
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, artifact::render("drp", self.to_json()))?;
-        Ok(())
+        atomic_write_artifact(path, &artifact::render("drp", self.to_json()))
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
@@ -125,8 +232,7 @@ impl Persist for Tpm {
     /// matching the registry names of `crate::methods`.
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let tag = format!("tpm-{}", self.label().to_lowercase());
-        fs::write(path, artifact::render(&tag, self.to_json()))?;
-        Ok(())
+        atomic_write_artifact(path, &artifact::render(&tag, self.to_json()))
     }
 
     /// Accepts any `tpm-*` artifact; the body's label says which variant.
@@ -139,8 +245,7 @@ impl Persist for Tpm {
 
 impl Persist for DirectRank {
     fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        fs::write(path, artifact::render("dr", self.to_json()))?;
-        Ok(())
+        atomic_write_artifact(path, &artifact::render("dr", self.to_json()))
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
@@ -163,8 +268,7 @@ impl Persist for BootstrapDrp {
                 crate::config::RdrpConfig::default().std_floor.to_json(),
             ),
         ]);
-        fs::write(path, artifact::render("bootstrap-drp", body))?;
-        Ok(())
+        atomic_write_artifact(path, &artifact::render("bootstrap-drp", body))
     }
 
     fn load(path: impl AsRef<Path>) -> Result<Self, PersistError> {
@@ -236,6 +340,46 @@ mod tests {
             model.diagnostics().selected_form,
             loaded.diagnostics().selected_form
         );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_artifact_intact() {
+        let path = tmp("atomic");
+        let model = DrpModel::new(DrpConfig::default());
+        model.save(&path).unwrap();
+
+        for point in ["persist.write", "persist.fsync", "persist.rename"] {
+            let plan =
+                chaos::FaultPlan::new().fail(point, chaos::Trigger::Nth(1), chaos::FaultKind::Io);
+            let _guard = chaos::install(chaos::Chaos::new(plan, Obs::disabled()));
+            let err = model.save(&path).unwrap_err();
+            assert!(matches!(err, PersistError::Io(_)), "{point}: {err:?}");
+            // The old artifact survives the failed save, checksum and all.
+            DrpModel::load(&path).unwrap_or_else(|e| panic!("{point}: {e}"));
+        }
+        // No staged temp files left behind.
+        assert!(!tmp_sibling(&path).exists());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn chaos_read_faults_surface_as_typed_errors() {
+        let path = tmp("readfault");
+        DrpModel::new(DrpConfig::default()).save(&path).unwrap();
+        let plan = chaos::FaultPlan::new()
+            .fail("persist.read", chaos::Trigger::Nth(1), chaos::FaultKind::Io)
+            .fail(
+                "persist.read",
+                chaos::Trigger::Nth(2),
+                chaos::FaultKind::Truncate(40),
+            );
+        let _guard = chaos::install(chaos::Chaos::new(plan, Obs::disabled()));
+        assert!(matches!(DrpModel::load(&path), Err(PersistError::Io(_))));
+        // A 40-byte prefix of the envelope is unparseable JSON.
+        assert!(matches!(DrpModel::load(&path), Err(PersistError::Serde(_))));
+        // Hit 3: no rule, the artifact loads normally again.
+        DrpModel::load(&path).unwrap();
         let _ = std::fs::remove_file(path);
     }
 

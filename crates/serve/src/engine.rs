@@ -17,17 +17,33 @@
 //!   [`Rejected::QueueFull`] instead of queuing unboundedly.
 //! * **Deadlines** — a request carrying a deadline that expires while it
 //!   waits is answered with [`ScoreError::DeadlineExpired`] rather than
-//!   scored late. Deadlines are measured on the engine's [`Obs`] clock,
-//!   so tests drive them with a manual clock.
+//!   scored late; a response that only *finishes* past its deadline is
+//!   likewise answered with the typed error, never delivered stale.
+//!   Deadlines are measured on the engine's [`Obs`] clock, so tests
+//!   drive them with a manual clock.
 //! * **Poisoned workers** — a panicking scorer is caught; the affected
 //!   requests get [`ScoreError::WorkerPanicked`], the worker replaces
 //!   its scratch [`Workspace`] and keeps serving.
+//! * **Supervision** — a worker that panics
+//!   [`SupervisorConfig::respawn_after_panics`] times in a row retires
+//!   itself and spawns a fresh replacement (event
+//!   `serve.worker_respawn`), so a scorer that wedges one thread's state
+//!   cannot bleed forward forever.
+//! * **Load shedding** — when [`BreakerConfig`] thresholds on panic rate
+//!   or queue pressure are crossed, a circuit breaker opens (event
+//!   `serve.shed`) and submissions are refused with
+//!   [`Rejected::Overloaded`] carrying a `retry_after_ms` hint until the
+//!   cooldown elapses (event `serve.recovered`). Both thresholds default
+//!   to off.
 //!
 //! Everything is instrumented through `obs`: gauge `serve.queue_depth`
 //! (rows waiting), histograms `serve.batch_rows` / `serve.batch_requests`
 //! / `serve.score_ns` / `serve.e2e_ns`, counters `serve.requests` /
 //! `serve.rows` / `serve.rejected.queue_full` / `serve.rejected.deadline`
-//! / `serve.worker_panics`.
+//! / `serve.rejected.overloaded` / `serve.worker_panics` /
+//! `serve.worker_respawns` / `serve.breaker_trips`. Fault injection for
+//! the chaos suite enters through [`ScoringEngine::start_with_chaos`]
+//! (injection point `engine.worker_batch`: panics and stalls).
 
 use crate::calibration::{CalibrationMonitor, FeedbackOutcome, MonitorError};
 use crate::scorer::BatchScorer;
@@ -56,6 +72,10 @@ pub struct EngineConfig {
     pub max_wait: Duration,
     /// Submission-queue capacity in rows — the backpressure bound.
     pub queue_rows: usize,
+    /// Worker-pool supervision knobs.
+    pub supervisor: SupervisorConfig,
+    /// Circuit-breaker / load-shedding knobs.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +85,55 @@ impl Default for EngineConfig {
             max_batch_rows: 1024,
             max_wait: Duration::from_micros(500),
             queue_rows: 16_384,
+            supervisor: SupervisorConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Worker-pool supervision: when a worker thread is considered wedged
+/// and replaced wholesale instead of merely swapping its scratch space.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Consecutive panicking batches after which the worker retires and
+    /// a fresh thread takes its place (`serve.worker_respawn`). A single
+    /// panic still only poisons the affected requests. Zero disables
+    /// respawning.
+    pub respawn_after_panics: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            respawn_after_panics: 3,
+        }
+    }
+}
+
+/// Circuit breaker: when the engine stops accepting work it would
+/// mishandle and starts shedding load instead. Both thresholds default
+/// to disabled; the queue's hard capacity ([`EngineConfig::queue_rows`])
+/// always backstops them.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Worker panics since the last healthy batch that open the breaker
+    /// (`serve.shed`, reason `panic_rate`). Zero disables.
+    pub trip_panics: u32,
+    /// Queued-row watermark that opens the breaker on admission
+    /// (`serve.shed`, reason `queue_pressure`). The crossing request is
+    /// still admitted; subsequent ones shed. `None` disables.
+    pub shed_queue_rows: Option<usize>,
+    /// How long the breaker stays open. The first submission after the
+    /// cooldown closes it (`serve.recovered`).
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_panics: 0,
+            shed_queue_rows: None,
+            cooldown: Duration::from_secs(1),
         }
     }
 }
@@ -90,6 +159,13 @@ pub enum Rejected {
     Unfitted,
     /// The engine is shutting down.
     ShuttingDown,
+    /// The circuit breaker is open: recent panics or queue pressure
+    /// flipped the engine into load-shedding.
+    Overloaded {
+        /// Milliseconds (rounded up) until the breaker can close;
+        /// clients should back off at least this long before retrying.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for Rejected {
@@ -107,6 +183,9 @@ impl fmt::Display for Rejected {
             }
             Rejected::Unfitted => write!(f, "model is unfitted and cannot score"),
             Rejected::ShuttingDown => write!(f, "engine is shutting down"),
+            Rejected::Overloaded { retry_after_ms } => {
+                write!(f, "engine is shedding load, retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -162,13 +241,21 @@ struct QueueState {
     pending: VecDeque<Job>,
     queued_rows: usize,
     shutdown: bool,
+    /// Worker panics since the last healthy batch (breaker input).
+    recent_panics: u32,
+    /// When set, the breaker is open until this clock reading.
+    shed_until_ns: Option<u64>,
 }
 
 struct Shared {
     cfg: EngineConfig,
     obs: Obs,
+    chaos: chaos::Chaos,
     state: Mutex<QueueState>,
     cv: Condvar,
+    /// Live worker threads. Respawns push here from worker threads, so
+    /// the vec lives behind its own lock rather than on the engine.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// The micro-batching scoring engine (see the module docs).
@@ -177,7 +264,6 @@ struct Shared {
 /// scored, then the workers exit and are joined.
 pub struct ScoringEngine {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
     monitor: RwLock<Option<Arc<CalibrationMonitor>>>,
 }
 
@@ -185,7 +271,7 @@ impl fmt::Debug for ScoringEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScoringEngine")
             .field("cfg", &self.shared.cfg)
-            .field("workers", &self.workers.len())
+            .field("workers", &lock(&self.shared.handles).len())
             .finish()
     }
 }
@@ -194,25 +280,34 @@ impl ScoringEngine {
     /// Starts the worker pool. `obs` carries both the instrumentation
     /// sink and the clock deadlines are measured on.
     pub fn start(cfg: EngineConfig, obs: Obs) -> ScoringEngine {
+        ScoringEngine::start_with_chaos(cfg, obs, chaos::Chaos::disabled())
+    }
+
+    /// [`ScoringEngine::start`] with a fault-injection harness. The
+    /// thread-local ambient handle does not cross into worker threads,
+    /// so the chaos suite hands the engine its handle explicitly; the
+    /// workers consult injection point `engine.worker_batch` (panic and
+    /// stall faults) at the top of every batch.
+    pub fn start_with_chaos(cfg: EngineConfig, obs: Obs, chaos: chaos::Chaos) -> ScoringEngine {
         let shared = Arc::new(Shared {
             cfg,
             obs,
+            chaos,
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 queued_rows: 0,
                 shutdown: false,
+                recent_panics: 0,
+                shed_until_ns: None,
             }),
             cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
         });
-        let workers = (0..shared.cfg.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        for _ in 0..shared.cfg.workers.max(1) {
+            spawn_worker(&shared);
+        }
         ScoringEngine {
             shared,
-            workers,
             monitor: RwLock::new(None),
         }
     }
@@ -224,8 +319,9 @@ impl ScoringEngine {
     ///
     /// # Errors
     /// [`Rejected`] when the request cannot enter the queue — wrong
-    /// feature width, queue at capacity, or engine shutdown. A rejected
-    /// request was never queued and costs nothing.
+    /// feature width, queue at capacity, an open circuit breaker, or
+    /// engine shutdown. A rejected request was never queued and costs
+    /// nothing.
     pub fn submit(
         &self,
         scorer: &Arc<dyn BatchScorer>,
@@ -253,6 +349,25 @@ impl ScoringEngine {
         if state.shutdown {
             return Err(Rejected::ShuttingDown);
         }
+        if let Some(until) = state.shed_until_ns {
+            let now = obs.now_ns();
+            if now < until {
+                obs.counter("serve.rejected.overloaded", 1.0);
+                let remaining = until - now;
+                return Err(Rejected::Overloaded {
+                    retry_after_ms: remaining / 1_000_000
+                        + u64::from(!remaining.is_multiple_of(1_000_000)),
+                });
+            }
+            // Cooldown elapsed: the first submission through closes the
+            // breaker and is served normally.
+            state.shed_until_ns = None;
+            state.recent_panics = 0;
+            obs.event(
+                "serve.recovered",
+                &[("queued_rows", state.queued_rows.into())],
+            );
+        }
         if state.queued_rows + rows.rows() > self.shared.cfg.queue_rows {
             obs.counter("serve.rejected.queue_full", 1.0);
             return Err(Rejected::QueueFull {
@@ -270,6 +385,11 @@ impl ScoringEngine {
             tx,
         });
         obs.gauge("serve.queue_depth", state.queued_rows as f64);
+        if let Some(watermark) = self.shared.cfg.breaker.shed_queue_rows {
+            if state.queued_rows >= watermark && state.shed_until_ns.is_none() {
+                trip_breaker(&mut state, &self.shared, "queue_pressure");
+            }
+        }
         drop(state);
         self.shared.cv.notify_all();
         Ok(PendingScore { rx })
@@ -323,8 +443,19 @@ impl Drop for ScoringEngine {
             state.shutdown = true;
         }
         self.shared.cv.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // Pop-and-join until the pool is empty. A retiring worker pushes
+        // its replacement's handle before it exits, so joining a handle
+        // happens-after any handle that worker registered — the loop
+        // cannot observe an empty vec while a respawned thread still
+        // runs.
+        loop {
+            let handle = lock(&self.shared.handles).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -333,15 +464,61 @@ impl Drop for ScoringEngine {
 // every mutation is a single push/pop plus a counter update done before
 // the guard drops, so continuing with the poisoned guard is safe — same
 // policy as obs::InMemoryRecorder.
-fn lock<'a>(m: &'a Mutex<QueueState>) -> MutexGuard<'a, QueueState> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn worker_loop(shared: &Shared) {
+/// Spawns one worker thread and registers its handle for joining.
+fn spawn_worker(shared: &Arc<Shared>) {
+    let cloned = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_loop(&cloned));
+    lock(&shared.handles).push(handle);
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
     let mut ws = Workspace::new();
+    let mut consecutive_panics = 0u32;
     while let Some(batch) = next_batch(shared) {
-        run_batch(shared, batch, &mut ws);
+        if run_batch(shared, batch, &mut ws) {
+            consecutive_panics += 1;
+            let threshold = shared.cfg.supervisor.respawn_after_panics;
+            if threshold > 0 && consecutive_panics >= threshold {
+                // This thread is presumed wedged: retire it and hand the
+                // queue to a fresh one (unless the engine is already
+                // shutting down, in which case dying quietly is the job).
+                let respawn = !lock(&shared.state).shutdown;
+                if respawn {
+                    shared.obs.counter("serve.worker_respawns", 1.0);
+                    shared.obs.event(
+                        "serve.worker_respawn",
+                        &[("consecutive_panics", u64::from(consecutive_panics).into())],
+                    );
+                    spawn_worker(shared);
+                }
+                return;
+            }
+        } else {
+            consecutive_panics = 0;
+        }
     }
+}
+
+/// Opens the circuit breaker: submissions shed with
+/// [`Rejected::Overloaded`] until the cooldown elapses.
+fn trip_breaker(state: &mut QueueState, shared: &Shared, reason: &str) {
+    let now = shared.obs.now_ns();
+    let cooldown = shared.cfg.breaker.cooldown;
+    state.shed_until_ns = Some(now.saturating_add(cooldown.as_nanos() as u64));
+    shared.obs.counter("serve.breaker_trips", 1.0);
+    shared.obs.event(
+        "serve.shed",
+        &[
+            ("reason", reason.into()),
+            ("cooldown_ms", (cooldown.as_millis() as u64).into()),
+            ("queued_rows", state.queued_rows.into()),
+            ("recent_panics", u64::from(state.recent_panics).into()),
+        ],
+    );
 }
 
 /// Blocks for the next batch; `None` means drained-and-shut-down.
@@ -458,7 +635,10 @@ fn wait_for_fill<'a>(
     state
 }
 
-fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) {
+/// Scores one batch and answers its jobs. Returns whether the scorer
+/// panicked (or misbehaved equivalently), for the supervisor's
+/// consecutive-panic accounting.
+fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) -> bool {
     let obs = &shared.obs;
     let total_rows: usize = batch.iter().map(|j| j.rows.rows()).sum();
     obs.observe("serve.batch_requests", batch.len() as f64);
@@ -466,7 +646,18 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) {
     let scorer = Arc::clone(&batch[0].scorer);
     let x = concat_rows(&batch);
     let t0 = obs.now_ns();
-    let result = catch_unwind(AssertUnwindSafe(|| scorer.score(&x, ws, obs)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(fault) = shared.chaos.hit("engine.worker_batch") {
+            match fault.kind {
+                chaos::FaultKind::Panic => {
+                    panic!("chaos: injected worker panic (hit {})", fault.hit)
+                }
+                chaos::FaultKind::StallNs(ns) => shared.chaos.stall(ns),
+                _ => {}
+            }
+        }
+        scorer.score(&x, ws, obs)
+    }));
     obs.observe("serve.score_ns", obs.now_ns().saturating_sub(t0) as f64);
     match result {
         Ok(scores) if scores.len() == total_rows => {
@@ -474,12 +665,24 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) {
             let now = obs.now_ns();
             for job in &batch {
                 let n = job.rows.rows();
-                let _ = job.tx.send(Ok(scores[offset..offset + n].to_vec()));
+                // A response finishing on or past its deadline is late:
+                // the client's budget is spent, so it gets the typed
+                // error, never a stale answer.
+                if job.deadline_ns.is_some_and(|d| d <= now) {
+                    obs.counter("serve.rejected.deadline", 1.0);
+                    let _ = job.tx.send(Err(ScoreError::DeadlineExpired));
+                } else {
+                    let _ = job.tx.send(Ok(scores[offset..offset + n].to_vec()));
+                    obs.counter("serve.requests", 1.0);
+                    obs.counter("serve.rows", n as f64);
+                    obs.observe("serve.e2e_ns", now.saturating_sub(job.enqueued_ns) as f64);
+                }
                 offset += n;
-                obs.counter("serve.requests", 1.0);
-                obs.counter("serve.rows", n as f64);
-                obs.observe("serve.e2e_ns", now.saturating_sub(job.enqueued_ns) as f64);
             }
+            if shared.cfg.breaker.trip_panics > 0 {
+                lock(&shared.state).recent_panics = 0;
+            }
+            false
         }
         // A wrong-length score vector is as much a scorer bug as a panic.
         Ok(_) | Err(_) => {
@@ -487,9 +690,18 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) {
             // The panic may have unwound mid-write through the scratch
             // buffers; replace them.
             *ws = Workspace::new();
+            let trip = shared.cfg.breaker.trip_panics;
+            if trip > 0 {
+                let mut state = lock(&shared.state);
+                state.recent_panics += 1;
+                if state.recent_panics >= trip && state.shed_until_ns.is_none() {
+                    trip_breaker(&mut state, shared, "panic_rate");
+                }
+            }
             for job in &batch {
                 let _ = job.tx.send(Err(ScoreError::WorkerPanicked));
             }
+            true
         }
     }
 }

@@ -24,6 +24,12 @@
 //!   a rolling feedback window, an EWMA drift detector over incoming
 //!   feature rows, and drift-triggered recalibration that hot-swaps the
 //!   artifact through the registry without dropping traffic.
+//! * [`backoff`] — bounded retry with deterministic seeded jitter, used
+//!   by registry loads and the CLI's TCP client path. Fault *injection*
+//!   (the other half of the robustness story) lives in the vendored
+//!   `chaos` crate; the engine accepts a handle through
+//!   [`ScoringEngine::start_with_chaos`] and the persistence/protocol
+//!   layers consult the thread-local ambient plan.
 //!
 //! Determinism: engine scores are bitwise identical to a direct
 //! [`rdrp::Rdrp::predict_scores`] call, for any batching, coalescing,
@@ -33,16 +39,21 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backoff;
 pub mod calibration;
 pub mod engine;
 pub mod protocol;
 pub mod registry;
 pub mod scorer;
 
+pub use backoff::BackoffPolicy;
 pub use calibration::{
     CalibrationMonitor, CalibrationMonitorConfig, FeedbackOutcome, MonitorError,
 };
-pub use engine::{EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine};
-pub use protocol::{run_jsonl, ObserveRequest, ScoreRequest};
+pub use engine::{
+    BreakerConfig, EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine,
+    SupervisorConfig,
+};
+pub use protocol::{run_jsonl, ObserveRequest, ScoreRequest, SessionLimits, WireError};
 pub use registry::{ModelRegistry, RegistryError, DEFAULT_MODEL};
 pub use scorer::BatchScorer;

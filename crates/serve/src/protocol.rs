@@ -7,7 +7,7 @@
 //! → {"id": "r1", "rows": [[0.1, 0.2, …], …]}
 //! → {"id": "r2", "model": "checkout", "version": "3", "rows": [[…]], "deadline_ms": 50}
 //! ← {"id": "r1", "scores": [0.42, …]}
-//! ← {"id": "r2", "error": "unknown model \"checkout\""}
+//! ← {"id": "r2", "error": "unknown model \"checkout\" (have: default@v1)", "code": "unknown_model"}
 //! ```
 //!
 //! `model`/`version` default to the registry's
@@ -15,13 +15,23 @@
 //! version. Scores render with the shortest-roundtrip float encoding,
 //! so replaying a request stream yields byte-identical responses.
 //!
+//! Every error response carries a stable machine-readable `code` field
+//! alongside the human-readable `error` message (see [`WireError`] and
+//! the README's serving section for the full list); `overloaded`
+//! responses additionally carry `retry_after_ms`. Clients branch on the
+//! code, humans read the message, and the message text can improve
+//! without breaking anyone.
+//!
 //! [`run_jsonl`] is the transport-agnostic loop both frontends use: the
 //! CLI `serve` subcommand feeds it stdin/stdout, the TCP endpoint feeds
-//! it a socket. It keeps up to `window` requests in flight so the
-//! engine's micro-batcher has something to coalesce, while responses
-//! still come back in request order with bounded memory.
+//! it a socket. It keeps up to [`SessionLimits::window`] requests in
+//! flight so the engine's micro-batcher has something to coalesce,
+//! while responses still come back in request order with bounded
+//! memory; [`SessionLimits::max_requests`] bounds how much work one
+//! connection can claim.
 
-use crate::engine::{PendingScore, ScoringEngine};
+use crate::calibration::MonitorError;
+use crate::engine::{PendingScore, Rejected, ScoreError, ScoringEngine};
 use crate::registry::{ModelRegistry, DEFAULT_MODEL};
 use linalg::Matrix;
 use std::collections::VecDeque;
@@ -101,9 +111,91 @@ pub fn render_scores(id: &str, scores: &[f64]) -> String {
     json!({"id": id, "scores": scores}).render_compact()
 }
 
-/// Renders the error response line for `id`.
-pub fn render_error(id: &str, error: &str) -> String {
-    json!({"id": id, "error": error}).render_compact()
+/// A protocol-level error: a stable machine-readable code plus the
+/// human-readable message, and an optional retry hint for shed load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Stable code clients branch on (documented in the README's
+    /// serving section), e.g. `queue_full` or `deadline_expired`.
+    pub code: &'static str,
+    /// Human-readable detail; free to change between releases.
+    pub message: String,
+    /// Backoff hint in milliseconds, set for `overloaded` responses.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// A plain coded error with no retry hint.
+    pub fn new(code: &'static str, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+impl From<&Rejected> for WireError {
+    fn from(r: &Rejected) -> WireError {
+        let code = match r {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::WrongWidth { .. } => "wrong_width",
+            Rejected::Unfitted => "unfitted",
+            Rejected::ShuttingDown => "shutting_down",
+            Rejected::Overloaded { .. } => "overloaded",
+        };
+        WireError {
+            code,
+            message: r.to_string(),
+            retry_after_ms: match r {
+                Rejected::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl From<&ScoreError> for WireError {
+    fn from(e: &ScoreError) -> WireError {
+        let code = match e {
+            ScoreError::DeadlineExpired => "deadline_expired",
+            ScoreError::WorkerPanicked => "worker_panicked",
+            ScoreError::EngineShutDown => "engine_shutdown",
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+impl From<&MonitorError> for WireError {
+    fn from(e: &MonitorError) -> WireError {
+        let code = match e {
+            MonitorError::Disabled => "calibration_disabled",
+            MonitorError::UnknownModel { .. } => "unknown_model",
+            MonitorError::NotCalibrated { .. } => "not_calibrated",
+            MonitorError::Conformal(_) | MonitorError::Shift(_) => "bad_observe",
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+/// Renders the error response line for `id`:
+/// `{"id": …, "error": <message>, "code": <code>[, "retry_after_ms": …]}`.
+pub fn render_error(id: &str, error: &WireError) -> String {
+    match error.retry_after_ms {
+        Some(ms) => json!({
+            "id": id,
+            "error": error.message.as_str(),
+            "code": error.code,
+            "retry_after_ms": ms
+        })
+        .render_compact(),
+        None => json!({
+            "id": id,
+            "error": error.message.as_str(),
+            "code": error.code
+        })
+        .render_compact(),
+    }
 }
 
 /// Converts the wire rows into a feature matrix, rejecting ragged rows
@@ -126,13 +218,51 @@ pub fn rows_to_matrix(rows: &[Vec<f64>]) -> Result<Matrix, String> {
     Ok(Matrix::from_rows(rows))
 }
 
+/// Per-connection limits for [`run_jsonl`].
+#[derive(Debug, Clone)]
+pub struct SessionLimits {
+    /// Requests kept in flight at once so the engine's micro-batcher
+    /// has something to coalesce (clamped to at least 1).
+    pub window: usize,
+    /// Hard cap on requests served over one connection; `0` means
+    /// unlimited. When the cap is reached every accepted request is
+    /// still answered, then the loop returns as at EOF — one peer can
+    /// claim only bounded work from a scoped serving thread.
+    pub max_requests: u64,
+}
+
+impl Default for SessionLimits {
+    fn default() -> Self {
+        SessionLimits {
+            window: 32,
+            max_requests: 0,
+        }
+    }
+}
+
+impl SessionLimits {
+    /// Limits with the given in-flight window and no request cap.
+    pub fn with_window(window: usize) -> SessionLimits {
+        SessionLimits {
+            window,
+            ..SessionLimits::default()
+        }
+    }
+}
+
 /// Runs the request/response loop over any line-based transport.
 ///
-/// Up to `window` requests stay in flight at once (older responses are
-/// awaited and written as the window slides), so a stream of small
-/// requests exercises the engine's micro-batcher. Responses are written
-/// in request order. Returns when the input reaches EOF, after draining
+/// Up to [`SessionLimits::window`] requests stay in flight at once
+/// (older responses are awaited and written as the window slides), so a
+/// stream of small requests exercises the engine's micro-batcher.
+/// Responses are written in request order. Returns when the input
+/// reaches EOF or the session's request cap is reached, after draining
 /// every in-flight request.
+///
+/// The chaos injection point `conn.read` sits between reads: an
+/// injected `Disconnect`/`Io` fault tears down *this* connection (the
+/// error propagates to the caller), which is how the chaos suite proves
+/// a dropped connection never takes the engine with it.
 ///
 /// # Errors
 /// Propagates transport I/O errors. Malformed or unserviceable requests
@@ -143,33 +273,54 @@ pub fn run_jsonl(
     mut output: impl Write,
     engine: &ScoringEngine,
     registry: &ModelRegistry,
-    window: usize,
+    limits: &SessionLimits,
 ) -> std::io::Result<()> {
-    let window = window.max(1);
+    let harness = chaos::ambient();
+    let window = limits.window.max(1);
+    let mut served: u64 = 0;
     let mut in_flight: VecDeque<(String, Outcome)> = VecDeque::new();
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        if in_flight.len() >= window {
-            if let Some((id, outcome)) = in_flight.pop_front() {
-                write_outcome(&mut output, &id, outcome)?;
+    let result = (|| {
+        for line in input.lines() {
+            let line = line?;
+            if let Some(fault) = harness.hit("conn.read") {
+                if matches!(
+                    fault.kind,
+                    chaos::FaultKind::Disconnect | chaos::FaultKind::Io
+                ) {
+                    return Err(fault.to_io_error());
+                }
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            if in_flight.len() >= window {
+                if let Some((id, outcome)) = in_flight.pop_front() {
+                    write_outcome(&mut output, &id, outcome)?;
+                }
+            }
+            // Rejected and feedback responses queue alongside pending
+            // ones so responses stay in request order.
+            in_flight.push_back(accept(&line, engine, registry));
+            served += 1;
+            if limits.max_requests > 0 && served >= limits.max_requests {
+                break;
             }
         }
-        // Rejected and feedback responses queue alongside pending ones
-        // so responses stay in request order.
-        in_flight.push_back(accept(&line, engine, registry));
-    }
+        Ok(())
+    })();
+    // Drain whatever was accepted even when the read loop failed: an
+    // admitted request is always answered (or the failure is the
+    // transport's, in which case the engine work still completes and the
+    // responses go nowhere — never into the next session).
     while let Some((id, outcome)) = in_flight.pop_front() {
-        write_outcome(&mut output, &id, outcome)?;
+        let _ = write_outcome(&mut output, &id, outcome);
     }
-    Ok(())
+    result
 }
 
 enum Outcome {
     Pending(PendingScore),
-    Rejected(String),
+    Rejected(WireError),
     /// Already-rendered response line (feedback lines answer inline).
     Ready(String),
 }
@@ -200,7 +351,10 @@ fn accept(line: &str, engine: &ScoringEngine, registry: &ModelRegistry) -> (Stri
         Ok(req) => req,
         Err(e) => {
             // Salvage the id when the object parsed but a field didn't.
-            return (salvage_id(), Outcome::Rejected(format!("bad request: {e}")));
+            return (
+                salvage_id(),
+                Outcome::Rejected(WireError::new("bad_request", format!("bad request: {e}"))),
+            );
         }
     };
     let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
@@ -213,12 +367,15 @@ fn accept(line: &str, engine: &ScoringEngine, registry: &ModelRegistry) -> (Stri
             .join(", ");
         return (
             req.id,
-            Outcome::Rejected(format!("unknown model {name:?} (have: {known})")),
+            Outcome::Rejected(WireError::new(
+                "unknown_model",
+                format!("unknown model {name:?} (have: {known})"),
+            )),
         );
     };
     let x = match rows_to_matrix(&req.rows) {
         Ok(x) => x,
-        Err(e) => return (req.id, Outcome::Rejected(e)),
+        Err(e) => return (req.id, Outcome::Rejected(WireError::new("ragged_rows", e))),
     };
     let deadline = req
         .deadline_ms
@@ -226,7 +383,7 @@ fn accept(line: &str, engine: &ScoringEngine, registry: &ModelRegistry) -> (Stri
         .map(|ms| Duration::from_nanos((ms * 1e6) as u64));
     match engine.submit(&scorer, x, deadline) {
         Ok(pending) => (req.id, Outcome::Pending(pending)),
-        Err(rejected) => (req.id, Outcome::Rejected(rejected.to_string())),
+        Err(rejected) => (req.id, Outcome::Rejected(WireError::from(&rejected))),
     }
 }
 
@@ -237,7 +394,10 @@ fn accept_observe(line: &str, engine: &ScoringEngine, salvaged_id: &str) -> (Str
         Err(e) => {
             return (
                 salvaged_id.to_string(),
-                Outcome::Rejected(format!("bad observe request: {e}")),
+                Outcome::Rejected(WireError::new(
+                    "bad_observe",
+                    format!("bad observe request: {e}"),
+                )),
             );
         }
     };
@@ -246,7 +406,7 @@ fn accept_observe(line: &str, engine: &ScoringEngine, salvaged_id: &str) -> (Str
             let line = render_observed(&req.id, &outcome);
             (req.id, Outcome::Ready(line))
         }
-        Err(e) => (req.id, Outcome::Rejected(e.to_string())),
+        Err(e) => (req.id, Outcome::Rejected(WireError::from(&e))),
     }
 }
 
@@ -269,9 +429,9 @@ fn write_outcome(output: &mut impl Write, id: &str, outcome: Outcome) -> std::io
     let line = match outcome {
         Outcome::Pending(pending) => match pending.wait() {
             Ok(scores) => render_scores(id, &scores),
-            Err(e) => render_error(id, &e.to_string()),
+            Err(e) => render_error(id, &WireError::from(&e)),
         },
-        Outcome::Rejected(message) => render_error(id, &message),
+        Outcome::Rejected(error) => render_error(id, &error),
         Outcome::Ready(line) => line,
     };
     writeln!(output, "{line}")?;

@@ -96,6 +96,61 @@ impl ModelRegistry {
         Ok(())
     }
 
+    /// [`ModelRegistry::load`] wrapped in the bounded-backoff helper:
+    /// transient I/O failures (a hot-swap racing a deploy's rename, NFS
+    /// hiccups) retry per `policy`; everything else — a corrupt or
+    /// truncated file, a checksum mismatch, an unfitted model — fails
+    /// immediately, because retrying cannot fix the bytes. Each retry
+    /// emits `registry.load_retry` (counter `registry.load_retries`); a
+    /// checksum failure emits `artifact.checksum_mismatch` so operators
+    /// can tell bit rot from a missing file.
+    ///
+    /// # Errors
+    /// As [`ModelRegistry::load`], after retries are exhausted.
+    pub fn load_with_retry(
+        &self,
+        name: &str,
+        version: &str,
+        path: impl AsRef<Path>,
+        policy: &crate::backoff::BackoffPolicy,
+        obs: &obs::Obs,
+    ) -> Result<(), RegistryError> {
+        let path = path.as_ref();
+        let result = crate::backoff::retry(
+            policy,
+            |attempt| {
+                let r = self.load(name, version, path);
+                if let Err(e) = &r {
+                    if attempt + 1 < policy.attempts.max(1) && retryable(e) {
+                        obs.counter("registry.load_retries", 1.0);
+                        obs.event(
+                            "registry.load_retry",
+                            &[
+                                ("name", name.into()),
+                                ("attempt", u64::from(attempt + 1).into()),
+                                ("error", e.to_string().into()),
+                            ],
+                        );
+                    }
+                }
+                r
+            },
+            retryable,
+        );
+        if let Err(RegistryError::Persist(PersistError::Checksum { expected, computed })) = &result
+        {
+            obs.event(
+                "artifact.checksum_mismatch",
+                &[
+                    ("name", name.into()),
+                    ("expected", expected.as_str().into()),
+                    ("computed", computed.as_str().into()),
+                ],
+            );
+        }
+        result
+    }
+
     /// Resolves `name` (at `version`, or the lexicographically greatest
     /// registered version when `None`) to its scorer.
     pub fn get(&self, name: &str, version: Option<&str>) -> Option<Arc<dyn BatchScorer>> {
@@ -130,6 +185,12 @@ impl ModelRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Only plain I/O failures are worth retrying; corrupt bytes stay
+/// corrupt however often they are reread.
+fn retryable(e: &RegistryError) -> bool {
+    matches!(e, RegistryError::Persist(PersistError::Io(_)))
 }
 
 type Models = BTreeMap<String, BTreeMap<String, Arc<dyn BatchScorer>>>;

@@ -7,8 +7,11 @@ use linalg::random::Prng;
 use linalg::Matrix;
 use obs::Obs;
 use rdrp::{DrpConfig, DrpModel, Persist};
-use serve::protocol::{parse_request, render_error, render_scores, rows_to_matrix};
-use serve::{run_jsonl, BatchScorer, EngineConfig, ModelRegistry, ScoringEngine, DEFAULT_MODEL};
+use serve::protocol::{parse_request, render_error, render_scores, rows_to_matrix, WireError};
+use serve::{
+    run_jsonl, BatchScorer, EngineConfig, ModelRegistry, ScoringEngine, SessionLimits,
+    DEFAULT_MODEL,
+};
 use std::io::Cursor;
 use std::sync::Arc;
 
@@ -155,7 +158,21 @@ fn response_rendering_roundtrips_floats_exactly() {
         .map(|v| v.as_f64().unwrap())
         .collect();
     assert_eq!(back, scores, "shortest-roundtrip encoding must be exact");
-    assert_eq!(render_error("r2", "boom"), r#"{"id":"r2","error":"boom"}"#);
+    assert_eq!(
+        render_error("r2", &WireError::new("bad_request", "boom")),
+        r#"{"id":"r2","error":"boom","code":"bad_request"}"#
+    );
+    assert_eq!(
+        render_error(
+            "r3",
+            &WireError {
+                code: "overloaded",
+                message: "shedding".to_string(),
+                retry_after_ms: Some(250),
+            }
+        ),
+        r#"{"id":"r3","error":"shedding","code":"overloaded","retry_after_ms":250}"#
+    );
 }
 
 #[test]
@@ -200,7 +217,14 @@ fn run_jsonl_end_to_end_matches_direct_scores() {
     .join("\n");
 
     let mut output = Vec::new();
-    run_jsonl(Cursor::new(input), &mut output, &engine, &registry, 4).unwrap();
+    run_jsonl(
+        Cursor::new(input),
+        &mut output,
+        &engine,
+        &registry,
+        &SessionLimits::with_window(4),
+    )
+    .unwrap();
     let output = String::from_utf8(output).unwrap();
     let lines: Vec<&str> = output.lines().collect();
     assert_eq!(lines.len(), 6, "one response per non-blank line: {output}");
@@ -209,18 +233,59 @@ fn run_jsonl_end_to_end_matches_direct_scores() {
     let e1 = tinyjson::parse(lines[1]).unwrap();
     assert_eq!(e1.fetch("id").as_str().unwrap(), "bad-model");
     assert!(e1.fetch("error").as_str().unwrap().contains("default@1"));
+    assert_eq!(e1.fetch("code").as_str().unwrap(), "unknown_model");
     let e2 = tinyjson::parse(lines[2]).unwrap();
     assert_eq!(e2.fetch("id").as_str().unwrap(), "");
     assert!(e2.fetch("error").as_str().unwrap().contains("bad request"));
+    assert_eq!(e2.fetch("code").as_str().unwrap(), "bad_request");
     let e3 = tinyjson::parse(lines[3]).unwrap();
     assert_eq!(e3.fetch("id").as_str().unwrap(), "ragged");
+    assert_eq!(e3.fetch("code").as_str().unwrap(), "ragged_rows");
     let e4 = tinyjson::parse(lines[4]).unwrap();
     assert!(e4
         .fetch("error")
         .as_str()
         .unwrap()
         .contains(&format!("expected {n} features")));
+    assert_eq!(e4.fetch("code").as_str().unwrap(), "wrong_width");
     assert_eq!(lines[5], render_scores("tail", &expected[..1]));
+}
+
+/// The per-connection request cap: the session answers exactly the
+/// capped number of requests, then closes as at EOF — later lines are
+/// never read, so a firehosing peer gets bounded work.
+#[test]
+fn run_jsonl_request_cap_bounds_one_session() {
+    let model = fitted_drp(8);
+    let registry = ModelRegistry::new();
+    registry.insert(DEFAULT_MODEL, "1", Arc::new(model.clone()));
+    let engine = ScoringEngine::start(EngineConfig::default(), Obs::disabled());
+    let gen = CriteoLike::new();
+    let mut rng = Prng::seed_from_u64(9);
+    let x = gen.sample(5, Population::Base, &mut rng).x;
+    let expected = model.predict_roi(&x, &Obs::disabled());
+
+    let input: String = x
+        .row_iter()
+        .enumerate()
+        .map(|(i, row)| {
+            format!(
+                "{{\"id\": \"r{i}\", \"rows\": [{}]}}\n",
+                tinyjson::to_string(row)
+            )
+        })
+        .collect();
+    let limits = SessionLimits {
+        window: 4,
+        max_requests: 2,
+    };
+    let mut output = Vec::new();
+    run_jsonl(Cursor::new(input), &mut output, &engine, &registry, &limits).unwrap();
+    let output = String::from_utf8(output).unwrap();
+    let lines: Vec<&str> = output.lines().collect();
+    assert_eq!(lines.len(), 2, "cap of 2 must answer exactly 2: {output}");
+    assert_eq!(lines[0], render_scores("r0", &expected[0..1]));
+    assert_eq!(lines[1], render_scores("r1", &expected[1..2]));
 }
 
 /// A window of 1 serializes: each request is awaited before the next is
@@ -248,7 +313,14 @@ fn run_jsonl_window_of_one_still_drains_everything() {
         .collect();
     let mut output = Vec::new();
     // window = 0 is clamped to 1.
-    run_jsonl(Cursor::new(input), &mut output, &engine, &registry, 0).unwrap();
+    run_jsonl(
+        Cursor::new(input),
+        &mut output,
+        &engine,
+        &registry,
+        &SessionLimits::with_window(0),
+    )
+    .unwrap();
     let output = String::from_utf8(output).unwrap();
     for (i, line) in output.lines().enumerate() {
         assert_eq!(line, render_scores(&format!("r{i}"), &expected[i..=i]));

@@ -134,6 +134,109 @@ fn artifacts_declare_their_tag_and_format_version() {
     }
 }
 
+/// Flips the first digit inside the envelope's body: still valid JSON,
+/// but the body no longer hashes to its checksum stamp. `7 ↔ 8` keeps
+/// any number it lands in valid (no leading-zero pitfalls).
+fn corrupt_body_digit(text: &str) -> String {
+    let body_at = text.find("\"body\"").expect("envelope has a body");
+    let (i, c) = text[body_at..]
+        .char_indices()
+        .find(|(_, c)| c.is_ascii_digit())
+        .expect("body contains a digit");
+    let replacement = if c == '7' { '8' } else { '7' };
+    let mut out = text.to_string();
+    out.replace_range(body_at + i..body_at + i + 1, &replacement.to_string());
+    out
+}
+
+/// One representative per method family (two-model, direct-rank, DRP,
+/// rDRP, bootstrap ensemble) for the corruption sweeps below.
+const FAMILY_REPS: [&str; 5] = ["tpm-sl", "dr-mc", "drp", "rdrp", "bootstrap-drp"];
+
+#[test]
+fn truncated_and_bit_rotted_artifacts_fail_typed_for_every_family() {
+    let data = tiny_data(9004);
+    let config = cheap_config();
+    let obs = obs::Obs::disabled();
+    for name in FAMILY_REPS {
+        let mut method = rdrp::build(name, &config).expect(name);
+        let mut rng = Prng::seed_from_u64(23);
+        method
+            .fit(&data.train, &data.calibration, &mut rng, &obs)
+            .expect(name);
+        let path = tmp_path(&format!("corrupt_{name}"));
+        rdrp::save_method(method.as_ref(), &path).expect(name);
+        let text = std::fs::read_to_string(&path).expect(name);
+
+        // Truncated mid-envelope: unparseable JSON, a typed Serde error
+        // — never a panic, never a half-loaded model.
+        std::fs::write(&path, &text[..text.len() / 2]).expect(name);
+        let err = rdrp::load_method(&path).expect_err(name);
+        assert!(
+            matches!(err, rdrp::PersistError::Serde(_)),
+            "{name}: truncation should fail parsing, got {err:?}"
+        );
+
+        // One flipped digit in the body: parses fine, but the checksum
+        // catches the rot before a wrong-weights model can serve.
+        std::fs::write(&path, corrupt_body_digit(&text)).expect(name);
+        let err = rdrp::load_method(&path).expect_err(name);
+        assert!(
+            matches!(err, rdrp::PersistError::Checksum { .. }),
+            "{name}: bit rot should fail the checksum, got {err:?}"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn kill_mid_save_keeps_the_old_artifact_loadable_for_every_family() {
+    let data = tiny_data(9005);
+    let config = cheap_config();
+    let obs = obs::Obs::disabled();
+    for name in FAMILY_REPS {
+        let mut method = rdrp::build(name, &config).expect(name);
+        let mut rng = Prng::seed_from_u64(29);
+        method
+            .fit(&data.train, &data.calibration, &mut rng, &obs)
+            .expect(name);
+        let path = tmp_path(&format!("killsave_{name}"));
+        rdrp::save_method(method.as_ref(), &path).expect(name);
+        let before = std::fs::read_to_string(&path).expect(name);
+
+        // Kill the re-save at every stage of the atomic write path, with
+        // both a clean I/O failure and a torn partial write.
+        for (point, kind) in [
+            ("persist.write", chaos::FaultKind::Io),
+            (
+                "persist.write",
+                chaos::FaultKind::Truncate(before.len() / 2),
+            ),
+            ("persist.fsync", chaos::FaultKind::Io),
+            ("persist.rename", chaos::FaultKind::Io),
+        ] {
+            let plan = chaos::FaultPlan::new().fail(point, chaos::Trigger::Nth(1), kind.clone());
+            let _guard = chaos::install(chaos::Chaos::new(plan, obs.clone()));
+            let err = rdrp::save_method(method.as_ref(), &path).expect_err(name);
+            assert!(
+                matches!(err, rdrp::PersistError::Io(_)),
+                "{name}/{point}/{kind:?}: {err:?}"
+            );
+            // The destination file is byte-identical to the pre-crash
+            // artifact and still loads with a valid checksum.
+            assert_eq!(
+                std::fs::read_to_string(&path).expect(name),
+                before,
+                "{name}/{point}: interrupted save touched the destination"
+            );
+            rdrp::load_method(&path)
+                .unwrap_or_else(|e| panic!("{name}/{point}: old artifact unloadable: {e}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
 #[test]
 fn loading_a_tampered_tag_is_a_typed_error_naming_known_methods() {
     let data = tiny_data(9003);
