@@ -1,0 +1,119 @@
+//! Columnar f32 kernel throughput versus the f64 scalar reference.
+//!
+//! The two headline series DESIGN.md §11 and EXPERIMENTS.md record:
+//!
+//! * `mlp/*` — MLP inference through [`nn::Mlp::predict_scalar`] (f64,
+//!   row-major matvec per layer) versus
+//!   [`nn::Mlp::predict_scalar_block`] (f32 SoA blocks through the
+//!   cache-blocked GEMM micro-kernels).
+//! * `forest/*` — random-forest scoring through recursive per-row
+//!   [`trees::RandomForest::predict`] versus the breadth-first
+//!   [`trees::FlatForest::predict_block`] level-order traversal.
+//!
+//! Every series reports rows/second (median over samples) and the final
+//! lines print the block-over-scalar speedup, so a run of
+//! `cargo bench --bench kernel_throughput` produces the EXPERIMENTS.md
+//! numbers directly. Dispatch follows `RDRP_KERNEL_DISPATCH` — run once
+//! with it unset (best available) and once with `scalar` to separate
+//! layout gains from SIMD gains.
+
+use linalg::block::{active_dispatch, FeatureBlock};
+use linalg::random::Prng;
+use linalg::Matrix;
+use minibench::black_box;
+use nn::{Activation, Mlp};
+use std::time::Instant;
+use trees::{FlatForest, RandomForest, RandomForestConfig};
+
+const SAMPLES: usize = 15;
+
+/// Median seconds per call over `SAMPLES` timed runs (one warmup).
+fn median_secs<O>(mut f: impl FnMut() -> O) -> f64 {
+    black_box(f());
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_unstable_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn report(label: &str, rows: usize, secs: f64) -> f64 {
+    let rps = rows as f64 / secs;
+    println!("{label}: {rps:.0} rows/s  ({:.3} ms/batch)", secs * 1e3);
+    rps
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut Prng) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gaussian()).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bench_mlp(rows: usize, rng: &mut Prng) {
+    // The DRP-family shape: one hidden layer wide enough to keep the
+    // GEMM kernels busy, scalar Identity output head.
+    let net = Mlp::builder(12)
+        .dense(64, Activation::Elu)
+        .dense(1, Activation::Identity)
+        .build(rng);
+    let x = random_matrix(rows, 12, rng);
+    let obs = obs::Obs::disabled();
+
+    let scalar = report(
+        "mlp/scalar_f64",
+        rows,
+        median_secs(|| net.predict_scalar(&x, &obs)),
+    );
+    let block = report(
+        "mlp/block_f32",
+        rows,
+        median_secs(|| net.predict_scalar_block(&x, &obs)),
+    );
+    println!("mlp speedup: {:.2}x", block / scalar);
+}
+
+fn bench_forest(rows: usize, rng: &mut Prng) {
+    let n_train = 2_000;
+    let xt = random_matrix(n_train, 10, rng);
+    let y: Vec<f64> = (0..n_train)
+        .map(|r| xt.row(r)[0] * 2.0 + xt.row(r)[3] + 0.1 * rng.gaussian())
+        .collect();
+    let forest = RandomForest::fit(&xt, &y, &RandomForestConfig::default(), rng);
+    let x = random_matrix(rows, 10, rng);
+    let flat = FlatForest::from_forest(&forest);
+    let xb = FeatureBlock::from_matrix(&x);
+
+    let scalar = report(
+        "forest/recursive_f64",
+        rows,
+        median_secs(|| forest.predict(&x)),
+    );
+    // Steady-state block path: flatten + layout conversion are one-time
+    // costs a serving loop amortizes; the cold path is timed separately.
+    let block = report(
+        "forest/flat_block",
+        rows,
+        median_secs(|| flat.predict_block(&xb)),
+    );
+    report(
+        "forest/flat_block_cold",
+        rows,
+        median_secs(|| {
+            FlatForest::from_forest(&forest).predict_block(&FeatureBlock::from_matrix(&x))
+        }),
+    );
+    println!("forest speedup (steady-state): {:.2}x", block / scalar);
+}
+
+fn main() {
+    println!("kernel dispatch: {:?}", active_dispatch());
+    let mut rng = Prng::seed_from_u64(7);
+    for &rows in &[2_000usize, 20_000] {
+        println!("\n== kernel_throughput @ {rows} rows ==");
+        bench_mlp(rows, &mut rng);
+        bench_forest(rows, &mut rng);
+    }
+}

@@ -409,6 +409,10 @@ pub struct ServeArgs {
     /// TCP only: requests answered per connection before the session
     /// closes (0 = unlimited).
     pub max_requests_per_conn: u64,
+    /// Score through the columnar f32 SIMD kernel path instead of the
+    /// f64 scalar path. Higher throughput; scores track the scalar path
+    /// to f32 rounding, not bitwise (DESIGN.md §11).
+    pub block_kernels: bool,
     /// Enable serve-side online conformal calibration: feedback lines
     /// feed a rolling calibration window and a drift detector that
     /// hot-swaps a recalibrated artifact through the registry.
@@ -449,6 +453,7 @@ impl ServeArgs {
                 "breaker-cooldown-ms",
                 "conn-timeout-ms",
                 "max-requests-per-conn",
+                "block-kernels",
                 "online-calibration",
                 "reference",
                 "calibration-window",
@@ -483,6 +488,7 @@ impl ServeArgs {
                 ms => Some(Duration::from_millis(ms)),
             },
             max_requests_per_conn: args.get_or("max-requests-per-conn", 0u64)?,
+            block_kernels: args.get_or("block-kernels", false)?,
             online_calibration: args.get_or("online-calibration", false)?,
             reference: args.get("reference").map(str::to_string),
             calibration_window: args.get_or("calibration-window", 256)?,

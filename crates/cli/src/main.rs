@@ -100,7 +100,7 @@ fn usage() -> String {
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
      rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
-     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--block-kernels true] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
      --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
@@ -374,6 +374,7 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
                 shed_queue_rows: a.breaker_shed_rows,
                 cooldown: a.breaker_cooldown,
             },
+            block_kernels: a.block_kernels,
         },
         cli_obs.obs.clone(),
     );

@@ -103,15 +103,19 @@ impl BootstrapDrp {
     /// Panics before [`BootstrapDrp::fit`].
     pub fn ensemble_roi(&self, x: &Matrix, std_floor: f64) -> McStats {
         assert!(!self.models.is_empty(), "BootstrapDrp: fit before predict");
-        let n = x.rows();
         let all: Vec<Vec<f64>> = self
             .models
             .iter()
             .map(|m| m.predict_roi(x, &Obs::disabled()))
             .collect();
+        Self::stats_from_member_preds(x.rows(), &all, std_floor)
+    }
+
+    /// Per-sample mean/std over one prediction vector per replica.
+    fn stats_from_member_preds(n: usize, all: &[Vec<f64>], std_floor: f64) -> McStats {
         let inv = 1.0 / all.len() as f64;
         let mut mean = vec![0.0; n];
-        for preds in &all {
+        for preds in all {
             for (m, &v) in mean.iter_mut().zip(preds) {
                 *m += v;
             }
@@ -120,7 +124,7 @@ impl BootstrapDrp {
             *m *= inv;
         }
         let mut var = vec![0.0; n];
-        for preds in &all {
+        for preds in all {
             for ((s, &v), &m) in var.iter_mut().zip(preds).zip(&mean) {
                 *s += (v - m) * (v - m);
             }
@@ -134,6 +138,23 @@ impl BootstrapDrp {
             std,
             passes: all.len(),
         }
+    }
+
+    /// [`BootstrapDrp::ensemble_roi`] with every replica scored through
+    /// the columnar f32 kernel path ([`DrpModel::predict_roi_block`]).
+    /// Matches the scalar path to f32 rounding, not bitwise — see
+    /// DESIGN.md §11.
+    ///
+    /// # Panics
+    /// Panics before [`BootstrapDrp::fit`].
+    pub fn ensemble_roi_block(&self, x: &Matrix, std_floor: f64) -> McStats {
+        assert!(!self.models.is_empty(), "BootstrapDrp: fit before predict");
+        let all: Vec<Vec<f64>> = self
+            .models
+            .iter()
+            .map(|m| m.predict_roi_block(x, &Obs::disabled()))
+            .collect();
+        Self::stats_from_member_preds(x.rows(), &all, std_floor)
     }
 }
 

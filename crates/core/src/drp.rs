@@ -91,6 +91,26 @@ impl DrpModel {
             .collect()
     }
 
+    /// [`DrpModel::predict_roi`] through the columnar f32 kernel path
+    /// ([`nn::Mlp::predict_scalar_block`]): the network runs in f32
+    /// blocks, then the sigmoid is applied in f64. Scores match the
+    /// scalar path to f32 rounding, not bitwise — see DESIGN.md §11 for
+    /// the tolerance contract.
+    ///
+    /// # Panics
+    /// Panics before [`RoiModel::fit`].
+    #[allow(clippy::expect_used)] // documented API-misuse panic
+    pub fn predict_roi_block(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DrpModel: fit before predict");
+        let z = state.scaler.transform(x);
+        state
+            .net
+            .predict_scalar_block(&z, obs)
+            .into_iter()
+            .map(sigmoid)
+            .collect()
+    }
+
     /// Feature dimension the fitted network consumes, or `None` before
     /// [`RoiModel::fit`].
     pub fn n_features(&self) -> Option<usize> {

@@ -92,6 +92,24 @@ pub trait RoiMethod: Send + Sync + fmt::Debug {
         self.scores(x, &mut ws, obs)
     }
 
+    /// Ranking scores through the columnar f32 kernel path, where the
+    /// method has one (the rowwise-coalescible families: TPM, DR, DRP,
+    /// Identity-form rDRP, the bootstrap ensemble). The default falls
+    /// back to the f64 scalar path, so MC-sweep methods stay bitwise
+    /// identical to [`RoiMethod::scores`].
+    ///
+    /// Block scores match scalar scores to f32 rounding, not bitwise —
+    /// tree families are bitwise once inputs are rounded to f32, net
+    /// families carry an absolute tolerance (DESIGN.md §11). Callers
+    /// that persist or replay scores must stay on [`RoiMethod::scores`];
+    /// this path is opt-in (`EngineConfig::block_kernels`).
+    ///
+    /// # Panics
+    /// Panics when unfitted (callers gate on [`RoiMethod::is_fitted`]).
+    fn scores_block(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        self.scores_fresh(x, obs)
+    }
+
     /// Conformal prediction intervals, for the methods that calibrate
     /// them (rDRP); `None` for everything else.
     fn intervals(&self, _x: &Matrix) -> Option<Vec<Interval>> {
@@ -412,6 +430,10 @@ impl RoiMethod for TpmMethod {
         self.model.predict_roi(x)
     }
 
+    fn scores_block(&self, x: &Matrix, _obs: &Obs) -> Vec<f64> {
+        self.model.predict_roi_block(x)
+    }
+
     fn body_to_json(&self) -> Value {
         self.model.to_json()
     }
@@ -505,6 +527,16 @@ impl RoiMethod for DrMethod {
                 .collect()
         } else {
             self.model.predict_roi(x)
+        }
+    }
+
+    fn scores_block(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        if self.mc {
+            // The MC sweep consumes RNG across the batch; keep it on the
+            // scalar path so dr-mc stays bitwise-stable.
+            self.scores_fresh(x, obs)
+        } else {
+            self.model.predict_roi_block(x)
         }
     }
 
@@ -612,6 +644,16 @@ impl RoiMethod for DrpMethod {
         }
     }
 
+    fn scores_block(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        if self.mc {
+            // The MC sweep consumes RNG across the batch; keep it on the
+            // scalar path so drp-mc stays bitwise-stable.
+            self.scores_fresh(x, obs)
+        } else {
+            self.model.predict_roi_block(x, obs)
+        }
+    }
+
     fn body_to_json(&self) -> Value {
         if self.mc {
             artifact::mc_body(self.model.to_json(), self.mc_passes, self.std_floor)
@@ -675,6 +717,18 @@ impl RoiMethod for RdrpMethod {
     fn scores(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         let mut rng = Prng::seed_from_u64(SCORING_SEED);
         self.model.predict_scores_with(x, &mut rng, ws, obs)
+    }
+
+    fn scores_block(&self, x: &Matrix, obs: &Obs) -> Vec<f64> {
+        if self.rowwise() {
+            // Identity form: calibrated scores ARE the DRP point
+            // estimates, which have a block path.
+            self.model.drp().predict_roi_block(x, obs)
+        } else {
+            // Non-Identity forms need the MC-dropout sweep; keep it on
+            // the scalar path so scoring stays bitwise-stable.
+            self.scores_fresh(x, obs)
+        }
     }
 
     fn intervals(&self, x: &Matrix) -> Option<Vec<Interval>> {
@@ -754,6 +808,16 @@ impl RoiMethod for BootstrapDrpMethod {
 
     fn scores(&self, x: &Matrix, _ws: &mut Workspace, _obs: &Obs) -> Vec<f64> {
         let stats = self.model.ensemble_roi(x, self.std_floor);
+        stats
+            .mean
+            .iter()
+            .zip(&stats.std)
+            .map(|(m, s)| m + s)
+            .collect()
+    }
+
+    fn scores_block(&self, x: &Matrix, _obs: &Obs) -> Vec<f64> {
+        let stats = self.model.ensemble_roi_block(x, self.std_floor);
         stats
             .mean
             .iter()

@@ -1,0 +1,833 @@
+//! Columnar `f32` feature blocks and cache-blocked GEMM micro-kernels.
+//!
+//! The scalar reference path of this workspace keeps everything in
+//! row-major `f64` ([`crate::Matrix`]). That is the right layout for
+//! training (weights change every step, numerics dominate) but the wrong
+//! one for bulk inference: scoring a million rows through a small MLP or
+//! a forest is memory-bound, and a row-major `f64` walk wastes half the
+//! bandwidth and defeats vectorization across rows.
+//!
+//! This module is the inference fast path:
+//!
+//! * [`FeatureBlock`] — a structure-of-arrays `f32` block. Each *column*
+//!   (feature) is contiguous and padded to a multiple of [`MR`] rows, so
+//!   a SIMD vector spans consecutive *rows* of one feature. Column bases
+//!   are 64-byte aligned (one cache line).
+//! * [`PackedGemm`] — weights packed into [`NR`]-column panels plus a
+//!   folded bias, applied with an `MR`×`NR` register-tiled micro-kernel.
+//! * [`Dispatch`] — runtime selection between the portable scalar
+//!   micro-kernel and the AVX2+FMA one. **Both kernels perform the same
+//!   fused-multiply-adds in the same order** (the scalar path uses
+//!   [`f32::mul_add`], which is single-rounded exactly like the hardware
+//!   FMA), so results are bitwise identical across dispatch modes — the
+//!   property the kernel-parity CI job pins.
+//!
+//! The `f64` scalar path remains the always-available reference; every
+//! consumer of this module is an opt-in `*_block` variant whose
+//! tolerance contract against the reference is documented in DESIGN.md
+//! §11.
+
+use crate::Matrix;
+
+/// Row-tile height of the micro-kernel: two 8-lane `f32` vectors.
+/// [`FeatureBlock`] pads its row count to a multiple of this, so the
+/// kernel has no row-remainder loop.
+pub const MR: usize = 16;
+
+/// Column-panel width of the micro-kernel (output features per tile).
+/// Partial panels are padded with zero weights at pack time.
+pub const NR: usize = 4;
+
+/// Column bases are aligned to this many bytes (a cache line).
+const ALIGN: usize = 64;
+
+/// Environment variable forcing the kernel dispatch. `scalar` pins the
+/// portable fallback; anything else (or unset) selects the best path the
+/// CPU supports. Read once per process.
+pub const DISPATCH_ENV: &str = "RDRP_KERNEL_DISPATCH";
+
+/// Which micro-kernel implementation services block operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Portable scalar kernel mirroring the SIMD lane structure with
+    /// [`f32::mul_add`] — the reference implementation, available
+    /// everywhere.
+    Scalar,
+    /// AVX2 + FMA kernel (x86-64 only, runtime-detected).
+    Avx2Fma,
+}
+
+/// The best kernel the running CPU supports, ignoring [`DISPATCH_ENV`].
+pub fn best_dispatch() -> Dispatch {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Dispatch::Avx2Fma;
+        }
+    }
+    Dispatch::Scalar
+}
+
+/// The process-wide dispatch: [`best_dispatch`] unless [`DISPATCH_ENV`]
+/// is set to `scalar`. Cached after the first call, so the CI parity job
+/// sets the variable before launching the test process.
+pub fn active_dispatch() -> Dispatch {
+    use std::sync::OnceLock;
+    static ACTIVE: OnceLock<Dispatch> = OnceLock::new();
+    *ACTIVE.get_or_init(|| match std::env::var(DISPATCH_ENV) {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => Dispatch::Scalar,
+        _ => best_dispatch(),
+    })
+}
+
+/// A dense `f32` feature block in structure-of-arrays (column-major)
+/// layout: column `c` occupies `rows_padded` consecutive elements, the
+/// first [`MR`]-aligned, with rows past [`FeatureBlock::rows`] zero on
+/// construction. Padding rows flow through kernels like real rows; their
+/// contents are never read back.
+#[derive(Debug, Clone)]
+pub struct FeatureBlock {
+    rows: usize,
+    cols: usize,
+    rows_padded: usize,
+    /// Backing storage; `offset` 64-byte-aligns the first column.
+    data: Vec<f32>,
+    offset: usize,
+}
+
+fn pad_rows(rows: usize) -> usize {
+    rows.div_ceil(MR).max(1) * MR
+}
+
+impl FeatureBlock {
+    /// An all-zero block of the given logical shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let rows_padded = pad_rows(rows);
+        let len = rows_padded * cols;
+        // Over-allocate one cache line and slide the start so every
+        // column base (stride is a multiple of MR f32 = 64 bytes) lands
+        // on a cache-line boundary.
+        let data = vec![0.0f32; len + ALIGN / std::mem::size_of::<f32>()];
+        let offset = {
+            let addr = data.as_ptr() as usize;
+            (ALIGN - addr % ALIGN) % ALIGN / std::mem::size_of::<f32>()
+        };
+        FeatureBlock {
+            rows,
+            cols,
+            rows_padded,
+            data,
+            offset,
+        }
+    }
+
+    /// Converts a row-major `f64` matrix, casting each value to `f32`.
+    pub fn from_matrix(x: &Matrix) -> Self {
+        let mut block = FeatureBlock::zeros(x.rows(), x.cols());
+        for (r, row) in x.row_iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                block.set(r, c, v as f32);
+            }
+        }
+        block
+    }
+
+    /// Builds a block from equally sized `f64` rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have different lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut block = FeatureBlock::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                cols,
+                "FeatureBlock::from_rows: row {r} has {} columns, expected {cols}",
+                row.len()
+            );
+            for (c, &v) in row.iter().enumerate() {
+                block.set(r, c, v as f32);
+            }
+        }
+        block
+    }
+
+    /// The logical rows as `f64` vectors (padding rows excluded).
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| f64::from(self.get(r, c))).collect())
+            .collect()
+    }
+
+    /// The logical contents as a row-major `f64` [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, f64::from(self.get(r, c)));
+            }
+        }
+        out
+    }
+
+    /// Logical row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column (feature) count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Physical rows per column: [`FeatureBlock::rows`] rounded up to a
+    /// multiple of [`MR`].
+    #[inline]
+    pub fn rows_padded(&self) -> usize {
+        self.rows_padded
+    }
+
+    /// Column `c` including padding rows.
+    #[inline]
+    pub fn col(&self, c: usize) -> &[f32] {
+        debug_assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        let start = self.offset + c * self.rows_padded;
+        &self.data[start..start + self.rows_padded]
+    }
+
+    /// Mutable column `c` including padding rows.
+    #[inline]
+    pub fn col_mut(&mut self, c: usize) -> &mut [f32] {
+        debug_assert!(c < self.cols, "col index {c} out of bounds ({})", self.cols);
+        let start = self.offset + c * self.rows_padded;
+        &mut self.data[start..start + self.rows_padded]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[self.offset + c * self.rows_padded + r]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[self.offset + c * self.rows_padded + r] = v;
+    }
+
+    /// Column `c` of the logical rows as `f64` (padding excluded).
+    pub fn col_f64(&self, c: usize) -> Vec<f64> {
+        self.col(c)[..self.rows]
+            .iter()
+            .map(|&v| f64::from(v))
+            .collect()
+    }
+
+    /// Reshapes in place for reuse of the allocation (contents become
+    /// all-zero, like a fresh [`FeatureBlock::zeros`]).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let rows_padded = pad_rows(rows);
+        let len = rows_padded * cols + ALIGN / std::mem::size_of::<f32>();
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        self.offset = {
+            let addr = self.data.as_ptr() as usize;
+            (ALIGN - addr % ALIGN) % ALIGN / std::mem::size_of::<f32>()
+        };
+        self.rows = rows;
+        self.cols = cols;
+        self.rows_padded = rows_padded;
+    }
+
+    /// Concatenates `other`'s columns to the right of `self`'s.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &FeatureBlock) -> FeatureBlock {
+        assert_eq!(
+            self.rows, other.rows,
+            "FeatureBlock::hstack: {} rows vs {} rows",
+            self.rows, other.rows
+        );
+        let mut out = FeatureBlock::zeros(self.rows, self.cols + other.cols);
+        let n = out.rows_padded.min(self.rows_padded);
+        for c in 0..self.cols {
+            out.col_mut(c)[..n].copy_from_slice(&self.col(c)[..n]);
+        }
+        let m = out.rows_padded.min(other.rows_padded);
+        for c in 0..other.cols {
+            out.col_mut(self.cols + c)[..m].copy_from_slice(&other.col(c)[..m]);
+        }
+        out
+    }
+}
+
+/// Weights and bias of one affine map `out = a · W + b`, packed for the
+/// micro-kernel: `W` (`k`×`n`, row-major `f64`) becomes `ceil(n/NR)`
+/// panels of `k`×[`NR`] interleaved `f32` values (partial panels padded
+/// with zero columns), and the bias is folded into the accumulator
+/// initialization.
+#[derive(Debug, Clone)]
+pub struct PackedGemm {
+    k: usize,
+    n: usize,
+    /// Panel p, depth kk, lane j: `panels[(p * k + kk) * NR + j]`.
+    panels: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl PackedGemm {
+    /// Packs a `k`×`n` weight matrix and a length-`n` bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != w.cols()`.
+    pub fn pack(w: &Matrix, bias: &[f64]) -> Self {
+        assert_eq!(
+            bias.len(),
+            w.cols(),
+            "PackedGemm::pack: bias length {} vs {} output columns",
+            bias.len(),
+            w.cols()
+        );
+        let (k, n) = (w.rows(), w.cols());
+        let n_panels = n.div_ceil(NR).max(1);
+        let mut panels = vec![0.0f32; n_panels * k * NR];
+        for p in 0..n_panels {
+            for kk in 0..k {
+                for j in 0..NR {
+                    let c = p * NR + j;
+                    if c < n {
+                        panels[(p * k + kk) * NR + j] = w.get(kk, c) as f32;
+                    }
+                }
+            }
+        }
+        PackedGemm {
+            k,
+            n,
+            panels,
+            bias: bias.iter().map(|&b| b as f32).collect(),
+        }
+    }
+
+    /// Input depth (`k`) this packing expects.
+    pub fn input_dim(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (`n`).
+    pub fn output_dim(&self) -> usize {
+        self.n
+    }
+
+    /// Computes `out = a · W + b` into `out` (reshaped as needed, its
+    /// allocation reused) with the requested kernel. Padding rows of `a`
+    /// are processed like real rows; with zero padding in `a` they
+    /// produce `b` in the padding rows of `out`.
+    ///
+    /// # Panics
+    /// Panics if `a.cols() != k`.
+    pub fn apply_into(&self, a: &FeatureBlock, out: &mut FeatureBlock, dispatch: Dispatch) {
+        assert_eq!(
+            a.cols(),
+            self.k,
+            "PackedGemm::apply_into: input has {} columns, expected {}",
+            a.cols(),
+            self.k
+        );
+        out.reset(a.rows(), self.n);
+        let n_panels = self.n.div_ceil(NR).max(1);
+        if self.n == 0 {
+            return;
+        }
+        for p in 0..n_panels {
+            let panel = &self.panels[p * self.k * NR..(p + 1) * self.k * NR];
+            let jn = (self.n - p * NR).min(NR);
+            for i in (0..a.rows_padded()).step_by(MR) {
+                match dispatch {
+                    #[cfg(target_arch = "x86_64")]
+                    Dispatch::Avx2Fma => unsafe {
+                        // Safety: Avx2Fma is only handed out by
+                        // best_dispatch() after runtime detection.
+                        tile_avx2(a, panel, &self.bias[p * NR..p * NR + jn], self.k, i, p, out)
+                    },
+                    #[cfg(not(target_arch = "x86_64"))]
+                    Dispatch::Avx2Fma => {
+                        tile_scalar(a, panel, &self.bias[p * NR..p * NR + jn], self.k, i, p, out)
+                    }
+                    Dispatch::Scalar => {
+                        tile_scalar(a, panel, &self.bias[p * NR..p * NR + jn], self.k, i, p, out)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience allocating variant of [`PackedGemm::apply_into`].
+    pub fn apply(&self, a: &FeatureBlock, dispatch: Dispatch) -> FeatureBlock {
+        let mut out = FeatureBlock::zeros(0, 0);
+        self.apply_into(a, &mut out, dispatch);
+        out
+    }
+}
+
+/// Portable micro-kernel for one `MR`-row × `NR`-column register tile.
+/// Mirrors the AVX2 kernel lane for lane: accumulators start at the
+/// bias and absorb one single-rounded fused multiply-add per depth step
+/// ([`f32::mul_add`]), so both kernels round identically everywhere.
+fn tile_scalar(
+    a: &FeatureBlock,
+    panel: &[f32],
+    bias: &[f32],
+    k: usize,
+    i: usize,
+    p: usize,
+    out: &mut FeatureBlock,
+) {
+    let mut acc = [[0.0f32; MR]; NR];
+    for (j, &b) in bias.iter().enumerate() {
+        acc[j] = [b; MR];
+    }
+    for kk in 0..k {
+        let alane: &[f32] = &a.col(kk)[i..i + MR];
+        let w = &panel[kk * NR..(kk + 1) * NR];
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let wj = w[j];
+            for (l, av) in alane.iter().enumerate() {
+                accj[l] = av.mul_add(wj, accj[l]);
+            }
+        }
+    }
+    for (j, accj) in acc.iter().enumerate().take(bias.len()) {
+        out.col_mut(p * NR + j)[i..i + MR].copy_from_slice(accj);
+    }
+}
+
+/// AVX2+FMA micro-kernel: 8 live `__m256` accumulators (2 row vectors ×
+/// `NR` columns), one broadcast + two FMAs per weight.
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_avx2(
+    a: &FeatureBlock,
+    panel: &[f32],
+    bias: &[f32],
+    k: usize,
+    i: usize,
+    p: usize,
+    out: &mut FeatureBlock,
+) {
+    use std::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_ps(); NR];
+    let mut hi = [_mm256_setzero_ps(); NR];
+    for (j, &b) in bias.iter().enumerate() {
+        lo[j] = _mm256_set1_ps(b);
+        hi[j] = _mm256_set1_ps(b);
+    }
+    for kk in 0..k {
+        let base = a.col(kk).as_ptr().add(i);
+        let a_lo = _mm256_loadu_ps(base);
+        let a_hi = _mm256_loadu_ps(base.add(8));
+        let w = panel.as_ptr().add(kk * NR);
+        for j in 0..NR {
+            let wj = _mm256_set1_ps(*w.add(j));
+            lo[j] = _mm256_fmadd_ps(a_lo, wj, lo[j]);
+            hi[j] = _mm256_fmadd_ps(a_hi, wj, hi[j]);
+        }
+    }
+    for j in 0..bias.len() {
+        let dst = out.col_mut(p * NR + j).as_mut_ptr().add(i);
+        _mm256_storeu_ps(dst, lo[j]);
+        _mm256_storeu_ps(dst.add(8), hi[j]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fast elementwise ELU for the block activation pass.
+//
+// `exp` through libm dominates the block path's runtime for ELU networks
+// (one call per negative pre-activation), so the block pass uses a
+// Cephes-style degree-5 polynomial `expf` instead. The scalar and AVX2
+// implementations below mirror each other operation for operation —
+// same clamps (with the `vminps`/`vmaxps` operand convention), same
+// round-to-nearest-even via the 1.5·2^23 magic constant, same
+// single-rounded FMA chain — so ELU stays **bitwise identical across
+// dispatch modes** like the GEMM kernels. Against the f64 reference the
+// polynomial is accurate to a few f32 ulp, well inside the block path's
+// tolerance contract (DESIGN.md §11).
+
+/// Clamp bounds: beyond these, `expf` saturates to `inf` / `0.0f32`.
+const EXP_HI: f32 = 88.722_84;
+#[allow(clippy::excessive_precision)] // canonical Cephes digits
+const EXP_LO: f32 = -87.336_544;
+/// `log2(e)` for the range reduction `x = n·ln2 + r`.
+const EXP_LOG2E: f32 = std::f32::consts::LOG2_E;
+/// `ln2` split into a high part exact in f32 and a low correction.
+/// `0.693359375 = 710/2^10` is exact in f32; the trailing digits are
+/// the point, not excess precision.
+#[allow(clippy::excessive_precision)]
+const EXP_C1: f32 = 0.693_359_375;
+const EXP_C2: f32 = -2.121_944_4e-4;
+/// Minimax coefficients for `e^r - 1 - r` on `|r| <= ln2/2` (Cephes).
+const EXP_P0: f32 = 1.987_569_2e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+/// `1.5 · 2^23`: adding then subtracting rounds `|x| < 2^22` to the
+/// nearest integer (ties to even) in pure f32 arithmetic — the same
+/// result in the scalar and SIMD paths, independent of rounding-mode
+/// intrinsics.
+const EXP_ROUND: f32 = 12_582_912.0;
+
+/// Polynomial `expf` on a clamped input; mirrors `exp_avx2` lane math.
+#[inline]
+fn exp_scalar(x: f32) -> f32 {
+    // Clamp with the vminps/vmaxps operand convention (`if a OP b { a }
+    // else { b }`) so out-of-range and NaN inputs take the same value on
+    // both paths.
+    let x = if x < EXP_HI { x } else { EXP_HI };
+    let x = if x > EXP_LO { x } else { EXP_LO };
+    let n = x.mul_add(EXP_LOG2E, EXP_ROUND) - EXP_ROUND;
+    let r = n.mul_add(-EXP_C1, x);
+    let r = n.mul_add(-EXP_C2, r);
+    let mut p = EXP_P0;
+    p = p.mul_add(r, EXP_P1);
+    p = p.mul_add(r, EXP_P2);
+    p = p.mul_add(r, EXP_P3);
+    p = p.mul_add(r, EXP_P4);
+    p = p.mul_add(r, EXP_P5);
+    let p = p.mul_add(r * r, r) + 1.0;
+    // 2^n through the exponent bits; n is integral in [-126, 128].
+    #[allow(clippy::cast_possible_truncation)] // n is integral by construction
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    p * scale
+}
+
+/// Scalar ELU sweep mirroring the AVX2 blend semantics.
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must take the exp branch like the SIMD blend
+fn elu_scalar_slice(xs: &mut [f32]) {
+    for v in xs {
+        let x = *v;
+        if !(x >= 0.0) {
+            *v = exp_scalar(x) - 1.0;
+        }
+    }
+}
+
+/// AVX2 ELU sweep: 8 lanes per step, each lane performing exactly the
+/// operations of [`exp_scalar`] / [`elu_scalar_slice`].
+///
+/// # Safety
+/// Caller must have verified `avx2` and `fma` at runtime, and
+/// `xs.len()` must be a multiple of 8.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn elu_avx2(xs: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(xs.len() % 8, 0);
+    let hi = _mm256_set1_ps(EXP_HI);
+    let lo = _mm256_set1_ps(EXP_LO);
+    let log2e = _mm256_set1_ps(EXP_LOG2E);
+    let round = _mm256_set1_ps(EXP_ROUND);
+    let nc1 = _mm256_set1_ps(-EXP_C1);
+    let nc2 = _mm256_set1_ps(-EXP_C2);
+    let p1 = _mm256_set1_ps(EXP_P1);
+    let p2 = _mm256_set1_ps(EXP_P2);
+    let p3 = _mm256_set1_ps(EXP_P3);
+    let p4 = _mm256_set1_ps(EXP_P4);
+    let p5 = _mm256_set1_ps(EXP_P5);
+    let one = _mm256_set1_ps(1.0);
+    let zero = _mm256_setzero_ps();
+    for i in (0..xs.len()).step_by(8) {
+        let ptr = xs.as_mut_ptr().add(i);
+        let x0 = _mm256_loadu_ps(ptr);
+        let x = _mm256_max_ps(_mm256_min_ps(x0, hi), lo);
+        let t = _mm256_fmadd_ps(x, log2e, round);
+        let n = _mm256_sub_ps(t, round);
+        let r = _mm256_fmadd_ps(n, nc1, x);
+        let r = _mm256_fmadd_ps(n, nc2, r);
+        let mut p = _mm256_set1_ps(EXP_P0);
+        p = _mm256_fmadd_ps(p, r, p1);
+        p = _mm256_fmadd_ps(p, r, p2);
+        p = _mm256_fmadd_ps(p, r, p3);
+        p = _mm256_fmadd_ps(p, r, p4);
+        p = _mm256_fmadd_ps(p, r, p5);
+        let rr = _mm256_mul_ps(r, r);
+        let p = _mm256_add_ps(_mm256_fmadd_ps(p, rr, r), one);
+        let ni = _mm256_cvtps_epi32(n);
+        let scale = _mm256_castsi256_ps(_mm256_slli_epi32(
+            _mm256_add_epi32(ni, _mm256_set1_epi32(127)),
+            23,
+        ));
+        let e = _mm256_mul_ps(p, scale);
+        let em1 = _mm256_sub_ps(e, one);
+        // x >= 0 keeps x; everything else (negatives, NaN) takes e - 1 —
+        // the same selection `elu_scalar_slice` makes.
+        let keep = _mm256_cmp_ps::<_CMP_GE_OQ>(x0, zero);
+        _mm256_storeu_ps(ptr, _mm256_blendv_ps(em1, x0, keep));
+    }
+}
+
+/// ELU (`alpha = 1`) applied in place with the requested kernel.
+/// Bitwise identical across [`Dispatch`] modes; accurate to a few f32
+/// ulp against `exp` (the polynomial trades libm's last bits for an
+/// order of magnitude in throughput on the block path).
+pub fn elu_in_place(xs: &mut [f32], dispatch: Dispatch) {
+    #[cfg(target_arch = "x86_64")]
+    if dispatch == Dispatch::Avx2Fma {
+        let n8 = xs.len() / 8 * 8;
+        // Safety: Avx2Fma is only handed out after runtime detection.
+        unsafe { elu_avx2(&mut xs[..n8]) };
+        elu_scalar_slice(&mut xs[n8..]);
+        return;
+    }
+    let _ = dispatch;
+    elu_scalar_slice(xs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::Prng;
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut Prng) -> Matrix {
+        Matrix::from_vec(rows, cols, rng.gaussian_vec(rows * cols))
+    }
+
+    /// f64 reference for `x · W + b` (plain sums, no FMA): the kernels
+    /// must agree to f32 accuracy, not bitwise.
+    fn reference(x: &Matrix, w: &Matrix, b: &[f64]) -> Matrix {
+        let mut out = x.matmul(w).unwrap();
+        out.add_row_vector_mut(b).unwrap();
+        out
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_values_and_pads() {
+        let mut rng = Prng::seed_from_u64(0);
+        let x = random_matrix(19, 3, &mut rng);
+        let b = FeatureBlock::from_matrix(&x);
+        assert_eq!(b.rows(), 19);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.rows_padded(), 32);
+        // Values survive the f32 cast exactly when re-read as f32.
+        for r in 0..19 {
+            for c in 0..3 {
+                assert_eq!(b.get(r, c), x.get(r, c) as f32);
+            }
+        }
+        // Padding rows are zero.
+        for c in 0..3 {
+            assert!(b.col(c)[19..].iter().all(|&v| v == 0.0));
+        }
+        // Row converters agree with the matrix converter.
+        assert_eq!(b.to_matrix().rows(), 19);
+        assert_eq!(b.to_rows()[7], b.to_matrix().row(7).to_vec());
+    }
+
+    #[test]
+    fn from_rows_matches_from_matrix() {
+        let rows = vec![vec![1.5, -2.0], vec![0.25, 4.0], vec![-1.0, 0.5]];
+        let a = FeatureBlock::from_rows(&rows);
+        let b = FeatureBlock::from_matrix(&Matrix::from_rows(&rows));
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn columns_are_cache_line_aligned() {
+        for rows in [1, 16, 17, 250] {
+            let b = FeatureBlock::zeros(rows, 3);
+            for c in 0..3 {
+                assert_eq!(b.col(c).as_ptr() as usize % ALIGN, 0, "rows={rows} col={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn hstack_concatenates_columns() {
+        let a = FeatureBlock::from_rows(&[vec![1.0], vec![2.0]]);
+        let b = FeatureBlock::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let h = a.hstack(&b);
+        assert_eq!(h.cols(), 3);
+        assert_eq!(h.to_rows(), vec![vec![1.0, 3.0, 4.0], vec![2.0, 5.0, 6.0]]);
+    }
+
+    /// Ragged shapes hitting every remainder edge: row counts around the
+    /// MR tile boundary, column counts around the NR panel boundary, and
+    /// depths from one feature up.
+    #[test]
+    fn gemm_matches_f64_reference_over_ragged_shapes() {
+        let mut rng = Prng::seed_from_u64(1);
+        for &rows in &[1usize, 15, 16, 17, 33] {
+            for &k in &[1usize, 2, 7, 16] {
+                for &n in &[1usize, 3, 4, 5, 8, 9] {
+                    let x = random_matrix(rows, k, &mut rng);
+                    let w = random_matrix(k, n, &mut rng);
+                    let b = rng.gaussian_vec(n);
+                    let want = reference(&x, &w, &b);
+                    let packed = PackedGemm::pack(&w, &b);
+                    let a = FeatureBlock::from_matrix(&x);
+                    for dispatch in [Dispatch::Scalar, best_dispatch()] {
+                        let got = packed.apply(&a, dispatch);
+                        assert_eq!(got.rows(), rows);
+                        assert_eq!(got.cols(), n);
+                        for r in 0..rows {
+                            for c in 0..n {
+                                let diff = (f64::from(got.get(r, c)) - want.get(r, c)).abs();
+                                assert!(
+                                    diff < 1e-4,
+                                    "{dispatch:?} rows={rows} k={k} n={n} [{r},{c}]: \
+                                     {} vs {}",
+                                    got.get(r, c),
+                                    want.get(r, c)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dispatch-invariance contract: scalar and SIMD kernels agree
+    /// bitwise, because both perform single-rounded FMAs in the same
+    /// order. (Trivially true on machines without AVX2.)
+    #[test]
+    fn scalar_and_simd_kernels_agree_bitwise() {
+        let mut rng = Prng::seed_from_u64(2);
+        for &(rows, k, n) in &[
+            (33usize, 7usize, 5usize),
+            (16, 64, 64),
+            (1, 1, 1),
+            (17, 3, 9),
+        ] {
+            let x = random_matrix(rows, k, &mut rng);
+            let w = random_matrix(k, n, &mut rng);
+            let b = rng.gaussian_vec(n);
+            let packed = PackedGemm::pack(&w, &b);
+            let a = FeatureBlock::from_matrix(&x);
+            let scalar = packed.apply(&a, Dispatch::Scalar);
+            let best = packed.apply(&a, best_dispatch());
+            for c in 0..n {
+                let (s, v) = (scalar.col(c), best.col(c));
+                assert!(
+                    s.iter().zip(v).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "column {c} differs between dispatch modes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_into_reuses_allocation_and_matches_apply() {
+        let mut rng = Prng::seed_from_u64(3);
+        let x = random_matrix(20, 6, &mut rng);
+        let w = random_matrix(6, 3, &mut rng);
+        let b = rng.gaussian_vec(3);
+        let packed = PackedGemm::pack(&w, &b);
+        let a = FeatureBlock::from_matrix(&x);
+        let want = packed.apply(&a, Dispatch::Scalar);
+        let mut out = FeatureBlock::zeros(100, 9); // stale shape
+        packed.apply_into(&a, &mut out, Dispatch::Scalar);
+        assert_eq!(out.to_rows(), want.to_rows());
+    }
+
+    #[test]
+    fn zero_row_and_single_cell_shapes() {
+        let packed = PackedGemm::pack(&Matrix::from_rows(&[vec![2.0]]), &[1.0]);
+        let a = FeatureBlock::from_matrix(&Matrix::zeros(0, 1));
+        let out = packed.apply(&a, Dispatch::Scalar);
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.cols(), 1);
+        let one = FeatureBlock::from_matrix(&Matrix::from_rows(&[vec![3.0]]));
+        let out = packed.apply(&one, Dispatch::Scalar);
+        assert_eq!(out.get(0, 0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input has 2 columns, expected 3")]
+    fn gemm_input_width_mismatch_panics() {
+        let packed = PackedGemm::pack(&Matrix::zeros(3, 2), &[0.0, 0.0]);
+        let a = FeatureBlock::zeros(4, 2);
+        let _ = packed.apply(&a, Dispatch::Scalar);
+    }
+
+    #[test]
+    fn elu_tracks_f64_reference() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut xs: Vec<f32> = (0..4096).map(|_| (rng.gaussian() * 3.0) as f32).collect();
+        xs.extend([0.0, -0.0, 1.0e-8, -1.0e-8, -20.0, -87.0, -120.0, 5.0, 80.0]);
+        let want: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let x = f64::from(x);
+                if x >= 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            })
+            .collect();
+        let mut got = xs.clone();
+        elu_in_place(&mut got, Dispatch::Scalar);
+        // Error scales with exp(x) = 1 + elu(x): computing `e - 1` in f32
+        // inherits ulp(e)-sized cancellation near zero exactly like the
+        // libm-based `x.exp() - 1.0` formulation does.
+        for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+            assert!(
+                (f64::from(g) - w).abs() < 3e-7 * (1.0 + w.abs()),
+                "x={} elu {} vs reference {}",
+                xs[i],
+                g,
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn elu_is_dispatch_invariant_bitwise() {
+        let mut rng = Prng::seed_from_u64(5);
+        // 1003: exercises the 8-lane body and the scalar tail.
+        let mut xs: Vec<f32> = (0..1003).map(|_| (rng.gaussian() * 20.0) as f32).collect();
+        xs.extend([0.0, -0.0, -1.0e-30, -88.0, -200.0, 90.0, f32::NAN]);
+        let mut scalar = xs.clone();
+        let mut best = xs;
+        elu_in_place(&mut scalar, Dispatch::Scalar);
+        elu_in_place(&mut best, best_dispatch());
+        for (i, (s, b)) in scalar.iter().zip(&best).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                b.to_bits(),
+                "lane {i} differs between dispatch modes"
+            );
+        }
+    }
+
+    #[test]
+    fn elu_positive_inputs_pass_through_bitwise() {
+        let mut xs = vec![0.0f32, 1.5, 1.0e-30, 3.4e38, 7.25];
+        let want = xs.clone();
+        elu_in_place(&mut xs, best_dispatch());
+        for (x, w) in xs.iter().zip(&want) {
+            assert_eq!(x.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn active_dispatch_is_cached_and_stable() {
+        // The env-variable override itself is exercised by the CI
+        // kernel-parity job, which runs the differential suite in a
+        // process with RDRP_KERNEL_DISPATCH=scalar.
+        assert_eq!(active_dispatch(), active_dispatch());
+    }
+}

@@ -41,11 +41,20 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::ShapeMismatch { op, lhs, rhs } => write!(
-                f,
-                "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
-                lhs.0, lhs.1, rhs.0, rhs.1
-            ),
+            Error::ShapeMismatch { op, lhs, rhs } => {
+                write!(
+                    f,
+                    "shape mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                    lhs.0, lhs.1, rhs.0, rhs.1
+                )?;
+                // Inner-product ops pair lhs columns with rhs rows; name
+                // the exact dimensions that disagree so the message
+                // points at the bug, not just the shapes.
+                if matches!(*op, "matmul" | "matmul_into" | "matvec") {
+                    write!(f, " (lhs has {} columns but rhs has {} rows)", lhs.1, rhs.0)?;
+                }
+                Ok(())
+            }
             Error::NotSquare { rows, cols } => {
                 write!(f, "matrix must be square, got {rows}x{cols}")
             }

@@ -15,6 +15,7 @@
 //! All routines are deterministic given a seed and panic loudly on shape
 //! mismatches — silent broadcasting is a bug factory in numeric code.
 
+pub mod block;
 pub mod error;
 pub mod matrix;
 pub mod random;

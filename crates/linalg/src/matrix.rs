@@ -287,7 +287,7 @@ impl Matrix {
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(Error::ShapeMismatch {
-                op: "matmul",
+                op: "matmul_into",
                 lhs: self.shape(),
                 rhs: rhs.shape(),
             });
@@ -541,6 +541,71 @@ mod tests {
             a.matmul(&b),
             Err(Error::ShapeMismatch { op: "matmul", .. })
         ));
+    }
+
+    #[test]
+    fn matmul_errors_name_the_offending_dimensions() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        let msg = a.matmul(&b).unwrap_err().to_string();
+        assert!(
+            msg.contains("lhs has 3 columns but rhs has 4 rows"),
+            "matmul message should pinpoint the inner dimensions: {msg}"
+        );
+        let mut out = Matrix::zeros(1, 1);
+        let msg = a.matmul_into(&b, &mut out).unwrap_err().to_string();
+        assert!(
+            msg.contains("matmul_into") && msg.contains("lhs has 3 columns but rhs has 4 rows"),
+            "matmul_into message should name the op and dimensions: {msg}"
+        );
+        let msg = a.matvec(&[0.0; 4]).unwrap_err().to_string();
+        assert!(
+            msg.contains("lhs has 3 columns but rhs has 4 rows"),
+            "matvec message should pinpoint the inner dimensions: {msg}"
+        );
+    }
+
+    /// Property sweep over degenerate shapes: 0-row, 0-column, and 1×1
+    /// operands must all round-trip through matmul/matmul_into with the
+    /// algebraically implied output shape and contents.
+    #[test]
+    fn matmul_degenerate_shapes() {
+        // (m, k, n) sweeps where any dimension may be 0 or 1.
+        for &(m, k, n) in &[
+            (0usize, 0usize, 0usize),
+            (0, 3, 2),
+            (2, 0, 3),
+            (3, 2, 0),
+            (1, 1, 1),
+            (1, 0, 1),
+            (0, 1, 0),
+        ] {
+            // Deterministic non-trivial entries so 1×1 checks real math.
+            let a = Matrix::from_vec(m, k, (0..m * k).map(|i| 0.5 * i as f64 - 1.0).collect());
+            let b = Matrix::from_vec(k, n, (0..k * n).map(|i| 1.5 - 0.25 * i as f64).collect());
+            let c = a.matmul(&b).unwrap();
+            assert_eq!(c.shape(), (m, n), "shape for m={m} k={k} n={n}");
+            // Reference: naive triple loop.
+            for i in 0..m {
+                for j in 0..n {
+                    let want: f64 = (0..k).map(|t| a.get(i, t) * b.get(t, j)).sum();
+                    assert_eq!(c.get(i, j), want, "m={m} k={k} n={n} [{i},{j}]");
+                }
+            }
+            // matmul_into agrees bitwise even from a stale out shape.
+            let mut out = Matrix::zeros(7, 5);
+            a.matmul_into(&b, &mut out).unwrap();
+            assert_eq!(out.shape(), (m, n));
+            assert_eq!(out.as_slice(), c.as_slice());
+            // k = 0 contracts over nothing: the product must be all-zero.
+            if k == 0 {
+                assert!(c.as_slice().iter().all(|&v| v == 0.0));
+            }
+        }
+        // 1×1 sanity: matmul degenerates to scalar multiplication.
+        let a = Matrix::from_vec(1, 1, vec![3.0]);
+        let b = Matrix::from_vec(1, 1, vec![-0.5]);
+        assert_eq!(a.matmul(&b).unwrap().get(0, 0), -1.5);
     }
 
     #[test]

@@ -46,6 +46,68 @@ impl Activation {
         }
     }
 
+    /// `f32` twin of [`Activation::apply`] for the block inference
+    /// kernels. Identical in every dispatch mode (pure `f32` math, no
+    /// SIMD divergence), but *not* bit-identical to applying the `f64`
+    /// version and rounding — the per-layer drift is part of the block
+    /// path's tolerance contract (DESIGN.md §11).
+    #[inline]
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Sigmoid => {
+                if x >= 0.0 {
+                    let e = (-x).exp();
+                    1.0 / (1.0 + e)
+                } else {
+                    let e = x.exp();
+                    e / (1.0 + e)
+                }
+            }
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Elu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+            Activation::Softplus => {
+                if x > 30.0 {
+                    x
+                } else if x < -30.0 {
+                    x.exp()
+                } else {
+                    x.exp().ln_1p()
+                }
+            }
+        }
+    }
+
+    /// Applies the activation over one column slice of the block path.
+    ///
+    /// ELU routes to the vectorized kernel
+    /// ([`linalg::block::elu_in_place`]) — a polynomial `expf` mirrored
+    /// bitwise between dispatch modes, accurate to a few f32 ulp against
+    /// [`Activation::apply_f32`]'s libm formulation. Every other
+    /// activation applies [`Activation::apply_f32`] elementwise, which
+    /// never consults `dispatch`; either way the result is bitwise
+    /// identical across [`Dispatch`] modes.
+    ///
+    /// [`Dispatch`]: linalg::block::Dispatch
+    pub fn apply_block_slice(self, xs: &mut [f32], dispatch: linalg::block::Dispatch) {
+        match self {
+            Activation::Identity => {}
+            Activation::Elu => linalg::block::elu_in_place(xs, dispatch),
+            other => {
+                for v in xs {
+                    *v = other.apply_f32(*v);
+                }
+            }
+        }
+    }
+
     /// Derivative `f'(x)` expressed in terms of the pre-activation `x`.
     #[inline]
     pub fn derivative(self, x: f64) -> f64 {
@@ -114,6 +176,20 @@ mod tests {
         assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-15);
         assert!((Activation::Elu.apply(-30.0) + 1.0).abs() < 1e-10);
         assert!(Activation::Softplus.apply(-50.0) > 0.0);
+    }
+
+    #[test]
+    fn f32_twin_tracks_f64_activation() {
+        for act in ALL {
+            for &x in &[-31.0f64, -4.0, -0.7, 0.0, 0.3, 1.7, 31.0] {
+                let want = act.apply(x);
+                let got = f64::from(act.apply_f32(x as f32));
+                assert!(
+                    (got - want).abs() < 1e-6 * want.abs().max(1.0),
+                    "{act:?} at {x}: f32 {got} vs f64 {want}"
+                );
+            }
+        }
     }
 
     #[test]

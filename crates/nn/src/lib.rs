@@ -45,7 +45,7 @@ pub use dense::Dense;
 pub use dropout::{Dropout, Mode};
 pub use error::{DivergenceCause, TrainError};
 pub use mc::{mc_predict, mc_predict_map, McStats};
-pub use mlp::{Mlp, Workspace};
+pub use mlp::{BlockWorkspace, Mlp, Workspace};
 pub use multihead::MultiHeadNet;
 pub use objective::{BceObjective, MseObjective, Objective, PinballObjective};
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -4,6 +4,7 @@ use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::dropout::{Dropout, Mode};
 use crate::init::Init;
+use linalg::block::{Dispatch, FeatureBlock, PackedGemm};
 use linalg::random::Prng;
 use linalg::Matrix;
 use tinyjson::{FromJson, JsonError, ToJson, Value};
@@ -62,6 +63,30 @@ impl Workspace {
 impl Default for Workspace {
     fn default() -> Self {
         Workspace::new()
+    }
+}
+
+/// Scratch for the columnar `f32` inference fast path
+/// ([`Mlp::infer_block`]): two ping-pong [`FeatureBlock`]s whose
+/// allocations are reused across calls, mirroring [`Workspace`] for the
+/// scalar path.
+#[derive(Debug)]
+pub struct BlockWorkspace {
+    bufs: [FeatureBlock; 2],
+}
+
+impl BlockWorkspace {
+    /// Creates an empty workspace; blocks grow on first use.
+    pub fn new() -> Self {
+        BlockWorkspace {
+            bufs: [FeatureBlock::zeros(0, 0), FeatureBlock::zeros(0, 0)],
+        }
+    }
+}
+
+impl Default for BlockWorkspace {
+    fn default() -> Self {
+        BlockWorkspace::new()
     }
 }
 
@@ -331,6 +356,81 @@ impl Mlp {
         })
     }
 
+    /// Columnar `f32` inference fast path: the network applied to a
+    /// [`FeatureBlock`] through the cache-blocked GEMM micro-kernels,
+    /// ping-ponging activations between the workspace's two blocks.
+    ///
+    /// Semantics are [`Mode::Eval`] only: dropout layers are identity at
+    /// evaluation time and are skipped outright (no RNG is consumed).
+    /// Each dense layer packs its weights into [`NR`]-column panels
+    /// (`O(k·n)`, amortized over the `O(rows·k·n)` GEMM), folds its bias
+    /// into the accumulator initialization, and applies its activation
+    /// via [`Activation::apply_block_slice`] (vectorized ELU, elementwise
+    /// [`Activation::apply_f32`] otherwise).
+    ///
+    /// Results are **bitwise identical across [`Dispatch`] modes** (the
+    /// scalar kernel mirrors the SIMD FMA order) but only approximately
+    /// equal to the `f64` [`Mlp::infer`] reference — the tolerance
+    /// contract lives in DESIGN.md §11.
+    ///
+    /// [`NR`]: linalg::block::NR
+    ///
+    /// # Panics
+    /// Panics when `x` has the wrong number of features.
+    pub fn infer_block<'ws>(
+        &self,
+        x: &FeatureBlock,
+        ws: &'ws mut BlockWorkspace,
+        dispatch: Dispatch,
+    ) -> &'ws FeatureBlock {
+        assert_eq!(
+            x.cols(),
+            self.input_dim,
+            "Mlp::infer_block: expected {} features, got {}",
+            self.input_dim,
+            x.cols()
+        );
+        let (left, right) = ws.bufs.split_at_mut(1);
+        let mut cur: &mut FeatureBlock = &mut left[0];
+        let mut nxt: &mut FeatureBlock = &mut right[0];
+        let mut started = false;
+        for layer in &self.layers {
+            // Dropout is identity in Eval mode — skipped on this path.
+            if let Layer::Dense(d) = layer {
+                let input: &FeatureBlock = if started { cur } else { x };
+                let packed = PackedGemm::pack(d.weights(), d.biases());
+                packed.apply_into(input, nxt, dispatch);
+                let act = d.activation();
+                if act != Activation::Identity {
+                    for c in 0..nxt.cols() {
+                        act.apply_block_slice(nxt.col_mut(c), dispatch);
+                    }
+                }
+                std::mem::swap(&mut cur, &mut nxt);
+                started = true;
+            }
+        }
+        assert!(started, "built Mlp always has a dense layer");
+        cur
+    }
+
+    /// Block-path twin of [`Mlp::predict_scalar`]: scores a batch through
+    /// [`Mlp::infer_block`] under the process-wide
+    /// [`linalg::block::active_dispatch`] and returns the first output
+    /// column. Instrumented separately (`infer.block_calls`,
+    /// `infer.block_rows`, `infer.block_ns`) so the serving engine's
+    /// metrics distinguish the two paths.
+    pub fn predict_scalar_block(&self, x: &Matrix, obs: &obs::Obs) -> Vec<f64> {
+        obs.counter("infer.block_calls", 1.0);
+        obs.observe("infer.block_rows", x.rows() as f64);
+        obs.time("infer.block_ns", || {
+            let block = FeatureBlock::from_matrix(x);
+            let mut ws = BlockWorkspace::new();
+            let out = self.infer_block(&block, &mut ws, linalg::block::active_dispatch());
+            out.col_f64(0)
+        })
+    }
+
     /// Backward pass through the whole stack. `grad_out` is `dL/d(output)`
     /// for the latest [`Mode::Train`] forward batch. Returns `dL/d(input)`.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -457,6 +557,51 @@ mod tests {
         let mut eval_rng = Prng::seed_from_u64(0);
         let serial = m.infer(&x, Mode::Eval, &mut eval_rng, &mut ws).col(0);
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn block_path_tracks_scalar_reference() {
+        let mut rng = Prng::seed_from_u64(11);
+        let m = Mlp::builder(6)
+            .dense(32, Activation::Elu)
+            .dropout(0.1)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
+        let n = 333; // not a multiple of the MR=16 tile
+        let x = Matrix::from_vec(n, 6, rng.gaussian_vec(n * 6));
+        let want = m.predict_scalar(&x, &obs::Obs::disabled());
+        let got = m.predict_scalar_block(&x, &obs::Obs::disabled());
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g - w).abs() < 1e-4 * w.abs().max(1.0),
+                "block {g} vs scalar {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_path_is_dispatch_invariant_bitwise() {
+        let mut rng = Prng::seed_from_u64(12);
+        let m = Mlp::builder(5)
+            .dense(24, Activation::Tanh)
+            .dense(3, Activation::Softplus)
+            .build(&mut rng);
+        let x = Matrix::from_vec(77, 5, rng.gaussian_vec(77 * 5));
+        let block = linalg::block::FeatureBlock::from_matrix(&x);
+        let mut ws_a = BlockWorkspace::new();
+        let mut ws_b = BlockWorkspace::new();
+        let scalar = m.infer_block(&block, &mut ws_a, Dispatch::Scalar);
+        let best = m.infer_block(&block, &mut ws_b, linalg::block::best_dispatch());
+        for c in 0..3 {
+            for r in 0..77 {
+                assert_eq!(
+                    scalar.get(r, c).to_bits(),
+                    best.get(r, c).to_bits(),
+                    "[{r},{c}] differs between dispatch modes"
+                );
+            }
+        }
     }
 
     #[test]

@@ -128,6 +128,23 @@ impl MultiHeadNet {
             .collect()
     }
 
+    /// Block-path twin of [`MultiHeadNet::predict_scalars`]: trunk and
+    /// heads run through the columnar `f32` kernels
+    /// ([`Mlp::infer_block`]) under the process-wide dispatch. The trunk
+    /// representation stays in `f32` block layout end to end — no
+    /// row-major round-trip between trunk and heads.
+    pub fn predict_scalars_block(&self, x: &Matrix) -> Vec<Vec<f64>> {
+        let dispatch = linalg::block::active_dispatch();
+        let block = linalg::block::FeatureBlock::from_matrix(x);
+        let mut ws_trunk = crate::mlp::BlockWorkspace::new();
+        let mut ws_head = crate::mlp::BlockWorkspace::new();
+        let rep = self.trunk.infer_block(&block, &mut ws_trunk, dispatch);
+        self.heads
+            .iter()
+            .map(|h| h.infer_block(rep, &mut ws_head, dispatch).col_f64(0))
+            .collect()
+    }
+
     /// Backward pass. `head_grads[i]` is `dL/d(head_i output)` for the
     /// latest [`Mode::Train`] forward batch; heads that do not participate
     /// in the loss for this batch should receive a zero matrix.

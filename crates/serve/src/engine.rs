@@ -76,6 +76,12 @@ pub struct EngineConfig {
     pub supervisor: SupervisorConfig,
     /// Circuit-breaker / load-shedding knobs.
     pub breaker: BreakerConfig,
+    /// Score through the columnar f32 kernel path
+    /// ([`BatchScorer::score_block`]) instead of the f64 scalar path.
+    /// Off by default: block scores track scalar scores only to f32
+    /// rounding (DESIGN.md §11), so deployments that golden-pin or
+    /// replay scores must leave this off.
+    pub block_kernels: bool,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +93,7 @@ impl Default for EngineConfig {
             queue_rows: 16_384,
             supervisor: SupervisorConfig::default(),
             breaker: BreakerConfig::default(),
+            block_kernels: false,
         }
     }
 }
@@ -656,7 +663,11 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) -> bool {
                 _ => {}
             }
         }
-        scorer.score(&x, ws, obs)
+        if shared.cfg.block_kernels {
+            scorer.score_block(&x, ws, obs)
+        } else {
+            scorer.score(&x, ws, obs)
+        }
     }));
     obs.observe("serve.score_ns", obs.now_ns().saturating_sub(t0) as f64);
     match result {

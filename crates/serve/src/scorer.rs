@@ -38,6 +38,18 @@ pub trait BatchScorer: Send + Sync + std::fmt::Debug {
     /// scratch; `obs` carries the engine's instrumentation handle.
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64>;
 
+    /// [`BatchScorer::score`] through the columnar f32 kernel path,
+    /// where the model has one. The engine calls this instead of
+    /// `score` when `EngineConfig::block_kernels` is on; the default
+    /// falls back to the scalar path, so opting in is always safe.
+    ///
+    /// Block scores track scalar scores to f32 rounding, not bitwise
+    /// (DESIGN.md §11) — deployments that replay or golden-pin scores
+    /// must keep `block_kernels` off.
+    fn score_block(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        self.score(x, ws, obs)
+    }
+
     /// The conformal quantile `q̂` this scorer serves with, when it has a
     /// conformal stage — the handle the online calibration monitor keys
     /// on. `None` for uncalibrated scorers (nothing to recalibrate).
@@ -68,6 +80,17 @@ impl BatchScorer for Rdrp {
         self.predict_scores_with(x, &mut rng, ws, obs)
     }
 
+    fn score_block(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        if self.rowwise() {
+            // Identity form: calibrated scores are the DRP point
+            // estimates, which have a block path.
+            self.drp().predict_roi_block(x, obs)
+        } else {
+            // Non-Identity forms need the MC sweep; stay scalar.
+            self.score(x, ws, obs)
+        }
+    }
+
     fn qhat(&self) -> Option<f64> {
         Rdrp::qhat(self)
     }
@@ -90,6 +113,10 @@ impl BatchScorer for DrpModel {
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         self.predict_roi_with(x, ws, obs)
     }
+
+    fn score_block(&self, x: &Matrix, _ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        self.predict_roi_block(x, obs)
+    }
 }
 
 /// Any registered method serves as-is: the registry loads an artifact
@@ -106,6 +133,10 @@ impl BatchScorer for Box<dyn RoiMethod> {
 
     fn score(&self, x: &Matrix, ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
         self.scores(x, ws, obs)
+    }
+
+    fn score_block(&self, x: &Matrix, _ws: &mut Workspace, obs: &Obs) -> Vec<f64> {
+        self.scores_block(x, obs)
     }
 
     fn qhat(&self) -> Option<f64> {

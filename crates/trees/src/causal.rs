@@ -54,7 +54,7 @@ impl Default for CausalTreeConfig {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         tau: f64,
     },
@@ -323,6 +323,16 @@ impl CausalTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Feature dimension this tree was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Arena nodes, for the flattened batch-traversal converter.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
 }
 
 /// Hyperparameters for a causal forest.
@@ -414,6 +424,11 @@ impl CausalForest {
     /// Per-tree predictions (spread = jackknife-style variance proxy).
     pub fn tree_predictions(&self, row: &[f64]) -> Vec<f64> {
         self.trees.iter().map(|t| t.predict_one(row)).collect()
+    }
+
+    /// The ensemble's trees, for the flattened batch-traversal converter.
+    pub(crate) fn trees(&self) -> &[CausalTree] {
+        &self.trees
     }
 
     /// Number of trees.

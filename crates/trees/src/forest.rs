@@ -89,6 +89,11 @@ impl RandomForest {
         self.trees.iter().map(|t| t.predict_one(row)).collect()
     }
 
+    /// The ensemble's trees, for the flattened batch-traversal converter.
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
     /// Number of trees.
     pub fn len(&self) -> usize {
         self.trees.len()

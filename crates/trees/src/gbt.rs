@@ -116,6 +116,21 @@ impl GradientBoostedTrees {
     pub fn n_stages(&self) -> usize {
         self.stages.len()
     }
+
+    /// Initial prediction (training-target mean).
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Learning rate applied to every stage's contribution.
+    pub fn shrinkage(&self) -> f64 {
+        self.shrinkage
+    }
+
+    /// The boosting stages, for the flattened batch-traversal converter.
+    pub(crate) fn stages(&self) -> &[RegressionTree] {
+        &self.stages
+    }
 }
 
 #[cfg(test)]

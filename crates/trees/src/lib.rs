@@ -14,12 +14,14 @@
 //! leaf-level treatment-effect estimates), which removes the adaptive
 //! overfitting bias of reusing the same data for both.
 
+pub mod batch;
 pub mod causal;
 pub mod forest;
 pub mod gbt;
 pub mod split;
 pub mod tree;
 
+pub use batch::{BlockScratch, FlatCausalForest, FlatForest, FlatGbt, FlatTree};
 pub use causal::{CausalForest, CausalForestConfig, CausalTree};
 pub use forest::{RandomForest, RandomForestConfig};
 pub use gbt::{GbtConfig, GradientBoostedTrees};

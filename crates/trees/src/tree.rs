@@ -41,7 +41,7 @@ impl Default for TreeConfig {
 }
 
 #[derive(Debug, Clone)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         value: f64,
     },
@@ -255,6 +255,16 @@ impl RegressionTree {
     /// Number of nodes in the tree.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Feature dimension this tree was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Arena nodes, for the flattened batch-traversal converter.
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 
     /// Tree depth (0 for a single leaf).

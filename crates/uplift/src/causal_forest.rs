@@ -55,6 +55,16 @@ impl UpliftModel for CausalForestUplift {
             .expect("CausalForestUplift: fit before predict")
             .predict(x)
     }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let forest = self
+            .forest
+            .as_ref()
+            .expect("CausalForestUplift: fit before predict");
+        // Flattened per call (O(total nodes)), amortized over the rows.
+        trees::FlatCausalForest::from_forest(forest)
+            .predict_block(&linalg::block::FeatureBlock::from_matrix(x))
+    }
 }
 
 #[cfg(test)]

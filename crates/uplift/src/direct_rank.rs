@@ -183,6 +183,13 @@ impl RoiModel for DirectRank {
         let z = state.scaler.transform(x);
         state.net.predict_scalar(&z, &obs::Obs::disabled())
     }
+
+    fn predict_roi_block(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DirectRank: fit before predict");
+        // Standardization stays in f64; only the network runs in f32.
+        let z = state.scaler.transform(x);
+        state.net.predict_scalar_block(&z, &obs::Obs::disabled())
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,14 @@ impl UpliftModel for DragonNet {
         let outs = state.net.predict_scalars(&z);
         outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
     }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("DragonNet: fit before predict");
+        // Standardization stays in f64; only the network runs in f32.
+        let z = state.scaler.transform(x);
+        let outs = state.net.predict_scalars_block(&z);
+        outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
+    }
 }
 
 /// Fitted propensity predictions (diagnostic; useful to verify the RCT

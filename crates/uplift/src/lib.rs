@@ -66,6 +66,17 @@ pub trait UpliftModel {
     /// Implementations panic if called before [`UpliftModel::fit`].
     fn predict_uplift(&self, x: &Matrix) -> Vec<f64>;
 
+    /// Block-path twin of [`UpliftModel::predict_uplift`]: scores
+    /// through the columnar `f32` kernels (`linalg::block`) where the
+    /// model supports them. The default delegates to the scalar `f64`
+    /// path — always correct, never accelerated — so implementing this
+    /// is strictly an optimization. Overrides must stay within the
+    /// per-family tolerance contract of DESIGN.md §11 against the
+    /// scalar path.
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_uplift(x)
+    }
+
     /// Serializes the model (config + any fitted state) as a
     /// single-key tagged JSON object, `{"<Tag>": <body>}`, or `None`
     /// when the model does not support persistence. The tag namespace
@@ -94,6 +105,13 @@ pub trait RoiModel {
     /// *rank* correctly; TPM produces actual ratio estimates, DirectRank
     /// produces uncalibrated scores, DRP produces unbiased ROI in (0, 1).
     fn predict_roi(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Block-path twin of [`RoiModel::predict_roi`] over the columnar
+    /// `f32` kernels. Defaults to the scalar path; overrides follow the
+    /// DESIGN.md §11 tolerance contract.
+    fn predict_roi_block(&self, x: &Matrix) -> Vec<f64> {
+        self.predict_roi(x)
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,19 @@
 use crate::error::{check_both_groups, check_xty, FitError};
 use crate::regressor::{BaseLearner, FittedRegressor};
 use crate::UpliftModel;
+use linalg::block::FeatureBlock;
 use linalg::random::Prng;
 use linalg::Matrix;
+
+/// A one-column block holding `value` in every logical row — the block
+/// layout's equivalent of [`Matrix::full`]`(rows, 1, value)` for the
+/// treatment-indicator columns the S-learner appends. `0.0` and `1.0`
+/// are exact in `f32`, so the appended column is bitwise faithful.
+fn const_col_block(rows: usize, value: f32) -> FeatureBlock {
+    let mut col = FeatureBlock::zeros(rows, 1);
+    col.col_mut(0)[..rows].fill(value);
+    col
+}
 
 /// S-learner: a single outcome model `μ(x, t)` with the treatment appended
 /// as a feature; `τ̂(x) = μ(x, 1) − μ(x, 0)`.
@@ -49,6 +60,14 @@ impl UpliftModel for SLearner {
         let zeros = Matrix::zeros(x.rows(), 1);
         let mu1 = model.predict(&x.hstack(&ones).expect("shapes match"));
         let mu0 = model.predict(&x.hstack(&zeros).expect("shapes match"));
+        mu1.iter().zip(&mu0).map(|(a, b)| a - b).collect()
+    }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let model = self.model.as_ref().expect("SLearner: fit before predict");
+        let block = FeatureBlock::from_matrix(x);
+        let mu1 = model.predict_block(&block.hstack(&const_col_block(x.rows(), 1.0)));
+        let mu0 = model.predict_block(&block.hstack(&const_col_block(x.rows(), 0.0)));
         mu1.iter().zip(&mu0).map(|(a, b)| a - b).collect()
     }
 }
@@ -117,6 +136,17 @@ impl UpliftModel for TLearner {
         mu1.predict(x)
             .iter()
             .zip(&mu0.predict(x))
+            .map(|(a, b)| a - b)
+            .collect()
+    }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let mu1 = self.mu1.as_ref().expect("TLearner: fit before predict");
+        let mu0 = self.mu0.as_ref().expect("TLearner: fit before predict");
+        let block = FeatureBlock::from_matrix(x);
+        mu1.predict_block(&block)
+            .iter()
+            .zip(&mu0.predict_block(&block))
             .map(|(a, b)| a - b)
             .collect()
     }
@@ -202,6 +232,18 @@ impl UpliftModel for XLearner {
         tau1.predict(x)
             .iter()
             .zip(&tau0.predict(x))
+            .map(|(t1, t0)| e * t0 + (1.0 - e) * t1)
+            .collect()
+    }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let tau1 = self.tau1.as_ref().expect("XLearner: fit before predict");
+        let tau0 = self.tau0.as_ref().expect("XLearner: fit before predict");
+        let e = self.propensity;
+        let block = FeatureBlock::from_matrix(x);
+        tau1.predict_block(&block)
+            .iter()
+            .zip(&tau0.predict_block(&block))
             .map(|(t1, t0)| e * t0 + (1.0 - e) * t1)
             .collect()
     }

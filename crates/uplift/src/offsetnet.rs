@@ -101,6 +101,13 @@ impl UpliftModel for OffsetNet {
         let z = state.scaler.transform(x);
         state.net.predict_scalars(&z).swap_remove(1)
     }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("OffsetNet: fit before predict");
+        // Standardization stays in f64; only the network runs in f32.
+        let z = state.scaler.transform(x);
+        state.net.predict_scalars_block(&z).swap_remove(1)
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,38 @@ impl FittedRegressor {
             FittedRegressor::Boosted(g) => g.predict(x),
         }
     }
+
+    /// Block-path twin of [`FittedRegressor::predict`] over a columnar
+    /// `f32` block:
+    ///
+    /// * Ridge runs as an `n = 1` GEMM through the micro-kernels, with
+    ///   the intercept folded in as the bias.
+    /// * Forest/Boosted ensembles flatten into level-order batch
+    ///   traversal ([`trees::batch`]). Flattening happens **per call**
+    ///   (`O(total nodes)`), amortized over the rows of the block — the
+    ///   right trade for bulk scoring, wasteful for single rows.
+    ///
+    /// # Panics
+    /// Panics when the block's feature count mismatches the model.
+    pub fn predict_block(&self, x: &linalg::block::FeatureBlock) -> Vec<f64> {
+        use linalg::block::{active_dispatch, PackedGemm};
+        match self {
+            FittedRegressor::Ridge { beta } => {
+                let d = beta.len() - 1;
+                assert_eq!(
+                    x.cols(),
+                    d,
+                    "FittedRegressor::predict_block: block has {} features, ridge expects {d}",
+                    x.cols()
+                );
+                let w = Matrix::from_vec(d, 1, beta[..d].to_vec());
+                let packed = PackedGemm::pack(&w, &beta[d..]);
+                packed.apply(x, active_dispatch()).col_f64(0)
+            }
+            FittedRegressor::Forest(f) => trees::FlatForest::from_forest(f).predict_block(x),
+            FittedRegressor::Boosted(g) => trees::FlatGbt::from_gbt(g).predict_block(x),
+        }
+    }
 }
 
 #[cfg(test)]

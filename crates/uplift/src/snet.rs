@@ -196,6 +196,29 @@ impl UpliftModel for SNet {
         let out1 = nets.h1.infer(&in1, Mode::Eval, &mut rng, &mut ws_h).col(0);
         out1.iter().zip(&out0).map(|(a, b)| a - b).collect()
     }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        use linalg::block::{active_dispatch, FeatureBlock};
+        use nn::BlockWorkspace;
+        let state = self.state.as_ref().expect("SNet: fit before predict");
+        // Standardization stays in f64; factors, concat, and heads all
+        // run in the columnar f32 layout.
+        let z = FeatureBlock::from_matrix(&state.scaler.transform(x));
+        let nets = &state.nets;
+        let dispatch = active_dispatch();
+        let mut ws_s = BlockWorkspace::new();
+        let mut ws_c = BlockWorkspace::new();
+        let mut ws_t = BlockWorkspace::new();
+        let mut ws_h = BlockWorkspace::new();
+        let rep_s = nets.phi_shared.infer_block(&z, &mut ws_s, dispatch);
+        let rep_c = nets.phi_control.infer_block(&z, &mut ws_c, dispatch);
+        let rep_t = nets.phi_treated.infer_block(&z, &mut ws_t, dispatch);
+        let in0 = rep_s.hstack(rep_c);
+        let in1 = rep_s.hstack(rep_t);
+        let out0 = nets.h0.infer_block(&in0, &mut ws_h, dispatch).col_f64(0);
+        let out1 = nets.h1.infer_block(&in1, &mut ws_h, dispatch).col_f64(0);
+        out1.iter().zip(&out0).map(|(a, b)| a - b).collect()
+    }
 }
 
 #[cfg(test)]

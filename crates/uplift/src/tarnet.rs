@@ -94,6 +94,14 @@ impl UpliftModel for TarNet {
         let outs = state.net.predict_scalars(&z);
         outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
     }
+
+    fn predict_uplift_block(&self, x: &Matrix) -> Vec<f64> {
+        let state = self.state.as_ref().expect("TarNet: fit before predict");
+        // Standardization stays in f64; only the network runs in f32.
+        let z = state.scaler.transform(x);
+        let outs = state.net.predict_scalars_block(&z);
+        outs[1].iter().zip(&outs[0]).map(|(a, b)| a - b).collect()
+    }
 }
 
 #[cfg(test)]

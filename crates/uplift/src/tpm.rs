@@ -234,6 +234,15 @@ impl RoiModel for Tpm {
         let tau_c = self.cost.predict_uplift(x);
         safe_div(&tau_r, &tau_c, COST_FLOOR)
     }
+
+    fn predict_roi_block(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.fitted, "Tpm: fit before predict");
+        // The ratio and floor stay in f64; only the component uplift
+        // models run through the columnar kernels.
+        let tau_r = self.revenue.predict_uplift_block(x);
+        let tau_c = self.cost.predict_uplift_block(x);
+        safe_div(&tau_r, &tau_c, COST_FLOOR)
+    }
 }
 
 #[cfg(test)]
