@@ -105,22 +105,22 @@ fn bench_microbatch_coalescing(c: &mut Criterion) {
     let configs = [
         (
             "coalesced",
-            EngineConfig {
-                workers: 2,
-                max_batch_rows: 1024,
-                max_wait: Duration::from_micros(100),
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .workers(2)
+                .max_batch_rows(1024)
+                .max_wait(Duration::from_micros(100))
+                .build()
+                .expect("valid bench config"),
         ),
         (
             // max_batch_rows = request size: every request scores alone.
             "uncoalesced",
-            EngineConfig {
-                workers: 2,
-                max_batch_rows: REQUEST_ROWS,
-                max_wait: Duration::ZERO,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .workers(2)
+                .max_batch_rows(REQUEST_ROWS)
+                .max_wait(Duration::ZERO)
+                .build()
+                .expect("valid bench config"),
         ),
     ];
     for (label, cfg) in configs {
@@ -153,11 +153,11 @@ fn bench_worker_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_worker_scaling");
     for workers in [1usize, 2, 4] {
         let engine = ScoringEngine::start(
-            EngineConfig {
-                workers,
-                max_wait: Duration::ZERO,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .workers(workers)
+                .max_wait(Duration::ZERO)
+                .build()
+                .expect("valid bench config"),
             Obs::disabled(),
         );
         group.bench_with_input(
@@ -178,11 +178,11 @@ fn bench_submission_overhead(c: &mut Criterion) {
     let mut rng = Prng::seed_from_u64(4);
     let one_row = Matrix::from_rows(&[(0..n).map(|_| rng.gaussian()).collect::<Vec<f64>>()]);
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .expect("valid bench config"),
         Obs::disabled(),
     );
     c.bench_function("serve_single_row_roundtrip", |b| {

@@ -1,0 +1,487 @@
+//! `loadgen` — open-loop load generator for the serving stack.
+//!
+//! Boots an in-process sharded TCP server from a persisted model
+//! artifact, replays traffic against it at a target QPS over either
+//! wire codec, and reports end-to-end latency quantiles (p50/p95/p99,
+//! from the obs histogram) plus achieved QPS. This is the harness
+//! behind the single-vs-sharded and JSONL-vs-binary curves in
+//! EXPERIMENTS.md, and the CI codec-equivalence smoke.
+//!
+//! ```text
+//! cargo run -p bench --release --bin loadgen -- \
+//!     --model model.json [--data test.csv] [--codec jsonl|binary] \
+//!     [--qps 200] [--duration-s 5] [--shards 1] [--workers 2] \
+//!     [--conns 4] [--rows-per-req 8] [--window 32] [--seed 42] \
+//!     [--scores-out FILE] [--min-success-rate 1.0]
+//! ```
+//!
+//! Open loop means send times are fixed up front (request `i` goes out
+//! at `i / qps` seconds): a slow server does not slow the arrival
+//! process down, it shows up as queueing in the latency tail — the
+//! honest way to measure a serving system.
+//!
+//! Rows come from `--data` (an RCT CSV, cycled through in chunks of
+//! `--rows-per-req`) or, without it, from a fixed-seed Gaussian
+//! generator at the model's feature width. `--rows-per-req 0` sends the
+//! whole CSV as ONE request on one connection — the mode CI uses to
+//! compare served scores bitwise against the `score` subcommand (MC
+//! models seed per request, so only a whole-dataset request reproduces
+//! the batch run). `--scores-out` writes the returned scores, one per
+//! line in request-row order, for exactly that comparison.
+
+use linalg::random::Prng;
+use obs::Obs;
+use serve::{
+    decode_client_frame, encode_score_request, BackoffPolicy, ClientFrame, EngineConfig, FrameBuf,
+    ModelRegistry, NetConfig, ScoreRequest, SessionLimits, ShardedEngine,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Codec {
+    Jsonl,
+    Binary,
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    model: String,
+    data: Option<String>,
+    codec: Codec,
+    qps: f64,
+    duration_s: f64,
+    shards: usize,
+    workers: usize,
+    conns: usize,
+    rows_per_req: usize,
+    window: usize,
+    seed: u64,
+    scores_out: Option<String>,
+    min_success_rate: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Config, String> {
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let name = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected argument '{arg}'"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    let get = |name: &str| flags.get(name).map(String::as_str);
+    let parse_or = |name: &str, default: f64| -> Result<f64, String> {
+        match get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse '{v}'")),
+        }
+    };
+    let cfg = Config {
+        model: get("model")
+            .ok_or("required flag --model is missing")?
+            .to_string(),
+        data: get("data").map(str::to_string),
+        codec: match get("codec").unwrap_or("jsonl") {
+            "jsonl" => Codec::Jsonl,
+            "binary" => Codec::Binary,
+            other => return Err(format!("flag --codec: '{other}' is not jsonl|binary")),
+        },
+        qps: parse_or("qps", 200.0)?,
+        duration_s: parse_or("duration-s", 5.0)?,
+        shards: parse_or("shards", 1.0)? as usize,
+        workers: parse_or("workers", 2.0)? as usize,
+        conns: parse_or("conns", 4.0)? as usize,
+        rows_per_req: parse_or("rows-per-req", 8.0)? as usize,
+        window: parse_or("window", 32.0)? as usize,
+        seed: parse_or("seed", 42.0)? as u64,
+        scores_out: get("scores-out").map(str::to_string),
+        min_success_rate: parse_or("min-success-rate", 1.0)?,
+    };
+    if !(cfg.qps > 0.0 && cfg.qps.is_finite()) {
+        return Err("--qps must be a positive number".to_string());
+    }
+    if !(cfg.duration_s > 0.0 && cfg.duration_s.is_finite()) {
+        return Err("--duration-s must be a positive number".to_string());
+    }
+    if cfg.conns == 0 || cfg.shards == 0 || cfg.workers == 0 || cfg.window == 0 {
+        return Err("--conns, --shards, --workers, and --window must be non-zero".to_string());
+    }
+    Ok(cfg)
+}
+
+/// One request's payload and bookkeeping slot.
+struct Request {
+    index: usize,
+    rows: Vec<Vec<f64>>,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&argv) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&cfg) {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cfg: &Config) -> Result<bool, String> {
+    // --- Server side: registry + sharded engine + poll loop. --------
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_with_retry(
+            serve::DEFAULT_MODEL,
+            "1",
+            &cfg.model,
+            &BackoffPolicy::default(),
+            &Obs::disabled(),
+        )
+        .map_err(|e| e.to_string())?;
+    let scorer = registry
+        .get(serve::DEFAULT_MODEL, None)
+        .ok_or("model failed to register")?;
+    let width = scorer
+        .n_features()
+        .ok_or("model does not expose a feature width")?;
+
+    let engine_cfg = EngineConfig::builder()
+        .workers(cfg.workers)
+        .shards(cfg.shards)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let engine = Arc::new(ShardedEngine::start(engine_cfg, Obs::disabled()));
+    let limits = SessionLimits {
+        window: cfg.window,
+        max_requests: 0,
+    };
+
+    // Whole-CSV mode is one request on one connection by definition —
+    // the server's lifetime connection cap must agree or it never exits.
+    let whole_csv = cfg.rows_per_req == 0;
+    let conns = if whole_csv { 1 } else { cfg.conns };
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| e.to_string())?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let server = {
+        let engine = Arc::clone(&engine);
+        let registry = Arc::clone(&registry);
+        let limits = limits.clone();
+        let net = NetConfig {
+            max_conns: Some(conns),
+            conn_timeout: Some(Duration::from_secs(30)),
+            binary_only: false,
+            ..NetConfig::default()
+        };
+        std::thread::spawn(move || {
+            serve::serve_poll(
+                &listener,
+                &engine,
+                &registry,
+                &limits,
+                &net,
+                &Obs::disabled(),
+            )
+        })
+    };
+
+    // --- Request payloads, built before the clock starts. -----------
+    let source_rows: Vec<Vec<f64>> = match &cfg.data {
+        Some(path) => {
+            let schema = datasets::CsvSchema {
+                treatment: "treatment".to_string(),
+                revenue: "conversion".to_string(),
+                cost: "visit".to_string(),
+            };
+            let data = datasets::read_rct_csv(path, &schema).map_err(|e| e.to_string())?;
+            data.x.row_iter().map(<[f64]>::to_vec).collect()
+        }
+        None => {
+            let mut rng = Prng::seed_from_u64(cfg.seed);
+            (0..1024)
+                .map(|_| (0..width).map(|_| rng.gaussian()).collect())
+                .collect()
+        }
+    };
+    if source_rows.is_empty() {
+        return Err("no rows to send".to_string());
+    }
+    let total_requests = if whole_csv {
+        1
+    } else {
+        (cfg.qps * cfg.duration_s).ceil().max(1.0) as usize
+    };
+    let requests: Vec<Request> = (0..total_requests)
+        .map(|index| {
+            let rows = if whole_csv {
+                source_rows.clone()
+            } else {
+                (0..cfg.rows_per_req)
+                    .map(|j| {
+                        source_rows[(index * cfg.rows_per_req + j) % source_rows.len()].clone()
+                    })
+                    .collect()
+            };
+            Request { index, rows }
+        })
+        .collect();
+
+    // Round-robin requests across connections, preserving per-conn order.
+    let mut per_conn: Vec<Vec<Request>> = (0..conns).map(|_| Vec::new()).collect();
+    for req in requests {
+        let c = req.index % conns;
+        per_conn[c].push(req);
+    }
+
+    let (client_obs, recorder) = Obs::in_memory();
+    let interval = 1.0 / cfg.qps;
+    let start = Instant::now() + Duration::from_millis(20);
+    let mut handles = Vec::new();
+    for batch in per_conn {
+        let obs = client_obs.clone();
+        let codec = cfg.codec;
+        handles.push(std::thread::spawn(move || {
+            drive_conn(addr, codec, batch, start, interval, &obs)
+        }));
+    }
+
+    let mut ok = 0usize;
+    let mut err = 0usize;
+    let mut rows_sent = 0usize;
+    let mut scores: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for handle in handles {
+        let results = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        for (index, n_rows, result) in results {
+            rows_sent += n_rows;
+            match result {
+                Ok(s) => {
+                    ok += 1;
+                    scores.insert(index, s);
+                }
+                Err(e) => {
+                    err += 1;
+                    eprintln!("request {index}: {e}");
+                }
+            }
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+
+    if let Some(path) = &cfg.scores_out {
+        let mut out = String::new();
+        for s in scores.values().flatten() {
+            out.push_str(&format!("{s}\n"));
+        }
+        std::fs::write(path, out).map_err(|e| e.to_string())?;
+    }
+
+    let total = ok + err;
+    let achieved_qps = ok as f64 / wall;
+    let codec = match cfg.codec {
+        Codec::Jsonl => "jsonl",
+        Codec::Binary => "binary",
+    };
+    println!(
+        "loadgen: codec={codec} shards={} workers={} conns={} target_qps={} duration_s={}",
+        cfg.shards, cfg.workers, conns, cfg.qps, cfg.duration_s
+    );
+    println!("requests={total} ok={ok} err={err} rows={rows_sent}");
+    // Latencies live in the power-of-two nanosecond buckets every other
+    // histogram in this repo uses; quantiles are bucket upper bounds
+    // (within 2x of truth), the max is exact.
+    match recorder.histogram("loadgen.e2e_ns") {
+        Some(h) => println!(
+            "e2e_ms: p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            h.p50().unwrap_or(f64::NAN) / 1e6,
+            h.p95().unwrap_or(f64::NAN) / 1e6,
+            h.p99().unwrap_or(f64::NAN) / 1e6,
+            h.max().unwrap_or(f64::NAN) / 1e6,
+        ),
+        None => println!("e2e_ms: no responses recorded"),
+    }
+    println!("achieved_qps={achieved_qps:.1} wall_s={wall:.2}");
+
+    let success_rate = if total == 0 {
+        0.0
+    } else {
+        ok as f64 / total as f64
+    };
+    if success_rate < cfg.min_success_rate {
+        eprintln!(
+            "success rate {success_rate:.4} below --min-success-rate {}",
+            cfg.min_success_rate
+        );
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+type ReqResult = (usize, usize, Result<Vec<f64>, String>);
+
+/// Sends this connection's requests at their scheduled times while a
+/// paired reader thread matches responses (in order — the protocol
+/// guarantees per-connection ordering) and records e2e latency.
+fn drive_conn(
+    addr: std::net::SocketAddr,
+    codec: Codec,
+    batch: Vec<Request>,
+    start: Instant,
+    interval: f64,
+    obs: &Obs,
+) -> Result<Vec<ReqResult>, String> {
+    // The server's accept loop may still be booting; retry briefly.
+    let policy = BackoffPolicy {
+        attempts: 40,
+        base: Duration::from_millis(5),
+        factor: 1.5,
+        cap: Duration::from_millis(100),
+        ..BackoffPolicy::default()
+    };
+    let stream = serve::backoff::retry(&policy, |_| TcpStream::connect(addr), |_| true)
+        .map_err(|e| format!("connect: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let (meta_tx, meta_rx) = mpsc::channel::<(usize, usize, Instant)>();
+
+    let reader = {
+        let obs = obs.clone();
+        std::thread::spawn(move || read_conn(stream, codec, &meta_rx, &obs))
+    };
+
+    let mut payload = Vec::new();
+    for req in batch {
+        let due = start + Duration::from_secs_f64(req.index as f64 * interval);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        payload.clear();
+        let n_rows = req.rows.len();
+        match codec {
+            Codec::Binary => encode_score_request(
+                &ScoreRequest {
+                    id: req.index.to_string(),
+                    model: None,
+                    version: None,
+                    rows: req.rows,
+                    deadline_ms: None,
+                },
+                &mut payload,
+            ),
+            Codec::Jsonl => {
+                payload.extend_from_slice(
+                    format!(
+                        "{{\"id\": \"{}\", \"rows\": {}}}\n",
+                        req.index,
+                        tinyjson::to_string(&req.rows)
+                    )
+                    .as_bytes(),
+                );
+            }
+        }
+        let sent_at = Instant::now();
+        meta_tx
+            .send((req.index, n_rows, sent_at))
+            .map_err(|_| "reader hung up".to_string())?;
+        writer.write_all(&payload).map_err(|e| e.to_string())?;
+    }
+    drop(meta_tx);
+    // Half-close: tell the server this connection is done sending so it
+    // drains the window and closes once every response is out.
+    writer.shutdown(std::net::Shutdown::Write).ok();
+    reader.join().map_err(|_| "reader panicked".to_string())?
+}
+
+/// Reads responses in request order, pairing each with its send-time
+/// metadata from the channel.
+fn read_conn(
+    stream: TcpStream,
+    codec: Codec,
+    meta: &mpsc::Receiver<(usize, usize, Instant)>,
+    obs: &Obs,
+) -> Result<Vec<ReqResult>, String> {
+    let mut results = Vec::new();
+    match codec {
+        Codec::Jsonl => {
+            let mut lines = BufReader::new(stream).lines();
+            while let Ok((index, n_rows, sent_at)) = meta.recv() {
+                let line = lines
+                    .next()
+                    .ok_or("server closed before answering")?
+                    .map_err(|e| e.to_string())?;
+                obs.observe("loadgen.e2e_ns", sent_at.elapsed().as_nanos() as f64);
+                results.push((index, n_rows, parse_jsonl_scores(&line)));
+            }
+        }
+        Codec::Binary => {
+            let mut stream = stream;
+            let mut buf = FrameBuf::new();
+            let mut chunk = [0u8; 16 * 1024];
+            while let Ok((index, n_rows, sent_at)) = meta.recv() {
+                let frame = loop {
+                    match decode_client_frame(&mut buf)
+                        .map_err(|e| format!("corrupt response: [{}] {}", e.code, e.message))?
+                    {
+                        Some(frame) => break frame,
+                        None => match stream.read(&mut chunk) {
+                            Ok(0) => return Err("server closed before answering".to_string()),
+                            Ok(n) => buf.extend(&chunk[..n]),
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                            Err(e) => return Err(e.to_string()),
+                        },
+                    }
+                };
+                obs.observe("loadgen.e2e_ns", sent_at.elapsed().as_nanos() as f64);
+                let result = match frame {
+                    ClientFrame::Scores { scores, .. } => Ok(scores),
+                    ClientFrame::Error { error, .. } => Err(error.message),
+                    ClientFrame::Observed { .. } => Err("unexpected observe ack".to_string()),
+                };
+                results.push((index, n_rows, result));
+            }
+        }
+    }
+    Ok(results)
+}
+
+fn parse_jsonl_scores(line: &str) -> Result<Vec<f64>, String> {
+    let v = tinyjson::parse(line).map_err(|e| e.to_string())?;
+    let scores = v
+        .fetch("scores")
+        .as_arr()
+        .map_err(|_| format!("expected scores, got {line}"))?;
+    scores
+        .iter()
+        .map(|s| s.as_f64().map_err(|_| "non-numeric score".to_string()))
+        .collect()
+}

@@ -384,8 +384,13 @@ pub struct ServeArgs {
     pub tcp: Option<String>,
     /// TCP only: exit after this many connections (for tests/smoke).
     pub max_conns: Option<usize>,
-    /// Engine worker threads.
+    /// Engine worker threads (per shard).
     pub workers: usize,
+    /// Independent engine shards; each connection hashes to one.
+    pub shards: usize,
+    /// Require the length-prefixed binary protocol instead of sniffing
+    /// the first byte per connection.
+    pub binary: bool,
     /// Micro-batch row cap.
     pub max_batch_rows: usize,
     /// Micro-batch fill window.
@@ -443,6 +448,8 @@ impl ServeArgs {
                 "tcp",
                 "max-conns",
                 "workers",
+                "shards",
+                "binary",
                 "max-batch-rows",
                 "max-wait-us",
                 "queue-rows",
@@ -472,6 +479,8 @@ impl ServeArgs {
                 Some(_) => Some(args.get_or("max-conns", 0usize)?),
             },
             workers: args.get_or("workers", 2)?,
+            shards: args.get_or("shards", 1)?,
+            binary: args.get_or("binary", false)?,
             max_batch_rows: args.get_or("max-batch-rows", 1024)?,
             max_wait: Duration::from_micros(args.get_or("max-wait-us", 500)?),
             queue_rows: args.get_or("queue-rows", 16_384)?,
@@ -500,6 +509,7 @@ impl ServeArgs {
         for (flag, value) in [
             ("max-batch-rows", parsed.max_batch_rows),
             ("queue-rows", parsed.queue_rows),
+            ("shards", parsed.shards),
             ("calibration-window", parsed.calibration_window),
             ("drift-batch", parsed.drift_batch),
         ] {
@@ -689,6 +699,18 @@ mod tests {
             Command::parse(strings(&["serve", "--model", "m.json", "--queue-rows", "0"])),
             Err(ArgError::BadValue { ref flag, .. }) if flag == "queue-rows"
         ));
+        assert!(matches!(
+            Command::parse(strings(&["serve", "--model", "m.json", "--shards", "0"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "shards"
+        ));
+        let Command::Serve(s) = Command::parse(strings(&[
+            "serve", "--model", "m.json", "--shards", "4", "--binary", "true",
+        ]))
+        .unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(s.shards, 4);
+        assert!(s.binary);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! rdrp-cli train    --train train.csv --calibration cal.csv --model model.json
 //!                   [--method rdrp] [--epochs 40 --hidden 64 --alpha 0.1 --mc-passes 50]
 //! rdrp-cli score    --model model.json --data test.csv --out scores.csv
-//! rdrp-cli serve    --model model.json [--tcp 127.0.0.1:7878] [--workers 2]
+//! rdrp-cli serve    --model model.json [--tcp 127.0.0.1:7878] [--workers 2] [--shards 4] [--binary true]
 //! rdrp-cli evaluate --model model.json --data test.csv [--bins 20]
 //! ```
 //!
@@ -21,10 +21,14 @@
 //! `generate` subcommand emits lookalike data in exactly this format, so
 //! the full loop runs without any external download.
 //!
-//! `serve` speaks the line-delimited JSON protocol from
-//! [`serve::protocol`]: one request per line on stdin (or per TCP
-//! connection with `--tcp`), one response per line out, scores bitwise
-//! identical to the `score` subcommand.
+//! `serve` speaks two codecs on the same port, negotiated from each
+//! connection's first byte: the line-delimited JSON protocol from
+//! [`serve::protocol`] (the debug codec) and the length-prefixed binary
+//! protocol from [`serve::BinaryCodec`] (the fast one; `--binary`
+//! requires it). Requests arrive on stdin or per TCP connection with
+//! `--tcp` (a non-blocking poll loop over `--shards` independent engine
+//! shards); scores are bitwise identical to the `score` subcommand
+//! under every codec and shard count.
 
 mod args;
 
@@ -37,11 +41,12 @@ use linalg::random::Prng;
 use obs::{InMemoryRecorder, Obs};
 use rdrp::{DrpConfig, RdrpConfig};
 use serve::{
-    run_jsonl, BackoffPolicy, BreakerConfig, CalibrationMonitor, CalibrationMonitorConfig,
-    EngineConfig, ModelRegistry, ScoringEngine, SessionLimits, SupervisorConfig,
+    run_session, sniff_codec, BackoffPolicy, BinaryCodec, BreakerConfig, CalibrationMonitor,
+    CalibrationMonitorConfig, EngineConfig, ModelRegistry, NetConfig, SessionLimits, ShardedEngine,
+    SupervisorConfig, WireCodec,
 };
 use std::fmt;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -100,13 +105,15 @@ fn usage() -> String {
      rdrp-cli generate --dataset criteo|meituan|alibaba --rows N --out FILE [--shifted true] [--seed N]\n  \
      rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
-     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--block-kernels true] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
+     rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--shards N] [--binary true] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--block-kernels true] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
      rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
      --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
         + &rdrp::method_names().join(", ")
         + "\n\
      serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
+     each connection may instead speak the length-prefixed binary protocol (sniffed from its first byte; --binary true requires it),\n\
+     and --shards N spreads connections across N independent engine shards without changing any score;\n\
      the model file's embedded method tag picks the served model type;\n\
      with --online-calibration, feedback lines ({\"id\": ..., \"row\": [...], \"outcome\": F}) feed a rolling conformal window\n\
      and a drift detector (reference features from --reference) that hot-swaps a recalibrated artifact on drift;\n\
@@ -360,24 +367,24 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
         )
         .map_err(data_err)?;
     eprintln!("serving {}@{} from {}", a.name, a.model_version, a.model);
-    let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: a.workers,
-            max_batch_rows: a.max_batch_rows,
-            max_wait: a.max_wait,
-            queue_rows: a.queue_rows,
-            supervisor: SupervisorConfig {
-                respawn_after_panics: a.respawn_after_panics,
-            },
-            breaker: BreakerConfig {
-                trip_panics: a.breaker_trip_panics,
-                shed_queue_rows: a.breaker_shed_rows,
-                cooldown: a.breaker_cooldown,
-            },
-            block_kernels: a.block_kernels,
-        },
-        cli_obs.obs.clone(),
-    );
+    let config = EngineConfig::builder()
+        .workers(a.workers)
+        .shards(a.shards)
+        .max_batch_rows(a.max_batch_rows)
+        .max_wait(a.max_wait)
+        .queue_rows(a.queue_rows)
+        .supervisor(SupervisorConfig {
+            respawn_after_panics: a.respawn_after_panics,
+        })
+        .breaker(BreakerConfig {
+            trip_panics: a.breaker_trip_panics,
+            shed_queue_rows: a.breaker_shed_rows,
+            cooldown: a.breaker_cooldown,
+        })
+        .block_kernels(a.block_kernels)
+        .build()
+        .map_err(usage_err)?;
+    let engine = ShardedEngine::start(config, cli_obs.obs.clone());
     if a.online_calibration {
         // `--reference` presence is enforced at arg validation.
         let path = a.reference.as_deref().unwrap_or_default();
@@ -414,98 +421,57 @@ fn serve_cmd(a: &ServeArgs) -> Result<(), CliError> {
     };
     match &a.tcp {
         // stdin/stdout mode: the protocol owns stdout, diagnostics go to
-        // stderr. EOF on stdin drains in-flight requests and exits.
+        // stderr. EOF on stdin drains in-flight requests and exits. The
+        // codec is sniffed from the first byte (or forced by --binary),
+        // then the very same `run_session` the TCP sessions run on
+        // drives the conversation — stdin is just one more transport.
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            run_jsonl(stdin.lock(), stdout.lock(), &engine, &registry, &limits)
+            let mut input = stdin.lock();
+            let mut first = [0u8; 1];
+            let sniffed = loop {
+                match input.read(&mut first) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(data_err(e)),
+                }
+            };
+            let mut codec: Box<dyn WireCodec + Send> = if a.binary {
+                Box::new(BinaryCodec::new())
+            } else {
+                sniff_codec(first[0])
+            };
+            // A stdin conversation is a single connection: route it the
+            // way the TCP frontend would route connection id 0.
+            run_session(
+                std::io::Cursor::new(first[..sniffed].to_vec()).chain(input),
+                stdout.lock(),
+                codec.as_mut(),
+                engine.shard_for(0),
+                &registry,
+                &limits,
+            )
+            .map_err(data_err)?;
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(addr).map_err(data_err)?;
+            let local = listener.local_addr().map_err(data_err)?;
+            eprintln!("listening on {local}");
+            let net = NetConfig {
+                max_conns: a.max_conns,
+                conn_timeout: a.conn_timeout,
+                binary_only: a.binary,
+                ..NetConfig::default()
+            };
+            serve::serve_poll(&listener, &engine, &registry, &limits, &net, &cli_obs.obs)
                 .map_err(data_err)?;
         }
-        Some(addr) => serve_tcp(
-            addr,
-            a.max_conns,
-            a.conn_timeout,
-            &engine,
-            &registry,
-            &limits,
-            &cli_obs.obs,
-        )?,
     }
     // Join the workers before dumping the trace so their final events are
     // in it.
     drop(engine);
     cli_obs.finish()
-}
-
-/// The TCP frontend: one scoring conversation per connection, all
-/// connections sharing the engine and registry. `max_conns` bounds the
-/// number of connections served (for tests and smoke runs); `None`
-/// serves until killed.
-///
-/// Hardening: every accepted socket gets `conn_timeout` as both read
-/// and write timeout, so a client that stops sending (or stops reading
-/// its responses) is disconnected instead of pinning a handler thread
-/// forever; `limits.max_requests` bounds the work any one connection
-/// can demand. Both disconnect paths are logged and counted
-/// (`serve.slow_client_disconnects`) — an accepted request is always
-/// answered or visibly dropped, never silently lost.
-#[allow(clippy::too_many_arguments)]
-fn serve_tcp(
-    addr: &str,
-    max_conns: Option<usize>,
-    conn_timeout: Option<std::time::Duration>,
-    engine: &ScoringEngine,
-    registry: &ModelRegistry,
-    limits: &SessionLimits,
-    obs: &Obs,
-) -> Result<(), CliError> {
-    let listener = TcpListener::bind(addr).map_err(data_err)?;
-    let local = listener.local_addr().map_err(data_err)?;
-    eprintln!("listening on {local}");
-    std::thread::scope(|scope| {
-        let mut served = 0usize;
-        while max_conns.is_none_or(|m| served < m) {
-            let (stream, peer) = match listener.accept() {
-                Ok(conn) => conn,
-                Err(e) => {
-                    eprintln!("accept failed: {e}");
-                    continue;
-                }
-            };
-            served += 1;
-            scope.spawn(move || {
-                // Timeout configuration failing is as fatal as the
-                // timeout firing: without it a dead peer pins the
-                // thread, so refuse the connection.
-                if let Err(e) = stream
-                    .set_read_timeout(conn_timeout)
-                    .and_then(|()| stream.set_write_timeout(conn_timeout))
-                {
-                    eprintln!("connection {peer}: cannot arm timeouts: {e}");
-                    return;
-                }
-                let reader = match stream.try_clone() {
-                    Ok(clone) => std::io::BufReader::new(clone),
-                    Err(e) => {
-                        eprintln!("connection {peer}: {e}");
-                        return;
-                    }
-                };
-                if let Err(e) = run_jsonl(reader, &stream, engine, registry, limits) {
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) {
-                        obs.counter("serve.slow_client_disconnects", 1.0);
-                        eprintln!("connection {peer}: slow client disconnected: {e}");
-                    } else {
-                        eprintln!("connection {peer}: {e}");
-                    }
-                }
-            });
-        }
-    });
-    Ok(())
 }
 
 #[cfg(test)]

@@ -46,6 +46,9 @@
 //! (injection point `engine.worker_batch`: panics and stalls).
 
 use crate::calibration::{CalibrationMonitor, FeedbackOutcome, MonitorError};
+// Re-exported so pre-existing `serve::engine::EngineConfig` paths keep
+// compiling now that configuration lives in its own module.
+pub use crate::config::{BreakerConfig, EngineConfig, SupervisorConfig};
 use crate::scorer::BatchScorer;
 use linalg::Matrix;
 use nn::Workspace;
@@ -57,93 +60,6 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Engine sizing and batching knobs.
-#[derive(Debug, Clone)]
-pub struct EngineConfig {
-    /// Worker threads draining the queue.
-    pub workers: usize,
-    /// A coalesced batch never exceeds this many rows.
-    pub max_batch_rows: usize,
-    /// How long a worker holding an under-full rowwise batch waits for
-    /// more requests before scoring what it has. Measured in wall time
-    /// (the queue condvar), not the `Obs` clock. Zero disables the wait:
-    /// only requests already queued coalesce.
-    pub max_wait: Duration,
-    /// Submission-queue capacity in rows — the backpressure bound.
-    pub queue_rows: usize,
-    /// Worker-pool supervision knobs.
-    pub supervisor: SupervisorConfig,
-    /// Circuit-breaker / load-shedding knobs.
-    pub breaker: BreakerConfig,
-    /// Score through the columnar f32 kernel path
-    /// ([`BatchScorer::score_block`]) instead of the f64 scalar path.
-    /// Off by default: block scores track scalar scores only to f32
-    /// rounding (DESIGN.md §11), so deployments that golden-pin or
-    /// replay scores must leave this off.
-    pub block_kernels: bool,
-}
-
-impl Default for EngineConfig {
-    fn default() -> Self {
-        EngineConfig {
-            workers: 2,
-            max_batch_rows: 1024,
-            max_wait: Duration::from_micros(500),
-            queue_rows: 16_384,
-            supervisor: SupervisorConfig::default(),
-            breaker: BreakerConfig::default(),
-            block_kernels: false,
-        }
-    }
-}
-
-/// Worker-pool supervision: when a worker thread is considered wedged
-/// and replaced wholesale instead of merely swapping its scratch space.
-#[derive(Debug, Clone)]
-pub struct SupervisorConfig {
-    /// Consecutive panicking batches after which the worker retires and
-    /// a fresh thread takes its place (`serve.worker_respawn`). A single
-    /// panic still only poisons the affected requests. Zero disables
-    /// respawning.
-    pub respawn_after_panics: u32,
-}
-
-impl Default for SupervisorConfig {
-    fn default() -> Self {
-        SupervisorConfig {
-            respawn_after_panics: 3,
-        }
-    }
-}
-
-/// Circuit breaker: when the engine stops accepting work it would
-/// mishandle and starts shedding load instead. Both thresholds default
-/// to disabled; the queue's hard capacity ([`EngineConfig::queue_rows`])
-/// always backstops them.
-#[derive(Debug, Clone)]
-pub struct BreakerConfig {
-    /// Worker panics since the last healthy batch that open the breaker
-    /// (`serve.shed`, reason `panic_rate`). Zero disables.
-    pub trip_panics: u32,
-    /// Queued-row watermark that opens the breaker on admission
-    /// (`serve.shed`, reason `queue_pressure`). The crossing request is
-    /// still admitted; subsequent ones shed. `None` disables.
-    pub shed_queue_rows: Option<usize>,
-    /// How long the breaker stays open. The first submission after the
-    /// cooldown closes it (`serve.recovered`).
-    pub cooldown: Duration,
-}
-
-impl Default for BreakerConfig {
-    fn default() -> Self {
-        BreakerConfig {
-            trip_panics: 0,
-            shed_queue_rows: None,
-            cooldown: Duration::from_secs(1),
-        }
-    }
-}
 
 /// Why a submission was refused at the door (the request never queued).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -234,6 +150,18 @@ impl PendingScore {
     pub fn wait(self) -> Result<Vec<f64>, ScoreError> {
         self.rx.recv().unwrap_or(Err(ScoreError::EngineShutDown))
     }
+
+    /// Non-blocking probe: `Some` once the engine has answered, `None`
+    /// while the request is still queued or scoring. The poll-driven
+    /// serving loop ([`crate::net`]) uses this to drain responses
+    /// without parking a thread per connection.
+    pub fn try_wait(&self) -> Option<Result<Vec<f64>, ScoreError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ScoreError::EngineShutDown)),
+        }
+    }
 }
 
 struct Job {
@@ -258,6 +186,11 @@ struct Shared {
     cfg: EngineConfig,
     obs: Obs,
     chaos: chaos::Chaos,
+    /// Shard-scoped chaos injection point (`shard{i}.worker_batch`),
+    /// consulted alongside the engine-wide `engine.worker_batch` so the
+    /// chaos suite can fault one shard of a [`crate::ShardedEngine`]
+    /// while its siblings keep serving.
+    shard_point: Option<String>,
     state: Mutex<QueueState>,
     cv: Condvar,
     /// Live worker threads. Respawns push here from worker threads, so
@@ -296,10 +229,24 @@ impl ScoringEngine {
     /// workers consult injection point `engine.worker_batch` (panic and
     /// stall faults) at the top of every batch.
     pub fn start_with_chaos(cfg: EngineConfig, obs: Obs, chaos: chaos::Chaos) -> ScoringEngine {
+        ScoringEngine::start_shard(cfg, obs, chaos, None)
+    }
+
+    /// [`ScoringEngine::start_with_chaos`] with a shard-scoped chaos
+    /// point name — how [`crate::ShardedEngine`] arms per-shard fault
+    /// injection (`shard{i}.worker_batch`) on top of the engine-wide
+    /// `engine.worker_batch` point.
+    pub(crate) fn start_shard(
+        cfg: EngineConfig,
+        obs: Obs,
+        chaos: chaos::Chaos,
+        shard_point: Option<String>,
+    ) -> ScoringEngine {
         let shared = Arc::new(Shared {
             cfg,
             obs,
             chaos,
+            shard_point,
             state: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 queued_rows: 0,
@@ -383,6 +330,7 @@ impl ScoringEngine {
             });
         }
         let now = obs.now_ns();
+        let deadline = deadline.or(self.shared.cfg.default_deadline);
         state.queued_rows += rows.rows();
         state.pending.push_back(Job {
             scorer: Arc::clone(scorer),
@@ -654,13 +602,23 @@ fn run_batch(shared: &Shared, batch: Vec<Job>, ws: &mut Workspace) -> bool {
     let x = concat_rows(&batch);
     let t0 = obs.now_ns();
     let result = catch_unwind(AssertUnwindSafe(|| {
-        if let Some(fault) = shared.chaos.hit("engine.worker_batch") {
-            match fault.kind {
-                chaos::FaultKind::Panic => {
-                    panic!("chaos: injected worker panic (hit {})", fault.hit)
+        // The engine-wide point fires for any engine; the shard-scoped
+        // point only exists under a ShardedEngine and lets a fault plan
+        // single out one shard.
+        let points = shared
+            .shard_point
+            .as_deref()
+            .into_iter()
+            .chain(["engine.worker_batch"]);
+        for point in points {
+            if let Some(fault) = shared.chaos.hit(point) {
+                match fault.kind {
+                    chaos::FaultKind::Panic => {
+                        panic!("chaos: injected worker panic (hit {})", fault.hit)
+                    }
+                    chaos::FaultKind::StallNs(ns) => shared.chaos.stall(ns),
+                    _ => {}
                 }
-                chaos::FaultKind::StallNs(ns) => shared.chaos.stall(ns),
-                _ => {}
             }
         }
         if shared.cfg.block_kernels {

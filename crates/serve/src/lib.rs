@@ -40,20 +40,33 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backoff;
+pub mod binary;
 pub mod calibration;
+pub mod config;
 pub mod engine;
+pub mod net;
 pub mod protocol;
 pub mod registry;
 pub mod scorer;
+pub mod session;
+pub mod shard;
+pub mod wire;
 
 pub use backoff::BackoffPolicy;
+pub use binary::{
+    decode_client_frame, encode_observe_request, encode_score_request, BinaryCodec, ClientFrame,
+};
 pub use calibration::{
     CalibrationMonitor, CalibrationMonitorConfig, FeedbackOutcome, MonitorError,
 };
-pub use engine::{
-    BreakerConfig, EngineConfig, PendingScore, Rejected, ScoreError, ScoringEngine,
-    SupervisorConfig,
-};
-pub use protocol::{run_jsonl, ObserveRequest, ScoreRequest, SessionLimits, WireError};
+pub use config::{BreakerConfig, ConfigError, EngineConfig, EngineConfigBuilder, SupervisorConfig};
+pub use engine::{PendingScore, Rejected, ScoreError, ScoringEngine};
+pub use net::{serve_poll, NetConfig};
+#[allow(deprecated)]
+pub use protocol::run_jsonl;
+pub use protocol::{ObserveRequest, ScoreRequest, SessionLimits, WireError};
 pub use registry::{ModelRegistry, RegistryError, DEFAULT_MODEL};
 pub use scorer::BatchScorer;
+pub use session::run_session;
+pub use shard::{shard_index, ShardedEngine, SHARD_PIN_ENV};
+pub use wire::{sniff_codec, Decoded, Frame, FrameBuf, JsonlCodec, WireCodec};

@@ -31,12 +31,10 @@
 //! connection can claim.
 
 use crate::calibration::MonitorError;
-use crate::engine::{PendingScore, Rejected, ScoreError, ScoringEngine};
-use crate::registry::{ModelRegistry, DEFAULT_MODEL};
+use crate::engine::{Rejected, ScoreError, ScoringEngine};
+use crate::registry::ModelRegistry;
 use linalg::Matrix;
-use std::collections::VecDeque;
 use std::io::{BufRead, Write};
-use std::time::Duration;
 use tinyjson::{json, JsonError};
 
 /// One scoring request, as parsed off the wire.
@@ -252,162 +250,35 @@ impl SessionLimits {
 
 /// Runs the request/response loop over any line-based transport.
 ///
-/// Up to [`SessionLimits::window`] requests stay in flight at once
-/// (older responses are awaited and written as the window slides), so a
-/// stream of small requests exercises the engine's micro-batcher.
-/// Responses are written in request order. Returns when the input
-/// reaches EOF or the session's request cap is reached, after draining
-/// every in-flight request.
-///
-/// The chaos injection point `conn.read` sits between reads: an
-/// injected `Disconnect`/`Io` fault tears down *this* connection (the
-/// error propagates to the caller), which is how the chaos suite proves
-/// a dropped connection never takes the engine with it.
+/// Thin shim over the codec-generic
+/// [`run_session`](crate::session::run_session) with a
+/// [`JsonlCodec`](crate::wire::JsonlCodec) — output is byte-identical
+/// to the pre-trait implementation. Kept for one release so existing
+/// callers migrate at leisure.
 ///
 /// # Errors
 /// Propagates transport I/O errors. Malformed or unserviceable requests
 /// are answered with error *responses*, not I/O errors — a bad line
 /// never tears down the connection.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `run_session` with `JsonlCodec` (or `sniff_codec`) instead"
+)]
 pub fn run_jsonl(
     input: impl BufRead,
-    mut output: impl Write,
+    output: impl Write,
     engine: &ScoringEngine,
     registry: &ModelRegistry,
     limits: &SessionLimits,
 ) -> std::io::Result<()> {
-    let harness = chaos::ambient();
-    let window = limits.window.max(1);
-    let mut served: u64 = 0;
-    let mut in_flight: VecDeque<(String, Outcome)> = VecDeque::new();
-    let result = (|| {
-        for line in input.lines() {
-            let line = line?;
-            if let Some(fault) = harness.hit("conn.read") {
-                if matches!(
-                    fault.kind,
-                    chaos::FaultKind::Disconnect | chaos::FaultKind::Io
-                ) {
-                    return Err(fault.to_io_error());
-                }
-            }
-            if line.trim().is_empty() {
-                continue;
-            }
-            if in_flight.len() >= window {
-                if let Some((id, outcome)) = in_flight.pop_front() {
-                    write_outcome(&mut output, &id, outcome)?;
-                }
-            }
-            // Rejected and feedback responses queue alongside pending
-            // ones so responses stay in request order.
-            in_flight.push_back(accept(&line, engine, registry));
-            served += 1;
-            if limits.max_requests > 0 && served >= limits.max_requests {
-                break;
-            }
-        }
-        Ok(())
-    })();
-    // Drain whatever was accepted even when the read loop failed: an
-    // admitted request is always answered (or the failure is the
-    // transport's, in which case the engine work still completes and the
-    // responses go nowhere — never into the next session).
-    while let Some((id, outcome)) = in_flight.pop_front() {
-        let _ = write_outcome(&mut output, &id, outcome);
-    }
-    result
-}
-
-enum Outcome {
-    Pending(PendingScore),
-    Rejected(WireError),
-    /// Already-rendered response line (feedback lines answer inline).
-    Ready(String),
-}
-
-/// Parses, resolves, and dispatches one request line: feedback lines
-/// (those carrying an `"outcome"` key) answer inline through the
-/// engine's calibration monitor; scoring lines submit to the queue. On
-/// failure the id is salvaged when the line parsed far enough to have
-/// one, empty otherwise.
-fn accept(line: &str, engine: &ScoringEngine, registry: &ModelRegistry) -> (String, Outcome) {
-    let parsed = tinyjson::parse(line).ok();
-    let salvage_id = || {
-        parsed
-            .as_ref()
-            .and_then(|v| {
-                v.get("id")
-                    .and_then(|id| id.as_str().ok().map(String::from))
-            })
-            .unwrap_or_default()
-    };
-    if parsed
-        .as_ref()
-        .is_some_and(|v| !matches!(v.get("outcome"), Some(tinyjson::Value::Null) | None))
-    {
-        return accept_observe(line, engine, &salvage_id());
-    }
-    let req = match parse_request(line) {
-        Ok(req) => req,
-        Err(e) => {
-            // Salvage the id when the object parsed but a field didn't.
-            return (
-                salvage_id(),
-                Outcome::Rejected(WireError::new("bad_request", format!("bad request: {e}"))),
-            );
-        }
-    };
-    let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
-    let Some(scorer) = registry.get(name, req.version.as_deref()) else {
-        let known = registry
-            .entries()
-            .into_iter()
-            .map(|(n, v)| format!("{n}@{v}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        return (
-            req.id,
-            Outcome::Rejected(WireError::new(
-                "unknown_model",
-                format!("unknown model {name:?} (have: {known})"),
-            )),
-        );
-    };
-    let x = match rows_to_matrix(&req.rows) {
-        Ok(x) => x,
-        Err(e) => return (req.id, Outcome::Rejected(WireError::new("ragged_rows", e))),
-    };
-    let deadline = req
-        .deadline_ms
-        .filter(|ms| ms.is_finite() && *ms >= 0.0)
-        .map(|ms| Duration::from_nanos((ms * 1e6) as u64));
-    match engine.submit(&scorer, x, deadline) {
-        Ok(pending) => (req.id, Outcome::Pending(pending)),
-        Err(rejected) => (req.id, Outcome::Rejected(WireError::from(&rejected))),
-    }
-}
-
-/// Parses and applies one feedback line; the response renders inline.
-fn accept_observe(line: &str, engine: &ScoringEngine, salvaged_id: &str) -> (String, Outcome) {
-    let req: ObserveRequest = match tinyjson::from_str(line) {
-        Ok(req) => req,
-        Err(e) => {
-            return (
-                salvaged_id.to_string(),
-                Outcome::Rejected(WireError::new(
-                    "bad_observe",
-                    format!("bad observe request: {e}"),
-                )),
-            );
-        }
-    };
-    match engine.observe(&req.row, req.pred, req.scale, req.outcome) {
-        Ok(outcome) => {
-            let line = render_observed(&req.id, &outcome);
-            (req.id, Outcome::Ready(line))
-        }
-        Err(e) => (req.id, Outcome::Rejected(WireError::from(&e))),
-    }
+    crate::session::run_session(
+        input,
+        output,
+        &mut crate::wire::JsonlCodec::new(),
+        engine,
+        registry,
+        limits,
+    )
 }
 
 /// Renders the response line for an applied feedback observation.
@@ -423,17 +294,4 @@ pub fn render_observed(id: &str, outcome: &crate::calibration::FeedbackOutcome) 
         })
     })
     .render_compact()
-}
-
-fn write_outcome(output: &mut impl Write, id: &str, outcome: Outcome) -> std::io::Result<()> {
-    let line = match outcome {
-        Outcome::Pending(pending) => match pending.wait() {
-            Ok(scores) => render_scores(id, &scores),
-            Err(e) => render_error(id, &WireError::from(&e)),
-        },
-        Outcome::Rejected(error) => render_error(id, &error),
-        Outcome::Ready(line) => line,
-    };
-    writeln!(output, "{line}")?;
-    output.flush()
 }

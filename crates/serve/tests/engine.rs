@@ -88,12 +88,12 @@ fn engine_scores_match_direct_serial_bitwise() {
             .collect();
         for workers in [1usize, 2, 8] {
             let engine = ScoringEngine::start(
-                EngineConfig {
-                    workers,
-                    max_batch_rows: 128,
-                    max_wait: Duration::from_micros(200),
-                    ..EngineConfig::default()
-                },
+                EngineConfig::builder()
+                    .workers(workers)
+                    .max_batch_rows(128)
+                    .max_wait(Duration::from_micros(200))
+                    .build()
+                    .unwrap(),
                 Obs::disabled(),
             );
             let pending: Vec<_> = chunks
@@ -124,12 +124,12 @@ fn coalesced_rowwise_batches_are_bitwise_identical() {
     // One worker and a generous wait window force everything submitted
     // below into coalesced batches.
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_batch_rows: 4096,
-            max_wait: Duration::from_millis(5),
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_batch_rows(4096)
+            .max_wait(Duration::from_millis(5))
+            .build()
+            .unwrap(),
         Obs::disabled(),
     );
     let pending: Vec<_> = chunks
@@ -194,12 +194,12 @@ fn full_queue_rejects_with_typed_backpressure_error() {
     });
     let (obs, recorder) = Obs::in_memory();
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            queue_rows: 4,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .queue_rows(4)
+            .max_wait(Duration::ZERO)
+            .build()
+            .unwrap(),
         obs,
     );
     let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
@@ -242,11 +242,11 @@ fn expired_deadline_is_rejected_on_the_manual_clock() {
         gate: Arc::clone(&gate),
     });
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .unwrap(),
         obs,
     );
     let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
@@ -279,11 +279,11 @@ fn deadline_equal_to_now_is_expired() {
         gate: Arc::clone(&gate),
     });
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .unwrap(),
         obs,
     );
     let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
@@ -308,11 +308,11 @@ fn saturated_deadline_expires_at_clock_saturation() {
         gate: Arc::clone(&gate),
     });
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .unwrap(),
         obs,
     );
     let row = Matrix::from_rows(&[vec![1.0, 2.0]]);
@@ -362,11 +362,11 @@ fn panicking_scorer_poisons_the_request_not_the_worker() {
     // One worker: the follow-up request must be served by the same
     // thread that caught the panic.
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .max_wait(Duration::ZERO)
+            .build()
+            .unwrap(),
         obs,
     );
     let row = Matrix::from_rows(&[vec![3.0, 4.0]]);
@@ -427,10 +427,7 @@ fn drop_drains_submitted_requests() {
     let expected = model.predict_roi(&test_x, &Obs::disabled());
     let scorer: Arc<dyn BatchScorer> = Arc::new(model);
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 2,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder().workers(2).build().unwrap(),
         Obs::disabled(),
     );
     let pending: Vec<_> = (0..8)

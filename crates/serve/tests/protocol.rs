@@ -1,5 +1,10 @@
 //! Registry resolution and the JSONL wire protocol, end to end over
 //! in-memory transports.
+//!
+//! Deliberately exercises the deprecated `run_jsonl` shim: its output
+//! is pinned byte-for-byte, which is exactly the compatibility the shim
+//! promises.
+#![allow(deprecated)]
 
 use datasets::generator::{Population, RctGenerator};
 use datasets::CriteoLike;

@@ -33,8 +33,8 @@ use linalg::Matrix;
 use obs::{InMemoryRecorder, Obs};
 use rdrp::{DrpConfig, Persist, PersistError};
 use serve::{
-    run_jsonl, BackoffPolicy, BatchScorer, BreakerConfig, EngineConfig, ModelRegistry, Rejected,
-    ScoreError, ScoringEngine, SessionLimits, SupervisorConfig,
+    run_session, BackoffPolicy, BatchScorer, BreakerConfig, EngineConfig, JsonlCodec,
+    ModelRegistry, Rejected, ScoreError, ScoringEngine, SessionLimits, SupervisorConfig,
 };
 use std::io::Cursor;
 use std::sync::Arc;
@@ -69,13 +69,15 @@ fn one_row() -> Matrix {
     Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0])
 }
 
+/// Builder sized for deterministic sequencing: one worker, no fill
+/// wait. Scenarios chain their supervision/breaker knobs onto it.
+fn serial_engine_builder() -> serve::EngineConfigBuilder {
+    EngineConfig::builder().workers(1).max_wait(Duration::ZERO)
+}
+
 /// Engine sized for deterministic sequencing: one worker, no fill wait.
 fn serial_engine_config() -> EngineConfig {
-    EngineConfig {
-        workers: 1,
-        max_wait: Duration::ZERO,
-        ..EngineConfig::default()
-    }
+    serial_engine_builder().build().expect("valid test config")
 }
 
 fn tmp(name: &str) -> std::path::PathBuf {
@@ -95,12 +97,12 @@ fn respawn_scenario() -> Arc<InMemoryRecorder> {
     let (obs, recorder, _clock) = Obs::manual();
     let plan = FaultPlan::new().fail("engine.worker_batch", Trigger::First(2), FaultKind::Panic);
     let engine = ScoringEngine::start_with_chaos(
-        EngineConfig {
-            supervisor: SupervisorConfig {
+        serial_engine_builder()
+            .supervisor(SupervisorConfig {
                 respawn_after_panics: 2,
-            },
-            ..serial_engine_config()
-        },
+            })
+            .build()
+            .expect("valid test config"),
         obs.clone(),
         Chaos::new(plan, obs),
     );
@@ -145,17 +147,17 @@ fn shed_recover_scenario() -> Arc<InMemoryRecorder> {
     let (obs, recorder, clock) = Obs::manual();
     let plan = FaultPlan::new().fail("engine.worker_batch", Trigger::First(2), FaultKind::Panic);
     let engine = ScoringEngine::start_with_chaos(
-        EngineConfig {
-            supervisor: SupervisorConfig {
+        serial_engine_builder()
+            .supervisor(SupervisorConfig {
                 respawn_after_panics: 0,
-            },
-            breaker: BreakerConfig {
+            })
+            .breaker(BreakerConfig {
                 trip_panics: 2,
                 shed_queue_rows: None,
                 cooldown: Duration::from_millis(100),
-            },
-            ..serial_engine_config()
-        },
+            })
+            .build()
+            .expect("valid test config"),
         obs.clone(),
         Chaos::new(plan, obs),
     );
@@ -400,8 +402,15 @@ fn conn_drop_scenario() -> Arc<InMemoryRecorder> {
     let input = "{\"id\": \"a\", \"rows\": [[1, 2, 3]]}\n\
                  {\"id\": \"b\", \"rows\": [[4, 5, 6]]}\n";
     let mut output = Vec::new();
-    let err = run_jsonl(Cursor::new(input), &mut output, &engine, &registry, &limits)
-        .expect_err("injected disconnect");
+    let err = run_session(
+        Cursor::new(input),
+        &mut output,
+        &mut JsonlCodec::new(),
+        &engine,
+        &registry,
+        &limits,
+    )
+    .expect_err("injected disconnect");
     assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
     // The request accepted before the drop was still answered.
     let output = String::from_utf8(output).expect("utf8");
@@ -409,9 +418,10 @@ fn conn_drop_scenario() -> Arc<InMemoryRecorder> {
 
     // The engine survives into a fresh session untouched.
     let mut output = Vec::new();
-    run_jsonl(
+    run_session(
         Cursor::new("{\"id\": \"c\", \"rows\": [[1, 1, 1]]}\n"),
         &mut output,
+        &mut JsonlCodec::new(),
         &engine,
         &registry,
         &limits,
@@ -443,17 +453,15 @@ fn queue_pressure_trips_the_breaker_and_sheds_the_burst() {
     // No workers can drain fast enough to matter: the queue watermark is
     // below the burst, so admission itself trips the breaker.
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            max_wait: Duration::ZERO,
-            queue_rows: 64,
-            breaker: BreakerConfig {
+        serial_engine_builder()
+            .queue_rows(64)
+            .breaker(BreakerConfig {
                 trip_panics: 0,
                 shed_queue_rows: Some(2),
                 cooldown: Duration::from_millis(50),
-            },
-            ..EngineConfig::default()
-        },
+            })
+            .build()
+            .expect("valid test config"),
         obs,
     );
     let scorer = row_sum_scorer();

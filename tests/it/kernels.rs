@@ -250,12 +250,12 @@ fn engine_block_kernels_flag_selects_the_block_path() {
 
     for (block_kernels, want) in [(false, &want_scalar), (true, &want_block)] {
         let engine = ScoringEngine::start(
-            EngineConfig {
-                workers: 1,
-                max_wait: Duration::ZERO,
-                block_kernels,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder()
+                .workers(1)
+                .max_wait(Duration::ZERO)
+                .block_kernels(block_kernels)
+                .build()
+                .expect("valid test config"),
             Obs::disabled(),
         );
         let got = engine

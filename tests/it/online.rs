@@ -371,10 +371,10 @@ fn hot_swap_never_rejects_in_flight_requests() {
     .expect("calibrated scorer is registered");
 
     let engine = ScoringEngine::start(
-        EngineConfig {
-            workers: 1,
-            ..EngineConfig::default()
-        },
+        EngineConfig::builder()
+            .workers(1)
+            .build()
+            .expect("valid test config"),
         obs,
     );
     engine.attach_monitor(Arc::new(monitor));
