@@ -397,7 +397,8 @@ fn drive_conn(
                     deadline_ms: None,
                 },
                 &mut payload,
-            ),
+            )
+            .map_err(|e| format!("request {}: {}", req.index, e.message))?,
             Codec::Jsonl => {
                 payload.extend_from_slice(
                     format!(

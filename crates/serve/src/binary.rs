@@ -25,7 +25,12 @@
 //! short strings, `u32` for messages and float arrays) followed by the
 //! bytes; optional fields as a one-byte presence flag followed by the
 //! value when present. Score-request rows are a dense `n_rows × n_cols`
-//! f64 block, so ragged rows are unrepresentable by construction.
+//! f64 block, so ragged rows are unrepresentable on the wire — and the
+//! client-side encoders *reject* what the wire cannot represent (a
+//! correlation id longer than the `u16` prefix, ragged rows, a payload
+//! over the frame cap) rather than silently truncate or pad: a mangled
+//! id would be echoed back unmatchable and padded rows would score
+//! phantom zeros.
 //!
 //! Error frames carry the [`WireError`] code as a one-byte id
 //! ([`code_id`]) mapped onto the same 14 stable codes the JSONL codec
@@ -135,8 +140,15 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Writes a `u16`-length-prefixed string. Callers guarantee the length
+/// fits the prefix: server-side ids are echoes of decoded `str16`
+/// fields (≤ 65535 by construction) and the client-side request
+/// encoders validate up front; the clamp is a release-mode backstop so
+/// a violated invariant degrades to truncation instead of a corrupt
+/// length prefix.
 fn put_str16(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "unvalidated str16");
     put_u16(out, bytes.len().min(u16::MAX as usize) as u16);
     out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
 }
@@ -288,32 +300,90 @@ impl<'a> Cursor<'a> {
 
 // ---- request encode (client side) ------------------------------------------
 
+/// Rejects a string the `u16` length prefix cannot carry. Truncating
+/// instead would mangle the correlation id, leaving the client unable
+/// to match the echoed response to its request.
+fn check_str16(field: &str, s: &str) -> Result<(), WireError> {
+    if s.len() > u16::MAX as usize {
+        return Err(WireError::new(
+            "bad_request",
+            format!(
+                "{field} of {} bytes exceeds the {}-byte wire limit",
+                s.len(),
+                u16::MAX
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Rejects a payload the frame cannot carry — the server treats
+/// anything over [`MAX_PAYLOAD`] as stream corruption, so encoding it
+/// would only get the connection closed.
+fn check_payload(p: &[u8]) -> Result<(), WireError> {
+    if p.len() > MAX_PAYLOAD {
+        return Err(WireError::new(
+            "bad_request",
+            format!(
+                "request payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame cap",
+                p.len()
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Appends a score-request frame — what a binary client (loadgen, the
 /// tests) sends.
-pub fn encode_score_request(req: &ScoreRequest, out: &mut Vec<u8>) {
+///
+/// # Errors
+/// A `bad_request` [`WireError`] when the id, model, or version exceeds
+/// the `u16` length prefix or the payload exceeds the frame cap, and a
+/// `ragged_rows` error when the rows are not rectangular — the dense
+/// row block cannot represent ragged input, and zero-padding it would
+/// silently score phantom features. Nothing is appended on error.
+pub fn encode_score_request(req: &ScoreRequest, out: &mut Vec<u8>) -> Result<(), WireError> {
+    check_str16("id", &req.id)?;
+    if let Some(model) = req.model.as_deref() {
+        check_str16("model", model)?;
+    }
+    if let Some(version) = req.version.as_deref() {
+        check_str16("version", version)?;
+    }
+    let cols = req.rows.first().map_or(0, Vec::len);
+    for (i, row) in req.rows.iter().enumerate() {
+        if row.len() != cols {
+            return Err(WireError::new(
+                "ragged_rows",
+                format!("row {i} has {} columns, expected {cols}", row.len()),
+            ));
+        }
+    }
     let mut p = Vec::new();
     put_str16(&mut p, &req.id);
     put_opt_str16(&mut p, req.model.as_deref());
     put_opt_str16(&mut p, req.version.as_deref());
     put_opt_f64(&mut p, req.deadline_ms);
-    let cols = req.rows.first().map_or(0, Vec::len);
     put_u32(&mut p, req.rows.len() as u32);
     put_u32(&mut p, cols as u32);
     for row in &req.rows {
-        for &v in row.iter().take(cols) {
+        for &v in row {
             put_f64(&mut p, v);
         }
-        // A short row zero-pads rather than shearing the block; rows on
-        // the wire are rectangular by construction.
-        for _ in row.len()..cols {
-            put_f64(&mut p, 0.0);
-        }
     }
+    check_payload(&p)?;
     put_frame(out, kind::SCORE_REQUEST, &p);
+    Ok(())
 }
 
 /// Appends an observe-request frame.
-pub fn encode_observe_request(req: &ObserveRequest, out: &mut Vec<u8>) {
+///
+/// # Errors
+/// A `bad_request` [`WireError`] when the id exceeds the `u16` length
+/// prefix or the payload exceeds the frame cap. Nothing is appended on
+/// error.
+pub fn encode_observe_request(req: &ObserveRequest, out: &mut Vec<u8>) -> Result<(), WireError> {
+    check_str16("id", &req.id)?;
     let mut p = Vec::new();
     put_str16(&mut p, &req.id);
     put_u32(&mut p, req.row.len() as u32);
@@ -323,7 +393,9 @@ pub fn encode_observe_request(req: &ObserveRequest, out: &mut Vec<u8>) {
     put_opt_f64(&mut p, req.pred);
     put_opt_f64(&mut p, req.scale);
     put_f64(&mut p, req.outcome);
+    check_payload(&p)?;
     put_frame(out, kind::OBSERVE_REQUEST, &p);
+    Ok(())
 }
 
 // ---- request decode (server side) ------------------------------------------
@@ -670,7 +742,7 @@ mod tests {
             deadline_ms: Some(12.5),
         };
         let mut bytes = Vec::new();
-        encode_score_request(&req, &mut bytes);
+        encode_score_request(&req, &mut bytes).expect("encodable request");
         match decode_one(&mut BinaryCodec::new(), &bytes, false) {
             Decoded::Frame(Frame::Score(got)) => {
                 assert_eq!(got.id, req.id);
@@ -695,7 +767,7 @@ mod tests {
             outcome: 0.41,
         };
         let mut bytes = Vec::new();
-        encode_observe_request(&req, &mut bytes);
+        encode_observe_request(&req, &mut bytes).expect("encodable request");
         match decode_one(&mut BinaryCodec::new(), &bytes, false) {
             Decoded::Frame(Frame::Observe(got)) => {
                 assert_eq!(got.id, req.id);
@@ -741,7 +813,7 @@ mod tests {
             deadline_ms: None,
         };
         let mut bytes = Vec::new();
-        encode_score_request(&req, &mut bytes);
+        encode_score_request(&req, &mut bytes).expect("encodable request");
         let cut = &bytes[..bytes.len() - 3];
         assert!(matches!(
             decode_one(&mut BinaryCodec::new(), cut, false),
@@ -753,6 +825,53 @@ mod tests {
             }
             other => panic!("expected corrupt at eof, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn encode_rejects_overlong_ids_and_ragged_rows() {
+        let mut out = Vec::new();
+        let long_id = "x".repeat(u16::MAX as usize + 1);
+        let err = encode_score_request(
+            &ScoreRequest {
+                id: long_id.clone(),
+                model: None,
+                version: None,
+                rows: vec![vec![1.0]],
+                deadline_ms: None,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(err.message.contains("id"), "{}", err.message);
+
+        let err = encode_score_request(
+            &ScoreRequest {
+                id: "r".into(),
+                model: None,
+                version: None,
+                rows: vec![vec![1.0, 2.0], vec![3.0]],
+                deadline_ms: None,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "ragged_rows");
+        assert!(err.message.contains("row 1"), "{}", err.message);
+
+        let err = encode_observe_request(
+            &ObserveRequest {
+                id: long_id,
+                row: vec![1.0],
+                pred: None,
+                scale: None,
+                outcome: 0.0,
+            },
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, "bad_request");
+        assert!(out.is_empty(), "rejected encodes must append nothing");
     }
 
     #[test]

@@ -25,12 +25,22 @@
 //!   (`serve.slow_client_disconnects`). The in-flight guard matters
 //!   under overload: backpressure stops reading a connection whose
 //!   window is full, so engine backlog would otherwise masquerade as
-//!   client idleness and sever loaded-but-healthy connections.
+//!   client idleness and sever loaded-but-healthy connections. A peer
+//!   with *unflushed responses* that accepts none of them for the
+//!   timeout is disconnected even with work in flight — pending writes
+//!   are the peer's to drain, so a write stall is never the engine's
+//!   fault (the old frontend's write-timeout semantics).
 //!
-//! Backpressure composes instead of blocking: when a session's response
-//! window is full the loop simply stops decoding that connection's
-//! bytes until its oldest response resolves ([`Session::pop_ready`]),
-//! letting the kernel's socket buffers push back on the peer.
+//! Backpressure composes instead of blocking, and it is enforced at
+//! every stage, not just documented: reads and decodes interleave, and
+//! both stop while the session's response window is full or more than
+//! [`NetConfig::max_unflushed`] encoded bytes await the socket
+//! ([`Session::pop_ready`] pauses on the same cap). A peer that sends
+//! faster than the engine scores — or that never reads its responses —
+//! therefore stops being *read*: its bytes pile up in the kernel's
+//! socket buffers, which fill and push back on the peer via TCP flow
+//! control. Server-side memory per connection stays bounded by the
+//! window, the unflushed cap, and one readahead chunk.
 
 use crate::protocol::{SessionLimits, WireError};
 use crate::registry::ModelRegistry;
@@ -59,6 +69,12 @@ pub struct NetConfig {
     /// How long to sleep when a full pass over listener and
     /// connections made no progress.
     pub poll_wait: Duration,
+    /// Encoded-but-unwritten response bytes a connection may hold
+    /// before the loop stops resolving (and therefore decoding and
+    /// reading) for it. This is the write-side memory bound: a peer
+    /// that never reads its responses accumulates at most this many
+    /// bytes plus one response, not its whole backlog.
+    pub max_unflushed: usize,
 }
 
 impl Default for NetConfig {
@@ -68,6 +84,7 @@ impl Default for NetConfig {
             conn_timeout: None,
             binary_only: false,
             poll_wait: Duration::from_micros(200),
+            max_unflushed: 256 * 1024,
         }
     }
 }
@@ -93,6 +110,11 @@ struct Conn<'a> {
 }
 
 impl Conn<'_> {
+    /// Encoded response bytes not yet accepted by the socket.
+    fn unflushed(&self) -> usize {
+        self.out.len() - self.written
+    }
+
     /// Whether everything this connection will ever send has been sent.
     fn finished(&self) -> bool {
         let drained = !self.session.has_in_flight() && self.pending_corrupt.is_none();
@@ -167,15 +189,17 @@ pub fn serve_poll(
             }
         }
         for conn in &mut conns {
-            progress |= tick(conn, &mut chunk, obs);
+            progress |= tick(conn, &mut chunk, cfg, obs);
             if let Some(timeout) = cfg.conn_timeout {
                 // Idleness is the *client's*: a connection whose requests
                 // are still queued in the engine sees no read/write
                 // progress through no fault of its own (backpressure
                 // stops reads while the window is full), so the timeout
-                // only runs while nothing is in flight.
+                // only runs while nothing is in flight — except when
+                // responses sit unflushed, which means the *peer* is not
+                // reading: engine backlog never excuses a write stall.
                 if !conn.finished()
-                    && !conn.session.has_in_flight()
+                    && (conn.unflushed() > 0 || !conn.session.has_in_flight())
                     && conn.last_activity.elapsed() > timeout
                 {
                     obs.counter("serve.slow_client_disconnects", 1.0);
@@ -197,25 +221,81 @@ pub fn serve_poll(
 /// One readiness pass over a connection: read what's there, decode and
 /// dispatch what's complete, collect resolved responses, flush what the
 /// socket will take. Returns whether anything progressed.
-fn tick(conn: &mut Conn<'_>, chunk: &mut [u8], obs: &Obs) -> bool {
+fn tick(conn: &mut Conn<'_>, chunk: &mut [u8], cfg: &NetConfig, obs: &Obs) -> bool {
     let mut progress = false;
-    // 1. Pull bytes off the socket.
-    while !conn.read_closed && !conn.dead && conn.pending_corrupt.is_none() {
+    let harness = chaos::ambient();
+    // 1. Interleave reading and decoding, one chunk at a time, so the
+    //    backpressure gates are re-checked between chunks: once the
+    //    response window is full or unflushed output exceeds its cap,
+    //    the loop stops *reading*, not just decoding, and the kernel's
+    //    socket buffers fill and push back on the peer. Draining the
+    //    socket first and gating only the decode would buffer an
+    //    arbitrarily fast sender's whole backlog in `conn.buf`.
+    loop {
+        // Negotiate the codec from the first byte.
+        if conn.codec.is_none() {
+            if let Some(&first) = conn.buf.peek().first() {
+                conn.codec = Some(sniff_codec(first));
+            }
+        }
+        // Decode and dispatch the complete frames buffered so far.
+        if let Some(codec) = &mut conn.codec {
+            while !conn.dead
+                && conn.pending_corrupt.is_none()
+                && !conn.session.window_full()
+                && !conn.session.cap_reached()
+                // `unflushed()` spelled out: the method would borrow
+                // all of `conn` while `codec` is borrowed from it.
+                && conn.out.len() - conn.written <= cfg.max_unflushed
+            {
+                match codec.decode_frame(&mut conn.buf) {
+                    Decoded::Incomplete => break,
+                    Decoded::Skip => {
+                        progress = true;
+                        if conn_read_fault(&harness) {
+                            conn.dead = true;
+                        }
+                    }
+                    Decoded::Frame(frame) => {
+                        progress = true;
+                        if conn_read_fault(&harness) {
+                            conn.dead = true;
+                        } else {
+                            conn.session.accept(frame);
+                        }
+                    }
+                    Decoded::Corrupt { id, error } => {
+                        progress = true;
+                        conn.pending_corrupt = Some((id, error));
+                    }
+                }
+            }
+        }
+        // The read gate: stop pulling bytes while the connection
+        // cannot consume them (window full, unflushed cap exceeded,
+        // request cap reached, stream corrupt or closed). `conn.buf`
+        // then holds at most the readahead of one gated pass.
+        if conn.read_closed
+            || conn.dead
+            || conn.pending_corrupt.is_some()
+            || conn.session.window_full()
+            || conn.session.cap_reached()
+            || conn.unflushed() > cfg.max_unflushed
+        {
+            break;
+        }
         match conn.stream.read(chunk) {
             Ok(0) => {
                 conn.read_closed = true;
                 conn.buf.set_eof();
                 progress = true;
+                // Loop once more: the codec distinguishes "incomplete"
+                // from "truncated" only after seeing EOF.
             }
             Ok(n) => {
                 conn.buf.extend(&chunk[..n]);
                 conn.last_activity = Instant::now();
                 progress = true;
-                // Keep draining the socket only while the kernel has
-                // more; a short read usually means it's empty.
-                if n < chunk.len() {
-                    break;
-                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -226,49 +306,15 @@ fn tick(conn: &mut Conn<'_>, chunk: &mut [u8], obs: &Obs) -> bool {
             }
         }
     }
-    // 2. Negotiate the codec from the first byte.
-    if conn.codec.is_none() {
-        if let Some(&first) = conn.buf.peek().first() {
-            conn.codec = Some(sniff_codec(first));
-        }
-    }
-    let harness = chaos::ambient();
     if let Some(codec) = &mut conn.codec {
-        // 3. Decode and dispatch complete frames, respecting the
-        //    response window (backpressure: stop decoding, stop
-        //    reading, let the socket buffers fill).
-        while !conn.dead
-            && conn.pending_corrupt.is_none()
-            && !conn.session.window_full()
-            && !conn.session.cap_reached()
+        // 2. Collect responses that resolved, in request order, until
+        //    the unflushed cap says the peer has stopped draining them.
+        while conn.out.len() - conn.written <= cfg.max_unflushed
+            && conn.session.pop_ready(codec.as_ref(), &mut conn.out)
         {
-            match codec.decode_frame(&mut conn.buf) {
-                Decoded::Incomplete => break,
-                Decoded::Skip => {
-                    progress = true;
-                    if conn_read_fault(&harness) {
-                        conn.dead = true;
-                    }
-                }
-                Decoded::Frame(frame) => {
-                    progress = true;
-                    if conn_read_fault(&harness) {
-                        conn.dead = true;
-                    } else {
-                        conn.session.accept(frame);
-                    }
-                }
-                Decoded::Corrupt { id, error } => {
-                    progress = true;
-                    conn.pending_corrupt = Some((id, error));
-                }
-            }
-        }
-        // 4. Collect responses that resolved, in request order.
-        while conn.session.pop_ready(codec.as_ref(), &mut conn.out) {
             progress = true;
         }
-        // 5. Once in-flight work drained, answer the corruption error
+        // 3. Once in-flight work drained, answer the corruption error
         //    and treat the stream as closed.
         if !conn.session.has_in_flight() {
             if let Some((id, error)) = conn.pending_corrupt.take() {
@@ -279,7 +325,7 @@ fn tick(conn: &mut Conn<'_>, chunk: &mut [u8], obs: &Obs) -> bool {
             }
         }
     }
-    // 6. Flush what the socket will take.
+    // 4. Flush what the socket will take.
     while conn.written < conn.out.len() && !conn.dead {
         match conn.stream.write(&conn.out[conn.written..]) {
             Ok(0) => {

@@ -165,20 +165,24 @@ mod tests {
 
     #[test]
     fn shard_hash_is_pinned() {
-        // FNV-1a 64 over little-endian bytes: these values are part of
-        // the serving contract. Recompute before touching the hash.
+        // FNV-1a 64 over little-endian bytes: these literal values are
+        // part of the serving contract (FNV-1a(0 LE) =
+        // 0xa8c7f832281a39c5, etc. — hand-checked against the
+        // reference implementation, and mirrored by the integration
+        // pins in tests/it/sharded.rs). Recompute before touching the
+        // hash: a change silently re-homes every connection.
         let pins = [
-            (0u64, 8usize, shard_index(0, 8)),
-            (1, 8, shard_index(1, 8)),
-            (2, 8, shard_index(2, 8)),
+            (0u64, 8usize, 5usize),
+            (1, 8, 4),
+            (2, 8, 7),
+            (3, 8, 6),
+            (0, 2, 1),
+            (1, 2, 0),
+            (0, 1, 0),
         ];
-        // Stability across calls.
         for (id, n, want) in pins {
-            assert_eq!(shard_index(id, n), want);
+            assert_eq!(shard_index(id, n), want, "conn {id} re-homed among {n}");
         }
-        // Exact values, hand-checked against the FNV-1a reference.
-        assert_eq!(shard_index(0, 1), 0);
-        assert_eq!(shard_index(0, 2), shard_index(0, 2));
         // Consecutive ids spread across 8 shards rather than clumping
         // on one.
         let spread: std::collections::BTreeSet<usize> =

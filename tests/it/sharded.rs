@@ -133,7 +133,7 @@ fn binary_round_trip_is_bitwise_for_every_finite_f64_pattern() {
         deadline_ms: Some(1234.5),
     };
     let mut wire = Vec::new();
-    encode_score_request(&req, &mut wire);
+    encode_score_request(&req, &mut wire).expect("encodable request");
     let mut buf = FrameBuf::new();
     buf.extend(&wire);
     let mut codec = BinaryCodec::new();
@@ -211,7 +211,7 @@ fn truncated_oversized_and_bad_magic_streams_get_typed_errors() {
         deadline_ms: None,
     };
     let mut wire = Vec::new();
-    encode_score_request(&req, &mut wire);
+    encode_score_request(&req, &mut wire).expect("encodable request");
 
     // The stream ends inside the 8-byte header.
     let err = corrupt_session_error(&wire[..3]);
@@ -367,7 +367,8 @@ fn binary_session_scores_and_rejects_like_jsonl() {
                 deadline_ms: None,
             },
             &mut input,
-        );
+        )
+        .expect("encodable request");
     }
     // An unknown model gets a typed rejection mid-stream; the
     // connection keeps serving.
@@ -380,7 +381,8 @@ fn binary_session_scores_and_rejects_like_jsonl() {
             deadline_ms: None,
         },
         &mut input,
-    );
+    )
+    .expect("encodable request");
 
     let mut output = Vec::new();
     run_session(
@@ -480,7 +482,8 @@ fn poll_server_negotiates_jsonl_and_binary_on_one_port() {
                 deadline_ms: None,
             },
             &mut wire,
-        );
+        )
+        .expect("encodable request");
         stream.write_all(&wire).expect("send");
         stream
             .shutdown(std::net::Shutdown::Write)
@@ -551,7 +554,8 @@ fn poll_server_serves_backlog_written_before_half_close() {
                 deadline_ms: None,
             },
             &mut wire,
-        );
+        )
+        .expect("encodable request");
     }
     stream.write_all(&wire).expect("send backlog");
     stream
@@ -574,6 +578,95 @@ fn poll_server_serves_backlog_written_before_half_close() {
         }
     }
     assert_eq!(answered, REQUESTS, "backlogged requests were dropped");
+    server
+        .join()
+        .expect("server thread")
+        .expect("clean poll-loop exit");
+}
+
+/// Regression for two unbounded-memory overload bugs. (1) The poll
+/// loop used to drain the kernel socket buffer into the connection's
+/// read buffer even while the response window was full, so a sender
+/// faster than the engine grew server memory without bound — the
+/// documented push-back via TCP flow control never engaged because the
+/// kernel buffer was always emptied. (2) Responses for a peer that
+/// never reads used to accumulate unflushed without bound, and the
+/// slow-client timeout could not fire while the peer's own requests
+/// kept the window busy. With reads gated on the window and the
+/// unflushed cap, a firehose client that never reads must fail to push
+/// its whole backlog into the server (the write stalls in the kernel)
+/// and then be disconnected by the conn timeout.
+#[test]
+fn poll_server_pushes_back_on_firehose_client_that_never_reads() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let engine = Arc::new(ShardedEngine::start(serial_config(1), Obs::disabled()));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(DEFAULT_MODEL, "1", row_sum_scorer(1));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server = {
+        let engine = Arc::clone(&engine);
+        let registry = Arc::clone(&registry);
+        std::thread::spawn(move || {
+            serve::serve_poll(
+                &listener,
+                &engine,
+                &registry,
+                &SessionLimits::with_window(2),
+                &NetConfig {
+                    max_conns: Some(1),
+                    conn_timeout: Some(Duration::from_millis(300)),
+                    max_unflushed: 1024,
+                    ..NetConfig::default()
+                },
+                &Obs::disabled(),
+            )
+        })
+    };
+
+    // ~64 MiB of pipelined requests — far more than the kernel socket
+    // buffers on both ends can absorb, so if the server stops reading,
+    // this write cannot complete. (Responses are request-sized, so the
+    // server can flush at most a few MiB into its send buffer before
+    // the unflushed cap freezes the connection's pipeline.)
+    let mut frame = Vec::new();
+    encode_score_request(
+        &ScoreRequest {
+            id: "f".to_string(),
+            model: None,
+            version: None,
+            rows: (0..4096).map(|i| vec![i as f64]).collect(),
+            deadline_ms: None,
+        },
+        &mut frame,
+    )
+    .expect("encodable request");
+    let mut wire = Vec::new();
+    while wire.len() < 64 * 1024 * 1024 {
+        wire.extend_from_slice(&frame);
+    }
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Firehose without ever reading a byte, until either the whole
+    // backlog is written or the server disconnects us mid-write.
+    let mut sent = 0usize;
+    loop {
+        match stream.write(&wire[sent..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                sent += n;
+                if sent == wire.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    assert!(
+        sent < wire.len(),
+        "server buffered the whole {}-byte firehose in memory",
+        wire.len()
+    );
     server
         .join()
         .expect("server thread")
