@@ -1,0 +1,459 @@
+//! The K-arm contextual-bandit loop.
+//!
+//! Where [`crate::simulator`] replays the paper's fixed five-day A/B
+//! test with binary treatment, this module closes the loop over the
+//! K-arm surface: each policy repeatedly **scores** arriving users with
+//! a [`rdrp::KArmRoiMethod`], **allocates** treatment arms under a
+//! per-period budget with the MCKP solver ([`rdrp::mckp_allocate`]),
+//! **realizes** outcomes from the generator's ground-truth structural
+//! law, and **refits** on a growing exploration pool.
+//!
+//! Exploration is an explicit uniform-RCT side stream (a fresh
+//! uniformly-assigned batch per period), so the models always train on
+//! randomized data — the allocation stream itself is confounded by the
+//! policy's own scores and is never fed back into fitting.
+//!
+//! Per policy the loop reports **cumulative realized ROI**
+//! (Σ revenue / Σ cost over its own allocations) and **cumulative
+//! regret** against the ground-truth oracle: a shadow MCKP run on the
+//! true per-arm ROI matrix under the same budget, measured in expected
+//! incremental revenue. Everything is deterministic given the seed.
+
+use datasets::generator::Population;
+use datasets::multi::{MultiCouponGenerator, MultiRctDataset};
+use linalg::random::Prng;
+use obs::Obs;
+use rdrp::{mckp_allocate, multi_allocation_value, KArmRoiMethod, MethodConfig, PipelineError};
+
+/// Configuration of one bandit run.
+#[derive(Debug, Clone)]
+pub struct BanditConfig {
+    /// Total arm count including control (`K ≥ 2`).
+    pub n_arms: u8,
+    /// Warm-up RCT size each policy first fits on.
+    pub warmup: usize,
+    /// Users arriving per period (the decision stream).
+    pub users_per_period: usize,
+    /// Fresh uniformly-assigned RCT rows gathered per period (the
+    /// exploration stream feeding refits). 0 disables exploration.
+    pub explore_per_period: usize,
+    /// Number of periods.
+    pub periods: usize,
+    /// Per-period budget, as a fraction of the period's average per-arm
+    /// total expected incremental cost.
+    pub budget_fraction: f64,
+    /// Refit every this many periods on warm-up + exploration data
+    /// (0 = never refit after warm-up).
+    pub refit_every: usize,
+    /// Draw realized outcomes from their Bernoulli laws (true) or
+    /// accrue expectations (false).
+    pub stochastic_outcomes: bool,
+    /// Policy names: `"uniform-random"` or anything
+    /// [`rdrp::build_karm`] accepts (native `karm-*` methods or any
+    /// binary registry name lifted per-arm).
+    pub policies: Vec<String>,
+    /// Hyperparameters for the method builders.
+    pub methods: MethodConfig,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            n_arms: 4,
+            warmup: 4_000,
+            users_per_period: 2_000,
+            explore_per_period: 500,
+            periods: 8,
+            budget_fraction: 0.3,
+            refit_every: 4,
+            stochastic_outcomes: true,
+            policies: vec![
+                "karm-tpm-xl".to_string(),
+                "tpm-sl".to_string(),
+                "uniform-random".to_string(),
+            ],
+            methods: MethodConfig::default(),
+        }
+    }
+}
+
+/// One policy's spend/revenue/regret for a single period.
+#[derive(Debug, Clone)]
+pub struct PeriodOutcome {
+    /// The period's budget (shared by every policy and the oracle).
+    pub budget: f64,
+    /// MCKP spend this period (ground-truth expected incremental cost
+    /// of the assigned arms; always within the period budget).
+    pub spent: f64,
+    /// Realized incremental revenue of the assigned arms.
+    pub revenue: f64,
+    /// Realized incremental cost of the assigned arms.
+    pub cost: f64,
+    /// Oracle-minus-policy expected revenue this period.
+    pub regret: f64,
+}
+
+tinyjson::json_struct!(PeriodOutcome {
+    budget,
+    spent,
+    revenue,
+    cost,
+    regret
+});
+
+/// One policy's aggregate outcome over the whole run.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// Policy name as configured.
+    pub name: String,
+    /// Per-period trajectory.
+    pub periods: Vec<PeriodOutcome>,
+    /// Σ realized revenue across periods.
+    pub cumulative_revenue: f64,
+    /// Σ realized cost across periods.
+    pub cumulative_cost: f64,
+    /// Cumulative realized ROI: Σ revenue / Σ cost (0 when nothing was
+    /// spent).
+    pub realized_roi: f64,
+    /// Σ per-period regret against the ground-truth oracle.
+    pub cumulative_regret: f64,
+}
+
+tinyjson::json_struct!(PolicyOutcome {
+    name,
+    periods,
+    cumulative_revenue,
+    cumulative_cost,
+    realized_roi,
+    cumulative_regret
+});
+
+/// Aggregate outcome of one bandit run.
+#[derive(Debug, Clone)]
+pub struct BanditResult {
+    /// Total arm count including control.
+    pub n_arms: u8,
+    /// Periods simulated.
+    pub periods: usize,
+    /// One outcome per configured policy, in configuration order.
+    pub policies: Vec<PolicyOutcome>,
+}
+
+tinyjson::json_struct!(BanditResult {
+    n_arms,
+    periods,
+    policies
+});
+
+/// A policy in the loop: a fitted K-arm method, or the uniform-random
+/// baseline (which scores every option i.i.d. uniform).
+enum Policy {
+    Method(Box<dyn KArmRoiMethod>),
+    UniformRandom,
+}
+
+impl Policy {
+    fn score(&self, users: &MultiRctDataset, rng: &mut Prng, obs: &Obs) -> Vec<Vec<f64>> {
+        match self {
+            Policy::Method(m) => m.score_matrix(&users.x, obs),
+            Policy::UniformRandom => {
+                let arms = usize::from(users.n_arms()) - 1;
+                (0..arms)
+                    .map(|_| (0..users.len()).map(|_| rng.uniform()).collect())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Appends `extra`'s rows to `pool` (shared feature space assumed).
+fn extend_pool(pool: &mut MultiRctDataset, extra: &MultiRctDataset) {
+    let mut rows: Vec<Vec<f64>> = (0..pool.len()).map(|i| pool.x.row(i).to_vec()).collect();
+    rows.extend((0..extra.len()).map(|i| extra.x.row(i).to_vec()));
+    pool.x = linalg::Matrix::from_rows(&rows);
+    pool.level.extend_from_slice(&extra.level);
+    pool.y_r.extend_from_slice(&extra.y_r);
+    pool.y_c.extend_from_slice(&extra.y_c);
+    merge_truth(&mut pool.true_tau_r, &extra.true_tau_r);
+    merge_truth(&mut pool.true_tau_c, &extra.true_tau_c);
+}
+
+fn merge_truth(pool: &mut Option<Vec<Vec<f64>>>, extra: &Option<Vec<Vec<f64>>>) {
+    match (pool.as_mut(), extra) {
+        (Some(p), Some(e)) => {
+            for (pa, ea) in p.iter_mut().zip(e) {
+                pa.extend_from_slice(ea);
+            }
+        }
+        _ => *pool = None,
+    }
+}
+
+/// Realized incremental (revenue, cost) of an allocation, drawn from the
+/// ground-truth per-arm uplift laws (Bernoulli when stochastic).
+fn realize(
+    allocation: &rdrp::MultiAllocation,
+    tau_r: &[Vec<f64>],
+    tau_c: &[Vec<f64>],
+    stochastic: bool,
+    rng: &mut Prng,
+) -> (f64, f64) {
+    let (mut revenue, mut cost) = (0.0, 0.0);
+    for (i, assigned) in allocation.assigned.iter().enumerate() {
+        let Some(k) = assigned else { continue };
+        let arm = usize::from(*k) - 1;
+        let (pr, pc) = (tau_r[arm][i].clamp(0.0, 1.0), tau_c[arm][i].clamp(0.0, 1.0));
+        if stochastic {
+            revenue += f64::from(rng.bernoulli(pr));
+            cost += f64::from(rng.bernoulli(pc));
+        } else {
+            revenue += pr;
+            cost += pc;
+        }
+    }
+    (revenue, cost)
+}
+
+fn check_config(config: &BanditConfig) -> Result<(), PipelineError> {
+    if config.n_arms < 2 {
+        return Err(PipelineError::Config(
+            "run_bandit: n_arms must be at least 2".to_string(),
+        ));
+    }
+    if config.periods == 0 || config.users_per_period == 0 {
+        return Err(PipelineError::Config(
+            "run_bandit: need at least one period and one user per period".to_string(),
+        ));
+    }
+    if config.warmup == 0 {
+        return Err(PipelineError::Config(
+            "run_bandit: need warm-up data to fit on".to_string(),
+        ));
+    }
+    if !(config.budget_fraction > 0.0 && config.budget_fraction <= 1.0) {
+        return Err(PipelineError::Config(
+            "run_bandit: budget_fraction must be in (0, 1]".to_string(),
+        ));
+    }
+    if config.policies.is_empty() {
+        return Err(PipelineError::Config(
+            "run_bandit: need at least one policy".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the K-arm contextual-bandit loop (see the module docs for the
+/// protocol). All policies see the *same* user stream each period and
+/// the same per-period budget; only their scores differ.
+///
+/// The `obs` handle records `bandit.period` per period plus counters
+/// `bandit.spend.<policy>` / `bandit.revenue.<policy>` and the
+/// underlying `train.*` vocabulary of each fit. Pass [`Obs::disabled`]
+/// to run silently.
+///
+/// # Errors
+/// [`PipelineError::Config`] on nonsensical configuration or an unknown
+/// policy name; [`PipelineError::Fit`] when a policy cannot train;
+/// [`PipelineError::Data`] when allocator inputs are malformed.
+pub fn run_bandit(
+    config: &BanditConfig,
+    rng: &mut Prng,
+    obs: &Obs,
+) -> Result<BanditResult, PipelineError> {
+    check_config(config)?;
+    let gen = MultiCouponGenerator::new(config.n_arms - 1);
+
+    // Warm-up: one shared uniform RCT; every policy fits on it (the
+    // shared rng keeps the run deterministic in policy order).
+    let mut pool = gen.sample(config.warmup, Population::Base, rng);
+    let mut policies: Vec<(String, Policy)> = Vec::with_capacity(config.policies.len());
+    for name in &config.policies {
+        let policy = if name == "uniform-random" {
+            Policy::UniformRandom
+        } else {
+            let mut method = rdrp::build_karm(name, config.n_arms, &config.methods)?;
+            method
+                .fit(&pool, &pool, rng, obs)
+                .map_err(PipelineError::Fit)?;
+            Policy::Method(method)
+        };
+        policies.push((name.clone(), policy));
+    }
+
+    let mut outcomes: Vec<PolicyOutcome> = config
+        .policies
+        .iter()
+        .map(|name| PolicyOutcome {
+            name: name.clone(),
+            periods: Vec::with_capacity(config.periods),
+            cumulative_revenue: 0.0,
+            cumulative_cost: 0.0,
+            realized_roi: 0.0,
+            cumulative_regret: 0.0,
+        })
+        .collect();
+
+    for period in 1..=config.periods {
+        let users = gen.sample(config.users_per_period, Population::Base, rng);
+        let tau_r = users
+            .true_tau_r
+            .clone()
+            .ok_or_else(|| PipelineError::Data("generator lost ground truth".to_string()))?;
+        let tau_c = users
+            .true_tau_c
+            .clone()
+            .ok_or_else(|| PipelineError::Data("generator lost ground truth".to_string()))?;
+        // Budget: a fraction of the average per-arm total expected cost.
+        let total_cost: f64 = tau_c.iter().flatten().sum();
+        let budget = config.budget_fraction * total_cost / tau_c.len() as f64;
+        // Ground-truth oracle under the same budget, in expected revenue.
+        let true_roi = users
+            .true_roi_matrix()
+            .ok_or_else(|| PipelineError::Data("generator lost ground truth".to_string()))?;
+        let oracle = mckp_allocate(&true_roi, &tau_c, budget)?;
+        let oracle_revenue = multi_allocation_value(&oracle, &tau_r);
+
+        for ((name, policy), outcome) in policies.iter_mut().zip(&mut outcomes) {
+            let scores = policy.score(&users, rng, obs);
+            let allocation = mckp_allocate(&scores, &tau_c, budget)?;
+            debug_assert!(allocation.spent <= budget + 1e-9);
+            let (revenue, cost) =
+                realize(&allocation, &tau_r, &tau_c, config.stochastic_outcomes, rng);
+            let expected_revenue = multi_allocation_value(&allocation, &tau_r);
+            let regret = oracle_revenue - expected_revenue;
+            outcome.cumulative_revenue += revenue;
+            outcome.cumulative_cost += cost;
+            outcome.cumulative_regret += regret;
+            outcome.periods.push(PeriodOutcome {
+                budget,
+                spent: allocation.spent,
+                revenue,
+                cost,
+                regret,
+            });
+            if obs.enabled() {
+                obs.counter(&format!("bandit.spend.{name}"), allocation.spent);
+                obs.counter(&format!("bandit.revenue.{name}"), revenue);
+            }
+        }
+
+        // Exploration stream + refit cadence.
+        if config.explore_per_period > 0 {
+            let explore = gen.sample(config.explore_per_period, Population::Base, rng);
+            extend_pool(&mut pool, &explore);
+        }
+        if config.refit_every > 0 && period % config.refit_every == 0 && period < config.periods {
+            for (_, policy) in &mut policies {
+                if let Policy::Method(m) = policy {
+                    m.fit(&pool, &pool, rng, obs).map_err(PipelineError::Fit)?;
+                }
+            }
+        }
+        obs.counter("bandit.period", 1.0);
+    }
+
+    for outcome in &mut outcomes {
+        outcome.realized_roi = if outcome.cumulative_cost > 0.0 {
+            outcome.cumulative_revenue / outcome.cumulative_cost
+        } else {
+            0.0
+        };
+    }
+    Ok(BanditResult {
+        n_arms: config.n_arms,
+        periods: config.periods,
+        policies: outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> BanditConfig {
+        BanditConfig {
+            n_arms: 3,
+            warmup: 2_000,
+            users_per_period: 800,
+            explore_per_period: 300,
+            periods: 4,
+            refit_every: 2,
+            ..BanditConfig::default()
+        }
+    }
+
+    #[test]
+    fn three_policies_run_and_respect_the_budget() {
+        let mut rng = Prng::seed_from_u64(0xBA11);
+        let result = run_bandit(&quick_config(), &mut rng, &Obs::disabled()).unwrap();
+        assert_eq!(result.n_arms, 3);
+        assert_eq!(result.policies.len(), 3);
+        for policy in &result.policies {
+            assert_eq!(policy.periods.len(), 4);
+            for p in &policy.periods {
+                assert!(p.spent >= 0.0 && p.spent <= p.budget + 1e-9);
+                assert!(p.revenue >= 0.0 && p.cost >= 0.0);
+            }
+            assert!(policy.realized_roi.is_finite());
+        }
+    }
+
+    #[test]
+    fn learned_policies_beat_uniform_random_on_regret() {
+        let mut cfg = quick_config();
+        cfg.stochastic_outcomes = false; // isolate allocation quality
+        let mut rng = Prng::seed_from_u64(7);
+        let result = run_bandit(&cfg, &mut rng, &Obs::disabled()).unwrap();
+        let regret_of = |name: &str| {
+            result
+                .policies
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.cumulative_regret)
+                .unwrap()
+        };
+        let random = regret_of("uniform-random");
+        assert!(
+            regret_of("karm-tpm-xl") < random,
+            "karm-tpm-xl regret {} vs random {random}",
+            regret_of("karm-tpm-xl")
+        );
+        assert!(
+            regret_of("tpm-sl") < random,
+            "tpm-sl regret {} vs random {random}",
+            regret_of("tpm-sl")
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut rng = Prng::seed_from_u64(seed);
+            let r = run_bandit(&quick_config(), &mut rng, &Obs::disabled()).unwrap();
+            r.policies
+                .iter()
+                .map(|p| (p.cumulative_revenue, p.cumulative_regret))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut cfg = quick_config();
+        cfg.n_arms = 1;
+        assert!(matches!(
+            run_bandit(&cfg, &mut rng, &Obs::disabled()),
+            Err(PipelineError::Config(_))
+        ));
+        let mut cfg = quick_config();
+        cfg.budget_fraction = 0.0;
+        assert!(run_bandit(&cfg, &mut rng, &Obs::disabled()).is_err());
+        let mut cfg = quick_config();
+        cfg.policies = vec!["no-such-policy".to_string()];
+        let err = run_bandit(&cfg, &mut rng, &Obs::disabled()).unwrap_err();
+        assert!(err.to_string().contains("no-such-policy"), "{err}");
+    }
+}

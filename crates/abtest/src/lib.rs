@@ -14,7 +14,14 @@
 //!   decision — exactly what a live platform would realize;
 //! * the test runs for five simulated days (the paper's test length) and
 //!   reports each model arm's percentage revenue lift over Random.
+//!
+//! The [`bandit`] module generalizes the loop to K treatment arms: a
+//! contextual-bandit protocol where registry-built K-arm policies score,
+//! an MCKP allocator spends a per-period budget, outcomes realize from
+//! the ground-truth law, and policies refit on an exploration stream.
 
+pub mod bandit;
 pub mod simulator;
 
+pub use bandit::{run_bandit, BanditConfig, BanditResult, PeriodOutcome, PolicyOutcome};
 pub use simulator::{run_ab_test, AbTestConfig, AbTestResult, DayResult, FaultInjection};

@@ -1,0 +1,51 @@
+//! MCKP allocator benchmarks: the K-arm generalization of Algorithm 1.
+//!
+//! The LP-relaxation greedy is `O(n·K log K)` for the per-individual
+//! hulls plus `O(S log S)` for the global step sort (`S ≤ n·(K−1)`), so
+//! the interesting axes are the arm count and the population size. K = 2
+//! doubles as the binary-allocator comparison point: the same budget on
+//! the same scores should cost about the same as `greedy_allocate`.
+
+use linalg::random::Prng;
+use minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdrp::mckp_allocate;
+
+/// A synthetic (K−1)×n score/cost instance with monotone-ish costs per
+/// arm, mirroring the coupon ladder the generator emits.
+fn instance(n_arms: u8, n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, f64) {
+    let mut rng = Prng::seed_from_u64(seed);
+    let arms = usize::from(n_arms) - 1;
+    let scores: Vec<Vec<f64>> = (0..arms)
+        .map(|k| {
+            (0..n)
+                .map(|_| rng.uniform() * (1.0 + 0.2 * k as f64))
+                .collect()
+        })
+        .collect();
+    let costs: Vec<Vec<f64>> = (0..arms)
+        .map(|k| {
+            (0..n)
+                .map(|_| (0.05 + 0.2 * rng.uniform()) * (1.0 + 0.5 * k as f64))
+                .collect()
+        })
+        .collect();
+    let budget = costs.iter().flatten().sum::<f64>() * 0.3 / arms as f64;
+    (scores, costs, budget)
+}
+
+fn bench_mckp_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("karm_allocate");
+    for &k in &[2u8, 4, 16] {
+        for &n in &[1_000usize, 100_000] {
+            let (scores, costs, budget) = instance(k, n, u64::from(k) * 31 + n as u64);
+            let id = format!("k{k}");
+            group.bench_with_input(BenchmarkId::new(&id, n), &n, |b, _| {
+                b.iter(|| mckp_allocate(&scores, &costs, budget))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mckp_allocate);
+criterion_main!(benches);

@@ -539,6 +539,117 @@ impl ServeArgs {
     }
 }
 
+/// `bandit` — run the K-arm contextual-bandit simulation: configured
+/// policies score a shared user stream, an MCKP allocator spends the
+/// per-period budget, outcomes realize from the generator's ground
+/// truth, and the loop reports each policy's realized ROI and regret.
+#[derive(Debug, Clone)]
+pub struct BanditArgs {
+    /// Total arm count including control (`K ≥ 2`).
+    pub n_arms: u8,
+    /// Warm-up RCT size each policy first fits on.
+    pub warmup: usize,
+    /// Users arriving per period.
+    pub users_per_period: usize,
+    /// Fresh exploration RCT rows gathered per period.
+    pub explore_per_period: usize,
+    /// Number of periods.
+    pub periods: usize,
+    /// Per-period budget as a fraction of the period's average per-arm
+    /// total expected cost, in `(0, 1]`.
+    pub budget_fraction: f64,
+    /// Refit cadence in periods (0 = never refit after warm-up).
+    pub refit_every: usize,
+    /// Draw Bernoulli outcomes (true) or accrue expectations (false).
+    pub stochastic: bool,
+    /// Comma-separated policy names (`uniform-random` or any K-arm /
+    /// binary registry name).
+    pub policies: Vec<String>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Training epochs for network-backed policies.
+    pub epochs: usize,
+    /// Hidden-layer width for network-backed policies.
+    pub hidden: usize,
+    /// Optional path for the full JSON result (per-period trajectories).
+    pub out: Option<String>,
+    /// Trace/verbosity flags.
+    pub obs: ObsFlags,
+}
+
+impl BanditArgs {
+    fn from_args(args: &Args) -> Result<BanditArgs, ArgError> {
+        args.check_known(&flags(
+            &[
+                "n-arms",
+                "warmup",
+                "users-per-period",
+                "explore-per-period",
+                "periods",
+                "budget-fraction",
+                "refit-every",
+                "stochastic",
+                "policies",
+                "seed",
+                "epochs",
+                "hidden",
+                "out",
+            ],
+            &[&OBS_FLAGS],
+        ))?;
+        let parsed = BanditArgs {
+            n_arms: args.get_or("n-arms", 4u8)?,
+            warmup: args.get_or("warmup", 4_000)?,
+            users_per_period: args.get_or("users-per-period", 2_000)?,
+            explore_per_period: args.get_or("explore-per-period", 500)?,
+            periods: args.get_or("periods", 8)?,
+            budget_fraction: args.get_or("budget-fraction", 0.3)?,
+            refit_every: args.get_or("refit-every", 4)?,
+            stochastic: args.get_or("stochastic", true)?,
+            policies: args
+                .get("policies")
+                .unwrap_or("karm-tpm-xl,tpm-sl,uniform-random")
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+            seed: args.get_or("seed", 42)?,
+            epochs: args.get_or("epochs", 10)?,
+            hidden: args.get_or("hidden", 32)?,
+            out: args.get("out").map(str::to_string),
+            obs: ObsFlags::from_args(args)?,
+        };
+        if parsed.n_arms < 2 {
+            return Err(ArgError::BadValue {
+                flag: "n-arms".to_string(),
+                value: parsed.n_arms.to_string(),
+            });
+        }
+        for (flag, value) in [
+            ("warmup", parsed.warmup),
+            ("users-per-period", parsed.users_per_period),
+            ("periods", parsed.periods),
+        ] {
+            if value == 0 {
+                return Err(ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: "0".to_string(),
+                });
+            }
+        }
+        if !(parsed.budget_fraction > 0.0 && parsed.budget_fraction <= 1.0) {
+            return Err(ArgError::BadValue {
+                flag: "budget-fraction".to_string(),
+                value: parsed.budget_fraction.to_string(),
+            });
+        }
+        if parsed.policies.is_empty() {
+            return Err(ArgError::MissingFlag("policies".to_string()));
+        }
+        Ok(parsed)
+    }
+}
+
 /// The fully validated command line. Constructing one is the CLI's
 /// single validation point; a `Command` that exists can run.
 #[derive(Debug, Clone)]
@@ -553,6 +664,8 @@ pub enum Command {
     Evaluate(EvaluateArgs),
     /// `serve`
     Serve(ServeArgs),
+    /// `bandit`
+    Bandit(BanditArgs),
 }
 
 impl Command {
@@ -566,6 +679,7 @@ impl Command {
             "score" => Ok(Command::Score(ScoreArgs::from_args(&args)?)),
             "evaluate" => Ok(Command::Evaluate(EvaluateArgs::from_args(&args)?)),
             "serve" => Ok(Command::Serve(ServeArgs::from_args(&args)?)),
+            "bandit" => Ok(Command::Bandit(BanditArgs::from_args(&args)?)),
             other => Err(ArgError::UnknownCommand(other.to_string())),
         }
     }
@@ -711,6 +825,60 @@ mod tests {
         };
         assert_eq!(s.shards, 4);
         assert!(s.binary);
+    }
+
+    #[test]
+    fn bandit_args_parse_with_defaults_and_validate_ranges() {
+        let Command::Bandit(b) = Command::parse(strings(&["bandit"])).unwrap() else {
+            panic!("expected bandit")
+        };
+        assert_eq!(b.n_arms, 4);
+        assert_eq!(b.periods, 8);
+        assert_eq!(b.budget_fraction, 0.3);
+        assert_eq!(b.policies, vec!["karm-tpm-xl", "tpm-sl", "uniform-random"]);
+        assert!(b.stochastic);
+        assert!(b.out.is_none());
+
+        let Command::Bandit(b) = Command::parse(strings(&[
+            "bandit",
+            "--n-arms",
+            "3",
+            "--policies",
+            "karm-tpm-sl, uniform-random",
+            "--stochastic",
+            "false",
+            "--out",
+            "bandit.json",
+        ]))
+        .unwrap() else {
+            panic!("expected bandit")
+        };
+        assert_eq!(b.n_arms, 3);
+        assert_eq!(b.policies, vec!["karm-tpm-sl", "uniform-random"]);
+        assert!(!b.stochastic);
+        assert_eq!(b.out.as_deref(), Some("bandit.json"));
+
+        assert!(matches!(
+            Command::parse(strings(&["bandit", "--n-arms", "1"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "n-arms"
+        ));
+        assert!(matches!(
+            Command::parse(strings(&["bandit", "--budget-fraction", "0"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "budget-fraction"
+        ));
+        assert!(matches!(
+            Command::parse(strings(&["bandit", "--periods", "0"])),
+            Err(ArgError::BadValue { ref flag, .. }) if flag == "periods"
+        ));
+        assert!(matches!(
+            Command::parse(strings(&["bandit", "--policies", ","])),
+            Err(ArgError::MissingFlag(ref flag)) if flag == "policies"
+        ));
+        // `bandit` reads no CSVs, so the schema group is rejected.
+        assert!(matches!(
+            Command::parse(strings(&["bandit", "--treatment-col", "t"])),
+            Err(ArgError::UnknownFlag { ref flag, .. }) if flag == "treatment-col"
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! rdrp-cli score    --model model.json --data test.csv --out scores.csv
 //! rdrp-cli serve    --model model.json [--tcp 127.0.0.1:7878] [--workers 2] [--shards 4] [--binary true]
 //! rdrp-cli evaluate --model model.json --data test.csv [--bins 20]
+//! rdrp-cli bandit   --n-arms 4 --periods 8 [--policies karm-tpm-xl,tpm-sl,uniform-random] [--out result.json]
 //! ```
 //!
 //! `--method` accepts any registry name from `rdrp::methods` (every
@@ -21,6 +22,14 @@
 //! `generate` subcommand emits lookalike data in exactly this format, so
 //! the full loop runs without any external download.
 //!
+//! `bandit` runs the K-arm contextual-bandit simulation end-to-end in
+//! memory: each named policy (any K-arm or binary registry method, plus
+//! the `uniform-random` baseline) scores a shared synthetic user stream,
+//! an MCKP allocator spends the per-period budget, outcomes realize from
+//! the generator's ground-truth uplift laws, and the loop prints each
+//! policy's cumulative realized ROI and regret against the ground-truth
+//! oracle.
+//!
 //! `serve` speaks two codecs on the same port, negotiated from each
 //! connection's first byte: the line-delimited JSON protocol from
 //! [`serve::protocol`] (the debug codec) and the length-prefixed binary
@@ -33,7 +42,8 @@
 mod args;
 
 use args::{
-    Command, EvaluateArgs, GenerateArgs, ObsFlags, SchemaFlags, ScoreArgs, ServeArgs, TrainArgs,
+    BanditArgs, Command, EvaluateArgs, GenerateArgs, ObsFlags, SchemaFlags, ScoreArgs, ServeArgs,
+    TrainArgs,
 };
 use datasets::generator::{Population, RctGenerator};
 use datasets::{read_rct_csv, write_rct_csv, AlibabaLike, CriteoLike, CsvSchema, MeituanLike};
@@ -106,10 +116,14 @@ fn usage() -> String {
      rdrp-cli train --train FILE --calibration FILE --model FILE [--method NAME] [--epochs N] [--hidden N] [--alpha F] [--mc-passes N] [--seed N] [--trace-out FILE] [-v]\n  \
      rdrp-cli score --model FILE --data FILE --out FILE [--trace-out FILE] [-v]\n  \
      rdrp-cli serve --model FILE [--tcp ADDR] [--workers N] [--shards N] [--binary true] [--max-batch-rows N] [--max-wait-us N] [--queue-rows N] [--window N] [--respawn-after-panics N] [--breaker-trip-panics N] [--breaker-shed-rows N] [--breaker-cooldown-ms N] [--conn-timeout-ms N] [--max-requests-per-conn N] [--block-kernels true] [--online-calibration true --reference FILE] [--calibration-window N] [--drift-batch N] [--drift-threshold F] [--trace-out FILE] [-v]\n  \
-     rdrp-cli evaluate --model FILE --data FILE [--bins N]\n\n\
+     rdrp-cli evaluate --model FILE --data FILE [--bins N]\n  \
+     rdrp-cli bandit [--n-arms N] [--warmup N] [--users-per-period N] [--explore-per-period N] [--periods N] [--budget-fraction F] [--refit-every N] [--stochastic true|false] [--policies A,B,C] [--seed N] [--epochs N] [--hidden N] [--out FILE] [--trace-out FILE] [-v]\n\n\
      --method NAME picks the trained method (default rdrp); valid names: "
         .to_string()
         + &rdrp::method_names().join(", ")
+        + "\n\
+     bandit --policies accepts uniform-random plus any K-arm method name: "
+        + &rdrp::karm_method_names().join(", ")
         + "\n\
      serve answers line-delimited JSON requests ({\"id\": ..., \"rows\": [[...]]}) on stdin, or per TCP connection with --tcp;\n\
      each connection may instead speak the length-prefixed binary protocol (sniffed from its first byte; --binary true requires it),\n\
@@ -192,6 +206,7 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         Command::Score(a) => score(&a),
         Command::Evaluate(a) => evaluate(&a),
         Command::Serve(a) => serve_cmd(&a),
+        Command::Bandit(a) => bandit(&a),
     }
 }
 
@@ -348,6 +363,71 @@ fn evaluate(a: &EvaluateArgs) -> Result<(), CliError> {
     println!("rows:  {}", data.len());
     println!("AUCC:  {aucc:.4}  (random = 0.5)");
     println!("Qini:  {qini:.4}  (random = 0.0)");
+    Ok(())
+}
+
+fn bandit(a: &BanditArgs) -> Result<(), CliError> {
+    use tinyjson::ToJson as _;
+
+    let config = abtest::BanditConfig {
+        n_arms: a.n_arms,
+        warmup: a.warmup,
+        users_per_period: a.users_per_period,
+        explore_per_period: a.explore_per_period,
+        periods: a.periods,
+        budget_fraction: a.budget_fraction,
+        refit_every: a.refit_every,
+        stochastic_outcomes: a.stochastic,
+        policies: a.policies.clone(),
+        methods: rdrp::MethodConfig {
+            net: uplift::NetConfig {
+                epochs: a.epochs,
+                hidden: a.hidden,
+                ..uplift::NetConfig::default()
+            },
+            rdrp: RdrpConfig {
+                drp: DrpConfig {
+                    epochs: a.epochs,
+                    hidden: a.hidden,
+                    ..DrpConfig::default()
+                },
+                ..RdrpConfig::default()
+            },
+            ..rdrp::MethodConfig::default()
+        },
+    };
+    let cli_obs = CliObs::new(&a.obs);
+    let mut rng = Prng::seed_from_u64(a.seed);
+    println!(
+        "running {} policies over {} periods (K = {} arms, budget fraction {}) ...",
+        a.policies.len(),
+        a.periods,
+        a.n_arms,
+        a.budget_fraction
+    );
+    // An unknown policy name surfaces as a usage error (exit 2) just
+    // like an unknown --method; a policy that fails to fit is a
+    // training error (exit 4).
+    let result = abtest::run_bandit(&config, &mut rng, &cli_obs.obs).map_err(|e| match e {
+        rdrp::PipelineError::Config(_) => CliError::Usage(e.to_string()),
+        rdrp::PipelineError::Fit(_) => CliError::Train(e.to_string()),
+        other => CliError::Data(other.to_string()),
+    })?;
+    println!(
+        "{:<20} {:>12} {:>12} {:>8} {:>12}",
+        "policy", "revenue", "cost", "ROI", "regret"
+    );
+    for p in &result.policies {
+        println!(
+            "{:<20} {:>12.2} {:>12.2} {:>8.4} {:>12.2}",
+            p.name, p.cumulative_revenue, p.cumulative_cost, p.realized_roi, p.cumulative_regret
+        );
+    }
+    if let Some(path) = &a.out {
+        std::fs::write(path, tinyjson::to_string_pretty(&result.to_json())).map_err(data_err)?;
+        println!("result written to {path}");
+    }
+    cli_obs.finish()?;
     Ok(())
 }
 

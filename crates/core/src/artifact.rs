@@ -25,8 +25,16 @@
 use crate::persist::PersistError;
 use tinyjson::{FromJson, JsonError, ToJson, Value};
 
-/// The artifact schema version this build reads and writes.
+/// The artifact schema version binary (two-arm) models read and write.
+/// Kept at 1 so pre-refactor binary artifacts — including the committed
+/// golden fixtures — stay byte-for-byte stable.
 pub const FORMAT_VERSION: u64 = 1;
+
+/// The schema version for K-arm artifacts: identical to v1 plus an
+/// `n_arms` field (total arms *including* control) between
+/// `format_version` and `method`. Binary artifacts stay on v1; readers
+/// accept both and treat a v1 file as `n_arms = 2`.
+pub const KARM_FORMAT_VERSION: u64 = 2;
 
 /// Hex FNV-1a-64 of a body's compact JSON rendering — the integrity
 /// stamp [`encode`] writes and [`decode`] verifies.
@@ -50,6 +58,38 @@ pub fn encode(method: &str, body: Value) -> Value {
     ])
 }
 
+/// Wraps a K-arm method body in the v2 envelope carrying `n_arms`.
+pub fn encode_with_arms(method: &str, n_arms: u8, body: Value) -> Value {
+    let checksum = body_checksum(&body);
+    Value::Obj(vec![
+        ("format_version".to_string(), KARM_FORMAT_VERSION.to_json()),
+        ("n_arms".to_string(), u64::from(n_arms).to_json()),
+        ("method".to_string(), method.to_string().to_json()),
+        ("body".to_string(), body),
+        ("checksum".to_string(), checksum.to_json()),
+    ])
+}
+
+/// Total arm count (including control) declared by an envelope: the v2
+/// `n_arms` field, or 2 for a v1 (binary) artifact.
+///
+/// # Errors
+/// [`PersistError::Format`] when a v2 envelope's `n_arms` is missing,
+/// non-integer, or below 2.
+pub fn artifact_n_arms(v: &Value) -> Result<u8, PersistError> {
+    if u64::from_json(v.fetch("format_version")) != Ok(KARM_FORMAT_VERSION) {
+        return Ok(2);
+    }
+    let n = u64::from_json(v.fetch("n_arms"))
+        .map_err(|_| PersistError::Format("v2 artifact has no integer n_arms field".to_string()))?;
+    if !(2..=u64::from(u8::MAX)).contains(&n) {
+        return Err(PersistError::Format(format!(
+            "artifact n_arms {n} out of range 2..=255"
+        )));
+    }
+    Ok(n as u8)
+}
+
 /// Unwraps the envelope, returning the method tag and the body.
 ///
 /// # Errors
@@ -62,9 +102,10 @@ pub fn decode(v: &Value) -> Result<(String, &Value), PersistError> {
             "not a model artifact: missing or non-integer format_version".to_string(),
         )
     })?;
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != KARM_FORMAT_VERSION {
         return Err(PersistError::Format(format!(
-            "unsupported artifact format_version {version} (this build reads {FORMAT_VERSION})"
+            "unsupported artifact format_version {version} (this build reads \
+             {FORMAT_VERSION} and {KARM_FORMAT_VERSION})"
         )));
     }
     let method = String::from_json(v.fetch("method"))
@@ -129,6 +170,11 @@ pub fn render(method: &str, body: Value) -> String {
     tinyjson::to_string_pretty(&encode(method, body))
 }
 
+/// [`render`] for the v2 K-arm envelope.
+pub fn render_with_arms(method: &str, n_arms: u8, body: Value) -> String {
+    tinyjson::to_string_pretty(&encode_with_arms(method, n_arms, body))
+}
+
 /// Shared body shape for the `*-mc` ablation artifacts: the wrapped
 /// model plus the MC-sweep hyperparameters the scorer needs.
 pub(crate) fn mc_body(model: Value, mc_passes: usize, std_floor: f64) -> Value {
@@ -158,6 +204,37 @@ mod tests {
         let (method, got) = decode(&v).unwrap();
         assert_eq!(method, "rdrp");
         assert_eq!(tinyjson::to_string(got), tinyjson::to_string(&body));
+    }
+
+    #[test]
+    fn v2_envelope_roundtrips_and_declares_arms() {
+        let body = Value::Obj(vec![("arms".to_string(), Value::Arr(vec![]))]);
+        let v = encode_with_arms("tpm-sl", 4, body);
+        let (method, _) = decode(&v).unwrap();
+        assert_eq!(method, "tpm-sl");
+        assert_eq!(artifact_n_arms(&v).unwrap(), 4);
+        // A v1 envelope is implicitly binary.
+        let v1 = encode("tpm-sl", Value::Obj(vec![]));
+        assert_eq!(artifact_n_arms(&v1).unwrap(), 2);
+    }
+
+    #[test]
+    fn v2_envelope_requires_a_sane_n_arms() {
+        let mut v = encode_with_arms("rdrp", 3, Value::Obj(vec![]));
+        {
+            let Value::Obj(fields) = &mut v else {
+                unreachable!()
+            };
+            fields[1].1 = 1u64.to_json(); // n_arms = 1: no treatment arm
+        }
+        assert!(matches!(artifact_n_arms(&v), Err(PersistError::Format(_))));
+        {
+            let Value::Obj(fields) = &mut v else {
+                unreachable!()
+            };
+            fields.remove(1); // missing entirely
+        }
+        assert!(artifact_n_arms(&v).is_err());
     }
 
     #[test]

@@ -65,7 +65,9 @@ pub mod calibrate;
 pub mod config;
 pub mod drp;
 pub mod error;
+pub mod karm;
 pub mod loss;
+pub mod mckp;
 pub mod methods;
 pub mod multi;
 pub mod persist;
@@ -79,9 +81,16 @@ pub use calibrate::{CalibrationForm, DegradedMode};
 pub use config::{DrpConfig, RdrpConfig};
 pub use drp::DrpModel;
 pub use error::PipelineError;
+pub use karm::{
+    build_karm, karm_method_names, load_karm_method, save_karm_method, KArmMethodSpec,
+    KArmRoiMethod, PerArm, KARM_METHODS,
+};
 pub use loss::DrpObjective;
+pub use mckp::{mckp_allocate, multi_allocation_value, MultiAllocation};
 pub use methods::{build, load_method, method_names, save_method, MethodConfig, RoiMethod};
-pub use multi::{greedy_allocate_multi, DivideAndConquerRdrp, MultiAllocation};
+#[allow(deprecated)]
+pub use multi::greedy_allocate_multi;
+pub use multi::DivideAndConquerRdrp;
 pub use persist::{atomic_write_artifact, Persist, PersistError};
 pub use rdrp::{Rdrp, RdrpDiagnostics, SCORING_SEED};
 pub use search::{find_roi_star, SearchError};

@@ -160,7 +160,17 @@ pub fn save_method(method: &dyn RoiMethod, path: impl AsRef<Path>) -> Result<(),
 /// [`PersistError::Checksum`] for a stamped artifact whose body was
 /// altered after it was written.
 pub fn load_method(path: impl AsRef<Path>) -> Result<Box<dyn RoiMethod>, PersistError> {
-    let (tag, body) = artifact::parse(&crate::persist::read_artifact(path)?)?;
+    let v: Value = tinyjson::from_str(&crate::persist::read_artifact(path)?)?;
+    if u64::from_json(v.fetch("format_version")) == Ok(artifact::KARM_FORMAT_VERSION) {
+        let n_arms = artifact::artifact_n_arms(&v)?;
+        return Err(PersistError::Format(format!(
+            "artifact is a K-arm model ({n_arms} arms, format_version \
+             {}); load it with `load_karm_method`",
+            artifact::KARM_FORMAT_VERSION
+        )));
+    }
+    let (tag, body) = artifact::decode(&v)?;
+    let body = body.clone();
     let spec = spec(&tag).ok_or_else(|| {
         PersistError::Format(format!(
             "unknown method tag {tag:?} (known: {})",

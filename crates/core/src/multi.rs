@@ -137,94 +137,25 @@ impl DivideAndConquerRdrp {
     }
 }
 
-/// An assignment of at most one treatment arm per individual.
-#[derive(Debug, Clone, PartialEq)]
-pub struct MultiAllocation {
-    /// `Some(k)` = individual receives arm `k` (1-based); `None` = control.
-    pub assigned: Vec<Option<u8>>,
-    /// Total expected incremental cost.
-    pub spent: f64,
-    /// Number of treated individuals.
-    pub n_treated: usize,
-}
+pub use crate::mckp::MultiAllocation;
 
-/// Greedy multiple-choice knapsack: rank all `(individual, arm)` pairs by
-/// score descending; take a pair when the individual is still untreated
-/// and its cost fits the remaining budget (pairs that do not fit are
-/// skipped, not a hard stop — with per-arm costs a hard stop would strand
-/// budget on the most expensive arm).
-///
-/// `scores[k][i]` and `costs[k][i]` are arm `k+1`'s score and expected
-/// incremental cost for individual `i`.
+/// Budgeted K-arm assignment. Renamed: this entry point used to implement
+/// a pair-greedy heuristic (rank all `(individual, arm)` pairs by raw
+/// score); it now delegates to [`crate::mckp::mckp_allocate`], the true
+/// multiple-choice-knapsack greedy over per-individual efficiency
+/// frontiers. Call `mckp_allocate` directly — the semantics differ from
+/// the old pair-greedy (incremental efficiency, not raw score, drives the
+/// walk, and zero-cost arms are legal).
 ///
 /// # Errors
-/// Returns [`PipelineError::Data`] on ragged inputs, non-positive costs,
-/// or a budget that is negative or NaN.
+/// See [`crate::mckp::mckp_allocate`].
+#[deprecated(note = "renamed to `mckp_allocate`; the allocator is now a true MCKP greedy")]
 pub fn greedy_allocate_multi(
     scores: &[Vec<f64>],
     costs: &[Vec<f64>],
     budget: f64,
 ) -> Result<MultiAllocation, PipelineError> {
-    if scores.is_empty() {
-        return Err(PipelineError::Data(
-            "greedy_allocate_multi: no arms".to_string(),
-        ));
-    }
-    if scores.len() != costs.len() {
-        return Err(PipelineError::Data(format!(
-            "greedy_allocate_multi: {} score arms but {} cost arms",
-            scores.len(),
-            costs.len()
-        )));
-    }
-    let n = scores[0].len();
-    for (k, (s, c)) in scores.iter().zip(costs).enumerate() {
-        if s.len() != n {
-            return Err(PipelineError::Data(format!("ragged scores at arm {k}")));
-        }
-        if c.len() != n {
-            return Err(PipelineError::Data(format!("ragged costs at arm {k}")));
-        }
-        if !c.iter().all(|&v| v > 0.0) {
-            return Err(PipelineError::Data(format!(
-                "arm {k}: costs must be positive (Assumption 4)"
-            )));
-        }
-    }
-    if budget.is_nan() || budget < 0.0 {
-        return Err(PipelineError::Data(format!(
-            "budget {budget} must be non-negative"
-        )));
-    }
-    // Flatten and sort (arm, individual) pairs by score.
-    let mut pairs: Vec<(usize, usize)> = (0..scores.len())
-        .flat_map(|k| (0..n).map(move |i| (k, i)))
-        .collect();
-    pairs.sort_by(|a, b| {
-        scores[b.0][b.1]
-            .partial_cmp(&scores[a.0][a.1])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut assigned: Vec<Option<u8>> = vec![None; n];
-    let mut spent = 0.0;
-    let mut n_treated = 0usize;
-    for (k, i) in pairs {
-        if assigned[i].is_some() {
-            continue;
-        }
-        let cost = costs[k][i];
-        if spent + cost > budget {
-            continue;
-        }
-        assigned[i] = Some(k as u8 + 1);
-        spent += cost;
-        n_treated += 1;
-    }
-    Ok(MultiAllocation {
-        assigned,
-        spent,
-        n_treated,
-    })
+    crate::mckp::mckp_allocate(scores, costs, budget)
 }
 
 #[cfg(test)]
@@ -235,17 +166,16 @@ mod tests {
     use datasets::multi::MultiCouponGenerator;
 
     #[test]
-    fn greedy_multi_prefers_higher_scores_and_respects_budget() {
-        // Two arms, three individuals.
+    fn allocator_prefers_efficient_steps_and_respects_budget() {
+        // Two arms, three individuals. Under the MCKP greedy, individual
+        // 1's only frontier step is 0 → arm 2 at efficiency 0.7/2 = 0.35,
+        // which loses to both cost-1 steps (0.9 and 0.5) and then no
+        // longer fits: spending 2 on 0.7 is worse than 1 on 0.5.
         let scores = vec![vec![0.9, 0.1, 0.5], vec![0.8, 0.7, 0.2]];
         let costs = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
-        let alloc = greedy_allocate_multi(&scores, &costs, 3.0).unwrap();
-        // Best pair: (arm1, ind0, 0.9, cost 1). Next (arm2, ind0) skipped
-        // (ind0 taken). Then (arm2, ind1, 0.7, cost 2) fits.
-        assert_eq!(alloc.assigned[0], Some(1));
-        assert_eq!(alloc.assigned[1], Some(2));
-        assert_eq!(alloc.assigned[2], None);
-        assert_eq!(alloc.spent, 3.0);
+        let alloc = crate::mckp::mckp_allocate(&scores, &costs, 3.0).unwrap();
+        assert_eq!(alloc.assigned, vec![Some(1), None, Some(1)]);
+        assert_eq!(alloc.spent, 2.0);
         assert_eq!(alloc.n_treated, 2);
     }
 
@@ -253,8 +183,8 @@ mod tests {
     fn skip_rule_fills_budget_past_expensive_pairs() {
         let scores = vec![vec![0.9, 0.5]];
         let costs = vec![vec![10.0, 1.0]];
-        // The best pair does not fit; the next one does.
-        let alloc = greedy_allocate_multi(&scores, &costs, 1.5).unwrap();
+        // The best-scoring step does not fit; the next one does.
+        let alloc = crate::mckp::mckp_allocate(&scores, &costs, 1.5).unwrap();
         assert_eq!(alloc.assigned[0], None);
         assert_eq!(alloc.assigned[1], Some(1));
     }
@@ -263,9 +193,19 @@ mod tests {
     fn each_individual_gets_at_most_one_arm() {
         let scores = vec![vec![0.9; 5], vec![0.8; 5], vec![0.7; 5]];
         let costs = vec![vec![0.1; 5]; 3];
-        let alloc = greedy_allocate_multi(&scores, &costs, 100.0).unwrap();
+        let alloc = crate::mckp::mckp_allocate(&scores, &costs, 100.0).unwrap();
         assert_eq!(alloc.n_treated, 5);
         assert!(alloc.assigned.iter().all(|a| a.is_some()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_delegates_to_mckp() {
+        let scores = vec![vec![0.9, 0.1, 0.5], vec![0.8, 0.7, 0.2]];
+        let costs = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let shim = greedy_allocate_multi(&scores, &costs, 3.0).unwrap();
+        let direct = crate::mckp::mckp_allocate(&scores, &costs, 3.0).unwrap();
+        assert_eq!(shim, direct);
     }
 
     #[test]
@@ -294,7 +234,7 @@ mod tests {
         let costs = test.true_tau_c.clone().unwrap();
         let values = test.true_tau_r.clone().unwrap();
         let budget = 0.2 * costs[0].iter().sum::<f64>();
-        let alloc = greedy_allocate_multi(&scores, &costs, budget).unwrap();
+        let alloc = crate::mckp::mckp_allocate(&scores, &costs, budget).unwrap();
         assert!(alloc.spent <= budget);
         let captured: f64 = alloc
             .assigned
@@ -306,7 +246,7 @@ mod tests {
         let rand_scores: Vec<Vec<f64>> = (0..2)
             .map(|_| (0..test.len()).map(|_| rng.uniform()).collect())
             .collect();
-        let rand_alloc = greedy_allocate_multi(&rand_scores, &costs, budget).unwrap();
+        let rand_alloc = crate::mckp::mckp_allocate(&rand_scores, &costs, budget).unwrap();
         let rand_captured: f64 = rand_alloc
             .assigned
             .iter()
@@ -383,15 +323,18 @@ mod tests {
 
     #[test]
     fn allocator_rejects_malformed_inputs() {
+        use crate::mckp::mckp_allocate;
         let scores = vec![vec![0.5, 0.5]];
         let costs = vec![vec![1.0, 1.0]];
         assert!(matches!(
-            greedy_allocate_multi(&[], &[], 1.0),
+            mckp_allocate(&[], &[], 1.0),
             Err(PipelineError::Data(_))
         ));
-        assert!(greedy_allocate_multi(&scores, &[vec![1.0]], 1.0).is_err());
-        assert!(greedy_allocate_multi(&scores, &[vec![0.0, 1.0]], 1.0).is_err());
-        assert!(greedy_allocate_multi(&scores, &costs, -1.0).is_err());
-        assert!(greedy_allocate_multi(&scores, &costs, f64::NAN).is_err());
+        assert!(mckp_allocate(&scores, &[vec![1.0]], 1.0).is_err());
+        // Zero costs are legal under MCKP (a free arm); negatives are not.
+        assert!(mckp_allocate(&scores, &[vec![0.0, 1.0]], 1.0).is_ok());
+        assert!(mckp_allocate(&scores, &[vec![-1.0, 1.0]], 1.0).is_err());
+        assert!(mckp_allocate(&scores, &costs, -1.0).is_err());
+        assert!(mckp_allocate(&scores, &costs, f64::NAN).is_err());
     }
 }

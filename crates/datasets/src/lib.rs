@@ -32,6 +32,7 @@ pub mod schema;
 pub mod settings;
 pub mod shift;
 pub mod split;
+pub mod treatment;
 
 pub use alibaba::AlibabaLike;
 pub use criteo::CriteoLike;
@@ -45,3 +46,4 @@ pub use shift::{
     DriftDetectorConfig, DriftUpdate, FeatureReference, ShiftError, ShiftReport,
 };
 pub use split::train_calib_test_split;
+pub use treatment::{TreatmentAssignment, TreatmentError};

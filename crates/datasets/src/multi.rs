@@ -8,6 +8,7 @@
 
 use crate::generator::Population;
 use crate::schema::RctDataset;
+use crate::treatment::{TreatmentAssignment, TreatmentError};
 use crate::{CriteoLike, RctGenerator};
 use linalg::random::Prng;
 use linalg::Matrix;
@@ -43,10 +44,103 @@ impl MultiRctDataset {
         self.level.is_empty()
     }
 
+    /// Total arm count including control (`K = n_levels + 1`).
+    pub fn n_arms(&self) -> u8 {
+        self.n_levels + 1
+    }
+
+    /// The level column as a typed K-arm axis.
+    ///
+    /// # Errors
+    /// [`TreatmentError`] when any level exceeds `n_levels`.
+    pub fn assignment(&self) -> Result<TreatmentAssignment, TreatmentError> {
+        TreatmentAssignment::new(self.level.clone(), self.n_arms())
+    }
+
+    /// Validates internal consistency; returns the first problem found,
+    /// or `None` when the record is well-formed K-arm RCT data.
+    pub fn validate(&self) -> Option<String> {
+        let n = self.len();
+        if self.x.rows() != n {
+            return Some(format!("x has {} rows but level has {}", self.x.rows(), n));
+        }
+        if self.y_r.len() != n || self.y_c.len() != n {
+            return Some("outcome length mismatch".to_string());
+        }
+        if let Err(e) = self.assignment() {
+            return Some(e.to_string());
+        }
+        if !self.x.is_finite() {
+            return Some("x contains non-finite values".to_string());
+        }
+        if self.y_r.iter().any(|v| !v.is_finite()) {
+            return Some("y_r contains non-finite values".to_string());
+        }
+        if self.y_c.iter().any(|v| !v.is_finite()) {
+            return Some("y_c contains non-finite values".to_string());
+        }
+        for (tag, truth) in [
+            ("true_tau_r", &self.true_tau_r),
+            ("true_tau_c", &self.true_tau_c),
+        ] {
+            if let Some(t) = truth {
+                if t.len() != self.n_levels as usize {
+                    return Some(format!(
+                        "{tag} has {} arms, expected {}",
+                        t.len(),
+                        self.n_levels
+                    ));
+                }
+                if t.iter().any(|arm| arm.len() != n) {
+                    return Some(format!("{tag} length mismatch"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Ground-truth per-arm ROI matrix `τ^r_k/τ^c_k` (`roi[k][i]` for arm
+    /// `k+1`), when the generator recorded the truth — the oracle score
+    /// matrix for the MCKP allocator and the bandit loop's regret
+    /// reference.
+    pub fn true_roi_matrix(&self) -> Option<Vec<Vec<f64>>> {
+        match (&self.true_tau_r, &self.true_tau_c) {
+            (Some(r), Some(c)) => Some(
+                r.iter()
+                    .zip(c)
+                    .map(|(ra, ca)| {
+                        ra.iter()
+                            .zip(ca)
+                            .map(|(&tr, &tc)| if tc > 0.0 { tr / tc } else { 0.0 })
+                            .collect()
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
     /// The Divide-and-Conquer binarization: control rows plus arm-`k`
     /// rows, with `t = 1` on the arm rows. Ground truth is restricted to
     /// arm `k`'s columns.
     ///
+    /// Wraps a binary RCT as the `K = 2` multi-treatment record. The
+    /// row order, outcomes, and ground truth carry over unchanged, so
+    /// `from_binary(d).to_binary(1)` reproduces `d` exactly — the
+    /// identity that keeps the K-arm method surface bitwise-compatible
+    /// with the binary path at two arms.
+    pub fn from_binary(d: &RctDataset) -> MultiRctDataset {
+        MultiRctDataset {
+            x: d.x.clone(),
+            level: d.t.clone(),
+            y_r: d.y_r.clone(),
+            y_c: d.y_c.clone(),
+            n_levels: 1,
+            true_tau_r: d.true_tau_r.clone().map(|t| vec![t]),
+            true_tau_c: d.true_tau_c.clone().map(|t| vec![t]),
+        }
+    }
+
     /// # Panics
     /// Panics if `k` is 0 or exceeds `n_levels`.
     pub fn to_binary(&self, k: u8) -> RctDataset {
@@ -217,6 +311,41 @@ mod tests {
             for (r, c) in tau_r[k].iter().zip(&tau_c[k]) {
                 let roi = r / c;
                 assert!(roi > 0.0 && roi < 1.0, "arm {k}: roi {roi}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_assignment_and_validation() {
+        let gen = MultiCouponGenerator::new(3);
+        let mut rng = Prng::seed_from_u64(5);
+        let d = gen.sample(500, Population::Base, &mut rng);
+        assert_eq!(d.n_arms(), 4);
+        let a = d.assignment().unwrap();
+        assert_eq!(a.n_arms(), 4);
+        assert_eq!(a.levels(), d.level.as_slice());
+        assert_eq!(d.validate(), None);
+
+        let mut bad = d.clone();
+        bad.level[7] = 9;
+        assert!(bad.validate().unwrap().contains("out of range"));
+        let mut bad = d.clone();
+        bad.y_r[0] = f64::NAN;
+        assert!(bad.validate().unwrap().contains("y_r"));
+    }
+
+    #[test]
+    fn true_roi_matrix_matches_per_arm_ratios() {
+        let gen = MultiCouponGenerator::new(2);
+        let mut rng = Prng::seed_from_u64(6);
+        let d = gen.sample(200, Population::Base, &mut rng);
+        let roi = d.true_roi_matrix().unwrap();
+        let tau_r = d.true_tau_r.as_ref().unwrap();
+        let tau_c = d.true_tau_c.as_ref().unwrap();
+        assert_eq!(roi.len(), 2);
+        for k in 0..2 {
+            for i in 0..d.len() {
+                assert!((roi[k][i] - tau_r[k][i] / tau_c[k][i]).abs() < 1e-12);
             }
         }
     }

@@ -46,6 +46,15 @@ impl RctDataset {
         self.x.cols()
     }
 
+    /// The treatment column as a typed two-arm axis — the `K = 2`
+    /// special case of [`crate::TreatmentAssignment`].
+    ///
+    /// # Errors
+    /// [`crate::TreatmentError`] when any entry is not 0 or 1.
+    pub fn assignment(&self) -> Result<crate::TreatmentAssignment, crate::TreatmentError> {
+        crate::TreatmentAssignment::binary(self.t.clone())
+    }
+
     /// Count of treated individuals (`N_1` in the paper).
     pub fn n_treated(&self) -> usize {
         self.t.iter().filter(|&&t| t == 1).count()

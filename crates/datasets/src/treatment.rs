@@ -1,0 +1,206 @@
+//! The typed treatment axis.
+//!
+//! Historically the stack encoded treatments implicitly: binary code
+//! carried `t: Vec<u8>` with a "0 or 1" convention scattered across
+//! validators, and the multi-arm module carried `level: Vec<u8>` with its
+//! own 1-based arm convention. [`TreatmentAssignment`] replaces both with
+//! one validated value: a vector of arm indices plus the arm count `K`
+//! (*including* control, so the binary case is exactly `K = 2`). Every
+//! K-arm surface — the K-arm simulator, the K-arm meta-learners, the
+//! MCKP allocator, the contextual-bandit loop — consumes this type, and
+//! an out-of-range arm index is a construction-time [`TreatmentError`],
+//! not a silent mis-grouping three crates later.
+
+use std::fmt;
+
+/// Why a treatment assignment could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreatmentError {
+    /// `n_arms < 2`: a treatment axis needs control plus at least one arm.
+    TooFewArms(u8),
+    /// An individual's arm index is outside `0..n_arms`.
+    ArmOutOfRange {
+        /// Row holding the bad index.
+        index: usize,
+        /// The offending arm value.
+        arm: u8,
+        /// The arm count it must stay below.
+        n_arms: u8,
+    },
+}
+
+impl fmt::Display for TreatmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreatmentError::TooFewArms(k) => {
+                write!(f, "need at least 2 arms (control + one treatment), got {k}")
+            }
+            TreatmentError::ArmOutOfRange { index, arm, n_arms } => {
+                write!(f, "row {index}: arm {arm} out of range 0..{n_arms}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreatmentError {}
+
+/// A validated per-individual arm assignment over `K` arms.
+///
+/// Arm `0` is always control; arms `1..K-1` are treatments. `n_arms`
+/// counts *all* arms including control, so a classic binary RCT is
+/// `n_arms = 2` and its `levels` vector is bit-for-bit the old binary
+/// `t` vector — [`TreatmentAssignment::as_binary`] hands it back without
+/// copying, which is what keeps the K = 2 path identical to the
+/// pre-refactor binary path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreatmentAssignment {
+    levels: Vec<u8>,
+    n_arms: u8,
+}
+
+impl TreatmentAssignment {
+    /// Validates and wraps an arm-index vector.
+    ///
+    /// # Errors
+    /// [`TreatmentError::TooFewArms`] when `n_arms < 2`,
+    /// [`TreatmentError::ArmOutOfRange`] naming the first offending row.
+    pub fn new(levels: Vec<u8>, n_arms: u8) -> Result<Self, TreatmentError> {
+        if n_arms < 2 {
+            return Err(TreatmentError::TooFewArms(n_arms));
+        }
+        if let Some((index, &arm)) = levels.iter().enumerate().find(|&(_, &l)| l >= n_arms) {
+            return Err(TreatmentError::ArmOutOfRange { index, arm, n_arms });
+        }
+        Ok(TreatmentAssignment { levels, n_arms })
+    }
+
+    /// Wraps a binary treatment vector (`K = 2`).
+    ///
+    /// # Errors
+    /// [`TreatmentError::ArmOutOfRange`] when any entry exceeds 1.
+    pub fn binary(t: Vec<u8>) -> Result<Self, TreatmentError> {
+        TreatmentAssignment::new(t, 2)
+    }
+
+    /// Per-individual arm indices (0 = control).
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Total arm count including control (`K`).
+    pub fn n_arms(&self) -> u8 {
+        self.n_arms
+    }
+
+    /// Number of *treatment* arms (`K − 1`).
+    pub fn n_treatment_arms(&self) -> u8 {
+        self.n_arms - 1
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the assignment covers no individuals.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Whether this is the classic binary axis (`K = 2`).
+    pub fn is_binary(&self) -> bool {
+        self.n_arms == 2
+    }
+
+    /// The levels vector *as* a binary treatment vector, when `K = 2`.
+    /// No conversion happens — at two arms the representations coincide.
+    pub fn as_binary(&self) -> Option<&[u8]> {
+        self.is_binary().then_some(self.levels.as_slice())
+    }
+
+    /// How many individuals each arm received (`counts[k]` for arm `k`).
+    pub fn arm_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_arms as usize];
+        for &l in &self.levels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Binary indicator of membership in arm `k`.
+    ///
+    /// # Panics
+    /// Panics when `k >= n_arms`.
+    pub fn indicator(&self, k: u8) -> Vec<u8> {
+        assert!(k < self.n_arms, "arm {k} out of range 0..{}", self.n_arms);
+        self.levels.iter().map(|&l| u8::from(l == k)).collect()
+    }
+
+    /// Row indices assigned to arm `k`.
+    ///
+    /// # Panics
+    /// Panics when `k >= n_arms`.
+    pub fn arm_rows(&self, k: u8) -> Vec<usize> {
+        assert!(k < self.n_arms, "arm {k} out of range 0..{}", self.n_arms);
+        (0..self.levels.len())
+            .filter(|&i| self.levels[i] == k)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_round_trip_is_the_identity() {
+        let t = vec![0u8, 1, 1, 0, 1];
+        let a = TreatmentAssignment::binary(t.clone()).unwrap();
+        assert!(a.is_binary());
+        assert_eq!(a.n_arms(), 2);
+        assert_eq!(a.n_treatment_arms(), 1);
+        assert_eq!(a.as_binary().unwrap(), t.as_slice());
+        assert_eq!(a.levels(), t.as_slice());
+    }
+
+    #[test]
+    fn out_of_range_arm_is_a_typed_error_naming_the_row() {
+        let err = TreatmentAssignment::new(vec![0, 1, 3, 2], 3).unwrap_err();
+        assert_eq!(
+            err,
+            TreatmentError::ArmOutOfRange {
+                index: 2,
+                arm: 3,
+                n_arms: 3
+            }
+        );
+        assert!(err.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn one_arm_axes_are_rejected() {
+        assert_eq!(
+            TreatmentAssignment::new(vec![0, 0], 1),
+            Err(TreatmentError::TooFewArms(1))
+        );
+        assert!(TreatmentAssignment::new(vec![], 0).is_err());
+    }
+
+    #[test]
+    fn counts_indicator_and_rows_agree() {
+        let a = TreatmentAssignment::new(vec![0, 2, 1, 2, 0, 2], 3).unwrap();
+        assert_eq!(a.arm_counts(), vec![2, 1, 3]);
+        assert_eq!(a.indicator(2), vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(a.arm_rows(2), vec![1, 3, 5]);
+        assert_eq!(a.arm_rows(0), vec![0, 4]);
+        assert!(!a.is_binary());
+        assert!(a.as_binary().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indicator_rejects_unknown_arm() {
+        let a = TreatmentAssignment::binary(vec![0, 1]).unwrap();
+        let _ = a.indicator(2);
+    }
+}

@@ -19,6 +19,13 @@ pub enum TrainError {
         /// The network's actual output dimension.
         output_dim: usize,
     },
+    /// Input vectors disagree with each other or with the network —
+    /// e.g. a treatment-arm index with no matching head, or label/row
+    /// count mismatches (used by the K-arm trainer, [`crate::karm`]).
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
     /// Training diverged (non-finite loss or gradient) and every
     /// rollback-and-halve-LR retry was exhausted.
     Diverged {
@@ -87,6 +94,7 @@ impl fmt::Display for TrainError {
                 f,
                 "scalar-objective trainer requires a 1-unit output layer, got {output_dim}"
             ),
+            TrainError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             TrainError::Diverged {
                 epoch,
                 attempts,

@@ -33,6 +33,7 @@ pub mod dense;
 pub mod dropout;
 pub mod error;
 pub mod init;
+pub mod karm;
 pub mod mc;
 pub mod mlp;
 pub mod multihead;
@@ -44,6 +45,7 @@ pub use activation::Activation;
 pub use dense::Dense;
 pub use dropout::{Dropout, Mode};
 pub use error::{DivergenceCause, TrainError};
+pub use karm::{build_karm_net, train_arm_heads, KArmTrainConfig};
 pub use mc::{mc_predict, mc_predict_map, McStats};
 pub use mlp::{BlockWorkspace, Mlp, Workspace};
 pub use multihead::MultiHeadNet;

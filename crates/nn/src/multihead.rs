@@ -99,6 +99,11 @@ impl MultiHeadNet {
         self.trunk.input_dim()
     }
 
+    /// Each head's output dimension, in head order.
+    pub fn head_output_dims(&self) -> Vec<usize> {
+        self.heads.iter().map(Mlp::output_dim).collect()
+    }
+
     /// Total trainable parameter count.
     pub fn param_count(&self) -> usize {
         self.trunk.param_count() + self.heads.iter().map(Mlp::param_count).sum::<usize>()

@@ -19,6 +19,7 @@ pub mod causal_forest;
 pub mod direct_rank;
 pub mod dragonnet;
 pub mod error;
+pub mod karm;
 pub mod meta;
 pub mod nnutil;
 pub mod offsetnet;
@@ -36,6 +37,10 @@ pub use causal_forest::CausalForestUplift;
 pub use direct_rank::DirectRank;
 pub use dragonnet::DragonNet;
 pub use error::FitError;
+pub use karm::{
+    karm_component_from_tagged_json, KArmUpliftModel, KNetLearner, KSLearner, KTLearner, KTpm,
+    KXLearner,
+};
 pub use meta::{SLearner, TLearner, XLearner};
 pub use nnutil::NetConfig;
 pub use offsetnet::OffsetNet;

@@ -11,7 +11,7 @@ use linalg::Matrix;
 /// layout's equivalent of [`Matrix::full`]`(rows, 1, value)` for the
 /// treatment-indicator columns the S-learner appends. `0.0` and `1.0`
 /// are exact in `f32`, so the appended column is bitwise faithful.
-fn const_col_block(rows: usize, value: f32) -> FeatureBlock {
+pub(crate) fn const_col_block(rows: usize, value: f32) -> FeatureBlock {
     let mut col = FeatureBlock::zeros(rows, 1);
     col.col_mut(0)[..rows].fill(value);
     col

@@ -13,7 +13,7 @@
 use datasets::generator::Population;
 use datasets::multi::MultiCouponGenerator;
 use linalg::random::Prng;
-use rdrp::{greedy_allocate_multi, DivideAndConquerRdrp, DrpConfig, Persist, Rdrp, RdrpConfig};
+use rdrp::{mckp_allocate, DivideAndConquerRdrp, DrpConfig, Persist, Rdrp, RdrpConfig};
 use uplift::RoiModel;
 
 fn main() {
@@ -75,8 +75,7 @@ fn main() {
         .clone()
         .expect("synthetic ground truth");
     let budget = 0.25 * costs[0].iter().sum::<f64>();
-    let alloc =
-        greedy_allocate_multi(&scores, &costs, budget).expect("allocator inputs are well-formed");
+    let alloc = mckp_allocate(&scores, &costs, budget).expect("allocator inputs are well-formed");
     println!(
         "\nbudget {budget:.1}: treated {} of {} customers",
         alloc.n_treated,

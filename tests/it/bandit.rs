@@ -1,0 +1,82 @@
+//! End-to-end bandit-loop smoke at a pinned seed.
+//!
+//! Runs the K-arm contextual-bandit loop with three policies and checks
+//! the run's *shape* (per-period budget enforcement, finite outcomes)
+//! plus its *value*: the cumulative realized ROI of every policy is
+//! pinned to the exact f64 the seed produces. A drift here means some
+//! layer of the K-arm stack (generator, method fits, MCKP, realization)
+//! changed numerically — bump the pins only for an intentional change.
+
+use abtest::{run_bandit, BanditConfig};
+use linalg::random::Prng;
+use obs::Obs;
+
+const SEED: u64 = 0x0BAD_B007;
+
+fn pinned_config() -> BanditConfig {
+    BanditConfig {
+        n_arms: 3,
+        warmup: 2_000,
+        users_per_period: 800,
+        explore_per_period: 300,
+        periods: 4,
+        budget_fraction: 0.3,
+        refit_every: 2,
+        stochastic_outcomes: true,
+        policies: vec![
+            "karm-tpm-xl".to_string(),
+            "tpm-sl".to_string(),
+            "uniform-random".to_string(),
+        ],
+        ..BanditConfig::default()
+    }
+}
+
+#[test]
+fn bandit_loop_is_budget_respecting_and_pinned_at_the_seed() {
+    let mut rng = Prng::seed_from_u64(SEED);
+    let result = run_bandit(&pinned_config(), &mut rng, &Obs::disabled()).unwrap();
+    assert_eq!(result.n_arms, 3);
+    assert_eq!(result.policies.len(), 3);
+
+    for policy in &result.policies {
+        assert_eq!(policy.periods.len(), 4, "{}", policy.name);
+        for (t, p) in policy.periods.iter().enumerate() {
+            assert!(
+                p.spent >= 0.0 && p.spent <= p.budget + 1e-9,
+                "{} period {t}: spent {} exceeds budget {}",
+                policy.name,
+                p.spent,
+                p.budget
+            );
+            assert!(p.revenue >= 0.0 && p.cost >= 0.0 && p.regret.is_finite());
+        }
+    }
+
+    // The exact realized ROI per policy at this seed. Stochastic
+    // outcomes are Bernoulli counts, so these are ratios of small
+    // integers — any change in the RNG stream shows up loudly.
+    let pinned: &[(&str, f64)] = &[
+        ("karm-tpm-xl", PINNED_KARM_TPM_XL),
+        ("tpm-sl", PINNED_TPM_SL),
+        ("uniform-random", PINNED_UNIFORM_RANDOM),
+    ];
+    for (name, want) in pinned {
+        let got = result
+            .policies
+            .iter()
+            .find(|p| p.name == *name)
+            .map(|p| p.realized_roi)
+            .unwrap();
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "{name}: realized ROI drifted: got {got} ({:#x}), pinned \
+             {want}. Update the pin only for an intentional change.",
+            got.to_bits()
+        );
+    }
+}
+
+const PINNED_KARM_TPM_XL: f64 = 0.288;
+const PINNED_TPM_SL: f64 = 0.485_074_626_865_671_65;
+const PINNED_UNIFORM_RANDOM: f64 = 0.319_672_131_147_541;
